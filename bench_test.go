@@ -1,0 +1,266 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§11). Each benchmark runs the corresponding
+// experiment at a laptop scale and reports the headline numbers as custom
+// benchmark metrics, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation. cmd/falcon-bench prints the same results as formatted tables
+// at any scale.
+package falcon
+
+import (
+	"io"
+	"testing"
+
+	"falcon/internal/block"
+	"falcon/internal/experiments"
+)
+
+// benchConfig keeps the full-evaluation benchmarks fast enough to run as a
+// suite while preserving every paper shape.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 0.04, Seed: 9, Runs: 1, ALIter: 8, Out: io.Discard}
+}
+
+// BenchmarkTable1DatasetStats regenerates Table 1 (dataset statistics).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := cfg.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Overall regenerates Table 2 (overall performance) and
+// reports mean F1, crowd cost, and simulated total hours per dataset.
+func BenchmarkTable2Overall(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.F1*100, "F1%/"+string(r.Dataset))
+			b.ReportMetric(r.Cost, "$/"+string(r.Dataset))
+			b.ReportMetric(r.Total.Hours(), "simh/"+string(r.Dataset))
+		}
+	}
+}
+
+// BenchmarkTable3AllRuns regenerates Table 3 (per-run breakdown).
+func BenchmarkTable3AllRuns(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Runs = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4PerOperator regenerates Table 4 (per-operator times).
+func BenchmarkTable4PerOperator(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		perOp, err := cfg.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		songs := perOp[experiments.Songs]
+		b.ReportMetric(songs["al_matcher(block)"].Minutes(), "al_matcher_simmin")
+		b.ReportMetric(songs["apply_blocking_rules"].Minutes(), "apply_rules_simmin")
+	}
+}
+
+// BenchmarkTable5Masking regenerates Table 5 (optimization effect) and
+// reports the masking reduction per dataset.
+func BenchmarkTable5Masking(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Reduction*100, "reduce%/"+string(r.Dataset))
+		}
+	}
+}
+
+// BenchmarkFig9ErrorRate regenerates Figure 9 (crowd error sweep) and
+// reports F1 at 0% and 15% worker error.
+func BenchmarkFig9ErrorRate(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		pts, err := cfg.Fig9(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].F1*100, "F1%@err0")
+		b.ReportMetric(pts[len(pts)-1].F1*100, "F1%@err15")
+	}
+}
+
+// BenchmarkFig10TableSize regenerates Figure 10 (table-size sweep) and
+// reports the candidate growth factor from 25% to 100% size.
+func BenchmarkFig10TableSize(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.05
+	for i := 0; i < b.N; i++ {
+		pts, err := cfg.Fig10(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[len(pts)-1].F1*100, "F1%@full")
+		if pts[0].Cands > 0 {
+			b.ReportMetric(float64(pts[len(pts)-1].Cands)/float64(pts[0].Cands), "cand_growth")
+		}
+	}
+}
+
+// BenchmarkBlockingStrategies regenerates the §11.2 physical-operator
+// comparison (apply-all/greedy/conjunct/predicate vs MapSide/ReduceSplit).
+func BenchmarkBlockingStrategies(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.08
+	for i := 0; i < b.N; i++ {
+		rows, _, err := cfg.Blockers(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Err == "" {
+				b.ReportMetric(r.SimTime.Seconds(), "sims/"+r.Strategy.String())
+			}
+		}
+	}
+}
+
+// BenchmarkMemorySweep regenerates the §11.2 mapper-memory sweep.
+func BenchmarkMemorySweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		choices, err := cfg.MemorySweep(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baselines := 0.0
+		for _, s := range choices {
+			if s == block.MapSide || s == block.ReduceSplit {
+				baselines++
+			}
+		}
+		b.ReportMetric(baselines, "baseline_choices")
+	}
+}
+
+// BenchmarkClusterSize regenerates the §11.4 cluster-size sweep (5→20
+// nodes) and reports the 5-node/20-node machine-time ratio.
+func BenchmarkClusterSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.ClusterSweep(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[3].Machine > 0 {
+			b.ReportMetric(float64(rows[0].Machine)/float64(rows[3].Machine), "speedup5to20")
+		}
+	}
+}
+
+// BenchmarkSampleSize regenerates the §11.4 sample-size sweep.
+func BenchmarkSampleSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.SampleSweep(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].F1*100, "F1%@2x")
+	}
+}
+
+// BenchmarkIterationCap regenerates the §11.4 iteration-cap sweep.
+func BenchmarkIterationCap(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.IterCapSweep(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].F1*100, "F1%@maxcap")
+	}
+}
+
+// BenchmarkKBBvsRBB regenerates the §3.2 key-based vs rule-based blocking
+// recall comparison.
+func BenchmarkKBBvsRBB(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.KBB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.KBBRecall*100, "kbb%/"+string(r.Dataset))
+			b.ReportMetric(r.RBBRecall*100, "rbb%/"+string(r.Dataset))
+		}
+	}
+}
+
+// BenchmarkRuleSequence regenerates the §11.2 rule-sequence comparison
+// (optimal vs all-rules vs top-1 vs top-3).
+func BenchmarkRuleSequence(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.RuleSeq(experiments.Songs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Recall*100, "recall%/"+r.Variant)
+		}
+	}
+}
+
+// BenchmarkCostCap verifies the §3.4 crowd-cost cap formula.
+func BenchmarkCostCap(b *testing.B) {
+	cfg := benchConfig()
+	var capValue float64
+	for i := 0; i < b.N; i++ {
+		capValue = cfg.CostCap()
+	}
+	b.ReportMetric(capValue, "$cap")
+}
+
+// BenchmarkDrugMatching regenerates the §11.1 in-house deployment study.
+func BenchmarkDrugMatching(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		row, err := cfg.DrugsStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.Score.F1*100, "F1%")
+		b.ReportMetric(row.Reduction*100, "maskreduce%")
+	}
+}
+
+// BenchmarkCorleoneVsFalcon regenerates the headline §3.3 comparison:
+// Falcon's index-based cluster blocking against single-machine Corleone
+// enumerating A×B.
+func BenchmarkCorleoneVsFalcon(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.CorleoneVsFalcon()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.CorleoneKilled {
+				b.ReportMetric(r.Speedup, "speedup/"+string(r.Dataset))
+			}
+		}
+	}
+}

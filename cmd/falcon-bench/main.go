@@ -1,0 +1,90 @@
+// Command falcon-bench regenerates the paper's evaluation (§11): every
+// table and figure plus the additional sensitivity studies, on the
+// synthetic datasets at a configurable scale.
+//
+//	falcon-bench -exp all                 # everything, default scale
+//	falcon-bench -exp table2 -scale 0.2   # Table 2 at 20% of paper sizes
+//	falcon-bench -exp fig9 -dataset Songs
+//
+// Experiments: table1 table2 table3 table4 table5 fig9 fig10 blockers
+// memory cluster sample itercap kbb ruleseq costcap drugs all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"falcon/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (comma-separated or 'all')")
+		scale   = flag.Float64("scale", 0.08, "dataset scale factor (1.0 = paper sizes)")
+		seed    = flag.Int64("seed", 5, "random seed")
+		runs    = flag.Int("runs", 3, "runs per dataset for averaged tables")
+		alIter  = flag.Int("al-iter", 12, "active-learning iteration cap")
+		errRate = flag.Float64("error-rate", 0, "simulated crowd error rate")
+		dataset = flag.String("dataset", "Songs", "dataset for single-dataset experiments (Products|Songs|Citations)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:   *scale,
+		Seed:    *seed,
+		Runs:    *runs,
+		ALIter:  *alIter,
+		ErrRate: *errRate,
+		Out:     os.Stdout,
+	}
+	ds := experiments.DatasetName(*dataset)
+
+	all := map[string]func() error{
+		"table1": cfg.Table1,
+		"table2": func() error { _, err := cfg.Table2(); return err },
+		"table3": func() error { _, err := cfg.Table3(); return err },
+		"table4": func() error { _, err := cfg.Table4(); return err },
+		"table5": func() error { _, err := cfg.Table5(); return err },
+		"fig9":   func() error { _, err := cfg.Fig9(ds); return err },
+		"fig10":  func() error { _, err := cfg.Fig10(ds); return err },
+		"blockers": func() error {
+			_, _, err := cfg.Blockers(ds)
+			return err
+		},
+		"memory":   func() error { _, err := cfg.MemorySweep(ds); return err },
+		"cluster":  func() error { _, err := cfg.ClusterSweep(ds); return err },
+		"sample":   func() error { _, err := cfg.SampleSweep(ds); return err },
+		"itercap":  func() error { _, err := cfg.IterCapSweep(ds); return err },
+		"kbb":      func() error { _, err := cfg.KBB(); return err },
+		"ruleseq":  func() error { _, err := cfg.RuleSeq(ds); return err },
+		"costcap":  func() error { cfg.CostCap(); return nil },
+		"drugs":    func() error { _, err := cfg.DrugsStudy(); return err },
+		"corleone": func() error { _, err := cfg.CorleoneVsFalcon(); return err },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig9", "fig10", "blockers", "memory", "cluster", "sample",
+		"itercap", "kbb", "ruleseq", "costcap", "drugs", "corleone"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		selected = strings.Split(*exp, ",")
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		fn, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "falcon-bench: unknown experiment %q (known: %s)\n", name, strings.Join(order, " "))
+			os.Exit(1)
+		}
+		fmt.Printf("===== %s =====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "falcon-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

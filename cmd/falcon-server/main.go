@@ -1,0 +1,34 @@
+// Command falcon-server runs the EM-as-a-cloud-service HTTP front end of
+// the paper's Example 1: submit two CSV tables and a crowd budget, poll the
+// job, download the matches and the learned model.
+//
+//	falcon-server -addr :8080
+//
+//	curl -F tableA=@a.csv -F tableB=@b.csv -F oracle_key=isbn \
+//	     -F budget=300 http://localhost:8080/jobs
+//	curl http://localhost:8080/jobs/job-1
+//	curl http://localhost:8080/jobs/job-1/matches
+//	curl http://localhost:8080/jobs/job-1/model
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"falcon/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("falcon EM service listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,204 @@
+// Command falcon runs hands-off crowdsourced entity matching over two CSV
+// files — the paper's "EM as a cloud service" front end (Example 1): submit
+// two tables and a budget, get back the matching row pairs.
+//
+// The crowd is pluggable:
+//
+//	-oracle-key <col>   simulate a crowd from a shared key column (demo
+//	                    mode; the column is hidden from the learner)
+//	-interactive        you are the crowd: answer match questions on stdin
+//	                    (an in-house "crowd of one", as in §11.1)
+//	-error-rate <p>     simulated worker error rate on top of the oracle
+//
+// Example:
+//
+//	falcon -a dblp.csv -b citeseer.csv -oracle-key paper_id -budget 300 \
+//	       -out matches.csv
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"falcon"
+	"falcon/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "falcon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		aPath       = flag.String("a", "", "CSV file for table A (required)")
+		bPath       = flag.String("b", "", "CSV file for table B (required)")
+		oracleKey   = flag.String("oracle-key", "", "column whose equality defines ground truth (simulation mode); hidden from the learner")
+		interactive = flag.Bool("interactive", false, "answer match questions yourself on stdin")
+		errorRate   = flag.Float64("error-rate", 0, "simulated crowd error rate (0..1)")
+		budget      = flag.Float64("budget", 0, "crowd budget in dollars (0 = only the $349.60 structural cap)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		sampleN     = flag.Int("sample", 0, "sample_pairs size (0 = 1M default)")
+		maxIter     = flag.Int("max-iter", 30, "active-learning iteration cap")
+		outPath     = flag.String("out", "", "write matches as CSV (default: stdout summary only)")
+		noMask      = flag.Bool("no-masking", false, "disable the §10.2 masking optimizations")
+		gantt       = flag.Bool("gantt", false, "print an ASCII Gantt chart of the simulated timeline")
+		explain     = flag.Bool("explain", false, "print the executed EM plan (RDBMS EXPLAIN style)")
+	)
+	flag.Parse()
+	if *aPath == "" || *bPath == "" {
+		flag.Usage()
+		return fmt.Errorf("both -a and -b are required")
+	}
+	if *oracleKey == "" && !*interactive {
+		return fmt.Errorf("choose a crowd: -oracle-key <col> or -interactive")
+	}
+
+	a, err := falcon.ReadCSVFile(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := falcon.ReadCSVFile(*bPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("A: %s (%d rows), B: %s (%d rows)\n", a.Name(), a.Len(), b.Name(), b.Len())
+
+	var labeler falcon.Labeler
+	var opts []falcon.Option
+	switch {
+	case *interactive:
+		labeler = &stdinLabeler{in: bufio.NewScanner(os.Stdin), aCols: a.Columns(), bCols: b.Columns()}
+		opts = append(opts, falcon.WithInHouseCrowd(0))
+	default:
+		aKey, bKey := colIndex(a.Columns(), *oracleKey), colIndex(b.Columns(), *oracleKey)
+		if aKey < 0 || bKey < 0 {
+			return fmt.Errorf("oracle key %q missing from a table", *oracleKey)
+		}
+		labeler = falcon.LabelerFunc(func(ar, br []string) bool {
+			av := strings.TrimSpace(strings.ToLower(ar[aKey]))
+			bv := strings.TrimSpace(strings.ToLower(br[bKey]))
+			return av != "" && av == bv
+		})
+		opts = append(opts, falcon.WithCrowdErrorRate(*errorRate))
+	}
+
+	opts = append(opts,
+		falcon.WithSeed(*seed),
+		falcon.WithBudget(*budget),
+		falcon.WithMaxIterations(*maxIter),
+	)
+	if *sampleN > 0 {
+		opts = append(opts, falcon.WithSampleSize(*sampleN))
+	}
+	if *noMask {
+		opts = append(opts, falcon.WithoutMasking())
+	}
+
+	start := time.Now()
+	report, err := falcon.Match(a, b, labeler, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%d matches found (wall clock %s)\n", len(report.Matches), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("plan: blocking=%v strategy=%s rules=%d/%d candidates=%s\n",
+		report.UsedBlocking, report.Strategy, report.RulesRetained, report.RulesLearned,
+		metrics.FmtCount(int64(report.CandidatePairs)))
+	fmt.Printf("crowd: $%.2f for %d questions\n", report.CrowdCost, report.Questions)
+	fmt.Printf("simulated times: total=%s crowd=%s machine=%s (masked %s, unmasked %s)\n",
+		metrics.FmtDuration(report.TotalTime), metrics.FmtDuration(report.CrowdTime),
+		metrics.FmtDuration(report.MachineTime), metrics.FmtDuration(report.MaskedMachineTime),
+		metrics.FmtDuration(report.UnmaskedMachineTime))
+
+	if *explain {
+		fmt.Printf("\n%s", report.Explain())
+	}
+	if *gantt {
+		fmt.Printf("\n%s", report.Gantt())
+	}
+
+	if *outPath != "" {
+		if err := writeMatches(*outPath, a, b, report.Matches); err != nil {
+			return err
+		}
+		fmt.Printf("matches written to %s\n", *outPath)
+	}
+	return nil
+}
+
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// stdinLabeler implements the interactive crowd of one.
+type stdinLabeler struct {
+	in           *bufio.Scanner
+	aCols, bCols []string
+	asked        int
+}
+
+// Label implements falcon.Labeler by asking the terminal.
+func (s *stdinLabeler) Label(a, b []string) bool {
+	s.asked++
+	fmt.Printf("\n--- question %d: do these rows match? ---\n", s.asked)
+	for i, c := range s.aCols {
+		fmt.Printf("  A.%-15s %s\n", c, a[i])
+	}
+	for i, c := range s.bCols {
+		fmt.Printf("  B.%-15s %s\n", c, b[i])
+	}
+	for {
+		fmt.Print("match? [y/n]: ")
+		if !s.in.Scan() {
+			return false
+		}
+		switch strings.ToLower(strings.TrimSpace(s.in.Text())) {
+		case "y", "yes":
+			return true
+		case "n", "no":
+			return false
+		}
+	}
+}
+
+func writeMatches(path string, a, b *falcon.Table, matches []falcon.Pair) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"a_row", "b_row"}
+	for _, c := range a.Columns() {
+		header = append(header, "a_"+c)
+	}
+	for _, c := range b.Columns() {
+		header = append(header, "b_"+c)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, m := range matches {
+		rec := []string{fmt.Sprint(m.ARow), fmt.Sprint(m.BRow)}
+		rec = append(rec, a.Row(m.ARow)...)
+		rec = append(rec, b.Row(m.BRow)...)
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

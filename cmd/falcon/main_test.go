@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"falcon"
+)
+
+func TestColIndex(t *testing.T) {
+	cols := []string{"Title", "price", "ISBN"}
+	if colIndex(cols, "isbn") != 2 {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if colIndex(cols, "missing") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+}
+
+func TestWriteMatches(t *testing.T) {
+	a := falcon.NewTable("a", "x")
+	a.Append("va")
+	b := falcon.NewTable("b", "y")
+	b.Append("vb")
+	path := filepath.Join(t.TempDir(), "m.csv")
+	if err := writeMatches(path, a, b, []falcon.Pair{{ARow: 0, BRow: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(string(raw))
+	want := "a_row,b_row,a_x,b_y\n0,0,va,vb"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestStdinLabeler(t *testing.T) {
+	in := bufio.NewScanner(strings.NewReader("maybe\ny\nn\n"))
+	l := &stdinLabeler{in: in, aCols: []string{"x"}, bCols: []string{"y"}}
+	if !l.Label([]string{"a"}, []string{"b"}) {
+		t.Fatal("'y' after junk should label true")
+	}
+	if l.Label([]string{"a"}, []string{"b"}) {
+		t.Fatal("'n' should label false")
+	}
+	// EOF defaults to false.
+	if l.Label([]string{"a"}, []string{"b"}) {
+		t.Fatal("EOF should label false")
+	}
+	if l.asked != 3 {
+		t.Fatalf("asked = %d", l.asked)
+	}
+}

@@ -1,0 +1,66 @@
+package falcon_test
+
+import (
+	"fmt"
+
+	"falcon"
+)
+
+// ExampleMatch runs the full hands-off pipeline on two tiny book tables.
+// The labeler plays the crowd's collective judgement; here it compares the
+// ISBN column, which the learner only ever sees through yes/no answers.
+func ExampleMatch() {
+	a := falcon.NewTable("store-a", "title", "year", "isbn")
+	a.Append("The Go Programming Language", "2015", "0134190440")
+	a.Append("Clean Code", "2008", "0132350882")
+	a.Append("Introduction to Algorithms", "2009", "0262033844")
+	a.Append("The Pragmatic Programmer", "1999", "020161622X")
+
+	b := falcon.NewTable("store-b", "title", "year", "isbn")
+	b.Append("Go Programming Language, The", "2015", "0134190440")
+	b.Append("Refactoring", "1999", "0201485672")
+	b.Append("Intro to Algorithms", "2009", "0262033844")
+	b.Append("Design Patterns", "1994", "0201633612")
+
+	labeler := falcon.LabelerFunc(func(ar, br []string) bool {
+		return ar[2] == br[2]
+	})
+	report, err := falcon.Match(a, b, labeler, falcon.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range report.Matches {
+		fmt.Printf("%s == %s\n", a.Row(m.ARow)[0], b.Row(m.BRow)[0])
+	}
+	fmt.Printf("blocking used: %v\n", report.UsedBlocking)
+	// Output:
+	// The Go Programming Language == Go Programming Language, The
+	// Introduction to Algorithms == Intro to Algorithms
+	// blocking used: false
+}
+
+// ExampleDedup finds duplicate rows within a single table, the shape of the
+// paper's Songs workload.
+func ExampleDedup() {
+	t := falcon.NewTable("songs", "title", "artist")
+	t.Append("Whispering Bells", "The Del Vikings")
+	t.Append("Whispering Bells", "The Del-Vikings") // duplicate
+	t.Append("Blue Moon River", "The Ramblers")
+	t.Append("Golden Road", "Los Echoes")
+	t.Append("Golden Road", "Los  Echoes") // duplicate
+	t.Append("Summer Rain", "DJ Strangers")
+
+	labeler := falcon.LabelerFunc(func(ar, br []string) bool {
+		return ar[0] == br[0]
+	})
+	report, err := falcon.Dedup(t, labeler, falcon.WithSeed(2))
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range report.Matches {
+		fmt.Printf("rows %d and %d: %s\n", m.ARow, m.BRow, t.Row(m.ARow)[0])
+	}
+	// Output:
+	// rows 0 and 1: Whispering Bells
+	// rows 3 and 4: Golden Road
+}

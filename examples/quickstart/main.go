@@ -1,0 +1,53 @@
+// Quickstart: match two small book tables with falcon's public API.
+//
+// The labeler here plays the role of the crowd's collective judgement —
+// in a real deployment falcon would batch these questions into HITs on a
+// crowdsourcing platform; here the answer comes from comparing ISBNs,
+// which the learner itself never sees as ground truth (it only receives
+// yes/no labels for the specific pairs it asks about).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"falcon"
+)
+
+func main() {
+	a := falcon.NewTable("store-a", "title", "author", "year", "price", "isbn")
+	a.Append("The Art of Computer Programming Vol 1", "Donald Knuth", "1997", "99.50", "0201896834")
+	a.Append("The Go Programming Language", "Alan Donovan and Brian Kernighan", "2015", "45.00", "0134190440")
+	a.Append("Clean Code", "Robert Martin", "2008", "40.00", "0132350882")
+	a.Append("Structure and Interpretation of Computer Programs", "Abelson and Sussman", "1996", "55.00", "0262510871")
+	a.Append("Introduction to Algorithms", "Cormen Leiserson Rivest Stein", "2009", "89.00", "0262033844")
+	a.Append("The Pragmatic Programmer", "Hunt and Thomas", "1999", "42.50", "020161622X")
+
+	b := falcon.NewTable("store-b", "title", "author", "year", "price", "isbn")
+	b.Append("Art of Computer Programming, Volume 1", "D. Knuth", "1997", "97.99", "0201896834")
+	b.Append("Go Programming Language", "Donovan, Kernighan", "2015", "44.49", "0134190440")
+	b.Append("Refactoring", "Martin Fowler", "1999", "50.00", "0201485672")
+	b.Append("Intro to Algorithms 3rd ed", "T. Cormen et al", "2009", "85.00", "0262033844")
+	b.Append("Design Patterns", "Gamma Helm Johnson Vlissides", "1994", "54.00", "0201633612")
+	b.Append("Pragmatic Programmer, The", "A. Hunt, D. Thomas", "1999", "41.00", "020161622X")
+
+	isbn := func(row []string) string { return strings.TrimSpace(row[4]) }
+	labeler := falcon.LabelerFunc(func(ar, br []string) bool {
+		return isbn(ar) != "" && isbn(ar) == isbn(br)
+	})
+
+	report, err := falcon.Match(a, b, labeler, falcon.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Found %d matches (plan: blocking=%v):\n", len(report.Matches), report.UsedBlocking)
+	for _, m := range report.Matches {
+		fmt.Printf("  %-52q == %q\n", a.Row(m.ARow)[0], b.Row(m.BRow)[0])
+	}
+	fmt.Printf("\nCrowd: %d questions, $%.2f; simulated total time %s\n",
+		report.Questions, report.CrowdCost, report.TotalTime.Round(1e9))
+}

@@ -1,0 +1,183 @@
+// Package bitset provides a dense, fixed-capacity bitmap used to track
+// blocking-rule coverage over a sample of tuple pairs (Falcon §6).
+//
+// Each blocking rule R_i maintains a bitmap B_i of size |S| where bit j says
+// whether rule R_i would drop the j-th pair of sample S. Coverage of a rule
+// sequence is then the OR of the constituent bitmaps, which this package
+// computes word-at-a-time.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-length bitmap. The zero value is an empty bitmap of
+// length 0; use New to create one with capacity.
+type Bitset struct {
+	words []uint64
+	n     int // logical number of bits
+}
+
+// New returns a Bitset holding n bits, all zero.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits the set holds.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Count returns the number of set bits (the coverage size |cov(R,S)|).
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets b = b | other. Both bitsets must have the same length.
+func (b *Bitset) Or(other *Bitset) {
+	b.sameLen(other)
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And sets b = b & other. Both bitsets must have the same length.
+func (b *Bitset) And(other *Bitset) {
+	b.sameLen(other)
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNot sets b = b &^ other. Both bitsets must have the same length.
+func (b *Bitset) AndNot(other *Bitset) {
+	b.sameLen(other)
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+func (b *Bitset) sameLen(other *Bitset) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d vs %d", b.n, other.n))
+	}
+}
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Union returns a new bitset equal to the OR of all inputs. All inputs must
+// share a length; Union panics on an empty input list.
+func Union(sets ...*Bitset) *Bitset {
+	if len(sets) == 0 {
+		panic("bitset: Union of no sets")
+	}
+	u := sets[0].Clone()
+	for _, s := range sets[1:] {
+		u.Or(s)
+	}
+	return u
+}
+
+// UnionCount returns the number of bits set in the OR of all inputs without
+// allocating more than one scratch bitset.
+func UnionCount(sets ...*Bitset) int {
+	if len(sets) == 0 {
+		return 0
+	}
+	if len(sets) == 1 {
+		return sets[0].Count()
+	}
+	n := len(sets[0].words)
+	c := 0
+	for i := 0; i < n; i++ {
+		var w uint64
+		for _, s := range sets {
+			w |= s.words[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OnesIterate calls fn for every set bit, in increasing index order, stopping
+// early if fn returns false.
+func (b *Bitset) OnesIterate(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			t := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + t) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Ones returns the indexes of all set bits in increasing order.
+func (b *Bitset) Ones() []int {
+	out := make([]int, 0, b.Count())
+	b.OnesIterate(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// String renders the bitmap as a compact summary, e.g. "Bitset(5/64)".
+func (b *Bitset) String() string {
+	return fmt.Sprintf("Bitset(%d/%d)", b.Count(), b.n)
+}

@@ -1,0 +1,245 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	b := New(0)
+	if b.Len() != 0 || b.Count() != 0 || b.Any() {
+		t.Fatalf("empty bitset not empty: %v", b)
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Set")
+		}
+	}()
+	New(10).Set(10)
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative size")
+		}
+	}()
+	New(-1)
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+func TestOrAndAndNot(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(3)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+
+	or := a.Clone()
+	or.Or(b)
+	if !or.Get(3) || !or.Get(70) || !or.Get(99) || or.Count() != 3 {
+		t.Fatalf("Or wrong: %v", or.Ones())
+	}
+
+	and := a.Clone()
+	and.And(b)
+	if !and.Get(70) || and.Count() != 1 {
+		t.Fatalf("And wrong: %v", and.Ones())
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if !diff.Get(3) || diff.Count() != 1 {
+		t.Fatalf("AndNot wrong: %v", diff.Ones())
+	}
+}
+
+func TestUnionAndUnionCount(t *testing.T) {
+	a, b, c := New(200), New(200), New(200)
+	a.Set(1)
+	b.Set(1)
+	b.Set(150)
+	c.Set(199)
+	u := Union(a, b, c)
+	if u.Count() != 3 {
+		t.Fatalf("Union count = %d, want 3", u.Count())
+	}
+	if got := UnionCount(a, b, c); got != 3 {
+		t.Fatalf("UnionCount = %d, want 3", got)
+	}
+	if got := UnionCount(a); got != 1 {
+		t.Fatalf("UnionCount single = %d, want 1", got)
+	}
+	if got := UnionCount(); got != 0 {
+		t.Fatalf("UnionCount none = %d, want 0", got)
+	}
+}
+
+func TestOnesAndIterate(t *testing.T) {
+	b := New(300)
+	want := []int{0, 64, 65, 128, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Ones()
+	if len(got) != len(want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	b.OnesIterate(func(i int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("OnesIterate early stop visited %d, want 2", count)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(128)
+	b.Set(5)
+	b.Set(100)
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("Reset did not clear bits")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(10)
+	c := a.Clone()
+	c.Set(20)
+	if a.Get(20) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Get(10) {
+		t.Fatal("Clone lost original bits")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(64)
+	b.Set(0)
+	if got := b.String(); got != "Bitset(1/64)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Count equals the cardinality of the set of indexes inserted.
+func TestQuickCountMatchesInsertions(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		const n = 1 << 14
+		b := New(n)
+		seen := map[int]bool{}
+		for _, r := range raw {
+			i := int(r) % n
+			b.Set(i)
+			seen[i] = true
+		}
+		return b.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |A ∪ B| = |A| + |B| − |A ∩ B| (inclusion–exclusion).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 2048
+		a, b := New(n), New(n)
+		for i := 0; i < 500; i++ {
+			a.Set(rng.Intn(n))
+			b.Set(rng.Intn(n))
+		}
+		inter := a.Clone()
+		inter.And(b)
+		return UnionCount(a, b) == a.Count()+b.Count()-inter.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OR is commutative and idempotent on coverage counts.
+func TestQuickOrCommutativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 1024
+		a, b := New(n), New(n)
+		for i := 0; i < 200; i++ {
+			a.Set(rng.Intn(n))
+			b.Set(rng.Intn(n))
+		}
+		ab := a.Clone()
+		ab.Or(b)
+		ba := b.Clone()
+		ba.Or(a)
+		aa := a.Clone()
+		aa.Or(a)
+		return ab.Count() == ba.Count() && aa.Count() == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionCount(b *testing.B) {
+	const n = 1 << 20
+	sets := make([]*Bitset, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := range sets {
+		sets[i] = New(n)
+		for j := 0; j < n/64; j++ {
+			sets[i].Set(rng.Intn(n))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionCount(sets...)
+	}
+}

@@ -1,0 +1,494 @@
+// Package block implements Falcon's apply_blocking_rules operator (paper
+// §7): executing a blocking-rule sequence over A×B without materializing
+// the Cartesian product. It provides the four index-based physical
+// operators of §7.3 — apply-all, apply-greedy, apply-conjunct,
+// apply-predicate — plus the two prior-work baselines MapSide and
+// ReduceSplit, which do enumerate A×B.
+//
+// All six produce the same candidate set: the pairs the positive CNF rule Q
+// keeps. They differ in mapper memory footprint and cluster time, which is
+// what §10.1's physical-operator selection trades off.
+package block
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"falcon/internal/feature"
+	"falcon/internal/filters"
+	"falcon/internal/mapreduce"
+	"falcon/internal/table"
+)
+
+// Strategy names a physical operator for apply_blocking_rules.
+type Strategy int
+
+const (
+	// ApplyAll loads every index into each mapper (§7.3a).
+	ApplyAll Strategy = iota
+	// ApplyGreedy loads only the most selective conjunct's indexes (§7.3b).
+	ApplyGreedy
+	// ApplyConjunct runs one mapper pass per conjunct; reducers intersect
+	// (§7.3c).
+	ApplyConjunct
+	// ApplyPredicate runs one mapper pass per predicate (§7.3d).
+	ApplyPredicate
+	// MapSide is the prior-work baseline that holds table A in mapper
+	// memory and enumerates A×B.
+	MapSide
+	// ReduceSplit is the prior-work baseline that enumerates A×B in the
+	// mappers and spreads rule evaluation across reducers.
+	ReduceSplit
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case ApplyAll:
+		return "apply-all"
+	case ApplyGreedy:
+		return "apply-greedy"
+	case ApplyConjunct:
+		return "apply-conjunct"
+	case ApplyPredicate:
+		return "apply-predicate"
+	case MapSide:
+		return "map-side"
+	case ReduceSplit:
+		return "reduce-split"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ErrTooLarge reports that a baseline strategy would enumerate an A×B too
+// big to finish (the paper kills MapSide/ReduceSplit on Songs/Citations).
+var ErrTooLarge = errors.New("block: A×B too large for an enumerating baseline")
+
+// baselinePairCap bounds how many pairs the in-process baselines enumerate.
+const baselinePairCap = 100_000_000
+
+// Input bundles everything apply_blocking_rules needs.
+type Input struct {
+	A, B *table.Table
+	// Analysis is the filter plan of the positive CNF rule Q.
+	Analysis *filters.Analysis
+	// Indexes must contain every index Analysis needs (for the index-based
+	// strategies).
+	Indexes *filters.Indexes
+	// Vectorizer computes blocking-feature vectors for final rule checks.
+	Vectorizer *feature.Vectorizer
+	// ClauseSel gives each clause's selectivity (fraction of sample pairs
+	// surviving the corresponding rule); used by ApplyGreedy.
+	ClauseSel []float64
+	// PassIDsOnly enables §7.3 optimization 2 (reduced intermediate
+	// output); when false each emitted B record is charged tuple weight.
+	PassIDsOnly bool
+	// BTupleWeight is the extra shuffle cost per full B tuple emission
+	// when PassIDsOnly is false (≈ tuple bytes / 128). 0 derives it from B.
+	BTupleWeight int64
+}
+
+// Result is the blocking outcome.
+type Result struct {
+	Pairs    []table.Pair
+	SimTime  time.Duration
+	Strategy Strategy
+	// PairsEnumerated counts (a,b) pairs that reached rule evaluation.
+	PairsEnumerated int64
+}
+
+func (in *Input) bWeight() int64 {
+	if in.PassIDsOnly {
+		return 0
+	}
+	if in.BTupleWeight > 0 {
+		return in.BTupleWeight
+	}
+	w := TableBytes(in.B) / int64(in.B.Len()+1) / 128
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// TableBytes estimates a table's in-memory size.
+func TableBytes(t *table.Table) int64 {
+	var b int64
+	for _, tu := range t.Tuples {
+		b += 48
+		for _, v := range tu.Values {
+			b += int64(len(v)) + 16
+		}
+	}
+	return b
+}
+
+// keepPair evaluates the full CNF rule on a pair.
+func (in *Input) keepPair(p table.Pair) bool {
+	vec := in.Vectorizer.BlockingVector(p)
+	return in.Analysis.CNF.Keep(vec.Values)
+}
+
+func (in *Input) evalCost() int64 {
+	n := 0
+	for _, c := range in.Analysis.CNF.Clauses {
+		n += len(c)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return int64(n)
+}
+
+// Run executes the chosen strategy.
+func Run(cluster *mapreduce.Cluster, in *Input, s Strategy) (*Result, error) {
+	switch s {
+	case ApplyAll:
+		return in.runClausePass(cluster, s, in.Analysis.FilterableClauses())
+	case ApplyGreedy:
+		return in.runClausePass(cluster, s, []int{in.mostSelectiveClause()})
+	case ApplyConjunct:
+		return in.runIntersect(cluster, s, false)
+	case ApplyPredicate:
+		return in.runIntersect(cluster, s, true)
+	case MapSide:
+		return in.runMapSide(cluster)
+	case ReduceSplit:
+		return in.runReduceSplit(cluster)
+	default:
+		return nil, fmt.Errorf("block: unknown strategy %v", s)
+	}
+}
+
+// mostSelectiveClause returns the filterable clause with the lowest
+// selectivity (drops the most pairs).
+func (in *Input) mostSelectiveClause() int {
+	best, bestSel := -1, 2.0
+	for _, ci := range in.Analysis.FilterableClauses() {
+		sel := 1.0
+		if ci < len(in.ClauseSel) {
+			sel = in.ClauseSel[ci]
+		}
+		if sel < bestSel {
+			best, bestSel = ci, sel
+		}
+	}
+	if best == -1 {
+		// No filterable clause: caller should have picked a baseline, but
+		// degrade gracefully by signalling "no pruning" with clause -1.
+		return -1
+	}
+	return best
+}
+
+// bRows returns B's row numbers split for the cluster, interleaving-style
+// balanced (each split carries a contiguous stripe; candidate work is
+// data-dependent, which the cost model's wave scheduling absorbs).
+func (in *Input) bRows(cluster *mapreduce.Cluster) [][]int {
+	rows := make([]int, in.B.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return mapreduce.SplitSlice(rows, cluster.Slots()*4)
+}
+
+// runClausePass implements ApplyAll / ApplyGreedy: one mapper pass that
+// probes the given clauses, then reducers evaluate the full rule sequence.
+func (in *Input) runClausePass(cluster *mapreduce.Cluster, s Strategy, useClauses []int) (*Result, error) {
+	if len(useClauses) == 1 && useClauses[0] == -1 {
+		useClauses = nil
+	}
+	bw := in.bWeight()
+	evalCost := in.evalCost()
+	var enumerated int64
+	job := mapreduce.Job[int, int32, int32, table.Pair]{
+		Name:   "apply-blocking-rules/" + s.String(),
+		Splits: in.bRows(cluster),
+		Map: func(bRow int, ctx *mapreduce.MapCtx[int32, int32]) {
+			cands, all, cost := in.Indexes.RuleCandidates(in.Analysis, useClauses, in.B, bRow)
+			ctx.AddCost(cost)
+			if all {
+				// Filters could not prune this probe: every A tuple is a
+				// candidate.
+				for a := 0; a < in.A.Len(); a++ {
+					ctx.Emit(int32(a), int32(bRow))
+					ctx.AddCost(bw)
+				}
+				return
+			}
+			for _, aid := range cands {
+				ctx.Emit(aid, int32(bRow))
+				ctx.AddCost(bw)
+			}
+		},
+		Reduce: func(aid int32, bRows []int32, ctx *mapreduce.ReduceCtx[table.Pair]) {
+			for _, bRow := range bRows {
+				p := table.Pair{A: int(aid), B: int(bRow)}
+				ctx.AddCost(evalCost)
+				enumerated++
+				if in.keepPair(p) {
+					ctx.Output(p)
+				}
+			}
+		},
+	}
+	res, err := mapreduce.Run(cluster, job)
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, s, enumerated), nil
+}
+
+// runIntersect implements ApplyConjunct / ApplyPredicate: one mapper pass
+// per conjunct (or per predicate), reducers intersect the clause coverage
+// then evaluate the full rule.
+func (in *Input) runIntersect(cluster *mapreduce.Cluster, s Strategy, perPredicate bool) (*Result, error) {
+	filterable := in.Analysis.FilterableClauses()
+	if len(filterable) == 0 {
+		return in.runClausePass(cluster, s, nil)
+	}
+	need := len(filterable)
+	bw := in.bWeight()
+	evalCost := in.evalCost()
+
+	// Build the pass records: (clause, predicate, bRow). predicate = -1
+	// probes the whole clause at once (ApplyConjunct).
+	type rec struct {
+		clause int
+		pred   int
+		bRow   int
+	}
+	var recs []rec
+	for _, ci := range filterable {
+		if perPredicate {
+			for pi := range in.Analysis.Clauses[ci].Preds {
+				for b := 0; b < in.B.Len(); b++ {
+					recs = append(recs, rec{ci, pi, b})
+				}
+			}
+		} else {
+			for b := 0; b < in.B.Len(); b++ {
+				recs = append(recs, rec{ci, -1, b})
+			}
+		}
+	}
+
+	var enumerated int64
+	job := mapreduce.Job[rec, int64, int32, table.Pair]{
+		Name:   "apply-blocking-rules/" + s.String(),
+		Splits: mapreduce.SplitSlice(recs, cluster.Slots()*4),
+		Map: func(r rec, ctx *mapreduce.MapCtx[int64, int32]) {
+			var cands []int32
+			var all bool
+			var cost int64
+			if r.pred >= 0 {
+				cands, all, cost = in.Indexes.PredCandidates(in.Analysis.Clauses[r.clause].Preds[r.pred], in.B, r.bRow)
+			} else {
+				cands, all, cost = in.Indexes.ClauseCandidates(in.Analysis.Clauses[r.clause], in.B, r.bRow)
+			}
+			ctx.AddCost(cost)
+			if all {
+				for a := 0; a < in.A.Len(); a++ {
+					ctx.Emit(pairKey(int32(a), int32(r.bRow)), int32(r.clause))
+					ctx.AddCost(bw)
+				}
+				return
+			}
+			for _, aid := range cands {
+				ctx.Emit(pairKey(aid, int32(r.bRow)), int32(r.clause))
+				ctx.AddCost(bw)
+			}
+		},
+		Reduce: func(key int64, clauses []int32, ctx *mapreduce.ReduceCtx[table.Pair]) {
+			// Distinct clauses that produced this pair must cover every
+			// filterable clause (per-predicate passes of one clause merge
+			// by the dedup).
+			seen := map[int32]bool{}
+			for _, c := range clauses {
+				seen[c] = true
+			}
+			if len(seen) < need {
+				return
+			}
+			p := unpairKey(key)
+			ctx.AddCost(evalCost)
+			enumerated++
+			if in.keepPair(p) {
+				ctx.Output(p)
+			}
+		},
+	}
+	res, err := mapreduce.Run(cluster, job)
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, s, enumerated), nil
+}
+
+// runMapSide enumerates A×B with A held in mapper memory.
+func (in *Input) runMapSide(cluster *mapreduce.Cluster) (*Result, error) {
+	if int64(in.A.Len())*int64(in.B.Len()) > baselinePairCap {
+		return nil, ErrTooLarge
+	}
+	evalCost := in.evalCost()
+	var enumerated int64
+	job := mapreduce.MapOnlyJob[int, table.Pair]{
+		Name:   "apply-blocking-rules/map-side",
+		Splits: in.bRows(cluster),
+		Map: func(bRow int, ctx *mapreduce.MapOnlyCtx[table.Pair]) {
+			for a := 0; a < in.A.Len(); a++ {
+				p := table.Pair{A: a, B: bRow}
+				ctx.AddCost(evalCost)
+				enumerated++
+				if in.keepPair(p) {
+					ctx.Output(p)
+				}
+			}
+		},
+	}
+	res, err := mapreduce.RunMapOnly(cluster, job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Pairs: res.Output, SimTime: res.Stats.SimTime, Strategy: MapSide, PairsEnumerated: enumerated}
+	sortPairs(out.Pairs)
+	return out, nil
+}
+
+// runReduceSplit enumerates A×B in the mappers, spreading evaluation evenly
+// over the reducers.
+func (in *Input) runReduceSplit(cluster *mapreduce.Cluster) (*Result, error) {
+	if int64(in.A.Len())*int64(in.B.Len()) > baselinePairCap {
+		return nil, ErrTooLarge
+	}
+	bw := in.bWeight()
+	evalCost := in.evalCost()
+	var enumerated int64
+	job := mapreduce.Job[int, int64, struct{}, table.Pair]{
+		Name:   "apply-blocking-rules/reduce-split",
+		Splits: in.bRows(cluster),
+		Map: func(bRow int, ctx *mapreduce.MapCtx[int64, struct{}]) {
+			for a := 0; a < in.A.Len(); a++ {
+				ctx.Emit(pairKey(int32(a), int32(bRow)), struct{}{})
+				ctx.AddCost(bw)
+			}
+		},
+		Reduce: func(key int64, _ []struct{}, ctx *mapreduce.ReduceCtx[table.Pair]) {
+			p := unpairKey(key)
+			ctx.AddCost(evalCost)
+			enumerated++
+			if in.keepPair(p) {
+				ctx.Output(p)
+			}
+		},
+	}
+	res, err := mapreduce.Run(cluster, job)
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, ReduceSplit, enumerated), nil
+}
+
+func finish(res *mapreduce.Result[table.Pair], s Strategy, enumerated int64) *Result {
+	out := &Result{Pairs: res.Output, SimTime: res.Stats.SimTime, Strategy: s, PairsEnumerated: enumerated}
+	sortPairs(out.Pairs)
+	return out
+}
+
+func pairKey(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+func unpairKey(k int64) table.Pair {
+	return table.Pair{A: int(k >> 32), B: int(int32(uint32(k)))}
+}
+
+func sortPairs(ps []table.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// greedyRatio is the §10.1 threshold: when the most selective conjunct is
+// at least this close to the whole rule's selectivity, apply-greedy wins.
+const greedyRatio = 0.8
+
+// Choose picks the physical operator per §10.1's decision ladder. seqSel is
+// the whole sequence's selectivity (sel(Q)); ClauseSel must be populated.
+func Choose(cluster *mapreduce.Cluster, in *Input, seqSel float64) Strategy {
+	mem := cluster.MapperMemory
+	if mem <= 0 {
+		mem = 2 << 30
+	}
+	ci := in.mostSelectiveClause()
+	if ci >= 0 {
+		selC := in.ClauseSel[ci]
+		if selC > 0 && seqSel/selC > greedyRatio && MemoryNeed(in, ApplyGreedy) <= mem {
+			return ApplyGreedy
+		}
+		if MemoryNeed(in, ApplyAll) <= mem {
+			return ApplyAll
+		}
+		if MemoryNeed(in, ApplyConjunct) <= mem {
+			return ApplyConjunct
+		}
+		if MemoryNeed(in, ApplyPredicate) <= mem {
+			return ApplyPredicate
+		}
+	}
+	if MemoryNeed(in, MapSide) <= mem {
+		return MapSide
+	}
+	return ReduceSplit
+}
+
+// MemoryNeed estimates the per-mapper memory requirement of each strategy
+// (§10.1's selection ladder).
+func MemoryNeed(in *Input, s Strategy) int64 {
+	switch s {
+	case ApplyAll:
+		var total int64
+		for _, spec := range in.Analysis.NeededIndexes() {
+			total += in.Indexes.SpecBytes(spec)
+		}
+		return total
+	case ApplyGreedy:
+		ci := in.mostSelectiveClause()
+		if ci < 0 {
+			return 0
+		}
+		return in.Indexes.ClauseBytes(in.Analysis.Clauses[ci])
+	case ApplyConjunct:
+		var max int64
+		for _, ci := range in.Analysis.FilterableClauses() {
+			if b := in.Indexes.ClauseBytes(in.Analysis.Clauses[ci]); b > max {
+				max = b
+			}
+		}
+		return max
+	case ApplyPredicate:
+		var max int64
+		for _, ci := range in.Analysis.FilterableClauses() {
+			for _, bp := range in.Analysis.Clauses[ci].Preds {
+				if bp.Kind == filters.Unfilterable {
+					continue
+				}
+				ciOnly := filters.ClauseInfo{Preds: []filters.BoundPred{bp}, Filterable: true}
+				if b := in.Indexes.ClauseBytes(ciOnly); b > max {
+					max = b
+				}
+			}
+		}
+		return max
+	case MapSide:
+		return TableBytes(in.A)
+	case ReduceSplit:
+		return 0
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,112 @@
+package block
+
+import (
+	"fmt"
+	"testing"
+
+	"falcon/internal/table"
+)
+
+func snbTables() (*table.Table, *table.Table) {
+	a := table.New("A", table.NewSchema("title"))
+	b := table.New("B", table.NewSchema("title"))
+	titles := []string{"alpha beta", "beta gamma", "delta epsilon", "zeta eta", "theta iota"}
+	for _, t := range titles {
+		a.Append(t)
+	}
+	// B holds word-order variants plus one stranger.
+	b.Append("beta alpha")
+	b.Append("gamma beta")
+	b.Append("epsilon delta")
+	b.Append("unrelated entirely")
+	b.Append("")
+	a.InferTypes()
+	b.InferTypes()
+	return a, b
+}
+
+func TestSNBFindsReorderedMatches(t *testing.T) {
+	a, b := snbTables()
+	pairs := SortedNeighborhood(a, b, 0, 0, 1)
+	got := map[table.Pair]bool{}
+	for _, p := range pairs {
+		got[p] = true
+	}
+	// Word-order variants sort adjacently, so window 1 finds them.
+	for _, want := range []table.Pair{{A: 0, B: 0}, {A: 1, B: 1}, {A: 2, B: 2}} {
+		if !got[want] {
+			t.Fatalf("window-1 SNB missed %v (pairs: %v)", want, pairs)
+		}
+	}
+}
+
+func TestSNBWindowGrowsCandidates(t *testing.T) {
+	a, b := snbTables()
+	n1 := len(SortedNeighborhood(a, b, 0, 0, 1))
+	n3 := len(SortedNeighborhood(a, b, 0, 0, 3))
+	nBig := len(SortedNeighborhood(a, b, 0, 0, 100))
+	if !(n1 <= n3 && n3 <= nBig) {
+		t.Fatalf("window growth not monotone: %d %d %d", n1, n3, nBig)
+	}
+	// A full-width window covers every non-missing cross pair.
+	if nBig != a.Len()*4 { // B has one missing-title row
+		t.Fatalf("full window = %d pairs, want %d", nBig, a.Len()*4)
+	}
+}
+
+func TestSNBSkipsMissingAndClampWindow(t *testing.T) {
+	a, b := snbTables()
+	pairs := SortedNeighborhood(a, b, 0, 0, 0) // clamps to 1
+	for _, p := range pairs {
+		if b.Value(p.B, 0) == "" {
+			t.Fatal("missing-key tuple produced candidates")
+		}
+	}
+}
+
+func TestSNBDeterministicAndSorted(t *testing.T) {
+	a, b := snbTables()
+	p1 := SortedNeighborhood(a, b, 0, 0, 2)
+	p2 := SortedNeighborhood(a, b, 0, 0, 2)
+	if len(p1) != len(p2) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("nondeterministic order")
+		}
+		if i > 0 && (p1[i-1].A > p1[i].A || (p1[i-1].A == p1[i].A && p1[i-1].B >= p1[i].B)) {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestSNBScales(t *testing.T) {
+	a := table.New("A", table.NewSchema("k"))
+	b := table.New("B", table.NewSchema("k"))
+	for i := 0; i < 3000; i++ {
+		a.Append(fmt.Sprintf("key%06d", i))
+		b.Append(fmt.Sprintf("key%06d", i))
+	}
+	a.InferTypes()
+	b.InferTypes()
+	pairs := SortedNeighborhood(a, b, 0, 0, 2)
+	// Window 2 on identical sorted keys: ~2 candidates per tuple, and the
+	// true match (i,i) is always adjacent.
+	found := 0
+	seen := map[table.Pair]bool{}
+	for _, p := range pairs {
+		seen[p] = true
+	}
+	for i := 0; i < 3000; i++ {
+		if seen[table.Pair{A: i, B: i}] {
+			found++
+		}
+	}
+	if found != 3000 {
+		t.Fatalf("exact-key SNB found %d/3000 matches", found)
+	}
+	if len(pairs) > 3000*4 {
+		t.Fatalf("candidate blowup: %d", len(pairs))
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"falcon/internal/vclock"
+)
+
+// bgJob is a unit of cluster work that masking may schedule inside a
+// crowd-wait window (§10.2): index building or a speculative rule/matcher
+// execution. The work itself has already been performed in-process (the
+// engine is deterministic); Dur is its modeled cluster time, and the queue
+// decides *when* it lands on the timeline.
+type bgJob struct {
+	name string
+	op   string
+	dur  time.Duration
+	// key identifies the index spec this job builds (empty for other
+	// work); pending jobs whose spec the final rules do not need are
+	// cancelled instead of drained.
+	key string
+	// onScheduled receives the scheduled task (e.g. to record a
+	// speculative job's end time).
+	onScheduled func(*vclock.Task)
+}
+
+// bgQueue packs background jobs into the cluster's idle time while the
+// crowd works. Jobs run in FIFO order; a job is started inside a window
+// only if it fits entirely before the window closes — an overrunning
+// background job would block the next foreground operator (pair selection
+// gates the next crowd batch) and stretch the critical path, defeating the
+// optimization.
+type bgQueue struct {
+	tl   *vclock.Timeline
+	jobs []bgJob
+}
+
+func newBGQueue(tl *vclock.Timeline) *bgQueue {
+	return &bgQueue{tl: tl}
+}
+
+// enqueue adds a job to the back of the queue.
+func (q *bgQueue) enqueue(j bgJob) { q.jobs = append(q.jobs, j) }
+
+// pending reports whether jobs remain.
+func (q *bgQueue) pending() bool { return len(q.jobs) > 0 }
+
+// fillWindow schedules queued jobs that fit before `until` (typically the
+// end of the crowd task just scheduled).
+func (q *bgQueue) fillWindow(until time.Duration) {
+	for len(q.jobs) > 0 {
+		free := q.tl.ResourceFree(vclock.Cluster)
+		if free >= until || q.jobs[0].dur > until-free {
+			return
+		}
+		q.pop()
+	}
+}
+
+// drainNeeded schedules the remaining jobs whose keys are needed
+// (foreground completion of index builds masking could not hide) and
+// cancels the rest — once the final rule sequence is known, pending builds
+// for other rules' predicates are simply never started.
+func (q *bgQueue) drainNeeded(needed map[string]bool) *vclock.Task {
+	var last *vclock.Task
+	for len(q.jobs) > 0 {
+		if q.jobs[0].key == "" || needed[q.jobs[0].key] {
+			last = q.pop()
+			continue
+		}
+		q.jobs = q.jobs[1:] // cancelled
+	}
+	return last
+}
+
+func (q *bgQueue) pop() *vclock.Task {
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	t := q.tl.Schedule(j.name, j.op, vclock.Cluster, j.dur)
+	if j.onScheduled != nil {
+		j.onScheduled(t)
+	}
+	return t
+}

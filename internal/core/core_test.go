@@ -1,0 +1,262 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"falcon/internal/block"
+	"falcon/internal/crowd"
+	"falcon/internal/datagen"
+	"falcon/internal/metrics"
+	"falcon/internal/vclock"
+)
+
+// testOptions returns laptop-scale options with all optimizations on.
+func testOptions(seed int64) Options {
+	o := DefaultOptions()
+	o.Seed = seed
+	o.SampleN = 4000
+	o.SampleY = 20
+	o.ALIterations = 10
+	o.MaskedSelectionMinPool = 1000
+	o.Platform = crowd.NewRandomWorkers(0, 0, seed+1)
+	return o
+}
+
+func runSongs(t *testing.T, n int, opt Options) (*datagen.Dataset, *Result) {
+	t.Helper()
+	d := datagen.Songs(n, 42)
+	res, err := Run(d.A, d.B, d.Oracle(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+func TestEndToEndBlockingPlan(t *testing.T) {
+	opt := testOptions(1)
+	force := true
+	opt.ForceBlocking = &force
+	d, res := runSongs(t, 800, opt)
+
+	if !res.UsedBlocking {
+		t.Fatal("blocking plan not used")
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates survived blocking")
+	}
+	// Blocking must prune A×B substantially while keeping recall high.
+	cart := d.A.Len() * d.B.Len()
+	if len(res.Candidates) >= cart/2 {
+		t.Fatalf("blocking kept %d of %d pairs", len(res.Candidates), cart)
+	}
+	recall := metrics.BlockingRecall(res.Candidates, d.Truth)
+	if recall < 0.85 {
+		t.Fatalf("blocking recall = %.3f, want ≥0.85", recall)
+	}
+	// End-to-end F1 should be solid with a perfect crowd.
+	m := metrics.Score(res.Matches, d.Truth)
+	if m.F1 < 0.75 {
+		t.Fatalf("end-to-end F1 = %.3f (%v), want ≥0.75", m.F1, m)
+	}
+	// Accounting sanity.
+	if res.Cost <= 0 || res.Questions <= 0 {
+		t.Fatalf("cost/questions = %v/%d", res.Cost, res.Questions)
+	}
+	if res.Cost > crowd.CostCap(crowd.DefaultCapParams()) {
+		t.Fatalf("cost %v exceeds C_max", res.Cost)
+	}
+	tl := res.Timeline
+	if tl.CrowdTime <= 0 || tl.MachineTime <= 0 || tl.Total <= 0 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl.MaskedMachine+tl.UnmaskedMachine != tl.MachineTime {
+		t.Fatal("masking accounting inconsistent")
+	}
+	if res.RetainedRules == 0 || res.CandidateRules < res.RetainedRules {
+		t.Fatalf("rules: %d candidates, %d retained", res.CandidateRules, res.RetainedRules)
+	}
+}
+
+func TestEndToEndMatcherOnlyPlan(t *testing.T) {
+	opt := testOptions(2)
+	d := datagen.Songs(60, 7) // tiny → matcher-only plan chosen automatically
+	res, err := Run(d.A, d.B, d.Oracle(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedBlocking {
+		t.Fatal("tiny tables should take the matcher-only plan")
+	}
+	if len(res.Candidates) != d.A.Len()*d.B.Len() {
+		t.Fatalf("matcher-only candidates = %d, want full product", len(res.Candidates))
+	}
+	m := metrics.Score(res.Matches, d.Truth)
+	if m.F1 < 0.7 {
+		t.Fatalf("matcher-only F1 = %.3f", m.F1)
+	}
+}
+
+func TestMaskingReducesUnmaskedTime(t *testing.T) {
+	force := true
+
+	optOn := testOptions(3)
+	optOn.ForceBlocking = &force
+	_, on := runSongs(t, 700, optOn)
+
+	optOff := testOptions(3)
+	optOff.ForceBlocking = &force
+	optOff.MaskIndexBuild = false
+	optOff.Speculative = false
+	optOff.MaskedSelection = false
+	_, off := runSongs(t, 700, optOff)
+
+	if on.Timeline.UnmaskedMachine >= off.Timeline.UnmaskedMachine {
+		t.Fatalf("masking did not reduce unmasked machine time: on=%v off=%v",
+			on.Timeline.UnmaskedMachine, off.Timeline.UnmaskedMachine)
+	}
+	if off.Timeline.MaskedMachine > on.Timeline.MaskedMachine {
+		t.Fatalf("masked machine time: on=%v < off=%v", on.Timeline.MaskedMachine, off.Timeline.MaskedMachine)
+	}
+	// Optimizations must not change the matches.
+	if len(on.Matches) == 0 {
+		t.Fatal("no matches")
+	}
+}
+
+func TestForceStrategy(t *testing.T) {
+	force := true
+	for _, s := range []block.Strategy{block.ApplyAll, block.ApplyGreedy} {
+		opt := testOptions(4)
+		opt.ForceBlocking = &force
+		strat := s
+		opt.ForceStrategy = &strat
+		_, res := runSongs(t, 400, opt)
+		if res.Strategy != s {
+			t.Fatalf("strategy = %v, want %v", res.Strategy, s)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	force := true
+	opt := testOptions(5)
+	opt.ForceBlocking = &force
+	_, r1 := runSongs(t, 400, opt)
+	_, r2 := runSongs(t, 400, opt)
+	if len(r1.Matches) != len(r2.Matches) {
+		t.Fatalf("matches differ: %d vs %d", len(r1.Matches), len(r2.Matches))
+	}
+	if r1.Cost != r2.Cost || r1.Questions != r2.Questions {
+		t.Fatal("cost accounting differs across identical runs")
+	}
+	if r1.Timeline.Total != r2.Timeline.Total {
+		t.Fatal("timeline differs across identical runs")
+	}
+}
+
+func TestCrowdErrorDegradesGracefully(t *testing.T) {
+	force := true
+	optClean := testOptions(6)
+	optClean.ForceBlocking = &force
+	dClean, clean := runSongs(t, 500, optClean)
+
+	optNoisy := testOptions(6)
+	optNoisy.ForceBlocking = &force
+	optNoisy.Platform = crowd.NewRandomWorkers(0.15, 0, 99)
+	dNoisy, noisy := runSongs(t, 500, optNoisy)
+
+	f1Clean := metrics.Score(clean.Matches, dClean.Truth).F1
+	f1Noisy := metrics.Score(noisy.Matches, dNoisy.Truth).F1
+	if f1Noisy > f1Clean+0.05 {
+		t.Fatalf("noisy crowd (%v) beat clean crowd (%v)?", f1Noisy, f1Clean)
+	}
+	if f1Noisy < 0.4 {
+		t.Fatalf("15%% crowd error collapsed F1 to %v", f1Noisy)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	opt := testOptions(7)
+	force := true
+	opt.ForceBlocking = &force
+	opt.Budget = 0.10 // ten cents
+	d := datagen.Songs(400, 42)
+	res, err := Run(d.A, d.B, d.Oracle(), opt)
+	if err == nil {
+		t.Fatalf("budget of $0.10 should be exceeded (spent %v)", res.Cost)
+	}
+	if _, ok := err.(crowd.ErrBudgetExceeded); !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+}
+
+func TestPerOperatorBreakdown(t *testing.T) {
+	force := true
+	opt := testOptions(8)
+	opt.ForceBlocking = &force
+	_, res := runSongs(t, 500, opt)
+	for _, op := range []string{opSamplePairs, opGenFVs, opALMatcherB, opEvalRules, opApplyRules, opALMatcherM} {
+		ot, ok := res.Timeline.PerOp[op]
+		if !ok {
+			t.Fatalf("missing per-op entry %s (have %v)", op, keys(res.Timeline.PerOp))
+		}
+		if ot.Crowd == 0 && ot.Machine == 0 {
+			t.Fatalf("operator %s recorded no time", op)
+		}
+	}
+	if res.UnoptimizedBlockTime <= 0 {
+		t.Fatal("no unoptimized blocking time recorded")
+	}
+}
+
+func keys(m map[string]vclock.OpTime) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestMatcherOnlyGuard(t *testing.T) {
+	d := datagen.Songs(3000, 1)
+	opt := testOptions(9)
+	f := false
+	opt.ForceBlocking = &f
+	if _, err := Run(d.A, d.B, d.Oracle(), opt); err == nil {
+		t.Fatal("9M-pair matcher-only plan should refuse")
+	}
+}
+
+func TestEstimateVectorBytes(t *testing.T) {
+	if estimateVectorBytes(1000, 1000, 50) <= estimateVectorBytes(10, 10, 50) {
+		t.Fatal("estimate not monotone")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	opt := testOptions(31)
+	force := true
+	opt.ForceBlocking = &force
+	opt.EstimateAccuracy = true
+	_, res := runSongsWith(t, 400, opt)
+	out := res.Explain()
+	for _, want := range []string{
+		"Figure 3.a", "sample_pairs", "al_matcher(block)", "eval_rules",
+		"apply_blocking_rules", "apply_matcher", "TOTALS", "accuracy_estimator",
+		res.Strategy.String(),
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Matcher-only plan labels itself.
+	d := datagen.Songs(50, 7)
+	res2, err := Run(d.A, d.B, d.Oracle(), testOptions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res2.Explain(), "Figure 3.b") {
+		t.Fatal("matcher-only plan not labeled")
+	}
+}

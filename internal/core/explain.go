@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"falcon/internal/metrics"
+)
+
+// Explain renders the executed EM plan in RDBMS EXPLAIN style: the Figure-3
+// template that was chosen, each operator with its measured crowd/machine
+// time, the learned rule sequence with its §6 statistics, the physical
+// operator §10.1 selected, and the masking summary. It reads top-down in
+// execution order.
+func (r *Result) Explain() string {
+	var sb strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+
+	if r.UsedBlocking {
+		w("EM PLAN (Figure 3.a: Blocker + Matcher)\n")
+	} else {
+		w("EM PLAN (Figure 3.b: Matcher only)\n")
+	}
+
+	line := func(op, note string) {
+		ot, ok := r.Timeline.PerOp[op]
+		if !ok {
+			return
+		}
+		visible := ot.Crowd + ot.Machine - ot.Masked
+		w("  %-22s crowd=%-9s machine=%-9s masked=%-9s visible=%-9s %s\n",
+			op,
+			metrics.FmtDuration(ot.Crowd), metrics.FmtDuration(ot.Machine),
+			metrics.FmtDuration(ot.Masked), metrics.FmtDuration(visible), note)
+	}
+
+	if r.UsedBlocking {
+		line(opSamplePairs, "")
+		line(opGenFVs, "(blocking features)")
+		line(opALMatcherB, "")
+		line(opGetBlockRules, fmt.Sprintf("→ %d candidate rules", r.CandidateRules))
+		line(opEvalRules, fmt.Sprintf("→ %d retained", r.RetainedRules))
+		line(opSelOptSeq, fmt.Sprintf("→ %d-rule sequence (prec≥%.3f sel=%.4f)",
+			len(r.RuleChoice.Seq), r.RuleChoice.Precision, r.RuleChoice.Selectivity))
+		specNote := ""
+		if r.SpecRuleHit {
+			specNote = "[speculative output reused] "
+		}
+		line(opApplyRules, fmt.Sprintf("%svia %s, unoptimized %s → %s candidates",
+			specNote, r.Strategy, metrics.FmtDuration(r.UnoptimizedBlockTime),
+			metrics.FmtCount(int64(len(r.Candidates)))))
+	}
+	line(opGenFVs2, "(full feature space)")
+	line(opALMatcherM, "")
+	matcherNote := fmt.Sprintf("→ %s matches", metrics.FmtCount(int64(len(r.Matches))))
+	if r.SpecMatcherHit {
+		matcherNote = "[speculative matcher reused] " + matcherNote
+	}
+	line(opApplyMatcher, matcherNote)
+	line(opEstimator, estimatorNote(r))
+
+	w("TOTALS  crowd=%s machine=%s (masked %s, unmasked %s) total=%s cost=$%.2f (%d questions)\n",
+		metrics.FmtDuration(r.Timeline.CrowdTime),
+		metrics.FmtDuration(r.Timeline.MachineTime),
+		metrics.FmtDuration(r.Timeline.MaskedMachine),
+		metrics.FmtDuration(r.Timeline.UnmaskedMachine),
+		metrics.FmtDuration(r.Timeline.Total),
+		r.Cost, r.Questions)
+	return sb.String()
+}
+
+func estimatorNote(r *Result) string {
+	if r.Accuracy == nil {
+		return ""
+	}
+	note := fmt.Sprintf("→ P=%.1f%%±%.1f R=%.1f%%±%.1f F1=%.1f%%",
+		r.Accuracy.Precision*100, r.Accuracy.PrecisionErr*100,
+		r.Accuracy.Recall*100, r.Accuracy.RecallErr*100, r.Accuracy.F1*100)
+	if len(r.RoundF1) > 1 {
+		note += fmt.Sprintf(" over %d rounds", len(r.RoundF1))
+	}
+	return note
+}

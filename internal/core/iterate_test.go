@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"falcon/internal/crowd"
+	"falcon/internal/datagen"
+	"falcon/internal/metrics"
+)
+
+func TestAccuracyEstimatorReportsSaneNumbers(t *testing.T) {
+	opt := testOptions(21)
+	force := true
+	opt.ForceBlocking = &force
+	opt.EstimateAccuracy = true
+	d, res := runSongsWith(t, 600, opt)
+
+	if res.Accuracy == nil {
+		t.Fatal("no accuracy estimate")
+	}
+	acc := res.Accuracy
+	if acc.Precision < 0 || acc.Precision > 1 || acc.Recall < 0 || acc.Recall > 1 {
+		t.Fatalf("estimate out of range: %+v", acc)
+	}
+	// The estimate should land near the true score.
+	truth := metrics.Score(res.Matches, d.Truth)
+	// Recall here is w.r.t. the candidate set; blocking recall is high, so
+	// the gap should still be moderate.
+	if diff := acc.Precision - truth.Precision; diff > 0.2 || diff < -0.2 {
+		t.Fatalf("estimated precision %.2f vs true %.2f", acc.Precision, truth.Precision)
+	}
+	if acc.Labeled == 0 {
+		t.Fatal("estimator asked no questions")
+	}
+	if _, ok := res.Timeline.PerOp[opEstimator]; !ok {
+		t.Fatal("estimator time missing from timeline")
+	}
+	if len(res.RoundF1) != 1 {
+		t.Fatalf("RoundF1 = %v, want single round", res.RoundF1)
+	}
+}
+
+func TestIterativeWorkflow(t *testing.T) {
+	opt := testOptions(22)
+	force := true
+	opt.ForceBlocking = &force
+	opt.ALIterations = 4 // weak initial matcher leaves room to improve
+	opt.IterateRounds = 3
+	d, res := runSongsWith(t, 600, opt)
+
+	if len(res.RoundF1) < 1 {
+		t.Fatal("no rounds recorded")
+	}
+	if len(res.RoundF1) > 4 {
+		t.Fatalf("rounds %d exceed cap+1", len(res.RoundF1))
+	}
+	if res.Accuracy == nil {
+		t.Fatal("iterating implies estimation")
+	}
+	// The accepted matcher must never be worse than the initial estimate
+	// (rounds that don't improve are rejected).
+	if res.Accuracy.F1+1e-9 < res.RoundF1[0] {
+		t.Fatalf("final estimated F1 %.3f below initial %.3f", res.Accuracy.F1, res.RoundF1[0])
+	}
+	if f1 := metrics.Score(res.Matches, d.Truth).F1; f1 < 0.6 {
+		t.Fatalf("true F1 after iteration = %.3f", f1)
+	}
+}
+
+func TestIterationStopsWhenNoImprovement(t *testing.T) {
+	opt := testOptions(23)
+	force := true
+	opt.ForceBlocking = &force
+	opt.IterateRounds = 10 // generous cap; convergence should stop earlier
+	_, res := runSongsWith(t, 500, opt)
+	// A well-trained matcher (full iterations) should stop after few rounds.
+	if len(res.RoundF1) > 5 {
+		t.Fatalf("iteration did not converge: %d rounds (%v)", len(res.RoundF1), res.RoundF1)
+	}
+}
+
+func TestEstimatorOffByDefault(t *testing.T) {
+	opt := testOptions(24)
+	force := true
+	opt.ForceBlocking = &force
+	_, res := runSongsWith(t, 400, opt)
+	if res.Accuracy != nil || len(res.RoundF1) != 0 {
+		t.Fatal("estimator should be off by default")
+	}
+}
+
+func runSongsWith(t *testing.T, n int, opt Options) (*datagen.Dataset, *Result) {
+	t.Helper()
+	d := datagen.Songs(n, 42)
+	res, err := Run(d.A, d.B, d.Oracle(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+func TestIterativeWorkflowCostStillAccounted(t *testing.T) {
+	opt := testOptions(25)
+	force := true
+	opt.ForceBlocking = &force
+	opt.IterateRounds = 2
+
+	base := testOptions(25)
+	base.ForceBlocking = &force
+
+	d := datagen.Songs(500, 42)
+	resIter, err := Run(d.A, d.B, d.Oracle(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBase, err := Run(d.A, d.B, d.Oracle(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resIter.Cost <= resBase.Cost {
+		t.Fatalf("iterating must cost extra crowd money: %.2f vs %.2f", resIter.Cost, resBase.Cost)
+	}
+	if resIter.Cost > crowd.CostCap(crowd.DefaultCapParams()) {
+		t.Fatalf("cost %.2f blew past C_max", resIter.Cost)
+	}
+}

@@ -1,0 +1,129 @@
+// Package core is Falcon's plan layer: it turns an EM task over two tables
+// into one of the two plan templates of Figure 3, selects physical
+// operators (§10.1), executes the plan over the simulated cluster and
+// crowd, and applies the §10.2 masking optimizations by scheduling machine
+// work inside crowd-wait windows on a shared virtual timeline.
+package core
+
+import (
+	"time"
+
+	"falcon/internal/feature"
+	"falcon/internal/forest"
+	"falcon/internal/mapreduce"
+	"falcon/internal/rules"
+	"falcon/internal/simfn"
+	"falcon/internal/table"
+)
+
+// Operator tags for Table-4-style per-operator reporting.
+const (
+	opSamplePairs   = "sample_pairs"
+	opGenFVs        = "gen_fvs"
+	opALMatcherB    = "al_matcher(block)"
+	opGetBlockRules = "get_blocking_rules"
+	opEvalRules     = "eval_rules"
+	opSelOptSeq     = "select_opt_seq"
+	opApplyRules    = "apply_blocking_rules"
+	opGenFVs2       = "gen_fvs(match)"
+	opALMatcherM    = "al_matcher(match)"
+	opApplyMatcher  = "apply_matcher"
+)
+
+// genFVsMR converts pairs into feature vectors as a map-only cluster job
+// (the gen_fvs operator of §8). blockingOnly restricts to the blocking
+// feature subspace.
+func genFVsMR(cluster *mapreduce.Cluster, vz *feature.Vectorizer, pairs []table.Pair, blockingOnly bool) ([]feature.Vector, time.Duration, error) {
+	nFeats := len(vz.Set.Features)
+	if blockingOnly {
+		nFeats = vz.Set.NumBlocking()
+	}
+	job := mapreduce.MapOnlyJob[table.Pair, feature.Vector]{
+		Name:   "gen_fvs",
+		Splits: mapreduce.SplitSlice(pairs, cluster.Slots()),
+		Map: func(p table.Pair, ctx *mapreduce.MapOnlyCtx[feature.Vector]) {
+			ctx.AddCost(int64(nFeats))
+			if blockingOnly {
+				ctx.Output(vz.BlockingVector(p))
+			} else {
+				ctx.Output(vz.Vector(p))
+			}
+		},
+	}
+	res, err := mapreduce.RunMapOnly(cluster, job)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Output, res.Stats.SimTime, nil
+}
+
+// applyMatcherMR applies a trained matcher to every vector as a map-only
+// cluster job (the apply_matcher operator).
+func applyMatcherMR(cluster *mapreduce.Cluster, f *forest.Forest, vecs []feature.Vector) ([]table.Pair, time.Duration, error) {
+	job := mapreduce.MapOnlyJob[int, table.Pair]{
+		Name:   "apply_matcher",
+		Splits: mapreduce.SplitSlice(indexRange(len(vecs)), cluster.Slots()),
+		Map: func(i int, ctx *mapreduce.MapOnlyCtx[table.Pair]) {
+			ctx.AddCost(int64(len(f.Trees)))
+			if f.Predict(vecs[i].Values) {
+				ctx.Output(vecs[i].Pair)
+			}
+		},
+	}
+	res, err := mapreduce.RunMapOnly(cluster, job)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Output, res.Stats.SimTime, nil
+}
+
+func indexRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// blockingFeaturePtrs returns feature pointers in blocking-vector order.
+func blockingFeaturePtrs(set *feature.Set) []*feature.Feature {
+	out := make([]*feature.Feature, len(set.BlockingIdx))
+	for i, idx := range set.BlockingIdx {
+		out[i] = &set.Features[idx]
+	}
+	return out
+}
+
+// measureCost weights rule predicates by measure for select_opt_seq's
+// per-pair time model: numeric comparisons are cheap, token-set measures
+// moderate, edit distance expensive.
+func measureCost(m simfn.Measure) float64 {
+	switch m {
+	case simfn.MExactMatch, simfn.MAbsDiff, simfn.MRelDiff:
+		return 1
+	case simfn.MLevenshtein:
+		return 8
+	default:
+		return 3
+	}
+}
+
+// ruleTimer builds the feature-aware RuleTimer for select_opt_seq.
+func ruleTimer(feats []*feature.Feature) func(r rules.Rule) float64 {
+	return func(r rules.Rule) float64 {
+		t := 0.0
+		for _, p := range r.Preds {
+			t += measureCost(feats[p.Feature].Measure)
+		}
+		if t == 0 {
+			t = 1
+		}
+		return t
+	}
+}
+
+// estimateVectorBytes estimates the memory of A×B encoded as feature
+// vectors, the §10.1 plan-choice criterion.
+func estimateVectorBytes(aLen, bLen, nFeatures int) int64 {
+	return int64(aLen) * int64(bLen) * (int64(nFeatures)*8 + 24)
+}

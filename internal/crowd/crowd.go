@@ -1,0 +1,339 @@
+// Package crowd simulates the crowdsourcing platform Falcon labels tuple
+// pairs with (paper §3.4, §11). It reproduces the paper's crowdsourcing
+// mechanics exactly:
+//
+//   - questions are batched into HITs of q=10 questions, h=2 HITs per
+//     active-learning iteration (20 pairs/iteration);
+//   - al_matcher questions take v_m=3 answers with majority voting;
+//   - eval_rules questions use the strong-majority scheme with up to v_e=7
+//     answers;
+//   - each answer costs c=$0.02;
+//   - the crowd-cost cap C_max of §3.4 is enforced.
+//
+// Workers are simulated with Corleone's random-worker model: a worker
+// answers correctly with probability 1−errorRate (used for Figure 9 and
+// all synthetic-crowd runs, as in §11.4). An in-house "crowd of one"
+// (§11.1's drug-matching deployment) is a platform with one perfect worker
+// and one answer per question.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"falcon/internal/table"
+)
+
+// Question asks the crowd whether a tuple pair matches. Truth carries the
+// ground-truth label the simulated workers perturb; a real platform would
+// ignore it.
+type Question struct {
+	Pair  table.Pair
+	Truth bool
+}
+
+// Platform produces one worker answer for a question. Implementations must
+// be deterministic given their construction seed.
+type Platform interface {
+	// Answer returns one worker's yes/no answer for the question.
+	Answer(q Question) bool
+	// AnswersPerQuestion returns how many answers the platform collects per
+	// question under simple voting (3 on Mechanical Turk, 1 in-house).
+	AnswersPerQuestion() int
+	// HITLatency is the latency of one HIT posting wave.
+	HITLatency() time.Duration
+}
+
+// RandomWorkers is Corleone's random-worker model: every answer is wrong
+// independently with probability ErrorRate.
+type RandomWorkers struct {
+	ErrorRate float64
+	Latency   time.Duration
+	Votes     int
+	rng       *rand.Rand
+}
+
+// NewRandomWorkers returns a Mechanical-Turk-style simulated platform.
+// A zero latency defaults to the paper's 1.5 minutes per 10-question HIT;
+// zero votes defaults to 3.
+func NewRandomWorkers(errorRate float64, latency time.Duration, seed int64) *RandomWorkers {
+	if latency == 0 {
+		latency = 90 * time.Second
+	}
+	return &RandomWorkers{ErrorRate: errorRate, Latency: latency, Votes: 3, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Answer implements Platform.
+func (w *RandomWorkers) Answer(q Question) bool {
+	if w.rng.Float64() < w.ErrorRate {
+		return !q.Truth
+	}
+	return q.Truth
+}
+
+// AnswersPerQuestion implements Platform.
+func (w *RandomWorkers) AnswersPerQuestion() int {
+	if w.Votes <= 0 {
+		return 3
+	}
+	return w.Votes
+}
+
+// HITLatency implements Platform.
+func (w *RandomWorkers) HITLatency() time.Duration { return w.Latency }
+
+// InHouse models a single dedicated expert labeler (a "crowd of 1"):
+// perfect answers, one answer per question, configurable per-HIT latency.
+type InHouse struct {
+	Latency time.Duration
+}
+
+// Answer implements Platform.
+func (InHouse) Answer(q Question) bool { return q.Truth }
+
+// AnswersPerQuestion implements Platform.
+func (InHouse) AnswersPerQuestion() int { return 1 }
+
+// HITLatency implements Platform.
+func (h InHouse) HITLatency() time.Duration {
+	if h.Latency == 0 {
+		return 20 * time.Second
+	}
+	return h.Latency
+}
+
+// Config holds the crowdsourcing constants of §3.4.
+type Config struct {
+	QuestionsPerHIT int     // q, default 10
+	HITsPerBatch    int     // h, default 2
+	CostPerAnswer   float64 // c, default $0.02
+	StrongMaxVotes  int     // v_e, default 7
+	// MaxParallelHITs bounds how many HITs one posting wave can absorb;
+	// larger batches take multiple waves of HITLatency. Default 4.
+	MaxParallelHITs int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{QuestionsPerHIT: 10, HITsPerBatch: 2, CostPerAnswer: 0.02, StrongMaxVotes: 7, MaxParallelHITs: 4}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.QuestionsPerHIT <= 0 {
+		c.QuestionsPerHIT = d.QuestionsPerHIT
+	}
+	if c.HITsPerBatch <= 0 {
+		c.HITsPerBatch = d.HITsPerBatch
+	}
+	if c.CostPerAnswer <= 0 {
+		c.CostPerAnswer = d.CostPerAnswer
+	}
+	if c.StrongMaxVotes <= 0 {
+		c.StrongMaxVotes = d.StrongMaxVotes
+	}
+	if c.MaxParallelHITs <= 0 {
+		c.MaxParallelHITs = d.MaxParallelHITs
+	}
+	return c
+}
+
+// Ledger accumulates crowdsourcing usage across a run.
+type Ledger struct {
+	Questions int
+	Answers   int
+	Cost      float64
+	Latency   time.Duration
+}
+
+// Crowd wraps a platform with HIT batching, voting, and cost accounting.
+type Crowd struct {
+	platform Platform
+	cfg      Config
+	ledger   Ledger
+}
+
+// New builds a crowd runner over a platform.
+func New(p Platform, cfg Config) *Crowd {
+	return &Crowd{platform: p, cfg: cfg.withDefaults()}
+}
+
+// Ledger returns the usage accumulated so far.
+func (c *Crowd) Ledger() Ledger { return c.ledger }
+
+// Config returns the effective configuration.
+func (c *Crowd) Config() Config { return c.cfg }
+
+// BatchSize returns the number of pairs labeled per active-learning
+// iteration (h × q = 20 by default).
+func (c *Crowd) BatchSize() int { return c.cfg.QuestionsPerHIT * c.cfg.HITsPerBatch }
+
+// LabelMajority labels the questions with simple majority voting over the
+// platform's per-question answer count (al_matcher's scheme). It returns
+// the voted labels and the simulated wall-clock latency of the batch.
+func (c *Crowd) LabelMajority(qs []Question) ([]bool, time.Duration) {
+	votes := c.platform.AnswersPerQuestion()
+	labels := make([]bool, len(qs))
+	for i, q := range qs {
+		yes := 0
+		for v := 0; v < votes; v++ {
+			if c.platform.Answer(q) {
+				yes++
+			}
+		}
+		labels[i] = 2*yes > votes
+		c.ledger.Answers += votes
+	}
+	c.ledger.Questions += len(qs)
+	lat := c.batchLatency(len(qs), 1)
+	c.ledger.Latency += lat
+	return labels, lat
+}
+
+// LabelStrongMajority labels the questions with the strong-majority scheme
+// of eval_rules: collect 3 answers; while no side holds a strong majority
+// (≥4 of up to 7), collect two more, stopping at StrongMaxVotes. Platforms
+// that collect fewer than 3 answers per question (an in-house crowd of one)
+// start — and stop — with that many.
+func (c *Crowd) LabelStrongMajority(qs []Question) ([]bool, time.Duration) {
+	labels := make([]bool, len(qs))
+	maxRounds := 1
+	initial := c.platform.AnswersPerQuestion()
+	if initial > 3 {
+		initial = 3
+	}
+	for i, q := range qs {
+		yes, total := 0, 0
+		ask := func(n int) {
+			for v := 0; v < n; v++ {
+				if c.platform.Answer(q) {
+					yes++
+				}
+				total++
+			}
+		}
+		ask(initial)
+		rounds := 1
+		strong := func() bool { return yes >= 4 || total-yes >= 4 || yes == total || yes == 0 }
+		for !strong() && total+2 <= c.cfg.StrongMaxVotes {
+			ask(2)
+			rounds++
+		}
+		if rounds > maxRounds {
+			maxRounds = rounds
+		}
+		labels[i] = 2*yes > total
+		c.ledger.Answers += total
+	}
+	c.ledger.Questions += len(qs)
+	lat := c.batchLatency(len(qs), maxRounds)
+	c.ledger.Latency += lat
+	return labels, lat
+}
+
+// batchLatency models posting-wave latency: HITs post in waves of
+// MaxParallelHITs; each wave (and each extra voting round) costs one HIT
+// latency.
+func (c *Crowd) batchLatency(nQuestions, rounds int) time.Duration {
+	if nQuestions == 0 {
+		return 0
+	}
+	hits := (nQuestions + c.cfg.QuestionsPerHIT - 1) / c.cfg.QuestionsPerHIT
+	waves := (hits + c.cfg.MaxParallelHITs - 1) / c.cfg.MaxParallelHITs
+	return time.Duration(waves+rounds-1) * c.platform.HITLatency()
+}
+
+// TotalCost returns the monetary cost so far (answers × cost/answer).
+func (c *Crowd) TotalCost() float64 {
+	return float64(c.ledger.Answers) * c.cfg.CostPerAnswer
+}
+
+// CapParams are the constants of the §3.4 cost-cap formula.
+type CapParams struct {
+	NM int     // n_m: max al_matcher iterations beyond the seed (29)
+	VM int     // v_m: answers per al_matcher question (3)
+	K  int     // k: max rules evaluated by eval_rules (20)
+	NE int     // n_e: max iterations per rule in eval_rules (5)
+	VE int     // v_e: max answers per eval_rules question (7)
+	H  int     // h: HITs per iteration (2)
+	Q  int     // q: questions per HIT (10)
+	C  float64 // c: reward per answer ($0.02)
+}
+
+// DefaultCapParams returns the paper's setting, which yields $349.60.
+func DefaultCapParams() CapParams {
+	return CapParams{NM: 29, VM: 3, K: 20, NE: 5, VE: 7, H: 2, Q: 10, C: 0.02}
+}
+
+// CostCap computes C_max = (2·n_m·v_m + k·n_e·v_e) · h · q · c.
+func CostCap(p CapParams) float64 {
+	return (2*float64(p.NM)*float64(p.VM) + float64(p.K)*float64(p.NE)*float64(p.VE)) *
+		float64(p.H) * float64(p.Q) * p.C
+}
+
+// ErrBudgetExceeded is returned by CheckBudget when spending passes a cap.
+type ErrBudgetExceeded struct {
+	Spent, Budget float64
+}
+
+// Error implements error.
+func (e ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("crowd budget exceeded: spent $%.2f of $%.2f", e.Spent, e.Budget)
+}
+
+// CheckBudget returns an error if spending has passed the budget (0 means
+// unlimited).
+func (c *Crowd) CheckBudget(budget float64) error {
+	if budget > 0 && c.TotalCost() > budget {
+		return ErrBudgetExceeded{Spent: c.TotalCost(), Budget: budget}
+	}
+	return nil
+}
+
+// MixedWorkers models a realistic worker population: each answer comes from
+// a worker whose error rate is drawn from a pool mixing reliable workers
+// with a minority of sloppy ones (turker qualifications filter spammers but
+// not all noise — §11's "common turker qualifications"). Majority voting is
+// what makes the aggregate usable.
+type MixedWorkers struct {
+	workers []float64 // per-worker error rates
+	latency time.Duration
+	rng     *rand.Rand
+}
+
+// NewMixedWorkers builds a pool of n workers: goodShare of them answer with
+// goodErr error, the rest with badErr.
+func NewMixedWorkers(n int, goodShare, goodErr, badErr float64, latency time.Duration, seed int64) *MixedWorkers {
+	if n < 1 {
+		n = 1
+	}
+	if latency == 0 {
+		latency = 90 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, n)
+	for i := range w {
+		if rng.Float64() < goodShare {
+			w[i] = goodErr
+		} else {
+			w[i] = badErr
+		}
+	}
+	return &MixedWorkers{workers: w, latency: latency, rng: rng}
+}
+
+// Answer implements Platform: a random worker from the pool answers.
+func (m *MixedWorkers) Answer(q Question) bool {
+	errRate := m.workers[m.rng.Intn(len(m.workers))]
+	if m.rng.Float64() < errRate {
+		return !q.Truth
+	}
+	return q.Truth
+}
+
+// AnswersPerQuestion implements Platform.
+func (m *MixedWorkers) AnswersPerQuestion() int { return 3 }
+
+// HITLatency implements Platform.
+func (m *MixedWorkers) HITLatency() time.Duration { return m.latency }

@@ -1,0 +1,304 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"falcon/internal/table"
+)
+
+func questions(n int, truth bool) []Question {
+	qs := make([]Question, n)
+	for i := range qs {
+		qs[i] = Question{Pair: table.Pair{A: i, B: i}, Truth: truth}
+	}
+	return qs
+}
+
+func TestCostCapMatchesPaper(t *testing.T) {
+	got := CostCap(DefaultCapParams())
+	if math.Abs(got-349.60) > 1e-9 {
+		t.Fatalf("C_max = %v, want 349.60", got)
+	}
+}
+
+func TestPerfectCrowdMajority(t *testing.T) {
+	c := New(NewRandomWorkers(0, 0, 1), Config{})
+	labels, lat := c.LabelMajority(questions(20, true))
+	for i, l := range labels {
+		if !l {
+			t.Fatalf("perfect crowd mislabeled question %d", i)
+		}
+	}
+	// 20 questions = 2 HITs = 1 wave of 1.5 minutes.
+	if lat != 90*time.Second {
+		t.Fatalf("latency = %v, want 90s", lat)
+	}
+	led := c.Ledger()
+	if led.Questions != 20 || led.Answers != 60 {
+		t.Fatalf("ledger = %+v", led)
+	}
+	if got := c.TotalCost(); math.Abs(got-60*0.02) > 1e-9 {
+		t.Fatalf("cost = %v, want $1.20", got)
+	}
+}
+
+func TestNoisyCrowdMajorityHelps(t *testing.T) {
+	// With 20% error and 3 votes, majority error ≈ 10.4%; over many
+	// questions the accuracy should land well above single-answer accuracy.
+	c := New(NewRandomWorkers(0.2, 0, 42), Config{})
+	qs := questions(2000, true)
+	labels, _ := c.LabelMajority(qs)
+	correct := 0
+	for _, l := range labels {
+		if l {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(labels))
+	if acc < 0.85 || acc > 0.95 {
+		t.Fatalf("majority accuracy = %v, want ≈0.896", acc)
+	}
+}
+
+func TestVeryNoisyCrowdDegrades(t *testing.T) {
+	c := New(NewRandomWorkers(0.5, 0, 7), Config{})
+	labels, _ := c.LabelMajority(questions(1000, true))
+	correct := 0
+	for _, l := range labels {
+		if l {
+			correct++
+		}
+	}
+	acc := float64(correct) / 1000
+	if acc < 0.4 || acc > 0.6 {
+		t.Fatalf("50%% error crowd accuracy = %v, want ≈0.5", acc)
+	}
+}
+
+func TestStrongMajorityPerfectStopsAtThree(t *testing.T) {
+	c := New(NewRandomWorkers(0, 0, 1), Config{})
+	labels, _ := c.LabelStrongMajority(questions(10, false))
+	for _, l := range labels {
+		if l {
+			t.Fatal("perfect crowd mislabeled")
+		}
+	}
+	// Unanimous after 3 answers → exactly 3 answers per question.
+	if got := c.Ledger().Answers; got != 30 {
+		t.Fatalf("answers = %d, want 30", got)
+	}
+}
+
+func TestStrongMajorityEscalates(t *testing.T) {
+	c := New(NewRandomWorkers(0.45, 0, 3), Config{})
+	qs := questions(500, true)
+	c.LabelStrongMajority(qs)
+	led := c.Ledger()
+	avg := float64(led.Answers) / float64(led.Questions)
+	if avg <= 3.05 {
+		t.Fatalf("noisy crowd should escalate beyond 3 answers on average, got %v", avg)
+	}
+	if avg > 7 {
+		t.Fatalf("average answers %v exceeds v_e = 7", avg)
+	}
+	// No question may exceed 7 answers: with 500 questions the max is
+	// bounded by the ledger only in aggregate, so spot-check the cap math.
+	if led.Answers > 7*led.Questions {
+		t.Fatalf("answers %d exceed cap %d", led.Answers, 7*led.Questions)
+	}
+}
+
+func TestInHousePlatform(t *testing.T) {
+	c := New(InHouse{Latency: time.Minute}, Config{})
+	labels, lat := c.LabelMajority(questions(20, true))
+	for _, l := range labels {
+		if !l {
+			t.Fatal("in-house expert mislabeled")
+		}
+	}
+	if got := c.Ledger().Answers; got != 20 {
+		t.Fatalf("in-house should use 1 answer per question, got %d", got)
+	}
+	if lat != time.Minute {
+		t.Fatalf("latency = %v", lat)
+	}
+}
+
+func TestInHouseDefaultLatency(t *testing.T) {
+	if (InHouse{}).HITLatency() != 20*time.Second {
+		t.Fatal("default in-house latency wrong")
+	}
+}
+
+func TestBatchLatencyWaves(t *testing.T) {
+	// 100 questions = 10 HITs; 4 parallel → 3 waves.
+	c := New(NewRandomWorkers(0, 0, 1), Config{})
+	_, lat := c.LabelMajority(questions(100, true))
+	if lat != 3*90*time.Second {
+		t.Fatalf("latency = %v, want 4.5m", lat)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	c := New(NewRandomWorkers(0, 0, 1), Config{})
+	labels, lat := c.LabelMajority(nil)
+	if len(labels) != 0 || lat != 0 {
+		t.Fatal("empty batch should be free")
+	}
+}
+
+func TestBatchSizeDefault(t *testing.T) {
+	c := New(NewRandomWorkers(0, 0, 1), Config{})
+	if c.BatchSize() != 20 {
+		t.Fatalf("BatchSize = %d, want 20", c.BatchSize())
+	}
+}
+
+func TestBudget(t *testing.T) {
+	c := New(NewRandomWorkers(0, 0, 1), Config{})
+	c.LabelMajority(questions(100, true)) // 300 answers = $6
+	if err := c.CheckBudget(10); err != nil {
+		t.Fatalf("under budget errored: %v", err)
+	}
+	err := c.CheckBudget(5)
+	if err == nil {
+		t.Fatal("over budget should error")
+	}
+	if _, ok := err.(ErrBudgetExceeded); !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	if err := c.CheckBudget(0); err != nil {
+		t.Fatal("0 budget means unlimited")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		c := New(NewRandomWorkers(0.3, 0, 99), Config{})
+		labels, _ := c.LabelMajority(questions(200, true))
+		return labels
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should reproduce answers")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(NewRandomWorkers(0, 0, 1), Config{QuestionsPerHIT: 5})
+	cfg := c.Config()
+	if cfg.QuestionsPerHIT != 5 {
+		t.Fatal("explicit value overridden")
+	}
+	if cfg.HITsPerBatch != 2 || cfg.CostPerAnswer != 0.02 || cfg.StrongMaxVotes != 7 || cfg.MaxParallelHITs != 4 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// Property: ledger monotonically accumulates; cost = answers × $0.02;
+// answers per question within [votes, StrongMaxVotes].
+func TestQuickLedgerInvariants(t *testing.T) {
+	f := func(seed int64, errPct uint8, n uint8) bool {
+		c := New(NewRandomWorkers(float64(errPct%50)/100, 0, seed), Config{})
+		qs := questions(int(n%50)+1, seed%2 == 0)
+		c.LabelStrongMajority(qs)
+		led := c.Ledger()
+		if led.Questions != len(qs) {
+			return false
+		}
+		if led.Answers < 3*led.Questions || led.Answers > 7*led.Questions {
+			return false
+		}
+		return math.Abs(c.TotalCost()-float64(led.Answers)*0.02) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: C_max grows monotonically in every parameter.
+func TestQuickCostCapMonotone(t *testing.T) {
+	base := DefaultCapParams()
+	baseCap := CostCap(base)
+	f := func(bump uint8) bool {
+		p := base
+		switch bump % 5 {
+		case 0:
+			p.NM++
+		case 1:
+			p.K++
+		case 2:
+			p.NE++
+		case 3:
+			p.VE++
+		case 4:
+			p.H++
+		}
+		return CostCap(p) > baseCap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedWorkersPool(t *testing.T) {
+	// 80% good workers (2% error), 20% sloppy (35% error): majority voting
+	// should still label accurately.
+	p := NewMixedWorkers(50, 0.8, 0.02, 0.35, 0, 9)
+	c := New(p, Config{})
+	labels, lat := c.LabelMajority(questions(1000, true))
+	correct := 0
+	for _, l := range labels {
+		if l {
+			correct++
+		}
+	}
+	acc := float64(correct) / 1000
+	if acc < 0.95 {
+		t.Fatalf("mixed-pool accuracy %v, want ≥0.95 after voting", acc)
+	}
+	if lat <= 0 {
+		t.Fatal("no latency")
+	}
+	if p.AnswersPerQuestion() != 3 {
+		t.Fatal("votes wrong")
+	}
+	if p.HITLatency() != 90*time.Second {
+		t.Fatal("default latency wrong")
+	}
+}
+
+func TestMixedWorkersAllSloppyDegrades(t *testing.T) {
+	p := NewMixedWorkers(10, 0, 0.02, 0.45, time.Minute, 11)
+	c := New(p, Config{})
+	labels, _ := c.LabelMajority(questions(1000, true))
+	correct := 0
+	for _, l := range labels {
+		if l {
+			correct++
+		}
+	}
+	acc := float64(correct) / 1000
+	// 45% per-answer error → majority-of-3 ≈ 57.7% accuracy.
+	if acc > 0.75 {
+		t.Fatalf("all-sloppy pool accuracy %v suspiciously high", acc)
+	}
+	if p.HITLatency() != time.Minute {
+		t.Fatal("latency override lost")
+	}
+}
+
+func TestMixedWorkersClampsPoolSize(t *testing.T) {
+	p := NewMixedWorkers(0, 1, 0, 0, 0, 1)
+	if !p.Answer(Question{Truth: true}) {
+		t.Fatal("single perfect worker mislabeled")
+	}
+}

@@ -1,0 +1,506 @@
+// Package datagen generates the three evaluation datasets of the paper's
+// Table 1 — Products, Songs, and Citations — as deterministic synthetic
+// tables with planted ground truth.
+//
+// The real datasets (Magellan data repository) are not redistributable
+// inside this build, so each generator reproduces the *characteristics*
+// that drive Falcon's behaviour: the published schemas, realistic attribute
+// characteristics (single-word/short/medium/long strings, numerics), dirty
+// values, format variation, and missing data — the properties that make
+// key-based blocking lose recall (§3.2) while learned rule-based blocking
+// keeps it. Sizes scale with a factor so the same code path covers both
+// laptop tests and paper-scale runs.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"falcon/internal/table"
+)
+
+// Dataset is a generated table pair with ground truth.
+type Dataset struct {
+	Name  string
+	A, B  *table.Table
+	Truth map[table.Pair]bool
+}
+
+// Matches returns the number of true matches.
+func (d *Dataset) Matches() int { return len(d.Truth) }
+
+// Oracle returns the ground-truth lookup used by the simulated crowd.
+func (d *Dataset) Oracle() func(table.Pair) bool {
+	return func(p table.Pair) bool { return d.Truth[p] }
+}
+
+// corruptor applies dataset-style dirt deterministically.
+type corruptor struct {
+	rng *rand.Rand
+}
+
+// typo mutates one character of a word-ish string.
+func (c *corruptor) typo(s string) string {
+	if len(s) < 3 {
+		return s
+	}
+	r := []rune(s)
+	i := 1 + c.rng.Intn(len(r)-2)
+	switch c.rng.Intn(3) {
+	case 0: // delete
+		return string(append(r[:i], r[i+1:]...))
+	case 1: // transpose
+		r[i-1], r[i] = r[i], r[i-1]
+		return string(r)
+	default: // replace
+		r[i] = rune('a' + c.rng.Intn(26))
+		return string(r)
+	}
+}
+
+// maybeTypo corrupts with probability p.
+func (c *corruptor) maybeTypo(s string, p float64) string {
+	if c.rng.Float64() < p {
+		return c.typo(s)
+	}
+	return s
+}
+
+// dropToken removes one token with probability p.
+func (c *corruptor) dropToken(s string, p float64) string {
+	if c.rng.Float64() >= p {
+		return s
+	}
+	toks := strings.Fields(s)
+	if len(toks) < 3 {
+		return s
+	}
+	i := c.rng.Intn(len(toks))
+	return strings.Join(append(toks[:i], toks[i+1:]...), " ")
+}
+
+// jitter perturbs a price-like number by up to frac.
+func (c *corruptor) jitter(v float64, frac float64) float64 {
+	return v * (1 + (c.rng.Float64()*2-1)*frac)
+}
+
+// missing blanks the value with probability p.
+func (c *corruptor) missing(s string, p float64) string {
+	if c.rng.Float64() < p {
+		return ""
+	}
+	return s
+}
+
+var (
+	brandWords = []string{"sony", "samsung", "panasonic", "canon", "nikon", "logitech", "philips", "toshiba", "dell", "asus", "acer", "lenovo", "garmin", "jbl", "bose"}
+	prodNouns  = []string{"camera", "laptop", "monitor", "keyboard", "mouse", "speaker", "headphones", "router", "printer", "tablet", "charger", "projector", "webcam", "microphone", "drive"}
+	prodAdjs   = []string{"wireless", "portable", "digital", "compact", "professional", "gaming", "ultra", "premium", "slim", "rugged"}
+	descWords  = makeVocab(240, []string{"high", "quality", "performance", "battery", "life", "design", "display", "resolution", "warranty", "includes", "features", "advanced", "technology", "lightweight", "durable", "connectivity", "storage", "memory", "processor", "speed", "color", "black", "silver", "edition", "model", "series", "supports", "compatible", "system", "power"})
+	groupNames = []string{"electronics", "computers", "photography", "audio", "accessories", "networking", "office"}
+)
+
+// makeVocab builds a deterministic pseudo-word vocabulary of size n by
+// combining syllables — realistic datasets have thousands of distinct
+// tokens, and blocking-rule quality (and inverted-index posting lengths)
+// depend on that diversity.
+func makeVocab(n int, seedWords []string) []string {
+	onsets := []string{"bel", "cor", "dan", "fel", "gar", "hol", "jin", "kel", "lor", "mar",
+		"nor", "pal", "quin", "ros", "sal", "tam", "vel", "wes", "yar", "zan"}
+	rimes := []string{"da", "den", "dor", "ia", "in", "is", "lan", "lo", "mont", "na",
+		"net", "on", "ra", "rell", "ri", "son", "ta", "ton", "va", "wick"}
+	out := append([]string(nil), seedWords...)
+	for _, o := range onsets {
+		for _, r := range rimes {
+			if len(out) >= n {
+				return out
+			}
+			out = append(out, o+r)
+		}
+	}
+	return out
+}
+
+// zipfPick draws a vocabulary index with a Zipf-like skew: low ranks are
+// common (shared stopword-ish tokens), the tail is rare (discriminative).
+func zipfPick(rng *rand.Rand, n int) int {
+	// Inverse-CDF of p(r) ∝ 1/(r+3) truncated at n.
+	u := rng.Float64()
+	// Harmonic-ish normalization via a crude but deterministic loop.
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / float64(r+3)
+	}
+	acc := 0.0
+	for r := 0; r < n; r++ {
+		acc += 1 / float64(r+3) / total
+		if u <= acc {
+			return r
+		}
+	}
+	return n - 1
+}
+
+func zipfSentence(rng *rand.Rand, vocab []string, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(vocab[zipfPick(rng, len(vocab))])
+	}
+	return sb.String()
+}
+
+func sentence(rng *rand.Rand, words []string, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(words[rng.Intn(len(words))])
+	}
+	return sb.String()
+}
+
+// product is the clean source record products are rendered from.
+type product struct {
+	brand, modelno, group, title, descr string
+	price, weight                       float64
+}
+
+func genProduct(rng *rand.Rand) product {
+	brand := brandWords[rng.Intn(len(brandWords))]
+	model := fmt.Sprintf("%s%d%c", strings.ToUpper(brand[:2]), 100+rng.Intn(9900), 'a'+rune(rng.Intn(26)))
+	adj := prodAdjs[rng.Intn(len(prodAdjs))]
+	noun := prodNouns[rng.Intn(len(prodNouns))]
+	title := fmt.Sprintf("%s %s %s %s", brand, adj, noun, model)
+	return product{
+		brand:   brand,
+		modelno: model,
+		group:   groupNames[rng.Intn(len(groupNames))],
+		title:   title,
+		descr:   sentence(rng, descWords, 12+rng.Intn(12)),
+		price:   20 + rng.Float64()*800,
+		weight:  0.2 + rng.Float64()*10,
+	}
+}
+
+// Products generates the electronics-products dataset (paper: 2,554 ×
+// 22,074 tuples, 1,154 matches). scale=1 reproduces those sizes.
+func Products(scale float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cor := &corruptor{rng: rng}
+	nA := int(2554 * scale)
+	nB := int(22074 * scale)
+	nMatch := int(1154 * scale)
+	if nA < 10 {
+		nA = 10
+	}
+	if nB < 20 {
+		nB = 20
+	}
+	if nMatch > nA {
+		nMatch = nA
+	}
+
+	a := table.New("products-A", table.NewSchema("url", "brand", "modelno", "groupname", "title", "price", "descr", "image_url", "shipweight"))
+	b := table.New("products-B", table.NewSchema("url", "brand", "modelno", "cat1", "cat2", "pcategory", "title", "price", "features", "image_url", "shipweight"))
+	truth := map[table.Pair]bool{}
+
+	prods := make([]product, nA)
+	for i := range prods {
+		prods[i] = genProduct(rng)
+		p := prods[i]
+		a.Append(
+			fmt.Sprintf("http://site-a.example/%d", i),
+			p.brand, p.modelno, p.group, p.title,
+			fmt.Sprintf("%.2f", p.price), p.descr,
+			fmt.Sprintf("http://img-a.example/%d.jpg", i),
+			fmt.Sprintf("%.1f", p.weight),
+		)
+	}
+	// B: nMatch dirty copies of A products + unrelated products.
+	bRow := 0
+	appendB := func(p product, url int) {
+		b.Append(
+			fmt.Sprintf("http://site-b.example/%d", url),
+			p.brand, p.modelno,
+			p.group, groupNames[rng.Intn(len(groupNames))], p.group,
+			p.title, fmt.Sprintf("%.2f", p.price), p.descr,
+			fmt.Sprintf("http://img-b.example/%d.jpg", url),
+			fmt.Sprintf("%.1f", p.weight),
+		)
+		bRow++
+	}
+	perm := rng.Perm(nA)
+	for i := 0; i < nMatch; i++ {
+		src := prods[perm[i]]
+		dirty := src
+		dirty.title = cor.dropToken(cor.maybeTypo(src.title, 0.35), 0.15)
+		dirty.brand = cor.maybeTypo(src.brand, 0.15)
+		dirty.modelno = cor.missing(cor.maybeTypo(src.modelno, 0.15), 0.08)
+		dirty.price = cor.jitter(src.price, 0.05)
+		dirty.descr = cor.dropToken(src.descr, 0.5)
+		truth[table.Pair{A: perm[i], B: bRow}] = true
+		appendB(dirty, bRow)
+	}
+	for bRow < nB {
+		appendB(genProduct(rng), bRow)
+	}
+	a.InferTypes()
+	b.InferTypes()
+	return &Dataset{Name: "Products", A: a, B: b, Truth: truth}
+}
+
+var (
+	songWords   = makeVocab(320, []string{"love", "night", "heart", "dance", "fire", "dream", "blue", "road", "home", "light", "rain", "river", "summer", "ghost", "city", "golden", "wild", "broken", "sweet", "midnight"})
+	artistFirst = []string{"the", "los", "dj", "mc", "little", "big"}
+	artistNames = makeVocab(160, []string{"vikings", "ramblers", "echoes", "strangers", "foxes", "pilots", "sparrows", "wolves", "drifters", "shadows"})
+	albumWords  = []string{"greatest", "hits", "live", "sessions", "collection", "volume", "one", "two", "gold", "anthology", "best", "of"}
+)
+
+type song struct {
+	title, release, artist string
+	duration               float64
+	familiarity, hotness   float64
+	year                   int
+}
+
+func genSong(rng *rand.Rand) song {
+	return song{
+		title:       strings.Title(zipfSentence(rng, songWords, 2+rng.Intn(3))),
+		release:     strings.Title(sentence(rng, albumWords, 2+rng.Intn(3))),
+		artist:      strings.Title(artistFirst[rng.Intn(len(artistFirst))] + " " + artistNames[rng.Intn(len(artistNames))] + fmt.Sprint(rng.Intn(1000))),
+		duration:    120 + rng.Float64()*240,
+		familiarity: rng.Float64(),
+		hotness:     rng.Float64(),
+		year:        1950 + rng.Intn(60),
+	}
+}
+
+func appendSong(t *table.Table, s song, missingYear bool) {
+	year := fmt.Sprint(s.year)
+	if missingYear {
+		year = ""
+	}
+	t.Append(s.title, s.release, s.artist,
+		fmt.Sprintf("%.2f", s.duration),
+		fmt.Sprintf("%.4f", s.familiarity),
+		fmt.Sprintf("%.4f", s.hotness),
+		year)
+}
+
+// Songs generates the Million-Song-style dataset (paper: 1M × 1M,
+// 1.29M matches). n is the per-table tuple count.
+func Songs(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cor := &corruptor{rng: rng}
+	if n < 20 {
+		n = 20
+	}
+	schema := func() *table.Schema {
+		return table.NewSchema("title", "release", "artist_name", "duration", "artist_familiarity", "artist_hotness", "year")
+	}
+	a := table.New("songs-A", schema())
+	b := table.New("songs-B", schema())
+	truth := map[table.Pair]bool{}
+
+	// ~55% of B rows are re-releases of A songs (matches, sometimes
+	// multiple per source), the rest are distinct songs.
+	base := make([]song, n)
+	for i := range base {
+		base[i] = genSong(rng)
+		appendSong(a, base[i], rng.Float64() < 0.1)
+	}
+	bRow := 0
+	for bRow < n {
+		if rng.Float64() < 0.55 {
+			src := rng.Intn(n)
+			dup := base[src]
+			// Same song on a different album with formatting variation.
+			dup.release = strings.Title(sentence(rng, albumWords, 2+rng.Intn(3)))
+			dup.title = cor.maybeTypo(dup.title, 0.25)
+			dup.artist = cor.maybeTypo(strings.ReplaceAll(dup.artist, " ", "-"), 0.2)
+			dup.duration = cor.jitter(dup.duration, 0.01)
+			truth[table.Pair{A: src, B: bRow}] = true
+			appendSong(b, dup, rng.Float64() < 0.2)
+		} else {
+			appendSong(b, genSong(rng), rng.Float64() < 0.1)
+		}
+		bRow++
+	}
+	a.InferTypes()
+	b.InferTypes()
+	return &Dataset{Name: "Songs", A: a, B: b, Truth: truth}
+}
+
+var (
+	csWords  = makeVocab(260, []string{"query", "optimization", "distributed", "systems", "learning", "entity", "matching", "parallel", "database", "graph", "streaming", "index", "join", "crowdsourcing", "scalable", "adaptive", "efficient", "approximate", "transactional", "storage"})
+	journals = []string{"vldb journal", "acm transactions on database systems", "sigmod record", "ieee transactions on knowledge and data engineering", "information systems", "journal of machine learning research"}
+	months   = []string{"january", "february", "march", "april", "may", "june", "july", "august", "september", "october", "november", "december"}
+	surnames = []string{"smith", "chen", "garcia", "kumar", "mueller", "tanaka", "johnson", "lee", "patel", "rossi", "kim", "novak"}
+	initials = "abcdefghijklmnoprstw"
+)
+
+type citation struct {
+	title, authors, journal, pubType string
+	month, year                      int
+	authorList                       []string
+}
+
+func genCitation(rng *rand.Rand) citation {
+	var authors []string
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		authors = append(authors, fmt.Sprintf("%c. %s", initials[rng.Intn(len(initials))], surnames[rng.Intn(len(surnames))]))
+	}
+	return citation{
+		title:      strings.Title(zipfSentence(rng, csWords, 4+rng.Intn(5))),
+		authorList: authors,
+		authors:    strings.Join(authors, ", "),
+		journal:    journals[rng.Intn(len(journals))],
+		pubType:    []string{"article", "inproceedings"}[rng.Intn(2)],
+		month:      rng.Intn(12),
+		year:       1990 + rng.Intn(30),
+	}
+}
+
+// abbreviateJournal produces the Citeseer-style abbreviation.
+func abbreviateJournal(j string) string {
+	toks := strings.Fields(j)
+	var sb strings.Builder
+	for _, t := range toks {
+		if t == "on" || t == "of" || t == "the" {
+			continue
+		}
+		sb.WriteByte(t[0])
+	}
+	return strings.ToUpper(sb.String())
+}
+
+func appendCitation(t *table.Table, c citation, withMonth bool) {
+	month := ""
+	if withMonth {
+		month = months[c.month]
+	}
+	t.Append(c.title, c.authors, c.journal, month, fmt.Sprint(c.year), c.pubType)
+}
+
+// Citations generates the Citeseer×DBLP-style dataset (paper: 1.82M ×
+// 2.51M, 559K matches). nA and nB are the table sizes.
+func Citations(nA, nB int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cor := &corruptor{rng: rng}
+	if nA < 10 {
+		nA = 10
+	}
+	if nB < 10 {
+		nB = 10
+	}
+	schema := func() *table.Schema {
+		return table.NewSchema("title", "authors", "journal", "month", "year", "pub_type")
+	}
+	a := table.New("citations-A", schema())
+	b := table.New("citations-B", schema())
+	truth := map[table.Pair]bool{}
+
+	base := make([]citation, nA)
+	for i := range base {
+		base[i] = genCitation(rng)
+		appendCitation(a, base[i], rng.Float64() < 0.7)
+	}
+	// ~30% of B are the same papers as in A (Citeseer-style noisy copies).
+	nMatch := int(float64(nB) * 0.3)
+	if nMatch > nA {
+		nMatch = nA
+	}
+	perm := rng.Perm(nA)
+	bRow := 0
+	for i := 0; i < nMatch; i++ {
+		src := base[perm[i]]
+		dirty := src
+		dirty.title = cor.maybeTypo(src.title, 0.4)
+		if rng.Float64() < 0.5 {
+			dirty.journal = abbreviateJournal(src.journal)
+		}
+		switch {
+		case rng.Float64() < 0.35:
+			// Citeseer-style author reformatting: strip periods, swap to
+			// "surname initial" order.
+			var parts []string
+			for _, a := range src.authorList {
+				fs := strings.Fields(strings.ReplaceAll(a, ".", ""))
+				if len(fs) == 2 {
+					parts = append(parts, fs[1]+" "+fs[0])
+				} else {
+					parts = append(parts, a)
+				}
+			}
+			dirty.authors = strings.Join(parts, " and ")
+		case rng.Float64() < 0.3:
+			dirty.authors = cor.maybeTypo(src.authors, 0.8)
+		}
+		truth[table.Pair{A: perm[i], B: bRow}] = true
+		appendCitation(b, dirty, rng.Float64() < 0.3)
+		bRow++
+	}
+	for bRow < nB {
+		appendCitation(b, genCitation(rng), rng.Float64() < 0.5)
+		bRow++
+	}
+	a.InferTypes()
+	b.InferTypes()
+	return &Dataset{Name: "Citations", A: a, B: b, Truth: truth}
+}
+
+// Drugs generates the §11.1 drug-matching workload: two ~equal tables of
+// drug descriptions with heavy abbreviation noise, matched by an in-house
+// crowd of one. n is the per-table size (paper: 453K × 451K).
+func Drugs(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cor := &corruptor{rng: rng}
+	if n < 10 {
+		n = 10
+	}
+	forms := []string{"tablet", "capsule", "syrup", "injection", "cream"}
+	drugs := []string{"metformin", "lisinopril", "atorvastatin", "omeprazole", "amlodipine", "gabapentin", "sertraline", "ibuprofen", "amoxicillin", "azithromycin", "prednisone", "tramadol"}
+	schema := func() *table.Schema { return table.NewSchema("name", "form", "strength_mg", "manufacturer") }
+	a := table.New("drugs-A", schema())
+	b := table.New("drugs-B", schema())
+	truth := map[table.Pair]bool{}
+	type drug struct {
+		name, form, mfr string
+		mg              int
+	}
+	mk := func() drug {
+		return drug{
+			name: drugs[rng.Intn(len(drugs))] + " " + forms[rng.Intn(len(forms))],
+			form: forms[rng.Intn(len(forms))],
+			mg:   []int{5, 10, 20, 25, 50, 100, 200, 250, 500, 850}[rng.Intn(10)],
+			mfr:  brandWords[rng.Intn(len(brandWords))] + " pharma",
+		}
+	}
+	base := make([]drug, n)
+	for i := range base {
+		base[i] = mk()
+		d := base[i]
+		a.Append(d.name, d.form, fmt.Sprint(d.mg), d.mfr)
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			src := rng.Intn(n)
+			d := base[src]
+			d.name = cor.maybeTypo(d.name, 0.3)
+			d.mfr = cor.missing(d.mfr, 0.2)
+			truth[table.Pair{A: src, B: i}] = true
+			b.Append(d.name, d.form, fmt.Sprint(d.mg), d.mfr)
+		} else {
+			d := mk()
+			b.Append(d.name, d.form, fmt.Sprint(d.mg), d.mfr)
+		}
+	}
+	a.InferTypes()
+	b.InferTypes()
+	return &Dataset{Name: "Drugs", A: a, B: b, Truth: truth}
+}

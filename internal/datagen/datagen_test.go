@@ -1,0 +1,181 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+func TestProductsShape(t *testing.T) {
+	d := Products(0.1, 1)
+	if d.A.Len() != 255 || d.B.Len() != 2207 {
+		t.Fatalf("sizes = %d×%d", d.A.Len(), d.B.Len())
+	}
+	if d.Matches() != 115 {
+		t.Fatalf("matches = %d", d.Matches())
+	}
+	// Schemas per Figure 7.
+	if d.A.Schema.Len() != 9 || d.B.Schema.Len() != 11 {
+		t.Fatalf("schema sizes = %d/%d", d.A.Schema.Len(), d.B.Schema.Len())
+	}
+	// price must infer numeric, title string.
+	if d.A.Schema.Attrs[d.A.Schema.Col("price")].Type != table.Numeric {
+		t.Fatal("price not numeric")
+	}
+	if d.A.Schema.Attrs[d.A.Schema.Col("title")].Type != table.String {
+		t.Fatal("title not string")
+	}
+}
+
+func TestProductsTruthValid(t *testing.T) {
+	d := Products(0.05, 2)
+	aTitle := d.A.Schema.Col("title")
+	bTitle := d.B.Schema.Col("title")
+	shared, total := 0, 0
+	for p := range d.Truth {
+		if p.A < 0 || p.A >= d.A.Len() || p.B < 0 || p.B >= d.B.Len() {
+			t.Fatalf("truth pair %v out of range", p)
+		}
+		at := tokenize.WordSet(d.A.Value(p.A, aTitle))
+		bt := tokenize.WordSet(d.B.Value(p.B, bTitle))
+		inter := 0
+		bm := map[string]bool{}
+		for _, w := range bt {
+			bm[w] = true
+		}
+		for _, w := range at {
+			if bm[w] {
+				inter++
+			}
+		}
+		if inter > 0 {
+			shared++
+		}
+		total++
+	}
+	// Matches are dirty copies: most still share title tokens.
+	if float64(shared)/float64(total) < 0.8 {
+		t.Fatalf("only %d/%d matches share title tokens", shared, total)
+	}
+}
+
+func TestProductsDeterministic(t *testing.T) {
+	d1 := Products(0.02, 7)
+	d2 := Products(0.02, 7)
+	if d1.A.Len() != d2.A.Len() || d1.Matches() != d2.Matches() {
+		t.Fatal("not deterministic")
+	}
+	for i := 0; i < d1.A.Len(); i++ {
+		if d1.A.Value(i, 4) != d2.A.Value(i, 4) {
+			t.Fatal("titles differ across same-seed runs")
+		}
+	}
+}
+
+func TestSongsShape(t *testing.T) {
+	d := Songs(500, 3)
+	if d.A.Len() != 500 || d.B.Len() != 500 {
+		t.Fatalf("sizes = %d×%d", d.A.Len(), d.B.Len())
+	}
+	// ~55% duplicates.
+	if d.Matches() < 200 || d.Matches() > 350 {
+		t.Fatalf("matches = %d, want ≈275", d.Matches())
+	}
+	if d.A.Schema.Len() != 7 {
+		t.Fatalf("songs schema = %d cols", d.A.Schema.Len())
+	}
+	if d.A.Schema.Attrs[d.A.Schema.Col("duration")].Type != table.Numeric {
+		t.Fatal("duration not numeric")
+	}
+}
+
+func TestSongsDirtyKeys(t *testing.T) {
+	// Key-based blocking on exact title must lose a meaningful share of
+	// matches (the §3.2 motivation).
+	d := Songs(1000, 4)
+	tCol := d.A.Schema.Col("title")
+	exact := 0
+	for p := range d.Truth {
+		if strings.EqualFold(d.A.Value(p.A, tCol), d.B.Value(p.B, tCol)) {
+			exact++
+		}
+	}
+	frac := float64(exact) / float64(d.Matches())
+	if frac > 0.95 {
+		t.Fatalf("%.0f%% of matches share exact titles; KBB would not lose recall", frac*100)
+	}
+	if frac < 0.4 {
+		t.Fatalf("only %.0f%% share exact titles; data too dirty to learn from", frac*100)
+	}
+}
+
+func TestCitationsShape(t *testing.T) {
+	d := Citations(800, 1100, 5)
+	if d.A.Len() != 800 || d.B.Len() != 1100 {
+		t.Fatalf("sizes = %d×%d", d.A.Len(), d.B.Len())
+	}
+	want := int(1100 * 0.3)
+	if d.Matches() != want {
+		t.Fatalf("matches = %d, want %d", d.Matches(), want)
+	}
+	if d.A.Schema.Col("pub_type") == -1 {
+		t.Fatal("schema missing pub_type")
+	}
+}
+
+func TestCitationsJournalAbbreviation(t *testing.T) {
+	if got := abbreviateJournal("acm transactions on database systems"); got != "ATDS" {
+		t.Fatalf("abbreviation = %q", got)
+	}
+	// Some matched B rows should carry abbreviated journals.
+	d := Citations(300, 400, 6)
+	jCol := d.B.Schema.Col("journal")
+	abbrev := 0
+	for p := range d.Truth {
+		v := d.B.Value(p.B, jCol)
+		if v == strings.ToUpper(v) && len(v) <= 8 {
+			abbrev++
+		}
+	}
+	if abbrev == 0 {
+		t.Fatal("no abbreviated journals among matches")
+	}
+}
+
+func TestDrugsShape(t *testing.T) {
+	d := Drugs(400, 7)
+	if d.A.Len() != 400 || d.B.Len() != 400 {
+		t.Fatalf("sizes = %d×%d", d.A.Len(), d.B.Len())
+	}
+	if d.Matches() < 120 || d.Matches() > 280 {
+		t.Fatalf("matches = %d, want ≈200", d.Matches())
+	}
+}
+
+func TestOracle(t *testing.T) {
+	d := Songs(100, 8)
+	oracle := d.Oracle()
+	hits := 0
+	for p := range d.Truth {
+		if !oracle(p) {
+			t.Fatalf("oracle denies true match %v", p)
+		}
+		hits++
+	}
+	if hits == 0 {
+		t.Fatal("no matches to check")
+	}
+	if oracle(table.Pair{A: -1, B: -1}) {
+		t.Fatal("oracle accepts bogus pair")
+	}
+}
+
+func TestMinimumSizesClamped(t *testing.T) {
+	for _, d := range []*Dataset{Products(0, 9), Songs(1, 9), Citations(1, 1, 9), Drugs(1, 9)} {
+		if d.A.Len() == 0 || d.B.Len() == 0 {
+			t.Fatalf("%s generated empty tables", d.Name)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package estimate implements Corleone's remaining two modules as Falcon
+// extensions (paper §12 names the Accuracy Estimator as the next operator
+// to add; Figure 1 shows both in the full EM workflow):
+//
+//   - the Accuracy Estimator: crowd-based estimation of the matcher's
+//     precision and recall over the candidate set, with confidence
+//     intervals, using stratified sampling of the predicted negatives so
+//     the (rare) false negatives near the decision boundary are found
+//     without labeling everything;
+//   - the Difficult Pairs' Locator: the pairs the current matcher is most
+//     likely wrong about — the lowest-confidence predictions — which the
+//     iterative workflow feeds back into training.
+package estimate
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"falcon/internal/crowd"
+	"falcon/internal/table"
+)
+
+// Prediction is one matcher decision over a candidate pair.
+type Prediction struct {
+	Pair  table.Pair
+	Match bool
+	// Confidence is the forest's match-vote fraction in [0,1].
+	Confidence float64
+}
+
+// Config controls crowd-based accuracy estimation.
+type Config struct {
+	// BatchSize pairs are labeled per crowd iteration (default 20).
+	BatchSize int
+	// MaxIterations caps crowd iterations per estimated quantity
+	// (default 5, as eval_rules caps per-rule iterations).
+	MaxIterations int
+	// EpsTarget stops early once both error margins are below it
+	// (default 0.05 at Z = 1.96, the §3.4 setting).
+	EpsTarget float64
+	Z         float64
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 20
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 5
+	}
+	if c.EpsTarget <= 0 {
+		c.EpsTarget = 0.05
+	}
+	if c.Z <= 0 {
+		c.Z = 1.96
+	}
+	return c
+}
+
+// Accuracy is the estimator's output.
+type Accuracy struct {
+	Precision    float64
+	PrecisionErr float64 // half-width of the CI
+	Recall       float64
+	RecallErr    float64
+	F1           float64
+	// Labeled counts pairs sent to the crowd.
+	Labeled int
+	// CrowdLatency is the summed labeling latency for timeline scheduling.
+	CrowdLatency time.Duration
+}
+
+// strata are the confidence bands of predicted negatives, nearest the
+// boundary first — false negatives concentrate there, so stratified
+// sampling spends labels where they are informative.
+var strata = [][2]float64{{0.3, 0.5}, {0.1, 0.3}, {0, 0.1}}
+
+// MatcherAccuracy estimates precision and recall of the predictions using
+// the crowd. The oracle supplies ground truth behind the simulated crowd.
+func MatcherAccuracy(cr *crowd.Crowd, oracle func(table.Pair) bool, preds []Prediction, cfg Config) Accuracy {
+	cfg = cfg.withDefaults()
+	var acc Accuracy
+
+	var positives, negatives []Prediction
+	for _, p := range preds {
+		if p.Match {
+			positives = append(positives, p)
+		} else {
+			negatives = append(negatives, p)
+		}
+	}
+
+	// ---- Precision: simple random sampling from predicted positives ----
+	posLabels, lat := sampleAndLabel(cr, oracle, positives, cfg, cfg.Seed)
+	acc.CrowdLatency += lat
+	acc.Labeled += len(posLabels)
+	tp := 0
+	for _, l := range posLabels {
+		if l {
+			tp++
+		}
+	}
+	if len(posLabels) > 0 {
+		acc.Precision = float64(tp) / float64(len(posLabels))
+		acc.PrecisionErr = margin(acc.Precision, len(posLabels), len(positives), cfg.Z)
+	} else {
+		acc.Precision = 1 // vacuous: nothing predicted positive
+	}
+
+	// ---- Recall: stratified sampling of predicted negatives ----
+	// FN estimate per stratum, weighted by stratum size.
+	estTP := acc.Precision * float64(len(positives))
+	var estFN, fnVar float64
+	for si, band := range strata {
+		var stratum []Prediction
+		for _, p := range negatives {
+			if p.Confidence >= band[0] && p.Confidence < band[1] {
+				stratum = append(stratum, p)
+			}
+		}
+		if len(stratum) == 0 {
+			continue
+		}
+		labels, lat := sampleAndLabel(cr, oracle, stratum, cfg, cfg.Seed+int64(si+1)*977)
+		acc.CrowdLatency += lat
+		acc.Labeled += len(labels)
+		if len(labels) == 0 {
+			continue
+		}
+		fn := 0
+		for _, l := range labels {
+			if l {
+				fn++
+			}
+		}
+		rate := float64(fn) / float64(len(labels))
+		w := float64(len(stratum))
+		estFN += rate * w
+		// Stratum variance contribution (finite population ignored: the
+		// strata are big relative to samples).
+		fnVar += w * w * rate * (1 - rate) / float64(len(labels))
+	}
+	den := estTP + estFN
+	if den > 0 {
+		acc.Recall = estTP / den
+		// Propagate the FN uncertainty through recall = TP/(TP+FN).
+		dFN := cfg.Z * math.Sqrt(fnVar)
+		if low := estTP / (estTP + estFN + dFN); low > 0 {
+			acc.RecallErr = acc.Recall - low
+		}
+	} else {
+		acc.Recall = 1 // nothing matched and no FN found
+	}
+
+	if acc.Precision+acc.Recall > 0 {
+		acc.F1 = 2 * acc.Precision * acc.Recall / (acc.Precision + acc.Recall)
+	}
+	return acc
+}
+
+// sampleAndLabel draws up to BatchSize×MaxIterations pairs from pool
+// (deterministically shuffled) and has the crowd label them, stopping early
+// once the estimate's margin is under EpsTarget.
+func sampleAndLabel(cr *crowd.Crowd, oracle func(table.Pair) bool, pool []Prediction, cfg Config, seed int64) ([]bool, time.Duration) {
+	if len(pool) == 0 {
+		return nil, 0
+	}
+	order := shuffledIndexes(len(pool), seed)
+	var labels []bool
+	var total time.Duration
+	yes := 0
+	for iter := 0; iter < cfg.MaxIterations && len(labels) < len(pool); iter++ {
+		var qs []crowd.Question
+		for _, pi := range order[len(labels):] {
+			qs = append(qs, crowd.Question{Pair: pool[pi].Pair, Truth: oracle(pool[pi].Pair)})
+			if len(qs) == cfg.BatchSize {
+				break
+			}
+		}
+		got, lat := cr.LabelMajority(qs)
+		total += lat
+		for _, l := range got {
+			labels = append(labels, l)
+			if l {
+				yes++
+			}
+		}
+		p := float64(yes) / float64(len(labels))
+		if margin(p, len(labels), len(pool), cfg.Z) <= cfg.EpsTarget {
+			break
+		}
+	}
+	return labels, total
+}
+
+// margin is the §3.4 error margin with finite-population correction.
+func margin(p float64, n, m int, z float64) float64 {
+	if n == 0 {
+		return math.Inf(1)
+	}
+	fpc := 1.0
+	if m > 1 {
+		fpc = float64(m-n) / float64(m-1)
+		if fpc < 0 {
+			fpc = 0
+		}
+	}
+	return z * math.Sqrt(p*(1-p)/float64(n)*fpc)
+}
+
+// shuffledIndexes is a deterministic Fisher–Yates permutation.
+func shuffledIndexes(n int, seed int64) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	s := uint64(seed)*2654435761 + 1
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx
+}
+
+// DifficultPairs returns the k predictions the matcher is least sure about
+// (confidence closest to 0.5), most uncertain first — the Difficult Pairs'
+// Locator of Figure 1.
+func DifficultPairs(preds []Prediction, k int) []Prediction {
+	out := append([]Prediction(nil), preds...)
+	sort.Slice(out, func(i, j int) bool {
+		di := math.Abs(out[i].Confidence - 0.5)
+		dj := math.Abs(out[j].Confidence - 0.5)
+		if di != dj {
+			return di < dj
+		}
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}

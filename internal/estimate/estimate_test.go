@@ -1,0 +1,207 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/crowd"
+	"falcon/internal/table"
+)
+
+// world builds predictions with known true precision/recall: nPos predicted
+// positives of which tpFrac are true, and nNeg predicted negatives hiding
+// fnCount false negatives near the boundary.
+func world(nPos int, tpFrac float64, nNeg, fnCount int, seed int64) ([]Prediction, func(table.Pair) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := map[table.Pair]bool{}
+	var preds []Prediction
+	id := 0
+	for i := 0; i < nPos; i++ {
+		p := table.Pair{A: id, B: id}
+		id++
+		truth[p] = rng.Float64() < tpFrac
+		preds = append(preds, Prediction{Pair: p, Match: true, Confidence: 0.7 + rng.Float64()*0.3})
+	}
+	for i := 0; i < nNeg; i++ {
+		p := table.Pair{A: id, B: id}
+		id++
+		isFN := i < fnCount
+		truth[p] = isFN
+		conf := rng.Float64() * 0.1 // far from boundary
+		if isFN {
+			conf = 0.3 + rng.Float64()*0.19 // FNs hide near the boundary
+		}
+		preds = append(preds, Prediction{Pair: p, Match: false, Confidence: conf})
+	}
+	return preds, func(p table.Pair) bool { return truth[p] }
+}
+
+func newCrowd() *crowd.Crowd {
+	return crowd.New(crowd.NewRandomWorkers(0, 0, 3), crowd.Config{})
+}
+
+func TestPrecisionEstimate(t *testing.T) {
+	preds, oracle := world(400, 0.9, 400, 0, 1)
+	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 2, MaxIterations: 10})
+	if math.Abs(acc.Precision-0.9) > 0.08 {
+		t.Fatalf("precision estimate %.3f, truth 0.9", acc.Precision)
+	}
+	if acc.PrecisionErr <= 0 || acc.PrecisionErr > 0.2 {
+		t.Fatalf("precision margin %.3f", acc.PrecisionErr)
+	}
+	if acc.Labeled == 0 || acc.CrowdLatency == 0 {
+		t.Fatal("no crowd activity recorded")
+	}
+}
+
+func TestRecallFindsBoundaryFNs(t *testing.T) {
+	// 200 TP (perfect precision), 50 FN near the boundary among 1000
+	// negatives → true recall = 200/250 = 0.8.
+	preds, oracle := world(200, 1.0, 1000, 50, 4)
+	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 5, MaxIterations: 20})
+	if math.Abs(acc.Recall-0.8) > 0.12 {
+		t.Fatalf("recall estimate %.3f, truth 0.8", acc.Recall)
+	}
+	if acc.F1 <= 0 || acc.F1 > 1 {
+		t.Fatalf("F1 = %v", acc.F1)
+	}
+}
+
+func TestPerfectMatcher(t *testing.T) {
+	preds, oracle := world(300, 1.0, 300, 0, 6)
+	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 7})
+	if acc.Precision < 0.99 || acc.Recall < 0.99 {
+		t.Fatalf("perfect matcher scored %v/%v", acc.Precision, acc.Recall)
+	}
+	if acc.F1 < 0.99 {
+		t.Fatalf("F1 = %v", acc.F1)
+	}
+}
+
+func TestNoPositives(t *testing.T) {
+	preds, oracle := world(0, 0, 100, 0, 8)
+	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 9})
+	if acc.Precision != 1 || acc.Recall != 1 {
+		t.Fatalf("vacuous case: %v/%v", acc.Precision, acc.Recall)
+	}
+}
+
+func TestEmptyPredictions(t *testing.T) {
+	acc := MatcherAccuracy(newCrowd(), func(table.Pair) bool { return false }, nil, Config{})
+	if acc.Labeled != 0 {
+		t.Fatal("no predictions should ask no questions")
+	}
+}
+
+func TestLabelBudgetBounded(t *testing.T) {
+	preds, oracle := world(5000, 0.95, 5000, 100, 10)
+	cfg := Config{Seed: 11, BatchSize: 20, MaxIterations: 3}
+	cr := newCrowd()
+	MatcherAccuracy(cr, oracle, preds, cfg)
+	// Precision pass + 3 strata, each ≤ 3 iterations × 20 questions.
+	if got := cr.Ledger().Questions; got > 4*3*20 {
+		t.Fatalf("labeled %d pairs, budget is %d", got, 4*3*20)
+	}
+}
+
+func TestEarlyStopOnTightMargin(t *testing.T) {
+	// A huge, perfectly pure positive pool: margin shrinks fast, so the
+	// estimator should stop well before MaxIterations×BatchSize.
+	preds, oracle := world(100000, 1.0, 0, 0, 12)
+	cfg := Config{Seed: 13, BatchSize: 100, MaxIterations: 50}
+	cr := newCrowd()
+	MatcherAccuracy(cr, oracle, preds, cfg)
+	if got := cr.Ledger().Questions; got > 500 {
+		t.Fatalf("early stop failed: %d questions", got)
+	}
+}
+
+func TestMargin(t *testing.T) {
+	if !math.IsInf(margin(0.5, 0, 10, 1.96), 1) {
+		t.Fatal("zero-sample margin should be infinite")
+	}
+	// Full census → zero margin.
+	if m := margin(0.5, 10, 10, 1.96); m != 0 {
+		t.Fatalf("census margin = %v", m)
+	}
+	// More samples → smaller margin.
+	if margin(0.5, 100, 10000, 1.96) >= margin(0.5, 10, 10000, 1.96) {
+		t.Fatal("margin not shrinking with n")
+	}
+}
+
+func TestDifficultPairs(t *testing.T) {
+	preds := []Prediction{
+		{Pair: table.Pair{A: 0, B: 0}, Confidence: 0.9},
+		{Pair: table.Pair{A: 1, B: 1}, Confidence: 0.52},
+		{Pair: table.Pair{A: 2, B: 2}, Confidence: 0.1},
+		{Pair: table.Pair{A: 3, B: 3}, Confidence: 0.48},
+	}
+	got := DifficultPairs(preds, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	if got[0].Pair.A != 3 && got[0].Pair.A != 1 {
+		t.Fatalf("most difficult = %v", got[0])
+	}
+	// Both boundary pairs, no confident ones.
+	for _, p := range got {
+		if p.Confidence < 0.4 || p.Confidence > 0.6 {
+			t.Fatalf("non-boundary pair selected: %v", p)
+		}
+	}
+	if len(DifficultPairs(preds, 99)) != 4 {
+		t.Fatal("k clamp failed")
+	}
+}
+
+func TestShuffledIndexesDeterministicPermutation(t *testing.T) {
+	a := shuffledIndexes(100, 42)
+	b := shuffledIndexes(100, 42)
+	seen := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		seen[a[i]] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("not a permutation")
+	}
+	c := shuffledIndexes(100, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds gave identical shuffles")
+	}
+}
+
+// Property: estimates stay in [0,1] and F1 is consistent with P and R.
+func TestQuickAccuracyBounds(t *testing.T) {
+	f := func(seed int64, tpPct, fnRaw uint8) bool {
+		tpFrac := float64(tpPct%101) / 100
+		fn := int(fnRaw % 40)
+		preds, oracle := world(150, tpFrac, 400, fn, seed)
+		acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: seed + 1})
+		if acc.Precision < 0 || acc.Precision > 1 || acc.Recall < 0 || acc.Recall > 1 {
+			return false
+		}
+		if acc.F1 < 0 || acc.F1 > 1 {
+			return false
+		}
+		if acc.Precision+acc.Recall > 0 {
+			want := 2 * acc.Precision * acc.Recall / (acc.Precision + acc.Recall)
+			return math.Abs(acc.F1-want) < 1e-9
+		}
+		return acc.F1 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"falcon/internal/block"
+	"falcon/internal/mapreduce"
+	"falcon/internal/metrics"
+)
+
+// CorleoneRow is the headline Falcon-vs-Corleone comparison (§3.3: Corleone
+// "had to be stopped after more than a week" on 100K×100K; Falcon finishes
+// in hours).
+type CorleoneRow struct {
+	Dataset         DatasetName
+	FalconMachine   time.Duration
+	CorleoneMachine time.Duration
+	// Speedup is the machine-time ratio Corleone/Falcon.
+	Speedup float64
+	// CorleoneKilled reports the baseline refusing the Cartesian product
+	// (the paper's "killed after a week" outcome).
+	CorleoneKilled bool
+	FalconF1       float64
+}
+
+// CorleoneVsFalcon runs the pipeline twice per dataset: once as Falcon
+// (index-based blocking on the cluster, masking on) and once as Corleone —
+// a single machine (1 node × 1 slot) that enumerates the entire A×B with
+// ReduceSplit-style evaluation and no masking.
+func (c Config) CorleoneVsFalcon() ([]CorleoneRow, error) {
+	c = c.WithDefaults()
+	fprintf(c.Out, "Falcon vs Corleone (single-machine, Cartesian enumeration)\n")
+	fprintf(c.Out, "%-11s %14s %16s %9s\n", "Dataset", "Falcon mach.", "Corleone mach.", "speedup")
+	var rows []CorleoneRow
+	for _, name := range AllDatasets {
+		d := c.Generate(name, c.Seed+7)
+		row := CorleoneRow{Dataset: name}
+
+		// Falcon.
+		opt := c.Options(c.Seed + 101)
+		opt.SampleN = c.sampleSize(d.B.Len())
+		res, err := coreRun(d, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.FalconMachine = res.Timeline.MachineTime
+		row.FalconF1 = metrics.Score(res.Matches, d.Truth).F1
+
+		// Corleone: one machine, exhaustive rule application, no masking.
+		cOpt := c.Options(c.Seed + 101)
+		cOpt.SampleN = opt.SampleN
+		cOpt.Cluster = &mapreduce.Cluster{
+			Nodes: 1, SlotsPerNode: 1, MapperMemory: 2 << 30,
+			CostUnit:    8 * time.Millisecond,
+			ShuffleUnit: 1 * time.Millisecond,
+			JobOverhead: time.Second, // no Hadoop startup on one machine
+		}
+		cOpt.MaskIndexBuild, cOpt.Speculative, cOpt.MaskedSelection = false, false, false
+		reduceSplit := block.ReduceSplit
+		cOpt.ForceStrategy = &reduceSplit
+		cRes, err := coreRun(d, cOpt)
+		switch {
+		case errors.Is(err, block.ErrTooLarge):
+			row.CorleoneKilled = true
+			fprintf(c.Out, "%-11s %14s %16s\n", name, metrics.FmtDuration(row.FalconMachine), "KILLED (A×B too large)")
+		case err != nil:
+			return nil, err
+		default:
+			row.CorleoneMachine = cRes.Timeline.MachineTime
+			if row.FalconMachine > 0 {
+				row.Speedup = float64(row.CorleoneMachine) / float64(row.FalconMachine)
+			}
+			fprintf(c.Out, "%-11s %14s %16s %8.1fx\n", name,
+				metrics.FmtDuration(row.FalconMachine), metrics.FmtDuration(row.CorleoneMachine), row.Speedup)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

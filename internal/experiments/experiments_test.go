@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"falcon/internal/block"
+)
+
+// fastConfig keeps every experiment in test-friendly territory.
+func fastConfig(buf *bytes.Buffer) Config {
+	return Config{Scale: 0.03, Seed: 5, Runs: 2, ALIter: 8, Out: buf}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fastConfig(&buf).Table1(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"Products", "Songs", "Citations"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2ShapesHold(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Paper shape: high accuracy, bounded cost, crowd time dominating
+		// machine time on MTurk latencies.
+		if r.F1 < 0.6 {
+			t.Errorf("%s F1 = %.2f, want ≥0.6", r.Dataset, r.F1)
+		}
+		if r.Cost <= 0 || r.Cost > 349.60 {
+			t.Errorf("%s cost = %.2f outside (0, C_max]", r.Dataset, r.Cost)
+		}
+		if r.Crowd <= r.Machine {
+			t.Errorf("%s crowd (%v) should dominate machine (%v) at MTurk latency", r.Dataset, r.Crowd, r.Machine)
+		}
+		if r.Total < r.Crowd {
+			t.Errorf("%s total < crowd", r.Dataset)
+		}
+		if r.CandMin <= 0 || r.CandMax < r.CandMin {
+			t.Errorf("%s candidate range [%d,%d]", r.Dataset, r.CandMin, r.CandMax)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var buf bytes.Buffer
+	c := fastConfig(&buf)
+	c.Runs = 2
+	runs, err := c.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 6 { // 3 datasets × 2 runs
+		t.Fatalf("runs = %d", len(runs))
+	}
+}
+
+func TestTable4(t *testing.T) {
+	var buf bytes.Buffer
+	perOp, err := fastConfig(&buf).Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ops := range perOp {
+		if ops["al_matcher(block)"] <= 0 {
+			t.Errorf("%s: al_matcher(block) time missing", name)
+		}
+		// Crowd operators dominate the machine-only ones, as in Table 4.
+		if ops["al_matcher(block)"] < ops["select_opt_seq"] {
+			t.Errorf("%s: crowd operator cheaper than select_opt_seq", name)
+		}
+	}
+}
+
+func TestTable5MaskingShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigReduction := false
+	for _, r := range rows {
+		if float64(r.O) > float64(r.U)*1.02 {
+			t.Errorf("%s: optimized unmasked time %v exceeds unoptimized %v", r.Dataset, r.O, r.U)
+		}
+		if r.Reduction > 1 {
+			t.Errorf("%s: reduction %.2f out of range", r.Dataset, r.Reduction)
+		}
+		if r.Reduction >= 0.10 {
+			bigReduction = true
+		}
+		// Ablations sit between O and U (small negative margins are
+		// expected — the paper's own Table 5 has O−O1 within a minute of
+		// O on every dataset).
+		for _, abl := range []struct {
+			name string
+			v    float64
+		}{{"O-O1", float64(r.NoO1)}, {"O-O2", float64(r.NoO2)}, {"O-O3", float64(r.NoO3)}} {
+			if abl.v > float64(r.U)*1.05 {
+				t.Errorf("%s: ablation %s (%v) exceeds the unoptimized baseline (%v)", r.Dataset, abl.name, abl.v, r.U)
+			}
+			if abl.v < float64(r.O)*0.85 {
+				t.Errorf("%s: ablation %s (%v) far below full optimization (%v)", r.Dataset, abl.name, abl.v, r.O)
+			}
+		}
+	}
+	if !bigReduction {
+		t.Error("no dataset showed ≥10% masking reduction")
+	}
+}
+
+func TestFig9ErrorShape(t *testing.T) {
+	var buf bytes.Buffer
+	c := fastConfig(&buf)
+	c.Runs = 1
+	pts, err := c.Fig9(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// F1 at 0% error should not be (much) worse than at 15%.
+	if pts[0].F1+0.02 < pts[3].F1 {
+		t.Errorf("F1 rose with error rate: %v → %v", pts[0].F1, pts[3].F1)
+	}
+	for _, p := range pts {
+		if p.Cost <= 0 || p.Cost > 349.6 {
+			t.Errorf("cost %.2f out of range at err=%v", p.Cost, p.ErrorRate)
+		}
+	}
+}
+
+func TestFig10SizeShape(t *testing.T) {
+	var buf bytes.Buffer
+	c := fastConfig(&buf)
+	c.Scale = 0.05
+	c.Runs = 1
+	pts, err := c.Fig10(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Blocking work and candidate sets grow with size (totals are
+	// crowd-dominated at this scale, and speculative gambling makes raw
+	// machine time noisy); F1 stays in a band.
+	if pts[3].Cands <= pts[0].Cands {
+		t.Errorf("candidate set did not grow with table size: %d → %d", pts[0].Cands, pts[3].Cands)
+	}
+	if float64(pts[3].BlockTime) < 0.8*float64(pts[0].BlockTime) {
+		t.Errorf("blocking time fell sharply with table size: %v → %v", pts[0].BlockTime, pts[3].BlockTime)
+	}
+	var f1s []float64
+	for _, p := range pts {
+		f1s = append(f1s, p.F1)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, f := range f1s {
+		lo = math.Min(lo, f)
+		hi = math.Max(hi, f)
+	}
+	if lo < 0.4 {
+		t.Errorf("F1 collapsed at some size: %v", f1s)
+	}
+}
+
+func TestBlockersComparison(t *testing.T) {
+	var buf bytes.Buffer
+	c := fastConfig(&buf)
+	c.Scale = 0.12 // large enough that strategy costs separate from job overhead
+	rows, chosen, err := c.Blockers(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrat := map[block.Strategy]BlockerRow{}
+	for _, r := range rows {
+		byStrat[r.Strategy] = r
+	}
+	// All successful strategies agree on the candidate count.
+	counts := map[int]bool{}
+	for _, r := range rows {
+		if r.Err == "" {
+			counts[r.Candidates] = true
+		}
+	}
+	if len(counts) != 1 {
+		t.Fatalf("strategies disagree on candidates: %v", rows)
+	}
+	// Index-based beats the enumerating baselines.
+	aa, rs := byStrat[block.ApplyAll], byStrat[block.ReduceSplit]
+	if rs.Err == "" && aa.SimTime >= rs.SimTime {
+		t.Errorf("apply-all (%v) should beat reduce-split (%v)", aa.SimTime, rs.SimTime)
+	}
+	if chosen == block.MapSide || chosen == block.ReduceSplit {
+		t.Errorf("§10.1 chose a baseline (%v) with plenty of memory", chosen)
+	}
+}
+
+func TestMemorySweep(t *testing.T) {
+	var buf bytes.Buffer
+	choices, err := fastConfig(&buf).MemorySweep(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[2<<30] == block.ReduceSplit {
+		t.Error("2G memory should not force reduce-split")
+	}
+	if got := choices[1<<10]; got != block.ReduceSplit && got != block.MapSide {
+		t.Errorf("1KB memory chose %v, want a baseline", got)
+	}
+}
+
+func TestClusterSweepSubLinear(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).ClusterSweep(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Machine < rows[1].Machine {
+		t.Errorf("5 nodes (%v) faster than 10 (%v)", rows[0].Machine, rows[1].Machine)
+	}
+	gain1 := rows[0].Machine - rows[1].Machine
+	gain2 := rows[2].Machine - rows[3].Machine
+	if gain2 > gain1 {
+		t.Errorf("speedup not sub-linear: 5→10 gain %v, 15→20 gain %v", gain1, gain2)
+	}
+}
+
+func TestSampleSweep(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).SampleSweep(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// F1 should be stable-ish across sample sizes (paper: negligible).
+	for _, r := range rows {
+		if r.F1 < 0.5 {
+			t.Errorf("sample n=%d F1=%.2f collapsed", r.SampleN, r.F1)
+		}
+	}
+}
+
+func TestIterCapSweep(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).IterCapSweep(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run time grows with the cap; F1 stays in a small band (paper §11.4).
+	if rows[len(rows)-1].Total < rows[0].Total {
+		t.Errorf("run time fell as cap grew: %v", rows)
+	}
+}
+
+func TestKBBLosesRecall(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).KBB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		floor := 0.8
+		if r.Dataset == Products {
+			floor = 0.6 // the paper's hard dataset; heavy corruption at tiny scale
+		}
+		if r.RBBRecall < floor {
+			t.Errorf("%s: RBB recall %.2f too low", r.Dataset, r.RBBRecall)
+		}
+	}
+	// On at least two datasets RBB must beat the best key (the §3.2 story).
+	beats := 0
+	for _, r := range rows {
+		if r.RBBRecall > r.KBBRecall {
+			beats++
+		}
+	}
+	if beats < 2 {
+		t.Errorf("RBB beat KBB on only %d/3 datasets: %+v", beats, rows)
+	}
+}
+
+func TestRuleSeqOptimalCompetitive(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).RuleSeq(Songs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]RuleSeqRow{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	opt, ok := byVariant["optimal"]
+	if !ok {
+		t.Fatal("no optimal row")
+	}
+	all := byVariant["all"]
+	// Optimal recall within 2% of the all-rules recall... all-rules drops
+	// the most pairs so its recall is the floor; optimal should match or
+	// beat it.
+	if opt.Recall+1e-9 < all.Recall-0.02 {
+		t.Errorf("optimal recall %.3f well below all-rules %.3f", opt.Recall, all.Recall)
+	}
+}
+
+func TestCostCap(t *testing.T) {
+	var buf bytes.Buffer
+	got := fastConfig(&buf).CostCap()
+	if math.Abs(got-349.60) > 1e-9 {
+		t.Fatalf("C_max = %v", got)
+	}
+}
+
+func TestDrugsStudy(t *testing.T) {
+	var buf bytes.Buffer
+	row, err := fastConfig(&buf).DrugsStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Score.F1 < 0.6 {
+		t.Errorf("drug matching F1 = %.2f", row.Score.F1)
+	}
+	if row.Reduction < 0 {
+		t.Errorf("masking increased machine time: %.2f", row.Reduction)
+	}
+	// In-house crowd latency is short, so machine time is a meaningful
+	// share of the total — the §11.1 observation.
+	if row.CrowdTime == 0 {
+		t.Error("no crowd time recorded")
+	}
+}
+
+func TestCorleoneVsFalcon(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := fastConfig(&buf).CorleoneVsFalcon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CorleoneKilled {
+			continue // the paper's outcome on large tables
+		}
+		// The single-machine Cartesian baseline must lose, and badly.
+		if r.Speedup < 2 {
+			t.Errorf("%s: Corleone only %.1fx slower (falcon %v vs corleone %v)",
+				r.Dataset, r.Speedup, r.FalconMachine, r.CorleoneMachine)
+		}
+	}
+}

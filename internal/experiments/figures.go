@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"time"
+
+	"falcon/internal/core"
+	"falcon/internal/datagen"
+	"falcon/internal/metrics"
+)
+
+func coreRun(d *datagen.Dataset, opt core.Options) (*core.Result, error) {
+	return core.Run(d.A, d.B, d.Oracle(), opt)
+}
+
+// Fig9Point is one crowd-error-rate measurement.
+type Fig9Point struct {
+	ErrorRate float64
+	F1        float64
+	Total     time.Duration
+	Cost      float64
+}
+
+// Fig9 sweeps the simulated crowd error rate 0–15% and reports F1, run
+// time, and cost (paper Figure 9), averaged over c.Runs runs.
+func (c Config) Fig9(dataset DatasetName) ([]Fig9Point, error) {
+	c = c.WithDefaults()
+	fprintf(c.Out, "Figure 9: crowd error rate vs F1 / run time / cost (%s)\n", dataset)
+	fprintf(c.Out, "%6s %8s %12s %10s\n", "err%", "F1%", "run time", "cost")
+	var out []Fig9Point
+	for _, rate := range []float64{0, 0.05, 0.10, 0.15} {
+		cc := c
+		cc.ErrRate = rate
+		var f1, cost float64
+		var total time.Duration
+		for r := 1; r <= c.Runs; r++ {
+			rs, err := cc.RunOnce(dataset, r)
+			if err != nil {
+				return nil, err
+			}
+			f1 += rs.Score.F1
+			cost += rs.Cost
+			total += rs.Total
+		}
+		n := float64(c.Runs)
+		p := Fig9Point{ErrorRate: rate, F1: f1 / n, Total: total / time.Duration(c.Runs), Cost: cost / n}
+		out = append(out, p)
+		fprintf(c.Out, "%6.0f %8.1f %12s %9.2f$\n", rate*100, p.F1*100, metrics.FmtDuration(p.Total), p.Cost)
+	}
+	return out, nil
+}
+
+// Fig10Point is one table-size measurement.
+type Fig10Point struct {
+	Fraction float64
+	Rows     int
+	F1       float64
+	Total    time.Duration
+	Machine  time.Duration
+	// BlockTime is the unoptimized apply_blocking_rules time (indexes +
+	// blocking job) — the component that must grow with table size.
+	BlockTime time.Duration
+	Cands     int
+	Cost      float64
+}
+
+// Fig10 sweeps the table size over 25/50/75/100% of the dataset (paper
+// Figure 10) with a 5% simulated crowd, as in §11.4.
+func (c Config) Fig10(dataset DatasetName) ([]Fig10Point, error) {
+	c = c.WithDefaults()
+	if c.ErrRate == 0 {
+		c.ErrRate = 0.05
+	}
+	fprintf(c.Out, "Figure 10: table size vs F1 / run time / cost (%s)\n", dataset)
+	fprintf(c.Out, "%6s %8s %8s %12s %10s\n", "frac", "rows", "F1%", "run time", "cost")
+	base := c.Scale
+	var out []Fig10Point
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		cc := c
+		cc.Scale = base * frac
+		cc.SampleN = 0 // rescale with the data
+		cc = cc.WithDefaults()
+		var f1, cost float64
+		var total, machine, blockT time.Duration
+		rows, cands := 0, 0
+		for r := 1; r <= c.Runs; r++ {
+			rs, err := cc.RunOnce(dataset, r)
+			if err != nil {
+				return nil, err
+			}
+			f1 += rs.Score.F1
+			cost += rs.Cost
+			total += rs.Total
+			machine += rs.Machine
+			blockT += rs.Result.UnoptimizedBlockTime
+			rows = rs.Data.A.Len()
+			cands += rs.CandSize
+		}
+		n := float64(c.Runs)
+		p := Fig10Point{Fraction: frac, Rows: rows, F1: f1 / n,
+			Total: total / time.Duration(c.Runs), Machine: machine / time.Duration(c.Runs),
+			BlockTime: blockT / time.Duration(c.Runs), Cands: cands / c.Runs, Cost: cost / n}
+		out = append(out, p)
+		fprintf(c.Out, "%6.2f %8d %8.1f %12s %9.2f$\n", frac, p.Rows, p.F1*100, metrics.FmtDuration(p.Total), p.Cost)
+	}
+	return out, nil
+}

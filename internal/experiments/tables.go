@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"time"
+
+	"falcon/internal/metrics"
+)
+
+// Table1 prints the dataset statistics (paper Table 1).
+func (c Config) Table1() error {
+	c = c.WithDefaults()
+	fprintf(c.Out, "Table 1: datasets (scale %.2f)\n", c.Scale)
+	fprintf(c.Out, "%-11s %10s %10s %12s\n", "Dataset", "Table A", "Table B", "# Matches")
+	for _, name := range AllDatasets {
+		d := c.Generate(name, c.Seed+7)
+		fprintf(c.Out, "%-11s %10d %10d %12d\n", name, d.A.Len(), d.B.Len(), d.Matches())
+	}
+	return nil
+}
+
+// Table2Row is one averaged row of Table 2.
+type Table2Row struct {
+	Dataset               DatasetName
+	P, R, F1              float64
+	Cost                  float64
+	Questions             int
+	Machine, Crowd, Total time.Duration
+	CandMin, CandMax      int
+}
+
+// Table2 runs the full pipeline c.Runs times per dataset and prints the
+// averaged overall-performance table (paper Table 2). It returns the rows
+// for programmatic checks.
+func (c Config) Table2() ([]Table2Row, error) {
+	c = c.WithDefaults()
+	fprintf(c.Out, "Table 2: overall performance (avg of %d runs)\n", c.Runs)
+	fprintf(c.Out, "%-11s %6s %6s %6s %10s %6s %10s %10s %10s %15s\n",
+		"Dataset", "P%", "R%", "F1%", "Cost", "#Q", "Machine", "Crowd", "Total", "Cand. size")
+	var rows []Table2Row
+	for _, name := range AllDatasets {
+		runs, err := c.RunAll(name)
+		if err != nil {
+			return nil, err
+		}
+		row := summarize(name, runs)
+		rows = append(rows, row)
+		fprintf(c.Out, "%-11s %6.1f %6.1f %6.1f %9.2f$ %6d %10s %10s %10s %7s - %6s\n",
+			row.Dataset, row.P*100, row.R*100, row.F1*100, row.Cost, row.Questions,
+			metrics.FmtDuration(row.Machine), metrics.FmtDuration(row.Crowd), metrics.FmtDuration(row.Total),
+			metrics.FmtCount(int64(row.CandMin)), metrics.FmtCount(int64(row.CandMax)))
+	}
+	return rows, nil
+}
+
+func summarize(name DatasetName, runs []*RunStats) Table2Row {
+	row := Table2Row{Dataset: name, CandMin: 1 << 60}
+	var machine, crowdT, total []time.Duration
+	for _, r := range runs {
+		row.P += r.Score.Precision
+		row.R += r.Score.Recall
+		row.F1 += r.Score.F1
+		row.Cost += r.Cost
+		row.Questions += r.Questions
+		machine = append(machine, r.Machine)
+		crowdT = append(crowdT, r.Crowd)
+		total = append(total, r.Total)
+		if r.CandSize < row.CandMin {
+			row.CandMin = r.CandSize
+		}
+		if r.CandSize > row.CandMax {
+			row.CandMax = r.CandSize
+		}
+	}
+	n := float64(len(runs))
+	row.P /= n
+	row.R /= n
+	row.F1 /= n
+	row.Cost /= n
+	row.Questions /= len(runs)
+	row.Machine = avgDur(machine)
+	row.Crowd = avgDur(crowdT)
+	row.Total = avgDur(total)
+	return row
+}
+
+// Table3 prints every individual run (paper Table 3).
+func (c Config) Table3() ([]*RunStats, error) {
+	c = c.WithDefaults()
+	fprintf(c.Out, "Table 3: all runs\n")
+	fprintf(c.Out, "%-11s %-6s %6s %6s %6s %10s %6s %10s %10s %10s %10s\n",
+		"Dataset", "Run", "P%", "R%", "F1%", "Cost", "#Q", "Machine", "Crowd", "Total", "Cand.")
+	var all []*RunStats
+	for _, name := range AllDatasets {
+		runs, err := c.RunAll(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range runs {
+			fprintf(c.Out, "%-11s Run %-2d %6.1f %6.1f %6.1f %9.2f$ %6d %10s %10s %10s %10s\n",
+				r.Dataset, r.Run, r.Score.Precision*100, r.Score.Recall*100, r.Score.F1*100,
+				r.Cost, r.Questions, metrics.FmtDuration(r.Machine), metrics.FmtDuration(r.Crowd),
+				metrics.FmtDuration(r.Total), metrics.FmtCount(int64(r.CandSize)))
+			all = append(all, r)
+		}
+	}
+	return all, nil
+}
+
+// table4Ops lists the Table 4 operator columns in paper order.
+var table4Ops = []string{
+	"sample_pairs", "gen_fvs", "al_matcher(block)", "get_blocking_rules",
+	"eval_rules", "select_opt_seq", "apply_blocking_rules",
+	"gen_fvs(match)", "al_matcher(match)", "apply_matcher",
+}
+
+// Table4 prints per-operator run times of the first run on each dataset
+// (paper Table 4). The apply_blocking_rules column shows the optimized time
+// with the unoptimized (unmasked) time in parentheses.
+func (c Config) Table4() (map[DatasetName]map[string]time.Duration, error) {
+	c = c.WithDefaults()
+	fprintf(c.Out, "Table 4: per-operator times (run 1 of each dataset)\n")
+	out := map[DatasetName]map[string]time.Duration{}
+	for _, name := range AllDatasets {
+		r, err := c.RunOnce(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		perOp := map[string]time.Duration{}
+		fprintf(c.Out, "%-11s", name)
+		for _, op := range table4Ops {
+			ot := r.Result.Timeline.PerOp[op]
+			// The visible cost of an operator is its crowd time plus the
+			// machine time masking could not hide (speculative work that
+			// ran under crowd time is free, as in the paper's Table 4).
+			total := ot.Crowd + ot.Machine - ot.Masked
+			perOp[op] = total
+			if op == "apply_blocking_rules" {
+				fprintf(c.Out, "  %s=%s(%s)", op, metrics.FmtDuration(total), metrics.FmtDuration(r.Result.UnoptimizedBlockTime))
+			} else {
+				fprintf(c.Out, "  %s=%s", op, metrics.FmtDuration(total))
+			}
+		}
+		fprintf(c.Out, "\n")
+		out[name] = perOp
+	}
+	return out, nil
+}
+
+// Table5Row is one row of the optimization-effect table.
+type Table5Row struct {
+	Dataset   DatasetName
+	U         time.Duration // unmasked machine time with no optimizations
+	O         time.Duration // with all optimizations
+	Reduction float64
+	NoO1      time.Duration // O with index masking off
+	NoO2      time.Duration // O with speculation off
+	NoO3      time.Duration // O with masked pair selection off
+}
+
+// Table5 measures the §10.2 optimizations' effect on unmasked machine time
+// (paper Table 5): U (no masking), O (all three), and the three ablations.
+func (c Config) Table5() ([]Table5Row, error) {
+	c = c.WithDefaults()
+	fprintf(c.Out, "Table 5: effect of masking optimizations on unmasked machine time\n")
+	fprintf(c.Out, "%-11s %10s %10s %9s %10s %10s %10s\n", "Dataset", "U", "O", "Reduce%", "O-O1", "O-O2", "O-O3")
+	variant := func(name DatasetName, o1, o2, o3 bool) (time.Duration, error) {
+		opt := c.Options(c.Seed + 1*101)
+		opt.MaskIndexBuild = o1
+		opt.Speculative = o2
+		opt.MaskedSelection = o3
+		d := c.Generate(name, c.Seed+7)
+		res, err := coreRun(d, opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.Timeline.UnmaskedMachine, nil
+	}
+	var rows []Table5Row
+	for _, name := range AllDatasets {
+		row := Table5Row{Dataset: name}
+		var err error
+		if row.U, err = variant(name, false, false, false); err != nil {
+			return nil, err
+		}
+		if row.O, err = variant(name, true, true, true); err != nil {
+			return nil, err
+		}
+		if row.NoO1, err = variant(name, false, true, true); err != nil {
+			return nil, err
+		}
+		if row.NoO2, err = variant(name, true, false, true); err != nil {
+			return nil, err
+		}
+		if row.NoO3, err = variant(name, true, true, false); err != nil {
+			return nil, err
+		}
+		if row.U > 0 {
+			row.Reduction = 1 - float64(row.O)/float64(row.U)
+		}
+		rows = append(rows, row)
+		fprintf(c.Out, "%-11s %10s %10s %8.0f%% %10s %10s %10s\n",
+			row.Dataset, metrics.FmtDuration(row.U), metrics.FmtDuration(row.O), row.Reduction*100,
+			metrics.FmtDuration(row.NoO1), metrics.FmtDuration(row.NoO2), metrics.FmtDuration(row.NoO3))
+	}
+	return rows, nil
+}

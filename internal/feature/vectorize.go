@@ -1,0 +1,170 @@
+package feature
+
+import (
+	"strconv"
+	"strings"
+
+	"falcon/internal/simfn"
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+// Vector is a tuple pair encoded as feature values (the gen_fvs output).
+type Vector struct {
+	Pair   table.Pair
+	Values []float64
+}
+
+// Vectorizer converts tuple pairs into feature vectors with per-table token
+// and numeric-parse caches, so repeated pairs touching the same tuple do not
+// re-tokenize.
+type Vectorizer struct {
+	Set  *Set
+	A, B *table.Table
+
+	tokA, tokB map[tokKey][][]string // (col,kind) → per-row token sets
+	numA, numB map[int][]float64     // col → per-row parsed numbers (NaN pattern via ok slice)
+	numOkA     map[int][]bool
+	numOkB     map[int][]bool
+}
+
+type tokKey struct {
+	col  int
+	kind tokenize.Kind
+}
+
+// NewVectorizer builds a vectorizer for the feature set over tables a and b.
+func NewVectorizer(set *Set, a, b *table.Table) *Vectorizer {
+	return &Vectorizer{
+		Set: set, A: a, B: b,
+		tokA: map[tokKey][][]string{}, tokB: map[tokKey][][]string{},
+		numA: map[int][]float64{}, numB: map[int][]float64{},
+		numOkA: map[int][]bool{}, numOkB: map[int][]bool{},
+	}
+}
+
+func (v *Vectorizer) tokens(isA bool, col int, kind tokenize.Kind, row int) []string {
+	cache := v.tokA
+	t := v.A
+	if !isA {
+		cache = v.tokB
+		t = v.B
+	}
+	k := tokKey{col, kind}
+	rows, ok := cache[k]
+	if !ok {
+		rows = make([][]string, t.Len())
+		cache[k] = rows
+	}
+	if rows[row] == nil {
+		val := t.Value(row, col)
+		if table.IsMissing(val) {
+			rows[row] = []string{}
+		} else {
+			rows[row] = tokenize.Set(kind, val)
+		}
+	}
+	return rows[row]
+}
+
+func (v *Vectorizer) number(isA bool, col, row int) (float64, bool) {
+	nums, oks, t := v.numA, v.numOkA, v.A
+	if !isA {
+		nums, oks, t = v.numB, v.numOkB, v.B
+	}
+	col2, ok := nums[col], oks[col]
+	if col2 == nil {
+		col2 = make([]float64, t.Len())
+		ok = make([]bool, t.Len())
+		for r := 0; r < t.Len(); r++ {
+			s := strings.TrimSpace(t.Value(r, col))
+			if table.IsMissing(s) {
+				continue
+			}
+			if f, err := strconv.ParseFloat(s, 64); err == nil {
+				col2[r], ok[r] = f, true
+			}
+		}
+		nums[col], oks[col] = col2, ok
+	}
+	return col2[row], ok[row]
+}
+
+// Vector computes the full feature vector for pair p.
+func (v *Vectorizer) Vector(p table.Pair) Vector {
+	return v.vector(p, v.Set.Features, nil)
+}
+
+// BlockingVector computes only the blocking-stage features for pair p. The
+// returned Values are indexed by position in Set.BlockingIdx.
+func (v *Vectorizer) BlockingVector(p table.Pair) Vector {
+	return v.vector(p, v.Set.Features, v.Set.BlockingIdx)
+}
+
+func (v *Vectorizer) vector(p table.Pair, feats []Feature, idx []int) Vector {
+	n := len(feats)
+	if idx != nil {
+		n = len(idx)
+	}
+	out := Vector{Pair: p, Values: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		f := &feats[i]
+		if idx != nil {
+			f = &feats[idx[i]]
+		}
+		out.Values[i] = v.evalCached(f, p)
+	}
+	return out
+}
+
+// EvalFeature computes one feature on pair p using the caches.
+func (v *Vectorizer) EvalFeature(f *Feature, p table.Pair) float64 {
+	return v.evalCached(f, p)
+}
+
+func (v *Vectorizer) evalCached(f *Feature, p table.Pair) float64 {
+	switch {
+	case f.Measure.NumericBased():
+		x, okx := v.number(true, f.ACol, p.A)
+		y, oky := v.number(false, f.BCol, p.B)
+		if !okx || !oky {
+			return Missing
+		}
+		if f.Measure == simfn.MAbsDiff {
+			return simfn.AbsDiff(x, y)
+		}
+		return simfn.RelDiff(x, y)
+	case f.Measure.SetBased():
+		ta := v.tokens(true, f.ACol, f.Token, p.A)
+		tb := v.tokens(false, f.BCol, f.Token, p.B)
+		return f.evalSets(ta, tb)
+	default:
+		av := v.A.Value(p.A, f.ACol)
+		bv := v.B.Value(p.B, f.BCol)
+		if table.IsMissing(av) {
+			av = ""
+		}
+		if table.IsMissing(bv) {
+			bv = ""
+		}
+		return f.evalStrings(strings.ToLower(strings.TrimSpace(av)), strings.ToLower(strings.TrimSpace(bv)))
+	}
+}
+
+// VectorizeAll converts a pair list into vectors (full feature space).
+func (v *Vectorizer) VectorizeAll(pairs []table.Pair) []Vector {
+	out := make([]Vector, len(pairs))
+	for i, p := range pairs {
+		out[i] = v.Vector(p)
+	}
+	return out
+}
+
+// BlockingVectorizeAll converts a pair list into blocking-feature vectors.
+func (v *Vectorizer) BlockingVectorizeAll(pairs []table.Pair) []Vector {
+	out := make([]Vector, len(pairs))
+	for i, p := range pairs {
+		out[i] = v.BlockingVector(p)
+	}
+	return out
+}

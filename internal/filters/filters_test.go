@@ -1,0 +1,409 @@
+package filters
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/feature"
+	"falcon/internal/mapreduce"
+	"falcon/internal/rules"
+	"falcon/internal/simfn"
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+// booksTables builds a small A/B pair with title (short string), year and
+// price (numeric) columns, including dirty rows.
+func booksTables(nA, nB int, seed int64) (*table.Table, *table.Table) {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"war", "peace", "art", "code", "go", "data", "cloud", "entity", "match", "systems"}
+	mk := func(name string, n int) *table.Table {
+		t := table.New(name, table.NewSchema("title", "year", "price"))
+		for i := 0; i < n; i++ {
+			var ws []string
+			for j := 0; j < 2+rng.Intn(4); j++ {
+				ws = append(ws, words[rng.Intn(len(words))])
+			}
+			title := ""
+			for j, w := range ws {
+				if j > 0 {
+					title += " "
+				}
+				title += w
+			}
+			year := fmt.Sprint(1990 + rng.Intn(30))
+			price := fmt.Sprintf("%.2f", 10+rng.Float64()*90)
+			if rng.Intn(10) == 0 {
+				year = "" // missing
+			}
+			if rng.Intn(30) == 0 {
+				price = "n/a" // dirty
+			}
+			t.Append(title, year, price)
+		}
+		t.InferTypes()
+		return t
+	}
+	return mk("A", nA), mk("B", nB)
+}
+
+// blockingFeatures returns the blocking feature pointers in vector order.
+func blockingFeatures(set *feature.Set) []*feature.Feature {
+	out := make([]*feature.Feature, len(set.BlockingIdx))
+	for i, idx := range set.BlockingIdx {
+		out[i] = &set.Features[idx]
+	}
+	return out
+}
+
+// featPos finds the blocking-vector position of a named feature.
+func featPos(set *feature.Set, name string) int {
+	for i, idx := range set.BlockingIdx {
+		if set.Features[idx].Name == name {
+			return i
+		}
+	}
+	panic("feature not found: " + name)
+}
+
+func TestClassify(t *testing.T) {
+	a, b := booksTables(10, 10, 1)
+	set := feature.Generate(a, b)
+	feats := blockingFeatures(set)
+
+	em := featPos(set, "exact_match(year)")
+	jw := featPos(set, "jaccard_word(title)")
+	ad := featPos(set, "abs_diff(price)")
+	rd := featPos(set, "rel_diff(price)")
+	lev := featPos(set, "levenshtein(year)")
+
+	cases := []struct {
+		pred rules.Predicate
+		want Kind
+	}{
+		{rules.Predicate{Feature: em, Op: rules.GT, Value: 0.5}, Equivalence},
+		{rules.Predicate{Feature: em, Op: rules.LE, Value: 0.5}, Unfilterable},
+		{rules.Predicate{Feature: jw, Op: rules.GT, Value: 0.4}, PrefixSet},
+		{rules.Predicate{Feature: jw, Op: rules.LE, Value: 0.4}, Unfilterable},
+		{rules.Predicate{Feature: ad, Op: rules.LE, Value: 10}, Range},
+		{rules.Predicate{Feature: ad, Op: rules.GT, Value: 10}, Unfilterable},
+		{rules.Predicate{Feature: rd, Op: rules.LT, Value: 0.2}, Range},
+		{rules.Predicate{Feature: rd, Op: rules.LT, Value: 1.5}, Unfilterable},
+		{rules.Predicate{Feature: lev, Op: rules.GE, Value: 0.8}, ShareGram},
+		{rules.Predicate{Feature: lev, Op: rules.GE, Value: 0.5}, Unfilterable},
+	}
+	for _, c := range cases {
+		got, _ := Classify(c.pred, feats[c.pred.Feature])
+		if got != c.want {
+			t.Errorf("Classify(%v on %s) = %v, want %v", c.pred, feats[c.pred.Feature].Name, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Unfilterable, Equivalence, Range, PrefixSet, ShareGram} {
+		if k.String() == "" {
+			t.Fatal("empty Kind string")
+		}
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestAnalyzeAndNeededIndexes(t *testing.T) {
+	a, b := booksTables(30, 30, 2)
+	set := feature.Generate(a, b)
+	feats := blockingFeatures(set)
+	jw := featPos(set, "jaccard_word(title)")
+	em := featPos(set, "exact_match(year)")
+	ad := featPos(set, "abs_diff(price)")
+
+	// Two rules: (jaccard ≤ 0.6 → drop) and (year differs AND price far → drop).
+	seq := []rules.Rule{
+		{ID: 0, Preds: []rules.Predicate{{Feature: jw, Op: rules.LE, Value: 0.6}}},
+		{ID: 1, Preds: []rules.Predicate{
+			{Feature: em, Op: rules.LE, Value: 0.5},
+			{Feature: ad, Op: rules.GE, Value: 10},
+		}},
+	}
+	an := Analyze(rules.ToCNF(seq), feats)
+	if len(an.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(an.Clauses))
+	}
+	if !an.Clauses[0].Filterable || !an.Clauses[1].Filterable {
+		t.Fatalf("both clauses should be filterable: %+v", an.Clauses)
+	}
+	specs := an.NeededIndexes()
+	kinds := map[Kind]int{}
+	for _, s := range specs {
+		kinds[s.Kind]++
+	}
+	if kinds[PrefixSet] != 1 || kinds[Equivalence] != 1 || kinds[Range] != 1 {
+		t.Fatalf("specs = %v", specs)
+	}
+	if got := an.FilterableClauses(); len(got) != 2 {
+		t.Fatalf("FilterableClauses = %v", got)
+	}
+}
+
+func TestAnalyzeUnfilterableClause(t *testing.T) {
+	a, b := booksTables(10, 10, 3)
+	set := feature.Generate(a, b)
+	feats := blockingFeatures(set)
+	jw := featPos(set, "jaccard_word(title)")
+	// Rule "jaccard > 0.6 → drop" negates to keep-pred jaccard ≤ 0.6:
+	// dissimilarity, unfilterable.
+	seq := []rules.Rule{{ID: 0, Preds: []rules.Predicate{{Feature: jw, Op: rules.GT, Value: 0.6}}}}
+	an := Analyze(rules.ToCNF(seq), feats)
+	if an.Clauses[0].Filterable {
+		t.Fatal("dissimilarity clause must be unfilterable")
+	}
+	if len(an.NeededIndexes()) != 0 {
+		t.Fatal("unfilterable clause should need no indexes")
+	}
+}
+
+func TestThresholdMergingTakesMin(t *testing.T) {
+	a, b := booksTables(10, 10, 4)
+	set := feature.Generate(a, b)
+	feats := blockingFeatures(set)
+	jw := featPos(set, "jaccard_word(title)")
+	seq := []rules.Rule{
+		{ID: 0, Preds: []rules.Predicate{{Feature: jw, Op: rules.LE, Value: 0.7}}},
+		{ID: 1, Preds: []rules.Predicate{{Feature: jw, Op: rules.LE, Value: 0.3}}},
+	}
+	an := Analyze(rules.ToCNF(seq), feats)
+	specs := an.NeededIndexes()
+	if len(specs) != 1 {
+		t.Fatalf("specs = %v, want one merged", specs)
+	}
+	if specs[0].Threshold != 0.3 {
+		t.Fatalf("merged threshold = %v, want 0.3 (the min)", specs[0].Threshold)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	lo, hi := RangeBounds(simfn.MAbsDiff, 100, 10)
+	if lo != 90 || hi != 110 {
+		t.Fatalf("abs bounds = [%v,%v]", lo, hi)
+	}
+	lo, hi = RangeBounds(simfn.MRelDiff, 100, 0.5)
+	if lo != -200 || hi != 200 {
+		t.Fatalf("rel bounds = [%v,%v]", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-range measure")
+		}
+	}()
+	RangeBounds(simfn.MJaccard, 1, 1)
+}
+
+// buildAnalysis creates a realistic rule set and builds its indexes.
+func buildAnalysis(t *testing.T, a, b *table.Table) (*Analysis, *Indexes, *feature.Set, []rules.Rule) {
+	t.Helper()
+	set := feature.Generate(a, b)
+	feats := blockingFeatures(set)
+	jw := featPos(set, "jaccard_word(title)")
+	em := featPos(set, "exact_match(year)")
+	ad := featPos(set, "abs_diff(price)")
+	seq := []rules.Rule{
+		{ID: 0, Preds: []rules.Predicate{{Feature: jw, Op: rules.LE, Value: 0.5}}},
+		{ID: 1, Preds: []rules.Predicate{
+			{Feature: em, Op: rules.LE, Value: 0.5},
+			{Feature: ad, Op: rules.GE, Value: 20},
+		}},
+	}
+	an := Analyze(rules.ToCNF(seq), feats)
+	ix := NewIndexes(mapreduce.Default(), a)
+	if _, err := ix.EnsureAll(an.NeededIndexes()); err != nil {
+		t.Fatal(err)
+	}
+	return an, ix, set, seq
+}
+
+// TestRuleCandidatesComplete is the soundness property of Algorithm 1: every
+// pair the CNF rule keeps must appear in the candidate set.
+func TestRuleCandidatesComplete(t *testing.T) {
+	a, b := booksTables(80, 40, 5)
+	an, ix, set, _ := buildAnalysis(t, a, b)
+	vz := feature.NewVectorizer(set, a, b)
+	for row := 0; row < b.Len(); row++ {
+		cands, all, _ := ix.RuleCandidates(an, nil, b, row)
+		inCands := map[int32]bool{}
+		for _, c := range cands {
+			inCands[c] = true
+		}
+		for aRow := 0; aRow < a.Len(); aRow++ {
+			vec := vz.BlockingVector(table.Pair{A: aRow, B: row})
+			if an.CNF.Keep(vec.Values) && !all && !inCands[int32(aRow)] {
+				t.Fatalf("pair (%d,%d) kept by CNF but missing from candidates", aRow, row)
+			}
+		}
+	}
+}
+
+func TestRuleCandidatesPrune(t *testing.T) {
+	a, b := booksTables(200, 30, 6)
+	an, ix, _, _ := buildAnalysis(t, a, b)
+	totalCands, probes := 0, int64(0)
+	for row := 0; row < b.Len(); row++ {
+		cands, all, cost := ix.RuleCandidates(an, nil, b, row)
+		if all {
+			t.Fatalf("row %d: filters should prune", row)
+		}
+		totalCands += len(cands)
+		probes += cost
+	}
+	if totalCands >= a.Len()*b.Len()/2 {
+		t.Fatalf("filters pruned almost nothing: %d of %d", totalCands, a.Len()*b.Len())
+	}
+	if probes <= 0 {
+		t.Fatal("no probe cost accounted")
+	}
+}
+
+func TestClauseCandidatesUnfilterable(t *testing.T) {
+	a, b := booksTables(10, 10, 7)
+	set := feature.Generate(a, b)
+	feats := blockingFeatures(set)
+	jw := featPos(set, "jaccard_word(title)")
+	seq := []rules.Rule{{ID: 0, Preds: []rules.Predicate{{Feature: jw, Op: rules.GT, Value: 0.6}}}}
+	an := Analyze(rules.ToCNF(seq), feats)
+	ix := NewIndexes(mapreduce.Default(), a)
+	_, all, _ := ix.ClauseCandidates(an.Clauses[0], b, 0)
+	if !all {
+		t.Fatal("unfilterable clause must return all=true")
+	}
+	_, all, _ = ix.RuleCandidates(an, nil, b, 0)
+	if !all {
+		t.Fatal("rule with no filterable clause must return all=true")
+	}
+}
+
+func TestEnsureSpecCaching(t *testing.T) {
+	a, b := booksTables(50, 10, 8)
+	an, ix, _, _ := buildAnalysis(t, a, b)
+	// Second EnsureAll must be free.
+	d, err := ix.EnsureAll(an.NeededIndexes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("cached rebuild took %v, want 0", d)
+	}
+	if ix.TotalBytes() <= 0 {
+		t.Fatal("TotalBytes = 0")
+	}
+	for _, ci := range an.Clauses {
+		if ci.Filterable && ix.ClauseBytes(ci) <= 0 {
+			t.Fatal("ClauseBytes = 0 for filterable clause")
+		}
+	}
+}
+
+func TestEnsureSpecThresholdRebuild(t *testing.T) {
+	a, _ := booksTables(50, 10, 9)
+	ix := NewIndexes(mapreduce.Default(), a)
+	spec := IndexSpec{Kind: PrefixSet, ACol: 0, Token: tokenize.Word, Measure: simfn.MJaccard, Threshold: 0.8}
+	if _, err := ix.EnsureSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Lower threshold needs a longer prefix → rebuild.
+	spec.Threshold = 0.4
+	d, err := ix.EnsureSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("lower threshold should force rebuild")
+	}
+	// Higher threshold reuses.
+	spec.Threshold = 0.9
+	d, err = ix.EnsureSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatal("higher threshold should reuse")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	u := unionSorted([][]int32{{1, 3, 5}, {2, 3, 6}, {5}})
+	want := []int32{1, 2, 3, 5, 6}
+	if len(u) != len(want) {
+		t.Fatalf("union = %v", u)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("union = %v", u)
+		}
+	}
+	i := intersectSorted([]int32{1, 2, 3, 7}, []int32{2, 3, 4, 7})
+	if len(i) != 3 || i[0] != 2 || i[2] != 7 {
+		t.Fatalf("intersect = %v", i)
+	}
+	if unionSorted(nil) != nil {
+		t.Fatal("empty union should be nil")
+	}
+	if got := unionSorted([][]int32{{9}}); len(got) != 1 {
+		t.Fatal("single union wrong")
+	}
+}
+
+// Property: candidates are always sorted and duplicate-free.
+func TestQuickCandidatesSortedUnique(t *testing.T) {
+	a, b := booksTables(100, 50, 10)
+	an, ix, _, _ := buildAnalysis(t, a, b)
+	f := func(row uint8) bool {
+		r := int(row) % b.Len()
+		cands, all, _ := ix.RuleCandidates(an, nil, b, r)
+		if all {
+			return true
+		}
+		for i := 1; i < len(cands); i++ {
+			if cands[i] <= cands[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: using a subset of clauses yields a superset of candidates.
+func TestQuickClauseSubsetMonotone(t *testing.T) {
+	a, b := booksTables(100, 50, 11)
+	an, ix, _, _ := buildAnalysis(t, a, b)
+	all := an.FilterableClauses()
+	if len(all) < 2 {
+		t.Skip("need 2 filterable clauses")
+	}
+	f := func(row uint8) bool {
+		r := int(row) % b.Len()
+		full, fAll, _ := ix.RuleCandidates(an, all, b, r)
+		part, pAll, _ := ix.RuleCandidates(an, all[:1], b, r)
+		if fAll || pAll {
+			return true
+		}
+		set := map[int32]bool{}
+		for _, c := range part {
+			set[c] = true
+		}
+		for _, c := range full {
+			if !set[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

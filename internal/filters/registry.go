@@ -1,0 +1,344 @@
+package filters
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"falcon/internal/feature"
+	"falcon/internal/index"
+	"falcon/internal/mapreduce"
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+// Indexes is the registry of built filter indexes over table A. It is
+// filled incrementally — generic pieces (token orderings, hash and tree
+// indexes) can be built during al_matcher's crowd time, predicate-specific
+// prefix indexes during eval_rules (§10.2 optimization 1) — and reused.
+type Indexes struct {
+	cluster *mapreduce.Cluster
+	a       *table.Table
+
+	hash   map[int]*index.HashIndex
+	tree   map[int]*index.TreeIndex
+	ord    map[ordKey]*index.Ordering
+	prefix map[specKey]*index.PrefixIndex
+}
+
+type ordKey struct {
+	col  int
+	kind tokenize.Kind
+}
+
+// NewIndexes returns an empty registry for table a on the cluster.
+func NewIndexes(cluster *mapreduce.Cluster, a *table.Table) *Indexes {
+	return &Indexes{
+		cluster: cluster,
+		a:       a,
+		hash:    map[int]*index.HashIndex{},
+		tree:    map[int]*index.TreeIndex{},
+		ord:     map[ordKey]*index.Ordering{},
+		prefix:  map[specKey]*index.PrefixIndex{},
+	}
+}
+
+// EnsureOrdering builds (or reuses) the global token ordering for a
+// (column, tokenization) pair, returning the cluster time spent (0 if
+// cached).
+func (ix *Indexes) EnsureOrdering(col int, kind tokenize.Kind) (time.Duration, error) {
+	k := ordKey{col, kind}
+	if _, ok := ix.ord[k]; ok {
+		return 0, nil
+	}
+	ord, d, err := index.BuildOrderingMR(ix.cluster, ix.a, col, kind)
+	if err != nil {
+		return 0, err
+	}
+	ix.ord[k] = ord
+	return d, nil
+}
+
+// EnsureHash builds (or reuses) the hash index for a column.
+func (ix *Indexes) EnsureHash(col int) (time.Duration, error) {
+	if _, ok := ix.hash[col]; ok {
+		return 0, nil
+	}
+	h, d, err := index.BuildHashMR(ix.cluster, ix.a, col)
+	if err != nil {
+		return 0, err
+	}
+	ix.hash[col] = h
+	return d, nil
+}
+
+// EnsureTree builds (or reuses) the tree index for a column.
+func (ix *Indexes) EnsureTree(col int) (time.Duration, error) {
+	if _, ok := ix.tree[col]; ok {
+		return 0, nil
+	}
+	t, d, err := index.BuildTreeMR(ix.cluster, ix.a, col)
+	if err != nil {
+		return 0, err
+	}
+	ix.tree[col] = t
+	return d, nil
+}
+
+// EnsureSpec builds (or reuses) the index for one spec, including any token
+// ordering a prefix index depends on. A cached prefix index is reused only
+// if its build threshold is low enough for the spec.
+func (ix *Indexes) EnsureSpec(spec IndexSpec) (time.Duration, error) {
+	switch spec.Kind {
+	case Equivalence:
+		return ix.EnsureHash(spec.ACol)
+	case Range:
+		return ix.EnsureTree(spec.ACol)
+	case PrefixSet, ShareGram:
+		k := specKey{PrefixSet, spec.ACol, spec.Token, spec.Measure}
+		if spec.Kind == ShareGram {
+			k.kind = ShareGram
+		}
+		if old, ok := ix.prefix[k]; ok && old.Threshold <= spec.Threshold {
+			return 0, nil
+		}
+		dOrd, err := ix.EnsureOrdering(spec.ACol, spec.Token)
+		if err != nil {
+			return 0, err
+		}
+		idx, dIdx, err := index.BuildPrefixMR(ix.cluster, ix.a, spec.ACol, spec.Token, ix.ord[ordKey{spec.ACol, spec.Token}], spec.Measure, spec.Threshold)
+		if err != nil {
+			return 0, err
+		}
+		ix.prefix[k] = idx
+		return dOrd + dIdx, nil
+	default:
+		panic("filters: EnsureSpec on unfilterable kind")
+	}
+}
+
+// EnsureAll builds every spec, returning total cluster time.
+func (ix *Indexes) EnsureAll(specs []IndexSpec) (time.Duration, error) {
+	var total time.Duration
+	for _, s := range specs {
+		d, err := ix.EnsureSpec(s)
+		if err != nil {
+			return total, err
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// SpecBytes returns the built size of the spec's index (0 if absent).
+func (ix *Indexes) SpecBytes(spec IndexSpec) int64 {
+	switch spec.Kind {
+	case Equivalence:
+		if h := ix.hash[spec.ACol]; h != nil {
+			return h.SizeBytes()
+		}
+	case Range:
+		if t := ix.tree[spec.ACol]; t != nil {
+			return t.SizeBytes()
+		}
+	case PrefixSet, ShareGram:
+		k := specKey{spec.Kind, spec.ACol, spec.Token, spec.Measure}
+		if p := ix.prefix[k]; p != nil {
+			b := p.SizeBytes()
+			if o := ix.ord[ordKey{spec.ACol, spec.Token}]; o != nil {
+				b += o.SizeBytes()
+			}
+			return b
+		}
+	}
+	return 0
+}
+
+// ClauseBytes sums the unique index sizes a clause's filters need.
+func (ix *Indexes) ClauseBytes(ci ClauseInfo) int64 {
+	seen := map[specKey]bool{}
+	var total int64
+	for _, bp := range ci.Preds {
+		if bp.Kind == Unfilterable {
+			continue
+		}
+		spec := bp.indexSpec()
+		k := specKey{spec.Kind, spec.ACol, spec.Token, spec.Measure}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		total += ix.SpecBytes(spec)
+	}
+	return total
+}
+
+// TotalBytes sums all built index sizes.
+func (ix *Indexes) TotalBytes() int64 {
+	var total int64
+	for _, h := range ix.hash {
+		total += h.SizeBytes()
+	}
+	for _, t := range ix.tree {
+		total += t.SizeBytes()
+	}
+	for _, o := range ix.ord {
+		total += o.SizeBytes()
+	}
+	for _, p := range ix.prefix {
+		total += p.SizeBytes()
+	}
+	return total
+}
+
+// PredCandidates returns the IDs of A tuples that may satisfy the bound
+// predicate against tuple row of B. all=true means the filter cannot prune
+// for this probe (every A tuple is a candidate). cost counts index probes
+// for the MapReduce cost model.
+func (ix *Indexes) PredCandidates(bp BoundPred, b *table.Table, row int) (cands []int32, all bool, cost int64) {
+	bv := b.Value(row, bp.Feat.BCol)
+	switch bp.Kind {
+	case Equivalence:
+		h := ix.hash[bp.Feat.ACol]
+		got := h.Probe(bv)
+		return got, false, int64(1 + len(got))
+	case Range:
+		if table.IsMissing(bv) {
+			// Feature value is Missing for every a; the keep predicate
+			// accepts Missing (e.g. −1 ≤ v), so nothing can be pruned.
+			return nil, bp.Pred.Eval(feature.Missing), 1
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(bv), 64)
+		if err != nil {
+			return nil, bp.Pred.Eval(feature.Missing), 1
+		}
+		t := ix.tree[bp.Feat.ACol]
+		lo, hi := RangeBounds(bp.Feat.Measure, y, bp.Threshold)
+		got := t.ProbeRange(lo, hi)
+		// A-side unparseables also evaluate to Missing → keep.
+		if bp.Pred.Eval(feature.Missing) {
+			got = append(append([]int32(nil), got...), t.Unparseable()...)
+		}
+		sortIDs(got)
+		return got, false, int64(1 + len(got))
+	case PrefixSet:
+		k := specKey{PrefixSet, bp.Feat.ACol, bp.Feat.Token, bp.Feat.Measure}
+		idx := ix.prefix[k]
+		got, probes := idx.Probe(bp.Feat.Measure, bp.Threshold, bv)
+		return got, false, probes + 1
+	case ShareGram:
+		k := specKey{ShareGram, bp.Feat.ACol, tokenize.Gram3, bp.Feat.Measure}
+		idx := ix.prefix[k]
+		got, probes := idx.Probe(bp.Feat.Measure, bp.Threshold, bv)
+		return got, false, probes + 1
+	default:
+		return nil, true, 0
+	}
+}
+
+// ClauseCandidates unions predicate candidates for one clause (disjunction).
+func (ix *Indexes) ClauseCandidates(ci ClauseInfo, b *table.Table, row int) (cands []int32, all bool, cost int64) {
+	if !ci.Filterable {
+		return nil, true, 0
+	}
+	var lists [][]int32
+	for _, bp := range ci.Preds {
+		got, isAll, c := ix.PredCandidates(bp, b, row)
+		cost += c
+		if isAll {
+			return nil, true, cost
+		}
+		lists = append(lists, got)
+	}
+	return unionSorted(lists), false, cost
+}
+
+// RuleCandidates intersects the filterable clauses' candidates — the
+// C_Q ← ∩_q ∪_p FindProbableCandidates(V, p) step of Algorithm 1. Clauses
+// in `use` (indexes into a.Clauses) participate; pass nil to use all
+// filterable clauses. all=true means no clause pruned.
+func (ix *Indexes) RuleCandidates(a *Analysis, use []int, b *table.Table, row int) (cands []int32, all bool, cost int64) {
+	if use == nil {
+		use = a.FilterableClauses()
+	}
+	first := true
+	for _, cidx := range use {
+		got, isAll, c := ix.ClauseCandidates(a.Clauses[cidx], b, row)
+		cost += c
+		if isAll {
+			continue
+		}
+		if first {
+			cands, first = got, false
+			continue
+		}
+		cands = intersectSorted(cands, got)
+		if len(cands) == 0 {
+			return nil, false, cost
+		}
+	}
+	if first {
+		return nil, true, cost
+	}
+	return cands, false, cost
+}
+
+func sortIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// unionSorted merges sorted ID lists into a sorted, de-duplicated union.
+func unionSorted(lists [][]int32) []int32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	var out []int32
+	for _, l := range lists {
+		out = mergeUnion(out, l)
+	}
+	return out
+}
+
+func mergeUnion(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package index implements the filter indexes of Falcon §7.4–7.5: hash
+// indexes (equivalence filter), tree indexes (range filter), length indexes
+// (length filter), global token orderings, and prefix inverted indexes
+// (prefix + position filters). Indexes are built over table A (the indexed
+// side) and probed with tuples of B.
+//
+// Every index reports an estimated in-memory size so physical-operator
+// selection (§10.1) can respect the per-mapper memory budget.
+package index
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+// HashIndex supports the equivalence filter: value → tuple IDs.
+type HashIndex struct {
+	m     map[string][]int32
+	bytes int64
+}
+
+// BuildHash indexes the normalized values of column col of t. Missing
+// values are not indexed (a missing value never satisfies exact_match = 1).
+func BuildHash(t *table.Table, col int) *HashIndex {
+	h := &HashIndex{m: make(map[string][]int32)}
+	for i := 0; i < t.Len(); i++ {
+		v := normalize(t.Value(i, col))
+		if v == "" {
+			continue
+		}
+		if _, ok := h.m[v]; !ok {
+			h.bytes += int64(len(v)) + 48
+		}
+		h.m[v] = append(h.m[v], int32(i))
+		h.bytes += 4
+	}
+	return h
+}
+
+// Probe returns the IDs of tuples whose value equals v (normalized).
+func (h *HashIndex) Probe(v string) []int32 { return h.m[normalize(v)] }
+
+// SizeBytes estimates the index memory footprint.
+func (h *HashIndex) SizeBytes() int64 { return h.bytes }
+
+func normalize(v string) string {
+	if table.IsMissing(v) {
+		return ""
+	}
+	return strings.ToLower(strings.TrimSpace(v))
+}
+
+// TreeIndex supports the range filter: a sorted array of (value, id),
+// standing in for a B-tree. Tuples whose value does not parse are kept
+// aside: their numeric features evaluate to the Missing sentinel, which
+// keep-side predicates like "abs_diff ≤ v" accept, so candidate generation
+// must be able to include them.
+type TreeIndex struct {
+	vals        []float64
+	ids         []int32
+	unparseable []int32
+}
+
+// BuildTree indexes the parseable numeric values of column col.
+func BuildTree(t *table.Table, col int) *TreeIndex {
+	type pair struct {
+		v  float64
+		id int32
+	}
+	var ps []pair
+	var unparseable []int32
+	for i := 0; i < t.Len(); i++ {
+		if f, ok := parseNum(t.Value(i, col)); ok {
+			ps = append(ps, pair{f, int32(i)})
+		} else {
+			unparseable = append(unparseable, int32(i))
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].v != ps[j].v {
+			return ps[i].v < ps[j].v
+		}
+		return ps[i].id < ps[j].id
+	})
+	idx := &TreeIndex{vals: make([]float64, len(ps)), ids: make([]int32, len(ps)), unparseable: unparseable}
+	for i, p := range ps {
+		idx.vals[i] = p.v
+		idx.ids[i] = p.id
+	}
+	return idx
+}
+
+// Unparseable returns the IDs of tuples whose value did not parse.
+func (ti *TreeIndex) Unparseable() []int32 { return ti.unparseable }
+
+func parseNum(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if table.IsMissing(s) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// ProbeRange returns IDs with value in [lo, hi].
+func (ti *TreeIndex) ProbeRange(lo, hi float64) []int32 {
+	start := sort.SearchFloat64s(ti.vals, lo)
+	var out []int32
+	for i := start; i < len(ti.vals) && ti.vals[i] <= hi; i++ {
+		out = append(out, ti.ids[i])
+	}
+	return out
+}
+
+// SizeBytes estimates the index memory footprint.
+func (ti *TreeIndex) SizeBytes() int64 { return int64(len(ti.vals)) * 12 }
+
+// Ordering is the global token ordering of §7.5: tokens ranked by increasing
+// corpus frequency, so prefixes hold the rarest tokens.
+type Ordering struct {
+	rank map[string]int32
+}
+
+// BuildOrdering ranks tokens by (frequency asc, token asc).
+func BuildOrdering(freq map[string]int) *Ordering {
+	tokens := make([]string, 0, len(freq))
+	for t := range freq {
+		tokens = append(tokens, t)
+	}
+	sort.Slice(tokens, func(i, j int) bool {
+		if freq[tokens[i]] != freq[tokens[j]] {
+			return freq[tokens[i]] < freq[tokens[j]]
+		}
+		return tokens[i] < tokens[j]
+	})
+	o := &Ordering{rank: make(map[string]int32, len(tokens))}
+	for i, t := range tokens {
+		o.rank[t] = int32(i)
+	}
+	return o
+}
+
+// Rank returns the token's rank; unknown tokens rank after all known ones.
+func (o *Ordering) Rank(t string) int32 {
+	if r, ok := o.rank[t]; ok {
+		return r
+	}
+	return int32(len(o.rank))
+}
+
+// Len returns the number of ranked tokens.
+func (o *Ordering) Len() int { return len(o.rank) }
+
+// Reorder sorts a token set by rank ascending (rarest first); unknown
+// tokens go last, ordered lexicographically for determinism.
+func (o *Ordering) Reorder(tokens []string) []string {
+	out := append([]string(nil), tokens...)
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := o.Rank(out[i]), o.Rank(out[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// SizeBytes estimates the ordering memory footprint.
+func (o *Ordering) SizeBytes() int64 {
+	var b int64
+	for t := range o.rank {
+		b += int64(len(t)) + 20
+	}
+	return b
+}
+
+// TokenFrequencies counts token frequencies of column col under the given
+// tokenization across the table — the §7.5 first MR job's computation.
+func TokenFrequencies(t *table.Table, col int, kind tokenize.Kind) map[string]int {
+	freq := map[string]int{}
+	for i := 0; i < t.Len(); i++ {
+		v := t.Value(i, col)
+		if table.IsMissing(v) {
+			continue
+		}
+		for _, tok := range tokenize.Set(kind, v) {
+			freq[tok]++
+		}
+	}
+	return freq
+}

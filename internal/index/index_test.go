@@ -1,0 +1,379 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/mapreduce"
+	"falcon/internal/simfn"
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+func yearPriceTable() *table.Table {
+	t := table.New("A", table.NewSchema("year", "price", "title"))
+	t.Append("1999", "10.5", "the art of war")
+	t.Append("2005", "30", "war and peace")
+	t.Append("1999", "12", "the go programming language")
+	t.Append("", "abc", "art history of war and peace treaties")
+	t.Append("2010", "50", "peace")
+	t.InferTypes()
+	return t
+}
+
+func TestHashIndex(t *testing.T) {
+	tb := yearPriceTable()
+	h := BuildHash(tb, 0)
+	got := h.Probe("1999")
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Probe(1999) = %v", got)
+	}
+	if h.Probe("2020") != nil {
+		t.Fatal("unknown year should probe empty")
+	}
+	if h.Probe("") != nil {
+		t.Fatal("missing value should not be indexed")
+	}
+	if h.Probe(" 1999 ") == nil {
+		t.Fatal("probe should normalize whitespace")
+	}
+	if h.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not estimated")
+	}
+}
+
+func TestTreeIndex(t *testing.T) {
+	tb := yearPriceTable()
+	ti := BuildTree(tb, 1)
+	got := ti.ProbeRange(10, 15)
+	if len(got) != 2 {
+		t.Fatalf("ProbeRange(10,15) = %v", got)
+	}
+	if got[0] != 0 || got[1] != 2 {
+		t.Fatalf("ProbeRange order = %v", got)
+	}
+	if ti.ProbeRange(100, 200) != nil {
+		t.Fatal("out-of-range probe should be empty")
+	}
+	all := ti.ProbeRange(-1e9, 1e9)
+	if len(all) != 4 { // "abc" row is unparseable
+		t.Fatalf("all probe = %v", all)
+	}
+	if ti.SizeBytes() != 4*12 {
+		t.Fatalf("SizeBytes = %d", ti.SizeBytes())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	freq := map[string]int{"the": 10, "war": 3, "zebra": 1, "art": 3}
+	o := BuildOrdering(freq)
+	if o.Len() != 4 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	// zebra (1) < art (3, lex) < war (3) < the (10)
+	if !(o.Rank("zebra") < o.Rank("art") && o.Rank("art") < o.Rank("war") && o.Rank("war") < o.Rank("the")) {
+		t.Fatalf("ranks wrong: zebra=%d art=%d war=%d the=%d", o.Rank("zebra"), o.Rank("art"), o.Rank("war"), o.Rank("the"))
+	}
+	if o.Rank("unknown") != 4 {
+		t.Fatalf("unknown rank = %d, want 4", o.Rank("unknown"))
+	}
+	re := o.Reorder([]string{"the", "war", "zebra"})
+	if re[0] != "zebra" || re[2] != "the" {
+		t.Fatalf("Reorder = %v", re)
+	}
+	if o.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not estimated")
+	}
+}
+
+func TestTokenFrequencies(t *testing.T) {
+	tb := yearPriceTable()
+	freq := TokenFrequencies(tb, 2, tokenize.Word)
+	if freq["war"] != 3 {
+		t.Fatalf(`freq["war"] = %d, want 3`, freq["war"])
+	}
+	if freq["go"] != 1 {
+		t.Fatalf(`freq["go"] = %d`, freq["go"])
+	}
+}
+
+func TestPrefixLen(t *testing.T) {
+	// Jaccard t=0.6, l=10: alpha=6 → prefix 5.
+	if got := PrefixLen(simfn.MJaccard, 10, 0.6); got != 5 {
+		t.Fatalf("jaccard prefix = %d, want 5", got)
+	}
+	// Overlap: conservative full set.
+	if got := PrefixLen(simfn.MOverlap, 10, 0.6); got != 10 {
+		t.Fatalf("overlap prefix = %d, want 10", got)
+	}
+	if PrefixLen(simfn.MJaccard, 0, 0.6) != 0 {
+		t.Fatal("empty set prefix should be 0")
+	}
+	if PrefixLen(simfn.MJaccard, 5, 0) != 5 {
+		t.Fatal("zero threshold should use full set")
+	}
+	// Prefix never exceeds l nor drops below 1 for non-empty sets.
+	if got := PrefixLen(simfn.MJaccard, 3, 0.99); got != 1 {
+		t.Fatalf("tight threshold prefix = %d, want 1", got)
+	}
+}
+
+func TestLengthBounds(t *testing.T) {
+	lo, hi, ok := LengthBounds(simfn.MJaccard, 10, 0.5)
+	if !ok || lo != 5 || hi != 20 {
+		t.Fatalf("jaccard bounds = [%d,%d] ok=%v", lo, hi, ok)
+	}
+	if _, _, ok := LengthBounds(simfn.MOverlap, 10, 0.5); ok {
+		t.Fatal("overlap should admit no length bound")
+	}
+	if _, _, ok := LengthBounds(simfn.MJaccard, 0, 0.5); ok {
+		t.Fatal("empty probe should admit no bound")
+	}
+}
+
+func titlesTable(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa", "war", "peace", "art"}
+	t := table.New("A", table.NewSchema("title"))
+	for i := 0; i < n; i++ {
+		k := 2 + rng.Intn(6)
+		var ts []string
+		for j := 0; j < k; j++ {
+			ts = append(ts, words[rng.Intn(len(words))])
+		}
+		t.Append(joinWords(ts))
+	}
+	t.InferTypes()
+	return t
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+// TestPrefixIndexCompleteness is the critical correctness property of §7.4:
+// the filters are necessary conditions, so every tuple that actually
+// satisfies the predicate must be in the candidate set.
+func TestPrefixIndexCompleteness(t *testing.T) {
+	for _, m := range []simfn.Measure{simfn.MJaccard, simfn.MDice, simfn.MCosine, simfn.MOverlap} {
+		for _, thr := range []float64{0.3, 0.5, 0.7, 0.9} {
+			a := titlesTable(120, 1)
+			probeT := titlesTable(40, 2)
+			ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+			idx := BuildPrefix(a, 0, tokenize.Word, ord, m, thr)
+			for row := 0; row < probeT.Len(); row++ {
+				val := probeT.Value(row, 0)
+				cands, _ := idx.Probe(m, thr, val)
+				candSet := map[int32]bool{}
+				for _, c := range cands {
+					candSet[c] = true
+				}
+				bToks := tokenize.Set(tokenize.Word, val)
+				for aRow := 0; aRow < a.Len(); aRow++ {
+					aToks := tokenize.Set(tokenize.Word, a.Value(aRow, 0))
+					var sim float64
+					switch m {
+					case simfn.MJaccard:
+						sim = simfn.Jaccard(aToks, bToks)
+					case simfn.MDice:
+						sim = simfn.Dice(aToks, bToks)
+					case simfn.MCosine:
+						sim = simfn.Cosine(aToks, bToks)
+					case simfn.MOverlap:
+						sim = simfn.Overlap(aToks, bToks)
+					}
+					if sim >= thr && !candSet[int32(aRow)] {
+						t.Fatalf("%v thr=%.1f: tuple %d (sim=%.3f vs %q) missing from candidates",
+							m, thr, aRow, sim, val)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixIndexPrunes(t *testing.T) {
+	a := titlesTable(500, 3)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	idx := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.8)
+	cands, probes := idx.Probe(simfn.MJaccard, 0.8, "alpha beta gamma")
+	if len(cands) >= a.Len()/2 {
+		t.Fatalf("filter pruned nothing: %d of %d", len(cands), a.Len())
+	}
+	if probes <= 0 {
+		t.Fatal("probe cost not accounted")
+	}
+}
+
+func TestPrefixProbeBelowBuildThresholdPanics(t *testing.T) {
+	a := titlesTable(10, 4)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	idx := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.Probe(simfn.MJaccard, 0.3, "alpha")
+}
+
+func TestPrefixProbeEmptyValue(t *testing.T) {
+	a := titlesTable(10, 5)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	idx := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.5)
+	cands, probes := idx.Probe(simfn.MJaccard, 0.5, "")
+	if cands != nil || probes != 0 {
+		t.Fatal("empty probe should return nothing")
+	}
+}
+
+func TestLengthIndex(t *testing.T) {
+	tb := yearPriceTable()
+	li := BuildLength(tb, 2, tokenize.Word)
+	got := li.ProbeRange(4, 5)
+	// "the art of war"(4), "war and peace"(3)? no: 3 tokens. titles:
+	// row0: 4 tokens, row1: 3, row2: 5 ("the go programming language" = 4),
+	// recompute: row2 "the go programming language" = 4 tokens.
+	for _, id := range got {
+		n := len(tokenize.Set(tokenize.Word, tb.Value(int(id), 2)))
+		if n < 4 || n > 5 {
+			t.Fatalf("id %d has %d tokens, outside [4,5]", id, n)
+		}
+	}
+	if li.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes missing")
+	}
+}
+
+func TestBuildOrderingMR(t *testing.T) {
+	tb := yearPriceTable()
+	c := mapreduce.Default()
+	ord, sim, err := BuildOrderingMR(c, tb, 2, tokenize.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim <= 0 {
+		t.Fatal("no sim time")
+	}
+	// MR ordering must agree with the pure builder.
+	pure := BuildOrdering(TokenFrequencies(tb, 2, tokenize.Word))
+	if ord.Len() != pure.Len() {
+		t.Fatalf("MR ordering size %d vs pure %d", ord.Len(), pure.Len())
+	}
+	for _, tok := range []string{"the", "war", "peace", "go"} {
+		if ord.Rank(tok) != pure.Rank(tok) {
+			t.Fatalf("rank(%s): MR %d vs pure %d", tok, ord.Rank(tok), pure.Rank(tok))
+		}
+	}
+}
+
+func TestBuildPrefixMRMatchesPure(t *testing.T) {
+	a := titlesTable(100, 6)
+	c := mapreduce.Default()
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	mrIdx, sim, err := BuildPrefixMR(c, a, 0, tokenize.Word, ord, simfn.MJaccard, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim <= 0 {
+		t.Fatal("no sim time")
+	}
+	pure := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.6)
+	for row := 0; row < 20; row++ {
+		val := a.Value(row, 0)
+		c1, _ := mrIdx.Probe(simfn.MJaccard, 0.6, val)
+		c2, _ := pure.Probe(simfn.MJaccard, 0.6, val)
+		if len(c1) != len(c2) {
+			t.Fatalf("probe %q: MR %v vs pure %v", val, c1, c2)
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("probe %q order: MR %v vs pure %v", val, c1, c2)
+			}
+		}
+	}
+}
+
+func TestBuildHashTreeMR(t *testing.T) {
+	tb := yearPriceTable()
+	c := mapreduce.Default()
+	h, sim1, err := BuildHashMR(c, tb, 0)
+	if err != nil || sim1 <= 0 {
+		t.Fatalf("hash MR: %v %v", err, sim1)
+	}
+	if len(h.Probe("1999")) != 2 {
+		t.Fatal("hash MR content wrong")
+	}
+	ti, sim2, err := BuildTreeMR(c, tb, 1)
+	if err != nil || sim2 <= 0 {
+		t.Fatalf("tree MR: %v %v", err, sim2)
+	}
+	if len(ti.ProbeRange(10, 15)) != 2 {
+		t.Fatal("tree MR content wrong")
+	}
+}
+
+// Property: self-probe always returns self (any tuple satisfies sim ≥ t
+// against itself for t ≤ 1 when it has tokens).
+func TestQuickSelfProbe(t *testing.T) {
+	a := titlesTable(80, 7)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	idx := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.5)
+	f := func(row uint8) bool {
+		r := int(row) % a.Len()
+		cands, _ := idx.Probe(simfn.MJaccard, 0.5, a.Value(r, 0))
+		for _, c := range cands {
+			if int(c) == r {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: raising the probe threshold never grows the candidate set.
+func TestQuickThresholdMonotone(t *testing.T) {
+	a := titlesTable(100, 8)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	idx := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.4)
+	f := func(row uint8) bool {
+		r := int(row) % a.Len()
+		v := a.Value(r, 0)
+		c1, _ := idx.Probe(simfn.MJaccard, 0.4, v)
+		c2, _ := idx.Probe(simfn.MJaccard, 0.8, v)
+		return len(c2) <= len(c1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPrefixProbe(b *testing.B) {
+	a := titlesTable(5000, 9)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	idx := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Probe(simfn.MJaccard, 0.6, "alpha beta gamma delta")
+	}
+}
+
+func BenchmarkBuildPrefix(b *testing.B) {
+	a := titlesTable(2000, 10)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, 0.6)
+	}
+}

@@ -1,0 +1,172 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"falcon/internal/mapreduce"
+	"falcon/internal/simfn"
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+// The §7.5 index-build pipeline as MapReduce jobs:
+//
+//  1. count token frequencies over A's column,
+//  2. sort tokens by frequency into the global token ordering,
+//  3. build the prefix inverted index (and the length information it
+//     embeds) with one more pass.
+//
+// Hash and tree indexes are single-scan map jobs. Every builder returns the
+// modeled cluster time of its jobs so the optimizer can schedule index
+// building inside crowd time (§10.2 optimization 1).
+
+type tokenCount struct {
+	Tok   string
+	Count int
+}
+
+// BuildOrderingMR runs jobs 1–2 and returns the global token ordering.
+func BuildOrderingMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.Kind) (*Ordering, time.Duration, error) {
+	rows := rowSplits(t, c.Slots())
+	freqJob := mapreduce.Job[int, string, int, tokenCount]{
+		Name:   fmt.Sprintf("token-freq(%s,%s)", t.Schema.Attrs[col].Name, kind),
+		Splits: rows,
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int]) {
+			v := t.Value(row, col)
+			if table.IsMissing(v) {
+				return
+			}
+			toks := tokenize.Set(kind, v)
+			ctx.AddCost(int64(len(toks)))
+			for _, tok := range toks {
+				ctx.Emit(tok, 1)
+			}
+		},
+		Reduce: func(tok string, ones []int, ctx *mapreduce.ReduceCtx[tokenCount]) {
+			ctx.Output(tokenCount{Tok: tok, Count: len(ones)})
+		},
+	}
+	fr, err := mapreduce.Run(c, freqJob)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	type freqKey struct {
+		Count int
+		Tok   string
+	}
+	sortJob := mapreduce.Job[tokenCount, freqKey, struct{}, string]{
+		Name:     "token-order",
+		Splits:   mapreduce.SplitSlice(fr.Output, c.Slots()),
+		Reducers: 1,
+		Map: func(tc tokenCount, ctx *mapreduce.MapCtx[freqKey, struct{}]) {
+			ctx.Emit(freqKey{tc.Count, tc.Tok}, struct{}{})
+		},
+		Less: func(a, b freqKey) bool {
+			if a.Count != b.Count {
+				return a.Count < b.Count
+			}
+			return a.Tok < b.Tok
+		},
+		Reduce: func(k freqKey, _ []struct{}, ctx *mapreduce.ReduceCtx[string]) {
+			ctx.Output(k.Tok)
+		},
+	}
+	sr, err := mapreduce.Run(c, sortJob)
+	if err != nil {
+		return nil, 0, err
+	}
+	ord := &Ordering{rank: make(map[string]int32, len(sr.Output))}
+	for i, tok := range sr.Output {
+		ord.rank[tok] = int32(i)
+	}
+	return ord, fr.Stats.SimTime + sr.Stats.SimTime, nil
+}
+
+type postingRec struct {
+	Tok string
+	P   Posting
+}
+
+// BuildPrefixMR runs job 3 and returns the prefix index.
+func BuildPrefixMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m simfn.Measure, threshold float64) (*PrefixIndex, time.Duration, error) {
+	setLen := make([]int32, t.Len())
+	job := mapreduce.Job[int, string, Posting, postingRec]{
+		Name:   fmt.Sprintf("prefix-index(%s,%s,%.2f)", t.Schema.Attrs[col].Name, kind, threshold),
+		Splits: rowSplits(t, c.Slots()),
+		Map: func(row int, ctx *mapreduce.MapCtx[string, Posting]) {
+			v := t.Value(row, col)
+			if table.IsMissing(v) {
+				return
+			}
+			tokens := ord.Reorder(tokenize.Set(kind, v))
+			setLen[row] = int32(len(tokens))
+			ctx.AddCost(int64(len(tokens)))
+			p := PrefixLen(m, len(tokens), threshold)
+			for pos := 0; pos < p; pos++ {
+				ctx.Emit(tokens[pos], Posting{ID: int32(row), Pos: int32(pos)})
+			}
+		},
+		Reduce: func(tok string, ps []Posting, ctx *mapreduce.ReduceCtx[postingRec]) {
+			for _, p := range ps {
+				ctx.Output(postingRec{Tok: tok, P: p})
+			}
+		},
+	}
+	res, err := mapreduce.Run(c, job)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx := &PrefixIndex{Kind: kind, Threshold: threshold, ord: ord, post: map[string][]Posting{}, setLen: setLen}
+	for _, pr := range res.Output {
+		if _, ok := idx.post[pr.Tok]; !ok {
+			idx.bytes += int64(len(pr.Tok)) + 48
+		}
+		idx.post[pr.Tok] = append(idx.post[pr.Tok], pr.P)
+		idx.bytes += 12
+	}
+	// Postings arrive grouped by token but per-token order must follow
+	// tuple ID for deterministic probing.
+	for tok := range idx.post {
+		ps := idx.post[tok]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+	}
+	idx.bytes += int64(len(setLen)) * 4
+	return idx, res.Stats.SimTime, nil
+}
+
+// BuildHashMR builds a hash index, charging one scan of the table.
+func BuildHashMR(c *mapreduce.Cluster, t *table.Table, col int) (*HashIndex, time.Duration, error) {
+	res, err := mapreduce.RunMapOnly(c, mapreduce.MapOnlyJob[int, struct{}]{
+		Name:   fmt.Sprintf("hash-index(%s)", t.Schema.Attrs[col].Name),
+		Splits: rowSplits(t, c.Slots()),
+		Map:    func(row int, ctx *mapreduce.MapOnlyCtx[struct{}]) {},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return BuildHash(t, col), res.Stats.SimTime, nil
+}
+
+// BuildTreeMR builds a tree (range) index, charging one scan plus sort.
+func BuildTreeMR(c *mapreduce.Cluster, t *table.Table, col int) (*TreeIndex, time.Duration, error) {
+	res, err := mapreduce.RunMapOnly(c, mapreduce.MapOnlyJob[int, struct{}]{
+		Name:   fmt.Sprintf("tree-index(%s)", t.Schema.Attrs[col].Name),
+		Splits: rowSplits(t, c.Slots()),
+		Map:    func(row int, ctx *mapreduce.MapOnlyCtx[struct{}]) { ctx.AddCost(1) },
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return BuildTree(t, col), res.Stats.SimTime, nil
+}
+
+func rowSplits(t *table.Table, n int) [][]int {
+	rows := make([]int, t.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return mapreduce.SplitSlice(rows, n)
+}

@@ -1,0 +1,239 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"falcon/internal/simfn"
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+// Posting locates one prefix token occurrence: the tuple and the token's
+// position within the tuple's reordered token set.
+type Posting struct {
+	ID  int32
+	Pos int32
+}
+
+// PrefixLen returns how many tokens of an l-token set must be indexed (or
+// probed) so that any pair satisfying measure ≥ t shares a token within both
+// prefixes. For Overlap and Levenshtein no tight prefix bound applies, so
+// the full set is used (a share-token filter).
+func PrefixLen(m simfn.Measure, l int, t float64) int {
+	if l == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return l
+	}
+	var alpha int // minimal possible overlap with an equal-size partner
+	switch m {
+	case simfn.MJaccard:
+		alpha = int(math.Ceil(t * float64(l)))
+	case simfn.MDice:
+		alpha = int(math.Ceil(t / (2 - t) * float64(l)))
+	case simfn.MCosine:
+		alpha = int(math.Ceil(t * t * float64(l)))
+	default:
+		return l
+	}
+	p := l - alpha + 1
+	if p < 1 {
+		p = 1
+	}
+	if p > l {
+		p = l
+	}
+	return p
+}
+
+// LengthBounds returns the [lo,hi] token-set size range an indexed set must
+// fall in to possibly satisfy measure ≥ t against a probe set of size lb.
+// ok=false means the measure admits no length filter.
+func LengthBounds(m simfn.Measure, lb int, t float64) (lo, hi int, ok bool) {
+	if t <= 0 || lb == 0 {
+		return 0, 0, false
+	}
+	switch m {
+	case simfn.MJaccard:
+		return int(math.Ceil(t * float64(lb))), int(math.Floor(float64(lb) / t)), true
+	case simfn.MDice:
+		r := t / (2 - t)
+		return int(math.Ceil(r * float64(lb))), int(math.Floor(float64(lb) / r)), true
+	case simfn.MCosine:
+		return int(math.Ceil(t * t * float64(lb))), int(math.Floor(float64(lb) / (t * t))), true
+	default:
+		return 0, 0, false
+	}
+}
+
+// requiredOverlap returns the minimal |x∩y| for measure ≥ t given both set
+// sizes (used by the position filter). ok=false means no bound.
+func requiredOverlap(m simfn.Measure, lx, ly int, t float64) (int, bool) {
+	if t <= 0 {
+		return 0, false
+	}
+	switch m {
+	case simfn.MJaccard:
+		return int(math.Ceil(t / (1 + t) * float64(lx+ly))), true
+	case simfn.MDice:
+		return int(math.Ceil(t * float64(lx+ly) / 2)), true
+	case simfn.MCosine:
+		return int(math.Ceil(t * math.Sqrt(float64(lx)*float64(ly)))), true
+	case simfn.MOverlap:
+		lo := lx
+		if ly < lo {
+			lo = ly
+		}
+		return int(math.Ceil(t * float64(lo))), true
+	default:
+		return 0, false
+	}
+}
+
+// PrefixIndex is the inverted index over reordered prefix tokens plus the
+// per-tuple set lengths, implementing the prefix, position, and length
+// filters for one (attribute, tokenization) pair at a build threshold.
+// Probing with any threshold ≥ the build threshold remains correct.
+type PrefixIndex struct {
+	Kind      tokenize.Kind
+	Threshold float64
+	ord       *Ordering
+	post      map[string][]Posting
+	setLen    []int32
+	bytes     int64
+}
+
+// BuildPrefix builds the index over column col of t for the given measure
+// and threshold.
+func BuildPrefix(t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m simfn.Measure, threshold float64) *PrefixIndex {
+	idx := &PrefixIndex{
+		Kind:      kind,
+		Threshold: threshold,
+		ord:       ord,
+		post:      map[string][]Posting{},
+		setLen:    make([]int32, t.Len()),
+	}
+	for i := 0; i < t.Len(); i++ {
+		v := t.Value(i, col)
+		if table.IsMissing(v) {
+			continue
+		}
+		tokens := ord.Reorder(tokenize.Set(kind, v))
+		idx.setLen[i] = int32(len(tokens))
+		p := PrefixLen(m, len(tokens), threshold)
+		for pos := 0; pos < p; pos++ {
+			tok := tokens[pos]
+			if _, ok := idx.post[tok]; !ok {
+				idx.bytes += int64(len(tok)) + 48
+			}
+			idx.post[tok] = append(idx.post[tok], Posting{ID: int32(i), Pos: int32(pos)})
+			idx.bytes += 12
+		}
+	}
+	idx.bytes += int64(len(idx.setLen)) * 4
+	return idx
+}
+
+// SetLen returns the indexed tuple's token-set size.
+func (idx *PrefixIndex) SetLen(id int32) int { return int(idx.setLen[id]) }
+
+// SizeBytes estimates the index memory footprint.
+func (idx *PrefixIndex) SizeBytes() int64 { return idx.bytes }
+
+// Probe returns candidate tuple IDs that may satisfy measure ≥ threshold
+// against the probe value, applying prefix, length, and position filters.
+// probes counts index lookups for cost accounting.
+func (idx *PrefixIndex) Probe(m simfn.Measure, threshold float64, value string) (cands []int32, probes int64) {
+	if threshold < idx.Threshold {
+		// The index prefix is too short for a laxer threshold; treat as a
+		// programming error rather than silently losing recall.
+		panic("index: probe threshold below build threshold")
+	}
+	tokens := idx.ord.Reorder(tokenize.Set(idx.Kind, value))
+	ly := len(tokens)
+	if ly == 0 {
+		return nil, 0
+	}
+	p := PrefixLen(m, ly, threshold)
+	lo, hi, hasLen := LengthBounds(m, ly, threshold)
+	seen := map[int32]bool{}
+	for pos := 0; pos < p; pos++ {
+		plist := idx.post[tokens[pos]]
+		probes++
+		for _, pst := range plist {
+			probes++
+			if seen[pst.ID] {
+				continue
+			}
+			lx := int(idx.setLen[pst.ID])
+			if hasLen && (lx < lo || lx > hi) {
+				continue
+			}
+			// Position filter: overlap achievable from here on must reach
+			// the required overlap.
+			if alpha, ok := requiredOverlap(m, lx, ly, threshold); ok {
+				ub := 1 + min(lx-int(pst.Pos)-1, ly-pos-1)
+				if ub < alpha {
+					continue
+				}
+			}
+			seen[pst.ID] = true
+			cands = append(cands, pst.ID)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	return cands, probes
+}
+
+// LengthIndex is a standalone length filter: token-set length → tuple IDs.
+type LengthIndex struct {
+	lens []int32 // sorted
+	ids  []int32
+}
+
+// BuildLength indexes token-set lengths of column col under kind.
+func BuildLength(t *table.Table, col int, kind tokenize.Kind) *LengthIndex {
+	type pair struct{ l, id int32 }
+	var ps []pair
+	for i := 0; i < t.Len(); i++ {
+		v := t.Value(i, col)
+		if table.IsMissing(v) {
+			continue
+		}
+		ps = append(ps, pair{int32(len(tokenize.Set(kind, v))), int32(i)})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].l != ps[j].l {
+			return ps[i].l < ps[j].l
+		}
+		return ps[i].id < ps[j].id
+	})
+	li := &LengthIndex{lens: make([]int32, len(ps)), ids: make([]int32, len(ps))}
+	for i, p := range ps {
+		li.lens[i] = p.l
+		li.ids[i] = p.id
+	}
+	return li
+}
+
+// ProbeRange returns IDs whose length lies in [lo, hi].
+func (li *LengthIndex) ProbeRange(lo, hi int) []int32 {
+	start := sort.Search(len(li.lens), func(i int) bool { return li.lens[i] >= int32(lo) })
+	var out []int32
+	for i := start; i < len(li.lens) && li.lens[i] <= int32(hi); i++ {
+		out = append(out, li.ids[i])
+	}
+	return out
+}
+
+// SizeBytes estimates the index memory footprint.
+func (li *LengthIndex) SizeBytes() int64 { return int64(len(li.lens)) * 8 }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

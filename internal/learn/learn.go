@@ -1,0 +1,385 @@
+// Package learn implements Falcon's al_matcher operator: crowdsourced
+// active learning of a random-forest matcher (paper §9) with the iteration
+// cap of §3.4 and the masked pair-selection optimization of §10.2(3).
+//
+// Each iteration trains a forest on the labeled pairs so far, scores the
+// unlabeled pool by vote entropy on the cluster, selects the most
+// controversial batch (20 pairs), has the crowd label it, and repeats until
+// convergence or the iteration cap. The masked variant selects 40 pairs in
+// the first iteration and thereafter overlaps "select next batch" with
+// "crowd labels current batch", trading an approximate matcher for masked
+// selection time.
+package learn
+
+import (
+	"sort"
+	"time"
+
+	"falcon/internal/crowd"
+	"falcon/internal/forest"
+	"falcon/internal/mapreduce"
+	"falcon/internal/table"
+)
+
+// Oracle supplies ground-truth labels (the simulated crowd perturbs them).
+type Oracle func(table.Pair) bool
+
+// Item is one pool entry: a pair and its feature vector.
+type Item struct {
+	Pair table.Pair
+	Vec  []float64
+}
+
+// Config controls active learning.
+type Config struct {
+	// MaxIterations caps crowd iterations (paper: 30, incl. the seed round).
+	MaxIterations int
+	// Forest configures matcher training.
+	Forest forest.Config
+	// Masked enables the §10.2(3) pair-selection masking.
+	Masked bool
+	// ConvergeDelta: converged when the fraction of pool predictions that
+	// changed stays below this for two consecutive iterations (default
+	// 0.002).
+	ConvergeDelta float64
+	// SeedScore ranks pool items for the seed round (higher = more likely
+	// to match). Default: mean feature value — callers should supply a
+	// similarity-aware score when the feature space mixes similarities
+	// with unbounded distances.
+	SeedScore func(vec []float64) float64
+	// trainCostPerExample models in-memory forest training time.
+	TrainCostPerExample time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 30
+	}
+	if c.ConvergeDelta <= 0 {
+		c.ConvergeDelta = 0.002
+	}
+	if c.TrainCostPerExample <= 0 {
+		c.TrainCostPerExample = 200 * time.Microsecond
+	}
+	return c
+}
+
+// IterTrace records one iteration's activity for timeline scheduling.
+type IterTrace struct {
+	// Selection is cluster time spent scoring the pool and picking pairs.
+	Selection time.Duration
+	// Training is (modeled) matcher training time.
+	Training time.Duration
+	// CrowdLatency is the crowd time of this iteration's labeling batch.
+	CrowdLatency time.Duration
+	// Questions asked this iteration.
+	Questions int
+	// SelectionMasked marks selections that overlap the previous batch's
+	// crowd labeling (the masked variant).
+	SelectionMasked bool
+}
+
+// Result is the outcome of active learning.
+type Result struct {
+	Forest *forest.Forest
+	// Labeled holds the crowd-labeled training examples;
+	// LabeledPairs[i] is the pair behind Labeled[i].
+	Labeled      []forest.Example
+	LabeledPairs []table.Pair
+	Iterations   int
+	Converged    bool
+	Trace        []IterTrace
+}
+
+// Learner runs crowdsourced active learning over a fixed pool.
+type Learner struct {
+	cluster *mapreduce.Cluster
+	crowd   *crowd.Crowd
+	oracle  Oracle
+	cfg     Config
+}
+
+// New creates a learner.
+func New(cluster *mapreduce.Cluster, cr *crowd.Crowd, oracle Oracle, cfg Config) *Learner {
+	return &Learner{cluster: cluster, crowd: cr, oracle: oracle, cfg: cfg.withDefaults()}
+}
+
+// scorePool applies the forest to every pool item on the cluster, returning
+// per-item match votes and the job's simulated time.
+func (l *Learner) scorePool(f *forest.Forest, pool []Item, labeled map[int]bool) ([]int, time.Duration, error) {
+	votes := make([]int, len(pool))
+	idx := make([]int, 0, len(pool))
+	for i := range pool {
+		if !labeled[i] {
+			idx = append(idx, i)
+		}
+	}
+	job := mapreduce.MapOnlyJob[int, struct{}]{
+		Name:   "al-pair-selection",
+		Splits: mapreduce.SplitSlice(idx, l.cluster.Slots()),
+		Map: func(i int, ctx *mapreduce.MapOnlyCtx[struct{}]) {
+			votes[i] = f.Votes(pool[i].Vec)
+			ctx.AddCost(int64(len(f.Trees)))
+		},
+	}
+	res, err := mapreduce.RunMapOnly(l.cluster, job)
+	if err != nil {
+		return nil, 0, err
+	}
+	return votes, res.Stats.SimTime, nil
+}
+
+// selectControversial returns the `take` unlabeled pool indexes with the
+// highest vote entropy (ties by index for determinism). Items with zero
+// entropy fill in only when nothing controversial remains.
+func selectControversial(votes []int, nTrees int, labeled map[int]bool, take int) []int {
+	type scored struct {
+		i       int
+		entropy float64
+	}
+	var cands []scored
+	for i, v := range votes {
+		if labeled[i] {
+			continue
+		}
+		p := float64(v) / float64(nTrees)
+		// Entropy ordering is monotone in min(p,1−p); avoid logs.
+		e := p
+		if e > 0.5 {
+			e = 1 - e
+		}
+		cands = append(cands, scored{i, e})
+	}
+	sort.Slice(cands, func(x, y int) bool {
+		if cands[x].entropy != cands[y].entropy {
+			return cands[x].entropy > cands[y].entropy
+		}
+		return cands[x].i < cands[y].i
+	})
+	if take > len(cands) {
+		take = len(cands)
+	}
+	out := make([]int, take)
+	for i := 0; i < take; i++ {
+		out[i] = cands[i].i
+	}
+	return out
+}
+
+// labelBatch asks the crowd for labels of the pool items at idx.
+func (l *Learner) labelBatch(pool []Item, idx []int) ([]bool, time.Duration) {
+	qs := make([]crowd.Question, len(idx))
+	for i, pi := range idx {
+		qs[i] = crowd.Question{Pair: pool[pi].Pair, Truth: l.oracle(pool[pi].Pair)}
+	}
+	return l.crowd.LabelMajority(qs)
+}
+
+// seedSelection picks the initial batch before any matcher exists: half the
+// pairs with the highest score (likely matches), half with the lowest
+// (likely non-matches).
+func seedSelection(pool []Item, take int, score func([]float64) float64) []int {
+	if score == nil {
+		score = meanScore
+	}
+	type scored struct {
+		i   int
+		avg float64
+	}
+	s := make([]scored, len(pool))
+	for i, it := range pool {
+		s[i] = scored{i, score(it.Vec)}
+	}
+	sort.Slice(s, func(x, y int) bool {
+		if s[x].avg != s[y].avg {
+			return s[x].avg > s[y].avg
+		}
+		return s[x].i < s[y].i
+	})
+	if take > len(s) {
+		take = len(s)
+	}
+	out := make([]int, 0, take)
+	for i := 0; i < take/2; i++ {
+		out = append(out, s[i].i)
+	}
+	for i := 0; len(out) < take; i++ {
+		out = append(out, s[len(s)-1-i].i)
+	}
+	return out
+}
+
+// meanScore is the default seed ranking: the mean feature value.
+func meanScore(vec []float64) float64 {
+	sum := 0.0
+	for _, v := range vec {
+		sum += v
+	}
+	return sum / float64(len(vec)+1)
+}
+
+// Run performs active learning over the pool. The pool's vectors must all
+// share one feature space.
+func (l *Learner) Run(pool []Item) (*Result, error) {
+	res := &Result{}
+	if len(pool) == 0 {
+		return res, nil
+	}
+	batch := l.crowd.BatchSize()
+	labeled := map[int]bool{}
+	addLabels := func(idx []int, lab []bool) {
+		for i, pi := range idx {
+			labeled[pi] = true
+			res.Labeled = append(res.Labeled, forest.Example{Values: pool[pi].Vec, Label: lab[i]})
+			res.LabeledPairs = append(res.LabeledPairs, pool[pi].Pair)
+		}
+	}
+
+	// Iteration 1: seed round (counts against the cap). The masked variant
+	// selects a double batch so the next labeling round can start without
+	// waiting on selection.
+	seedTake := batch
+	if l.cfg.Masked {
+		seedTake = 2 * batch
+	}
+	seedIdx := seedSelection(pool, seedTake, l.cfg.SeedScore)
+	firstIdx := seedIdx
+	var carryIdx []int
+	if l.cfg.Masked && len(seedIdx) > batch {
+		firstIdx, carryIdx = seedIdx[:batch], seedIdx[batch:]
+	}
+	lab, lat := l.labelBatch(pool, firstIdx)
+	addLabels(firstIdx, lab)
+	res.Trace = append(res.Trace, IterTrace{CrowdLatency: lat, Questions: len(firstIdx)})
+	res.Iterations = 1
+
+	// Ensure both classes exist before training; top up with extremes.
+	ensureBothClasses := func() {
+		hasPos, hasNeg := false, false
+		for _, e := range res.Labeled {
+			if e.Label {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		for tries := 0; (!hasPos || !hasNeg) && tries < 5 && len(labeled) < len(pool); tries++ {
+			idx := seedSelection(pool, len(labeled)+batch, l.cfg.SeedScore)
+			var fresh []int
+			for _, i := range idx {
+				if !labeled[i] {
+					fresh = append(fresh, i)
+				}
+				if len(fresh) == batch {
+					break
+				}
+			}
+			if len(fresh) == 0 {
+				return
+			}
+			lab, lat := l.labelBatch(pool, fresh)
+			addLabels(fresh, lab)
+			res.Trace = append(res.Trace, IterTrace{CrowdLatency: lat, Questions: len(fresh)})
+			res.Iterations++
+			for i := range fresh {
+				if lab[i] {
+					hasPos = true
+				} else {
+					hasNeg = true
+				}
+			}
+		}
+	}
+	ensureBothClasses()
+
+	var prevPred []bool
+	stableRounds := 0
+	trainSeed := l.cfg.Forest
+	for res.Iterations < l.cfg.MaxIterations {
+		// Train on everything labeled so far.
+		trainSeed.Seed = l.cfg.Forest.Seed + int64(res.Iterations)
+		f := forest.Train(res.Labeled, trainSeed)
+		res.Forest = f
+		trainDur := time.Duration(len(res.Labeled)) * l.cfg.TrainCostPerExample
+
+		votes, selDur, err := l.scorePool(f, pool, labeled)
+		if err != nil {
+			return nil, err
+		}
+
+		// Convergence: fraction of pool predictions that changed.
+		pred := make([]bool, len(pool))
+		for i, v := range votes {
+			pred[i] = 2*v > len(f.Trees)
+		}
+		if prevPred != nil {
+			changed := 0
+			for i := range pred {
+				if pred[i] != prevPred[i] {
+					changed++
+				}
+			}
+			if float64(changed)/float64(len(pred)) < l.cfg.ConvergeDelta {
+				stableRounds++
+			} else {
+				stableRounds = 0
+			}
+			if stableRounds >= 2 {
+				res.Converged = true
+				res.Trace = append(res.Trace, IterTrace{Selection: selDur, Training: trainDur, SelectionMasked: l.cfg.Masked})
+				break
+			}
+		}
+		prevPred = pred
+
+		// Pick the next batch. In masked mode the batch labeled now was
+		// selected during the previous labeling round.
+		var idx []int
+		if l.cfg.Masked && len(carryIdx) > 0 {
+			idx = carryIdx
+			carryIdx = selectControversial(votes, len(f.Trees), labeled, batch)
+			// Filter out anything that just got labeled via carry.
+			var next []int
+			inIdx := map[int]bool{}
+			for _, i := range idx {
+				inIdx[i] = true
+			}
+			for _, i := range carryIdx {
+				if !inIdx[i] {
+					next = append(next, i)
+				}
+			}
+			carryIdx = next
+		} else {
+			idx = selectControversial(votes, len(f.Trees), labeled, batch)
+			if l.cfg.Masked {
+				carryIdx = idx
+				continue // loop back to select via carry path with no label yet
+			}
+		}
+		if len(idx) == 0 {
+			res.Converged = true
+			break
+		}
+		lab, lat := l.labelBatch(pool, idx)
+		addLabels(idx, lab)
+		res.Trace = append(res.Trace, IterTrace{
+			Selection:       selDur,
+			Training:        trainDur,
+			CrowdLatency:    lat,
+			Questions:       len(idx),
+			SelectionMasked: l.cfg.Masked,
+		})
+		res.Iterations++
+	}
+
+	// Final matcher: retrain on everything labeled (the last batch's labels
+	// would otherwise go unused when the iteration cap fires).
+	if len(res.Labeled) == 0 {
+		return res, nil
+	}
+	final := l.cfg.Forest
+	final.Seed = l.cfg.Forest.Seed + int64(res.Iterations) + 1000
+	res.Forest = forest.Train(res.Labeled, final)
+	return res, nil
+}

@@ -1,0 +1,369 @@
+// Package mapreduce is Falcon's Hadoop substitute: an in-process MapReduce
+// engine with a deterministic cluster cost model.
+//
+// The paper runs every machine operator as MapReduce jobs on a 10-node
+// Hadoop cluster. We reproduce that execution model — splits, map tasks,
+// a shuffle grouping by key, reduce tasks — in one process, and model
+// cluster time explicitly: every task accrues cost units (one per record by
+// default; mappers and reducers may add more for heavy work such as index
+// probes or rule evaluations), and job time is the makespan of greedily
+// scheduling task costs onto nodes × slots parallel slots, plus shuffle and
+// fixed job overhead.
+//
+// The model is deterministic (no wall-clock measurement), which keeps every
+// experiment reproducible, and it preserves the behaviours the paper's
+// evaluation depends on: sub-linear speedup with cluster size (§11.4), skew
+// sensitivity (the §7.3 load-balancing optimization), and the memory-budget
+// ladder that picks among apply_all/greedy/conjunct/predicate (§10.1).
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Cluster describes the simulated Hadoop cluster.
+type Cluster struct {
+	// Nodes is the number of worker machines (paper default: 10).
+	Nodes int
+	// SlotsPerNode is the number of parallel task slots per node (8 cores).
+	SlotsPerNode int
+	// MapperMemory is the per-mapper memory budget in bytes used by
+	// physical-operator selection (paper default: 2 GB).
+	MapperMemory int64
+	// CostUnit converts one cost unit (≈ one record touch) into simulated
+	// time. Default 25µs.
+	CostUnit time.Duration
+	// ShuffleUnit is the simulated time per shuffled key/value pair spread
+	// across the cluster. Default 2µs.
+	ShuffleUnit time.Duration
+	// JobOverhead is the fixed startup/teardown time per job. Default 5s.
+	JobOverhead time.Duration
+}
+
+// Default returns the paper's 10-node, 8-slot, 2GB-mapper cluster.
+func Default() *Cluster {
+	return &Cluster{Nodes: 10, SlotsPerNode: 8, MapperMemory: 2 << 30}
+}
+
+func (c *Cluster) withDefaults() Cluster {
+	out := *c
+	if out.Nodes <= 0 {
+		out.Nodes = 10
+	}
+	if out.SlotsPerNode <= 0 {
+		out.SlotsPerNode = 8
+	}
+	if out.MapperMemory <= 0 {
+		out.MapperMemory = 2 << 30
+	}
+	if out.CostUnit <= 0 {
+		out.CostUnit = 25 * time.Microsecond
+	}
+	if out.ShuffleUnit <= 0 {
+		out.ShuffleUnit = 2 * time.Microsecond
+	}
+	if out.JobOverhead <= 0 {
+		out.JobOverhead = 5 * time.Second
+	}
+	return out
+}
+
+// Slots returns the number of parallel task slots.
+func (c *Cluster) Slots() int {
+	cc := c.withDefaults()
+	return cc.Nodes * cc.SlotsPerNode
+}
+
+// Stats describes one executed job.
+type Stats struct {
+	Name        string
+	MapTasks    int
+	ReduceTasks int
+	MapCost     int64 // total map cost units
+	ReduceCost  int64 // total reduce cost units
+	Shuffled    int64 // key/value pairs shuffled
+	// SimTime is the modeled cluster time for the job.
+	SimTime time.Duration
+	// Counters carries user counters.
+	Counters map[string]int64
+}
+
+// MapCtx is passed to map functions.
+type MapCtx[K comparable, V any] struct {
+	cost     int64
+	counters map[string]int64
+	emit     func(K, V)
+}
+
+// Emit sends a key/value pair to the shuffle.
+func (c *MapCtx[K, V]) Emit(k K, v V) { c.emit(k, v) }
+
+// AddCost charges extra cost units to the current task (e.g. per index
+// probe or per string comparison beyond the default one-per-record).
+func (c *MapCtx[K, V]) AddCost(units int64) { c.cost += units }
+
+// Inc increments a named counter.
+func (c *MapCtx[K, V]) Inc(name string, delta int64) { c.counters[name] += delta }
+
+// ReduceCtx is passed to reduce functions.
+type ReduceCtx[O any] struct {
+	cost     int64
+	counters map[string]int64
+	out      *[]O
+}
+
+// Output appends a record to the job output.
+func (c *ReduceCtx[O]) Output(o O) { *c.out = append(*c.out, o) }
+
+// AddCost charges extra cost units to the current reduce task.
+func (c *ReduceCtx[O]) AddCost(units int64) { c.cost += units }
+
+// Inc increments a named counter.
+func (c *ReduceCtx[O]) Inc(name string, delta int64) { c.counters[name] += delta }
+
+// Job is a full map/shuffle/reduce job. I is the input record type, K/V the
+// intermediate key/value types, O the output record type.
+type Job[I any, K comparable, V any, O any] struct {
+	Name string
+	// Splits are the input partitions; each becomes one map task.
+	Splits [][]I
+	// Map processes one record. Required.
+	Map func(rec I, ctx *MapCtx[K, V])
+	// Reduce processes one key group. Required.
+	Reduce func(key K, values []V, ctx *ReduceCtx[O])
+	// Reducers is the number of reduce tasks (default: cluster slots).
+	Reducers int
+	// Less optionally orders keys within a reduce partition; when nil,
+	// groups are processed in an engine-chosen but deterministic order.
+	Less func(a, b K) bool
+	// Partition optionally routes keys to reduce tasks; default hashes via
+	// fmt.Sprint. Must return a value in [0, Reducers).
+	Partition func(key K, reducers int) int
+}
+
+// Result carries job output and stats.
+type Result[O any] struct {
+	Output []O
+	Stats  Stats
+}
+
+// makespan schedules task costs onto n slots longest-first and returns the
+// resulting makespan in cost units.
+func makespan(tasks []int64, slots int) int64 {
+	if len(tasks) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	if slots < 1 {
+		slots = 1
+	}
+	loads := make([]int64, slots)
+	for _, t := range sorted {
+		// Assign to least-loaded slot.
+		min := 0
+		for i := 1; i < slots; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += t
+	}
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// fnv1a hashes a string.
+func fnv1a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Run executes the job and returns its output plus modeled cluster time.
+func Run[I any, K comparable, V any, O any](c *Cluster, job Job[I, K, V, O]) (*Result[O], error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs both Map and Reduce", job.Name)
+	}
+	cc := c.withDefaults()
+	reducers := job.Reducers
+	if reducers <= 0 {
+		reducers = cc.Nodes * cc.SlotsPerNode
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = func(k K, r int) int { return int(fnv1a(fmt.Sprint(k)) % uint64(r)) }
+	}
+
+	counters := map[string]int64{}
+	stats := Stats{Name: job.Name, MapTasks: len(job.Splits), ReduceTasks: reducers, Counters: counters}
+
+	// Map phase: each split is one task; record per-task cost.
+	groups := make([]map[K][]V, reducers)
+	for i := range groups {
+		groups[i] = map[K][]V{}
+	}
+	mapCosts := make([]int64, 0, len(job.Splits))
+	var shuffled int64
+	for _, split := range job.Splits {
+		mc := &MapCtx[K, V]{counters: counters}
+		mc.emit = func(k K, v V) {
+			p := partition(k, reducers)
+			groups[p][k] = append(groups[p][k], v)
+			shuffled++
+		}
+		for _, rec := range split {
+			mc.cost++ // every record costs at least one unit
+			job.Map(rec, mc)
+		}
+		mapCosts = append(mapCosts, mc.cost)
+		stats.MapCost += mc.cost
+	}
+	stats.Shuffled = shuffled
+
+	// Reduce phase: one task per reduce partition; keys ordered
+	// deterministically within a partition.
+	var output []O
+	reduceCosts := make([]int64, 0, reducers)
+	for p := 0; p < reducers; p++ {
+		g := groups[p]
+		if len(g) == 0 {
+			continue
+		}
+		keys := make([]K, 0, len(g))
+		for k := range g {
+			keys = append(keys, k)
+		}
+		if job.Less != nil {
+			sort.Slice(keys, func(i, j int) bool { return job.Less(keys[i], keys[j]) })
+		} else {
+			sort.Slice(keys, func(i, j int) bool { return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j]) })
+		}
+		rc := &ReduceCtx[O]{counters: counters, out: &output}
+		for _, k := range keys {
+			rc.cost += int64(len(g[k])) // each grouped value costs a unit
+			job.Reduce(k, g[k], rc)
+		}
+		reduceCosts = append(reduceCosts, rc.cost)
+		stats.ReduceCost += rc.cost
+	}
+
+	slots := cc.Nodes * cc.SlotsPerNode
+	mapSpan := makespan(mapCosts, slots)
+	reduceSpan := makespan(reduceCosts, slots)
+	stats.SimTime = cc.JobOverhead +
+		time.Duration(mapSpan)*cc.CostUnit +
+		time.Duration(reduceSpan)*cc.CostUnit +
+		time.Duration(shuffled/int64(slots))*cc.ShuffleUnit
+
+	return &Result[O]{Output: output, Stats: stats}, nil
+}
+
+// MapOnlyJob is a map-only job (no shuffle or reduce), used for gen_fvs,
+// apply_matcher, and speculative rule re-application.
+type MapOnlyJob[I any, O any] struct {
+	Name   string
+	Splits [][]I
+	// Map transforms one record into zero or more outputs via ctx.Output.
+	Map func(rec I, ctx *MapOnlyCtx[O])
+}
+
+// MapOnlyCtx is passed to map-only map functions.
+type MapOnlyCtx[O any] struct {
+	cost     int64
+	counters map[string]int64
+	out      *[]O
+}
+
+// Output appends a record to the job output.
+func (c *MapOnlyCtx[O]) Output(o O) { *c.out = append(*c.out, o) }
+
+// AddCost charges extra cost units.
+func (c *MapOnlyCtx[O]) AddCost(units int64) { c.cost += units }
+
+// Inc increments a named counter.
+func (c *MapOnlyCtx[O]) Inc(name string, delta int64) { c.counters[name] += delta }
+
+// RunMapOnly executes a map-only job.
+func RunMapOnly[I any, O any](c *Cluster, job MapOnlyJob[I, O]) (*Result[O], error) {
+	if job.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs Map", job.Name)
+	}
+	cc := c.withDefaults()
+	counters := map[string]int64{}
+	stats := Stats{Name: job.Name, MapTasks: len(job.Splits), Counters: counters}
+	var output []O
+	costs := make([]int64, 0, len(job.Splits))
+	for _, split := range job.Splits {
+		mc := &MapOnlyCtx[O]{counters: counters, out: &output}
+		for _, rec := range split {
+			mc.cost++
+			job.Map(rec, mc)
+		}
+		costs = append(costs, mc.cost)
+		stats.MapCost += mc.cost
+	}
+	slots := cc.Nodes * cc.SlotsPerNode
+	stats.SimTime = cc.JobOverhead + time.Duration(makespan(costs, slots))*cc.CostUnit
+	return &Result[O]{Output: output, Stats: stats}, nil
+}
+
+// SplitSlice partitions records into n roughly equal contiguous splits.
+func SplitSlice[T any](records []T, n int) [][]T {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(records) {
+		n = len(records)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][]T, 0, n)
+	size := (len(records) + n - 1) / n
+	for i := 0; i < len(records); i += size {
+		end := i + size
+		if end > len(records) {
+			end = len(records)
+		}
+		out = append(out, records[i:end])
+	}
+	return out
+}
+
+// Interleave builds splits that mix records from two inputs proportionally —
+// the §7.3 load-balancing optimization that evens out mapper loads when A
+// tuples are cheap and B tuples are expensive to process.
+func Interleave[T any](a, b []T, n int) [][]T {
+	if n < 1 {
+		n = 1
+	}
+	total := len(a) + len(b)
+	if total == 0 {
+		return nil
+	}
+	mixed := make([]T, 0, total)
+	// Round-robin proportional merge.
+	ia, ib := 0, 0
+	for ia < len(a) || ib < len(b) {
+		// Advance whichever stream is behind its proportional position.
+		if ib >= len(b) || (ia < len(a) && ia*len(b) <= ib*len(a)) {
+			mixed = append(mixed, a[ia])
+			ia++
+		} else {
+			mixed = append(mixed, b[ib])
+			ib++
+		}
+	}
+	return SplitSlice(mixed, n)
+}

@@ -1,0 +1,365 @@
+package mapreduce
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// wordCountJob builds the canonical MapReduce example over the given lines.
+func wordCountJob(lines []string, splits int) Job[string, string, int, [2]string] {
+	return Job[string, string, int, [2]string]{
+		Name:   "wordcount",
+		Splits: SplitSlice(lines, splits),
+		Map: func(line string, ctx *MapCtx[string, int]) {
+			for _, w := range strings.Fields(line) {
+				ctx.Emit(w, 1)
+			}
+		},
+		Reduce: func(key string, values []int, ctx *ReduceCtx[[2]string]) {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			ctx.Output([2]string{key, strings.Repeat("*", sum)})
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	lines := []string{"a b a", "b c", "a"}
+	res, err := Run(Default(), wordCountJob(lines, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, kv := range res.Output {
+		got[kv[0]] = len(kv[1])
+	}
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	if res.Stats.MapTasks != 2 {
+		t.Fatalf("MapTasks = %d", res.Stats.MapTasks)
+	}
+	if res.Stats.Shuffled != 6 {
+		t.Fatalf("Shuffled = %d, want 6", res.Stats.Shuffled)
+	}
+	if res.Stats.SimTime <= 0 {
+		t.Fatal("SimTime not modeled")
+	}
+}
+
+func TestRunRequiresFunctions(t *testing.T) {
+	if _, err := Run(Default(), Job[int, int, int, int]{Name: "x"}); err == nil {
+		t.Fatal("missing Map/Reduce should error")
+	}
+	if _, err := RunMapOnly(Default(), MapOnlyJob[int, int]{Name: "x"}); err == nil {
+		t.Fatal("missing Map should error")
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	lines := []string{"z y x w v u t s r q p o n m l k j i h g f e d c b a"}
+	run := func() []string {
+		res, err := Run(Default(), wordCountJob(lines, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []string
+		for _, kv := range res.Output {
+			keys = append(keys, kv[0])
+		}
+		return keys
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("output order not deterministic")
+		}
+	}
+}
+
+func TestCustomLessOrdersKeys(t *testing.T) {
+	job := wordCountJob([]string{"b a c"}, 1)
+	job.Reducers = 1
+	job.Less = func(x, y string) bool { return x < y }
+	res, err := Run(Default(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, kv := range res.Output {
+		keys = append(keys, kv[0])
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+}
+
+func TestCustomPartition(t *testing.T) {
+	job := wordCountJob([]string{"a b c d"}, 1)
+	job.Reducers = 2
+	job.Partition = func(k string, r int) int {
+		if k < "c" {
+			return 0
+		}
+		return 1
+	}
+	res, err := Run(Default(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 4 {
+		t.Fatalf("output size %d", len(res.Output))
+	}
+	if res.Stats.ReduceTasks != 2 {
+		t.Fatalf("ReduceTasks = %d", res.Stats.ReduceTasks)
+	}
+}
+
+func TestMapOnly(t *testing.T) {
+	job := MapOnlyJob[int, int]{
+		Name:   "square",
+		Splits: SplitSlice([]int{1, 2, 3, 4}, 2),
+		Map: func(x int, ctx *MapOnlyCtx[int]) {
+			ctx.Output(x * x)
+		},
+	}
+	res, err := RunMapOnly(Default(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 4 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	sum := 0
+	for _, v := range res.Output {
+		sum += v
+	}
+	if sum != 30 {
+		t.Fatalf("sum = %d, want 30", sum)
+	}
+}
+
+func TestCountersAndCost(t *testing.T) {
+	job := MapOnlyJob[int, int]{
+		Name:   "c",
+		Splits: [][]int{{1, 2, 3}},
+		Map: func(x int, ctx *MapOnlyCtx[int]) {
+			ctx.AddCost(9) // 10 units total per record with the base unit
+			ctx.Inc("seen", 1)
+		},
+	}
+	res, err := RunMapOnly(Default(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MapCost != 30 {
+		t.Fatalf("MapCost = %d, want 30", res.Stats.MapCost)
+	}
+	if res.Stats.Counters["seen"] != 3 {
+		t.Fatalf("counter = %d", res.Stats.Counters["seen"])
+	}
+}
+
+func TestClusterSizeSpeedup(t *testing.T) {
+	// 64 equal tasks on 5 vs 20 nodes: more slots → shorter sim time, with
+	// sub-linear returns once tasks ≤ slots.
+	mkCluster := func(nodes int) *Cluster {
+		return &Cluster{Nodes: nodes, SlotsPerNode: 8, JobOverhead: time.Second}
+	}
+	records := make([]int, 64*100)
+	job := func() MapOnlyJob[int, int] {
+		return MapOnlyJob[int, int]{
+			Name:   "sweep",
+			Splits: SplitSlice(records, 64),
+			Map:    func(x int, ctx *MapOnlyCtx[int]) { ctx.AddCost(99) },
+		}
+	}
+	t5, _ := RunMapOnly(mkCluster(5), job())
+	t10, _ := RunMapOnly(mkCluster(10), job())
+	t20, _ := RunMapOnly(mkCluster(20), job())
+	if !(t5.Stats.SimTime > t10.Stats.SimTime && t10.Stats.SimTime >= t20.Stats.SimTime) {
+		t.Fatalf("no speedup: 5=%v 10=%v 20=%v", t5.Stats.SimTime, t10.Stats.SimTime, t20.Stats.SimTime)
+	}
+	// The 5→10 gain should exceed the 10→20 gain (sub-linear, §11.4).
+	gain1 := t5.Stats.SimTime - t10.Stats.SimTime
+	gain2 := t10.Stats.SimTime - t20.Stats.SimTime
+	if gain1 <= gain2 {
+		t.Fatalf("speedup not sub-linear: gain(5→10)=%v gain(10→20)=%v", gain1, gain2)
+	}
+}
+
+func TestSkewedSplitsSlower(t *testing.T) {
+	// Same total work, one split has everything vs evenly spread: skew must
+	// cost more simulated time. This is the §7.3 load-balancing rationale.
+	records := make([]int, 8000)
+	even := MapOnlyJob[int, int]{
+		Name:   "even",
+		Splits: SplitSlice(records, 80),
+		Map:    func(x int, ctx *MapOnlyCtx[int]) { ctx.AddCost(9) },
+	}
+	skewed := MapOnlyJob[int, int]{
+		Name:   "skewed",
+		Splits: [][]int{records},
+		Map:    func(x int, ctx *MapOnlyCtx[int]) { ctx.AddCost(9) },
+	}
+	re, _ := RunMapOnly(Default(), even)
+	rs, _ := RunMapOnly(Default(), skewed)
+	if rs.Stats.SimTime <= re.Stats.SimTime {
+		t.Fatalf("skewed (%v) should be slower than even (%v)", rs.Stats.SimTime, re.Stats.SimTime)
+	}
+}
+
+func TestSplitSlice(t *testing.T) {
+	s := SplitSlice([]int{1, 2, 3, 4, 5}, 2)
+	if len(s) != 2 || len(s[0]) != 3 || len(s[1]) != 2 {
+		t.Fatalf("splits = %v", s)
+	}
+	if got := SplitSlice([]int{}, 3); got != nil {
+		t.Fatalf("empty input should give nil, got %v", got)
+	}
+	if got := SplitSlice([]int{1}, 5); len(got) != 1 {
+		t.Fatalf("oversplit = %v", got)
+	}
+	if got := SplitSlice([]int{1, 2}, 0); len(got) != 1 {
+		t.Fatalf("n<1 should clamp to 1, got %v", got)
+	}
+}
+
+func TestInterleaveProportional(t *testing.T) {
+	a := make([]int, 100)
+	b := make([]int, 50)
+	for i := range a {
+		a[i] = 1
+	}
+	for i := range b {
+		b[i] = 2
+	}
+	splits := Interleave(a, b, 10)
+	if len(splits) != 10 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	total := 0
+	for _, sp := range splits {
+		countB := 0
+		for _, v := range sp {
+			if v == 2 {
+				countB++
+			}
+			total++
+		}
+		// Each split of 15 should hold roughly 5 B records.
+		if countB < 3 || countB > 7 {
+			t.Fatalf("split B count = %d, want ≈5", countB)
+		}
+	}
+	if total != 150 {
+		t.Fatalf("total records = %d", total)
+	}
+	if Interleave([]int{}, []int{}, 3) != nil {
+		t.Fatal("empty interleave should be nil")
+	}
+}
+
+func TestMakespanGreedy(t *testing.T) {
+	if got := makespan([]int64{10, 10, 10, 10}, 2); got != 20 {
+		t.Fatalf("makespan = %d, want 20", got)
+	}
+	if got := makespan([]int64{100, 1, 1, 1}, 4); got != 100 {
+		t.Fatalf("makespan dominated by big task: %d", got)
+	}
+	if got := makespan(nil, 4); got != 0 {
+		t.Fatalf("empty makespan = %d", got)
+	}
+	if got := makespan([]int64{5}, 0); got != 5 {
+		t.Fatalf("zero slots should clamp: %d", got)
+	}
+}
+
+// Property: makespan ≥ total/slots and ≥ max task; decreasing slots never
+// decreases makespan.
+func TestQuickMakespanBounds(t *testing.T) {
+	f := func(raw []uint16, slots8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		slots := int(slots8%16) + 1
+		tasks := make([]int64, len(raw))
+		var total, max int64
+		for i, r := range raw {
+			tasks[i] = int64(r % 1000)
+			total += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		m := makespan(tasks, slots)
+		if m < max || m*int64(slots) < total {
+			return false
+		}
+		return makespan(tasks, slots+1) <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: word counts are independent of the split arrangement.
+func TestQuickSplitInvariance(t *testing.T) {
+	f := func(words []string, nSplits uint8) bool {
+		var clean []string
+		for _, w := range words {
+			if f := strings.Fields(w); len(f) > 0 {
+				clean = append(clean, strings.Join(f, " "))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		n := int(nSplits%5) + 1
+		r1, err1 := Run(Default(), wordCountJob(clean, 1))
+		r2, err2 := Run(Default(), wordCountJob(clean, n))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		m1, m2 := map[string]int{}, map[string]int{}
+		for _, kv := range r1.Output {
+			m1[kv[0]] = len(kv[1])
+		}
+		for _, kv := range r2.Output {
+			m2[kv[0]] = len(kv[1])
+		}
+		if len(m1) != len(m2) {
+			return false
+		}
+		for k, v := range m1 {
+			if m2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWordCount(b *testing.B) {
+	lines := make([]string, 1000)
+	for i := range lines {
+		lines[i] = "alpha beta gamma delta epsilon zeta"
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Default(), wordCountJob(lines, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package metrics computes the evaluation measures reported in the paper's
+// §11: precision, recall, F1 over predicted match sets, and blocking recall
+// (the fraction of true matches surviving the blocking step).
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"falcon/internal/table"
+)
+
+// PRF1 is a precision/recall/F1 triple.
+type PRF1 struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TP        int
+	FP        int
+	FN        int
+}
+
+// Score compares predicted match pairs against the ground-truth match set.
+func Score(predicted []table.Pair, truth map[table.Pair]bool) PRF1 {
+	var m PRF1
+	seen := map[table.Pair]bool{}
+	for _, p := range predicted {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if truth[p] {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	m.FN = len(truth) - m.TP
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// String renders percentages like the paper's tables.
+func (m PRF1) String() string {
+	return fmt.Sprintf("P=%.1f%% R=%.1f%% F1=%.1f%%", m.Precision*100, m.Recall*100, m.F1*100)
+}
+
+// BlockingRecall measures the fraction of true matches that survive
+// blocking (§3.2's recall numbers).
+func BlockingRecall(candidates []table.Pair, truth map[table.Pair]bool) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	surviving := 0
+	seen := map[table.Pair]bool{}
+	for _, p := range candidates {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if truth[p] {
+			surviving++
+		}
+	}
+	return float64(surviving) / float64(len(truth))
+}
+
+// FmtDuration renders durations the way the paper does ("2h 7m", "52m",
+// "31m 52s").
+func FmtDuration(d time.Duration) string {
+	d = d.Round(time.Second)
+	h := d / time.Hour
+	m := (d % time.Hour) / time.Minute
+	s := (d % time.Minute) / time.Second
+	switch {
+	case h > 0 && s > 0:
+		return fmt.Sprintf("%dh %dm %ds", h, m, s)
+	case h > 0:
+		return fmt.Sprintf("%dh %dm", h, m)
+	case m > 0 && s > 0:
+		return fmt.Sprintf("%dm %ds", m, s)
+	case m > 0:
+		return fmt.Sprintf("%dm", m)
+	default:
+		return fmt.Sprintf("%ds", s)
+	}
+}
+
+// FmtCount renders candidate-set sizes the way the paper does ("536K",
+// "51.4M").
+func FmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.0fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"falcon/internal/table"
+)
+
+func TestScore(t *testing.T) {
+	truth := map[table.Pair]bool{
+		{A: 1, B: 1}: true,
+		{A: 2, B: 2}: true,
+		{A: 3, B: 3}: true,
+		{A: 4, B: 4}: true,
+	}
+	pred := []table.Pair{{A: 1, B: 1}, {A: 2, B: 2}, {A: 9, B: 9}}
+	m := Score(pred, truth)
+	if m.TP != 2 || m.FP != 1 || m.FN != 2 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if m.Precision != 2.0/3.0 {
+		t.Fatalf("P = %v", m.Precision)
+	}
+	if m.Recall != 0.5 {
+		t.Fatalf("R = %v", m.Recall)
+	}
+	wantF1 := 2 * (2.0 / 3.0) * 0.5 / (2.0/3.0 + 0.5)
+	if diff := m.F1 - wantF1; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("F1 = %v, want %v", m.F1, wantF1)
+	}
+}
+
+func TestScoreDeduplicates(t *testing.T) {
+	truth := map[table.Pair]bool{{A: 1, B: 1}: true}
+	m := Score([]table.Pair{{A: 1, B: 1}, {A: 1, B: 1}}, truth)
+	if m.TP != 1 || m.FP != 0 {
+		t.Fatalf("duplicate prediction double-counted: %+v", m)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	m := Score(nil, nil)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("empty score = %+v", m)
+	}
+	if m.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestBlockingRecall(t *testing.T) {
+	truth := map[table.Pair]bool{{A: 1, B: 1}: true, {A: 2, B: 2}: true}
+	cands := []table.Pair{{A: 1, B: 1}, {A: 5, B: 9}, {A: 1, B: 1}}
+	if got := BlockingRecall(cands, truth); got != 0.5 {
+		t.Fatalf("recall = %v", got)
+	}
+	if BlockingRecall(nil, nil) != 1 {
+		t.Fatal("no truth should give recall 1")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2*time.Hour + 7*time.Minute:                 "2h 7m",
+		52 * time.Minute:                            "52m",
+		31*time.Minute + 52*time.Second:             "31m 52s",
+		13*time.Hour + time.Minute + 23*time.Second: "13h 1m 23s",
+		45 * time.Second:                            "45s",
+		0:                                           "0s",
+	}
+	for d, want := range cases {
+		if got := FmtDuration(d); got != want {
+			t.Errorf("FmtDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	cases := map[int64]string{
+		536_000:    "536K",
+		51_400_000: "51.4M",
+		999:        "999",
+		1_600_000:  "1.6M",
+	}
+	for n, want := range cases {
+		if got := FmtCount(n); got != want {
+			t.Errorf("FmtCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+// Property: F1 is the harmonic mean, bounded by min and max of P and R.
+func TestQuickF1Bounds(t *testing.T) {
+	f := func(tpRaw, fpRaw, fnRaw uint8) bool {
+		tp, fp, fn := int(tpRaw%50), int(fpRaw%50), int(fnRaw%50)
+		truth := map[table.Pair]bool{}
+		var pred []table.Pair
+		id := 0
+		for i := 0; i < tp; i++ {
+			p := table.Pair{A: id, B: id}
+			truth[p] = true
+			pred = append(pred, p)
+			id++
+		}
+		for i := 0; i < fn; i++ {
+			truth[table.Pair{A: id, B: id}] = true
+			id++
+		}
+		for i := 0; i < fp; i++ {
+			pred = append(pred, table.Pair{A: id, B: id})
+			id++
+		}
+		m := Score(pred, truth)
+		if m.F1 < 0 || m.F1 > 1 {
+			return false
+		}
+		lo, hi := m.Precision, m.Recall
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.F1 >= lo*0.999-1e-9 && m.F1 <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

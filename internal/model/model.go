@@ -1,0 +1,160 @@
+// Package model serializes what a Falcon run learns — the blocking-rule
+// sequence and the random-forest matcher, bound to a feature-space
+// signature — so an EM service can train once with the crowd and re-apply
+// the learned model to refreshed tables with no further crowdsourcing.
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"falcon/internal/block"
+	"falcon/internal/feature"
+	"falcon/internal/filters"
+	"falcon/internal/forest"
+	"falcon/internal/mapreduce"
+	"falcon/internal/rules"
+	"falcon/internal/table"
+)
+
+// Version is bumped on breaking format changes.
+const Version = 1
+
+// Model is the serializable outcome of hands-off learning.
+type Model struct {
+	Version int `json:"version"`
+	// FeatureNames is the full feature space in vector order; it must
+	// regenerate identically from schema-compatible tables.
+	FeatureNames []string `json:"feature_names"`
+	// BlockingIdx indexes the blocking-feature subspace.
+	BlockingIdx []int `json:"blocking_idx"`
+	// RuleSeq is the selected blocking-rule sequence over blocking-vector
+	// positions; empty means the matcher-only plan.
+	RuleSeq []rules.Rule `json:"rule_seq"`
+	// ClauseSel holds each rule's sample selectivity (for apply-greedy).
+	ClauseSel []float64 `json:"clause_sel"`
+	// Matcher is the matching-stage forest over the full feature space.
+	Matcher *forest.Forest `json:"matcher"`
+}
+
+// New assembles a model from learned artifacts.
+func New(set *feature.Set, seq []rules.Rule, clauseSel []float64, matcher *forest.Forest) *Model {
+	m := &Model{
+		Version:     Version,
+		BlockingIdx: append([]int(nil), set.BlockingIdx...),
+		RuleSeq:     seq,
+		ClauseSel:   clauseSel,
+		Matcher:     matcher,
+	}
+	for _, f := range set.Features {
+		m.FeatureNames = append(m.FeatureNames, f.Name)
+	}
+	return m
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("model: decoding: %w", err)
+	}
+	if m.Version != Version {
+		return nil, fmt.Errorf("model: version %d unsupported (want %d)", m.Version, Version)
+	}
+	if m.Matcher == nil {
+		return nil, fmt.Errorf("model: missing matcher")
+	}
+	return &m, nil
+}
+
+// Bind regenerates the feature space for a new table pair and verifies it
+// matches the model's signature, returning the bound set.
+func (m *Model) Bind(a, b *table.Table) (*feature.Set, error) {
+	set := feature.Generate(a, b)
+	if len(set.Features) != len(m.FeatureNames) {
+		return nil, fmt.Errorf("model: feature space mismatch: tables yield %d features, model has %d",
+			len(set.Features), len(m.FeatureNames))
+	}
+	for i, f := range set.Features {
+		if f.Name != m.FeatureNames[i] {
+			return nil, fmt.Errorf("model: feature %d is %q, model expects %q", i, f.Name, m.FeatureNames[i])
+		}
+	}
+	if len(set.BlockingIdx) != len(m.BlockingIdx) {
+		return nil, fmt.Errorf("model: blocking subspace mismatch")
+	}
+	return set, nil
+}
+
+// Apply runs the stored blocking rules and matcher over a new table pair —
+// no crowd involved. It returns the predicted matches and the surviving
+// candidate count.
+func (m *Model) Apply(cluster *mapreduce.Cluster, a, b *table.Table) ([]table.Pair, int, error) {
+	if cluster == nil {
+		cluster = mapreduce.Default()
+	}
+	set, err := m.Bind(a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	vz := feature.NewVectorizer(set, a, b)
+
+	var candidates []table.Pair
+	if len(m.RuleSeq) > 0 {
+		feats := make([]*feature.Feature, len(set.BlockingIdx))
+		for i, idx := range set.BlockingIdx {
+			feats[i] = &set.Features[idx]
+		}
+		an := filters.Analyze(rules.ToCNF(m.RuleSeq), feats)
+		ix := filters.NewIndexes(cluster, a)
+		if _, err := ix.EnsureAll(an.NeededIndexes()); err != nil {
+			return nil, 0, err
+		}
+		in := &block.Input{
+			A: a, B: b,
+			Analysis:    an,
+			Indexes:     ix,
+			Vectorizer:  vz,
+			ClauseSel:   m.ClauseSel,
+			PassIDsOnly: true,
+		}
+		res, err := block.Run(cluster, in, block.Choose(cluster, in, seqSel(m.ClauseSel)))
+		if err != nil {
+			return nil, 0, err
+		}
+		candidates = res.Pairs
+	} else {
+		for i := 0; i < a.Len(); i++ {
+			for j := 0; j < b.Len(); j++ {
+				candidates = append(candidates, table.Pair{A: i, B: j})
+			}
+		}
+	}
+
+	var matches []table.Pair
+	for _, p := range candidates {
+		vec := vz.Vector(p)
+		if m.Matcher.Predict(vec.Values) {
+			matches = append(matches, p)
+		}
+	}
+	return matches, len(candidates), nil
+}
+
+// seqSel approximates the sequence selectivity as the product of the
+// per-rule selectivities (the independence estimate of §6).
+func seqSel(sel []float64) float64 {
+	s := 1.0
+	for _, v := range sel {
+		s *= v
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"falcon/internal/feature"
+	"falcon/internal/forest"
+	"falcon/internal/mapreduce"
+	"falcon/internal/rules"
+	"falcon/internal/table"
+)
+
+// trainWorld builds tables, a feature set, and a hand-trained matcher with
+// a simple rule sequence, so models can be built without the full pipeline.
+func trainWorld(t *testing.T, n int, seed int64) (*table.Table, *table.Table, *feature.Set, *Model) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"war", "peace", "art", "code", "go", "data", "cloud", "entity"}
+	mk := func(name string) *table.Table {
+		tb := table.New(name, table.NewSchema("title", "price"))
+		for i := 0; i < n; i++ {
+			var ws []string
+			for j := 0; j < 3+rng.Intn(3); j++ {
+				ws = append(ws, words[rng.Intn(len(words))])
+			}
+			tb.Append(strings.Join(ws, " "), "10")
+		}
+		tb.InferTypes()
+		return tb
+	}
+	a, b := mk("A"), mk("B")
+	// Plant exact-title matches so the matcher has positives to find.
+	for i := 0; i < n/2; i++ {
+		b.Tuples[i].Values[0] = a.Tuples[i].Values[0]
+	}
+	set := feature.Generate(a, b)
+	vz := feature.NewVectorizer(set, a, b)
+
+	// Train a matcher on "same title" ground truth: the planted positives
+	// plus random (mostly negative) pairs.
+	var exs []forest.Example
+	addExample := func(p table.Pair) {
+		vec := vz.Vector(p)
+		exs = append(exs, forest.Example{Values: vec.Values, Label: a.Value(p.A, 0) == b.Value(p.B, 0)})
+	}
+	for i := 0; i < n/2; i++ {
+		addExample(table.Pair{A: i, B: i})
+	}
+	for i := 0; i < 300; i++ {
+		addExample(table.Pair{A: rng.Intn(n), B: rng.Intn(n)})
+	}
+	matcher := forest.Train(exs, forest.Config{Seed: 5})
+
+	// One blocking rule: drop if title jaccard ≤ 0.5.
+	jw := -1
+	for i, idx := range set.BlockingIdx {
+		if set.Features[idx].Name == "jaccard_word(title)" {
+			jw = i
+		}
+	}
+	if jw < 0 {
+		t.Fatal("no jaccard_word(title) feature")
+	}
+	seq := []rules.Rule{{ID: 0, Preds: []rules.Predicate{{Feature: jw, Op: rules.LE, Value: 0.5}}}}
+	m := New(set, seq, []float64{0.2}, matcher)
+	return a, b, set, m
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a, b, _, m := trainWorld(t, 60, 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.FeatureNames) != len(m.FeatureNames) || len(m2.RuleSeq) != 1 {
+		t.Fatalf("round trip lost structure: %d features, %d rules", len(m2.FeatureNames), len(m2.RuleSeq))
+	}
+	// Both models must predict identically.
+	got1, n1, err := m.Apply(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, n2, err := m2.Apply(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got1) != len(got2) || n1 != n2 {
+		t.Fatalf("loaded model differs: %d/%d vs %d/%d", len(got1), n1, len(got2), n2)
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+}
+
+func TestApplyMatchesTruth(t *testing.T) {
+	a, b, _, m := trainWorld(t, 80, 2)
+	matches, cands, err := m.Apply(mapreduce.Default(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands == 0 {
+		t.Fatal("blocking dropped everything")
+	}
+	if cands >= a.Len()*b.Len() {
+		t.Fatal("blocking dropped nothing")
+	}
+	// Spot-check: predicted matches mostly share titles.
+	good := 0
+	for _, p := range matches {
+		if a.Value(p.A, 0) == b.Value(p.B, 0) {
+			good++
+		}
+	}
+	if len(matches) == 0 || good < len(matches)*6/10 {
+		t.Fatalf("model predictions poor: %d/%d share titles", good, len(matches))
+	}
+}
+
+func TestApplyMatcherOnly(t *testing.T) {
+	a, b, set, m := trainWorld(t, 25, 3)
+	m2 := New(set, nil, nil, m.Matcher)
+	matches, cands, err := m2.Apply(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands != a.Len()*b.Len() {
+		t.Fatalf("matcher-only should scan the full product: %d", cands)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+}
+
+func TestBindRejectsSchemaMismatch(t *testing.T) {
+	a, _, _, m := trainWorld(t, 20, 4)
+	other := table.New("other", table.NewSchema("totally", "different", "schema"))
+	other.Append("x", "y", "z")
+	other.InferTypes()
+	if _, err := m.Bind(a, other); err == nil {
+		t.Fatal("schema mismatch should fail Bind")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Fatal("missing matcher should fail")
+	}
+}
+
+func TestSeqSel(t *testing.T) {
+	if got := seqSel([]float64{0.5, 0.5}); got != 0.25 {
+		t.Fatalf("seqSel = %v", got)
+	}
+	if got := seqSel(nil); got != 1 {
+		t.Fatalf("empty seqSel = %v", got)
+	}
+}

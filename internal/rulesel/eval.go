@@ -1,0 +1,226 @@
+// Package rulesel implements Falcon's eval_rules operator (crowd-based rule
+// precision estimation, paper §3.4 and Corleone §4.2) and select_opt_seq
+// (optimal rule-sequence selection, paper §6).
+package rulesel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"falcon/internal/bitset"
+	"falcon/internal/crowd"
+	"falcon/internal/rules"
+	"falcon/internal/table"
+)
+
+// EvalConfig holds the eval_rules parameters of §3.4.
+type EvalConfig struct {
+	// TopK rules (by sample coverage) are evaluated. Paper: 20.
+	TopK int
+	// BatchPerIteration examples labeled per rule iteration (b). Paper: 20.
+	BatchPerIteration int
+	// MaxIterPerRule caps iterations per rule. Paper: 5 (Prop. 2 shows 20
+	// is the unconditional worst case).
+	MaxIterPerRule int
+	// PMin is the precision bar for retaining a rule. Paper: 0.95.
+	PMin float64
+	// EpsMax is the maximal error margin. Paper: 0.05.
+	EpsMax float64
+	// Z is the normal quantile for the δ=0.95 confidence. Paper: 1.96.
+	Z float64
+	// Seed drives example selection.
+	Seed int64
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.TopK <= 0 {
+		c.TopK = 20
+	}
+	if c.BatchPerIteration <= 0 {
+		c.BatchPerIteration = 20
+	}
+	if c.MaxIterPerRule <= 0 {
+		c.MaxIterPerRule = 5
+	}
+	if c.PMin <= 0 {
+		c.PMin = 0.95
+	}
+	if c.EpsMax <= 0 {
+		c.EpsMax = 0.05
+	}
+	if c.Z <= 0 {
+		c.Z = 1.96
+	}
+	return c
+}
+
+// EvaluatedRule is a retained rule with its crowd-estimated precision and
+// sample statistics used by select_opt_seq.
+type EvaluatedRule struct {
+	Rule      rules.Rule
+	Precision float64
+	Coverage  *bitset.Bitset
+	CovCount  int
+	// Selectivity = 1 − |cov|/|S| (§6): the fraction of pairs surviving.
+	Selectivity float64
+	// Time is the modeled per-pair evaluation cost of the rule in abstract
+	// units (predicate-weighted).
+	Time float64
+}
+
+// EvalTrace records one crowd iteration of rule evaluation.
+type EvalTrace struct {
+	RuleID       int
+	CrowdLatency time.Duration
+	Questions    int
+}
+
+// EvalResult is the eval_rules output.
+type EvalResult struct {
+	Retained []EvaluatedRule
+	// Dropped counts rules rejected for low precision.
+	Dropped int
+	Trace   []EvalTrace
+	// Iterations is the total crowd iterations across rules.
+	Iterations int
+}
+
+// RuleTimer models the per-pair evaluation cost of a rule; it sums
+// per-predicate weights. Pass nil to EvalRules to use DefaultRuleTime.
+type RuleTimer func(r rules.Rule) float64
+
+// DefaultRuleTime charges one unit per predicate — a deliberate
+// simplification; core wires in a feature-aware timer that weights string
+// measures more heavily.
+func DefaultRuleTime(r rules.Rule) float64 { return float64(len(r.Preds)) }
+
+// EvalRules ranks candidate rules by sample coverage, then uses the crowd
+// (strong-majority voting) to estimate each top rule's precision, retaining
+// the precise ones. pool holds the sample's pairs and vecs; oracle supplies
+// ground truth for the simulated crowd.
+func EvalRules(cands []rules.Rule, pairs []table.Pair, vecs [][]float64,
+	cr *crowd.Crowd, oracle func(table.Pair) bool, timer RuleTimer, cfg EvalConfig) *EvalResult {
+
+	cfg = cfg.withDefaults()
+	if timer == nil {
+		timer = DefaultRuleTime
+	}
+	res := &EvalResult{}
+	if len(cands) == 0 || len(vecs) == 0 {
+		return res
+	}
+
+	// Rank rules by coverage (desc), ID asc, and keep the top K.
+	type ranked struct {
+		rule rules.Rule
+		cov  *bitset.Bitset
+		n    int
+	}
+	rs := make([]ranked, 0, len(cands))
+	for _, r := range cands {
+		cov := r.Coverage(vecs)
+		rs = append(rs, ranked{r, cov, cov.Count()})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].n != rs[j].n {
+			return rs[i].n > rs[j].n
+		}
+		return rs[i].rule.ID < rs[j].rule.ID
+	})
+	if len(rs) > cfg.TopK {
+		rs = rs[:cfg.TopK]
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	labelCache := map[int]bool{} // sample index → crowd label
+	for _, cand := range rs {
+		if cand.n == 0 {
+			res.Dropped++
+			continue
+		}
+		covIdx := cand.cov.Ones()
+		m := len(covIdx)
+		// X: labeled examples drawn for this rule.
+		drawn := map[int]bool{}
+		var n, nNeg int
+		retained, decided := false, false
+		for iter := 0; iter < cfg.MaxIterPerRule && !decided; iter++ {
+			// Step 1: randomly select b unlabeled-for-this-rule examples.
+			var batch []int
+			perm := rng.Perm(m)
+			for _, pi := range perm {
+				if drawn[covIdx[pi]] {
+					continue
+				}
+				batch = append(batch, covIdx[pi])
+				if len(batch) == cfg.BatchPerIteration {
+					break
+				}
+			}
+			if len(batch) == 0 {
+				break // coverage exhausted
+			}
+			// Ask the crowd for labels not already cached.
+			var qs []crowd.Question
+			var qIdx []int
+			for _, si := range batch {
+				drawn[si] = true
+				if _, ok := labelCache[si]; !ok {
+					qs = append(qs, crowd.Question{Pair: pairs[si], Truth: oracle(pairs[si])})
+					qIdx = append(qIdx, si)
+				}
+			}
+			if len(qs) > 0 {
+				labels, lat := cr.LabelStrongMajority(qs)
+				for i, si := range qIdx {
+					labelCache[si] = labels[i]
+				}
+				res.Trace = append(res.Trace, EvalTrace{RuleID: cand.rule.ID, CrowdLatency: lat, Questions: len(qs)})
+			} else {
+				res.Trace = append(res.Trace, EvalTrace{RuleID: cand.rule.ID})
+			}
+			res.Iterations++
+			// Step 2: estimate precision with finite-population correction.
+			for _, si := range batch {
+				n++
+				if !labelCache[si] {
+					nNeg++
+				}
+			}
+			p := float64(nNeg) / float64(n)
+			eps := math.Inf(1)
+			if m > 1 {
+				eps = cfg.Z * math.Sqrt(p*(1-p)/float64(n)*float64(m-n)/float64(m-1))
+			} else {
+				eps = 0
+			}
+			// Step 3: retain / drop / continue.
+			switch {
+			case p >= cfg.PMin && eps <= cfg.EpsMax:
+				retained, decided = true, true
+			case p+eps < cfg.PMin, eps <= cfg.EpsMax && p < cfg.PMin:
+				decided = true
+			}
+			if iter == cfg.MaxIterPerRule-1 && !decided {
+				// Iteration cap: decide on the current point estimate.
+				retained, decided = p >= cfg.PMin, true
+			}
+		}
+		if retained {
+			prec := float64(nNeg) / float64(n)
+			res.Retained = append(res.Retained, EvaluatedRule{
+				Rule:        cand.rule,
+				Precision:   prec,
+				Coverage:    cand.cov,
+				CovCount:    cand.n,
+				Selectivity: 1 - float64(cand.n)/float64(len(vecs)),
+				Time:        timer(cand.rule),
+			})
+		} else {
+			res.Dropped++
+		}
+	}
+	return res
+}

@@ -1,0 +1,179 @@
+package rulesel
+
+import (
+	"math"
+	"sort"
+
+	"falcon/internal/bitset"
+	"falcon/internal/rules"
+)
+
+// Weights are the α, β, γ of the §6 sequence score
+//
+//	score = α·prec − β·sel − γ·time.
+//
+// Applications trade precision (matches lost to blocking) against candidate
+// set size (sel) and blocking run time.
+type Weights struct {
+	Alpha, Beta, Gamma float64
+	// MaxEnumRules caps subset enumeration; if more rules are retained,
+	// only the top rules by rank ([1−sel]/time) enter enumeration.
+	MaxEnumRules int
+}
+
+// DefaultWeights favors precision strongly, as Falcon does: losing true
+// matches to blocking is far costlier than a somewhat larger candidate set.
+func DefaultWeights() Weights {
+	return Weights{Alpha: 1.0, Beta: 0.05, Gamma: 0.01, MaxEnumRules: 12}
+}
+
+func (w Weights) withDefaults() Weights {
+	d := DefaultWeights()
+	if w.Alpha == 0 && w.Beta == 0 && w.Gamma == 0 {
+		w.Alpha, w.Beta, w.Gamma = d.Alpha, d.Beta, d.Gamma
+	}
+	if w.MaxEnumRules <= 0 {
+		w.MaxEnumRules = d.MaxEnumRules
+	}
+	return w
+}
+
+// SeqChoice is a scored rule sequence.
+type SeqChoice struct {
+	Seq         []EvaluatedRule
+	Score       float64
+	Precision   float64 // lower bound on sequence precision (§6)
+	Selectivity float64
+	Time        float64 // expected per-pair evaluation cost
+	CovCount    int
+}
+
+// seqStats computes selectivity, expected time, and the precision lower
+// bound of an ordered sequence over a sample of size n.
+func seqStats(seq []EvaluatedRule, n int) (sel, t, prec float64, cov int) {
+	if len(seq) == 0 || n == 0 {
+		return 1, 0, 1, 0
+	}
+	union := bitset.New(seq[0].Coverage.Len())
+	t = 0.0
+	surviving := 1.0
+	for _, r := range seq {
+		t += surviving * r.Time
+		union.Or(r.Coverage)
+		surviving = 1 - float64(union.Count())/float64(n)
+	}
+	cov = union.Count()
+	sel = 1 - float64(cov)/float64(n)
+	// Precision lower bound: 1 − Σ|cov(R_i)|(1−prec_i) / |cov(seq)|.
+	if cov > 0 {
+		bad := 0.0
+		for _, r := range seq {
+			bad += float64(r.CovCount) * (1 - r.Precision)
+		}
+		prec = 1 - bad/float64(cov)
+		if prec < 0 {
+			prec = 0
+		}
+	} else {
+		prec = 1
+	}
+	return sel, t, prec, cov
+}
+
+// greedyOrder orders a rule subset with the 4-approximation greedy of §6
+// (adapted from pipelined-filter ordering): repeatedly pick the rule with
+// the largest marginal drop rate per unit time given what is already in the
+// sequence.
+func greedyOrder(subset []EvaluatedRule, n int) []EvaluatedRule {
+	if len(subset) <= 1 {
+		return subset
+	}
+	remaining := append([]EvaluatedRule(nil), subset...)
+	var out []EvaluatedRule
+	union := bitset.New(subset[0].Coverage.Len())
+	prevSel := 1.0
+	for len(remaining) > 0 {
+		bestIdx, bestScore := 0, math.Inf(-1)
+		for i, r := range remaining {
+			// Marginal selectivity if r were appended.
+			u := union.Clone()
+			u.Or(r.Coverage)
+			newSel := 1 - float64(u.Count())/float64(n)
+			var drop float64
+			if prevSel > 0 {
+				drop = 1 - newSel/prevSel
+			}
+			score := drop / r.Time
+			if score > bestScore || (score == bestScore && r.Rule.ID < remaining[bestIdx].Rule.ID) {
+				bestIdx, bestScore = i, score
+			}
+		}
+		chosen := remaining[bestIdx]
+		out = append(out, chosen)
+		union.Or(chosen.Coverage)
+		prevSel = 1 - float64(union.Count())/float64(n)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out
+}
+
+// SelectOptSeq enumerates rule subsets, orders each with the greedy
+// algorithm, scores the results, and returns the globally best sequence.
+// n is the sample size the coverage bitmaps were computed over.
+func SelectOptSeq(retained []EvaluatedRule, n int, w Weights) SeqChoice {
+	w = w.withDefaults()
+	if len(retained) == 0 || n == 0 {
+		return SeqChoice{Precision: 1, Selectivity: 1}
+	}
+	pool := retained
+	if len(pool) > w.MaxEnumRules {
+		// Keep the best rules by rank = [1−sel]/time.
+		ranked := append([]EvaluatedRule(nil), pool...)
+		sort.Slice(ranked, func(i, j int) bool {
+			ri := (1 - ranked[i].Selectivity) / ranked[i].Time
+			rj := (1 - ranked[j].Selectivity) / ranked[j].Time
+			if ri != rj {
+				return ri > rj
+			}
+			return ranked[i].Rule.ID < ranked[j].Rule.ID
+		})
+		pool = ranked[:w.MaxEnumRules]
+	}
+
+	best := SeqChoice{Score: math.Inf(-1)}
+	for mask := 1; mask < 1<<len(pool); mask++ {
+		var subset []EvaluatedRule
+		for i := range pool {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, pool[i])
+			}
+		}
+		seq := greedyOrder(subset, n)
+		sel, t, prec, cov := seqStats(seq, n)
+		score := w.Alpha*prec - w.Beta*sel - w.Gamma*t
+		if score > best.Score {
+			best = SeqChoice{Seq: seq, Score: score, Precision: prec, Selectivity: sel, Time: t, CovCount: cov}
+		}
+	}
+	return best
+}
+
+// SequenceOf builds a SeqChoice for a fixed rule list (used by the E13
+// rule-sequence comparison: all rules, top-1, top-3).
+func SequenceOf(seq []EvaluatedRule, n int, w Weights) SeqChoice {
+	w = w.withDefaults()
+	sel, t, prec, cov := seqStats(seq, n)
+	return SeqChoice{
+		Seq: seq, Precision: prec, Selectivity: sel, Time: t, CovCount: cov,
+		Score: w.Alpha*prec - w.Beta*sel - w.Gamma*t,
+	}
+}
+
+// RuleSeq extracts the plain rules of the chosen sequence in order.
+func (c SeqChoice) RuleSeq() []rules.Rule {
+	out := make([]rules.Rule, len(c.Seq))
+	for i, r := range c.Seq {
+		out[i] = r.Rule
+	}
+	return out
+}

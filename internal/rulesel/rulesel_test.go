@@ -1,0 +1,312 @@
+package rulesel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/bitset"
+	"falcon/internal/crowd"
+	"falcon/internal/rules"
+	"falcon/internal/table"
+)
+
+// fixture builds a sample with ground truth: pairs with vec[0] ≤ 0.5 are
+// non-matches (rule 0's territory), a small band are matches.
+func fixture(n int, seed int64) (pairs []table.Pair, vecs [][]float64, oracle func(table.Pair) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := map[table.Pair]bool{}
+	for i := 0; i < n; i++ {
+		v := []float64{rng.Float64(), rng.Float64()}
+		p := table.Pair{A: i, B: i}
+		pairs = append(pairs, p)
+		vecs = append(vecs, v)
+		truth[p] = v[0] > 0.8 // matches have high similarity
+	}
+	return pairs, vecs, func(p table.Pair) bool { return truth[p] }
+}
+
+func newCrowd(err float64) *crowd.Crowd {
+	return crowd.New(crowd.NewRandomWorkers(err, 0, 5), crowd.Config{})
+}
+
+func TestEvalRulesRetainsPrecise(t *testing.T) {
+	pairs, vecs, oracle := fixture(2000, 1)
+	// Rule 0: high precision (drops only sim ≤ 0.5, all true non-matches).
+	// Rule 1: terrible (drops sim ≤ 0.9, including many matches).
+	cands := []rules.Rule{
+		{ID: 0, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.5}}},
+		{ID: 1, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.95}}},
+	}
+	res := EvalRules(cands, pairs, vecs, newCrowd(0), oracle, nil, EvalConfig{Seed: 2})
+	if len(res.Retained) != 1 {
+		t.Fatalf("retained %d rules, want 1", len(res.Retained))
+	}
+	if res.Retained[0].Rule.ID != 0 {
+		t.Fatalf("retained rule %d, want 0", res.Retained[0].Rule.ID)
+	}
+	if res.Dropped != 1 {
+		t.Fatalf("dropped = %d", res.Dropped)
+	}
+	r := res.Retained[0]
+	if r.Precision < 0.95 {
+		t.Fatalf("precision = %v", r.Precision)
+	}
+	if r.CovCount == 0 || r.Coverage == nil {
+		t.Fatal("coverage missing")
+	}
+	if math.Abs(r.Selectivity-(1-float64(r.CovCount)/2000)) > 1e-9 {
+		t.Fatalf("selectivity = %v", r.Selectivity)
+	}
+}
+
+func TestEvalRulesIterationCap(t *testing.T) {
+	pairs, vecs, oracle := fixture(3000, 3)
+	// A borderline rule (~93% precision) keeps the loop undecided.
+	cands := []rules.Rule{{ID: 0, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.82}}}}
+	cfg := EvalConfig{MaxIterPerRule: 3, Seed: 4}
+	res := EvalRules(cands, pairs, vecs, newCrowd(0), oracle, nil, cfg)
+	if res.Iterations > 3 {
+		t.Fatalf("iterations %d exceed cap 3", res.Iterations)
+	}
+}
+
+func TestEvalRulesProposition2Bound(t *testing.T) {
+	// With b=20 per iteration, ε ≤ 0.05 at 95% is guaranteed by n ≥ 384
+	// (Prop. 2) — i.e. at most 20 iterations even with no cap.
+	pairs, vecs, oracle := fixture(20000, 5)
+	cands := []rules.Rule{{ID: 0, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.8}}}}
+	cfg := EvalConfig{MaxIterPerRule: 100, Seed: 6} // effectively uncapped
+	res := EvalRules(cands, pairs, vecs, newCrowd(0.3), oracle, nil, cfg)
+	if res.Iterations > 20 {
+		t.Fatalf("iterations %d exceed the Prop. 2 bound of 20", res.Iterations)
+	}
+}
+
+func TestEvalRulesTopK(t *testing.T) {
+	pairs, vecs, oracle := fixture(500, 7)
+	var cands []rules.Rule
+	for i := 0; i < 30; i++ {
+		cands = append(cands, rules.Rule{ID: i, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.3 + float64(i)*0.001}}})
+	}
+	cfg := EvalConfig{TopK: 5, Seed: 8}
+	res := EvalRules(cands, pairs, vecs, newCrowd(0), oracle, nil, cfg)
+	if len(res.Retained)+res.Dropped > 5 {
+		t.Fatalf("evaluated %d rules, cap was 5", len(res.Retained)+res.Dropped)
+	}
+}
+
+func TestEvalRulesLabelCacheSavesQuestions(t *testing.T) {
+	pairs, vecs, oracle := fixture(300, 9)
+	// Two nearly identical rules share coverage; the cache should avoid
+	// re-asking the crowd for shared pairs.
+	cands := []rules.Rule{
+		{ID: 0, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.5}}},
+		{ID: 1, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.5}, {Feature: 1, Op: rules.LE, Value: 2}}},
+	}
+	cr := newCrowd(0)
+	EvalRules(cands, pairs, vecs, cr, oracle, nil, EvalConfig{Seed: 10})
+	// Coverage of both rules is identical (~150 pairs); without the cache
+	// we'd ask up to 2×coverage questions.
+	cov := cands[0].Coverage(vecs).Count()
+	if cr.Ledger().Questions > cov {
+		t.Fatalf("questions %d exceed unique coverage %d; cache not working", cr.Ledger().Questions, cov)
+	}
+}
+
+func TestEvalRulesEmpty(t *testing.T) {
+	res := EvalRules(nil, nil, nil, newCrowd(0), nil, nil, EvalConfig{})
+	if len(res.Retained) != 0 || res.Dropped != 0 {
+		t.Fatal("empty eval should be empty")
+	}
+}
+
+func TestDefaultRuleTime(t *testing.T) {
+	r := rules.Rule{Preds: make([]rules.Predicate, 3)}
+	if DefaultRuleTime(r) != 3 {
+		t.Fatal("DefaultRuleTime wrong")
+	}
+}
+
+// mkEval builds an EvaluatedRule with a synthetic coverage bitmap.
+func mkEval(id, n int, coverFrac float64, prec, cost float64, seed int64) EvaluatedRule {
+	rng := rand.New(rand.NewSource(seed))
+	b := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < coverFrac {
+			b.Set(i)
+		}
+	}
+	c := b.Count()
+	return EvaluatedRule{
+		Rule:        rules.Rule{ID: id},
+		Precision:   prec,
+		Coverage:    b,
+		CovCount:    c,
+		Selectivity: 1 - float64(c)/float64(n),
+		Time:        cost,
+	}
+}
+
+func TestGreedyOrderPrefersCheapSelective(t *testing.T) {
+	const n = 10000
+	cheap := mkEval(0, n, 0.5, 0.99, 1, 1)   // drops half, cost 1
+	pricey := mkEval(1, n, 0.5, 0.99, 10, 2) // drops half, cost 10
+	seq := greedyOrder([]EvaluatedRule{pricey, cheap}, n)
+	if seq[0].Rule.ID != 0 {
+		t.Fatalf("greedy should put the cheap rule first, got %d", seq[0].Rule.ID)
+	}
+}
+
+func TestSeqStatsOrderIndependentSelPrec(t *testing.T) {
+	const n = 5000
+	a := mkEval(0, n, 0.4, 0.98, 1, 3)
+	b := mkEval(1, n, 0.3, 0.97, 2, 4)
+	s1, _, p1, c1 := seqStats([]EvaluatedRule{a, b}, n)
+	s2, _, p2, c2 := seqStats([]EvaluatedRule{b, a}, n)
+	if s1 != s2 || p1 != p2 || c1 != c2 {
+		t.Fatal("selectivity/precision must be order-independent")
+	}
+}
+
+func TestSeqStatsTimeOrderDependent(t *testing.T) {
+	const n = 5000
+	a := mkEval(0, n, 0.6, 0.98, 1, 5)
+	b := mkEval(1, n, 0.1, 0.97, 9, 6)
+	_, tAB, _, _ := seqStats([]EvaluatedRule{a, b}, n)
+	_, tBA, _, _ := seqStats([]EvaluatedRule{b, a}, n)
+	// Cheap selective rule first should cost less overall.
+	if tAB >= tBA {
+		t.Fatalf("time(a,b)=%v should beat time(b,a)=%v", tAB, tBA)
+	}
+}
+
+func TestSelectOptSeqBeatsFixedChoices(t *testing.T) {
+	const n = 8000
+	pool := []EvaluatedRule{
+		mkEval(0, n, 0.5, 0.99, 1, 11),
+		mkEval(1, n, 0.45, 0.98, 2, 12),
+		mkEval(2, n, 0.2, 0.90, 1, 13),  // imprecise
+		mkEval(3, n, 0.05, 0.99, 8, 14), // expensive, low coverage
+	}
+	w := DefaultWeights()
+	best := SelectOptSeq(pool, n, w)
+	if len(best.Seq) == 0 {
+		t.Fatal("no sequence chosen")
+	}
+	// The optimum must score at least as well as using all rules, top-1,
+	// and top-3 in given order.
+	for _, alt := range [][]EvaluatedRule{pool, pool[:1], pool[:3]} {
+		c := SequenceOf(alt, n, w)
+		if c.Score > best.Score+1e-12 {
+			t.Fatalf("fixed sequence scored %v > optimal %v", c.Score, best.Score)
+		}
+	}
+}
+
+func TestSelectOptSeqEmpty(t *testing.T) {
+	c := SelectOptSeq(nil, 100, Weights{})
+	if len(c.Seq) != 0 || c.Precision != 1 {
+		t.Fatalf("empty choice = %+v", c)
+	}
+}
+
+func TestSelectOptSeqEnumCap(t *testing.T) {
+	const n = 1000
+	var pool []EvaluatedRule
+	for i := 0; i < 15; i++ {
+		pool = append(pool, mkEval(i, n, 0.1+float64(i)*0.02, 0.99, 1+float64(i%3), int64(20+i)))
+	}
+	w := Weights{Alpha: 1, Beta: 0.25, Gamma: 0.02, MaxEnumRules: 6}
+	best := SelectOptSeq(pool, n, w)
+	if len(best.Seq) > 6 {
+		t.Fatalf("sequence length %d exceeds enumeration cap", len(best.Seq))
+	}
+}
+
+func TestRuleSeq(t *testing.T) {
+	const n = 100
+	pool := []EvaluatedRule{mkEval(7, n, 0.5, 0.99, 1, 31)}
+	c := SelectOptSeq(pool, n, DefaultWeights())
+	rs := c.RuleSeq()
+	if len(rs) != 1 || rs[0].ID != 7 {
+		t.Fatalf("RuleSeq = %v", rs)
+	}
+}
+
+// Property: the precision lower bound never exceeds 1 and never goes below
+// 0; selectivity stays in [0,1]; greedy order is a permutation.
+func TestQuickSeqInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 2000
+		k := 1 + rng.Intn(5)
+		var pool []EvaluatedRule
+		for i := 0; i < k; i++ {
+			pool = append(pool, mkEval(i, n, rng.Float64()*0.8, 0.9+rng.Float64()*0.1, 1+rng.Float64()*5, rng.Int63()))
+		}
+		seq := greedyOrder(pool, n)
+		if len(seq) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, r := range seq {
+			if seen[r.Rule.ID] {
+				return false
+			}
+			seen[r.Rule.ID] = true
+		}
+		sel, tm, prec, _ := seqStats(seq, n)
+		return sel >= 0 && sel <= 1 && prec >= 0 && prec <= 1 && tm >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SelectOptSeq's score is the max over every explicit subset
+// ordering score for small pools.
+func TestQuickOptSeqDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 500
+		var pool []EvaluatedRule
+		for i := 0; i < 3; i++ {
+			pool = append(pool, mkEval(i, n, rng.Float64()*0.7, 0.92+rng.Float64()*0.08, 1+rng.Float64()*4, rng.Int63()))
+		}
+		w := DefaultWeights()
+		best := SelectOptSeq(pool, n, w)
+		// Compare against each singleton and each pair in both orders.
+		alts := [][]EvaluatedRule{
+			{pool[0]}, {pool[1]}, {pool[2]},
+			{pool[0], pool[1]}, {pool[1], pool[0]},
+			{pool[0], pool[2]}, {pool[2], pool[0]},
+			{pool[1], pool[2]}, {pool[2], pool[1]},
+		}
+		for _, alt := range alts {
+			// Optimal uses greedy ordering, so compare on sel/prec score
+			// only up to greedy's 4-approximation on time; allow slack γ·Δt.
+			c := SequenceOf(alt, n, w)
+			if c.Score > best.Score+w.Gamma*c.Time*3+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectOptSeq(b *testing.B) {
+	const n = 50000
+	var pool []EvaluatedRule
+	for i := 0; i < 10; i++ {
+		pool = append(pool, mkEval(i, n, 0.1+float64(i)*0.05, 0.95+float64(i%5)*0.01, 1+float64(i%4), int64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectOptSeq(pool, n, DefaultWeights())
+	}
+}

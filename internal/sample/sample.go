@@ -1,0 +1,212 @@
+// Package sample implements Falcon's sample_pairs operator (paper §5).
+//
+// Learning blocking rules on A×B is impractical, so Falcon draws a sample S
+// of n pairs that is both representative and match-rich: it builds an
+// inverted index over the documents d(a) of the smaller table A, selects
+// n/y random tuples from B, and pairs each selected b with (1) the top y/2
+// tuples of A sharing the most tokens with d(b) — likely matches — and
+// (2) y/2 random tuples of A. Two MapReduce jobs implement this: one builds
+// the inverted index, one generates the pairs.
+package sample
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"falcon/internal/mapreduce"
+	"falcon/internal/table"
+	"falcon/internal/tokenize"
+)
+
+// Config controls sampling.
+type Config struct {
+	// N is the sample size (paper default 1M pairs; sweeps use 500K–2M).
+	N int
+	// Y is the per-b pairing fan-out (paper: 100).
+	Y int
+	// Seed drives all random selection.
+	Seed int64
+	// StopwordDF: tokens appearing in more than this many A documents are
+	// skipped when counting shared tokens (0 = max(1000, |A|/10)). Very
+	// frequent tokens carry no match signal and would blow up probe cost.
+	StopwordDF int
+	// ExcludeSelf skips pairs with equal row numbers — used when matching
+	// a table against itself (deduplication, like the paper's Songs task).
+	ExcludeSelf bool
+}
+
+func (c Config) withDefaults(aLen int) Config {
+	if c.N <= 0 {
+		c.N = 1_000_000
+	}
+	if c.Y <= 0 {
+		c.Y = 100
+	}
+	if c.StopwordDF <= 0 {
+		c.StopwordDF = 1000
+		if aLen/10 > c.StopwordDF {
+			c.StopwordDF = aLen / 10
+		}
+	}
+	return c
+}
+
+// stringCols returns the columns of t inferred as strings.
+func stringCols(t *table.Table) []int {
+	var out []int
+	for i, a := range t.Schema.Attrs {
+		if a.Type == table.String {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// document returns d(x): the de-duplicated word tokens of the tuple's
+// string attributes.
+func document(t *table.Table, row int, cols []int) []string {
+	vals := make([]string, len(cols))
+	for i, c := range cols {
+		vals[i] = t.Value(row, c)
+	}
+	return tokenize.Document(vals)
+}
+
+// Pairs draws the sample S from A×B. It returns the pairs and the modeled
+// cluster time of the two MapReduce jobs.
+func Pairs(cluster *mapreduce.Cluster, a, b *table.Table, cfg Config) ([]table.Pair, time.Duration, error) {
+	cfg = cfg.withDefaults(a.Len())
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil, 0, nil
+	}
+	aCols := stringCols(a)
+	bCols := stringCols(b)
+
+	// Job 1: inverted index over A documents.
+	type tokID struct {
+		Tok string
+		ID  int32
+	}
+	rows := make([]int, a.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	idxJob := mapreduce.Job[int, string, int32, tokID]{
+		Name:   "sample-inverted-index",
+		Splits: mapreduce.SplitSlice(rows, cluster.Slots()),
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int32]) {
+			doc := document(a, row, aCols)
+			ctx.AddCost(int64(len(doc)))
+			for _, tok := range doc {
+				ctx.Emit(tok, int32(row))
+			}
+		},
+		Reduce: func(tok string, ids []int32, ctx *mapreduce.ReduceCtx[tokID]) {
+			for _, id := range ids {
+				ctx.Output(tokID{tok, id})
+			}
+		},
+	}
+	ir, err := mapreduce.Run(cluster, idxJob)
+	if err != nil {
+		return nil, 0, err
+	}
+	inverted := map[string][]int32{}
+	for _, ti := range ir.Output {
+		inverted[ti.Tok] = append(inverted[ti.Tok], ti.ID)
+	}
+	for _, ids := range inverted {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+
+	// Select n/y tuples from B.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numB := cfg.N / cfg.Y
+	if numB < 1 {
+		numB = 1
+	}
+	if numB > b.Len() {
+		numB = b.Len()
+	}
+	perm := rng.Perm(b.Len())[:numB]
+	sort.Ints(perm) // deterministic split layout
+
+	// Job 2: generate pairs for each selected b.
+	genJob := mapreduce.MapOnlyJob[int, table.Pair]{
+		Name:   "sample-gen-pairs",
+		Splits: mapreduce.SplitSlice(perm, cluster.Slots()),
+		Map: func(bRow int, ctx *mapreduce.MapOnlyCtx[table.Pair]) {
+			local := rand.New(rand.NewSource(cfg.Seed ^ (int64(bRow)+1)*0x5851F42D4C957F2D))
+			doc := document(b, bRow, bCols)
+			// Count shared tokens per A tuple via the inverted index.
+			counts := map[int32]int{}
+			var probeCost int64
+			for _, tok := range doc {
+				ids := inverted[tok]
+				if len(ids) > cfg.StopwordDF {
+					continue
+				}
+				probeCost += int64(len(ids)) + 1
+				for _, id := range ids {
+					counts[id]++
+				}
+			}
+			ctx.AddCost(probeCost + int64(len(doc)))
+			// Rank X by shared-token count desc, ID asc.
+			type scored struct {
+				id    int32
+				count int
+			}
+			xs := make([]scored, 0, len(counts))
+			for id, c := range counts {
+				xs = append(xs, scored{id, c})
+			}
+			sort.Slice(xs, func(i, j int) bool {
+				if xs[i].count != xs[j].count {
+					return xs[i].count > xs[j].count
+				}
+				return xs[i].id < xs[j].id
+			})
+			y := cfg.Y
+			if y > a.Len() {
+				y = a.Len()
+			}
+			y1 := y / 2
+			chosen := make(map[int32]bool, y)
+			if cfg.ExcludeSelf {
+				chosen[int32(bRow)] = true
+			}
+			taken := 0
+			for i := 0; i < len(xs) && taken < y1; i++ {
+				if chosen[xs[i].id] {
+					continue
+				}
+				chosen[xs[i].id] = true
+				ctx.Output(table.Pair{A: int(xs[i].id), B: bRow})
+				taken++
+			}
+			// Fill the rest with random A tuples not yet chosen.
+			limit := y
+			if cfg.ExcludeSelf {
+				limit++ // the self slot does not count toward y
+				if limit > a.Len() {
+					limit = a.Len()
+				}
+			}
+			for len(chosen) < limit {
+				id := int32(local.Intn(a.Len()))
+				if chosen[id] {
+					continue
+				}
+				chosen[id] = true
+				ctx.Output(table.Pair{A: int(id), B: bRow})
+			}
+		},
+	}
+	gr, err := mapreduce.RunMapOnly(cluster, genJob)
+	if err != nil {
+		return nil, 0, err
+	}
+	return gr.Output, ir.Stats.SimTime + gr.Stats.SimTime, nil
+}

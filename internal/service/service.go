@@ -1,0 +1,359 @@
+// Package service implements the EM-as-a-cloud-service front end the paper
+// motivates (Example 1): users submit two tables and a crowdsourcing
+// budget over HTTP; the service runs the hands-off EM workflow in the
+// backend and serves the matches, the run report, and the learned model.
+//
+// Endpoints:
+//
+//	POST /jobs            multipart form: tableA, tableB (CSV files),
+//	                      oracle_key, budget, error_rate, seed, sample,
+//	                      max_iter → {"id": ...}
+//	GET  /jobs            list job summaries
+//	GET  /jobs/{id}       status + report
+//	GET  /jobs/{id}/matches   matched row pairs as CSV
+//	GET  /jobs/{id}/model     the learned model as JSON
+//	GET  /healthz         liveness
+//
+// The demo crowd is simulated from the oracle_key column (with optional
+// worker error); a production deployment would swap in a crowd.Platform
+// that posts real HITs.
+package service
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"falcon/internal/core"
+	"falcon/internal/crowd"
+	"falcon/internal/table"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states.
+const (
+	StatePending State = "pending"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Job tracks one submitted EM task.
+type Job struct {
+	ID        string    `json:"id"`
+	State     State     `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+
+	// Summary fields, populated when done.
+	Matches      int           `json:"matches"`
+	Candidates   int           `json:"candidates"`
+	UsedBlocking bool          `json:"used_blocking"`
+	Strategy     string        `json:"strategy,omitempty"`
+	CrowdCost    float64       `json:"crowd_cost"`
+	Questions    int           `json:"questions"`
+	CrowdTime    time.Duration `json:"crowd_time_ns"`
+	MachineTime  time.Duration `json:"machine_time_ns"`
+	TotalTime    time.Duration `json:"total_time_ns"`
+
+	a, b   *table.Table
+	result *core.Result
+}
+
+// Server is the HTTP EM service.
+type Server struct {
+	mux  *http.ServeMux
+	now  func() time.Time
+	sync bool // run jobs synchronously (tests)
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	next int
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// Synchronous makes job execution block the POST (deterministic tests).
+func Synchronous() Option {
+	return func(s *Server) { s.sync = true }
+}
+
+// WithClock overrides the submission timestamp source.
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// New builds the service.
+func New(opts ...Option) *Server {
+	s := &Server{
+		mux:  http.NewServeMux(),
+		jobs: map[string]*Job{},
+		now:  time.Now,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/matches", s.handleMatches)
+	s.mux.HandleFunc("GET /jobs/{id}/model", s.handleModel)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// submitParams parses the numeric knobs of a submission.
+type submitParams struct {
+	oracleKey string
+	budget    float64
+	errRate   float64
+	seed      int64
+	sampleN   int
+	maxIter   int
+}
+
+func parseParams(r *http.Request) (submitParams, error) {
+	p := submitParams{oracleKey: strings.TrimSpace(r.FormValue("oracle_key")), seed: 1}
+	if p.oracleKey == "" {
+		return p, fmt.Errorf("oracle_key is required (the demo crowd simulates from it)")
+	}
+	parseF := func(name string, into *float64) error {
+		if v := r.FormValue(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s: %v", name, err)
+			}
+			*into = f
+		}
+		return nil
+	}
+	parseI := func(name string, into *int) error {
+		if v := r.FormValue(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s: %v", name, err)
+			}
+			*into = n
+		}
+		return nil
+	}
+	if err := parseF("budget", &p.budget); err != nil {
+		return p, err
+	}
+	if err := parseF("error_rate", &p.errRate); err != nil {
+		return p, err
+	}
+	if v := r.FormValue("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed: %v", err)
+		}
+		p.seed = n
+	}
+	if err := parseI("sample", &p.sampleN); err != nil {
+		return p, err
+	}
+	if err := parseI("max_iter", &p.maxIter); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseMultipartForm(64 << 20); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing form: %v", err)
+		return
+	}
+	params, err := parseParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	readTable := func(field string) (*table.Table, error) {
+		f, hdr, err := r.FormFile(field)
+		if err != nil {
+			return nil, fmt.Errorf("missing file %q", field)
+		}
+		defer f.Close()
+		return table.ReadCSV(f, hdr.Filename)
+	}
+	a, err := readTable("tableA")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, err := readTable("tableB")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if a.Schema.Col(params.oracleKey) < 0 || b.Schema.Col(params.oracleKey) < 0 {
+		httpError(w, http.StatusBadRequest, "oracle_key %q not in both tables", params.oracleKey)
+		return
+	}
+
+	s.mu.Lock()
+	s.next++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.next),
+		State:     StatePending,
+		Submitted: s.now(),
+		a:         a,
+		b:         b,
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	run := func() { s.runJob(job, params) }
+	if s.sync {
+		run()
+	} else {
+		go run()
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"id": job.ID})
+}
+
+// runJob executes the EM pipeline for a submitted job.
+func (s *Server) runJob(job *Job, p submitParams) {
+	s.setState(job, StateRunning, "")
+	aKey := job.a.Schema.Col(p.oracleKey)
+	bKey := job.b.Schema.Col(p.oracleKey)
+	oracle := func(pair table.Pair) bool {
+		av := strings.TrimSpace(strings.ToLower(job.a.Value(pair.A, aKey)))
+		bv := strings.TrimSpace(strings.ToLower(job.b.Value(pair.B, bKey)))
+		return av != "" && av == bv
+	}
+
+	opt := core.DefaultOptions()
+	opt.Seed = p.seed
+	opt.Budget = p.budget
+	opt.Platform = crowd.NewRandomWorkers(p.errRate, 0, p.seed+1)
+	if p.sampleN > 0 {
+		opt.SampleN = p.sampleN
+	}
+	if p.maxIter > 0 {
+		opt.ALIterations = p.maxIter
+	}
+
+	res, err := core.Run(job.a, job.b, oracle, opt)
+	if err != nil {
+		s.setState(job, StateFailed, err.Error())
+		return
+	}
+	s.mu.Lock()
+	job.result = res
+	job.State = StateDone
+	job.Matches = len(res.Matches)
+	job.Candidates = len(res.Candidates)
+	job.UsedBlocking = res.UsedBlocking
+	job.Strategy = res.Strategy.String()
+	job.CrowdCost = res.Cost
+	job.Questions = res.Questions
+	job.CrowdTime = res.Timeline.CrowdTime
+	job.MachineTime = res.Timeline.MachineTime
+	job.TotalTime = res.Timeline.Total
+	s.mu.Unlock()
+}
+
+func (s *Server) setState(job *Job, st State, errMsg string) {
+	s.mu.Lock()
+	job.State = st
+	job.Error = errMsg
+	s.mu.Unlock()
+}
+
+// snapshot copies a job's public state under the lock so handlers can
+// serialize it while the worker goroutine keeps mutating the original. The
+// result pointer is immutable once the state reaches done.
+func (s *Server) snapshot(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	s.mu.Unlock()
+	// Stable order by numeric suffix.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, job)
+}
+
+func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if job.State != StateDone {
+		httpError(w, http.StatusConflict, "job is %s", job.State)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"a_row", "b_row"})
+	for _, m := range job.result.Matches {
+		cw.Write([]string{strconv.Itoa(m.A), strconv.Itoa(m.B)})
+	}
+	cw.Flush()
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if job.State != StateDone || job.result.Model == nil {
+		httpError(w, http.StatusConflict, "job is %s or has no model", job.State)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	job.result.Model.Save(w)
+}

@@ -1,0 +1,58 @@
+package simfn
+
+import "testing"
+
+// FuzzLevenshtein asserts metric properties on arbitrary inputs.
+func FuzzLevenshtein(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("日本語", "日本")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		if len(b) > 50 {
+			b = b[:50]
+		}
+		d := LevenshteinDistance(a, b)
+		if d != LevenshteinDistance(b, a) {
+			t.Fatal("not symmetric")
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		if d < diff {
+			t.Fatalf("distance %d below length gap %d", d, diff)
+		}
+		max := la
+		if lb > max {
+			max = lb
+		}
+		if d > max {
+			t.Fatalf("distance %d above max length %d", d, max)
+		}
+		if (d == 0) != (a == b) {
+			t.Fatal("zero distance iff equal violated")
+		}
+	})
+}
+
+// FuzzJaroWinkler asserts boundedness on arbitrary inputs.
+func FuzzJaroWinkler(f *testing.F) {
+	f.Add("martha", "marhta")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		v := JaroWinkler(a, b)
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("JaroWinkler(%q,%q) = %v out of [0,1]", a, b, v)
+		}
+	})
+}

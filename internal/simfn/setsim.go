@@ -1,0 +1,101 @@
+// Package simfn implements the similarity functions Falcon uses for feature
+// generation (paper Figure 5) and inside blocking-rule predicates (§7).
+//
+// Set-based measures (Jaccard, Dice, Overlap, Cosine) operate on token sets;
+// sequence measures (Levenshtein, Jaro, Jaro-Winkler, Needleman-Wunsch,
+// Smith-Waterman, Smith-Waterman-Gotoh, Monge-Elkan) operate on strings or
+// word lists; numeric measures (exact match, absolute/relative difference)
+// operate on parsed numbers. All similarity scores are in [0,1] except
+// AbsDiff, which is an unbounded distance as in the paper's example rules
+// ("abs_diff(a.price, b.price) >= 10").
+package simfn
+
+import "math"
+
+// overlapCount returns |a ∩ b| for de-duplicated token slices.
+func overlapCount(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	set := make(map[string]struct{}, len(small))
+	for _, t := range small {
+		set[t] = struct{}{}
+	}
+	n := 0
+	for _, t := range large {
+		if _, ok := set[t]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Jaccard returns |a∩b| / |a∪b| of two token sets. Two empty sets score 0,
+// treating missing text as non-evidence of a match.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := overlapCount(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|a∩b| / (|a|+|b|).
+func Dice(a, b []string) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(overlapCount(a, b)) / float64(len(a)+len(b))
+}
+
+// Overlap returns |a∩b| / min(|a|,|b|).
+func Overlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	return float64(overlapCount(a, b)) / float64(m)
+}
+
+// Cosine returns |a∩b| / sqrt(|a|·|b|) (the set-cosine of binary vectors).
+func Cosine(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return float64(overlapCount(a, b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// ExactMatch returns 1 if the normalized strings are equal and non-missing,
+// else 0.
+func ExactMatch(a, b string) float64 {
+	if a == "" || b == "" {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// AbsDiff returns |x − y| (a distance, not a similarity).
+func AbsDiff(x, y float64) float64 { return math.Abs(x - y) }
+
+// RelDiff returns |x − y| / max(|x|, |y|), or 0 when both are 0.
+func RelDiff(x, y float64) float64 {
+	den := math.Max(math.Abs(x), math.Abs(y))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(x-y) / den
+}

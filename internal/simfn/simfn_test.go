@@ -1,0 +1,362 @@
+package simfn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/tokenize"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaccard(t *testing.T) {
+	a := []string{"the", "cat", "sat"}
+	b := []string{"the", "cat", "ran"}
+	if got := Jaccard(a, b); !almost(got, 0.5) {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+	if Jaccard(nil, nil) != 0 {
+		t.Fatal("Jaccard(empty,empty) should be 0")
+	}
+	if !almost(Jaccard(a, a), 1) {
+		t.Fatal("Jaccard self should be 1")
+	}
+	if Jaccard(a, []string{"zzz"}) != 0 {
+		t.Fatal("disjoint Jaccard should be 0")
+	}
+}
+
+func TestDiceOverlapCosine(t *testing.T) {
+	a := []string{"x", "y"}
+	b := []string{"y", "z", "w"}
+	if got := Dice(a, b); !almost(got, 2.0/5.0) {
+		t.Fatalf("Dice = %v", got)
+	}
+	if got := Overlap(a, b); !almost(got, 0.5) {
+		t.Fatalf("Overlap = %v", got)
+	}
+	if got := Cosine(a, b); !almost(got, 1/math.Sqrt(6)) {
+		t.Fatalf("Cosine = %v", got)
+	}
+	if Dice(nil, nil) != 0 || Overlap(nil, b) != 0 || Cosine(a, nil) != 0 {
+		t.Fatal("empty-set measures should be 0")
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	if ExactMatch("abc", "abc") != 1 {
+		t.Fatal("equal should be 1")
+	}
+	if ExactMatch("abc", "abd") != 0 {
+		t.Fatal("unequal should be 0")
+	}
+	if ExactMatch("", "") != 0 {
+		t.Fatal("two missing values should be 0, not a match")
+	}
+}
+
+func TestNumericDiffs(t *testing.T) {
+	if !almost(AbsDiff(10, 3), 7) {
+		t.Fatal("AbsDiff wrong")
+	}
+	if !almost(RelDiff(10, 5), 0.5) {
+		t.Fatal("RelDiff wrong")
+	}
+	if RelDiff(0, 0) != 0 {
+		t.Fatal("RelDiff(0,0) should be 0")
+	}
+	if !almost(RelDiff(-10, 10), 2) {
+		t.Fatal("RelDiff with negatives wrong")
+	}
+}
+
+func TestLevenshteinDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"日本語", "日本", 1},
+	}
+	for _, c := range cases {
+		if got := LevenshteinDistance(c.a, c.b); got != c.want {
+			t.Errorf("LevenshteinDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSimilarity(t *testing.T) {
+	if !almost(Levenshtein("abcd", "abcd"), 1) {
+		t.Fatal("self similarity should be 1")
+	}
+	if !almost(Levenshtein("abcd", "abce"), 0.75) {
+		t.Fatal("one edit of four should be 0.75")
+	}
+	if Levenshtein("", "") != 0 {
+		t.Fatal("two empties should be 0")
+	}
+}
+
+func TestJaro(t *testing.T) {
+	// Classic textbook values.
+	if got := Jaro("martha", "marhta"); !almost(got, 0.9444444444444445) {
+		t.Fatalf("Jaro(martha,marhta) = %v", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); !almost(got, 0.7666666666666666) {
+		t.Fatalf("Jaro(dixon,dicksonx) = %v", got)
+	}
+	if Jaro("", "abc") != 0 || Jaro("abc", "") != 0 {
+		t.Fatal("empty Jaro should be 0")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Fatal("no-match Jaro should be 0")
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); !almost(got, 0.9611111111111111) {
+		t.Fatalf("JaroWinkler(martha,marhta) = %v", got)
+	}
+	// Prefix boost caps at 4 characters.
+	a, b := "abcdefgh", "abcdxyzw"
+	j := Jaro(a, b)
+	if got := JaroWinkler(a, b); !almost(got, j+0.4*(1-j)) {
+		t.Fatalf("prefix cap wrong: %v", got)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	a := []string{"paul", "johnson"}
+	b := []string{"johson", "paule"}
+	got := MongeElkan(a, b)
+	if got <= 0.9 || got > 1 {
+		t.Fatalf("MongeElkan = %v, want high", got)
+	}
+	if MongeElkan(nil, b) != 0 {
+		t.Fatal("empty MongeElkan should be 0")
+	}
+	if !almost(MongeElkan(a, a), 1) {
+		t.Fatal("self MongeElkan should be 1")
+	}
+}
+
+func TestAlignments(t *testing.T) {
+	for name, fn := range map[string]func(a, b string) float64{
+		"nw":  NeedlemanWunsch,
+		"sw":  SmithWaterman,
+		"swg": SmithWatermanGotoh,
+	} {
+		if got := fn("match", "match"); !almost(got, 1) {
+			t.Errorf("%s self = %v, want 1", name, got)
+		}
+		if got := fn("", "x"); got != 0 {
+			t.Errorf("%s empty = %v, want 0", name, got)
+		}
+		got := fn("aaaa", "zzzz")
+		if got < 0 || got > 0.2 {
+			t.Errorf("%s disjoint = %v, want ~0", name, got)
+		}
+	}
+	// Local alignment finds the common substring regardless of prefix junk.
+	if got := SmithWaterman("xxxhello", "yyhello"); got < 0.6 {
+		t.Errorf("SmithWaterman local = %v, want high", got)
+	}
+	if got := SmithWatermanGotoh("xxxhello", "yyhello"); got < 0.6 {
+		t.Errorf("SmithWatermanGotoh local = %v, want high", got)
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc([]string{"the", "big", "red", "dog"})
+	c.AddDoc([]string{"the", "small", "cat"})
+	c.AddDoc([]string{"the", "red", "fox"})
+	if c.Docs() != 3 {
+		t.Fatalf("Docs = %d", c.Docs())
+	}
+	// "the" appears everywhere → low IDF; "dog" once → high IDF.
+	if c.IDF("the") >= c.IDF("dog") {
+		t.Fatal("IDF ordering wrong")
+	}
+	self := c.TFIDF([]string{"red", "dog"}, []string{"red", "dog"})
+	if !almost(self, 1) {
+		t.Fatalf("TFIDF self = %v", self)
+	}
+	rare := c.TFIDF([]string{"red", "dog"}, []string{"red", "cat"})
+	common := c.TFIDF([]string{"the", "dog"}, []string{"the", "cat"})
+	if rare <= common {
+		t.Fatalf("rare-token overlap (%v) should beat common-token overlap (%v)", rare, common)
+	}
+	if c.TFIDF(nil, []string{"x"}) != 0 {
+		t.Fatal("empty TFIDF should be 0")
+	}
+}
+
+func TestSoftTFIDF(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 5; i++ {
+		c.AddDoc([]string{"company", "records", "international"})
+	}
+	hard := c.TFIDF([]string{"internatioal", "records"}, []string{"international", "records"})
+	soft := c.SoftTFIDF([]string{"internatioal", "records"}, []string{"international", "records"})
+	if soft <= hard {
+		t.Fatalf("SoftTFIDF (%v) should exceed TFIDF (%v) on typo'd token", soft, hard)
+	}
+	if soft > 1 {
+		t.Fatalf("SoftTFIDF = %v > 1", soft)
+	}
+	if c.SoftTFIDF(nil, []string{"x"}) != 0 {
+		t.Fatal("empty SoftTFIDF should be 0")
+	}
+}
+
+func TestEmptyCorpusIDF(t *testing.T) {
+	if NewCorpus().IDF("x") != 0 {
+		t.Fatal("empty corpus IDF should be 0")
+	}
+}
+
+func TestMeasureMetadata(t *testing.T) {
+	if MJaccard.String() != "jaccard" || MSoftTFIDF.String() != "soft_tfidf" {
+		t.Fatal("Measure names wrong")
+	}
+	if Measure(99).String() != "measure(99)" {
+		t.Fatal("unknown measure name wrong")
+	}
+	if !MJaccard.SetBased() || MLevenshtein.SetBased() {
+		t.Fatal("SetBased wrong")
+	}
+	if !MAbsDiff.NumericBased() || MJaccard.NumericBased() {
+		t.Fatal("NumericBased wrong")
+	}
+	if !MTFIDF.CorpusBased() || MJaccard.CorpusBased() {
+		t.Fatal("CorpusBased wrong")
+	}
+	if !MAbsDiff.Distance() || MJaccard.Distance() {
+		t.Fatal("Distance wrong")
+	}
+	blockable := 0
+	for m := Measure(0); m < numMeasures; m++ {
+		if m.Blockable() {
+			blockable++
+		}
+	}
+	if blockable != 8 {
+		t.Fatalf("paper says eight blockable measures, got %d", blockable)
+	}
+}
+
+// Property: all normalized similarities stay within [0,1] and are symmetric.
+func TestQuickBoundsAndSymmetry(t *testing.T) {
+	strFns := map[string]func(a, b string) float64{
+		"levenshtein": Levenshtein,
+		"jaro":        Jaro,
+		"jarowinkler": JaroWinkler,
+		"nw":          NeedlemanWunsch,
+		"sw":          SmithWaterman,
+		"swg":         SmithWatermanGotoh,
+	}
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		for name, fn := range strFns {
+			ab, ba := fn(a, b), fn(b, a)
+			if ab < -1e-9 || ab > 1+1e-9 {
+				t.Logf("%s(%q,%q) = %v out of bounds", name, a, b, ab)
+				return false
+			}
+			if name != "sw" && name != "swg" && name != "nw" && !almost(ab, ba) {
+				t.Logf("%s asymmetric: %v vs %v", name, ab, ba)
+				return false
+			}
+		}
+		ta, tb := tokenize.WordSet(a), tokenize.WordSet(b)
+		for name, fn := range map[string]func(x, y []string) float64{
+			"jaccard": Jaccard, "dice": Dice, "overlap": Overlap, "cosine": Cosine,
+		} {
+			v := fn(ta, tb)
+			if v < 0 || v > 1+1e-9 || !almost(v, fn(tb, ta)) {
+				t.Logf("%s out of bounds or asymmetric: %v", name, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Jaccard ≤ Dice ≤ Overlap for non-empty sets (standard ordering).
+func TestQuickSetMeasureOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		pick := func() []string {
+			var s []string
+			for _, v := range vocab {
+				if rng.Intn(2) == 0 {
+					s = append(s, v)
+				}
+			}
+			return s
+		}
+		a, b := pick(), pick()
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		j, d, o := Jaccard(a, b), Dice(a, b), Overlap(a, b)
+		return j <= d+1e-9 && d <= o+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Levenshtein distance satisfies the triangle inequality.
+func TestQuickLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		trim := func(s string) string {
+			if len(s) > 12 {
+				return s[:12]
+			}
+			return s
+		}
+		a, b, c = trim(a), trim(b), trim(c)
+		return LevenshteinDistance(a, c) <= LevenshteinDistance(a, b)+LevenshteinDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkJaccardWord(b *testing.B) {
+	x := tokenize.WordSet(strings.Repeat("alpha beta gamma delta epsilon ", 4))
+	y := tokenize.WordSet(strings.Repeat("beta gamma zeta eta theta ", 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Jaccard(x, y)
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("international business machines", "internatioal busines machine")
+	}
+}
+
+func BenchmarkSmithWatermanGotoh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SmithWatermanGotoh("international business machines", "internatioal busines machine")
+	}
+}

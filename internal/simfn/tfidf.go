@@ -1,0 +1,139 @@
+package simfn
+
+import (
+	"math"
+	"sort"
+)
+
+// Corpus holds document frequencies for TF/IDF-style measures over long
+// string attributes (Figure 5). Falcon builds one corpus per attribute
+// correspondence from the union of both tables' values.
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// AddDoc records one document's de-duplicated tokens.
+func (c *Corpus) AddDoc(tokens []string) {
+	c.docs++
+	seen := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		c.df[t]++
+	}
+}
+
+// Docs returns the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of token t:
+// log(1 + N/df). Unknown tokens get the maximal IDF log(1 + N).
+func (c *Corpus) IDF(t string) float64 {
+	if c.docs == 0 {
+		return 0
+	}
+	df := c.df[t]
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + float64(c.docs)/float64(df))
+}
+
+// tfVector builds an IDF-weighted term-frequency vector for a token bag.
+func (c *Corpus) tfVector(tokens []string) map[string]float64 {
+	v := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		v[t]++
+	}
+	for t, tf := range v {
+		v[t] = tf * c.IDF(t)
+	}
+	return v
+}
+
+// sortedTokens returns the vector's tokens in lexicographic order so that
+// floating-point accumulation is deterministic across map iterations.
+func sortedTokens(v map[string]float64) []string {
+	keys := make([]string, 0, len(v))
+	for t := range v {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TFIDF returns the cosine similarity of the IDF-weighted term-frequency
+// vectors of the two token bags.
+func (c *Corpus) TFIDF(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	va, vb := c.tfVector(a), c.tfVector(b)
+	var dot, na, nb float64
+	for _, t := range sortedTokens(va) {
+		wa := va[t]
+		na += wa * wa
+		if wb, ok := vb[t]; ok {
+			dot += wa * wb
+		}
+	}
+	for _, t := range sortedTokens(vb) {
+		nb += vb[t] * vb[t]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// softTFIDFTheta is the inner-similarity threshold for SoftTFIDF's CLOSE set.
+const softTFIDFTheta = 0.9
+
+// SoftTFIDF returns the Soft TF/IDF similarity: like TFIDF but tokens of a
+// also pair with close tokens of b (JaroWinkler ≥ 0.9), weighted by their
+// inner similarity.
+func (c *Corpus) SoftTFIDF(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	va, vb := c.tfVector(a), c.tfVector(b)
+	aToks, bToks := sortedTokens(va), sortedTokens(vb)
+	var na, nb float64
+	for _, t := range aToks {
+		na += va[t] * va[t]
+	}
+	for _, t := range bToks {
+		nb += vb[t] * vb[t]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	var dot float64
+	for _, ta := range aToks {
+		wa := va[ta]
+		bestSim, bestW := 0.0, 0.0
+		for _, tb := range bToks {
+			wb := vb[tb]
+			s := JaroWinkler(ta, tb)
+			if s >= softTFIDFTheta && s > bestSim {
+				bestSim, bestW = s, wb
+			}
+		}
+		if bestSim > 0 {
+			dot += wa * bestW * bestSim
+		}
+	}
+	sim := dot / math.Sqrt(na*nb)
+	if sim > 1 {
+		sim = 1
+	}
+	return sim
+}

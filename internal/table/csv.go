@@ -1,0 +1,74 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a table from CSV with a header row and infers attribute
+// types and characteristics.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows; we validate below
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table %s: reading header: %w", name, err)
+	}
+	t := New(name, NewSchema(header...))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table %s: line %d: %w", name, line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("table %s: line %d: %d fields, header has %d", name, line, len(rec), len(header))
+		}
+		t.Append(rec...)
+	}
+	t.InferTypes()
+	return t, nil
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV; the table is named
+// after the file path.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, path)
+}
+
+// WriteCSV writes the table (header + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return err
+	}
+	for _, tu := range t.Tuples {
+		if err := cw.Write(tu.Values); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to path, creating or truncating it.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,34 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV loader never panics and that any table it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("title,price\n\"x,y\",3\n")
+	f.Add("")
+	f.Add("a\n\"unterminated")
+	f.Add("a,b\nonly-one\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tb, err := ReadCSV(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := tb.WriteCSV(&sb); err != nil {
+			t.Fatalf("accepted table failed to write: %v", err)
+		}
+		rt, err := ReadCSV(strings.NewReader(sb.String()), "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if rt.Len() != tb.Len() || rt.Schema.Len() != tb.Schema.Len() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				tb.Len(), tb.Schema.Len(), rt.Len(), rt.Schema.Len())
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package tokenize
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzWords asserts tokenization output is always lowercase alphanumeric.
+func FuzzWords(f *testing.F) {
+	f.Add("Hello, World!")
+	f.Add("日本語 text ÅÄÖ")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, w := range Words(s) {
+			if w == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range w {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q has separator rune %q", w, r)
+				}
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lowercased", w)
+				}
+			}
+		}
+	})
+}
+
+// FuzzQGrams asserts every gram has exactly q runes.
+func FuzzQGrams(f *testing.F) {
+	f.Add("hello world")
+	f.Add("")
+	f.Add("ab")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, g := range QGrams(s, 3) {
+			if n := len([]rune(g)); n != 3 {
+				t.Fatalf("gram %q has %d runes", g, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+// Package tokenize provides the word and q-gram tokenizers that underlie
+// Falcon's set-based similarity functions and its inverted indexes
+// (paper §5, §7.5). Tokenization is deterministic: lowercase, punctuation
+// stripped, and (for sets) duplicates removed while preserving first-seen
+// order so prefix filtering stays stable.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Kind names a tokenization scheme. A (attribute, Kind) pair identifies one
+// token universe for global token ordering (§7.5).
+type Kind string
+
+const (
+	// Word splits on non-alphanumeric runs.
+	Word Kind = "word"
+	// Gram3 produces padded 3-grams.
+	Gram3 Kind = "3gram"
+)
+
+// Tokenize applies the named scheme. Unknown kinds panic, since they signal
+// a programming error in feature generation.
+func Tokenize(kind Kind, s string) []string {
+	switch kind {
+	case Word:
+		return Words(s)
+	case Gram3:
+		return QGrams(s, 3)
+	default:
+		panic("tokenize: unknown kind " + string(kind))
+	}
+}
+
+// Words lowercases s and splits it into maximal alphanumeric runs.
+func Words(s string) []string {
+	s = strings.ToLower(s)
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// WordSet returns the de-duplicated word tokens in first-seen order.
+func WordSet(s string) []string { return dedupe(Words(s)) }
+
+// QGrams returns the padded q-grams of the lowercased, whitespace-normalized
+// string. Padding with q−1 sentinel characters on each side follows the
+// standard construction so short strings still produce grams. An empty or
+// all-space string yields no grams.
+func QGrams(s string, q int) []string {
+	s = strings.Join(Words(s), " ")
+	if s == "" {
+		return nil
+	}
+	pad := strings.Repeat("#", q-1)
+	s = pad + s + pad
+	runes := []rune(s)
+	if len(runes) < q {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		out = append(out, string(runes[i:i+q]))
+	}
+	return out
+}
+
+// QGramSet returns the de-duplicated q-grams in first-seen order.
+func QGramSet(s string, q int) []string { return dedupe(QGrams(s, q)) }
+
+// Set returns the de-duplicated tokens of the named scheme.
+func Set(kind Kind, s string) []string { return dedupe(Tokenize(kind, s)) }
+
+func dedupe(in []string) []string {
+	if len(in) <= 1 {
+		return in
+	}
+	seen := make(map[string]struct{}, len(in))
+	out := in[:0]
+	for _, t := range in {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Document converts a tuple's string-attribute values into the bag of word
+// tokens d(a) used by sample_pairs (§5).
+func Document(values []string) []string {
+	var out []string
+	for _, v := range values {
+		out = append(out, Words(v)...)
+	}
+	return dedupe(out)
+}

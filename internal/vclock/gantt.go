@@ -1,0 +1,78 @@
+package vclock
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderGantt writes an ASCII Gantt chart of the timeline: one row per
+// operator and resource, time flowing left to right across `width` columns.
+// Crowd activity renders as '▒', cluster activity as '█'. It gives a quick
+// visual of which machine work hides under crowd time (§10.2).
+func (tl *Timeline) RenderGantt(w io.Writer, width int) {
+	RenderGantt(w, tl.tasks, width)
+}
+
+// RenderGantt renders a task list (e.g. a finished run's Tasks) as a Gantt
+// chart.
+func RenderGantt(w io.Writer, tasks []*Task, width int) {
+	if width < 20 {
+		width = 20
+	}
+	var total time.Duration
+	for _, t := range tasks {
+		if t.End > total {
+			total = t.End
+		}
+	}
+	if total <= 0 {
+		fmt.Fprintln(w, "(empty timeline)")
+		return
+	}
+
+	type rowKey struct {
+		op  string
+		res Resource
+	}
+	rows := map[rowKey][]*Task{}
+	var order []rowKey
+	for _, t := range tasks {
+		if t.Dur == 0 {
+			continue
+		}
+		k := rowKey{t.Op, t.Resource}
+		if _, ok := rows[k]; !ok {
+			order = append(order, k)
+		}
+		rows[k] = append(rows[k], t)
+	}
+	// Stable order: by first task start.
+	sort.SliceStable(order, func(i, j int) bool {
+		return rows[order[i]][0].Start < rows[order[j]][0].Start
+	})
+
+	col := func(d time.Duration) int {
+		c := int(int64(d) * int64(width) / int64(total))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	fmt.Fprintf(w, "%-28s %s (total %s)\n", "operator", "timeline", total.Round(time.Second))
+	for _, k := range order {
+		line := []rune(strings.Repeat("·", width))
+		mark := '█'
+		if k.res == Crowd {
+			mark = '▒'
+		}
+		for _, t := range rows[k] {
+			for c := col(t.Start); c <= col(t.End-1); c++ {
+				line[c] = mark
+			}
+		}
+		fmt.Fprintf(w, "%-28s %s\n", fmt.Sprintf("%s [%s]", k.op, k.res), string(line))
+	}
+}

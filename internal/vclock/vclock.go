@@ -1,0 +1,225 @@
+// Package vclock provides a discrete-event virtual timeline used to account
+// Falcon's crowd time, machine time, and masking overlap (paper §3.4, §10.2).
+//
+// The paper's total run time is t_c + t_u where t_c is total crowd time and
+// t_u is the machine time that could not be masked (scheduled during crowd
+// activities). We model this with two sequential resources — the crowd
+// platform and the Hadoop cluster — and a list scheduler: a task starts when
+// its resource is free and all of its dependencies have finished.
+//
+// The orchestrator (internal/core) executes the real computation in-process
+// and records each activity here with a duration taken from the MapReduce
+// cost model or the crowd latency model. Masking falls out of the schedule:
+// machine work that overlaps crowd-busy intervals is "masked".
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Resource identifies which sequential resource executes a task.
+type Resource int
+
+const (
+	// Crowd is the crowd platform: one HIT batch outstanding at a time.
+	Crowd Resource = iota
+	// Cluster is the Hadoop cluster: one MapReduce job at a time (each job
+	// uses every node, as in the paper's per-operator execution).
+	Cluster
+	numResources
+)
+
+// String implements fmt.Stringer.
+func (r Resource) String() string {
+	switch r {
+	case Crowd:
+		return "crowd"
+	case Cluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Task is a scheduled activity on the timeline.
+type Task struct {
+	Name     string
+	Resource Resource
+	Dur      time.Duration
+	Start    time.Duration
+	End      time.Duration
+	// Op tags the task with the logical operator it belongs to
+	// (e.g. "al_matcher", "apply_blocking_rules") for Table-4 style
+	// per-operator breakdowns.
+	Op string
+}
+
+// Timeline is an incremental list scheduler over virtual time. The zero
+// value is not usable; call New.
+type Timeline struct {
+	avail [numResources]time.Duration
+	tasks []*Task
+}
+
+// New returns an empty timeline starting at virtual time zero.
+func New() *Timeline {
+	return &Timeline{}
+}
+
+// Schedule places a task on resource r with duration d, starting no earlier
+// than the ends of all deps and no earlier than the time r becomes free.
+// It returns the scheduled task, whose Start and End are fixed immediately.
+func (tl *Timeline) Schedule(name string, op string, r Resource, d time.Duration, deps ...*Task) *Task {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative duration %v for %q", d, name))
+	}
+	start := tl.avail[r]
+	for _, dep := range deps {
+		if dep == nil {
+			continue
+		}
+		if dep.End > start {
+			start = dep.End
+		}
+	}
+	t := &Task{Name: name, Op: op, Resource: r, Dur: d, Start: start, End: start + d}
+	tl.avail[r] = t.End
+	tl.tasks = append(tl.tasks, t)
+	return t
+}
+
+// Truncate cuts a previously scheduled task short at virtual time `at`,
+// modeling a killed speculative job (Algorithm 2). It only has an effect if
+// the task is the most recently scheduled task on its resource and `at`
+// falls inside [Start, End). Truncate returns true if the task was shortened.
+func (tl *Timeline) Truncate(t *Task, at time.Duration) bool {
+	if at < t.Start || at >= t.End {
+		return false
+	}
+	if tl.avail[t.Resource] != t.End {
+		return false // a later task already depends on this end time
+	}
+	t.End = at
+	t.Dur = at - t.Start
+	tl.avail[t.Resource] = at
+	return true
+}
+
+// ResourceFree returns the virtual time at which resource r next becomes
+// idle given everything scheduled so far.
+func (tl *Timeline) ResourceFree(r Resource) time.Duration { return tl.avail[r] }
+
+// Now returns the latest end time across all resources (the makespan so far).
+func (tl *Timeline) Now() time.Duration {
+	var max time.Duration
+	for _, a := range tl.avail {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Tasks returns the scheduled tasks in scheduling order.
+func (tl *Timeline) Tasks() []*Task { return tl.tasks }
+
+// Stats summarizes a finished timeline in the paper's terms.
+type Stats struct {
+	// Total is the makespan: the paper's "Total Time".
+	Total time.Duration
+	// CrowdTime is the sum of crowd task durations (t_c).
+	CrowdTime time.Duration
+	// MachineTime is the sum of cluster task durations (t_m).
+	MachineTime time.Duration
+	// MaskedMachine is the portion of machine time that overlapped
+	// crowd-busy intervals.
+	MaskedMachine time.Duration
+	// UnmaskedMachine is MachineTime − MaskedMachine (t_u).
+	UnmaskedMachine time.Duration
+	// PerOp maps operator tag → summed durations per resource.
+	PerOp map[string]OpTime
+}
+
+// OpTime is the crowd/machine split of one logical operator's time.
+// Masked is the part of Machine that overlapped crowd-busy intervals.
+type OpTime struct {
+	Crowd   time.Duration
+	Machine time.Duration
+	Masked  time.Duration
+}
+
+type interval struct{ s, e time.Duration }
+
+// mergeIntervals coalesces overlapping intervals; input need not be sorted.
+func mergeIntervals(in []interval) []interval {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].s < in[j].s })
+	out := []interval{in[0]}
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if iv.s <= last.e {
+			if iv.e > last.e {
+				last.e = iv.e
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// overlap returns the total length of iv ∩ merged.
+func overlap(iv interval, merged []interval) time.Duration {
+	var total time.Duration
+	for _, m := range merged {
+		s, e := iv.s, iv.e
+		if m.s > s {
+			s = m.s
+		}
+		if m.e < e {
+			e = m.e
+		}
+		if e > s {
+			total += e - s
+		}
+	}
+	return total
+}
+
+// Stats computes the summary of the timeline so far.
+func (tl *Timeline) Stats() Stats {
+	st := Stats{PerOp: map[string]OpTime{}}
+	var crowdIvs []interval
+	for _, t := range tl.tasks {
+		op := st.PerOp[t.Op]
+		switch t.Resource {
+		case Crowd:
+			st.CrowdTime += t.Dur
+			op.Crowd += t.Dur
+			if t.Dur > 0 {
+				crowdIvs = append(crowdIvs, interval{t.Start, t.End})
+			}
+		case Cluster:
+			st.MachineTime += t.Dur
+			op.Machine += t.Dur
+		}
+		st.PerOp[t.Op] = op
+	}
+	merged := mergeIntervals(crowdIvs)
+	for _, t := range tl.tasks {
+		if t.Resource == Cluster && t.Dur > 0 {
+			ov := overlap(interval{t.Start, t.End}, merged)
+			st.MaskedMachine += ov
+			op := st.PerOp[t.Op]
+			op.Masked += ov
+			st.PerOp[t.Op] = op
+		}
+	}
+	st.UnmaskedMachine = st.MachineTime - st.MaskedMachine
+	st.Total = tl.Now()
+	return st
+}

@@ -1,0 +1,247 @@
+package vclock
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const (
+	sec = time.Second
+	min = time.Minute
+)
+
+func TestSequentialSameResource(t *testing.T) {
+	tl := New()
+	a := tl.Schedule("a", "op", Cluster, 10*sec)
+	b := tl.Schedule("b", "op", Cluster, 5*sec)
+	if a.Start != 0 || a.End != 10*sec {
+		t.Fatalf("a = [%v,%v]", a.Start, a.End)
+	}
+	if b.Start != 10*sec || b.End != 15*sec {
+		t.Fatalf("b = [%v,%v], want starts after a", b.Start, b.End)
+	}
+}
+
+func TestParallelResources(t *testing.T) {
+	tl := New()
+	c := tl.Schedule("label", "al_matcher", Crowd, 10*min)
+	m := tl.Schedule("index", "apply_blocking_rules", Cluster, 4*min)
+	if m.Start != 0 {
+		t.Fatalf("cluster task delayed to %v; resources should be parallel", m.Start)
+	}
+	if c.End != 10*min || tl.Now() != 10*min {
+		t.Fatalf("makespan %v, want 10m", tl.Now())
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	tl := New()
+	c := tl.Schedule("label", "op", Crowd, 10*sec)
+	m := tl.Schedule("train", "op", Cluster, 5*sec, c)
+	if m.Start != c.End {
+		t.Fatalf("dependent task started at %v, want %v", m.Start, c.End)
+	}
+	if tl.Now() != 15*sec {
+		t.Fatalf("makespan = %v, want 15s", tl.Now())
+	}
+}
+
+func TestNilDepsIgnored(t *testing.T) {
+	tl := New()
+	m := tl.Schedule("x", "op", Cluster, sec, nil, nil)
+	if m.Start != 0 {
+		t.Fatalf("nil dep delayed start to %v", m.Start)
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Schedule("bad", "op", Cluster, -sec)
+}
+
+func TestMaskingAccounting(t *testing.T) {
+	// Crowd labels for 10 minutes; during that window the cluster builds
+	// indexes for 6 minutes, then afterwards does 3 minutes of blocking.
+	tl := New()
+	c := tl.Schedule("label", "al_matcher", Crowd, 10*min)
+	tl.Schedule("index", "index_build", Cluster, 6*min)
+	tl.Schedule("block", "apply_blocking_rules", Cluster, 3*min, c)
+
+	st := tl.Stats()
+	if st.CrowdTime != 10*min {
+		t.Fatalf("crowd = %v", st.CrowdTime)
+	}
+	if st.MachineTime != 9*min {
+		t.Fatalf("machine = %v", st.MachineTime)
+	}
+	if st.MaskedMachine != 6*min {
+		t.Fatalf("masked = %v, want 6m", st.MaskedMachine)
+	}
+	if st.UnmaskedMachine != 3*min {
+		t.Fatalf("unmasked = %v, want 3m", st.UnmaskedMachine)
+	}
+	if st.Total != 13*min {
+		t.Fatalf("total = %v, want 13m (= t_c + t_u)", st.Total)
+	}
+}
+
+func TestPartialMasking(t *testing.T) {
+	// Machine job longer than the crowd window masks only partially.
+	tl := New()
+	tl.Schedule("label", "op", Crowd, 2*min)
+	tl.Schedule("big", "op", Cluster, 5*min)
+	st := tl.Stats()
+	if st.MaskedMachine != 2*min {
+		t.Fatalf("masked = %v, want 2m", st.MaskedMachine)
+	}
+	if st.UnmaskedMachine != 3*min {
+		t.Fatalf("unmasked = %v, want 3m", st.UnmaskedMachine)
+	}
+}
+
+func TestTruncateSpeculativeJob(t *testing.T) {
+	tl := New()
+	c := tl.Schedule("eval_rules", "eval_rules", Crowd, 10*min)
+	spec := tl.Schedule("spec-rule-1", "apply_blocking_rules", Cluster, 30*min)
+	// eval_rules finished at 10m; the speculative job is killed there.
+	if !tl.Truncate(spec, c.End) {
+		t.Fatal("Truncate failed")
+	}
+	if spec.Dur != 10*min || spec.End != 10*min {
+		t.Fatalf("truncated task = [%v,%v] dur %v", spec.Start, spec.End, spec.Dur)
+	}
+	// Next cluster job starts right at the kill time.
+	next := tl.Schedule("block", "apply_blocking_rules", Cluster, time.Minute)
+	if next.Start != 10*min {
+		t.Fatalf("next start = %v, want 10m", next.Start)
+	}
+}
+
+func TestTruncateOutOfRangeNoop(t *testing.T) {
+	tl := New()
+	j := tl.Schedule("j", "op", Cluster, 5*min)
+	if tl.Truncate(j, 6*min) {
+		t.Fatal("Truncate after end should fail")
+	}
+	if tl.Truncate(j, -1) {
+		t.Fatal("Truncate before start should fail")
+	}
+	if j.End != 5*min {
+		t.Fatalf("task modified: end %v", j.End)
+	}
+}
+
+func TestTruncateBlockedByLaterTask(t *testing.T) {
+	tl := New()
+	a := tl.Schedule("a", "op", Cluster, 5*min)
+	tl.Schedule("b", "op", Cluster, 5*min)
+	if tl.Truncate(a, 2*min) {
+		t.Fatal("Truncate should refuse when a later task is scheduled on the resource")
+	}
+}
+
+func TestPerOpBreakdown(t *testing.T) {
+	tl := New()
+	tl.Schedule("l1", "al_matcher", Crowd, 3*min)
+	tl.Schedule("t1", "al_matcher", Cluster, time.Minute)
+	tl.Schedule("b1", "apply_blocking_rules", Cluster, 2*min)
+	st := tl.Stats()
+	if got := st.PerOp["al_matcher"]; got.Crowd != 3*min || got.Machine != time.Minute {
+		t.Fatalf("al_matcher = %+v", got)
+	}
+	if got := st.PerOp["apply_blocking_rules"]; got.Machine != 2*min {
+		t.Fatalf("apply_blocking_rules = %+v", got)
+	}
+}
+
+func TestZeroDurationTasksIgnoredInMasking(t *testing.T) {
+	tl := New()
+	tl.Schedule("noop", "op", Crowd, 0)
+	tl.Schedule("job", "op", Cluster, time.Minute)
+	st := tl.Stats()
+	if st.MaskedMachine != 0 {
+		t.Fatalf("masked = %v, want 0", st.MaskedMachine)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if Crowd.String() != "crowd" || Cluster.String() != "cluster" {
+		t.Fatal("Resource.String wrong")
+	}
+	if Resource(9).String() != "resource(9)" {
+		t.Fatal("unknown Resource.String wrong")
+	}
+}
+
+// Property: for any schedule, Total ≥ CrowdTime and Total ≥ UnmaskedMachine,
+// masked + unmasked = machine, and masked ≤ min(machine, crowd).
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := New()
+		var prev *Task
+		for i := 0; i < 40; i++ {
+			r := Resource(rng.Intn(2))
+			d := time.Duration(rng.Intn(300)) * sec
+			var deps []*Task
+			if prev != nil && rng.Intn(3) == 0 {
+				deps = append(deps, prev)
+			}
+			prev = tl.Schedule("t", "op", r, d, deps...)
+		}
+		st := tl.Stats()
+		if st.MaskedMachine+st.UnmaskedMachine != st.MachineTime {
+			return false
+		}
+		if st.MaskedMachine > st.MachineTime || st.MaskedMachine > st.CrowdTime {
+			return false
+		}
+		if st.Total < st.CrowdTime && st.Total < st.MachineTime {
+			return false
+		}
+		// With both resources starting at 0 and sequential, makespan is at
+		// least the larger busy sum... not in general with deps; but total
+		// must be at least max task end.
+		for _, task := range tl.Tasks() {
+			if task.End > st.Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	tl := New()
+	c := tl.Schedule("label", "al_matcher", Crowd, 10*min)
+	tl.Schedule("index", "apply_blocking_rules", Cluster, 4*min)
+	tl.Schedule("block", "apply_blocking_rules", Cluster, 2*min, c)
+	var sb strings.Builder
+	tl.RenderGantt(&sb, 40)
+	out := sb.String()
+	if !strings.Contains(out, "al_matcher [crowd]") {
+		t.Fatalf("missing crowd row:\n%s", out)
+	}
+	if !strings.Contains(out, "apply_blocking_rules [cluster]") {
+		t.Fatalf("missing cluster row:\n%s", out)
+	}
+	if !strings.Contains(out, "▒") || !strings.Contains(out, "█") {
+		t.Fatalf("missing marks:\n%s", out)
+	}
+	// Width clamps and empty timeline handled.
+	var sb2 strings.Builder
+	New().RenderGantt(&sb2, 5)
+	if !strings.Contains(sb2.String(), "empty") {
+		t.Fatal("empty timeline not handled")
+	}
+}
