@@ -1,0 +1,27 @@
+# make check reproduces the CI gate (.github/workflows/ci.yml) locally.
+
+GO ?= go
+
+.PHONY: check fmt vet build falcon-vet test race
+
+check: fmt vet build falcon-vet test race
+	@echo "all gates passed"
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+falcon-vet:
+	$(GO) run ./cmd/falcon-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/service/... ./internal/mapreduce/...

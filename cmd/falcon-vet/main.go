@@ -1,0 +1,92 @@
+// Command falcon-vet runs Falcon's project-specific static-analysis suite:
+// zero-dependency analyzers, built on go/parser and go/types, that enforce
+// the determinism, cost-accounting, lock-safety, and error-handling
+// invariants the simulated-cluster evaluation depends on.
+//
+// Usage:
+//
+//	falcon-vet [flags] [patterns]
+//
+// Patterns default to ./... (every package in the module). Diagnostics
+// print as file:line:col: analyzer: message; the exit status is 1 when any
+// diagnostic is reported and 2 on usage or load errors.
+//
+// A finding is suppressed by a directive comment on, or directly above,
+// the flagged line:
+//
+//	//falcon:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"falcon/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("falcon-vet", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := analysis.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "falcon-vet:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "falcon-vet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "falcon-vet:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "falcon-vet:", err)
+		return 2
+	}
+	broken := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "falcon-vet: %s: %v\n", pkg.Path, e)
+			broken++
+		}
+	}
+	if broken > 0 {
+		return 2
+	}
+
+	diags := analysis.Run(analyzers, pkgs)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "falcon-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

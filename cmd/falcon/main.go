@@ -102,6 +102,9 @@ func run() error {
 		opts = append(opts, falcon.WithoutMasking())
 	}
 
+	// The CLI reports real elapsed wall time alongside the simulated times;
+	// it never feeds back into the deterministic pipeline.
+	//falcon:allow determinism user-facing wall-clock timer, not simulation state
 	start := time.Now()
 	report, err := falcon.Match(a, b, labeler, opts...)
 	if err != nil {

@@ -1,0 +1,199 @@
+// Package analysis is falcon-vet's static-analysis framework: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis built on the
+// standard library's go/parser, go/ast, and go/types.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. The project-specific analyzers (see determinism.go,
+// costaccounting.go, locksafety.go, errcheck.go) enforce the invariants
+// Falcon's reproducibility story rests on: no wall-clock or global-rand
+// nondeterminism in the simulation, cost units accrued wherever mapreduce
+// tasks amplify work, no copied or blocking-held locks, no silently
+// discarded errors.
+//
+// Suppression: a diagnostic is suppressed when the flagged line, or the
+// line directly above it, carries a directive comment
+//
+//	//falcon:allow <analyzer-name> [reason...]
+//
+// This is the allowlist mechanism for the rare legitimate exceptions (for
+// example the CLI's user-facing wall-clock timer). Test files are never
+// loaded (see load.go), so _test.go code is implicitly allowlisted.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description shown by `falcon-vet -list`.
+	Doc string
+	// Run inspects pass.Files and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// allow maps file name -> set of lines carrying an allow directive for
+	// a given analyzer name ("line:name" keys).
+	allow map[string]bool
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an allow directive or the
+// analyzer's allowlist suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	if p.allow == nil {
+		return false
+	}
+	return p.allow[allowKey(pos.Filename, pos.Line, p.Analyzer.Name)] ||
+		p.allow[allowKey(pos.Filename, pos.Line-1, p.Analyzer.Name)]
+}
+
+func allowKey(file string, line int, analyzer string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
+}
+
+// buildAllow indexes //falcon:allow directives across the package's files.
+func buildAllow(fset *token.FileSet, files []*ast.File) map[string]bool {
+	allow := map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//falcon:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allow[allowKey(pos.Filename, pos.Line, fields[0])] = true
+			}
+		}
+	}
+	return allow
+}
+
+// Run applies each analyzer to each package and returns all diagnostics
+// sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllow(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allow:    allow,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the full falcon-vet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		CostAccounting,
+		LockSafety,
+		ErrCheck,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; empty selects all.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// pkgPathOf returns the import path of the package an identifier's object
+// lives in, or "" for universe/builtin objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// pkgNameOf resolves an expression to the package it names, when the
+// expression is a bare package qualifier (e.g. the `time` in `time.Now`).
+func pkgNameOf(info *types.Info, expr ast.Expr) *types.PkgName {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}

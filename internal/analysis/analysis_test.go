@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches type-checked stdlib packages across fixture tests:
+// building one loader per test would re-check net/http etc. from source
+// every time.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(".")
+})
+
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// TestFixtures runs each analyzer against its flagged and clean fixture
+// packages, checking the // want expectations exactly.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{Determinism, "determinism_flagged"},
+		{Determinism, "determinism_clean"},
+		{CostAccounting, "costaccounting_flagged"},
+		{CostAccounting, "costaccounting_clean"},
+		{LockSafety, "locksafety_flagged"},
+		{LockSafety, "locksafety_clean"},
+		{ErrCheck, "errcheck_flagged"},
+		{ErrCheck, "errcheck_clean"},
+	}
+	l := loader(t)
+	for _, c := range cases {
+		t.Run(c.analyzer.Name+"/"+c.dir, func(t *testing.T) {
+			problems, err := FixtureProblems(l, c.analyzer, filepath.Join("testdata", c.dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}
+
+// TestModuleIsClean is the falcon-vet gate as a test: the full analyzer
+// suite must report nothing on the module's own tree. If this fails, fix
+// the finding or add a //falcon:allow directive with a reason.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := loader(t)
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Fatalf("%s does not type-check: %v", pkg.Path, e)
+		}
+	}
+	for _, d := range Run(All(), pkgs) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoaderPaths pins the loader's module discovery and import-path
+// derivation.
+func TestLoaderPaths(t *testing.T) {
+	l := loader(t)
+	if l.ModPath != "falcon" {
+		t.Fatalf("module path = %q, want falcon", l.ModPath)
+	}
+	pkg, err := l.LoadDir(".")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Path != "falcon/internal/analysis" {
+		t.Fatalf("path = %q", pkg.Path)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("self load errors: %v", pkg.Errors)
+	}
+}
+
+// TestByName covers the analyzer registry lookups falcon-vet exposes.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("determinism, errcheck")
+	if err != nil || len(two) != 2 || two[0] != Determinism || two[1] != ErrCheck {
+		t.Fatalf("subset lookup failed: %v %v", two, err)
+	}
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("expected unknown-analyzer error, got %v", err)
+	}
+}

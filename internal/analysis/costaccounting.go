@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CostAccounting protects the cluster-time model every figure-shaped
+// experiment depends on. The mapreduce engine charges one cost unit per
+// input record (map) and per grouped value (reduce) automatically; any
+// Map/Reduce implementation that amplifies work — emitting inside a loop,
+// so one input can produce many records — must charge that extra work via
+// ctx.AddCost, or the simulated makespan silently undercounts it and the
+// §10.1 operator-selection and §11.4 scale-up numbers drift.
+//
+// A Map/Reduce implementation is any function with a *mapreduce.MapCtx,
+// *mapreduce.ReduceCtx, or *mapreduce.MapOnlyCtx parameter. It is flagged
+// when it calls Emit/Output inside a for/range loop but never calls
+// AddCost.
+var CostAccounting = &Analyzer{
+	Name: "costaccounting",
+	Doc:  "flags mapreduce Map/Reduce funcs that emit in a loop without accruing cost units",
+	Run:  runCostAccounting,
+}
+
+func runCostAccounting(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ftype, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil || !hasMapReduceCtxParam(pass, ftype) {
+				return true
+			}
+			checkTaskBody(pass, body)
+			return true
+		})
+	}
+}
+
+// hasMapReduceCtxParam reports whether the function takes a mapreduce
+// context pointer.
+func hasMapReduceCtxParam(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if isMapReduceCtx(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMapReduceCtx(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "mapreduce") {
+		return false
+	}
+	switch obj.Name() {
+	case "MapCtx", "ReduceCtx", "MapOnlyCtx":
+		return true
+	}
+	return false
+}
+
+// checkTaskBody flags amplified emits without cost accrual in one
+// Map/Reduce body.
+func checkTaskBody(pass *Pass, body *ast.BlockStmt) {
+	var emitInLoop *ast.CallExpr
+	var addsCost bool
+
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// A nested literal is its own task body only if it takes a ctx;
+			// otherwise its emits still run per-record of this task.
+			if hasMapReduceCtxParam(pass, n.Type) {
+				return
+			}
+		case *ast.ForStmt:
+			if n.Init != nil {
+				walk(n.Init, inLoop)
+			}
+			if n.Cond != nil {
+				walk(n.Cond, true)
+			}
+			if n.Post != nil {
+				walk(n.Post, true)
+			}
+			walk(n.Body, true)
+			return
+		case *ast.RangeStmt:
+			walk(n.X, inLoop)
+			walk(n.Body, true)
+			return
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Emit", "Output":
+					if isCtxMethod(pass, sel) && inLoop && emitInLoop == nil {
+						emitInLoop = n
+					}
+				case "AddCost":
+					if isCtxMethod(pass, sel) {
+						addsCost = true
+					}
+				}
+			}
+		}
+		// Generic descent preserving the inLoop flag.
+		children(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(body, false)
+
+	if emitInLoop != nil && !addsCost {
+		pass.Reportf(emitInLoop.Pos(), "Map/Reduce emits multiple records per input but never calls AddCost; the cluster-time model undercharges this task")
+	}
+}
+
+// isCtxMethod reports whether sel is a method selection on a mapreduce ctx
+// pointer.
+func isCtxMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	return isMapReduceCtx(pass.Info.TypeOf(sel.X))
+}
+
+// children visits the direct children of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}

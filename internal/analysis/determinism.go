@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the replayability invariant Falcon's evaluation
+// rests on: the simulated cluster clock, the seeded crowd, and the plan
+// ladder must produce identical runs for identical seeds.
+//
+// It flags three nondeterminism sources:
+//
+//  1. time.Now() calls — simulation code must use the virtual clock (or an
+//     injected `func() time.Time`, as internal/service does; storing
+//     time.Now as a value for injection is fine, calling it is not).
+//  2. Global math/rand functions (rand.Intn, rand.Shuffle, ...) — all
+//     randomness must flow from a seeded *rand.Rand so a run's seed fully
+//     determines it. Constructors (rand.New, rand.NewSource, rand.NewZipf)
+//     are allowed.
+//  3. Map iterations whose order can reach output: a `for k := range m`
+//     loop whose body appends to a slice, sends on a channel, or calls an
+//     Emit/Output-style sink. Appends are fine when a sort call follows
+//     the loop in the same function (the sort-before-emit idiom).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock reads, global math/rand use, and unsorted map-iteration output",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the allowed package-level math/rand functions.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkMapRanges(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkDeterministicCall flags time.Now() and global math/rand calls.
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pn := pkgNameOf(pass.Info, sel.X)
+	if pn == nil {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			pass.Reportf(call.Pos(), "time.Now() breaks replayability; use the simulated clock or an injected clock func")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "global rand.%s is not seed-deterministic; use a seeded *rand.Rand", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRanges examines every map-range loop in one function body. Only
+// top-level traversal per function: nested function literals are handled
+// when the inspector reaches them, so sort calls are matched within the
+// right function scope.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	inspectShallow(body, func(n ast.Node) {
+		if rs, ok := n.(*ast.RangeStmt); ok && isMapType(pass.Info.TypeOf(rs.X)) {
+			ranges = append(ranges, rs)
+		}
+	})
+	for _, rs := range ranges {
+		checkMapRange(pass, body, rs)
+	}
+}
+
+func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	var appends bool
+	var sink string
+	inspectShallowFrom(rs.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if sink == "" {
+				sink = "a channel send"
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && isBuiltin(pass.Info, fun) {
+					appends = true
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if name == "Emit" || name == "Output" {
+					if sink == "" {
+						sink = name + " on a mapreduce sink"
+					}
+				}
+				if pn := pkgNameOf(pass.Info, fun.X); pn != nil && pn.Imported().Path() == "fmt" &&
+					(name == "Fprintf" || name == "Fprintln" || name == "Fprint") {
+					if sink == "" {
+						sink = "fmt." + name + " output"
+					}
+				}
+			}
+		}
+	})
+	if sink != "" {
+		pass.Reportf(rs.Pos(), "map iteration order reaches %s; iterate sorted keys instead", sink)
+		return
+	}
+	if appends && !sortFollows(pass, fnBody, rs) {
+		pass.Reportf(rs.Pos(), "map iteration appends to a slice with no sort after the loop; sort before the data is consumed")
+	}
+}
+
+// sortFollows reports whether a sort.* or slices.Sort* call appears after
+// the range statement within the same function body.
+func sortFollows(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	found := false
+	inspectShallowFrom(fnBody, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		pn := pkgNameOf(pass.Info, sel.X)
+		if pn == nil {
+			return
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+			found = true
+		}
+	})
+	return found
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// inspectShallow walks a function body without descending into nested
+// function literals.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// inspectShallowFrom is inspectShallow for any subtree root.
+func inspectShallowFrom(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is errcheck-lite: it flags expression statements that call a
+// function returning an error and let the value fall on the floor. A
+// dropped error in the pipeline can silently truncate candidate sets or
+// matches (a failed CSV write looks identical to an empty table), which is
+// exactly the kind of quiet corruption a reproducibility suite must rule
+// out. Explicitly assigning the error (`_ = f()`) is accepted as a
+// deliberate, reviewable discard; so is writing to sinks that cannot fail
+// (bytes.Buffer, strings.Builder) and fmt printing to stdout/stderr.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flags call statements whose returned error is silently discarded",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || errExempt(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or assign to _ explicitly", render(pass.Fset, call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error" && types.IsInterface(t)
+}
+
+// errExempt lists the deliberate exceptions: printing to the process's own
+// stdout/stderr and writing into in-memory sinks documented never to fail.
+func errExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if pn := pkgNameOf(pass.Info, sel.X); pn != nil {
+		if pn.Imported().Path() != "fmt" {
+			return false
+		}
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 &&
+				(isStdStream(pass, call.Args[0]) || isInfallibleWriter(pass.Info.TypeOf(call.Args[0])))
+		}
+		return false
+	}
+	return isInfallibleWriter(pass.Info.TypeOf(sel.X))
+}
+
+// isInfallibleWriter matches *bytes.Buffer and *strings.Builder, whose
+// write methods are documented never to return an error.
+func isInfallibleWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// isStdStream matches os.Stdout / os.Stderr.
+func isStdStream(pass *Pass, expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pn := pkgNameOf(pass.Info, sel.X)
+	if pn == nil || pn.Imported().Path() != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}

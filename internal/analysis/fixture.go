@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file implements the fixture-expectation harness the analyzer tests
+// use (a miniature analysistest): fixture packages under testdata/ annotate
+// the lines they expect diagnostics on with
+//
+//	// want "regex"
+//
+// comments (several patterns may follow one want). FixtureProblems loads
+// the fixture, runs one analyzer, and returns a human-readable problem per
+// mismatch: a diagnostic with no matching want, or a want no diagnostic
+// matched. An empty slice means the fixture's expectations hold exactly.
+
+var wantRE = regexp.MustCompile("^want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type wantExpect struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// FixtureProblems checks one analyzer against one fixture directory.
+func FixtureProblems(l *Loader, a *Analyzer, dir string) ([]string, error) {
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.Errors) > 0 {
+		return nil, fmt.Errorf("fixture %s does not type-check: %v", dir, pkg.Errors[0])
+	}
+
+	var wants []*wantExpect
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					pattern := arg[1 : len(arg)-1]
+					if arg[0] == '"' {
+						if unq, err := strconv.Unquote(arg); err == nil {
+							pattern = unq
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants = append(wants, &wantExpect{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	diags := Run([]*Analyzer{a}, []*Package{pkg})
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("falcon/internal/block").
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Errors holds parse or type-check problems. Analyzer results over a
+	// package with errors are best-effort.
+	Errors []error
+}
+
+// Loader parses and type-checks packages of one module from source.
+//
+// It keeps the module dependency-free: module-local imports are resolved by
+// mapping the import path onto the module directory tree, and standard
+// library imports are type-checked from $GOROOT source via go/importer's
+// "source" compiler. Loaded packages are cached, so shared dependencies are
+// checked once. Test files (_test.go) are never loaded — the invariants
+// falcon-vet enforces are about production code, and tests intentionally
+// use wall clocks, raw rand, and discarded errors.
+type Loader struct {
+	Root    string // module root (directory containing go.mod)
+	ModPath string // module path from go.mod
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer is not an ImporterFrom")
+	}
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     std,
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// Load resolves patterns into packages. Supported patterns: "./..." (every
+// package under the module root), a "dir/..." prefix walk, or a plain
+// directory path. Results are in deterministic (path) order.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		base, walk := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = l.Root
+		}
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.Root, base)
+		}
+		if !walk {
+			dirSet[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirSet[path] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in one directory, deriving its import path from
+// the module layout (directories outside the module, e.g. testdata
+// fixtures, get a synthetic path).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	return l.load(path, abs)
+}
+
+func (l *Loader) importPathFor(absDir string) string {
+	rel, err := filepath.Rel(l.Root, absDir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "fixture/" + filepath.Base(absDir)
+	}
+	if rel == "." {
+		return l.ModPath
+	}
+	if strings.Contains(rel, "testdata") {
+		return "fixture/" + filepath.Base(absDir)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if tpkg == nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom: module-local paths
+// load from the module tree, everything else defers to the stdlib source
+// importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.load(path, filepath.Join(l.Root, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return li.std.ImportFrom(path, dir, mode)
+}
+
+var _ types.ImporterFrom = (*loaderImporter)(nil)

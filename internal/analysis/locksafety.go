@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// LockSafety guards the service layer's concurrency story ahead of
+// parallelizing hot paths. It flags two hazards:
+//
+//  1. sync.Mutex / sync.RWMutex copied by value — a value receiver or
+//     parameter on a lock-bearing type, or an assignment that copies a
+//     lock-bearing value out of an existing variable. A copied mutex is a
+//     different mutex: the copy guards nothing.
+//  2. Locks held across blocking calls — between mu.Lock() and the
+//     matching mu.Unlock() (or to function end when the unlock is
+//     deferred), a call that can block indefinitely (time.Sleep, HTTP
+//     round-trips, WaitGroup.Wait, process waits) or a channel operation
+//     stalls every other request on the server.
+var LockSafety = &Analyzer{
+	Name: "locksafety",
+	Doc:  "flags mutexes copied by value and locks held across blocking calls",
+	Run:  runLockSafety,
+}
+
+func runLockSafety(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSignature(pass, n.Recv, n.Type)
+				if n.Body != nil {
+					checkLockRegions(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFuncSignature(pass, nil, n.Type)
+				checkLockRegions(pass, n.Body)
+			case *ast.AssignStmt:
+				checkLockCopyAssign(pass, n)
+			case *ast.RangeStmt:
+				if n.Value != nil && containsLock(pass.Info.TypeOf(n.Value)) {
+					pass.Reportf(n.Value.Pos(), "range copies a %s by value each iteration", lockCarrier(pass.Info.TypeOf(n.Value)))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncSignature flags value receivers and value parameters whose type
+// contains a lock.
+func checkFuncSignature(pass *Pass, recv *ast.FieldList, ftype *ast.FuncType) {
+	flag := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Info.TypeOf(field.Type)
+			if containsLock(t) {
+				pass.Reportf(field.Pos(), "%s passes %s by value; use a pointer so the lock is shared", kind, lockCarrier(t))
+			}
+		}
+	}
+	flag(recv, "receiver")
+	flag(ftype.Params, "parameter")
+}
+
+// checkLockCopyAssign flags `x := y` / `x = y` where y is an existing
+// lock-bearing value (not a fresh composite literal or call result).
+func checkLockCopyAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) && len(as.Rhs) != 1 {
+			break
+		}
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			// an lvalue: copying it duplicates any lock inside
+		default:
+			continue
+		}
+		t := pass.Info.TypeOf(rhs)
+		if containsLock(t) {
+			pass.Reportf(rhs.Pos(), "assignment copies %s by value; the copy's lock is independent of the original", lockCarrier(t))
+		}
+	}
+}
+
+// containsLock reports whether t (a value type) transitively contains a
+// sync.Mutex or sync.RWMutex through struct fields or arrays.
+func containsLock(t types.Type) bool {
+	return lockCarrier(t) != ""
+}
+
+// lockCarrier names the lock type found inside t, or "".
+func lockCarrier(t types.Type) string {
+	seen := map[types.Type]bool{}
+	var find func(t types.Type) string
+	find = func(t types.Type) string {
+		if t == nil || seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				switch obj.Name() {
+				case "Mutex", "RWMutex":
+					return "sync." + obj.Name()
+				}
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if c := find(u.Field(i).Type()); c != "" {
+					return c
+				}
+			}
+		case *types.Array:
+			return find(u.Elem())
+		}
+		return ""
+	}
+	return find(t)
+}
+
+// --- lock-held-across-blocking-call detection ---
+
+// checkLockRegions scans one function body's statement blocks for
+// Lock()/Unlock() pairs and flags blocking calls in between. The analysis
+// is per-block and flow-insensitive: a deferred unlock extends the region
+// to the end of the block.
+func checkLockRegions(pass *Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		if block, ok := n.(*ast.BlockStmt); ok {
+			scanBlock(pass, block)
+		}
+	})
+}
+
+func scanBlock(pass *Pass, block *ast.BlockStmt) {
+	var heldRecv string // rendered receiver of the currently held lock
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, op := lockOp(pass, s.X); op != "" {
+				if op == "Lock" || op == "RLock" {
+					heldRecv = recv
+				} else if recv == heldRecv {
+					heldRecv = ""
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			if _, op := lockOp(pass, s.Call); op == "Unlock" || op == "RUnlock" {
+				continue // deferred unlock: region runs to end of block
+			}
+		}
+		if heldRecv == "" {
+			continue
+		}
+		if blocker := findBlockingCall(pass, stmt); blocker != "" {
+			pass.Reportf(stmt.Pos(), "%s while holding %s.Lock(); release the lock around blocking work", blocker, heldRecv)
+		}
+	}
+}
+
+// lockOp matches expressions of the form mu.Lock() / mu.Unlock() (and the
+// RWMutex variants) where mu's type is a sync lock, returning the rendered
+// receiver and the operation name.
+func lockOp(pass *Pass, expr ast.Expr) (recv, op string) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if lockCarrier(t) == "" {
+		return "", ""
+	}
+	return render(pass.Fset, sel.X), sel.Sel.Name
+}
+
+// blockingFuncs maps package path -> function names that can block
+// indefinitely.
+var blockingFuncs = map[string]map[string]bool{
+	"time":     {"Sleep": true},
+	"net/http": {"Get": true, "Post": true, "PostForm": true, "Head": true},
+	"net":      {"Dial": true, "DialTimeout": true},
+}
+
+// blockingMethods maps a type's package path + type name -> methods that
+// block.
+var blockingMethods = map[string]map[string]bool{
+	"net/http.Client":  {"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true},
+	"sync.WaitGroup":   {"Wait": true},
+	"os/exec.Cmd":      {"Run": true, "Wait": true, "Output": true, "CombinedOutput": true},
+	"net/http.Server":  {"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true},
+	"database/sql.DB":  {"Query": true, "QueryRow": true, "Exec": true, "Ping": true},
+	"net/http.Request": {},
+}
+
+// findBlockingCall returns a description of the first blocking operation
+// found inside stmt, or "".
+func findBlockingCall(pass *Pass, stmt ast.Stmt) string {
+	var found string
+	inspectShallowFrom(stmt, func(n ast.Node) {
+		if found != "" {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = "channel receive"
+			}
+		case *ast.SelectStmt:
+			found = "select"
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			name := sel.Sel.Name
+			if pn := pkgNameOf(pass.Info, sel.X); pn != nil {
+				if blockingFuncs[pn.Imported().Path()][name] {
+					found = pn.Imported().Name() + "." + name
+				}
+				return
+			}
+			t := pass.Info.TypeOf(sel.X)
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return
+			}
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if blockingMethods[key][name] {
+				found = "(" + key + ")." + name
+			}
+		}
+	})
+	return found
+}
+
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

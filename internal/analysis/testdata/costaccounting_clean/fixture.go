@@ -1,0 +1,38 @@
+// Package fixture holds correctly cost-accounted Map/Reduce
+// implementations: the costaccounting analyzer must stay silent.
+package fixture
+
+import "falcon/internal/mapreduce"
+
+// Amplified emits are fine when the task charges the extra work.
+func chargedMap(toks []string) mapreduce.Job[int, string, int, string] {
+	return mapreduce.Job[int, string, int, string]{
+		Name: "charged-map",
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int]) {
+			ctx.AddCost(int64(len(toks)))
+			for _, tok := range toks {
+				ctx.Emit(tok, row)
+			}
+		},
+		Reduce: func(k string, vs []int, ctx *mapreduce.ReduceCtx[string]) {
+			ctx.AddCost(int64(len(vs)))
+			for range vs {
+				ctx.Output(k)
+			}
+		},
+	}
+}
+
+// One emit per input record is covered by the engine's built-in
+// unit-per-record charge; no AddCost needed.
+func singleEmit() mapreduce.Job[int, string, int, int] {
+	return mapreduce.Job[int, string, int, int]{
+		Name: "single-emit",
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int]) {
+			ctx.Emit("k", row)
+		},
+		Reduce: func(k string, vs []int, ctx *mapreduce.ReduceCtx[int]) {
+			ctx.Output(len(vs))
+		},
+	}
+}

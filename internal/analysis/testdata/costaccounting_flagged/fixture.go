@@ -1,0 +1,44 @@
+// Package fixture holds Map/Reduce implementations that amplify output
+// inside loops without charging cost units.
+package fixture
+
+import "falcon/internal/mapreduce"
+
+func amplifyingMap(toks []string) mapreduce.Job[int, string, int, string] {
+	return mapreduce.Job[int, string, int, string]{
+		Name: "uncharged-map",
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int]) {
+			for _, tok := range toks {
+				ctx.Emit(tok, row) // want `never calls AddCost`
+			}
+		},
+		Reduce: func(k string, vs []int, ctx *mapreduce.ReduceCtx[string]) {
+			ctx.Output(k)
+		},
+	}
+}
+
+func amplifyingReduce() mapreduce.Job[int, string, int, int] {
+	return mapreduce.Job[int, string, int, int]{
+		Name: "uncharged-reduce",
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int]) {
+			ctx.Emit("k", row)
+		},
+		Reduce: func(k string, vs []int, ctx *mapreduce.ReduceCtx[int]) {
+			for _, v := range vs {
+				ctx.Output(v) // want `never calls AddCost`
+			}
+		},
+	}
+}
+
+func amplifyingMapOnly(n int) mapreduce.MapOnlyJob[int, int] {
+	return mapreduce.MapOnlyJob[int, int]{
+		Name: "uncharged-map-only",
+		Map: func(row int, ctx *mapreduce.MapOnlyCtx[int]) {
+			for i := 0; i < n; i++ {
+				ctx.Output(row * i) // want `never calls AddCost`
+			}
+		},
+	}
+}

@@ -1,0 +1,45 @@
+// Package fixture holds only deterministic idioms: the determinism
+// analyzer must stay silent on every line of this file.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Storing time.Now as an injectable clock value is the approved pattern;
+// only calling it is flagged.
+var defaultClock func() time.Time = time.Now
+
+func injected(now func() time.Time) time.Time { return now() }
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orderInsensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapToMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+// Package fixture exercises every diagnostic the determinism analyzer
+// raises, plus the //falcon:allow suppression directive.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now\(\) breaks replayability`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn is not seed-deterministic`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+func emitUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to a slice with no sort after the loop`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func printUnsorted(w *os.File, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt\.Fprintf output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+type sink struct{}
+
+func (sink) Emit(k string, v int) {}
+
+func emitterUnsorted(s sink, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches Emit on a mapreduce sink`
+		s.Emit(k, v)
+	}
+}
+
+func allowedWallClock() time.Time {
+	//falcon:allow determinism fixture exercises the suppression directive
+	return time.Now()
+}

@@ -1,0 +1,36 @@
+// Package fixture holds accepted error-handling idioms: the errcheck
+// analyzer must stay silent.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard(path string) {
+	_ = os.Remove(path) // deliberate, reviewable discard
+}
+
+func exemptSinks() string {
+	fmt.Println("stdout printing is exempt")
+	fmt.Fprintf(os.Stderr, "so is stderr\n")
+	var buf bytes.Buffer
+	buf.WriteString("in-memory buffers cannot fail")
+	fmt.Fprintf(&buf, "even via %s", "fmt.Fprintf")
+	var sb strings.Builder
+	sb.WriteString("neither can builders")
+	return buf.String() + sb.String()
+}
+
+func noError() {
+	println("void calls are fine")
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises the errcheck-lite diagnostics: call statements
+// whose error results vanish.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+func dropped(path string, w io.Writer) {
+	os.Remove(path)     // want `error returned by os\.Remove is discarded`
+	fmt.Fprintf(w, "x") // want `error returned by fmt\.Fprintf is discarded`
+	strconv.Atoi("3")   // want `error returned by strconv\.Atoi is discarded`
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	f.Close() // want `error returned by f\.Close is discarded`
+}

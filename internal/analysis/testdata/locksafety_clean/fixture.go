@@ -1,0 +1,52 @@
+// Package fixture holds correct locking idioms: the locksafety analyzer
+// must stay silent.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Pointer receivers share the lock.
+func (c *counter) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Fresh composite literals initialize a lock rather than copying one.
+func fresh() *counter {
+	c := counter{n: 1}
+	return &c
+}
+
+// Blocking work after the unlock is fine.
+func sleepOutsideLock(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// A goroutine launched under the lock does not hold it.
+func spawnUnderLock(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		ch <- c.value()
+	}()
+}
+
+// Ranging over pointers copies no lock.
+func sum(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.value()
+	}
+	return total
+}

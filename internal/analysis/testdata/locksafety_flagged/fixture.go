@@ -1,0 +1,52 @@
+// Package fixture exercises the locksafety diagnostics: copied locks and
+// locks held across blocking calls.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) value() int { // want `receiver passes sync\.Mutex by value`
+	return c.n
+}
+
+func byValueParam(c counter) int { // want `parameter passes sync\.Mutex by value`
+	return c.n
+}
+
+func copyOut(c *counter) int {
+	snapshot := *c // want `assignment copies sync\.Mutex by value`
+	return snapshot.n
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want `range copies a sync\.Mutex by value`
+		total += c.n
+	}
+	return total
+}
+
+func sleepUnderLock(c *counter) {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding c\.mu\.Lock\(\)`
+	c.mu.Unlock()
+}
+
+func recvUnderDeferredLock(c *counter, ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-ch // want `channel receive while holding c\.mu\.Lock\(\)`
+}
+
+func waitUnderLock(c *counter, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want `\(sync\.WaitGroup\)\.Wait while holding c\.mu\.Lock\(\)`
+	c.mu.Unlock()
+}

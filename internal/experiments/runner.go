@@ -203,6 +203,9 @@ func avgDur(ds []time.Duration) time.Duration {
 	return sum / time.Duration(len(ds))
 }
 
+// fprintf funnels all experiment-report output. Reports go to stdout or an
+// in-memory buffer; a failed write cannot corrupt results, so the error is
+// deliberately discarded here — once — instead of at every call site.
 func fprintf(w io.Writer, format string, args ...any) {
-	fmt.Fprintf(w, format, args...)
+	_, _ = fmt.Fprintf(w, format, args...)
 }

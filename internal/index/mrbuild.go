@@ -110,6 +110,9 @@ func BuildPrefixMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.
 			}
 		},
 		Reduce: func(tok string, ps []Posting, ctx *mapreduce.ReduceCtx[postingRec]) {
+			// Writing the posting list out costs a unit per posting on top
+			// of the engine's per-value grouping charge.
+			ctx.AddCost(int64(len(ps)))
 			for _, p := range ps {
 				ctx.Output(postingRec{Tok: tok, P: p})
 			}

@@ -103,6 +103,9 @@ func Pairs(cluster *mapreduce.Cluster, a, b *table.Table, cfg Config) ([]table.P
 			}
 		},
 		Reduce: func(tok string, ids []int32, ctx *mapreduce.ReduceCtx[tokID]) {
+			// Materializing the posting list costs a unit per entry beyond
+			// the engine's per-value grouping charge.
+			ctx.AddCost(int64(len(ids)))
 			for _, id := range ids {
 				ctx.Output(tokID{tok, id})
 			}

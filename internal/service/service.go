@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -102,7 +103,7 @@ func New(opts ...Option) *Server {
 		o(s)
 	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
@@ -115,15 +116,19 @@ func New(opts ...Option) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Encode/write errors after the response has started mean the client went
+// away; there is nothing useful left to do with them, so the JSON and CSV
+// writers below discard them explicitly.
+
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // submitParams parses the numeric knobs of a submission.
@@ -307,12 +312,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		out = append(out, *j)
 	}
 	s.mu.Unlock()
-	// Stable order by numeric suffix.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	// Stable order by numeric suffix: IDs are "job-<n>", so shorter IDs sort
+	// first and equal lengths compare lexically ("job-9" before "job-10").
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
 		}
-	}
+		return out[i].ID < out[j].ID
+	})
 	writeJSON(w, out)
 }
 
@@ -337,9 +344,9 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	cw := csv.NewWriter(w)
-	cw.Write([]string{"a_row", "b_row"})
+	_ = cw.Write([]string{"a_row", "b_row"})
 	for _, m := range job.result.Matches {
-		cw.Write([]string{strconv.Itoa(m.A), strconv.Itoa(m.B)})
+		_ = cw.Write([]string{strconv.Itoa(m.A), strconv.Itoa(m.B)})
 	}
 	cw.Flush()
 }
@@ -355,5 +362,5 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	job.result.Model.Save(w)
+	_ = job.result.Model.Save(w)
 }

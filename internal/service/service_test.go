@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -294,5 +295,183 @@ func TestAsyncJobEventuallyCompletes(t *testing.T) {
 			t.Fatalf("job stuck in state %s", job.State)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestConcurrentSubmitAndPollNoTornSnapshots is the race-detector
+// regression test for the service: several clients POST jobs to an
+// asynchronous server while pollers hammer the list, status, and matches
+// endpoints. Every observed snapshot must be internally consistent — a
+// torn snapshot (summary fields visible before the state flips to done,
+// or a done job missing its summary) means job state escaped s.mu.
+// Run with -race to make the handler/worker interleavings count.
+func TestConcurrentSubmitAndPollNoTornSnapshots(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	a, b := songsWithKey(50, 13)
+
+	const jobs = 3
+	type posted struct {
+		body  *bytes.Buffer
+		ctype string
+	}
+	reqs := make([]posted, jobs)
+	for i := range reqs {
+		body, ctype := submitBody(t, a, b, map[string]string{
+			"oracle_key": "match_key",
+			"seed":       fmt.Sprint(i + 1),
+			"sample":     "600",
+			"max_iter":   "3",
+		})
+		reqs[i] = posted{body, ctype}
+	}
+
+	// Goroutines must not call t.Fatal; violations funnel through errc.
+	errc := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	checkJob := func(j Job) {
+		switch j.State {
+		case StatePending, StateRunning:
+			if j.Matches != 0 || j.Strategy != "" || j.CrowdCost != 0 || j.TotalTime != 0 {
+				report("torn snapshot: summary fields set while %s: %+v", j.State, j)
+			}
+		case StateDone:
+			if j.Strategy == "" || j.TotalTime == 0 {
+				report("torn snapshot: done job missing summary: %+v", j)
+			}
+		case StateFailed:
+			if j.Error == "" {
+				report("failed job carries no error: %+v", j)
+			}
+		default:
+			report("unknown job state %q", j.State)
+		}
+	}
+
+	// Submit all jobs concurrently.
+	idc := make(chan string, jobs)
+	var submitWG sync.WaitGroup
+	for i := range reqs {
+		submitWG.Add(1)
+		go func(p posted) {
+			defer submitWG.Done()
+			resp, err := http.Post(ts.URL+"/jobs", p.ctype, p.body)
+			if err != nil {
+				report("submit: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				report("submit status %d", resp.StatusCode)
+				return
+			}
+			var out map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				report("submit decode: %v", err)
+				return
+			}
+			idc <- out["id"]
+		}(reqs[i])
+	}
+
+	// Pollers hammer list + status + matches while the workers run.
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/jobs")
+				if err != nil {
+					report("list: %v", err)
+					return
+				}
+				var list []Job
+				if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+					report("list decode: %v", err)
+				}
+				resp.Body.Close()
+				for _, j := range list {
+					checkJob(j)
+					mr, err := http.Get(ts.URL + "/jobs/" + j.ID + "/matches")
+					if err != nil {
+						report("matches: %v", err)
+						continue
+					}
+					raw, _ := io.ReadAll(mr.Body)
+					mr.Body.Close()
+					switch mr.StatusCode {
+					case http.StatusOK:
+						rows := len(strings.Split(strings.TrimSpace(string(raw)), "\n")) - 1
+						if j.State == StateDone && rows != j.Matches {
+							report("matches csv rows %d != snapshot matches %d", rows, j.Matches)
+						}
+					case http.StatusConflict:
+						// job not done at serve time: expected mid-run
+					default:
+						report("matches status %d", mr.StatusCode)
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	submitWG.Wait()
+	close(idc)
+	var ids []string
+	for id := range idc {
+		ids = append(ids, id)
+	}
+
+	// Wait until every job reaches a terminal state, checking each
+	// snapshot on the way.
+	deadline := time.Now().Add(120 * time.Second)
+	for _, id := range ids {
+		for {
+			resp, err := http.Get(ts.URL + "/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var j Job
+			if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			checkJob(j)
+			if j.State == StateDone || j.State == StateFailed {
+				if j.State == StateFailed {
+					t.Fatalf("job %s failed: %s", id, j.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in state %s", id, j.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	close(stop)
+	pollWG.Wait()
+
+	if len(ids) != jobs {
+		t.Fatalf("only %d/%d jobs submitted", len(ids), jobs)
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
 	}
 }

@@ -67,7 +67,7 @@ func (t *Table) WriteCSVFile(path string) error {
 		return err
 	}
 	if err := t.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

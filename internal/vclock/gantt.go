@@ -19,6 +19,9 @@ func (tl *Timeline) RenderGantt(w io.Writer, width int) {
 // RenderGantt renders a task list (e.g. a finished run's Tasks) as a Gantt
 // chart.
 func RenderGantt(w io.Writer, tasks []*Task, width int) {
+	// The chart is a best-effort debugging aid rendered into in-memory
+	// builders; write errors are deliberately discarded at this one funnel.
+	p := func(format string, args ...any) { _, _ = fmt.Fprintf(w, format, args...) }
 	if width < 20 {
 		width = 20
 	}
@@ -29,7 +32,7 @@ func RenderGantt(w io.Writer, tasks []*Task, width int) {
 		}
 	}
 	if total <= 0 {
-		fmt.Fprintln(w, "(empty timeline)")
+		p("(empty timeline)\n")
 		return
 	}
 
@@ -61,7 +64,7 @@ func RenderGantt(w io.Writer, tasks []*Task, width int) {
 		}
 		return c
 	}
-	fmt.Fprintf(w, "%-28s %s (total %s)\n", "operator", "timeline", total.Round(time.Second))
+	p("%-28s %s (total %s)\n", "operator", "timeline", total.Round(time.Second))
 	for _, k := range order {
 		line := []rune(strings.Repeat("·", width))
 		mark := '█'
@@ -73,6 +76,6 @@ func RenderGantt(w io.Writer, tasks []*Task, width int) {
 				line[c] = mark
 			}
 		}
-		fmt.Fprintf(w, "%-28s %s\n", fmt.Sprintf("%s [%s]", k.op, k.res), string(line))
+		p("%-28s %s\n", fmt.Sprintf("%s [%s]", k.op, k.res), string(line))
 	}
 }
