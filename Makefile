@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build falcon-vet test race
+.PHONY: check fmt vet build falcon-vet test race bench
 
 check: fmt vet build falcon-vet test race
 	@echo "all gates passed"
@@ -24,4 +24,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/... ./internal/mapreduce/...
+	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/...
+
+# bench records the executor worker-pool benchmark (speedup needs >1 CPU).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
+		./internal/mapreduce/ > BENCH_executor.json
+	@echo "wrote BENCH_executor.json"

@@ -22,11 +22,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	jobTimeout := flag.Duration("job-timeout", 0, "cancel jobs running longer than this (0 = no limit)")
 	flag.Parse()
 
+	var opts []service.Option
+	if *jobTimeout > 0 {
+		opts = append(opts, service.WithJobTimeout(*jobTimeout))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.New(),
+		Handler:           service.New(opts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("falcon EM service listening on %s", *addr)

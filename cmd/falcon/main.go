@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -49,6 +50,8 @@ func run() error {
 		maxIter     = flag.Int("max-iter", 30, "active-learning iteration cap")
 		outPath     = flag.String("out", "", "write matches as CSV (default: stdout summary only)")
 		noMask      = flag.Bool("no-masking", false, "disable the §10.2 masking optimizations")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this much wall time (0 = no limit)")
+		workers     = flag.Int("workers", 0, "worker goroutines for cluster tasks (0 = NumCPU; results are identical either way)")
 		gantt       = flag.Bool("gantt", false, "print an ASCII Gantt chart of the simulated timeline")
 		explain     = flag.Bool("explain", false, "print the executed EM plan (RDBMS EXPLAIN style)")
 	)
@@ -101,13 +104,26 @@ func run() error {
 	if *noMask {
 		opts = append(opts, falcon.WithoutMasking())
 	}
+	if *workers > 0 {
+		opts = append(opts, falcon.WithWorkers(*workers))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// The CLI reports real elapsed wall time alongside the simulated times;
 	// it never feeds back into the deterministic pipeline.
 	//falcon:allow determinism user-facing wall-clock timer, not simulation state
 	start := time.Now()
-	report, err := falcon.Match(a, b, labeler, opts...)
+	report, err := falcon.MatchContext(ctx, a, b, labeler, opts...)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("aborted after %s: %w", *timeout, err)
+		}
 		return err
 	}
 

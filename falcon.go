@@ -27,6 +27,7 @@ package falcon
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -215,6 +216,7 @@ type config struct {
 	latency  time.Duration
 	inHouse  bool
 	platform crowd.Platform
+	workers  int
 }
 
 // Option customizes a Match run.
@@ -237,6 +239,13 @@ func WithCluster(nodes, slotsPerNode int, mapperMemory int64) Option {
 	return func(c *config) {
 		c.opt.Cluster = &mapreduce.Cluster{Nodes: nodes, SlotsPerNode: slotsPerNode, MapperMemory: mapperMemory}
 	}
+}
+
+// WithWorkers caps how many goroutines execute cluster tasks concurrently
+// (default: runtime.NumCPU()). It is an execution knob only — results,
+// counters, and simulated times are byte-identical for any worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
 }
 
 // WithSampleSize sets the sample_pairs size (paper default 1M).
@@ -328,7 +337,12 @@ var ErrNilLabeler = errors.New("falcon: Match requires a Labeler")
 // throughout the pipeline, and each duplicate pair is reported once with
 // ARow < BRow.
 func Dedup(t *Table, labeler Labeler, opts ...Option) (*Report, error) {
-	report, err := Match(t, t, labeler, append(opts, withSelfExclusion())...)
+	return DedupContext(context.Background(), t, labeler, opts...)
+}
+
+// DedupContext is Dedup honoring ctx cancellation; see MatchContext.
+func DedupContext(ctx context.Context, t *Table, labeler Labeler, opts ...Option) (*Report, error) {
+	report, err := MatchContext(ctx, t, t, labeler, append(opts, withSelfExclusion())...)
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +373,13 @@ func withSelfExclusion() Option {
 // labeler (through the simulated crowd) to label a bounded number of row
 // pairs, and returns the predicted matches with full cost/time accounting.
 func Match(a, b *Table, labeler Labeler, opts ...Option) (*Report, error) {
+	return MatchContext(context.Background(), a, b, labeler, opts...)
+}
+
+// MatchContext is Match with cancellation and deadline support: when ctx is
+// cancelled the run stops at the next task boundary — cluster jobs between
+// records, crowd waits between questions — and returns ctx.Err().
+func MatchContext(ctx context.Context, a, b *Table, labeler Labeler, opts ...Option) (*Report, error) {
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("falcon: nil table")
 	}
@@ -377,13 +398,19 @@ func Match(a, b *Table, labeler Labeler, opts ...Option) (*Report, error) {
 		}
 	}
 	cfg.opt.Platform = cfg.platform
+	if cfg.workers != 0 {
+		if cfg.opt.Cluster == nil {
+			cfg.opt.Cluster = mapreduce.Default()
+		}
+		cfg.opt.Cluster.Workers = cfg.workers
+	}
 
 	a.Internal().InferTypes()
 	b.Internal().InferTypes()
 	oracle := func(p table.Pair) bool {
 		return labeler.Label(a.Internal().Tuples[p.A].Values, b.Internal().Tuples[p.B].Values)
 	}
-	res, err := core.Run(a.Internal(), b.Internal(), oracle, cfg.opt)
+	res, err := core.RunContext(ctx, a.Internal(), b.Internal(), oracle, cfg.opt)
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,7 @@ import (
 // rests on: the simulated cluster clock, the seeded crowd, and the plan
 // ladder must produce identical runs for identical seeds.
 //
-// It flags three nondeterminism sources:
+// It flags four nondeterminism sources:
 //
 //  1. time.Now() calls — simulation code must use the virtual clock (or an
 //     injected `func() time.Time`, as internal/service does; storing
@@ -22,9 +22,14 @@ import (
 //     loop whose body appends to a slice, sends on a channel, or calls an
 //     Emit/Output-style sink. Appends are fine when a sort call follows
 //     the loop in the same function (the sort-before-emit idiom).
+//  4. Channel ranges that append results: `for r := range results` receives
+//     in completion order, so appending inside the loop merges worker
+//     results nondeterministically. Write into a task-indexed slice (the
+//     worker-pool merge idiom of internal/mapreduce) or sort after the
+//     loop instead.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flags wall-clock reads, global math/rand use, and unsorted map-iteration output",
+	Doc:  "flags wall-clock reads, global math/rand use, unsorted map-iteration output, and completion-order channel merges",
 	Run:  runDeterminism,
 }
 
@@ -71,15 +76,18 @@ func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
 	}
 }
 
-// checkMapRanges examines every map-range loop in one function body. Only
-// top-level traversal per function: nested function literals are handled
-// when the inspector reaches them, so sort calls are matched within the
-// right function scope.
+// checkMapRanges examines every map-range and channel-range loop in one
+// function body. Only top-level traversal per function: nested function
+// literals are handled when the inspector reaches them, so sort calls are
+// matched within the right function scope.
 func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
 	var ranges []*ast.RangeStmt
 	inspectShallow(body, func(n ast.Node) {
-		if rs, ok := n.(*ast.RangeStmt); ok && isMapType(pass.Info.TypeOf(rs.X)) {
-			ranges = append(ranges, rs)
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			t := pass.Info.TypeOf(rs.X)
+			if isMapType(t) || isChanType(t) {
+				ranges = append(ranges, rs)
+			}
 		}
 	})
 	for _, rs := range ranges {
@@ -118,6 +126,16 @@ func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 			}
 		}
 	})
+	if isChanType(pass.Info.TypeOf(rs.X)) {
+		// Receiving from a channel yields results in completion order;
+		// appending inside the loop bakes that order into the output.
+		// Task-indexed writes don't append, and a sort re-establishes a
+		// deterministic order.
+		if appends && !sortFollows(pass, fnBody, rs) {
+			pass.Reportf(rs.Pos(), "channel receive order is completion order; append inside the loop merges results nondeterministically — write into a task-indexed slice or sort after the loop")
+		}
+		return
+	}
 	if sink != "" {
 		pass.Reportf(rs.Pos(), "map iteration order reaches %s; iterate sorted keys instead", sink)
 		return
@@ -157,6 +175,14 @@ func isMapType(t types.Type) bool {
 		return false
 	}
 	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
 	return ok
 }
 

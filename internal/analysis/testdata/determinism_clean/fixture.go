@@ -43,3 +43,26 @@ func mapToMap(m map[string]int) map[int]string {
 	}
 	return out
 }
+
+// mergeTaskOrder is the worker-pool merge idiom: each task owns a slot in a
+// task-indexed slice, and the merge walks slots in task order.
+func mergeTaskOrder(done chan int, results [][]int) []int {
+	for range done { // indexed writes happened elsewhere; nothing appends here
+	}
+	var out []int
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// mergeThenSort re-establishes a deterministic order after a
+// completion-order drain.
+func mergeThenSort(results chan int) []int {
+	var out []int
+	for r := range results {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -49,3 +49,13 @@ func allowedWallClock() time.Time {
 	//falcon:allow determinism fixture exercises the suppression directive
 	return time.Now()
 }
+
+// mergeCompletionOrder is the worker-pool anti-pattern: results drain from
+// the channel in whatever order tasks finish.
+func mergeCompletionOrder(results chan int) []int {
+	var out []int
+	for r := range results { // want `channel receive order is completion order`
+		out = append(out, r)
+	}
+	return out
+}

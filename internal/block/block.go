@@ -11,6 +11,7 @@
 package block
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -143,21 +144,27 @@ func (in *Input) evalCost() int64 {
 	return int64(n)
 }
 
-// Run executes the chosen strategy.
-func Run(cluster *mapreduce.Cluster, in *Input, s Strategy) (*Result, error) {
+// counterEnumerated tallies pairs that reached rule evaluation. It is an
+// engine counter (per-task, merged deterministically) rather than a shared
+// variable, so rule evaluation stays race-free across concurrent tasks.
+const counterEnumerated = "pairs_enumerated"
+
+// Run executes the chosen strategy, honoring ctx cancellation between
+// records.
+func Run(ctx context.Context, cluster *mapreduce.Cluster, in *Input, s Strategy) (*Result, error) {
 	switch s {
 	case ApplyAll:
-		return in.runClausePass(cluster, s, in.Analysis.FilterableClauses())
+		return in.runClausePass(ctx, cluster, s, in.Analysis.FilterableClauses())
 	case ApplyGreedy:
-		return in.runClausePass(cluster, s, []int{in.mostSelectiveClause()})
+		return in.runClausePass(ctx, cluster, s, []int{in.mostSelectiveClause()})
 	case ApplyConjunct:
-		return in.runIntersect(cluster, s, false)
+		return in.runIntersect(ctx, cluster, s, false)
 	case ApplyPredicate:
-		return in.runIntersect(cluster, s, true)
+		return in.runIntersect(ctx, cluster, s, true)
 	case MapSide:
-		return in.runMapSide(cluster)
+		return in.runMapSide(ctx, cluster)
 	case ReduceSplit:
-		return in.runReduceSplit(cluster)
+		return in.runReduceSplit(ctx, cluster)
 	default:
 		return nil, fmt.Errorf("block: unknown strategy %v", s)
 	}
@@ -197,13 +204,12 @@ func (in *Input) bRows(cluster *mapreduce.Cluster) [][]int {
 
 // runClausePass implements ApplyAll / ApplyGreedy: one mapper pass that
 // probes the given clauses, then reducers evaluate the full rule sequence.
-func (in *Input) runClausePass(cluster *mapreduce.Cluster, s Strategy, useClauses []int) (*Result, error) {
+func (in *Input) runClausePass(ctx context.Context, cluster *mapreduce.Cluster, s Strategy, useClauses []int) (*Result, error) {
 	if len(useClauses) == 1 && useClauses[0] == -1 {
 		useClauses = nil
 	}
 	bw := in.bWeight()
 	evalCost := in.evalCost()
-	var enumerated int64
 	job := mapreduce.Job[int, int32, int32, table.Pair]{
 		Name:   "apply-blocking-rules/" + s.String(),
 		Splits: in.bRows(cluster),
@@ -228,27 +234,27 @@ func (in *Input) runClausePass(cluster *mapreduce.Cluster, s Strategy, useClause
 			for _, bRow := range bRows {
 				p := table.Pair{A: int(aid), B: int(bRow)}
 				ctx.AddCost(evalCost)
-				enumerated++
+				ctx.Inc(counterEnumerated, 1)
 				if in.keepPair(p) {
 					ctx.Output(p)
 				}
 			}
 		},
 	}
-	res, err := mapreduce.Run(cluster, job)
+	res, err := mapreduce.RunContext(ctx, cluster, job)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, s, enumerated), nil
+	return finish(res, s), nil
 }
 
 // runIntersect implements ApplyConjunct / ApplyPredicate: one mapper pass
 // per conjunct (or per predicate), reducers intersect the clause coverage
 // then evaluate the full rule.
-func (in *Input) runIntersect(cluster *mapreduce.Cluster, s Strategy, perPredicate bool) (*Result, error) {
+func (in *Input) runIntersect(ctx context.Context, cluster *mapreduce.Cluster, s Strategy, perPredicate bool) (*Result, error) {
 	filterable := in.Analysis.FilterableClauses()
 	if len(filterable) == 0 {
-		return in.runClausePass(cluster, s, nil)
+		return in.runClausePass(ctx, cluster, s, nil)
 	}
 	need := len(filterable)
 	bw := in.bWeight()
@@ -276,7 +282,6 @@ func (in *Input) runIntersect(cluster *mapreduce.Cluster, s Strategy, perPredica
 		}
 	}
 
-	var enumerated int64
 	job := mapreduce.Job[rec, int64, int32, table.Pair]{
 		Name:   "apply-blocking-rules/" + s.String(),
 		Splits: mapreduce.SplitSlice(recs, cluster.Slots()*4),
@@ -315,26 +320,25 @@ func (in *Input) runIntersect(cluster *mapreduce.Cluster, s Strategy, perPredica
 			}
 			p := unpairKey(key)
 			ctx.AddCost(evalCost)
-			enumerated++
+			ctx.Inc(counterEnumerated, 1)
 			if in.keepPair(p) {
 				ctx.Output(p)
 			}
 		},
 	}
-	res, err := mapreduce.Run(cluster, job)
+	res, err := mapreduce.RunContext(ctx, cluster, job)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, s, enumerated), nil
+	return finish(res, s), nil
 }
 
 // runMapSide enumerates A×B with A held in mapper memory.
-func (in *Input) runMapSide(cluster *mapreduce.Cluster) (*Result, error) {
+func (in *Input) runMapSide(ctx context.Context, cluster *mapreduce.Cluster) (*Result, error) {
 	if int64(in.A.Len())*int64(in.B.Len()) > baselinePairCap {
 		return nil, ErrTooLarge
 	}
 	evalCost := in.evalCost()
-	var enumerated int64
 	job := mapreduce.MapOnlyJob[int, table.Pair]{
 		Name:   "apply-blocking-rules/map-side",
 		Splits: in.bRows(cluster),
@@ -342,31 +346,28 @@ func (in *Input) runMapSide(cluster *mapreduce.Cluster) (*Result, error) {
 			for a := 0; a < in.A.Len(); a++ {
 				p := table.Pair{A: a, B: bRow}
 				ctx.AddCost(evalCost)
-				enumerated++
+				ctx.Inc(counterEnumerated, 1)
 				if in.keepPair(p) {
 					ctx.Output(p)
 				}
 			}
 		},
 	}
-	res, err := mapreduce.RunMapOnly(cluster, job)
+	res, err := mapreduce.RunMapOnlyContext(ctx, cluster, job)
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Pairs: res.Output, SimTime: res.Stats.SimTime, Strategy: MapSide, PairsEnumerated: enumerated}
-	sortPairs(out.Pairs)
-	return out, nil
+	return finish(res, MapSide), nil
 }
 
 // runReduceSplit enumerates A×B in the mappers, spreading evaluation evenly
 // over the reducers.
-func (in *Input) runReduceSplit(cluster *mapreduce.Cluster) (*Result, error) {
+func (in *Input) runReduceSplit(ctx context.Context, cluster *mapreduce.Cluster) (*Result, error) {
 	if int64(in.A.Len())*int64(in.B.Len()) > baselinePairCap {
 		return nil, ErrTooLarge
 	}
 	bw := in.bWeight()
 	evalCost := in.evalCost()
-	var enumerated int64
 	job := mapreduce.Job[int, int64, struct{}, table.Pair]{
 		Name:   "apply-blocking-rules/reduce-split",
 		Splits: in.bRows(cluster),
@@ -379,21 +380,26 @@ func (in *Input) runReduceSplit(cluster *mapreduce.Cluster) (*Result, error) {
 		Reduce: func(key int64, _ []struct{}, ctx *mapreduce.ReduceCtx[table.Pair]) {
 			p := unpairKey(key)
 			ctx.AddCost(evalCost)
-			enumerated++
+			ctx.Inc(counterEnumerated, 1)
 			if in.keepPair(p) {
 				ctx.Output(p)
 			}
 		},
 	}
-	res, err := mapreduce.Run(cluster, job)
+	res, err := mapreduce.RunContext(ctx, cluster, job)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, ReduceSplit, enumerated), nil
+	return finish(res, ReduceSplit), nil
 }
 
-func finish(res *mapreduce.Result[table.Pair], s Strategy, enumerated int64) *Result {
-	out := &Result{Pairs: res.Output, SimTime: res.Stats.SimTime, Strategy: s, PairsEnumerated: enumerated}
+func finish(res *mapreduce.Result[table.Pair], s Strategy) *Result {
+	out := &Result{
+		Pairs:           res.Output,
+		SimTime:         res.Stats.SimTime,
+		Strategy:        s,
+		PairsEnumerated: res.Stats.Counters[counterEnumerated],
+	}
 	sortPairs(out.Pairs)
 	return out
 }

@@ -1,6 +1,7 @@
 package block
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -74,7 +75,7 @@ func newFixture(t *testing.T, nA, nB int, seed int64) *fixture {
 	}
 	an := filters.Analyze(rules.ToCNF(seq), feats)
 	ix := filters.NewIndexes(mapreduce.Default(), a)
-	if _, err := ix.EnsureAll(an.NeededIndexes()); err != nil {
+	if _, err := ix.EnsureAll(context.Background(), an.NeededIndexes()); err != nil {
 		t.Fatal(err)
 	}
 	in := &Input{
@@ -106,7 +107,7 @@ func TestAllStrategiesAgree(t *testing.T) {
 	want := fx.truth()
 	cluster := mapreduce.Default()
 	for _, s := range []Strategy{ApplyAll, ApplyGreedy, ApplyConjunct, ApplyPredicate, MapSide, ReduceSplit} {
-		res, err := Run(cluster, fx.in, s)
+		res, err := Run(context.Background(), cluster, fx.in, s)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -130,11 +131,11 @@ func TestAllStrategiesAgree(t *testing.T) {
 func TestIndexStrategiesEnumerateLess(t *testing.T) {
 	fx := newFixture(t, 150, 100, 2)
 	cluster := mapreduce.Default()
-	aa, err := Run(cluster, fx.in, ApplyAll)
+	aa, err := Run(context.Background(), cluster, fx.in, ApplyAll)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := Run(cluster, fx.in, ReduceSplit)
+	rs, err := Run(context.Background(), cluster, fx.in, ReduceSplit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,10 +162,10 @@ func TestBaselinesRefuseHugeTables(t *testing.T) {
 	in := *fx.in
 	in.A = big
 	in.B = big
-	if _, err := in.runMapSide(mapreduce.Default()); err != ErrTooLarge {
+	if _, err := in.runMapSide(context.Background(), mapreduce.Default()); err != ErrTooLarge {
 		t.Fatalf("map-side on 121M pairs: err = %v, want ErrTooLarge", err)
 	}
-	if _, err := in.runReduceSplit(mapreduce.Default()); err != ErrTooLarge {
+	if _, err := in.runReduceSplit(context.Background(), mapreduce.Default()); err != ErrTooLarge {
 		t.Fatalf("reduce-split on 121M pairs: err = %v, want ErrTooLarge", err)
 	}
 }
@@ -247,12 +248,12 @@ func TestPassIDsOnlyCheaper(t *testing.T) {
 	fx := newFixture(t, 150, 100, 6)
 	cluster := mapreduce.Default()
 	fx.in.PassIDsOnly = false
-	full, err := Run(cluster, fx.in, ApplyAll)
+	full, err := Run(context.Background(), cluster, fx.in, ApplyAll)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fx.in.PassIDsOnly = true
-	ids, err := Run(cluster, fx.in, ApplyAll)
+	ids, err := Run(context.Background(), cluster, fx.in, ApplyAll)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestPassIDsOnlyCheaper(t *testing.T) {
 
 func TestRunUnknownStrategy(t *testing.T) {
 	fx := newFixture(t, 10, 10, 7)
-	if _, err := Run(mapreduce.Default(), fx.in, Strategy(99)); err == nil {
+	if _, err := Run(context.Background(), mapreduce.Default(), fx.in, Strategy(99)); err == nil {
 		t.Fatal("unknown strategy should error")
 	}
 }
@@ -293,7 +294,7 @@ func TestUnfilterableRuleFallsBackToFullScan(t *testing.T) {
 		Vectorizer: feature.NewVectorizer(set, a, b),
 		ClauseSel:  []float64{0.9},
 	}
-	res, err := Run(mapreduce.Default(), in, ApplyAll)
+	res, err := Run(context.Background(), mapreduce.Default(), in, ApplyAll)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestQuickOutputSorted(t *testing.T) {
 	cluster := mapreduce.Default()
 	f := func(sRaw uint8) bool {
 		s := Strategy(int(sRaw) % 4) // index-based strategies
-		res, err := Run(cluster, fx.in, s)
+		res, err := Run(context.Background(), cluster, fx.in, s)
 		if err != nil {
 			return false
 		}
@@ -343,7 +344,7 @@ func BenchmarkApplyAll(b *testing.B) {
 	cluster := mapreduce.Default()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(cluster, fx.in, ApplyAll); err != nil {
+		if _, err := Run(context.Background(), cluster, fx.in, ApplyAll); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"falcon/internal/datagen"
+	"falcon/internal/mapreduce"
+	"falcon/internal/table"
+)
+
+// runWithWorkers executes a full seeded run with the given worker count;
+// everything else is rebuilt from scratch so runs share no state.
+func runWithWorkers(t *testing.T, n int, forceBlocking bool, workers int) *Result {
+	t.Helper()
+	d := datagen.Songs(n, 42)
+	opt := testOptions(11)
+	opt.ForceBlocking = &forceBlocking
+	c := mapreduce.Default()
+	c.Workers = workers
+	opt.Cluster = c
+	res, err := Run(d.A, d.B, d.Oracle(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWorkerInvarianceBlockingPlan asserts the end-to-end contract of the
+// worker pool: a Workers=1 run and a Workers=8 run of the blocking plan
+// template produce deeply equal results — matches, candidates, rules,
+// costs, counters, and the whole simulated timeline.
+func TestWorkerInvarianceBlockingPlan(t *testing.T) {
+	seq := runWithWorkers(t, 500, true, 1)
+	par := runWithWorkers(t, 500, true, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("blocking plan diverged across worker counts:\nworkers=1: %d matches, %d candidates, total %v\nworkers=8: %d matches, %d candidates, total %v",
+			len(seq.Matches), len(seq.Candidates), seq.Timeline.Total,
+			len(par.Matches), len(par.Candidates), par.Timeline.Total)
+	}
+}
+
+// TestWorkerInvarianceMatcherOnlyPlan is the same contract for the
+// matcher-only plan template.
+func TestWorkerInvarianceMatcherOnlyPlan(t *testing.T) {
+	seq := runWithWorkers(t, 60, false, 1)
+	par := runWithWorkers(t, 60, false, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("matcher-only plan diverged across worker counts:\nworkers=1: %d matches, total %v\nworkers=8: %d matches, total %v",
+			len(seq.Matches), seq.Timeline.Total, len(par.Matches), par.Timeline.Total)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	d := datagen.Songs(80, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, d.A, d.B, d.Oracle(), testOptions(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+}
+
+// TestRunContextCancelMidPlan cancels from inside the oracle — i.e. while
+// the crowd is answering questions mid-blocking-plan — and asserts
+// RunContext stops at the next boundary with ctx.Err() instead of finishing
+// the workflow.
+func TestRunContextCancelMidPlan(t *testing.T) {
+	d := datagen.Songs(400, 42)
+	opt := testOptions(3)
+	force := true
+	opt.ForceBlocking = &force
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	truth := d.Oracle()
+	calls := 0
+	oracle := func(p table.Pair) bool {
+		calls++
+		if calls == 25 {
+			cancel()
+		}
+		return truth(p)
+	}
+	res, err := RunContext(ctx, d.A, d.B, oracle, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	// The run must stop soon after the cancel, not label the whole sample:
+	// the crowd checks ctx between questions, so at most the in-flight
+	// batch completes.
+	if calls > 25+3*crowdBatchSlack {
+		t.Fatalf("oracle answered %d questions after cancellation", calls)
+	}
+}
+
+// crowdBatchSlack bounds how many oracle calls may still happen after the
+// cancel: voting on in-flight questions can consult the oracle a few times
+// per question before the per-question ctx check fires.
+const crowdBatchSlack = 20

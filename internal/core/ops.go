@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"falcon/internal/feature"
@@ -33,11 +34,12 @@ const (
 // genFVsMR converts pairs into feature vectors as a map-only cluster job
 // (the gen_fvs operator of §8). blockingOnly restricts to the blocking
 // feature subspace.
-func genFVsMR(cluster *mapreduce.Cluster, vz *feature.Vectorizer, pairs []table.Pair, blockingOnly bool) ([]feature.Vector, time.Duration, error) {
+func genFVsMR(ctx context.Context, cluster *mapreduce.Cluster, vz *feature.Vectorizer, pairs []table.Pair, blockingOnly bool) ([]feature.Vector, time.Duration, error) {
 	nFeats := len(vz.Set.Features)
 	if blockingOnly {
 		nFeats = vz.Set.NumBlocking()
 	}
+	vz.Warm()
 	job := mapreduce.MapOnlyJob[table.Pair, feature.Vector]{
 		Name:   "gen_fvs",
 		Splits: mapreduce.SplitSlice(pairs, cluster.Slots()),
@@ -50,7 +52,7 @@ func genFVsMR(cluster *mapreduce.Cluster, vz *feature.Vectorizer, pairs []table.
 			}
 		},
 	}
-	res, err := mapreduce.RunMapOnly(cluster, job)
+	res, err := mapreduce.RunMapOnlyContext(ctx, cluster, job)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -59,7 +61,7 @@ func genFVsMR(cluster *mapreduce.Cluster, vz *feature.Vectorizer, pairs []table.
 
 // applyMatcherMR applies a trained matcher to every vector as a map-only
 // cluster job (the apply_matcher operator).
-func applyMatcherMR(cluster *mapreduce.Cluster, f *forest.Forest, vecs []feature.Vector) ([]table.Pair, time.Duration, error) {
+func applyMatcherMR(ctx context.Context, cluster *mapreduce.Cluster, f *forest.Forest, vecs []feature.Vector) ([]table.Pair, time.Duration, error) {
 	job := mapreduce.MapOnlyJob[int, table.Pair]{
 		Name:   "apply_matcher",
 		Splits: mapreduce.SplitSlice(indexRange(len(vecs)), cluster.Slots()),
@@ -70,7 +72,7 @@ func applyMatcherMR(cluster *mapreduce.Cluster, f *forest.Forest, vecs []feature
 			}
 		},
 	}
-	res, err := mapreduce.RunMapOnly(cluster, job)
+	res, err := mapreduce.RunMapOnlyContext(ctx, cluster, job)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -51,9 +52,21 @@ type runState struct {
 	indexDurTotal time.Duration
 }
 
-// Run executes the hands-off EM workflow over tables a and b. The oracle
-// supplies ground truth consumed only by the simulated crowd platform.
+// Run executes the hands-off EM workflow with a background context; see
+// RunContext.
 func Run(a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
+	return RunContext(context.Background(), a, b, oracle, opt)
+}
+
+// RunContext executes the hands-off EM workflow over tables a and b. The
+// oracle supplies ground truth consumed only by the simulated crowd
+// platform. Cancellation propagates into every plan stage — cluster jobs
+// stop between records, crowd waits between questions — and RunContext
+// returns ctx.Err().
+func RunContext(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	st := &runState{
 		opt:    opt,
@@ -79,7 +92,7 @@ func Run(a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
 	}
 
 	if useBlocking {
-		if err := st.runBlockingPlan(); err != nil {
+		if err := st.runBlockingPlan(ctx); err != nil {
 			return nil, err
 		}
 	} else {
@@ -89,7 +102,7 @@ func Run(a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
 		}
 		st.res.Candidates = pairs
 		st.res.UsedBlocking = false
-		if err := st.runMatchingStage(pairs, nil); err != nil {
+		if err := st.runMatchingStage(ctx, pairs, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -203,14 +216,68 @@ type specResult struct {
 	killed bool
 }
 
-func (st *runState) runBlockingPlan() error {
-	opt := st.opt
-	cluster := opt.Cluster
-	res := st.res
-	res.UsedBlocking = true
+// blockingPlan carries the intermediates flowing between the blocking
+// plan's stages. Each stage fills the fields later stages consume.
+type blockingPlan struct {
+	// stageSamplePairs
+	pairs      []table.Pair
+	sampleTask *vclock.Task
+	// stageSampleFVs
+	vecs       []feature.Vector
+	sampleVecs [][]float64
+	fvTask     *vclock.Task
+	// stageBlockingMatcher
+	bg          *bgQueue
+	alRes       *learn.Result
+	lastALCrowd *vclock.Task
+	// stageExtractRules
+	cands       []rules.Rule
+	extractTask *vclock.Task
+	feats       []*feature.Feature
+	// stageEvalRules
+	evalRes       *rulesel.EvalResult
+	evalCrowdEnd  time.Duration
+	lastEvalCrowd *vclock.Task
+	// stageApplyBlocking
+	blockTask *vclock.Task
+	// fallback marks that the plan degrades to matcher-only (no rules
+	// learned or none retained).
+	fallback bool
+}
 
-	// ---- sample_pairs ----
-	pairs, sampleDur, err := sample.Pairs(cluster, st.a, st.b, sample.Config{
+// runBlockingPlan executes the Figure-3.a plan template as explicit stages,
+// checking ctx between stages (each stage also honors ctx inside its
+// cluster jobs and crowd waits).
+func (st *runState) runBlockingPlan(ctx context.Context) error {
+	st.res.UsedBlocking = true
+	p := &blockingPlan{}
+	stages := []func(context.Context, *blockingPlan) error{
+		st.stageSamplePairs,
+		st.stageSampleFVs,
+		st.stageBlockingMatcher,
+		st.stageExtractRules,
+		st.stageEvalRules,
+		st.stageApplyBlocking,
+	}
+	for _, stage := range stages {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := stage(ctx, p); err != nil {
+			return err
+		}
+		if p.fallback {
+			return st.fallbackToMatcherOnly(ctx)
+		}
+	}
+	// ---- matching stage over the candidates ----
+	return st.runMatchingStage(ctx, st.res.Candidates, p.blockTask)
+}
+
+// stageSamplePairs runs sample_pairs (§5) over A×B.
+func (st *runState) stageSamplePairs(ctx context.Context, p *blockingPlan) error {
+	opt := st.opt
+	pairs, sampleDur, err := sample.Pairs(ctx, opt.Cluster, st.a, st.b, sample.Config{
 		N: opt.SampleN, Y: opt.SampleY, Seed: opt.Seed, ExcludeSelf: opt.ExcludeSelfPairs,
 	})
 	if err != nil {
@@ -219,94 +286,129 @@ func (st *runState) runBlockingPlan() error {
 	if len(pairs) == 0 {
 		return fmt.Errorf("core: sample_pairs produced no pairs")
 	}
-	sampleTask := st.tl.Schedule(opSamplePairs, opSamplePairs, vclock.Cluster, sampleDur)
+	p.pairs = pairs
+	p.sampleTask = st.tl.Schedule(opSamplePairs, opSamplePairs, vclock.Cluster, sampleDur)
+	return nil
+}
 
-	// ---- gen_fvs over the sample (blocking features) ----
-	vecs, fvDur, err := genFVsMR(cluster, st.vz, pairs, true)
+// stageSampleFVs runs gen_fvs over the sample (blocking features only).
+func (st *runState) stageSampleFVs(ctx context.Context, p *blockingPlan) error {
+	vecs, fvDur, err := genFVsMR(ctx, st.opt.Cluster, st.vz, p.pairs, true)
 	if err != nil {
 		return err
 	}
-	fvTask := st.tl.Schedule(opGenFVs, opGenFVs, vclock.Cluster, fvDur, sampleTask)
-
-	// ---- background queue: generic index building (§10.2 opt 1) ----
-	bg := newBGQueue(st.tl)
-	if opt.MaskIndexBuild {
-		st.enqueueGenericIndexJobs(bg)
-	}
-
-	// ---- al_matcher on the sample ----
-	pool := make([]learn.Item, len(vecs))
-	sampleVecs := make([][]float64, len(vecs))
+	p.vecs = vecs
+	p.sampleVecs = make([][]float64, len(vecs))
 	for i, v := range vecs {
-		pool[i] = learn.Item{Pair: v.Pair, Vec: v.Values}
-		sampleVecs[i] = v.Values
+		p.sampleVecs[i] = v.Values
 	}
-	learner := learn.New(cluster, st.cr, st.oracle, learn.Config{
+	p.fvTask = st.tl.Schedule(opGenFVs, opGenFVs, vclock.Cluster, fvDur, p.sampleTask)
+	return nil
+}
+
+// stageBlockingMatcher crowdsources the blocking-stage matcher with
+// al_matcher over the sample, masking generic index builds into its crowd
+// windows (§10.2 opt 1).
+func (st *runState) stageBlockingMatcher(ctx context.Context, p *blockingPlan) error {
+	opt := st.opt
+	p.bg = newBGQueue(st.tl)
+	if opt.MaskIndexBuild {
+		st.enqueueGenericIndexJobs(ctx, p.bg)
+	}
+
+	pool := make([]learn.Item, len(p.vecs))
+	for i, v := range p.vecs {
+		pool[i] = learn.Item{Pair: v.Pair, Vec: v.Values}
+	}
+	learner := learn.New(opt.Cluster, st.cr, st.oracle, learn.Config{
 		MaxIterations: opt.ALIterations,
 		Forest:        withSeed(opt.Forest, opt.Seed+10),
 		SeedScore:     st.seedScoreBlocking(),
 	})
-	alRes, err := learner.Run(pool)
+	alRes, err := learner.Run(ctx, pool)
 	if err != nil {
 		return err
 	}
 	if alRes.Forest == nil {
 		return fmt.Errorf("core: blocking-stage active learning produced no matcher")
 	}
-	res.BlockingForest = alRes.Forest
-	lastALCrowd := st.scheduleALTrace(opALMatcherB, alRes.Trace, bg, fvTask)
+	p.alRes = alRes
+	st.res.BlockingForest = alRes.Forest
+	p.lastALCrowd = st.scheduleALTrace(opALMatcherB, alRes.Trace, p.bg, p.fvTask)
+	return nil
+}
 
-	// ---- get_blocking_rules ----
-	cands := rules.Extract(alRes.Forest)
-	res.CandidateRules = len(cands)
-	extractTask := st.tl.Schedule(opGetBlockRules, opGetBlockRules, vclock.Cluster,
-		2*time.Second+time.Duration(len(cands))*10*time.Millisecond, lastALCrowd)
-	if len(cands) == 0 {
-		return st.fallbackToMatcherOnly()
+// stageExtractRules runs get_blocking_rules on the blocking forest.
+func (st *runState) stageExtractRules(_ context.Context, p *blockingPlan) error {
+	p.cands = rules.Extract(p.alRes.Forest)
+	st.res.CandidateRules = len(p.cands)
+	p.extractTask = st.tl.Schedule(opGetBlockRules, opGetBlockRules, vclock.Cluster,
+		2*time.Second+time.Duration(len(p.cands))*10*time.Millisecond, p.lastALCrowd)
+	p.feats = blockingFeaturePtrs(st.set)
+	if len(p.cands) == 0 {
+		p.fallback = true
 	}
+	return nil
+}
 
-	// ---- eval_rules ----
-	feats := blockingFeaturePtrs(st.set)
-	timer := ruleTimer(feats)
+// stageEvalRules estimates candidate-rule precision with the crowd
+// (eval_rules, §3.4).
+func (st *runState) stageEvalRules(ctx context.Context, p *blockingPlan) error {
+	opt := st.opt
 	evalCfg := opt.EvalCfg
 	evalCfg.Seed = opt.Seed + 20
-	evalRes := rulesel.EvalRules(cands, pairs, sampleVecs, st.cr, func(p table.Pair) bool { return st.oracle(p) }, timer, evalCfg)
-	res.RetainedRules = len(evalRes.Retained)
+	timer := ruleTimer(p.feats)
+	evalRes, err := rulesel.EvalRules(ctx, p.cands, p.pairs, p.sampleVecs, st.cr,
+		func(pr table.Pair) bool { return st.oracle(pr) }, timer, evalCfg)
+	if err != nil {
+		return err
+	}
+	p.evalRes = evalRes
+	st.res.RetainedRules = len(evalRes.Retained)
 	// Coverage ranking is a cluster job over all candidates × sample.
-	rankDur := simDuration(cluster, int64(len(cands))*int64(len(vecs)))
-	rankTask := st.tl.Schedule(opEvalRules+"/rank", opEvalRules, vclock.Cluster, rankDur, extractTask)
-	evalCrowdEnd := rankTask.End
-	var lastEvalCrowd *vclock.Task = rankTask
+	rankDur := simDuration(opt.Cluster, int64(len(p.cands))*int64(len(p.vecs)))
+	rankTask := st.tl.Schedule(opEvalRules+"/rank", opEvalRules, vclock.Cluster, rankDur, p.extractTask)
+	p.evalCrowdEnd = rankTask.End
+	p.lastEvalCrowd = rankTask
 	for _, tr := range evalRes.Trace {
 		if tr.CrowdLatency == 0 {
 			continue
 		}
-		lastEvalCrowd = st.tl.Schedule(opEvalRules+"/label", opEvalRules, vclock.Crowd, tr.CrowdLatency, lastEvalCrowd)
-		evalCrowdEnd = lastEvalCrowd.End
+		p.lastEvalCrowd = st.tl.Schedule(opEvalRules+"/label", opEvalRules, vclock.Crowd, tr.CrowdLatency, p.lastEvalCrowd)
+		p.evalCrowdEnd = p.lastEvalCrowd.End
 	}
 	if len(evalRes.Retained) == 0 {
-		return st.fallbackToMatcherOnly()
+		p.fallback = true
 	}
+	return nil
+}
+
+// stageApplyBlocking picks the optimal rule sequence (select_opt_seq, §6),
+// builds the indexes it needs, speculatively executes rules inside the
+// eval_rules crowd window (§10.2 opt 2), chooses the physical operator
+// (§10.1), and runs apply_blocking_rules.
+func (st *runState) stageApplyBlocking(ctx context.Context, p *blockingPlan) error {
+	opt := st.opt
+	res := st.res
 
 	// ---- select_opt_seq ----
-	weights := opt.Weights
-	choice := rulesel.SelectOptSeq(evalRes.Retained, len(vecs), weights)
+	choice := rulesel.SelectOptSeq(p.evalRes.Retained, len(p.vecs), opt.Weights)
 	res.RuleChoice = choice
 	seq := choice.RuleSeq()
 
 	// Rule-specific index building during eval_rules' crowd time: we know
 	// the evaluated rule set, so build indexes for all of its predicates.
-	allEvaluated := make([]rules.Rule, 0, len(evalRes.Retained))
-	for _, er := range evalRes.Retained {
+	allEvaluated := make([]rules.Rule, 0, len(p.evalRes.Retained))
+	for _, er := range p.evalRes.Retained {
 		allEvaluated = append(allEvaluated, er.Rule)
 	}
-	evalAnalysis := filters.Analyze(rules.ToCNF(allEvaluated), feats)
-	finalAnalysis := filters.Analyze(rules.ToCNF(seq), feats)
+	evalAnalysis := filters.Analyze(rules.ToCNF(allEvaluated), p.feats)
+	finalAnalysis := filters.Analyze(rules.ToCNF(seq), p.feats)
 	neededFinal := finalAnalysis.NeededIndexes()
 
 	if opt.MaskIndexBuild {
-		st.enqueueSpecIndexJobs(bg, evalAnalysis.NeededIndexes())
-		bg.fillWindow(evalCrowdEnd)
+		st.enqueueSpecIndexJobs(ctx, p.bg, evalAnalysis.NeededIndexes())
+		p.bg.fillWindow(p.evalCrowdEnd)
 	}
 
 	// Speculative rule execution (§10.2 opt 2, Algorithm 2): execute rules
@@ -325,8 +427,9 @@ func (st *runState) runBlockingPlan() error {
 		PassIDsOnly: opt.PassIDsOnly,
 	}
 	var specs []specResult
+	var err error
 	if opt.Speculative {
-		specs, err = st.speculateRules(bg, evalRes.Retained, feats, evalCrowdEnd)
+		specs, err = st.speculateRules(ctx, p.bg, p.evalRes.Retained, p.feats, p.evalCrowdEnd)
 		if err != nil {
 			return err
 		}
@@ -335,30 +438,30 @@ func (st *runState) runBlockingPlan() error {
 		// fallback branch. This must happen before anything else lands on
 		// the cluster.
 		for i := range specs {
-			if specs[i].task.End > evalCrowdEnd {
-				st.tl.Truncate(specs[i].task, evalCrowdEnd)
+			if specs[i].task.End > p.evalCrowdEnd {
+				st.tl.Truncate(specs[i].task, p.evalCrowdEnd)
 				specs[i].killed = true
 			}
 		}
 	}
 
-	selTask := st.tl.Schedule(opSelOptSeq, opSelOptSeq, vclock.Cluster, 100*time.Millisecond, lastEvalCrowd)
+	selTask := st.tl.Schedule(opSelOptSeq, opSelOptSeq, vclock.Cluster, 100*time.Millisecond, p.lastEvalCrowd)
 
 	// ---- apply_blocking_rules ----
 	// Ensure every index the final rule needs exists (computationally);
 	// foreground-schedule only the ones masking didn't already build.
-	if err := st.ensureForeground(neededFinal, opt.MaskIndexBuild, bg); err != nil {
+	if err := st.ensureForeground(ctx, neededFinal, opt.MaskIndexBuild, p.bg); err != nil {
 		return err
 	}
 
 	st.modelSeq = seq
 	st.modelSel = clauseSel
-	strategy := block.Choose(cluster, input, choice.Selectivity)
+	strategy := block.Choose(opt.Cluster, input, choice.Selectivity)
 	if opt.ForceStrategy != nil {
 		strategy = *opt.ForceStrategy
 	}
 	res.Strategy = strategy
-	full, err := block.Run(cluster, input, strategy)
+	full, err := block.Run(ctx, opt.Cluster, input, strategy)
 	if err != nil {
 		return err
 	}
@@ -368,22 +471,19 @@ func (st *runState) runBlockingPlan() error {
 	}
 	res.UnoptimizedBlockTime = st.indexDurTotal + full.SimTime
 
-	var blockTask *vclock.Task
-	if reuseTask := st.reuseSpeculative(specs, seq, full.SimTime, evalCrowdEnd, selTask); reuseTask != nil {
+	if reuseTask := st.reuseSpeculative(specs, seq, full.SimTime, p.evalCrowdEnd, selTask); reuseTask != nil {
 		res.SpecRuleHit = true
-		blockTask = reuseTask
+		p.blockTask = reuseTask
 	} else {
-		blockTask = st.tl.Schedule(opApplyRules, opApplyRules, vclock.Cluster, full.SimTime, selTask)
+		p.blockTask = st.tl.Schedule(opApplyRules, opApplyRules, vclock.Cluster, full.SimTime, selTask)
 	}
-
-	// ---- matching stage over the candidates ----
-	return st.runMatchingStage(res.Candidates, blockTask)
+	return nil
 }
 
 // enqueueGenericIndexJobs builds the rule-independent indexes (token
 // orderings, hash indexes, tree indexes) and queues their durations as
 // maskable background work.
-func (st *runState) enqueueGenericIndexJobs(bg *bgQueue) {
+func (st *runState) enqueueGenericIndexJobs(ctx context.Context, bg *bgQueue) {
 	seenOrd := map[string]bool{}
 	for _, fi := range st.set.BlockingIdx {
 		f := &st.set.Features[fi]
@@ -394,20 +494,20 @@ func (st *runState) enqueueGenericIndexJobs(bg *bgQueue) {
 				continue
 			}
 			seenOrd[key] = true
-			d, err := st.ix.EnsureOrdering(f.ACol, f.Token)
+			d, err := st.ix.EnsureOrdering(ctx, f.ACol, f.Token)
 			if err == nil && d > 0 {
 				st.indexDurTotal += d
 				bg.enqueue(bgJob{name: "index/ordering", op: opApplyRules, dur: d, key: key})
 			}
 		case f.Measure.NumericBased():
-			d, err := st.ix.EnsureTree(f.ACol)
+			d, err := st.ix.EnsureTree(ctx, f.ACol)
 			if err == nil && d > 0 {
 				st.indexDurTotal += d
 				bg.enqueue(bgJob{name: "index/tree", op: opApplyRules, dur: d,
 					key: filters.IndexSpec{Kind: filters.Range, ACol: f.ACol}.Key()})
 			}
 		default: // exact_match
-			d, err := st.ix.EnsureHash(f.ACol)
+			d, err := st.ix.EnsureHash(ctx, f.ACol)
 			if err == nil && d > 0 {
 				st.indexDurTotal += d
 				bg.enqueue(bgJob{name: "index/hash", op: opApplyRules, dur: d,
@@ -419,9 +519,9 @@ func (st *runState) enqueueGenericIndexJobs(bg *bgQueue) {
 
 // enqueueSpecIndexJobs builds predicate-specific indexes for the evaluated
 // rules and queues their durations.
-func (st *runState) enqueueSpecIndexJobs(bg *bgQueue, specs []filters.IndexSpec) {
+func (st *runState) enqueueSpecIndexJobs(ctx context.Context, bg *bgQueue, specs []filters.IndexSpec) {
 	for _, spec := range specs {
-		d, err := st.ix.EnsureSpec(spec)
+		d, err := st.ix.EnsureSpec(ctx, spec)
 		if err != nil || d == 0 {
 			continue
 		}
@@ -434,7 +534,7 @@ func (st *runState) enqueueSpecIndexJobs(bg *bgQueue, specs []filters.IndexSpec)
 // schedules their durations as foreground cluster tasks. When masking was
 // on, queued-but-unscheduled index jobs for the final rules drain here;
 // pending builds for predicates the final sequence dropped are cancelled.
-func (st *runState) ensureForeground(needed []filters.IndexSpec, masked bool, bg *bgQueue) error {
+func (st *runState) ensureForeground(ctx context.Context, needed []filters.IndexSpec, masked bool, bg *bgQueue) error {
 	if masked && bg.pending() {
 		neededKeys := map[string]bool{}
 		for _, spec := range needed {
@@ -446,7 +546,7 @@ func (st *runState) ensureForeground(needed []filters.IndexSpec, masked bool, bg
 		bg.drainNeeded(neededKeys)
 	}
 	for _, spec := range needed {
-		d, err := st.ix.EnsureSpec(spec)
+		d, err := st.ix.EnsureSpec(ctx, spec)
 		if err != nil {
 			return err
 		}
@@ -463,7 +563,7 @@ func (st *runState) ensureForeground(needed []filters.IndexSpec, masked bool, bg
 // window. Job durations come from the cluster cost model and the rules'
 // sample selectivities; the actual candidate set is produced once by the
 // full blocking run, so no work is duplicated in-process.
-func (st *runState) speculateRules(bg *bgQueue, retained []rulesel.EvaluatedRule, feats []*feature.Feature, crowdEnd time.Duration) ([]specResult, error) {
+func (st *runState) speculateRules(ctx context.Context, bg *bgQueue, retained []rulesel.EvaluatedRule, feats []*feature.Feature, crowdEnd time.Duration) ([]specResult, error) {
 	var out []specResult
 	maxSpec := st.opt.SpeculativeRuleCap
 	cart := int64(st.a.Len()) * int64(st.b.Len())
@@ -477,7 +577,7 @@ func (st *runState) speculateRules(bg *bgQueue, retained []rulesel.EvaluatedRule
 		an := filters.Analyze(rules.ToCNF([]rules.Rule{er.Rule}), feats)
 		// Any index the speculative job needs and masking has not yet
 		// built is built as part of the job, so its time counts here.
-		ixDur, err := st.ix.EnsureAll(an.NeededIndexes())
+		ixDur, err := st.ix.EnsureAll(ctx, an.NeededIndexes())
 		if err != nil {
 			return nil, err
 		}
@@ -575,19 +675,19 @@ func orderingKey(col int, kind tokenize.Kind) string {
 
 // fallbackToMatcherOnly degrades to the Figure-3.b plan when blocking
 // cannot proceed (no rules learned or none retained).
-func (st *runState) fallbackToMatcherOnly() error {
+func (st *runState) fallbackToMatcherOnly(ctx context.Context) error {
 	pairs, err := cartesianPairs(st.a, st.b, st.opt.ExcludeSelfPairs)
 	if err != nil {
 		return fmt.Errorf("core: blocking produced no usable rules and %w", err)
 	}
 	st.res.UsedBlocking = false
 	st.res.Candidates = pairs
-	return st.runMatchingStage(pairs, nil)
+	return st.runMatchingStage(ctx, pairs, nil)
 }
 
 // runMatchingStage runs gen_fvs + al_matcher + apply_matcher over the
 // candidate pairs (both plan templates share it).
-func (st *runState) runMatchingStage(candidates []table.Pair, startDep *vclock.Task) error {
+func (st *runState) runMatchingStage(ctx context.Context, candidates []table.Pair, startDep *vclock.Task) error {
 	opt := st.opt
 	res := st.res
 	if len(candidates) == 0 {
@@ -595,7 +695,7 @@ func (st *runState) runMatchingStage(candidates []table.Pair, startDep *vclock.T
 		return nil
 	}
 
-	vecs, fvDur, err := genFVsMR(opt.Cluster, st.vz, candidates, false)
+	vecs, fvDur, err := genFVsMR(ctx, opt.Cluster, st.vz, candidates, false)
 	if err != nil {
 		return err
 	}
@@ -612,7 +712,7 @@ func (st *runState) runMatchingStage(candidates []table.Pair, startDep *vclock.T
 		Masked:        masked,
 		SeedScore:     st.seedScoreFull(),
 	})
-	alRes, err := learner.Run(pool)
+	alRes, err := learner.Run(ctx, pool)
 	if err != nil {
 		return err
 	}
@@ -622,7 +722,7 @@ func (st *runState) runMatchingStage(candidates []table.Pair, startDep *vclock.T
 	res.MatchingForest = alRes.Forest
 	lastCrowd := st.scheduleALTrace(opALMatcherM, alRes.Trace, nil, fvTask)
 
-	matches, applyDur, err := applyMatcherMR(opt.Cluster, alRes.Forest, vecs)
+	matches, applyDur, err := applyMatcherMR(ctx, opt.Cluster, alRes.Forest, vecs)
 	if err != nil {
 		return err
 	}
@@ -647,7 +747,7 @@ func (st *runState) runMatchingStage(candidates []table.Pair, startDep *vclock.T
 	if !specHit {
 		st.tl.Schedule(opApplyMatcher, opApplyMatcher, vclock.Cluster, applyDur, lastCrowd)
 	}
-	return st.runEstimatorAndIterate(vecs, alRes)
+	return st.runEstimatorAndIterate(ctx, vecs, alRes)
 }
 
 // opEstimator tags Accuracy Estimator and iterative-workflow activity.
@@ -658,7 +758,7 @@ const opEstimator = "accuracy_estimator"
 // estimate accuracy, crowd-label the most difficult pairs, retrain the
 // matcher, re-match, and stop when the estimated accuracy no longer
 // improves (paper §3.1; §12 lists the estimator as the next operator).
-func (st *runState) runEstimatorAndIterate(vecs []feature.Vector, alRes *learn.Result) error {
+func (st *runState) runEstimatorAndIterate(ctx context.Context, vecs []feature.Vector, alRes *learn.Result) error {
 	opt := st.opt
 	res := st.res
 	if !opt.EstimateAccuracy && opt.IterateRounds <= 0 {
@@ -674,15 +774,21 @@ func (st *runState) runEstimatorAndIterate(vecs []feature.Vector, alRes *learn.R
 		return preds
 	}
 	estCfg := estimate.Config{Seed: opt.Seed + 40}
-	runEstimate := func(f *forest.Forest, round int) estimate.Accuracy {
+	runEstimate := func(f *forest.Forest, round int) (estimate.Accuracy, error) {
 		estCfg.Seed = opt.Seed + 40 + int64(round)*31
-		acc := estimate.MatcherAccuracy(st.cr, func(p table.Pair) bool { return st.oracle(p) }, predictions(f), estCfg)
+		acc, err := estimate.MatcherAccuracy(ctx, st.cr, func(p table.Pair) bool { return st.oracle(p) }, predictions(f), estCfg)
+		if err != nil {
+			return estimate.Accuracy{}, err
+		}
 		st.tl.Schedule(opEstimator+"/label", opEstimator, vclock.Crowd, acc.CrowdLatency)
-		return acc
+		return acc, nil
 	}
 
 	f := alRes.Forest
-	acc := runEstimate(f, 0)
+	acc, err := runEstimate(f, 0)
+	if err != nil {
+		return err
+	}
 	res.Accuracy = &acc
 	res.RoundF1 = []float64{acc.F1}
 	if opt.IterateRounds <= 0 {
@@ -719,7 +825,10 @@ func (st *runState) runEstimatorAndIterate(vecs []feature.Vector, alRes *learn.R
 		for i, dp := range fresh {
 			qs[i] = crowd.Question{Pair: dp.Pair, Truth: st.oracle(dp.Pair)}
 		}
-		labels, lat := st.cr.LabelMajority(qs)
+		labels, lat, err := st.cr.LabelMajorityContext(ctx, qs)
+		if err != nil {
+			return err
+		}
 		labelTask := st.tl.Schedule(opEstimator+"/difficult", opEstimator, vclock.Crowd, lat)
 		for i, dp := range fresh {
 			labeledPairs[dp.Pair] = true
@@ -728,13 +837,16 @@ func (st *runState) runEstimatorAndIterate(vecs []feature.Vector, alRes *learn.R
 
 		// Retrain and re-apply the matcher.
 		cand := forest.Train(training, withSeed(opt.Forest, opt.Seed+50+int64(round)))
-		matches, applyDur, err := applyMatcherMR(opt.Cluster, cand, vecs)
+		matches, applyDur, err := applyMatcherMR(ctx, opt.Cluster, cand, vecs)
 		if err != nil {
 			return err
 		}
 		st.tl.Schedule(opApplyMatcher+"/iterate", opEstimator, vclock.Cluster, applyDur, labelTask)
 
-		newAcc := runEstimate(cand, round)
+		newAcc, err := runEstimate(cand, round)
+		if err != nil {
+			return err
+		}
 		res.RoundF1 = append(res.RoundF1, newAcc.F1)
 		if newAcc.F1 <= acc.F1+improveDelta {
 			break // estimated accuracy no longer improves

@@ -18,6 +18,7 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -169,13 +170,26 @@ func (c *Crowd) Config() Config { return c.cfg }
 // iteration (h × q = 20 by default).
 func (c *Crowd) BatchSize() int { return c.cfg.QuestionsPerHIT * c.cfg.HITsPerBatch }
 
-// LabelMajority labels the questions with simple majority voting over the
-// platform's per-question answer count (al_matcher's scheme). It returns
-// the voted labels and the simulated wall-clock latency of the batch.
+// LabelMajority labels the questions with simple majority voting; see
+// LabelMajorityContext.
 func (c *Crowd) LabelMajority(qs []Question) ([]bool, time.Duration) {
+	labels, lat, _ := c.LabelMajorityContext(context.Background(), qs)
+	return labels, lat
+}
+
+// LabelMajorityContext labels the questions with simple majority voting over
+// the platform's per-question answer count (al_matcher's scheme). It returns
+// the voted labels and the simulated wall-clock latency of the batch. The
+// crowd wait is cancellable: when ctx ends mid-batch, the questions already
+// answered stay on the ledger and ctx.Err() is returned.
+func (c *Crowd) LabelMajorityContext(ctx context.Context, qs []Question) ([]bool, time.Duration, error) {
 	votes := c.platform.AnswersPerQuestion()
 	labels := make([]bool, len(qs))
 	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			c.ledger.Questions += i
+			return nil, 0, err
+		}
 		yes := 0
 		for v := 0; v < votes; v++ {
 			if c.platform.Answer(q) {
@@ -188,15 +202,24 @@ func (c *Crowd) LabelMajority(qs []Question) ([]bool, time.Duration) {
 	c.ledger.Questions += len(qs)
 	lat := c.batchLatency(len(qs), 1)
 	c.ledger.Latency += lat
+	return labels, lat, nil
+}
+
+// LabelStrongMajority labels the questions with the strong-majority scheme;
+// see LabelStrongMajorityContext.
+func (c *Crowd) LabelStrongMajority(qs []Question) ([]bool, time.Duration) {
+	labels, lat, _ := c.LabelStrongMajorityContext(context.Background(), qs)
 	return labels, lat
 }
 
-// LabelStrongMajority labels the questions with the strong-majority scheme
-// of eval_rules: collect 3 answers; while no side holds a strong majority
-// (≥4 of up to 7), collect two more, stopping at StrongMaxVotes. Platforms
-// that collect fewer than 3 answers per question (an in-house crowd of one)
-// start — and stop — with that many.
-func (c *Crowd) LabelStrongMajority(qs []Question) ([]bool, time.Duration) {
+// LabelStrongMajorityContext labels the questions with the strong-majority
+// scheme of eval_rules: collect 3 answers; while no side holds a strong
+// majority (≥4 of up to 7), collect two more, stopping at StrongMaxVotes.
+// Platforms that collect fewer than 3 answers per question (an in-house
+// crowd of one) start — and stop — with that many. The crowd wait is
+// cancellable: when ctx ends mid-batch, answered questions stay on the
+// ledger and ctx.Err() is returned.
+func (c *Crowd) LabelStrongMajorityContext(ctx context.Context, qs []Question) ([]bool, time.Duration, error) {
 	labels := make([]bool, len(qs))
 	maxRounds := 1
 	initial := c.platform.AnswersPerQuestion()
@@ -204,6 +227,10 @@ func (c *Crowd) LabelStrongMajority(qs []Question) ([]bool, time.Duration) {
 		initial = 3
 	}
 	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			c.ledger.Questions += i
+			return nil, 0, err
+		}
 		yes, total := 0, 0
 		ask := func(n int) {
 			for v := 0; v < n; v++ {
@@ -229,7 +256,7 @@ func (c *Crowd) LabelStrongMajority(qs []Question) ([]bool, time.Duration) {
 	c.ledger.Questions += len(qs)
 	lat := c.batchLatency(len(qs), maxRounds)
 	c.ledger.Latency += lat
-	return labels, lat
+	return labels, lat, nil
 }
 
 // batchLatency models posting-wave latency: HITs post in waves of

@@ -13,6 +13,7 @@
 package estimate
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -79,7 +80,9 @@ var strata = [][2]float64{{0.3, 0.5}, {0.1, 0.3}, {0, 0.1}}
 
 // MatcherAccuracy estimates precision and recall of the predictions using
 // the crowd. The oracle supplies ground truth behind the simulated crowd.
-func MatcherAccuracy(cr *crowd.Crowd, oracle func(table.Pair) bool, preds []Prediction, cfg Config) Accuracy {
+// Crowd waits honor ctx; on cancellation the zero Accuracy and ctx.Err()
+// are returned.
+func MatcherAccuracy(ctx context.Context, cr *crowd.Crowd, oracle func(table.Pair) bool, preds []Prediction, cfg Config) (Accuracy, error) {
 	cfg = cfg.withDefaults()
 	var acc Accuracy
 
@@ -93,7 +96,10 @@ func MatcherAccuracy(cr *crowd.Crowd, oracle func(table.Pair) bool, preds []Pred
 	}
 
 	// ---- Precision: simple random sampling from predicted positives ----
-	posLabels, lat := sampleAndLabel(cr, oracle, positives, cfg, cfg.Seed)
+	posLabels, lat, err := sampleAndLabel(ctx, cr, oracle, positives, cfg, cfg.Seed)
+	if err != nil {
+		return Accuracy{}, err
+	}
 	acc.CrowdLatency += lat
 	acc.Labeled += len(posLabels)
 	tp := 0
@@ -123,7 +129,10 @@ func MatcherAccuracy(cr *crowd.Crowd, oracle func(table.Pair) bool, preds []Pred
 		if len(stratum) == 0 {
 			continue
 		}
-		labels, lat := sampleAndLabel(cr, oracle, stratum, cfg, cfg.Seed+int64(si+1)*977)
+		labels, lat, err := sampleAndLabel(ctx, cr, oracle, stratum, cfg, cfg.Seed+int64(si+1)*977)
+		if err != nil {
+			return Accuracy{}, err
+		}
 		acc.CrowdLatency += lat
 		acc.Labeled += len(labels)
 		if len(labels) == 0 {
@@ -157,15 +166,15 @@ func MatcherAccuracy(cr *crowd.Crowd, oracle func(table.Pair) bool, preds []Pred
 	if acc.Precision+acc.Recall > 0 {
 		acc.F1 = 2 * acc.Precision * acc.Recall / (acc.Precision + acc.Recall)
 	}
-	return acc
+	return acc, nil
 }
 
 // sampleAndLabel draws up to BatchSize×MaxIterations pairs from pool
 // (deterministically shuffled) and has the crowd label them, stopping early
 // once the estimate's margin is under EpsTarget.
-func sampleAndLabel(cr *crowd.Crowd, oracle func(table.Pair) bool, pool []Prediction, cfg Config, seed int64) ([]bool, time.Duration) {
+func sampleAndLabel(ctx context.Context, cr *crowd.Crowd, oracle func(table.Pair) bool, pool []Prediction, cfg Config, seed int64) ([]bool, time.Duration, error) {
 	if len(pool) == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	order := shuffledIndexes(len(pool), seed)
 	var labels []bool
@@ -179,7 +188,10 @@ func sampleAndLabel(cr *crowd.Crowd, oracle func(table.Pair) bool, pool []Predic
 				break
 			}
 		}
-		got, lat := cr.LabelMajority(qs)
+		got, lat, err := cr.LabelMajorityContext(ctx, qs)
+		if err != nil {
+			return nil, 0, err
+		}
 		total += lat
 		for _, l := range got {
 			labels = append(labels, l)
@@ -192,7 +204,7 @@ func sampleAndLabel(cr *crowd.Crowd, oracle func(table.Pair) bool, pool []Predic
 			break
 		}
 	}
-	return labels, total
+	return labels, total, nil
 }
 
 // margin is the §3.4 error margin with finite-population correction.

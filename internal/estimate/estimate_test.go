@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,7 +45,10 @@ func newCrowd() *crowd.Crowd {
 
 func TestPrecisionEstimate(t *testing.T) {
 	preds, oracle := world(400, 0.9, 400, 0, 1)
-	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 2, MaxIterations: 10})
+	acc, err := MatcherAccuracy(context.Background(), newCrowd(), oracle, preds, Config{Seed: 2, MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(acc.Precision-0.9) > 0.08 {
 		t.Fatalf("precision estimate %.3f, truth 0.9", acc.Precision)
 	}
@@ -60,7 +64,10 @@ func TestRecallFindsBoundaryFNs(t *testing.T) {
 	// 200 TP (perfect precision), 50 FN near the boundary among 1000
 	// negatives → true recall = 200/250 = 0.8.
 	preds, oracle := world(200, 1.0, 1000, 50, 4)
-	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 5, MaxIterations: 20})
+	acc, err := MatcherAccuracy(context.Background(), newCrowd(), oracle, preds, Config{Seed: 5, MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(acc.Recall-0.8) > 0.12 {
 		t.Fatalf("recall estimate %.3f, truth 0.8", acc.Recall)
 	}
@@ -71,7 +78,10 @@ func TestRecallFindsBoundaryFNs(t *testing.T) {
 
 func TestPerfectMatcher(t *testing.T) {
 	preds, oracle := world(300, 1.0, 300, 0, 6)
-	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 7})
+	acc, err := MatcherAccuracy(context.Background(), newCrowd(), oracle, preds, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc.Precision < 0.99 || acc.Recall < 0.99 {
 		t.Fatalf("perfect matcher scored %v/%v", acc.Precision, acc.Recall)
 	}
@@ -82,14 +92,20 @@ func TestPerfectMatcher(t *testing.T) {
 
 func TestNoPositives(t *testing.T) {
 	preds, oracle := world(0, 0, 100, 0, 8)
-	acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: 9})
+	acc, err := MatcherAccuracy(context.Background(), newCrowd(), oracle, preds, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc.Precision != 1 || acc.Recall != 1 {
 		t.Fatalf("vacuous case: %v/%v", acc.Precision, acc.Recall)
 	}
 }
 
 func TestEmptyPredictions(t *testing.T) {
-	acc := MatcherAccuracy(newCrowd(), func(table.Pair) bool { return false }, nil, Config{})
+	acc, err := MatcherAccuracy(context.Background(), newCrowd(), func(table.Pair) bool { return false }, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc.Labeled != 0 {
 		t.Fatal("no predictions should ask no questions")
 	}
@@ -99,7 +115,9 @@ func TestLabelBudgetBounded(t *testing.T) {
 	preds, oracle := world(5000, 0.95, 5000, 100, 10)
 	cfg := Config{Seed: 11, BatchSize: 20, MaxIterations: 3}
 	cr := newCrowd()
-	MatcherAccuracy(cr, oracle, preds, cfg)
+	if _, err := MatcherAccuracy(context.Background(), cr, oracle, preds, cfg); err != nil {
+		t.Fatal(err)
+	}
 	// Precision pass + 3 strata, each ≤ 3 iterations × 20 questions.
 	if got := cr.Ledger().Questions; got > 4*3*20 {
 		t.Fatalf("labeled %d pairs, budget is %d", got, 4*3*20)
@@ -112,7 +130,9 @@ func TestEarlyStopOnTightMargin(t *testing.T) {
 	preds, oracle := world(100000, 1.0, 0, 0, 12)
 	cfg := Config{Seed: 13, BatchSize: 100, MaxIterations: 50}
 	cr := newCrowd()
-	MatcherAccuracy(cr, oracle, preds, cfg)
+	if _, err := MatcherAccuracy(context.Background(), cr, oracle, preds, cfg); err != nil {
+		t.Fatal(err)
+	}
 	if got := cr.Ledger().Questions; got > 500 {
 		t.Fatalf("early stop failed: %d questions", got)
 	}
@@ -188,7 +208,10 @@ func TestQuickAccuracyBounds(t *testing.T) {
 		tpFrac := float64(tpPct%101) / 100
 		fn := int(fnRaw % 40)
 		preds, oracle := world(150, tpFrac, 400, fn, seed)
-		acc := MatcherAccuracy(newCrowd(), oracle, preds, Config{Seed: seed + 1})
+		acc, err := MatcherAccuracy(context.Background(), newCrowd(), oracle, preds, Config{Seed: seed + 1})
+		if err != nil {
+			return false
+		}
 		if acc.Precision < 0 || acc.Precision > 1 || acc.Recall < 0 || acc.Recall > 1 {
 			return false
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -47,7 +48,7 @@ func (c Config) runFrontHalf(name DatasetName) (*frontHalf, error) {
 
 	set := feature.Generate(d.A, d.B)
 	vz := feature.NewVectorizer(set, d.A, d.B)
-	pairs, _, err := sample.Pairs(cluster, d.A, d.B, sample.Config{N: c.sampleSize(d.B.Len()), Y: 20, Seed: c.Seed})
+	pairs, _, err := sample.Pairs(context.Background(), cluster, d.A, d.B, sample.Config{N: c.sampleSize(d.B.Len()), Y: 20, Seed: c.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -81,12 +82,15 @@ func (c Config) runFrontHalf(name DatasetName) (*frontHalf, error) {
 			return sum / float64(n)
 		},
 	})
-	alRes, err := learner.Run(pool)
+	alRes, err := learner.Run(context.Background(), pool)
 	if err != nil {
 		return nil, err
 	}
 	cands := rules.Extract(alRes.Forest)
-	evalRes := rulesel.EvalRules(cands, pairs, sampleVecs, cr, d.Oracle(), nil, rulesel.EvalConfig{Seed: c.Seed + 20})
+	evalRes, err := rulesel.EvalRules(context.Background(), cands, pairs, sampleVecs, cr, d.Oracle(), nil, rulesel.EvalConfig{Seed: c.Seed + 20})
+	if err != nil {
+		return nil, err
+	}
 	choice := rulesel.SelectOptSeq(evalRes.Retained, len(vecs), rulesel.Weights{})
 	return &frontHalf{
 		d: d, cluster: cluster, set: set, vz: vz, feats: feats,
@@ -104,7 +108,7 @@ func (fh *frontHalf) blockInput(seq []rulesel.EvaluatedRule) (*block.Input, erro
 	}
 	an := filters.Analyze(rules.ToCNF(rs), fh.feats)
 	ix := filters.NewIndexes(fh.cluster, fh.d.A)
-	if _, err := ix.EnsureAll(an.NeededIndexes()); err != nil {
+	if _, err := ix.EnsureAll(context.Background(), an.NeededIndexes()); err != nil {
 		return nil, err
 	}
 	return &block.Input{
@@ -147,7 +151,7 @@ func (c Config) Blockers(name DatasetName) ([]BlockerRow, block.Strategy, error)
 	var rows []BlockerRow
 	for s := block.ApplyAll; s <= block.ReduceSplit; s++ {
 		row := BlockerRow{Strategy: s, MemoryNeed: block.MemoryNeed(in, s)}
-		res, err := block.Run(fh.cluster, in, s)
+		res, err := block.Run(context.Background(), fh.cluster, in, s)
 		if err != nil {
 			row.Err = err.Error()
 			fprintf(c.Out, "%-16s %12s\n", s, "KILLED ("+err.Error()+")")
@@ -404,7 +408,7 @@ func (c Config) RuleSeq(name DatasetName) ([]RuleSeqRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := block.Run(fh.cluster, in, block.ApplyAll)
+		res, err := block.Run(context.Background(), fh.cluster, in, block.ApplyAll)
 		if err != nil {
 			return nil, err
 		}

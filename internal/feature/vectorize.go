@@ -3,6 +3,7 @@ package feature
 import (
 	"strconv"
 	"strings"
+	"sync"
 
 	"falcon/internal/simfn"
 	"falcon/internal/table"
@@ -18,14 +19,21 @@ type Vector struct {
 // Vectorizer converts tuple pairs into feature vectors with per-table token
 // and numeric-parse caches, so repeated pairs touching the same tuple do not
 // re-tokenize.
+//
+// It is safe for concurrent use: columns are tokenized/parsed whole on first
+// access under a lock and published as immutable slices, so map tasks on the
+// worker pool can share one vectorizer.
 type Vectorizer struct {
 	Set  *Set
 	A, B *table.Table
 
-	tokA, tokB map[tokKey][][]string // (col,kind) → per-row token sets
-	numA, numB map[int][]float64     // col → per-row parsed numbers (NaN pattern via ok slice)
-	numOkA     map[int][]bool
-	numOkB     map[int][]bool
+	mu     sync.RWMutex
+	tokA   map[tokKey][][]string // (col,kind) → per-row token sets
+	tokB   map[tokKey][][]string
+	numA   map[int][]float64 // col → per-row parsed numbers
+	numB   map[int][]float64
+	numOkA map[int][]bool
+	numOkB map[int][]bool
 }
 
 type tokKey struct {
@@ -43,20 +51,28 @@ func NewVectorizer(set *Set, a, b *table.Table) *Vectorizer {
 	}
 }
 
-func (v *Vectorizer) tokens(isA bool, col int, kind tokenize.Kind, row int) []string {
-	cache := v.tokA
-	t := v.A
+// tokenCol returns the fully-built token column for (col, kind), building it
+// on first access. Once published the slice is never mutated again, so
+// callers may read it without holding the lock.
+func (v *Vectorizer) tokenCol(isA bool, col int, kind tokenize.Kind) [][]string {
+	cache, t := v.tokA, v.A
 	if !isA {
-		cache = v.tokB
-		t = v.B
+		cache, t = v.tokB, v.B
 	}
 	k := tokKey{col, kind}
+	v.mu.RLock()
 	rows, ok := cache[k]
-	if !ok {
-		rows = make([][]string, t.Len())
-		cache[k] = rows
+	v.mu.RUnlock()
+	if ok {
+		return rows
 	}
-	if rows[row] == nil {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if rows, ok := cache[k]; ok {
+		return rows
+	}
+	rows = make([][]string, t.Len())
+	for row := range rows {
 		val := t.Value(row, col)
 		if table.IsMissing(val) {
 			rows[row] = []string{}
@@ -64,29 +80,49 @@ func (v *Vectorizer) tokens(isA bool, col int, kind tokenize.Kind, row int) []st
 			rows[row] = tokenize.Set(kind, val)
 		}
 	}
-	return rows[row]
+	cache[k] = rows
+	return rows
 }
 
-func (v *Vectorizer) number(isA bool, col, row int) (float64, bool) {
+func (v *Vectorizer) tokens(isA bool, col int, kind tokenize.Kind, row int) []string {
+	return v.tokenCol(isA, col, kind)[row]
+}
+
+// numberCol returns the fully-parsed numeric column, building it on first
+// access; like tokenCol, published slices are immutable.
+func (v *Vectorizer) numberCol(isA bool, col int) ([]float64, []bool) {
 	nums, oks, t := v.numA, v.numOkA, v.A
 	if !isA {
 		nums, oks, t = v.numB, v.numOkB, v.B
 	}
+	v.mu.RLock()
 	col2, ok := nums[col], oks[col]
-	if col2 == nil {
-		col2 = make([]float64, t.Len())
-		ok = make([]bool, t.Len())
-		for r := 0; r < t.Len(); r++ {
-			s := strings.TrimSpace(t.Value(r, col))
-			if table.IsMissing(s) {
-				continue
-			}
-			if f, err := strconv.ParseFloat(s, 64); err == nil {
-				col2[r], ok[r] = f, true
-			}
-		}
-		nums[col], oks[col] = col2, ok
+	v.mu.RUnlock()
+	if col2 != nil {
+		return col2, ok
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if col2, ok := nums[col], oks[col]; col2 != nil {
+		return col2, ok
+	}
+	col2 = make([]float64, t.Len())
+	ok = make([]bool, t.Len())
+	for r := 0; r < t.Len(); r++ {
+		s := strings.TrimSpace(t.Value(r, col))
+		if table.IsMissing(s) {
+			continue
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			col2[r], ok[r] = f, true
+		}
+	}
+	nums[col], oks[col] = col2, ok
+	return col2, ok
+}
+
+func (v *Vectorizer) number(isA bool, col, row int) (float64, bool) {
+	col2, ok := v.numberCol(isA, col)
 	return col2[row], ok[row]
 }
 
@@ -148,6 +184,22 @@ func (v *Vectorizer) evalCached(f *Feature, p table.Pair) float64 {
 			bv = ""
 		}
 		return f.evalStrings(strings.ToLower(strings.TrimSpace(av)), strings.ToLower(strings.TrimSpace(bv)))
+	}
+}
+
+// Warm pre-builds every column cache the feature set can touch, so that
+// subsequent concurrent evaluation never takes the write lock.
+func (v *Vectorizer) Warm() {
+	for i := range v.Set.Features {
+		f := &v.Set.Features[i]
+		switch {
+		case f.Measure.NumericBased():
+			v.numberCol(true, f.ACol)
+			v.numberCol(false, f.BCol)
+		case f.Measure.SetBased():
+			v.tokenCol(true, f.ACol, f.Token)
+			v.tokenCol(false, f.BCol, f.Token)
+		}
 	}
 }
 

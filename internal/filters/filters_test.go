@@ -1,6 +1,7 @@
 package filters
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -219,7 +220,7 @@ func buildAnalysis(t *testing.T, a, b *table.Table) (*Analysis, *Indexes, *featu
 	}
 	an := Analyze(rules.ToCNF(seq), feats)
 	ix := NewIndexes(mapreduce.Default(), a)
-	if _, err := ix.EnsureAll(an.NeededIndexes()); err != nil {
+	if _, err := ix.EnsureAll(context.Background(), an.NeededIndexes()); err != nil {
 		t.Fatal(err)
 	}
 	return an, ix, set, seq
@@ -288,7 +289,7 @@ func TestEnsureSpecCaching(t *testing.T) {
 	a, b := booksTables(50, 10, 8)
 	an, ix, _, _ := buildAnalysis(t, a, b)
 	// Second EnsureAll must be free.
-	d, err := ix.EnsureAll(an.NeededIndexes())
+	d, err := ix.EnsureAll(context.Background(), an.NeededIndexes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,12 +310,12 @@ func TestEnsureSpecThresholdRebuild(t *testing.T) {
 	a, _ := booksTables(50, 10, 9)
 	ix := NewIndexes(mapreduce.Default(), a)
 	spec := IndexSpec{Kind: PrefixSet, ACol: 0, Token: tokenize.Word, Measure: simfn.MJaccard, Threshold: 0.8}
-	if _, err := ix.EnsureSpec(spec); err != nil {
+	if _, err := ix.EnsureSpec(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
 	// Lower threshold needs a longer prefix → rebuild.
 	spec.Threshold = 0.4
-	d, err := ix.EnsureSpec(spec)
+	d, err := ix.EnsureSpec(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestEnsureSpecThresholdRebuild(t *testing.T) {
 	}
 	// Higher threshold reuses.
 	spec.Threshold = 0.9
-	d, err = ix.EnsureSpec(spec)
+	d, err = ix.EnsureSpec(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

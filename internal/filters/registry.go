@@ -1,6 +1,7 @@
 package filters
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,12 +48,12 @@ func NewIndexes(cluster *mapreduce.Cluster, a *table.Table) *Indexes {
 // EnsureOrdering builds (or reuses) the global token ordering for a
 // (column, tokenization) pair, returning the cluster time spent (0 if
 // cached).
-func (ix *Indexes) EnsureOrdering(col int, kind tokenize.Kind) (time.Duration, error) {
+func (ix *Indexes) EnsureOrdering(ctx context.Context, col int, kind tokenize.Kind) (time.Duration, error) {
 	k := ordKey{col, kind}
 	if _, ok := ix.ord[k]; ok {
 		return 0, nil
 	}
-	ord, d, err := index.BuildOrderingMR(ix.cluster, ix.a, col, kind)
+	ord, d, err := index.BuildOrderingMR(ctx, ix.cluster, ix.a, col, kind)
 	if err != nil {
 		return 0, err
 	}
@@ -61,11 +62,11 @@ func (ix *Indexes) EnsureOrdering(col int, kind tokenize.Kind) (time.Duration, e
 }
 
 // EnsureHash builds (or reuses) the hash index for a column.
-func (ix *Indexes) EnsureHash(col int) (time.Duration, error) {
+func (ix *Indexes) EnsureHash(ctx context.Context, col int) (time.Duration, error) {
 	if _, ok := ix.hash[col]; ok {
 		return 0, nil
 	}
-	h, d, err := index.BuildHashMR(ix.cluster, ix.a, col)
+	h, d, err := index.BuildHashMR(ctx, ix.cluster, ix.a, col)
 	if err != nil {
 		return 0, err
 	}
@@ -74,11 +75,11 @@ func (ix *Indexes) EnsureHash(col int) (time.Duration, error) {
 }
 
 // EnsureTree builds (or reuses) the tree index for a column.
-func (ix *Indexes) EnsureTree(col int) (time.Duration, error) {
+func (ix *Indexes) EnsureTree(ctx context.Context, col int) (time.Duration, error) {
 	if _, ok := ix.tree[col]; ok {
 		return 0, nil
 	}
-	t, d, err := index.BuildTreeMR(ix.cluster, ix.a, col)
+	t, d, err := index.BuildTreeMR(ctx, ix.cluster, ix.a, col)
 	if err != nil {
 		return 0, err
 	}
@@ -89,12 +90,12 @@ func (ix *Indexes) EnsureTree(col int) (time.Duration, error) {
 // EnsureSpec builds (or reuses) the index for one spec, including any token
 // ordering a prefix index depends on. A cached prefix index is reused only
 // if its build threshold is low enough for the spec.
-func (ix *Indexes) EnsureSpec(spec IndexSpec) (time.Duration, error) {
+func (ix *Indexes) EnsureSpec(ctx context.Context, spec IndexSpec) (time.Duration, error) {
 	switch spec.Kind {
 	case Equivalence:
-		return ix.EnsureHash(spec.ACol)
+		return ix.EnsureHash(ctx, spec.ACol)
 	case Range:
-		return ix.EnsureTree(spec.ACol)
+		return ix.EnsureTree(ctx, spec.ACol)
 	case PrefixSet, ShareGram:
 		k := specKey{PrefixSet, spec.ACol, spec.Token, spec.Measure}
 		if spec.Kind == ShareGram {
@@ -103,11 +104,11 @@ func (ix *Indexes) EnsureSpec(spec IndexSpec) (time.Duration, error) {
 		if old, ok := ix.prefix[k]; ok && old.Threshold <= spec.Threshold {
 			return 0, nil
 		}
-		dOrd, err := ix.EnsureOrdering(spec.ACol, spec.Token)
+		dOrd, err := ix.EnsureOrdering(ctx, spec.ACol, spec.Token)
 		if err != nil {
 			return 0, err
 		}
-		idx, dIdx, err := index.BuildPrefixMR(ix.cluster, ix.a, spec.ACol, spec.Token, ix.ord[ordKey{spec.ACol, spec.Token}], spec.Measure, spec.Threshold)
+		idx, dIdx, err := index.BuildPrefixMR(ctx, ix.cluster, ix.a, spec.ACol, spec.Token, ix.ord[ordKey{spec.ACol, spec.Token}], spec.Measure, spec.Threshold)
 		if err != nil {
 			return 0, err
 		}
@@ -119,10 +120,10 @@ func (ix *Indexes) EnsureSpec(spec IndexSpec) (time.Duration, error) {
 }
 
 // EnsureAll builds every spec, returning total cluster time.
-func (ix *Indexes) EnsureAll(specs []IndexSpec) (time.Duration, error) {
+func (ix *Indexes) EnsureAll(ctx context.Context, specs []IndexSpec) (time.Duration, error) {
 	var total time.Duration
 	for _, s := range specs {
-		d, err := ix.EnsureSpec(s)
+		d, err := ix.EnsureSpec(ctx, s)
 		if err != nil {
 			return total, err
 		}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -256,7 +257,7 @@ func TestLengthIndex(t *testing.T) {
 func TestBuildOrderingMR(t *testing.T) {
 	tb := yearPriceTable()
 	c := mapreduce.Default()
-	ord, sim, err := BuildOrderingMR(c, tb, 2, tokenize.Word)
+	ord, sim, err := BuildOrderingMR(context.Background(), c, tb, 2, tokenize.Word)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestBuildPrefixMRMatchesPure(t *testing.T) {
 	a := titlesTable(100, 6)
 	c := mapreduce.Default()
 	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
-	mrIdx, sim, err := BuildPrefixMR(c, a, 0, tokenize.Word, ord, simfn.MJaccard, 0.6)
+	mrIdx, sim, err := BuildPrefixMR(context.Background(), c, a, 0, tokenize.Word, ord, simfn.MJaccard, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,14 +306,14 @@ func TestBuildPrefixMRMatchesPure(t *testing.T) {
 func TestBuildHashTreeMR(t *testing.T) {
 	tb := yearPriceTable()
 	c := mapreduce.Default()
-	h, sim1, err := BuildHashMR(c, tb, 0)
+	h, sim1, err := BuildHashMR(context.Background(), c, tb, 0)
 	if err != nil || sim1 <= 0 {
 		t.Fatalf("hash MR: %v %v", err, sim1)
 	}
 	if len(h.Probe("1999")) != 2 {
 		t.Fatal("hash MR content wrong")
 	}
-	ti, sim2, err := BuildTreeMR(c, tb, 1)
+	ti, sim2, err := BuildTreeMR(context.Background(), c, tb, 1)
 	if err != nil || sim2 <= 0 {
 		t.Fatalf("tree MR: %v %v", err, sim2)
 	}

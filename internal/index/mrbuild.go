@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -28,7 +29,7 @@ type tokenCount struct {
 }
 
 // BuildOrderingMR runs jobs 1–2 and returns the global token ordering.
-func BuildOrderingMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.Kind) (*Ordering, time.Duration, error) {
+func BuildOrderingMR(ctx context.Context, c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.Kind) (*Ordering, time.Duration, error) {
 	rows := rowSplits(t, c.Slots())
 	freqJob := mapreduce.Job[int, string, int, tokenCount]{
 		Name:   fmt.Sprintf("token-freq(%s,%s)", t.Schema.Attrs[col].Name, kind),
@@ -48,7 +49,7 @@ func BuildOrderingMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokeniz
 			ctx.Output(tokenCount{Tok: tok, Count: len(ones)})
 		},
 	}
-	fr, err := mapreduce.Run(c, freqJob)
+	fr, err := mapreduce.RunContext(ctx, c, freqJob)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -74,7 +75,7 @@ func BuildOrderingMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokeniz
 			ctx.Output(k.Tok)
 		},
 	}
-	sr, err := mapreduce.Run(c, sortJob)
+	sr, err := mapreduce.RunContext(ctx, c, sortJob)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -91,7 +92,7 @@ type postingRec struct {
 }
 
 // BuildPrefixMR runs job 3 and returns the prefix index.
-func BuildPrefixMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m simfn.Measure, threshold float64) (*PrefixIndex, time.Duration, error) {
+func BuildPrefixMR(ctx context.Context, c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m simfn.Measure, threshold float64) (*PrefixIndex, time.Duration, error) {
 	setLen := make([]int32, t.Len())
 	job := mapreduce.Job[int, string, Posting, postingRec]{
 		Name:   fmt.Sprintf("prefix-index(%s,%s,%.2f)", t.Schema.Attrs[col].Name, kind, threshold),
@@ -118,7 +119,7 @@ func BuildPrefixMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.
 			}
 		},
 	}
-	res, err := mapreduce.Run(c, job)
+	res, err := mapreduce.RunContext(ctx, c, job)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -141,8 +142,8 @@ func BuildPrefixMR(c *mapreduce.Cluster, t *table.Table, col int, kind tokenize.
 }
 
 // BuildHashMR builds a hash index, charging one scan of the table.
-func BuildHashMR(c *mapreduce.Cluster, t *table.Table, col int) (*HashIndex, time.Duration, error) {
-	res, err := mapreduce.RunMapOnly(c, mapreduce.MapOnlyJob[int, struct{}]{
+func BuildHashMR(ctx context.Context, c *mapreduce.Cluster, t *table.Table, col int) (*HashIndex, time.Duration, error) {
+	res, err := mapreduce.RunMapOnlyContext(ctx, c, mapreduce.MapOnlyJob[int, struct{}]{
 		Name:   fmt.Sprintf("hash-index(%s)", t.Schema.Attrs[col].Name),
 		Splits: rowSplits(t, c.Slots()),
 		Map:    func(row int, ctx *mapreduce.MapOnlyCtx[struct{}]) {},
@@ -154,8 +155,8 @@ func BuildHashMR(c *mapreduce.Cluster, t *table.Table, col int) (*HashIndex, tim
 }
 
 // BuildTreeMR builds a tree (range) index, charging one scan plus sort.
-func BuildTreeMR(c *mapreduce.Cluster, t *table.Table, col int) (*TreeIndex, time.Duration, error) {
-	res, err := mapreduce.RunMapOnly(c, mapreduce.MapOnlyJob[int, struct{}]{
+func BuildTreeMR(ctx context.Context, c *mapreduce.Cluster, t *table.Table, col int) (*TreeIndex, time.Duration, error) {
+	res, err := mapreduce.RunMapOnlyContext(ctx, c, mapreduce.MapOnlyJob[int, struct{}]{
 		Name:   fmt.Sprintf("tree-index(%s)", t.Schema.Attrs[col].Name),
 		Splits: rowSplits(t, c.Slots()),
 		Map:    func(row int, ctx *mapreduce.MapOnlyCtx[struct{}]) { ctx.AddCost(1) },

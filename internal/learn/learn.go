@@ -12,6 +12,7 @@
 package learn
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -106,7 +107,7 @@ func New(cluster *mapreduce.Cluster, cr *crowd.Crowd, oracle Oracle, cfg Config)
 
 // scorePool applies the forest to every pool item on the cluster, returning
 // per-item match votes and the job's simulated time.
-func (l *Learner) scorePool(f *forest.Forest, pool []Item, labeled map[int]bool) ([]int, time.Duration, error) {
+func (l *Learner) scorePool(ctx context.Context, f *forest.Forest, pool []Item, labeled map[int]bool) ([]int, time.Duration, error) {
 	votes := make([]int, len(pool))
 	idx := make([]int, 0, len(pool))
 	for i := range pool {
@@ -122,7 +123,7 @@ func (l *Learner) scorePool(f *forest.Forest, pool []Item, labeled map[int]bool)
 			ctx.AddCost(int64(len(f.Trees)))
 		},
 	}
-	res, err := mapreduce.RunMapOnly(l.cluster, job)
+	res, err := mapreduce.RunMapOnlyContext(ctx, l.cluster, job)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -167,12 +168,12 @@ func selectControversial(votes []int, nTrees int, labeled map[int]bool, take int
 }
 
 // labelBatch asks the crowd for labels of the pool items at idx.
-func (l *Learner) labelBatch(pool []Item, idx []int) ([]bool, time.Duration) {
+func (l *Learner) labelBatch(ctx context.Context, pool []Item, idx []int) ([]bool, time.Duration, error) {
 	qs := make([]crowd.Question, len(idx))
 	for i, pi := range idx {
 		qs[i] = crowd.Question{Pair: pool[pi].Pair, Truth: l.oracle(pool[pi].Pair)}
 	}
-	return l.crowd.LabelMajority(qs)
+	return l.crowd.LabelMajorityContext(ctx, qs)
 }
 
 // seedSelection picks the initial batch before any matcher exists: half the
@@ -218,9 +219,10 @@ func meanScore(vec []float64) float64 {
 	return sum / float64(len(vec)+1)
 }
 
-// Run performs active learning over the pool. The pool's vectors must all
-// share one feature space.
-func (l *Learner) Run(pool []Item) (*Result, error) {
+// Run performs active learning over the pool, honoring ctx cancellation at
+// every crowd wait and cluster job. The pool's vectors must all share one
+// feature space.
+func (l *Learner) Run(ctx context.Context, pool []Item) (*Result, error) {
 	res := &Result{}
 	if len(pool) == 0 {
 		return res, nil
@@ -248,13 +250,16 @@ func (l *Learner) Run(pool []Item) (*Result, error) {
 	if l.cfg.Masked && len(seedIdx) > batch {
 		firstIdx, carryIdx = seedIdx[:batch], seedIdx[batch:]
 	}
-	lab, lat := l.labelBatch(pool, firstIdx)
+	lab, lat, err := l.labelBatch(ctx, pool, firstIdx)
+	if err != nil {
+		return nil, err
+	}
 	addLabels(firstIdx, lab)
 	res.Trace = append(res.Trace, IterTrace{CrowdLatency: lat, Questions: len(firstIdx)})
 	res.Iterations = 1
 
 	// Ensure both classes exist before training; top up with extremes.
-	ensureBothClasses := func() {
+	ensureBothClasses := func() error {
 		hasPos, hasNeg := false, false
 		for _, e := range res.Labeled {
 			if e.Label {
@@ -275,9 +280,12 @@ func (l *Learner) Run(pool []Item) (*Result, error) {
 				}
 			}
 			if len(fresh) == 0 {
-				return
+				return nil
 			}
-			lab, lat := l.labelBatch(pool, fresh)
+			lab, lat, err := l.labelBatch(ctx, pool, fresh)
+			if err != nil {
+				return err
+			}
 			addLabels(fresh, lab)
 			res.Trace = append(res.Trace, IterTrace{CrowdLatency: lat, Questions: len(fresh)})
 			res.Iterations++
@@ -289,8 +297,11 @@ func (l *Learner) Run(pool []Item) (*Result, error) {
 				}
 			}
 		}
+		return nil
 	}
-	ensureBothClasses()
+	if err := ensureBothClasses(); err != nil {
+		return nil, err
+	}
 
 	var prevPred []bool
 	stableRounds := 0
@@ -302,7 +313,7 @@ func (l *Learner) Run(pool []Item) (*Result, error) {
 		res.Forest = f
 		trainDur := time.Duration(len(res.Labeled)) * l.cfg.TrainCostPerExample
 
-		votes, selDur, err := l.scorePool(f, pool, labeled)
+		votes, selDur, err := l.scorePool(ctx, f, pool, labeled)
 		if err != nil {
 			return nil, err
 		}
@@ -361,7 +372,10 @@ func (l *Learner) Run(pool []Item) (*Result, error) {
 			res.Converged = true
 			break
 		}
-		lab, lat := l.labelBatch(pool, idx)
+		lab, lat, err := l.labelBatch(ctx, pool, idx)
+		if err != nil {
+			return nil, err
+		}
 		addLabels(idx, lab)
 		res.Trace = append(res.Trace, IterTrace{
 			Selection:       selDur,

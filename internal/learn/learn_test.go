@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -44,7 +45,7 @@ func newLearner(errRate float64, cfg Config) (*Learner, *crowd.Crowd, []Item, Or
 
 func TestActiveLearningLearns(t *testing.T) {
 	l, cr, pool, oracle := newLearner(0, Config{Forest: forest.Config{Seed: 3}})
-	res, err := l.Run(pool)
+	res, err := l.Run(context.Background(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestActiveLearningLearns(t *testing.T) {
 
 func TestIterationCapRespected(t *testing.T) {
 	l, _, pool, _ := newLearner(0.3, Config{MaxIterations: 5, Forest: forest.Config{Seed: 3}})
-	res, err := l.Run(pool)
+	res, err := l.Run(context.Background(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestIterationCapRespected(t *testing.T) {
 func TestLabeledBudget(t *testing.T) {
 	// Total questions ≤ iterations × batch (plus masked seed extra).
 	l, cr, pool, _ := newLearner(0, Config{MaxIterations: 10, Forest: forest.Config{Seed: 5}})
-	res, err := l.Run(pool)
+	res, err := l.Run(context.Background(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestLabeledBudget(t *testing.T) {
 
 func TestMaskedVariantLearnsAndMasks(t *testing.T) {
 	l, _, pool, oracle := newLearner(0, Config{Masked: true, Forest: forest.Config{Seed: 3}})
-	res, err := l.Run(pool)
+	res, err := l.Run(context.Background(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestMaskedVariantLearnsAndMasks(t *testing.T) {
 
 func TestNoisyCrowdStillLearns(t *testing.T) {
 	l, _, pool, oracle := newLearner(0.1, Config{Forest: forest.Config{Seed: 3}})
-	res, err := l.Run(pool)
+	res, err := l.Run(context.Background(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestNoisyCrowdStillLearns(t *testing.T) {
 
 func TestEmptyPool(t *testing.T) {
 	l, _, _, _ := newLearner(0, Config{})
-	res, err := l.Run(nil)
+	res, err := l.Run(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestTinyPool(t *testing.T) {
 	pool, oracle := syntheticPool(15, 2)
 	cr := crowd.New(crowd.NewRandomWorkers(0, 0, 7), crowd.Config{})
 	l := New(mapreduce.Default(), cr, oracle, Config{Forest: forest.Config{Seed: 1}})
-	res, err := l.Run(pool)
+	res, err := l.Run(context.Background(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestDeterministicRuns(t *testing.T) {
 		pool, oracle := syntheticPool(300, 3)
 		cr := crowd.New(crowd.NewRandomWorkers(0.05, 0, 11), crowd.Config{})
 		l := New(mapreduce.Default(), cr, oracle, Config{Forest: forest.Config{Seed: 9}})
-		res, err := l.Run(pool)
+		res, err := l.Run(context.Background(), pool)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func TestDeterministicRuns(t *testing.T) {
 
 func TestTraceAccounting(t *testing.T) {
 	l, _, pool, _ := newLearner(0, Config{MaxIterations: 8, Forest: forest.Config{Seed: 3}})
-	res, err := l.Run(pool)
+	res, err := l.Run(context.Background(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,350 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Executor runs jobs on a goroutine worker pool. It is stateless apart from
+// its configuration and safe for concurrent use.
+//
+// Go methods cannot introduce type parameters, so the generic entry points
+// are the free functions Execute and ExecuteMapOnly taking an *Executor;
+// Run/RunContext and RunMapOnly/RunMapOnlyContext are thin wrappers that
+// build one from the cluster.
+type Executor struct {
+	// Cluster supplies the simulated cost model (nil means Default()).
+	Cluster *Cluster
+	// Workers caps real task concurrency; <=0 means Cluster.Workers,
+	// falling back to runtime.NumCPU().
+	Workers int
+}
+
+// NewExecutor returns an executor for the cluster, taking its worker count
+// from Cluster.Workers when set.
+func NewExecutor(c *Cluster) *Executor {
+	if c == nil {
+		c = Default()
+	}
+	return &Executor{Cluster: c, Workers: c.Workers}
+}
+
+func (e *Executor) cluster() Cluster {
+	c := e.Cluster
+	if c == nil {
+		c = Default()
+	}
+	return c.withDefaults()
+}
+
+func (e *Executor) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	if e.Cluster != nil && e.Cluster.Workers > 0 {
+		return e.Cluster.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// runTasks executes fn(ctx, i) for i in [0, n) on at most `workers`
+// concurrent goroutines. Each invocation must write only to state owned by
+// task i. On error or cancellation the remaining tasks are skipped and the
+// first error in task order (or the parent context's error) is returned.
+func runTasks(ctx context.Context, workers, n int, fn func(ctx context.Context, task int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := tctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(tctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		// A task failure after the parent context died is just the
+		// cancellation propagating; report the parent's error then.
+		if perr := ctx.Err(); perr != nil {
+			return perr
+		}
+		return err
+	}
+	return nil
+}
+
+// mapTask is one map task's isolated result: per-partition groups, shuffle
+// volume, and accounting. Results are merged strictly in task (split)
+// order, so per-key value order matches sequential execution exactly.
+type mapTask[K comparable, V any] struct {
+	groups   []map[K][]V
+	cost     int64
+	shuffled int64
+	counters map[string]int64
+}
+
+// reduceTask is one reduce task's isolated result.
+type reduceTask[O any] struct {
+	out      []O
+	cost     int64
+	counters map[string]int64
+	ran      bool
+}
+
+// mergeCounters folds src into dst.
+func mergeCounters(dst, src map[string]int64) {
+	//falcon:allow determinism integer addition commutes; merge order cannot affect the sums
+	for name, delta := range src {
+		dst[name] += delta
+	}
+}
+
+// Execute runs a full map/shuffle/reduce job on the executor's worker pool,
+// honoring ctx cancellation between records and at task boundaries. Output,
+// Stats, and Counters are byte-identical for any worker count.
+func Execute[I any, K comparable, V any, O any](ctx context.Context, ex *Executor, job Job[I, K, V, O]) (*Result[O], error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs both Map and Reduce", job.Name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cc := ex.cluster()
+	workers := ex.workers()
+
+	reducers := job.Reducers
+	if reducers <= 0 {
+		reducers = cc.Nodes * cc.SlotsPerNode
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = defaultPartition[K]
+	}
+
+	// Map phase: one task per split, each shuffling into private groups.
+	tasks := make([]mapTask[K, V], len(job.Splits))
+	err := runTasks(ctx, workers, len(job.Splits), func(tctx context.Context, ti int) error {
+		t := &tasks[ti]
+		t.groups = make([]map[K][]V, reducers)
+		t.counters = map[string]int64{}
+		// Partition is a pure function of the key; memoize it (and with the
+		// default partitioner, the key's string form) once per distinct key.
+		parts := make(map[K]int)
+		mc := &MapCtx[K, V]{taskCtx: taskCtx{counters: t.counters, canceled: tctx.Err}}
+		mc.emit = func(k K, v V) {
+			p, ok := parts[k]
+			if !ok {
+				p = partition(k, reducers)
+				parts[k] = p
+			}
+			g := t.groups[p]
+			if g == nil {
+				g = map[K][]V{}
+				t.groups[p] = g
+			}
+			g[k] = append(g[k], v)
+			t.shuffled++
+		}
+		for _, rec := range job.Splits[ti] {
+			mc.cost++
+			job.Map(rec, mc)
+			if err := mc.poll(); err != nil {
+				return err
+			}
+		}
+		t.cost = mc.cost
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Shuffle merge, strictly in task order: appending each task's values
+	// per key in split order reproduces the sequential emit order.
+	stats := Stats{Name: job.Name, MapTasks: len(job.Splits), ReduceTasks: reducers, Counters: map[string]int64{}}
+	groups := make([]map[K][]V, reducers)
+	for i := range groups {
+		groups[i] = map[K][]V{}
+	}
+	mapCosts := make([]int64, 0, len(tasks))
+	for ti := range tasks {
+		t := &tasks[ti]
+		mapCosts = append(mapCosts, t.cost)
+		stats.MapCost += t.cost
+		stats.Shuffled += t.shuffled
+		mergeCounters(stats.Counters, t.counters)
+		for p, g := range t.groups {
+			if g == nil {
+				continue
+			}
+			dst := groups[p]
+			//falcon:allow determinism per-key append: values land under their own key, so cross-key visit order is never observable
+			for k, vs := range g {
+				dst[k] = append(dst[k], vs...)
+			}
+		}
+	}
+
+	// Reduce phase: one task per non-empty partition, keys in deterministic
+	// order within each.
+	reds := make([]reduceTask[O], reducers)
+	err = runTasks(ctx, workers, reducers, func(tctx context.Context, p int) error {
+		g := groups[p]
+		if len(g) == 0 {
+			return nil
+		}
+		t := &reds[p]
+		t.ran = true
+		t.counters = map[string]int64{}
+		keys := sortedKeys(g, job.Less)
+		rc := &ReduceCtx[O]{outCtx: outCtx[O]{taskCtx: taskCtx{counters: t.counters, canceled: tctx.Err}, out: &t.out}}
+		for _, k := range keys {
+			rc.cost += int64(len(g[k]))
+			job.Reduce(k, g[k], rc)
+			if err := rc.poll(); err != nil {
+				return err
+			}
+		}
+		t.cost = rc.cost
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Output merge, strictly in partition order.
+	res := &Result[O]{}
+	reduceCosts := make([]int64, 0, reducers)
+	for p := range reds {
+		t := &reds[p]
+		if !t.ran {
+			continue
+		}
+		res.Output = append(res.Output, t.out...)
+		reduceCosts = append(reduceCosts, t.cost)
+		stats.ReduceCost += t.cost
+		mergeCounters(stats.Counters, t.counters)
+	}
+	slots := cc.Nodes * cc.SlotsPerNode
+	mapSpan := makespan(mapCosts, slots)
+	reduceSpan := makespan(reduceCosts, slots)
+	stats.SimTime = cc.JobOverhead +
+		time.Duration(mapSpan)*cc.CostUnit +
+		time.Duration(reduceSpan)*cc.CostUnit +
+		time.Duration(stats.Shuffled/int64(slots))*cc.ShuffleUnit
+	res.Stats = stats
+	return res, nil
+}
+
+// ExecuteMapOnly runs a map-only job on the executor's worker pool,
+// honoring ctx cancellation between records and at task boundaries.
+func ExecuteMapOnly[I any, O any](ctx context.Context, ex *Executor, job MapOnlyJob[I, O]) (*Result[O], error) {
+	if job.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs Map", job.Name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cc := ex.cluster()
+
+	tasks := make([]reduceTask[O], len(job.Splits))
+	err := runTasks(ctx, ex.workers(), len(job.Splits), func(tctx context.Context, ti int) error {
+		t := &tasks[ti]
+		t.ran = true
+		t.counters = map[string]int64{}
+		mc := &MapOnlyCtx[O]{outCtx: outCtx[O]{taskCtx: taskCtx{counters: t.counters, canceled: tctx.Err}, out: &t.out}}
+		for _, rec := range job.Splits[ti] {
+			mc.cost++
+			job.Map(rec, mc)
+			if err := mc.poll(); err != nil {
+				return err
+			}
+		}
+		t.cost = mc.cost
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result[O]{}
+	stats := Stats{Name: job.Name, MapTasks: len(job.Splits), Counters: map[string]int64{}}
+	costs := make([]int64, 0, len(tasks))
+	for ti := range tasks {
+		t := &tasks[ti]
+		res.Output = append(res.Output, t.out...)
+		costs = append(costs, t.cost)
+		stats.MapCost += t.cost
+		mergeCounters(stats.Counters, t.counters)
+	}
+	slots := cc.Nodes * cc.SlotsPerNode
+	stats.SimTime = cc.JobOverhead + time.Duration(makespan(costs, slots))*cc.CostUnit
+	res.Stats = stats
+	return res, nil
+}
+
+// Run executes the job with background context; see RunContext.
+func Run[I any, K comparable, V any, O any](cluster *Cluster, job Job[I, K, V, O]) (*Result[O], error) {
+	return Execute(context.Background(), NewExecutor(cluster), job)
+}
+
+// RunContext executes the job on the cluster's executor (Cluster.Workers
+// goroutines, default NumCPU), stopping early with ctx.Err() when ctx is
+// cancelled.
+func RunContext[I any, K comparable, V any, O any](ctx context.Context, cluster *Cluster, job Job[I, K, V, O]) (*Result[O], error) {
+	return Execute(ctx, NewExecutor(cluster), job)
+}
+
+// RunMapOnly executes the map-only job with background context; see
+// RunMapOnlyContext.
+func RunMapOnly[I any, O any](cluster *Cluster, job MapOnlyJob[I, O]) (*Result[O], error) {
+	return ExecuteMapOnly(context.Background(), NewExecutor(cluster), job)
+}
+
+// RunMapOnlyContext executes the map-only job on the cluster's executor,
+// stopping early with ctx.Err() when ctx is cancelled.
+func RunMapOnlyContext[I any, O any](ctx context.Context, cluster *Cluster, job MapOnlyJob[I, O]) (*Result[O], error) {
+	return ExecuteMapOnly(ctx, NewExecutor(cluster), job)
+}

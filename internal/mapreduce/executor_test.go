@@ -1,0 +1,212 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// counterJob is a full map/reduce job that exercises output order, counters,
+// cost, and shuffle volume at once.
+func counterJob(lines []string, splits int) Job[string, string, int, [2]string] {
+	return Job[string, string, int, [2]string]{
+		Name:   "wordcount-counted",
+		Splits: SplitSlice(lines, splits),
+		Map: func(line string, ctx *MapCtx[string, int]) {
+			for _, w := range strings.Fields(line) {
+				ctx.Emit(w, 1)
+				ctx.Inc("words", 1)
+			}
+			ctx.AddCost(int64(len(line)))
+		},
+		Reduce: func(key string, values []int, ctx *ReduceCtx[[2]string]) {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			ctx.Inc("keys", 1)
+			ctx.Output([2]string{key, fmt.Sprint(sum)})
+		},
+	}
+}
+
+func manyLines(n int) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("w%d shared w%d tail%d", i%17, i%5, i)
+	}
+	return lines
+}
+
+// TestExecutorWorkerCountInvariance is the executor's core contract: output,
+// counters, and every Stats field are byte-identical for any worker count.
+func TestExecutorWorkerCountInvariance(t *testing.T) {
+	lines := manyLines(500)
+	run := func(workers int) *Result[[2]string] {
+		c := Default()
+		c.Workers = workers
+		res, err := Run(c, counterJob(lines, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, w := range []int{2, 4, 8, 16} {
+		par := run(w)
+		if !reflect.DeepEqual(seq.Output, par.Output) {
+			t.Fatalf("workers=%d changed output order or content", w)
+		}
+		if !reflect.DeepEqual(seq.Stats, par.Stats) {
+			t.Fatalf("workers=%d changed stats: seq=%+v par=%+v", w, seq.Stats, par.Stats)
+		}
+	}
+}
+
+func TestExecutorMapOnlyInvariance(t *testing.T) {
+	lines := manyLines(300)
+	run := func(workers int) *Result[string] {
+		c := Default()
+		c.Workers = workers
+		res, err := RunMapOnly(c, MapOnlyJob[string, string]{
+			Name:   "upper",
+			Splits: SplitSlice(lines, 9),
+			Map: func(line string, ctx *MapOnlyCtx[string]) {
+				ctx.AddCost(1)
+				ctx.Inc("lines", 1)
+				ctx.Output(strings.ToUpper(line))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, w := range []int{3, runtime.NumCPU() + 2} {
+		par := run(w)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d diverged from sequential", w)
+		}
+	}
+}
+
+func TestExecutorCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Default(), counterJob(manyLines(10), 2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	_, err = RunMapOnlyContext(ctx, Default(), MapOnlyJob[string, string]{
+		Name: "noop", Splits: [][]string{{"x"}},
+		Map: func(string, *MapOnlyCtx[string]) {},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("map-only err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExecutorCancelMidJob cancels from inside a map function and checks the
+// job stops within one poll stride instead of mapping every record.
+func TestExecutorCancelMidJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		c := Default()
+		c.Workers = workers
+		mapped := 0
+		lines := manyLines(10_000)
+		_, err := RunContext(ctx, c, Job[string, string, int, int]{
+			Name:   "cancel-me",
+			Splits: SplitSlice(lines, 1), // one split → one task, strictly sequential records
+			Map: func(line string, mc *MapCtx[string, int]) {
+				mapped++
+				if mapped == 10 {
+					cancel()
+				}
+			},
+			Reduce: func(string, []int, *ReduceCtx[int]) {},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d err = %v, want context.Canceled", workers, err)
+		}
+		// The poll stride is 64 records; far fewer than all 10k must run.
+		if mapped > 10+cancelStride {
+			t.Fatalf("workers=%d mapped %d records after cancellation", workers, mapped)
+		}
+	}
+}
+
+func TestExecutorWorkersDoNotChangeSimTime(t *testing.T) {
+	// Workers is a real-execution knob; the simulated cluster time must only
+	// depend on the cost model.
+	lines := manyLines(200)
+	c1, c8 := Default(), Default()
+	c1.Workers, c8.Workers = 1, 8
+	r1, err := Run(c1, counterJob(lines, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(c8, counterJob(lines, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.SimTime != r8.Stats.SimTime {
+		t.Fatalf("SimTime changed with workers: %v vs %v", r1.Stats.SimTime, r8.Stats.SimTime)
+	}
+}
+
+func TestNewExecutorDefaults(t *testing.T) {
+	ex := NewExecutor(nil)
+	if ex.workers() != runtime.NumCPU() {
+		t.Fatalf("default workers = %d, want NumCPU %d", ex.workers(), runtime.NumCPU())
+	}
+	c := Default()
+	c.Workers = 3
+	if got := NewExecutor(c).workers(); got != 3 {
+		t.Fatalf("Cluster.Workers not honored: %d", got)
+	}
+	ex.Workers = 5
+	if ex.workers() != 5 {
+		t.Fatal("Executor.Workers override not honored")
+	}
+}
+
+// BenchmarkExecutorWorkers measures the worker-pool speedup on a CPU-heavy
+// map function. `make bench` records it in BENCH_executor.json.
+func BenchmarkExecutorWorkers(b *testing.B) {
+	lines := manyLines(2000)
+	burn := func(s string) int {
+		h := 0
+		for i := 0; i < 2000; i++ {
+			for _, r := range s {
+				h = h*31 + int(r)
+			}
+		}
+		return h
+	}
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := Default()
+			c.Workers = workers
+			job := MapOnlyJob[string, int]{
+				Name:   "burn",
+				Splits: SplitSlice(lines, 4*workers),
+				Map: func(line string, ctx *MapOnlyCtx[int]) {
+					ctx.Output(burn(line))
+				},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunMapOnly(c, job); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,18 @@
 // evaluation depends on: sub-linear speedup with cluster size (§11.4), skew
 // sensitivity (the §7.3 load-balancing optimization), and the memory-budget
 // ladder that picks among apply_all/greedy/conjunct/predicate (§10.1).
+//
+// # Execution model
+//
+// Simulated time and real execution are decoupled. The cost model above
+// fixes what the cluster clock reads; an Executor decides how the tasks
+// actually run on the host: map splits and reduce partitions execute
+// concurrently on a goroutine worker pool of Executor.Workers (default
+// runtime.NumCPU()). Every task produces an isolated result — per-task
+// shuffle groups, an ordered output slice, private cost and counter
+// accumulators — and results are merged in task order, never in completion
+// order, so output, counters, and cost stats are byte-identical whatever
+// the worker count. Execution honors context cancellation between records.
 package mapreduce
 
 import (
@@ -40,6 +52,11 @@ type Cluster struct {
 	ShuffleUnit time.Duration
 	// JobOverhead is the fixed startup/teardown time per job. Default 5s.
 	JobOverhead time.Duration
+	// Workers is the number of real OS worker goroutines jobs execute on
+	// (default runtime.NumCPU()). It is an execution knob only: it never
+	// influences the simulated cost model, and any worker count produces
+	// byte-identical output, stats, and counters.
+	Workers int
 }
 
 // Default returns the paper's 10-node, 8-slot, 2GB-mapper cluster.
@@ -90,41 +107,72 @@ type Stats struct {
 	Counters map[string]int64
 }
 
-// MapCtx is passed to map functions.
-type MapCtx[K comparable, V any] struct {
+// taskCtx is the per-task accounting every map/reduce context shares: cost
+// units, user counters, and the cancellation poll. Each task owns a private
+// instance, so the worker pool can snapshot and merge accounting without
+// synchronizing with other tasks.
+type taskCtx struct {
 	cost     int64
 	counters map[string]int64
-	emit     func(K, V)
+	canceled func() error
+	tick     int
+}
+
+// AddCost charges extra cost units to the current task (e.g. per index
+// probe or per string comparison beyond the default one-per-record).
+func (c *taskCtx) AddCost(units int64) { c.cost += units }
+
+// Inc increments a named counter.
+func (c *taskCtx) Inc(name string, delta int64) { c.counters[name] += delta }
+
+// cancelStride bounds how many records run between cancellation polls.
+const cancelStride = 64
+
+// poll reports the task context's cancellation error, checking once every
+// cancelStride records to keep the per-record overhead negligible.
+func (c *taskCtx) poll() error {
+	c.tick++
+	if c.tick%cancelStride != 0 || c.canceled == nil {
+		return nil
+	}
+	return c.canceled()
+}
+
+// outCtx extends taskCtx with an ordered output sink.
+type outCtx[O any] struct {
+	taskCtx
+	out *[]O
+}
+
+// Output appends a record to the job output.
+func (c *outCtx[O]) Output(o O) { *c.out = append(*c.out, o) }
+
+// MapCtx is passed to map functions.
+type MapCtx[K comparable, V any] struct {
+	taskCtx
+	emit func(K, V)
 }
 
 // Emit sends a key/value pair to the shuffle.
 func (c *MapCtx[K, V]) Emit(k K, v V) { c.emit(k, v) }
 
-// AddCost charges extra cost units to the current task (e.g. per index
-// probe or per string comparison beyond the default one-per-record).
-func (c *MapCtx[K, V]) AddCost(units int64) { c.cost += units }
-
-// Inc increments a named counter.
-func (c *MapCtx[K, V]) Inc(name string, delta int64) { c.counters[name] += delta }
-
 // ReduceCtx is passed to reduce functions.
 type ReduceCtx[O any] struct {
-	cost     int64
-	counters map[string]int64
-	out      *[]O
+	outCtx[O]
 }
 
-// Output appends a record to the job output.
-func (c *ReduceCtx[O]) Output(o O) { *c.out = append(*c.out, o) }
-
-// AddCost charges extra cost units to the current reduce task.
-func (c *ReduceCtx[O]) AddCost(units int64) { c.cost += units }
-
-// Inc increments a named counter.
-func (c *ReduceCtx[O]) Inc(name string, delta int64) { c.counters[name] += delta }
+// MapOnlyCtx is passed to map-only map functions.
+type MapOnlyCtx[O any] struct {
+	outCtx[O]
+}
 
 // Job is a full map/shuffle/reduce job. I is the input record type, K/V the
 // intermediate key/value types, O the output record type.
+//
+// Map and Reduce may run concurrently across tasks (one map task per split,
+// one reduce task per partition): they must not mutate state shared between
+// tasks without synchronization — use ctx.Inc counters for cross-task
+// tallies, or write to disjoint elements of a preallocated slice.
 type Job[I any, K comparable, V any, O any] struct {
 	Name string
 	// Splits are the input partitions; each becomes one map task.
@@ -139,7 +187,8 @@ type Job[I any, K comparable, V any, O any] struct {
 	// groups are processed in an engine-chosen but deterministic order.
 	Less func(a, b K) bool
 	// Partition optionally routes keys to reduce tasks; default hashes via
-	// fmt.Sprint. Must return a value in [0, Reducers).
+	// the key's string form. Must return a value in [0, Reducers) and be a
+	// pure function of the key: the engine memoizes it per key.
 	Partition func(key K, reducers int) int
 }
 
@@ -190,132 +239,71 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
-// Run executes the job and returns its output plus modeled cluster time.
-func Run[I any, K comparable, V any, O any](c *Cluster, job Job[I, K, V, O]) (*Result[O], error) {
-	if job.Map == nil || job.Reduce == nil {
-		return nil, fmt.Errorf("mapreduce: job %q needs both Map and Reduce", job.Name)
+// keyString renders a key for the default sort and partitioner, skipping
+// fmt.Sprint when K is already a string.
+func keyString[K comparable](k K) string {
+	if s, ok := any(k).(string); ok {
+		return s
 	}
-	cc := c.withDefaults()
-	reducers := job.Reducers
-	if reducers <= 0 {
-		reducers = cc.Nodes * cc.SlotsPerNode
-	}
-	partition := job.Partition
-	if partition == nil {
-		partition = func(k K, r int) int { return int(fnv1a(fmt.Sprint(k)) % uint64(r)) }
-	}
+	return fmt.Sprint(k)
+}
 
-	counters := map[string]int64{}
-	stats := Stats{Name: job.Name, MapTasks: len(job.Splits), ReduceTasks: reducers, Counters: counters}
+// defaultPartition routes keys by hashing their string form. The engine
+// memoizes partition results per key, so the string form is computed once
+// per distinct key per task rather than once per emit.
+func defaultPartition[K comparable](k K, reducers int) int {
+	return int(fnv1a(keyString(k)) % uint64(reducers))
+}
 
-	// Map phase: each split is one task; record per-task cost.
-	groups := make([]map[K][]V, reducers)
-	for i := range groups {
-		groups[i] = map[K][]V{}
+// keyedSort orders keys by a memoized string form computed once per key
+// (the engine's default key order), instead of re-rendering both keys on
+// every comparison.
+type keyedSort[K comparable] struct {
+	keys []K
+	strs []string
+}
+
+func (s *keyedSort[K]) Len() int           { return len(s.keys) }
+func (s *keyedSort[K]) Less(i, j int) bool { return s.strs[i] < s.strs[j] }
+func (s *keyedSort[K]) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.strs[i], s.strs[j] = s.strs[j], s.strs[i]
+}
+
+// sortedKeys returns a partition's keys in the job's deterministic reduce
+// order: job.Less when given, otherwise the memoized-string default order
+// (plain sort.Strings when K is a string).
+func sortedKeys[K comparable, V any](g map[K][]V, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(g))
+	for k := range g {
+		keys = append(keys, k)
 	}
-	mapCosts := make([]int64, 0, len(job.Splits))
-	var shuffled int64
-	for _, split := range job.Splits {
-		mc := &MapCtx[K, V]{counters: counters}
-		mc.emit = func(k K, v V) {
-			p := partition(k, reducers)
-			groups[p][k] = append(groups[p][k], v)
-			shuffled++
-		}
-		for _, rec := range split {
-			mc.cost++ // every record costs at least one unit
-			job.Map(rec, mc)
-		}
-		mapCosts = append(mapCosts, mc.cost)
-		stats.MapCost += mc.cost
+	if less != nil {
+		sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+		return keys
 	}
-	stats.Shuffled = shuffled
-
-	// Reduce phase: one task per reduce partition; keys ordered
-	// deterministically within a partition.
-	var output []O
-	reduceCosts := make([]int64, 0, reducers)
-	for p := 0; p < reducers; p++ {
-		g := groups[p]
-		if len(g) == 0 {
-			continue
-		}
-		keys := make([]K, 0, len(g))
-		for k := range g {
-			keys = append(keys, k)
-		}
-		if job.Less != nil {
-			sort.Slice(keys, func(i, j int) bool { return job.Less(keys[i], keys[j]) })
-		} else {
-			sort.Slice(keys, func(i, j int) bool { return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j]) })
-		}
-		rc := &ReduceCtx[O]{counters: counters, out: &output}
-		for _, k := range keys {
-			rc.cost += int64(len(g[k])) // each grouped value costs a unit
-			job.Reduce(k, g[k], rc)
-		}
-		reduceCosts = append(reduceCosts, rc.cost)
-		stats.ReduceCost += rc.cost
+	if ss, ok := any(keys).([]string); ok {
+		sort.Strings(ss)
+		return keys
 	}
-
-	slots := cc.Nodes * cc.SlotsPerNode
-	mapSpan := makespan(mapCosts, slots)
-	reduceSpan := makespan(reduceCosts, slots)
-	stats.SimTime = cc.JobOverhead +
-		time.Duration(mapSpan)*cc.CostUnit +
-		time.Duration(reduceSpan)*cc.CostUnit +
-		time.Duration(shuffled/int64(slots))*cc.ShuffleUnit
-
-	return &Result[O]{Output: output, Stats: stats}, nil
+	strs := make([]string, len(keys))
+	for i, k := range keys {
+		strs[i] = fmt.Sprint(k)
+	}
+	sort.Sort(&keyedSort[K]{keys: keys, strs: strs})
+	return keys
 }
 
 // MapOnlyJob is a map-only job (no shuffle or reduce), used for gen_fvs,
 // apply_matcher, and speculative rule re-application.
+//
+// Map may run concurrently across splits; the same sharing rules as
+// Job.Map apply.
 type MapOnlyJob[I any, O any] struct {
 	Name   string
 	Splits [][]I
 	// Map transforms one record into zero or more outputs via ctx.Output.
 	Map func(rec I, ctx *MapOnlyCtx[O])
-}
-
-// MapOnlyCtx is passed to map-only map functions.
-type MapOnlyCtx[O any] struct {
-	cost     int64
-	counters map[string]int64
-	out      *[]O
-}
-
-// Output appends a record to the job output.
-func (c *MapOnlyCtx[O]) Output(o O) { *c.out = append(*c.out, o) }
-
-// AddCost charges extra cost units.
-func (c *MapOnlyCtx[O]) AddCost(units int64) { c.cost += units }
-
-// Inc increments a named counter.
-func (c *MapOnlyCtx[O]) Inc(name string, delta int64) { c.counters[name] += delta }
-
-// RunMapOnly executes a map-only job.
-func RunMapOnly[I any, O any](c *Cluster, job MapOnlyJob[I, O]) (*Result[O], error) {
-	if job.Map == nil {
-		return nil, fmt.Errorf("mapreduce: job %q needs Map", job.Name)
-	}
-	cc := c.withDefaults()
-	counters := map[string]int64{}
-	stats := Stats{Name: job.Name, MapTasks: len(job.Splits), Counters: counters}
-	var output []O
-	costs := make([]int64, 0, len(job.Splits))
-	for _, split := range job.Splits {
-		mc := &MapOnlyCtx[O]{counters: counters, out: &output}
-		for _, rec := range split {
-			mc.cost++
-			job.Map(rec, mc)
-		}
-		costs = append(costs, mc.cost)
-		stats.MapCost += mc.cost
-	}
-	slots := cc.Nodes * cc.SlotsPerNode
-	stats.SimTime = cc.JobOverhead + time.Duration(makespan(costs, slots))*cc.CostUnit
-	return &Result[O]{Output: output, Stats: stats}, nil
 }
 
 // SplitSlice partitions records into n roughly equal contiguous splits.

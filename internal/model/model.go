@@ -5,6 +5,7 @@
 package model
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -98,6 +99,11 @@ func (m *Model) Bind(a, b *table.Table) (*feature.Set, error) {
 // no crowd involved. It returns the predicted matches and the surviving
 // candidate count.
 func (m *Model) Apply(cluster *mapreduce.Cluster, a, b *table.Table) ([]table.Pair, int, error) {
+	return m.ApplyContext(context.Background(), cluster, a, b)
+}
+
+// ApplyContext is Apply honoring ctx cancellation inside the blocking jobs.
+func (m *Model) ApplyContext(ctx context.Context, cluster *mapreduce.Cluster, a, b *table.Table) ([]table.Pair, int, error) {
 	if cluster == nil {
 		cluster = mapreduce.Default()
 	}
@@ -115,7 +121,7 @@ func (m *Model) Apply(cluster *mapreduce.Cluster, a, b *table.Table) ([]table.Pa
 		}
 		an := filters.Analyze(rules.ToCNF(m.RuleSeq), feats)
 		ix := filters.NewIndexes(cluster, a)
-		if _, err := ix.EnsureAll(an.NeededIndexes()); err != nil {
+		if _, err := ix.EnsureAll(ctx, an.NeededIndexes()); err != nil {
 			return nil, 0, err
 		}
 		in := &block.Input{
@@ -126,7 +132,7 @@ func (m *Model) Apply(cluster *mapreduce.Cluster, a, b *table.Table) ([]table.Pa
 			ClauseSel:   m.ClauseSel,
 			PassIDsOnly: true,
 		}
-		res, err := block.Run(cluster, in, block.Choose(cluster, in, seqSel(m.ClauseSel)))
+		res, err := block.Run(ctx, cluster, in, block.Choose(cluster, in, seqSel(m.ClauseSel)))
 		if err != nil {
 			return nil, 0, err
 		}

@@ -4,6 +4,7 @@
 package rulesel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -99,9 +100,10 @@ func DefaultRuleTime(r rules.Rule) float64 { return float64(len(r.Preds)) }
 // EvalRules ranks candidate rules by sample coverage, then uses the crowd
 // (strong-majority voting) to estimate each top rule's precision, retaining
 // the precise ones. pool holds the sample's pairs and vecs; oracle supplies
-// ground truth for the simulated crowd.
-func EvalRules(cands []rules.Rule, pairs []table.Pair, vecs [][]float64,
-	cr *crowd.Crowd, oracle func(table.Pair) bool, timer RuleTimer, cfg EvalConfig) *EvalResult {
+// ground truth for the simulated crowd. The crowd waits honor ctx: on
+// cancellation the partial result is discarded and ctx.Err() returned.
+func EvalRules(ctx context.Context, cands []rules.Rule, pairs []table.Pair, vecs [][]float64,
+	cr *crowd.Crowd, oracle func(table.Pair) bool, timer RuleTimer, cfg EvalConfig) (*EvalResult, error) {
 
 	cfg = cfg.withDefaults()
 	if timer == nil {
@@ -109,7 +111,7 @@ func EvalRules(cands []rules.Rule, pairs []table.Pair, vecs [][]float64,
 	}
 	res := &EvalResult{}
 	if len(cands) == 0 || len(vecs) == 0 {
-		return res
+		return res, nil
 	}
 
 	// Rank rules by coverage (desc), ID asc, and keep the top K.
@@ -173,7 +175,10 @@ func EvalRules(cands []rules.Rule, pairs []table.Pair, vecs [][]float64,
 				}
 			}
 			if len(qs) > 0 {
-				labels, lat := cr.LabelStrongMajority(qs)
+				labels, lat, err := cr.LabelStrongMajorityContext(ctx, qs)
+				if err != nil {
+					return nil, err
+				}
 				for i, si := range qIdx {
 					labelCache[si] = labels[i]
 				}
@@ -222,5 +227,5 @@ func EvalRules(cands []rules.Rule, pairs []table.Pair, vecs [][]float64,
 			res.Dropped++
 		}
 	}
-	return res
+	return res, nil
 }

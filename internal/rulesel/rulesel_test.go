@@ -1,6 +1,7 @@
 package rulesel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,10 @@ func TestEvalRulesRetainsPrecise(t *testing.T) {
 		{ID: 0, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.5}}},
 		{ID: 1, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.95}}},
 	}
-	res := EvalRules(cands, pairs, vecs, newCrowd(0), oracle, nil, EvalConfig{Seed: 2})
+	res, err := EvalRules(context.Background(), cands, pairs, vecs, newCrowd(0), oracle, nil, EvalConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Retained) != 1 {
 		t.Fatalf("retained %d rules, want 1", len(res.Retained))
 	}
@@ -66,7 +70,10 @@ func TestEvalRulesIterationCap(t *testing.T) {
 	// A borderline rule (~93% precision) keeps the loop undecided.
 	cands := []rules.Rule{{ID: 0, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.82}}}}
 	cfg := EvalConfig{MaxIterPerRule: 3, Seed: 4}
-	res := EvalRules(cands, pairs, vecs, newCrowd(0), oracle, nil, cfg)
+	res, err := EvalRules(context.Background(), cands, pairs, vecs, newCrowd(0), oracle, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Iterations > 3 {
 		t.Fatalf("iterations %d exceed cap 3", res.Iterations)
 	}
@@ -78,7 +85,10 @@ func TestEvalRulesProposition2Bound(t *testing.T) {
 	pairs, vecs, oracle := fixture(20000, 5)
 	cands := []rules.Rule{{ID: 0, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.8}}}}
 	cfg := EvalConfig{MaxIterPerRule: 100, Seed: 6} // effectively uncapped
-	res := EvalRules(cands, pairs, vecs, newCrowd(0.3), oracle, nil, cfg)
+	res, err := EvalRules(context.Background(), cands, pairs, vecs, newCrowd(0.3), oracle, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Iterations > 20 {
 		t.Fatalf("iterations %d exceed the Prop. 2 bound of 20", res.Iterations)
 	}
@@ -91,7 +101,10 @@ func TestEvalRulesTopK(t *testing.T) {
 		cands = append(cands, rules.Rule{ID: i, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.3 + float64(i)*0.001}}})
 	}
 	cfg := EvalConfig{TopK: 5, Seed: 8}
-	res := EvalRules(cands, pairs, vecs, newCrowd(0), oracle, nil, cfg)
+	res, err := EvalRules(context.Background(), cands, pairs, vecs, newCrowd(0), oracle, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Retained)+res.Dropped > 5 {
 		t.Fatalf("evaluated %d rules, cap was 5", len(res.Retained)+res.Dropped)
 	}
@@ -106,7 +119,9 @@ func TestEvalRulesLabelCacheSavesQuestions(t *testing.T) {
 		{ID: 1, Preds: []rules.Predicate{{Feature: 0, Op: rules.LE, Value: 0.5}, {Feature: 1, Op: rules.LE, Value: 2}}},
 	}
 	cr := newCrowd(0)
-	EvalRules(cands, pairs, vecs, cr, oracle, nil, EvalConfig{Seed: 10})
+	if _, err := EvalRules(context.Background(), cands, pairs, vecs, cr, oracle, nil, EvalConfig{Seed: 10}); err != nil {
+		t.Fatal(err)
+	}
 	// Coverage of both rules is identical (~150 pairs); without the cache
 	// we'd ask up to 2×coverage questions.
 	cov := cands[0].Coverage(vecs).Count()
@@ -116,7 +131,10 @@ func TestEvalRulesLabelCacheSavesQuestions(t *testing.T) {
 }
 
 func TestEvalRulesEmpty(t *testing.T) {
-	res := EvalRules(nil, nil, nil, newCrowd(0), nil, nil, EvalConfig{})
+	res, err := EvalRules(context.Background(), nil, nil, nil, newCrowd(0), nil, nil, EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Retained) != 0 || res.Dropped != 0 {
 		t.Fatal("empty eval should be empty")
 	}

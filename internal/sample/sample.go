@@ -10,6 +10,7 @@
 package sample
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -74,8 +75,9 @@ func document(t *table.Table, row int, cols []int) []string {
 }
 
 // Pairs draws the sample S from A×B. It returns the pairs and the modeled
-// cluster time of the two MapReduce jobs.
-func Pairs(cluster *mapreduce.Cluster, a, b *table.Table, cfg Config) ([]table.Pair, time.Duration, error) {
+// cluster time of the two MapReduce jobs, honoring ctx cancellation between
+// records.
+func Pairs(ctx context.Context, cluster *mapreduce.Cluster, a, b *table.Table, cfg Config) ([]table.Pair, time.Duration, error) {
 	cfg = cfg.withDefaults(a.Len())
 	if a.Len() == 0 || b.Len() == 0 {
 		return nil, 0, nil
@@ -111,7 +113,7 @@ func Pairs(cluster *mapreduce.Cluster, a, b *table.Table, cfg Config) ([]table.P
 			}
 		},
 	}
-	ir, err := mapreduce.Run(cluster, idxJob)
+	ir, err := mapreduce.RunContext(ctx, cluster, idxJob)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -207,7 +209,7 @@ func Pairs(cluster *mapreduce.Cluster, a, b *table.Table, cfg Config) ([]table.P
 			}
 		},
 	}
-	gr, err := mapreduce.RunMapOnly(cluster, genJob)
+	gr, err := mapreduce.RunMapOnlyContext(ctx, cluster, genJob)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,7 @@
 package sample
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -45,7 +46,7 @@ func matchedTables(nA, nB, nMatch int, seed int64) (*table.Table, *table.Table) 
 
 func TestPairsBasic(t *testing.T) {
 	a, b := matchedTables(200, 200, 50, 1)
-	pairs, sim, err := Pairs(mapreduce.Default(), a, b, Config{N: 1000, Y: 20, Seed: 7})
+	pairs, sim, err := Pairs(context.Background(), mapreduce.Default(), a, b, Config{N: 1000, Y: 20, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestPairsContainsMatches(t *testing.T) {
 	// Sampling must pull true matches into S (the whole point of the
 	// token-sharing half). B row i matches A row i.
 	a, b := matchedTables(300, 300, 300, 2)
-	pairs, _, err := Pairs(mapreduce.Default(), a, b, Config{N: 2000, Y: 20, Seed: 3})
+	pairs, _, err := Pairs(context.Background(), mapreduce.Default(), a, b, Config{N: 2000, Y: 20, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestPairsContainsMatches(t *testing.T) {
 
 func TestPairsRandomHalf(t *testing.T) {
 	a, b := matchedTables(500, 100, 0, 4)
-	pairs, _, err := Pairs(mapreduce.Default(), a, b, Config{N: 400, Y: 40, Seed: 5})
+	pairs, _, err := Pairs(context.Background(), mapreduce.Default(), a, b, Config{N: 400, Y: 40, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestPairsRandomHalf(t *testing.T) {
 func TestPairsDeterministic(t *testing.T) {
 	a, b := matchedTables(100, 100, 20, 6)
 	run := func() []table.Pair {
-		pairs, _, err := Pairs(mapreduce.Default(), a, b, Config{N: 500, Y: 10, Seed: 9})
+		pairs, _, err := Pairs(context.Background(), mapreduce.Default(), a, b, Config{N: 500, Y: 10, Seed: 9})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func TestPairsDeterministic(t *testing.T) {
 
 func TestPairsSmallTables(t *testing.T) {
 	a, b := matchedTables(5, 5, 5, 7)
-	pairs, _, err := Pairs(mapreduce.Default(), a, b, Config{N: 100, Y: 10, Seed: 1})
+	pairs, _, err := Pairs(context.Background(), mapreduce.Default(), a, b, Config{N: 100, Y: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +144,11 @@ func TestPairsSmallTables(t *testing.T) {
 func TestPairsEmptyTables(t *testing.T) {
 	a, _ := matchedTables(5, 5, 0, 8)
 	empty := table.New("E", table.NewSchema("title", "price"))
-	pairs, _, err := Pairs(mapreduce.Default(), a, empty, Config{N: 10, Y: 2, Seed: 1})
+	pairs, _, err := Pairs(context.Background(), mapreduce.Default(), a, empty, Config{N: 10, Y: 2, Seed: 1})
 	if err != nil || pairs != nil {
 		t.Fatalf("empty B: pairs=%v err=%v", pairs, err)
 	}
-	pairs, _, err = Pairs(mapreduce.Default(), empty, a, Config{N: 10, Y: 2, Seed: 1})
+	pairs, _, err = Pairs(context.Background(), mapreduce.Default(), empty, a, Config{N: 10, Y: 2, Seed: 1})
 	if err != nil || pairs != nil {
 		t.Fatalf("empty A: pairs=%v err=%v", pairs, err)
 	}
@@ -172,7 +173,7 @@ func TestQuickSampleShape(t *testing.T) {
 	f := func(seed int64, yRaw uint8) bool {
 		y := int(yRaw%30) + 2
 		n := y * 10
-		pairs, _, err := Pairs(mapreduce.Default(), a, b, Config{N: n, Y: y, Seed: seed})
+		pairs, _, err := Pairs(context.Background(), mapreduce.Default(), a, b, Config{N: n, Y: y, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -201,7 +202,7 @@ func BenchmarkPairs(b *testing.B) {
 	ta, tb := matchedTables(2000, 2000, 500, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Pairs(mapreduce.Default(), ta, tb, Config{N: 5000, Y: 50, Seed: int64(i)}); err != nil {
+		if _, _, err := Pairs(context.Background(), mapreduce.Default(), ta, tb, Config{N: 5000, Y: 50, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"falcon/internal/core"
+	"falcon/internal/learn"
+	"falcon/internal/table"
+)
+
+// blockingRun is a runFunc that parks until its context dies, signalling
+// `started` once it is running.
+func blockingRun(started chan<- struct{}) runFunc {
+	return func(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt core.Options) (*core.Result, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+}
+
+func getState(t *testing.T, ts *httptest.Server, id string) State {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job.State
+}
+
+func waitForState(t *testing.T, ts *httptest.Server, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := getState(t, ts, id); got == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s (last: %s)", id, want, getState(t, ts, id))
+}
+
+func deleteJob(t *testing.T, ts *httptest.Server, id string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	ts := httptest.NewServer(New(withRunFunc(blockingRun(started))))
+	defer ts.Close()
+
+	a, b := songsWithKey(30, 3)
+	id, _ := postJob(t, ts, a, b, map[string]string{"oracle_key": "match_key"})
+	<-started
+
+	resp := deleteJob(t, ts, id)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitForState(t, ts, id, StateCancelled)
+}
+
+func TestCancelFinishedJobConflicts(t *testing.T) {
+	ts := newTestServer() // synchronous: job is done when POST returns
+	defer ts.Close()
+	a, b := songsWithKey(30, 4)
+	id, _ := postJob(t, ts, a, b, map[string]string{"oracle_key": "match_key", "sample": "300", "max_iter": "4"})
+	waitForState(t, ts, id, StateDone)
+
+	resp := deleteJob(t, ts, id)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel of done job = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestCancelUnknownJob(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	resp := deleteJob(t, ts, "job-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel of unknown job = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestJobTimeout(t *testing.T) {
+	started := make(chan struct{})
+	ts := httptest.NewServer(New(
+		withRunFunc(blockingRun(started)),
+		WithJobTimeout(30*time.Millisecond),
+	))
+	defer ts.Close()
+
+	a, b := songsWithKey(30, 5)
+	id, _ := postJob(t, ts, a, b, map[string]string{"oracle_key": "match_key"})
+	<-started
+	waitForState(t, ts, id, StateFailed)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Error == "" {
+		t.Fatal("timed-out job has no error message")
+	}
+}
+
+// TestCancelEndsRealPipeline runs the actual core pipeline (not a stub) and
+// cancels it mid-flight: the DELETE must end the job within one task
+// boundary rather than letting the workflow finish.
+func TestCancelEndsRealPipeline(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	a, b := songsWithKey(400, 6)
+	id, _ := postJob(t, ts, a, b, map[string]string{"oracle_key": "match_key"})
+	waitForState(t, ts, id, StateRunning)
+
+	resp := deleteJob(t, ts, id)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitForState(t, ts, id, StateCancelled)
+}

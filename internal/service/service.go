@@ -5,14 +5,15 @@
 //
 // Endpoints:
 //
-//	POST /jobs            multipart form: tableA, tableB (CSV files),
-//	                      oracle_key, budget, error_rate, seed, sample,
-//	                      max_iter → {"id": ...}
-//	GET  /jobs            list job summaries
-//	GET  /jobs/{id}       status + report
-//	GET  /jobs/{id}/matches   matched row pairs as CSV
-//	GET  /jobs/{id}/model     the learned model as JSON
-//	GET  /healthz         liveness
+//	POST   /jobs            multipart form: tableA, tableB (CSV files),
+//	                        oracle_key, budget, error_rate, seed, sample,
+//	                        max_iter → {"id": ...}
+//	GET    /jobs            list job summaries
+//	GET    /jobs/{id}       status + report
+//	DELETE /jobs/{id}       cancel a pending/running job
+//	GET    /jobs/{id}/matches   matched row pairs as CSV
+//	GET    /jobs/{id}/model     the learned model as JSON
+//	GET    /healthz         liveness
 //
 // The demo crowd is simulated from the oracle_key column (with optional
 // worker error); a production deployment would swap in a crowd.Platform
@@ -20,8 +21,10 @@
 package service
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -32,6 +35,7 @@ import (
 
 	"falcon/internal/core"
 	"falcon/internal/crowd"
+	"falcon/internal/learn"
 	"falcon/internal/table"
 )
 
@@ -40,10 +44,11 @@ type State string
 
 // Job states.
 const (
-	StatePending State = "pending"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
 
 // Job tracks one submitted EM task.
@@ -66,18 +71,24 @@ type Job struct {
 
 	a, b   *table.Table
 	result *core.Result
+	cancel context.CancelFunc
 }
 
 // Server is the HTTP EM service.
 type Server struct {
-	mux  *http.ServeMux
-	now  func() time.Time
-	sync bool // run jobs synchronously (tests)
+	mux     *http.ServeMux
+	now     func() time.Time
+	sync    bool // run jobs synchronously (tests)
+	timeout time.Duration
+	run     runFunc
 
 	mu   sync.Mutex
 	jobs map[string]*Job
 	next int
 }
+
+// runFunc executes the EM pipeline; tests substitute a controllable one.
+type runFunc func(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt core.Options) (*core.Result, error)
 
 // Option configures the server.
 type Option func(*Server)
@@ -92,12 +103,24 @@ func WithClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
 }
 
+// WithJobTimeout bounds each job's wall-clock runtime; a job past the
+// deadline is cancelled and reported as failed. Zero means no limit.
+func WithJobTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// withRunFunc substitutes the pipeline (tests).
+func withRunFunc(fn runFunc) Option {
+	return func(s *Server) { s.run = fn }
+}
+
 // New builds the service.
 func New(opts ...Option) *Server {
 	s := &Server{
 		mux:  http.NewServeMux(),
 		jobs: map[string]*Job{},
 		now:  time.Now,
+		run:  core.RunContext,
 	}
 	for _, o := range opts {
 		o(s)
@@ -108,6 +131,7 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /jobs/{id}/matches", s.handleMatches)
 	s.mux.HandleFunc("GET /jobs/{id}/model", s.handleModel)
 	return s
@@ -221,6 +245,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+
 	s.mu.Lock()
 	s.next++
 	job := &Job{
@@ -229,11 +261,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Submitted: s.now(),
 		a:         a,
 		b:         b,
+		cancel:    cancel,
 	}
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
 
-	run := func() { s.runJob(job, params) }
+	run := func() {
+		defer cancel()
+		s.runJob(ctx, job, params)
+	}
 	if s.sync {
 		run()
 	} else {
@@ -244,7 +280,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob executes the EM pipeline for a submitted job.
-func (s *Server) runJob(job *Job, p submitParams) {
+func (s *Server) runJob(ctx context.Context, job *Job, p submitParams) {
 	s.setState(job, StateRunning, "")
 	aKey := job.a.Schema.Col(p.oracleKey)
 	bKey := job.b.Schema.Col(p.oracleKey)
@@ -265,8 +301,15 @@ func (s *Server) runJob(job *Job, p submitParams) {
 		opt.ALIterations = p.maxIter
 	}
 
-	res, err := core.Run(job.a, job.b, oracle, opt)
-	if err != nil {
+	res, err := s.run(ctx, job.a, job.b, oracle, opt)
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.setState(job, StateCancelled, "cancelled by client")
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.setState(job, StateFailed, fmt.Sprintf("timed out after %s", s.timeout))
+		return
+	case err != nil:
 		s.setState(job, StateFailed, err.Error())
 		return
 	}
@@ -330,6 +373,32 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, job)
+}
+
+// handleCancel cancels a pending or running job. The job's context is
+// cancelled immediately; the pipeline stops at its next task boundary and
+// the state flips to cancelled.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var state State
+	var cancel context.CancelFunc
+	if ok {
+		state = job.State
+		cancel = job.cancel
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if state != StatePending && state != StateRunning {
+		httpError(w, http.StatusConflict, "job is %s", state)
+		return
+	}
+	cancel()
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"id": job.ID, "state": string(StateCancelled)})
 }
 
 func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
