@@ -26,8 +26,13 @@ test:
 race:
 	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/...
 
-# bench records the executor worker-pool benchmark (speedup needs >1 CPU).
+# bench records the executor worker-pool benchmark (speedup needs >1 CPU)
+# and the blocking hot-path benchmarks (dictionary ID path vs the retired
+# string reference path).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
 		./internal/mapreduce/ > BENCH_executor.json
 	@echo "wrote BENCH_executor.json"
+	$(GO) test -run '^$$' -bench 'BenchmarkBlocking$$|BenchmarkVectorize$$|BenchmarkPrefixProbe$$' \
+		-benchmem -json ./internal/block/ ./internal/feature/ ./internal/index/ > BENCH_blocking.json
+	@echo "wrote BENCH_blocking.json"

@@ -4,11 +4,12 @@
 //
 // An Analyzer inspects one type-checked package at a time and reports
 // Diagnostics. The project-specific analyzers (see determinism.go,
-// costaccounting.go, locksafety.go, errcheck.go) enforce the invariants
-// Falcon's reproducibility story rests on: no wall-clock or global-rand
-// nondeterminism in the simulation, cost units accrued wherever mapreduce
-// tasks amplify work, no copied or blocking-held locks, no silently
-// discarded errors.
+// costaccounting.go, locksafety.go, errcheck.go, hotalloc.go) enforce the
+// invariants Falcon's reproducibility and performance stories rest on: no
+// wall-clock or global-rand nondeterminism in the simulation, cost units
+// accrued wherever mapreduce tasks amplify work, no copied or
+// blocking-held locks, no silently discarded errors, no per-record map or
+// buffer allocations on the blocking hot path.
 //
 // Suppression: a diagnostic is suppressed when the flagged line, or the
 // line directly above it, carries a directive comment
@@ -21,11 +22,12 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -131,18 +133,22 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 			a.Run(pass)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	slices.SortFunc(diags, func(a, b Diagnostic) int {
+		if c := strings.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
+			return c
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if c := cmp.Compare(a.Pos.Column, b.Pos.Column); c != 0 {
+			return c
 		}
-		return a.Analyzer < b.Analyzer
+		if c := strings.Compare(a.Analyzer, b.Analyzer); c != 0 {
+			return c
+		}
+		// Message is the final tiebreaker so analyzers reporting several
+		// diagnostics at one position stay deterministically ordered.
+		return strings.Compare(a.Message, b.Message)
 	})
 	return diags
 }
@@ -154,6 +160,7 @@ func All() []*Analyzer {
 		CostAccounting,
 		LockSafety,
 		ErrCheck,
+		HotAlloc,
 	}
 }
 

@@ -38,6 +38,8 @@ func TestFixtures(t *testing.T) {
 		{LockSafety, "locksafety_clean"},
 		{ErrCheck, "errcheck_flagged"},
 		{ErrCheck, "errcheck_clean"},
+		{HotAlloc, "hotalloc_flagged"},
+		{HotAlloc, "hotalloc_clean"},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -97,7 +99,7 @@ func TestLoaderPaths(t *testing.T) {
 // TestByName covers the analyzer registry lookups falcon-vet exposes.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 5 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("determinism, errcheck")

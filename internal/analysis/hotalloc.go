@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc protects the zero-allocation blocking hot path. Two code regions
+// run once per record or per tuple pair and dominate blocking throughput:
+//
+//   - mapreduce task bodies (any function with a *mapreduce.MapCtx,
+//     *mapreduce.ReduceCtx, or *mapreduce.MapOnlyCtx parameter), and
+//   - per-pair similarity functions in package simfn (top-level functions
+//     or methods whose first two parameters are both string or both
+//     []string).
+//
+// Inside a task body every `make` call and every map composite literal is
+// flagged: a map or buffer built per record belongs outside the closure, in
+// a reusable scratch buffer, or in a dense mask/bitset (the dictionary
+// pipeline provides all three). Inside simfn per-pair functions only map
+// allocations are flagged — maps are how the retired string-based measures
+// dedupe tokens, and the ID-set variants exist precisely to avoid them;
+// reusable-slice DP rows are the job of simfn.Scratch and are not treated
+// as findings.
+//
+// Legitimate exceptions (reference implementations kept for equivalence
+// tests, cold per-sample setup) carry `//falcon:allow hotalloc <reason>`.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags per-record map/make allocations in mapreduce task bodies and map allocations in simfn per-pair functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	// The simfn rule keys on the package name: fixtures under testdata
+	// declare `package simfn` to exercise it.
+	simfnPkg := pass.Pkg != nil && pass.Pkg.Name() == "simfn"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ftype, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			switch {
+			case hasMapReduceCtxParam(pass, ftype):
+				checkHotBody(pass, body, true, "mapreduce task")
+			case simfnPkg && isPerPairSig(pass, ftype):
+				checkHotBody(pass, body, false, "per-pair similarity function")
+			}
+			return true
+		})
+	}
+}
+
+// isPerPairSig reports whether the function's first two parameters are both
+// string or both []string — the shape of the per-pair simfn entry points
+// (Jaccard, Levenshtein, TFIDF, overlapCount, the Scratch methods, ...).
+func isPerPairSig(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	var typs []types.Type
+	for _, field := range ftype.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n && len(typs) < 2; i++ {
+			typs = append(typs, t)
+		}
+		if len(typs) == 2 {
+			break
+		}
+	}
+	if len(typs) < 2 || typs[0] == nil || typs[1] == nil {
+		return false
+	}
+	return isStringish(typs[0]) && types.Identical(typs[0], typs[1])
+}
+
+func isStringish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.String
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.String
+	}
+	return false
+}
+
+// checkHotBody flags per-invocation allocations in one hot function body.
+// flagMake also reports non-map `make` calls (task bodies only).
+func checkHotBody(pass *Pass, body *ast.BlockStmt, flagMake bool, where string) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// A nested literal with its own ctx parameter is its own task
+			// body and gets its own check.
+			if hasMapReduceCtxParam(pass, n.Type) {
+				return
+			}
+		case *ast.CompositeLit:
+			if isMapType(pass.Info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "map allocated on every %s invocation; hoist it or use a reusable mask/bitset", where)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" {
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin {
+					switch {
+					case isMapType(pass.Info.TypeOf(n)):
+						pass.Reportf(n.Pos(), "map allocated on every %s invocation; hoist it or use a reusable mask/bitset", where)
+					case flagMake:
+						pass.Reportf(n.Pos(), "make on every %s invocation; hoist the buffer out of the per-record path", where)
+					}
+				}
+			}
+		}
+		children(n, walk)
+	}
+	walk(body)
+}

@@ -1,0 +1,80 @@
+// Package simfn (fixture) shows the allocation patterns the hotalloc
+// analyzer must accept: hoisted buffers, DP rows reused via scratch slices,
+// allowlisted exceptions, and allocation outside the hot scopes.
+package simfn
+
+import "falcon/internal/mapreduce"
+
+// Buffers hoisted out of the task body are fine: the closure only reuses
+// them (single-task jobs; a per-task buffer would be captured the same way).
+func hoistedReduce(n int) mapreduce.Job[int, string, int32, int32] {
+	seen := make([]bool, n)
+	return mapreduce.Job[int, string, int32, int32]{
+		Name:     "hoisted-reduce",
+		Reducers: 1,
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int32]) {
+			ctx.Emit("k", int32(row))
+		},
+		Reduce: func(k string, vs []int32, ctx *mapreduce.ReduceCtx[int32]) {
+			for _, v := range vs {
+				if !seen[v] {
+					seen[v] = true
+					ctx.Output(v)
+				}
+			}
+			ctx.AddCost(int64(len(vs)))
+		},
+	}
+}
+
+// An allow directive keeps a justified per-record allocation.
+func allowedReduce() mapreduce.Job[int, string, int32, int32] {
+	return mapreduce.Job[int, string, int32, int32]{
+		Name: "allowed-reduce",
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int32]) {
+			ctx.Emit("k", int32(row))
+		},
+		Reduce: func(k string, vs []int32, ctx *mapreduce.ReduceCtx[int32]) {
+			seen := map[int32]bool{} //falcon:allow hotalloc fixture: justified exception
+			for _, v := range vs {
+				if !seen[v] {
+					seen[v] = true
+					ctx.Output(v)
+				}
+			}
+			ctx.AddCost(int64(len(vs)))
+		},
+	}
+}
+
+// Per-pair similarity functions may build slices (scratch-style DP rows are
+// handled by reuse, not by the analyzer); only maps are findings.
+func editRow(a, b string) int {
+	prev := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for range a {
+		prev[0]++
+	}
+	return prev[len(b)]
+}
+
+// Functions that are not per-pair (single token-set parameter) may use
+// maps: corpus construction runs once per table, not once per pair.
+func uniqueTokens(tokens []string) int {
+	seen := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		seen[t] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Map allocation outside any hot scope is never a finding.
+func buildIndex(rows []string) map[string]int {
+	idx := make(map[string]int, len(rows))
+	for i, r := range rows {
+		idx[r] = i
+	}
+	return idx
+}

@@ -1,0 +1,74 @@
+// Package simfn (fixture) allocates per record and per pair in every way
+// the hotalloc analyzer must catch. The package is named simfn so the
+// per-pair similarity-function rule applies.
+package simfn
+
+import "falcon/internal/mapreduce"
+
+// Map/Reduce bodies: every make and map literal is per-record.
+
+func dedupingReduce() mapreduce.Job[int, string, int32, int32] {
+	return mapreduce.Job[int, string, int32, int32]{
+		Name: "deduping-reduce",
+		Map: func(row int, ctx *mapreduce.MapCtx[string, int32]) {
+			buf := make([]int32, 0, 4) // want `make on every mapreduce task invocation`
+			buf = append(buf, int32(row))
+			ctx.Emit("k", buf[0])
+		},
+		Reduce: func(k string, vs []int32, ctx *mapreduce.ReduceCtx[int32]) {
+			seen := map[int32]bool{} // want `map allocated on every mapreduce task invocation`
+			for _, v := range vs {
+				if !seen[v] {
+					seen[v] = true
+					ctx.Output(v)
+				}
+			}
+			ctx.AddCost(int64(len(vs)))
+		},
+	}
+}
+
+func setBuildingMap() mapreduce.MapOnlyJob[int, int] {
+	return mapreduce.MapOnlyJob[int, int]{
+		Name: "set-building-map",
+		Map: func(row int, ctx *mapreduce.MapOnlyCtx[int]) {
+			set := make(map[int]struct{}, 2) // want `map allocated on every mapreduce task invocation`
+			set[row] = struct{}{}
+			ctx.Output(len(set))
+		},
+	}
+}
+
+// Per-pair similarity functions: map allocations are per-pair.
+
+func overlapByMap(a, b []string) int {
+	set := make(map[string]struct{}, len(a)) // want `map allocated on every per-pair similarity function invocation`
+	for _, t := range a {
+		set[t] = struct{}{}
+	}
+	n := 0
+	for _, t := range b {
+		if _, ok := set[t]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func charHistogramMatch(a, b string) float64 {
+	ca := map[rune]int{} // want `map allocated on every per-pair similarity function invocation`
+	for _, r := range a {
+		ca[r]++
+	}
+	n := 0
+	for _, r := range b {
+		if ca[r] > 0 {
+			ca[r]--
+			n++
+		}
+	}
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	return float64(2*n) / float64(len(a)+len(b))
+}

@@ -11,10 +11,12 @@
 package block
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 	"time"
 
 	"falcon/internal/feature"
@@ -260,6 +262,20 @@ func (in *Input) runIntersect(ctx context.Context, cluster *mapreduce.Cluster, s
 	bw := in.bWeight()
 	evalCost := in.evalCost()
 
+	// clausePos maps a clause index to a dense bit position in [0, need), so
+	// the reducer can count distinct covering clauses with a word-sized
+	// bitmask instead of a per-key map.
+	maxClause := 0
+	for _, ci := range filterable {
+		if ci > maxClause {
+			maxClause = ci
+		}
+	}
+	clausePos := make([]uint, maxClause+1)
+	for i, ci := range filterable {
+		clausePos[ci] = uint(i)
+	}
+
 	// Build the pass records: (clause, predicate, bRow). predicate = -1
 	// probes the whole clause at once (ApplyConjunct).
 	type rec struct {
@@ -309,14 +325,31 @@ func (in *Input) runIntersect(ctx context.Context, cluster *mapreduce.Cluster, s
 		},
 		Reduce: func(key int64, clauses []int32, ctx *mapreduce.ReduceCtx[table.Pair]) {
 			// Distinct clauses that produced this pair must cover every
-			// filterable clause (per-predicate passes of one clause merge
-			// by the dedup).
-			seen := map[int32]bool{}
-			for _, c := range clauses {
-				seen[c] = true
-			}
-			if len(seen) < need {
-				return
+			// filterable clause (per-predicate passes of one clause merge by
+			// the dedup). Clause indices map to dense bit positions, so a
+			// word-sized bitmask counts distinct coverage with no per-key
+			// allocation; rules with more than 64 filterable clauses fall
+			// back to a bool slice.
+			if need <= 64 {
+				var mask uint64
+				for _, c := range clauses {
+					mask |= 1 << clausePos[c]
+				}
+				if bits.OnesCount64(mask) < need {
+					return
+				}
+			} else {
+				seen := make([]bool, need) //falcon:allow hotalloc — >64-clause fallback
+				distinct := 0
+				for _, c := range clauses {
+					if !seen[clausePos[c]] {
+						seen[clausePos[c]] = true
+						distinct++
+					}
+				}
+				if distinct < need {
+					return
+				}
 			}
 			p := unpairKey(key)
 			ctx.AddCost(evalCost)
@@ -411,11 +444,11 @@ func unpairKey(k int64) table.Pair {
 }
 
 func sortPairs(ps []table.Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
+	slices.SortFunc(ps, func(x, y table.Pair) int {
+		if c := cmp.Compare(x.A, y.A); c != 0 {
+			return c
 		}
-		return ps[i].B < ps[j].B
+		return cmp.Compare(x.B, y.B)
 	})
 }
 

@@ -1,0 +1,144 @@
+package block
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"falcon/internal/feature"
+	"falcon/internal/filters"
+	"falcon/internal/mapreduce"
+	"falcon/internal/rules"
+	"falcon/internal/table"
+)
+
+// The dictionary-encoded token pipeline must be invisible in every output:
+// candidate pairs, feature vectors, modeled SimTime, and engine counters
+// have to match the retired string-based path bit for bit, for every
+// physical operator and any worker count. These golden tests prove it by
+// running each strategy under four configurations — ID path and reference
+// path, each at Workers=1 and Workers=8 — and deep-comparing the results.
+// (Plan-template coverage lives in core's worker-invariance tests, which
+// run both Figure-3 templates end-to-end on the ID path.)
+
+// goldenInput builds a fresh Input over shared tables so per-config column
+// caches cannot leak between the reference and ID paths.
+func goldenInput(t *testing.T, a, b *table.Table, set *feature.Set, reference bool) *Input {
+	t.Helper()
+	feats := make([]*feature.Feature, len(set.BlockingIdx))
+	for i, idx := range set.BlockingIdx {
+		feats[i] = &set.Features[idx]
+	}
+	pos := func(name string) int {
+		for i, f := range feats {
+			if f.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("feature %s missing", name)
+		return -1
+	}
+	seq := []rules.Rule{
+		{ID: 0, Preds: []rules.Predicate{{Feature: pos("jaccard_word(title)"), Op: rules.LE, Value: 0.4}}},
+		{ID: 1, Preds: []rules.Predicate{
+			{Feature: pos("exact_match(year)"), Op: rules.LE, Value: 0.5},
+			{Feature: pos("abs_diff(price)"), Op: rules.GE, Value: 15},
+		}},
+	}
+	an := filters.Analyze(rules.ToCNF(seq), feats)
+	ix := filters.NewIndexes(mapreduce.Default(), a)
+	ix.Reference = reference
+	if _, err := ix.EnsureAll(context.Background(), an.NeededIndexes()); err != nil {
+		t.Fatal(err)
+	}
+	vz := feature.NewVectorizer(set, a, b)
+	vz.Reference = reference
+	return &Input{
+		A: a, B: b,
+		Analysis:   an,
+		Indexes:    ix,
+		Vectorizer: vz,
+		ClauseSel:  []float64{0.3, 0.7},
+	}
+}
+
+func TestGoldenStringVsIDPathAllStrategies(t *testing.T) {
+	a, bt := mkTables(120, 80, 11)
+	set := feature.Generate(a, bt)
+	configs := []struct {
+		name      string
+		reference bool
+		workers   int
+	}{
+		{"ids-w1", false, 1},
+		{"ids-w8", false, 8},
+		{"reference-w1", true, 1},
+		{"reference-w8", true, 8},
+	}
+	for _, s := range []Strategy{ApplyAll, ApplyGreedy, ApplyConjunct, ApplyPredicate, MapSide, ReduceSplit} {
+		var base *Result
+		var baseName string
+		for _, cfg := range configs {
+			in := goldenInput(t, a, bt, set, cfg.reference)
+			cluster := mapreduce.Default()
+			cluster.Workers = cfg.workers
+			res, err := Run(context.Background(), cluster, in, s)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", s, cfg.name, err)
+			}
+			if base == nil {
+				base, baseName = res, cfg.name
+				if len(res.Pairs) == 0 {
+					t.Fatalf("%v/%s: degenerate fixture, no candidates", s, cfg.name)
+				}
+				continue
+			}
+			if len(res.Pairs) != len(base.Pairs) {
+				t.Fatalf("%v: %s has %d pairs, %s has %d", s, cfg.name, len(res.Pairs), baseName, len(base.Pairs))
+			}
+			for i := range res.Pairs {
+				if res.Pairs[i] != base.Pairs[i] {
+					t.Fatalf("%v: %s pair[%d]=%v, %s has %v", s, cfg.name, i, res.Pairs[i], baseName, base.Pairs[i])
+				}
+			}
+			if res.SimTime != base.SimTime {
+				t.Fatalf("%v: %s SimTime=%v, %s SimTime=%v", s, cfg.name, res.SimTime, baseName, base.SimTime)
+			}
+			if res.PairsEnumerated != base.PairsEnumerated {
+				t.Fatalf("%v: %s enumerated %d, %s enumerated %d", s, cfg.name, res.PairsEnumerated, baseName, base.PairsEnumerated)
+			}
+		}
+	}
+}
+
+// TestGoldenVectorsStringVsIDPath proves bit-identical feature vectors —
+// the full matching-stage feature space, not just the blocking subset —
+// between the reference evaluator and the dictionary/scratch evaluator.
+func TestGoldenVectorsStringVsIDPath(t *testing.T) {
+	a, bt := mkTables(90, 60, 12)
+	set := feature.Generate(a, bt)
+	ref := feature.NewVectorizer(set, a, bt)
+	ref.Reference = true
+	ids := feature.NewVectorizer(set, a, bt)
+	ids.Warm()
+	for ai := 0; ai < a.Len(); ai += 3 {
+		for bi := 0; bi < bt.Len(); bi += 2 {
+			p := table.Pair{A: ai, B: bi}
+			rv, iv := ref.Vector(p), ids.Vector(p)
+			if len(rv.Values) != len(iv.Values) {
+				t.Fatalf("%v: vector lengths differ: %d vs %d", p, len(rv.Values), len(iv.Values))
+			}
+			for k := range rv.Values {
+				if math.Float64bits(rv.Values[k]) != math.Float64bits(iv.Values[k]) {
+					t.Fatalf("%v: feature %q = %v (reference) vs %v (ids)", p, set.Features[k].Name, rv.Values[k], iv.Values[k])
+				}
+			}
+			rb, ib := ref.BlockingVector(p), ids.BlockingVector(p)
+			for k := range rb.Values {
+				if math.Float64bits(rb.Values[k]) != math.Float64bits(ib.Values[k]) {
+					t.Fatalf("%v: blocking feature %d = %v vs %v", p, k, rb.Values[k], ib.Values[k])
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package block
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 	"strings"
 
@@ -39,14 +41,17 @@ func SortedNeighborhood(a, b *table.Table, aCol, bCol, window int) []table.Pair 
 	}
 	add(a, aCol, true)
 	add(b, bCol, false)
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].key != entries[j].key {
-			return entries[i].key < entries[j].key
+	slices.SortFunc(entries, func(a, b entry) int {
+		if c := strings.Compare(a.key, b.key); c != 0 {
+			return c
 		}
-		if entries[i].isA != entries[j].isA {
-			return entries[i].isA
+		if a.isA != b.isA {
+			if a.isA {
+				return -1
+			}
+			return 1
 		}
-		return entries[i].id < entries[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 
 	seen := map[table.Pair]bool{}

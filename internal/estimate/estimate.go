@@ -13,9 +13,10 @@
 package estimate
 
 import (
+	"cmp"
 	"context"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"falcon/internal/crowd"
@@ -247,16 +248,16 @@ func shuffledIndexes(n int, seed int64) []int {
 // Locator of Figure 1.
 func DifficultPairs(preds []Prediction, k int) []Prediction {
 	out := append([]Prediction(nil), preds...)
-	sort.Slice(out, func(i, j int) bool {
-		di := math.Abs(out[i].Confidence - 0.5)
-		dj := math.Abs(out[j].Confidence - 0.5)
-		if di != dj {
-			return di < dj
+	slices.SortFunc(out, func(a, b Prediction) int {
+		da := math.Abs(a.Confidence - 0.5)
+		db := math.Abs(b.Confidence - 0.5)
+		if c := cmp.Compare(da, db); c != 0 {
+			return c
 		}
-		if out[i].Pair.A != out[j].Pair.A {
-			return out[i].Pair.A < out[j].Pair.A
+		if c := cmp.Compare(a.Pair.A, b.Pair.A); c != 0 {
+			return c
 		}
-		return out[i].Pair.B < out[j].Pair.B
+		return cmp.Compare(a.Pair.B, b.Pair.B)
 	})
 	if k > len(out) {
 		k = len(out)

@@ -275,6 +275,48 @@ func (f *Feature) evalSets(ta, tb []string) float64 {
 	}
 }
 
+// evalSetIDs evaluates a count-based set measure on dictionary-encoded
+// token sets (sorted ascending IDs). Jaccard/Dice/Overlap/Cosine depend
+// only on the two set sizes and the overlap count, so any bijective
+// encoding yields the same value as the string path.
+func evalSetIDs(m simfn.Measure, a, b []uint32) float64 {
+	switch m {
+	case simfn.MJaccard:
+		return simfn.JaccardIDs(a, b)
+	case simfn.MDice:
+		return simfn.DiceIDs(a, b)
+	case simfn.MOverlap:
+		return simfn.OverlapSimIDs(a, b)
+	case simfn.MCosine:
+		return simfn.CosineIDs(a, b)
+	default:
+		panic("feature: not a count-set measure: " + m.String())
+	}
+}
+
+// evalStringsScratch is evalStrings on pre-normalized values with reusable
+// DP scratch, avoiding the per-call matrix allocations of the plain path.
+func (f *Feature) evalStringsScratch(av, bv string, s *simfn.Scratch) float64 {
+	switch f.Measure {
+	case simfn.MExactMatch:
+		return simfn.ExactMatch(av, bv)
+	case simfn.MLevenshtein:
+		return s.Levenshtein(av, bv)
+	case simfn.MJaro:
+		return s.Jaro(av, bv)
+	case simfn.MJaroWinkler:
+		return s.JaroWinkler(av, bv)
+	case simfn.MNeedlemanWunsch:
+		return s.NeedlemanWunsch(av, bv)
+	case simfn.MSmithWaterman:
+		return s.SmithWaterman(av, bv)
+	case simfn.MSmithWatermanGotoh:
+		return s.SmithWatermanGotoh(av, bv)
+	default:
+		panic("feature: not a string-based measure: " + f.Measure.String())
+	}
+}
+
 func (f *Feature) evalStrings(av, bv string) float64 {
 	switch f.Measure {
 	case simfn.MExactMatch:

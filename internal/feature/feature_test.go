@@ -253,12 +253,5 @@ func TestQuickFeatureBounds(t *testing.T) {
 	}
 }
 
-func BenchmarkVectorize(b *testing.B) {
-	ta, tb := bookTables()
-	set := Generate(ta, tb)
-	vz := NewVectorizer(set, ta, tb)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		vz.Vector(table.Pair{A: i % ta.Len(), B: i % tb.Len()})
-	}
-}
+// BenchmarkVectorize lives in bench_test.go, comparing the dictionary ID
+// path against the retired reference path over datagen tables.

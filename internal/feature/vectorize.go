@@ -1,9 +1,12 @@
 package feature
 
 import (
+	"cmp"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"falcon/internal/simfn"
 	"falcon/internal/table"
@@ -16,16 +19,33 @@ type Vector struct {
 	Values []float64
 }
 
-// Vectorizer converts tuple pairs into feature vectors with per-table token
-// and numeric-parse caches, so repeated pairs touching the same tuple do not
-// re-tokenize.
+// Vectorizer converts tuple pairs into feature vectors with per-table
+// column caches, so repeated pairs touching the same tuple re-derive
+// nothing. Four column representations are kept per (column, measure
+// family):
 //
-// It is safe for concurrent use: columns are tokenized/parsed whole on first
-// access under a lock and published as immutable slices, so map tasks on the
-// worker pool can share one vectorizer.
+//   - token sets as sorted []uint32 dictionary IDs (per attribute
+//     correspondence, frequency-ordered — see tokenize.Dict), feeding the
+//     allocation-free simfn ID set measures;
+//   - token sets as strings, for the measures that need the actual tokens
+//     (Monge-Elkan and the TF/IDF family);
+//   - normalized (lowercased, trimmed) strings for the sequence measures;
+//   - parsed numbers for the numeric measures.
+//
+// It is safe for concurrent use: columns are built whole on first access
+// under a lock and published as immutable slices, so map tasks on the
+// worker pool can share one vectorizer. Per-feature resolved column
+// bundles are published through atomic pointers, making the per-pair hot
+// path lock-free.
 type Vectorizer struct {
 	Set  *Set
 	A, B *table.Table
+
+	// Reference routes evaluation through the retired string-based path
+	// (string-token sets + per-pair normalization + allocating simfn
+	// calls). Test-only: the golden equivalence tests prove both paths
+	// produce bit-identical vectors.
+	Reference bool
 
 	mu     sync.RWMutex
 	tokA   map[tokKey][][]string // (col,kind) → per-row token sets
@@ -34,11 +54,42 @@ type Vectorizer struct {
 	numB   map[int][]float64
 	numOkA map[int][]bool
 	numOkB map[int][]bool
+	normA  map[int][]string // col → per-row normalized values
+	normB  map[int][]string
+	ids    map[corrKey]*idCols // correspondence → encoded token sets
+
+	// feats[f.ID] caches the resolved per-feature column bundle so the
+	// per-pair path does one atomic load instead of map lookups under
+	// RLock.
+	feats []atomic.Pointer[featCols]
 }
 
 type tokKey struct {
 	col  int
 	kind tokenize.Kind
+}
+
+// corrKey identifies one attribute correspondence's shared token
+// dictionary: both columns' token sets are encoded under one
+// frequency-ordered dictionary so IDs are comparable across tables.
+type corrKey struct {
+	acol, bcol int
+	kind       tokenize.Kind
+}
+
+// idCols holds both sides of a correspondence as sorted token-ID sets.
+type idCols struct {
+	a, b [][]uint32
+}
+
+// featCols is the resolved, immutable column bundle one feature reads
+// per pair. Only the fields for the feature's measure family are set.
+type featCols struct {
+	numA, numB   []float64
+	okA, okB     []bool
+	idsA, idsB   [][]uint32
+	tokA, tokB   [][]string
+	normA, normB []string
 }
 
 // NewVectorizer builds a vectorizer for the feature set over tables a and b.
@@ -48,6 +99,9 @@ func NewVectorizer(set *Set, a, b *table.Table) *Vectorizer {
 		tokA: map[tokKey][][]string{}, tokB: map[tokKey][][]string{},
 		numA: map[int][]float64{}, numB: map[int][]float64{},
 		numOkA: map[int][]bool{}, numOkB: map[int][]bool{},
+		normA: map[int][]string{}, normB: map[int][]string{},
+		ids:   map[corrKey]*idCols{},
+		feats: make([]atomic.Pointer[featCols], len(set.Features)),
 	}
 }
 
@@ -126,18 +180,176 @@ func (v *Vectorizer) number(isA bool, col, row int) (float64, bool) {
 	return col2[row], ok[row]
 }
 
+// normCol returns the normalized string column: missing values become "",
+// everything else is lowercased and trimmed — exactly the per-pair
+// normalization the sequence measures previously applied on every call.
+func (v *Vectorizer) normCol(isA bool, col int) []string {
+	cache, t := v.normA, v.A
+	if !isA {
+		cache, t = v.normB, v.B
+	}
+	v.mu.RLock()
+	rows, ok := cache[col]
+	v.mu.RUnlock()
+	if ok {
+		return rows
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if rows, ok := cache[col]; ok {
+		return rows
+	}
+	rows = make([]string, t.Len())
+	for row := range rows {
+		val := t.Value(row, col)
+		if table.IsMissing(val) {
+			continue
+		}
+		rows[row] = strings.ToLower(strings.TrimSpace(val))
+	}
+	cache[col] = rows
+	return rows
+}
+
+// idCols returns both columns of the correspondence encoded as sorted
+// token-ID sets under one shared frequency-ordered dictionary, building the
+// dictionary and both encodings on first access.
+func (v *Vectorizer) idColsFor(acol, bcol int, kind tokenize.Kind) *idCols {
+	k := corrKey{acol, bcol, kind}
+	v.mu.RLock()
+	c, ok := v.ids[k]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	// Token columns are built outside v.mu (tokenCol locks internally).
+	ta := v.tokenCol(true, acol, kind)
+	tb := v.tokenCol(false, bcol, kind)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.ids[k]; ok {
+		return c
+	}
+	c = buildIDCols(ta, tb)
+	v.ids[k] = c
+	return c
+}
+
+// buildIDCols interns both columns' tokens into one dictionary ordered by
+// (frequency asc, token asc) — the same global ordering §7.5 uses — and
+// encodes every row as a sorted ID set. Sorted-ascending ID sets are thus
+// rank-reordered token sets, and the sorted-merge intersection visits
+// rarest tokens first.
+func buildIDCols(ta, tb [][]string) *idCols {
+	freq := map[string]int{}
+	for _, rows := range [2][][]string{ta, tb} {
+		for _, toks := range rows {
+			for _, t := range toks {
+				freq[t]++
+			}
+		}
+	}
+	ranked := make([]string, 0, len(freq))
+	for t := range freq {
+		ranked = append(ranked, t)
+	}
+	slices.SortFunc(ranked, func(a, b string) int {
+		if c := cmp.Compare(freq[a], freq[b]); c != 0 {
+			return c
+		}
+		return strings.Compare(a, b)
+	})
+	dict := tokenize.DictOf(ranked)
+	encode := func(rows [][]string) [][]uint32 {
+		out := make([][]uint32, len(rows))
+		for i, toks := range rows {
+			if len(toks) == 0 {
+				continue
+			}
+			ids := make([]uint32, len(toks))
+			for j, t := range toks {
+				id, _ := dict.ID(t)
+				ids[j] = id
+			}
+			slices.Sort(ids)
+			out[i] = ids
+		}
+		return out
+	}
+	return &idCols{a: encode(ta), b: encode(tb)}
+}
+
+// isCountSet reports whether the measure depends only on set sizes and
+// overlap count, and can therefore run on encoded ID sets.
+func isCountSet(m simfn.Measure) bool {
+	switch m {
+	case simfn.MJaccard, simfn.MDice, simfn.MOverlap, simfn.MCosine:
+		return true
+	}
+	return false
+}
+
+// featData returns the feature's resolved column bundle, building and
+// publishing it on first access. Features not belonging to v.Set (defensive
+// case) are resolved without caching.
+func (v *Vectorizer) featData(f *Feature) *featCols {
+	cached := f.ID >= 0 && f.ID < len(v.feats) && &v.Set.Features[f.ID] == f
+	if cached {
+		if fc := v.feats[f.ID].Load(); fc != nil {
+			return fc
+		}
+	}
+	fc := &featCols{}
+	switch {
+	case f.Measure.NumericBased():
+		fc.numA, fc.okA = v.numberCol(true, f.ACol)
+		fc.numB, fc.okB = v.numberCol(false, f.BCol)
+	case isCountSet(f.Measure):
+		c := v.idColsFor(f.ACol, f.BCol, f.Token)
+		fc.idsA, fc.idsB = c.a, c.b
+	case f.Measure.SetBased(): // Monge-Elkan, TF/IDF family: real tokens
+		fc.tokA = v.tokenCol(true, f.ACol, f.Token)
+		fc.tokB = v.tokenCol(false, f.BCol, f.Token)
+	default:
+		fc.normA = v.normCol(true, f.ACol)
+		fc.normB = v.normCol(false, f.BCol)
+	}
+	if cached {
+		v.feats[f.ID].Store(fc)
+	}
+	return fc
+}
+
 // Vector computes the full feature vector for pair p.
 func (v *Vectorizer) Vector(p table.Pair) Vector {
-	return v.vector(p, v.Set.Features, nil)
+	s := simfn.GetScratch()
+	out := v.vector(p, v.Set.Features, nil, s)
+	simfn.PutScratch(s)
+	return out
+}
+
+// VectorScratch is Vector with caller-provided simfn scratch, for hot loops
+// that hold one scratch per worker or task.
+func (v *Vectorizer) VectorScratch(p table.Pair, s *simfn.Scratch) Vector {
+	return v.vector(p, v.Set.Features, nil, s)
 }
 
 // BlockingVector computes only the blocking-stage features for pair p. The
 // returned Values are indexed by position in Set.BlockingIdx.
 func (v *Vectorizer) BlockingVector(p table.Pair) Vector {
-	return v.vector(p, v.Set.Features, v.Set.BlockingIdx)
+	s := simfn.GetScratch()
+	out := v.vector(p, v.Set.Features, v.Set.BlockingIdx, s)
+	simfn.PutScratch(s)
+	return out
 }
 
-func (v *Vectorizer) vector(p table.Pair, feats []Feature, idx []int) Vector {
+// BlockingVectorScratch is BlockingVector with caller-provided scratch.
+// After Warm it performs exactly one allocation: the Values slice.
+func (v *Vectorizer) BlockingVectorScratch(p table.Pair, s *simfn.Scratch) Vector {
+	return v.vector(p, v.Set.Features, v.Set.BlockingIdx, s)
+}
+
+func (v *Vectorizer) vector(p table.Pair, feats []Feature, idx []int, s *simfn.Scratch) Vector {
 	n := len(feats)
 	if idx != nil {
 		n = len(idx)
@@ -148,17 +360,51 @@ func (v *Vectorizer) vector(p table.Pair, feats []Feature, idx []int) Vector {
 		if idx != nil {
 			f = &feats[idx[i]]
 		}
-		out.Values[i] = v.evalCached(f, p)
+		out.Values[i] = v.evalCached(f, p, s)
 	}
 	return out
 }
 
 // EvalFeature computes one feature on pair p using the caches.
 func (v *Vectorizer) EvalFeature(f *Feature, p table.Pair) float64 {
-	return v.evalCached(f, p)
+	s := simfn.GetScratch()
+	out := v.evalCached(f, p, s)
+	simfn.PutScratch(s)
+	return out
 }
 
-func (v *Vectorizer) evalCached(f *Feature, p table.Pair) float64 {
+func (v *Vectorizer) evalCached(f *Feature, p table.Pair, s *simfn.Scratch) float64 {
+	if v.Reference {
+		return v.evalReference(f, p)
+	}
+	fc := v.featData(f)
+	switch {
+	case f.Measure.NumericBased():
+		if !fc.okA[p.A] || !fc.okB[p.B] {
+			return Missing
+		}
+		if f.Measure == simfn.MAbsDiff {
+			return simfn.AbsDiff(fc.numA[p.A], fc.numB[p.B])
+		}
+		return simfn.RelDiff(fc.numA[p.A], fc.numB[p.B])
+	case isCountSet(f.Measure):
+		return evalSetIDs(f.Measure, fc.idsA[p.A], fc.idsB[p.B])
+	case f.Measure == simfn.MMongeElkan:
+		return s.MongeElkan(fc.tokA[p.A], fc.tokB[p.B])
+	case f.Measure.CorpusBased():
+		if f.Measure == simfn.MTFIDF {
+			return f.corpus.TFIDF(fc.tokA[p.A], fc.tokB[p.B])
+		}
+		return f.corpus.SoftTFIDF(fc.tokA[p.A], fc.tokB[p.B])
+	default:
+		return f.evalStringsScratch(fc.normA[p.A], fc.normB[p.B], s)
+	}
+}
+
+// evalReference is the retired per-pair path, kept verbatim for the golden
+// equivalence tests: string token sets through the allocating simfn set
+// measures, and per-pair normalization for the sequence measures.
+func (v *Vectorizer) evalReference(f *Feature, p table.Pair) float64 {
 	switch {
 	case f.Measure.NumericBased():
 		x, okx := v.number(true, f.ACol, p.A)
@@ -187,16 +433,18 @@ func (v *Vectorizer) evalCached(f *Feature, p table.Pair) float64 {
 	}
 }
 
-// Warm pre-builds every column cache the feature set can touch, so that
-// subsequent concurrent evaluation never takes the write lock.
+// Warm pre-builds every column cache the feature set can touch — including
+// the per-feature resolved bundles — so that subsequent concurrent
+// evaluation never takes the write lock and the per-pair path is
+// allocation-free (modulo the returned Values).
 func (v *Vectorizer) Warm() {
 	for i := range v.Set.Features {
 		f := &v.Set.Features[i]
-		switch {
-		case f.Measure.NumericBased():
-			v.numberCol(true, f.ACol)
-			v.numberCol(false, f.BCol)
-		case f.Measure.SetBased():
+		v.featData(f)
+		// The reference path additionally reads raw token columns for all
+		// set measures; featData covers them for every family except the
+		// count-set measures, whose bundle holds only encoded IDs.
+		if isCountSet(f.Measure) {
 			v.tokenCol(true, f.ACol, f.Token)
 			v.tokenCol(false, f.BCol, f.Token)
 		}
@@ -205,18 +453,22 @@ func (v *Vectorizer) Warm() {
 
 // VectorizeAll converts a pair list into vectors (full feature space).
 func (v *Vectorizer) VectorizeAll(pairs []table.Pair) []Vector {
+	s := simfn.GetScratch()
 	out := make([]Vector, len(pairs))
 	for i, p := range pairs {
-		out[i] = v.Vector(p)
+		out[i] = v.vector(p, v.Set.Features, nil, s)
 	}
+	simfn.PutScratch(s)
 	return out
 }
 
 // BlockingVectorizeAll converts a pair list into blocking-feature vectors.
 func (v *Vectorizer) BlockingVectorizeAll(pairs []table.Pair) []Vector {
+	s := simfn.GetScratch()
 	out := make([]Vector, len(pairs))
 	for i, p := range pairs {
-		out[i] = v.BlockingVector(p)
+		out[i] = v.vector(p, v.Set.Features, v.Set.BlockingIdx, s)
 	}
+	simfn.PutScratch(s)
 	return out
 }

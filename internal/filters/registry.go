@@ -2,9 +2,10 @@ package filters
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"falcon/internal/feature"
@@ -26,11 +27,32 @@ type Indexes struct {
 	tree   map[int]*index.TreeIndex
 	ord    map[ordKey]*index.Ordering
 	prefix map[specKey]*index.PrefixIndex
+
+	// Reference routes prefix probes through the retired string-keyed path
+	// (per-probe tokenization + map dedup). Test-only: the golden
+	// equivalence tests prove both paths produce identical candidates,
+	// probe counts, and therefore SimTime.
+	Reference bool
+
+	// bcols caches probe-side columns dictionary-encoded under a prefix
+	// index's ordering, so probing B re-tokenizes nothing. Built whole-
+	// column under mu on first access (like feature.Vectorizer's caches)
+	// and immutable afterwards.
+	mu    sync.RWMutex
+	bcols map[bcolKey][][]uint32
 }
 
 type ordKey struct {
 	col  int
 	kind tokenize.Kind
+}
+
+// bcolKey identifies one probe-side encoded column: the probed table and
+// column, encoded under the ordering of (A column, tokenization).
+type bcolKey struct {
+	tab *table.Table
+	col int
+	ord ordKey
 }
 
 // NewIndexes returns an empty registry for table a on the cluster.
@@ -42,7 +64,69 @@ func NewIndexes(cluster *mapreduce.Cluster, a *table.Table) *Indexes {
 		tree:    map[int]*index.TreeIndex{},
 		ord:     map[ordKey]*index.Ordering{},
 		prefix:  map[specKey]*index.PrefixIndex{},
+		bcols:   map[bcolKey][][]uint32{},
 	}
+}
+
+// encodedCol returns the b column encoded as sorted token-ID sets under the
+// ordering for ok, building it on first access. Tokens the ordering does
+// not know get distinct extension IDs ≥ Ordering.Len(): they keep the probe
+// set's length and the known tokens' positions, carry no postings, and cost
+// one lookup each — exactly the string path's behavior (see the ProbeIDs
+// contract). Raw values are encoded as-is (no missing-value check), again
+// matching the string probe, which tokenizes whatever the tuple holds.
+func (ix *Indexes) encodedCol(b *table.Table, col int, ok ordKey) [][]uint32 {
+	k := bcolKey{b, col, ok}
+	ix.mu.RLock()
+	rows, hit := ix.bcols[k]
+	ix.mu.RUnlock()
+	if hit {
+		return rows
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if rows, hit := ix.bcols[k]; hit {
+		return rows
+	}
+	ord := ix.ord[ok]
+	dict := ord.Dict()
+	ext := tokenize.NewDict()
+	base := uint32(ord.Len())
+	rows = make([][]uint32, b.Len())
+	for row := range rows {
+		toks := tokenize.Set(ok.kind, b.Value(row, col))
+		if len(toks) == 0 {
+			continue
+		}
+		ids := make([]uint32, len(toks))
+		for i, t := range toks {
+			if id, known := dict.ID(t); known {
+				ids[i] = id
+			} else {
+				ids[i] = base + ext.Intern(t)
+			}
+		}
+		slices.Sort(ids)
+		rows[row] = ids
+	}
+	ix.bcols[k] = rows
+	return rows
+}
+
+// probePrefix probes one prefix index for b's row, serving the probe token
+// set from the encoded column cache. Indexes whose build tokens fell
+// outside their ordering (only possible with a mismatched ordering) keep
+// string-keyed postings the ID path cannot see, so they take the
+// string-probing path instead.
+func (ix *Indexes) probePrefix(idx *index.PrefixIndex, bp BoundPred, b *table.Table, row int) ([]int32, int64) {
+	if ix.Reference {
+		return idx.ReferenceProbe(bp.Feat.Measure, bp.Threshold, b.Value(row, bp.Feat.BCol))
+	}
+	if idx.HasExtension() {
+		return idx.Probe(bp.Feat.Measure, bp.Threshold, b.Value(row, bp.Feat.BCol))
+	}
+	rows := ix.encodedCol(b, bp.Feat.BCol, ordKey{bp.Feat.ACol, idx.Kind})
+	return idx.ProbeIDs(bp.Feat.Measure, bp.Threshold, rows[row])
 }
 
 // EnsureOrdering builds (or reuses) the global token ordering for a
@@ -225,13 +309,11 @@ func (ix *Indexes) PredCandidates(bp BoundPred, b *table.Table, row int) (cands 
 		return got, false, int64(1 + len(got))
 	case PrefixSet:
 		k := specKey{PrefixSet, bp.Feat.ACol, bp.Feat.Token, bp.Feat.Measure}
-		idx := ix.prefix[k]
-		got, probes := idx.Probe(bp.Feat.Measure, bp.Threshold, bv)
+		got, probes := ix.probePrefix(ix.prefix[k], bp, b, row)
 		return got, false, probes + 1
 	case ShareGram:
 		k := specKey{ShareGram, bp.Feat.ACol, tokenize.Gram3, bp.Feat.Measure}
-		idx := ix.prefix[k]
-		got, probes := idx.Probe(bp.Feat.Measure, bp.Threshold, bv)
+		got, probes := ix.probePrefix(ix.prefix[k], bp, b, row)
 		return got, false, probes + 1
 	default:
 		return nil, true, 0
@@ -285,9 +367,7 @@ func (ix *Indexes) RuleCandidates(a *Analysis, use []int, b *table.Table, row in
 	return cands, false, cost
 }
 
-func sortIDs(ids []int32) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-}
+func sortIDs(ids []int32) { slices.Sort(ids) }
 
 // unionSorted merges sorted ID lists into a sorted, de-duplicated union.
 func unionSorted(lists [][]int32) []int32 {

@@ -8,10 +8,11 @@
 package forest
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Example is one labeled feature vector.
@@ -206,7 +207,7 @@ func (b *builder) bestSplit(idx []int, parentGini float64) (feat int, thr float6
 		for _, i := range idx {
 			vals = append(vals, valLabel{b.examples[i].Values[fi], b.examples[i].Label})
 		}
-		sort.Slice(vals, func(x, y int) bool { return vals[x].v < vals[y].v })
+		slices.SortFunc(vals, func(a, b valLabel) int { return cmp.Compare(a.v, b.v) })
 		totalPos, totalNeg := 0, 0
 		for _, v := range vals {
 			if v.label {

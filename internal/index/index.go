@@ -9,6 +9,8 @@
 package index
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -80,11 +82,11 @@ func BuildTree(t *table.Table, col int) *TreeIndex {
 			unparseable = append(unparseable, int32(i))
 		}
 	}
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].v != ps[j].v {
-			return ps[i].v < ps[j].v
+	slices.SortFunc(ps, func(a, b pair) int {
+		if c := cmp.Compare(a.v, b.v); c != 0 {
+			return c
 		}
-		return ps[i].id < ps[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	idx := &TreeIndex{vals: make([]float64, len(ps)), ids: make([]int32, len(ps)), unparseable: unparseable}
 	for i, p := range ps {
@@ -120,9 +122,11 @@ func (ti *TreeIndex) ProbeRange(lo, hi float64) []int32 {
 func (ti *TreeIndex) SizeBytes() int64 { return int64(len(ti.vals)) * 12 }
 
 // Ordering is the global token ordering of §7.5: tokens ranked by increasing
-// corpus frequency, so prefixes hold the rarest tokens.
+// corpus frequency, so prefixes hold the rarest tokens. It is backed by a
+// token dictionary whose dense uint32 IDs equal the ranks, so rank-sorted
+// token sets can be represented as sorted []uint32 ID sets.
 type Ordering struct {
-	rank map[string]int32
+	dict *tokenize.Dict
 }
 
 // BuildOrdering ranks tokens by (frequency asc, token asc).
@@ -131,40 +135,44 @@ func BuildOrdering(freq map[string]int) *Ordering {
 	for t := range freq {
 		tokens = append(tokens, t)
 	}
-	sort.Slice(tokens, func(i, j int) bool {
-		if freq[tokens[i]] != freq[tokens[j]] {
-			return freq[tokens[i]] < freq[tokens[j]]
+	slices.SortFunc(tokens, func(a, b string) int {
+		if c := cmp.Compare(freq[a], freq[b]); c != 0 {
+			return c
 		}
-		return tokens[i] < tokens[j]
+		return strings.Compare(a, b)
 	})
-	o := &Ordering{rank: make(map[string]int32, len(tokens))}
-	for i, t := range tokens {
-		o.rank[t] = int32(i)
-	}
-	return o
+	return OrderingOf(tokens)
+}
+
+// OrderingOf builds an ordering from an already rank-sorted token list (the
+// §7.5 token-order job's output): the i-th token gets rank/ID i.
+func OrderingOf(ranked []string) *Ordering {
+	return &Ordering{dict: tokenize.DictOf(ranked)}
 }
 
 // Rank returns the token's rank; unknown tokens rank after all known ones.
 func (o *Ordering) Rank(t string) int32 {
-	if r, ok := o.rank[t]; ok {
-		return r
+	if id, ok := o.dict.ID(t); ok {
+		return int32(id)
 	}
-	return int32(len(o.rank))
+	return int32(o.dict.Len())
 }
 
 // Len returns the number of ranked tokens.
-func (o *Ordering) Len() int { return len(o.rank) }
+func (o *Ordering) Len() int { return o.dict.Len() }
+
+// Dict returns the backing dictionary (rank i ↔ token ID i).
+func (o *Ordering) Dict() *tokenize.Dict { return o.dict }
 
 // Reorder sorts a token set by rank ascending (rarest first); unknown
 // tokens go last, ordered lexicographically for determinism.
 func (o *Ordering) Reorder(tokens []string) []string {
 	out := append([]string(nil), tokens...)
-	sort.Slice(out, func(i, j int) bool {
-		ri, rj := o.Rank(out[i]), o.Rank(out[j])
-		if ri != rj {
-			return ri < rj
+	slices.SortFunc(out, func(a, b string) int {
+		if c := cmp.Compare(o.Rank(a), o.Rank(b)); c != 0 {
+			return c
 		}
-		return out[i] < out[j]
+		return strings.Compare(a, b)
 	})
 	return out
 }
@@ -172,7 +180,7 @@ func (o *Ordering) Reorder(tokens []string) []string {
 // SizeBytes estimates the ordering memory footprint.
 func (o *Ordering) SizeBytes() int64 {
 	var b int64
-	for t := range o.rank {
+	for _, t := range o.dict.Tokens() {
 		b += int64(len(t)) + 20
 	}
 	return b

@@ -1,9 +1,10 @@
 package index
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"falcon/internal/mapreduce"
@@ -79,11 +80,7 @@ func BuildOrderingMR(ctx context.Context, c *mapreduce.Cluster, t *table.Table, 
 	if err != nil {
 		return nil, 0, err
 	}
-	ord := &Ordering{rank: make(map[string]int32, len(sr.Output))}
-	for i, tok := range sr.Output {
-		ord.rank[tok] = int32(i)
-	}
-	return ord, fr.Stats.SimTime + sr.Stats.SimTime, nil
+	return OrderingOf(sr.Output), fr.Stats.SimTime + sr.Stats.SimTime, nil
 }
 
 type postingRec struct {
@@ -123,19 +120,19 @@ func BuildPrefixMR(ctx context.Context, c *mapreduce.Cluster, t *table.Table, co
 	if err != nil {
 		return nil, 0, err
 	}
-	idx := &PrefixIndex{Kind: kind, Threshold: threshold, ord: ord, post: map[string][]Posting{}, setLen: setLen}
+	idx := newPrefixIndex(t, kind, ord, threshold)
+	idx.setLen = setLen
 	for _, pr := range res.Output {
-		if _, ok := idx.post[pr.Tok]; !ok {
-			idx.bytes += int64(len(pr.Tok)) + 48
-		}
-		idx.post[pr.Tok] = append(idx.post[pr.Tok], pr.P)
-		idx.bytes += 12
+		idx.addPosting(pr.Tok, pr.P)
 	}
 	// Postings arrive grouped by token but per-token order must follow
 	// tuple ID for deterministic probing.
-	for tok := range idx.post {
-		ps := idx.post[tok]
-		sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+	byID := func(a, b Posting) int { return cmp.Compare(a.ID, b.ID) }
+	for _, ps := range idx.post {
+		slices.SortFunc(ps, byID)
+	}
+	for _, ps := range idx.extPost {
+		slices.SortFunc(ps, byID)
 	}
 	idx.bytes += int64(len(setLen)) * 4
 	return idx, res.Stats.SimTime, nil

@@ -1,9 +1,13 @@
 package index
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
+	"falcon/internal/bitset"
 	"falcon/internal/simfn"
 	"falcon/internal/table"
 	"falcon/internal/tokenize"
@@ -96,25 +100,83 @@ func requiredOverlap(m simfn.Measure, lx, ly int, t float64) (int, bool) {
 // per-tuple set lengths, implementing the prefix, position, and length
 // filters for one (attribute, tokenization) pair at a build threshold.
 // Probing with any threshold ≥ the build threshold remains correct.
+//
+// Postings are keyed by dictionary token ID (the ordering's rank), so the
+// hot probe path works on integer token sets without touching strings.
+// Tokens the ordering does not cover — possible only when the index is
+// built with a mismatched ordering — fall back to a string-keyed side map
+// so behavior matches the retired string-keyed implementation exactly.
 type PrefixIndex struct {
 	Kind      tokenize.Kind
 	Threshold float64
 	ord       *Ordering
-	post      map[string][]Posting
+	post      [][]Posting          // token ID (rank) → postings
+	extPost   map[string][]Posting // tokens outside the ordering (rare)
 	setLen    []int32
 	bytes     int64
+
+	scratch sync.Pool // *probeScratch, sized to the indexed table
 }
 
-// BuildPrefix builds the index over column col of t for the given measure
-// and threshold.
-func BuildPrefix(t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m simfn.Measure, threshold float64) *PrefixIndex {
+// probeScratch is the reusable per-probe state: the candidate-dedup bitmap
+// (cleared bit-by-bit after use, so reuse is O(|cands|), not O(|A|)) and the
+// candidate accumulation buffer.
+type probeScratch struct {
+	seen  *bitset.Bitset
+	cands []int32
+}
+
+func newPrefixIndex(t *table.Table, kind tokenize.Kind, ord *Ordering, threshold float64) *PrefixIndex {
 	idx := &PrefixIndex{
 		Kind:      kind,
 		Threshold: threshold,
 		ord:       ord,
-		post:      map[string][]Posting{},
+		post:      make([][]Posting, ord.Len()),
 		setLen:    make([]int32, t.Len()),
 	}
+	n := t.Len()
+	idx.scratch.New = func() any { return &probeScratch{seen: bitset.New(n)} }
+	return idx
+}
+
+// addPosting appends one posting, keeping the byte accounting of the
+// string-keyed implementation: len(token)+48 per distinct token, 12 per
+// posting.
+func (idx *PrefixIndex) addPosting(tok string, pst Posting) {
+	if id, ok := idx.ord.dict.ID(tok); ok {
+		if len(idx.post[id]) == 0 {
+			idx.bytes += int64(len(tok)) + 48
+		}
+		idx.post[id] = append(idx.post[id], pst)
+	} else {
+		if idx.extPost == nil {
+			idx.extPost = map[string][]Posting{}
+		}
+		if _, ok := idx.extPost[tok]; !ok {
+			idx.bytes += int64(len(tok)) + 48
+		}
+		idx.extPost[tok] = append(idx.extPost[tok], pst)
+	}
+	idx.bytes += 12
+}
+
+// postings returns the posting list for a token string (ID path when the
+// ordering knows it, side map otherwise).
+func (idx *PrefixIndex) postings(tok string) []Posting {
+	if id, ok := idx.ord.dict.ID(tok); ok {
+		return idx.post[id]
+	}
+	return idx.extPost[tok]
+}
+
+// HasExtension reports whether any indexed token fell outside the ordering;
+// callers probing by pre-encoded IDs must fall back to string probing then.
+func (idx *PrefixIndex) HasExtension() bool { return len(idx.extPost) > 0 }
+
+// BuildPrefix builds the index over column col of t for the given measure
+// and threshold.
+func BuildPrefix(t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m simfn.Measure, threshold float64) *PrefixIndex {
+	idx := newPrefixIndex(t, kind, ord, threshold)
 	for i := 0; i < t.Len(); i++ {
 		v := t.Value(i, col)
 		if table.IsMissing(v) {
@@ -124,12 +186,7 @@ func BuildPrefix(t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m s
 		idx.setLen[i] = int32(len(tokens))
 		p := PrefixLen(m, len(tokens), threshold)
 		for pos := 0; pos < p; pos++ {
-			tok := tokens[pos]
-			if _, ok := idx.post[tok]; !ok {
-				idx.bytes += int64(len(tok)) + 48
-			}
-			idx.post[tok] = append(idx.post[tok], Posting{ID: int32(i), Pos: int32(pos)})
-			idx.bytes += 12
+			idx.addPosting(tokens[pos], Posting{ID: int32(i), Pos: int32(pos)})
 		}
 	}
 	idx.bytes += int64(len(idx.setLen)) * 4
@@ -142,15 +199,117 @@ func (idx *PrefixIndex) SetLen(id int32) int { return int(idx.setLen[id]) }
 // SizeBytes estimates the index memory footprint.
 func (idx *PrefixIndex) SizeBytes() int64 { return idx.bytes }
 
+// checkThreshold rejects probes laxer than the build threshold: the index
+// prefix would be too short, and silently losing recall is worse than a
+// panic on a programming error.
+func (idx *PrefixIndex) checkThreshold(threshold float64) {
+	if threshold < idx.Threshold {
+		panic("index: probe threshold below build threshold")
+	}
+}
+
+// filterPosting applies the length and position filters to one posting and
+// records survivors in the scratch (the seen bitmap dedups across posting
+// lists). probe position pos and probe length ly are in reordered-set space.
+func (idx *PrefixIndex) filterPosting(s *probeScratch, m simfn.Measure, threshold float64, ly, pos int, pst Posting, lo, hi int, hasLen bool) {
+	if s.seen.Get(int(pst.ID)) {
+		return
+	}
+	lx := int(idx.setLen[pst.ID])
+	if hasLen && (lx < lo || lx > hi) {
+		return
+	}
+	// Position filter: overlap achievable from here on must reach the
+	// required overlap.
+	if alpha, ok := requiredOverlap(m, lx, ly, threshold); ok {
+		ub := 1 + min(lx-int(pst.Pos)-1, ly-pos-1)
+		if ub < alpha {
+			return
+		}
+	}
+	s.seen.Set(int(pst.ID))
+	s.cands = append(s.cands, pst.ID)
+}
+
+// finishProbe sorts and copies out the candidates and returns the scratch
+// to the pool with its bitmap cleared.
+func (idx *PrefixIndex) finishProbe(s *probeScratch) []int32 {
+	var cands []int32
+	if len(s.cands) > 0 {
+		slices.Sort(s.cands)
+		cands = make([]int32, len(s.cands))
+		copy(cands, s.cands)
+	}
+	for _, id := range s.cands {
+		s.seen.Clear(int(id))
+	}
+	s.cands = s.cands[:0]
+	idx.scratch.Put(s)
+	return cands
+}
+
 // Probe returns candidate tuple IDs that may satisfy measure ≥ threshold
 // against the probe value, applying prefix, length, and position filters.
 // probes counts index lookups for cost accounting.
+//
+// The probe value is tokenized and reordered per call; hot paths that probe
+// whole columns should encode once and use ProbeIDs instead.
 func (idx *PrefixIndex) Probe(m simfn.Measure, threshold float64, value string) (cands []int32, probes int64) {
-	if threshold < idx.Threshold {
-		// The index prefix is too short for a laxer threshold; treat as a
-		// programming error rather than silently losing recall.
-		panic("index: probe threshold below build threshold")
+	idx.checkThreshold(threshold)
+	tokens := idx.ord.Reorder(tokenize.Set(idx.Kind, value))
+	ly := len(tokens)
+	if ly == 0 {
+		return nil, 0
 	}
+	p := PrefixLen(m, ly, threshold)
+	lo, hi, hasLen := LengthBounds(m, ly, threshold)
+	s := idx.scratch.Get().(*probeScratch)
+	for pos := 0; pos < p; pos++ {
+		plist := idx.postings(tokens[pos])
+		probes++
+		for _, pst := range plist {
+			probes++
+			idx.filterPosting(s, m, threshold, ly, pos, pst, lo, hi, hasLen)
+		}
+	}
+	return idx.finishProbe(s), probes
+}
+
+// ProbeIDs is Probe over a dictionary-encoded token set: ids must be the
+// probe value's token IDs under the index ordering's dictionary, sorted
+// ascending (= reordered), with tokens unknown to the ordering encoded as
+// any distinct values ≥ Ordering.Len(). Unknown tokens have no postings but
+// still cost one lookup each, exactly like the string path. ProbeIDs
+// requires an index without extension tokens (see hasExtension); the
+// registry guarantees that by falling back to Probe.
+func (idx *PrefixIndex) ProbeIDs(m simfn.Measure, threshold float64, ids []uint32) (cands []int32, probes int64) {
+	idx.checkThreshold(threshold)
+	ly := len(ids)
+	if ly == 0 {
+		return nil, 0
+	}
+	p := PrefixLen(m, ly, threshold)
+	lo, hi, hasLen := LengthBounds(m, ly, threshold)
+	s := idx.scratch.Get().(*probeScratch)
+	for pos := 0; pos < p; pos++ {
+		var plist []Posting
+		if id := ids[pos]; int64(id) < int64(len(idx.post)) {
+			plist = idx.post[id]
+		}
+		probes++
+		for _, pst := range plist {
+			probes++
+			idx.filterPosting(s, m, threshold, ly, pos, pst, lo, hi, hasLen)
+		}
+	}
+	return idx.finishProbe(s), probes
+}
+
+// referenceProbe is the retired string-keyed probe, kept verbatim as the
+// reference implementation for the golden equivalence tests: per-call map
+// allocation, map-based dedup, comparison-callback sort.
+func (idx *PrefixIndex) referenceProbe(m simfn.Measure, threshold float64, value string) (cands []int32, probes int64) {
+	idx.checkThreshold(threshold)
 	tokens := idx.ord.Reorder(tokenize.Set(idx.Kind, value))
 	ly := len(tokens)
 	if ly == 0 {
@@ -160,7 +319,7 @@ func (idx *PrefixIndex) Probe(m simfn.Measure, threshold float64, value string) 
 	lo, hi, hasLen := LengthBounds(m, ly, threshold)
 	seen := map[int32]bool{}
 	for pos := 0; pos < p; pos++ {
-		plist := idx.post[tokens[pos]]
+		plist := idx.postings(tokens[pos])
 		probes++
 		for _, pst := range plist {
 			probes++
@@ -171,8 +330,6 @@ func (idx *PrefixIndex) Probe(m simfn.Measure, threshold float64, value string) 
 			if hasLen && (lx < lo || lx > hi) {
 				continue
 			}
-			// Position filter: overlap achievable from here on must reach
-			// the required overlap.
 			if alpha, ok := requiredOverlap(m, lx, ly, threshold); ok {
 				ub := 1 + min(lx-int(pst.Pos)-1, ly-pos-1)
 				if ub < alpha {
@@ -185,6 +342,12 @@ func (idx *PrefixIndex) Probe(m simfn.Measure, threshold float64, value string) 
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	return cands, probes
+}
+
+// ReferenceProbe exposes the retired string-keyed probe for equivalence
+// tests and baseline benchmarks. Production callers use Probe/ProbeIDs.
+func (idx *PrefixIndex) ReferenceProbe(m simfn.Measure, threshold float64, value string) ([]int32, int64) {
+	return idx.referenceProbe(m, threshold, value)
 }
 
 // LengthIndex is a standalone length filter: token-set length → tuple IDs.
@@ -204,11 +367,11 @@ func BuildLength(t *table.Table, col int, kind tokenize.Kind) *LengthIndex {
 		}
 		ps = append(ps, pair{int32(len(tokenize.Set(kind, v))), int32(i)})
 	}
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].l != ps[j].l {
-			return ps[i].l < ps[j].l
+	slices.SortFunc(ps, func(a, b pair) int {
+		if c := cmp.Compare(a.l, b.l); c != 0 {
+			return c
 		}
-		return ps[i].id < ps[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	li := &LengthIndex{lens: make([]int32, len(ps)), ids: make([]int32, len(ps))}
 	for i, p := range ps {

@@ -12,8 +12,9 @@
 package learn
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 	"time"
 
 	"falcon/internal/crowd"
@@ -151,11 +152,11 @@ func selectControversial(votes []int, nTrees int, labeled map[int]bool, take int
 		}
 		cands = append(cands, scored{i, e})
 	}
-	sort.Slice(cands, func(x, y int) bool {
-		if cands[x].entropy != cands[y].entropy {
-			return cands[x].entropy > cands[y].entropy
+	slices.SortFunc(cands, func(a, b scored) int {
+		if c := cmp.Compare(b.entropy, a.entropy); c != 0 {
+			return c
 		}
-		return cands[x].i < cands[y].i
+		return cmp.Compare(a.i, b.i)
 	})
 	if take > len(cands) {
 		take = len(cands)
@@ -191,11 +192,11 @@ func seedSelection(pool []Item, take int, score func([]float64) float64) []int {
 	for i, it := range pool {
 		s[i] = scored{i, score(it.Vec)}
 	}
-	sort.Slice(s, func(x, y int) bool {
-		if s[x].avg != s[y].avg {
-			return s[x].avg > s[y].avg
+	slices.SortFunc(s, func(a, b scored) int {
+		if c := cmp.Compare(b.avg, a.avg); c != 0 {
+			return c
 		}
-		return s[x].i < s[y].i
+		return cmp.Compare(a.i, b.i)
 	})
 	if take > len(s) {
 		take = len(s)

@@ -30,7 +30,9 @@
 package mapreduce
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 )
@@ -205,7 +207,7 @@ func makespan(tasks []int64, slots int) int64 {
 		return 0
 	}
 	sorted := append([]int64(nil), tasks...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	slices.SortFunc(sorted, func(a, b int64) int { return cmp.Compare(b, a) })
 	if slots < 1 {
 		slots = 1
 	}

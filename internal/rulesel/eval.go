@@ -4,10 +4,11 @@
 package rulesel
 
 import (
+	"cmp"
 	"context"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"falcon/internal/bitset"
@@ -125,11 +126,11 @@ func EvalRules(ctx context.Context, cands []rules.Rule, pairs []table.Pair, vecs
 		cov := r.Coverage(vecs)
 		rs = append(rs, ranked{r, cov, cov.Count()})
 	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].n != rs[j].n {
-			return rs[i].n > rs[j].n
+	slices.SortFunc(rs, func(a, b ranked) int {
+		if c := cmp.Compare(b.n, a.n); c != 0 {
+			return c
 		}
-		return rs[i].rule.ID < rs[j].rule.ID
+		return cmp.Compare(a.rule.ID, b.rule.ID)
 	})
 	if len(rs) > cfg.TopK {
 		rs = rs[:cfg.TopK]

@@ -1,8 +1,9 @@
 package rulesel
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"falcon/internal/bitset"
 	"falcon/internal/rules"
@@ -129,13 +130,13 @@ func SelectOptSeq(retained []EvaluatedRule, n int, w Weights) SeqChoice {
 	if len(pool) > w.MaxEnumRules {
 		// Keep the best rules by rank = [1−sel]/time.
 		ranked := append([]EvaluatedRule(nil), pool...)
-		sort.Slice(ranked, func(i, j int) bool {
-			ri := (1 - ranked[i].Selectivity) / ranked[i].Time
-			rj := (1 - ranked[j].Selectivity) / ranked[j].Time
-			if ri != rj {
-				return ri > rj
+		slices.SortFunc(ranked, func(a, b EvaluatedRule) int {
+			ra := (1 - a.Selectivity) / a.Time
+			rb := (1 - b.Selectivity) / b.Time
+			if c := cmp.Compare(rb, ra); c != 0 {
+				return c
 			}
-			return ranked[i].Rule.ID < ranked[j].Rule.ID
+			return cmp.Compare(a.Rule.ID, b.Rule.ID)
 		})
 		pool = ranked[:w.MaxEnumRules]
 	}

@@ -10,9 +10,10 @@
 package sample
 
 import (
+	"cmp"
 	"context"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"falcon/internal/mapreduce"
@@ -122,7 +123,7 @@ func Pairs(ctx context.Context, cluster *mapreduce.Cluster, a, b *table.Table, c
 		inverted[ti.Tok] = append(inverted[ti.Tok], ti.ID)
 	}
 	for _, ids := range inverted {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 	}
 
 	// Select n/y tuples from B.
@@ -135,7 +136,7 @@ func Pairs(ctx context.Context, cluster *mapreduce.Cluster, a, b *table.Table, c
 		numB = b.Len()
 	}
 	perm := rng.Perm(b.Len())[:numB]
-	sort.Ints(perm) // deterministic split layout
+	slices.Sort(perm) // deterministic split layout
 
 	// Job 2: generate pairs for each selected b.
 	genJob := mapreduce.MapOnlyJob[int, table.Pair]{
@@ -145,6 +146,7 @@ func Pairs(ctx context.Context, cluster *mapreduce.Cluster, a, b *table.Table, c
 			local := rand.New(rand.NewSource(cfg.Seed ^ (int64(bRow)+1)*0x5851F42D4C957F2D))
 			doc := document(b, bRow, bCols)
 			// Count shared tokens per A tuple via the inverted index.
+			//falcon:allow hotalloc sampling runs once per sampled B tuple, not per pair
 			counts := map[int32]int{}
 			var probeCost int64
 			for _, tok := range doc {
@@ -163,22 +165,22 @@ func Pairs(ctx context.Context, cluster *mapreduce.Cluster, a, b *table.Table, c
 				id    int32
 				count int
 			}
-			xs := make([]scored, 0, len(counts))
+			xs := make([]scored, 0, len(counts)) //falcon:allow hotalloc sampling stage, size varies per B tuple
 			for id, c := range counts {
 				xs = append(xs, scored{id, c})
 			}
-			sort.Slice(xs, func(i, j int) bool {
-				if xs[i].count != xs[j].count {
-					return xs[i].count > xs[j].count
+			slices.SortFunc(xs, func(a, b scored) int {
+				if c := cmp.Compare(b.count, a.count); c != 0 {
+					return c
 				}
-				return xs[i].id < xs[j].id
+				return cmp.Compare(a.id, b.id)
 			})
 			y := cfg.Y
 			if y > a.Len() {
 				y = a.Len()
 			}
 			y1 := y / 2
-			chosen := make(map[int32]bool, y)
+			chosen := make(map[int32]bool, y) //falcon:allow hotalloc sampling stage, tiny map of Y picks
 			if cfg.ExcludeSelf {
 				chosen[int32(bRow)] = true
 			}

@@ -21,13 +21,14 @@
 package service
 
 import (
+	"cmp"
 	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -357,11 +358,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	// Stable order by numeric suffix: IDs are "job-<n>", so shorter IDs sort
 	// first and equal lengths compare lexically ("job-9" before "job-10").
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i].ID) != len(out[j].ID) {
-			return len(out[i].ID) < len(out[j].ID)
+	slices.SortFunc(out, func(a, b Job) int {
+		if c := cmp.Compare(len(a.ID), len(b.ID)); c != 0 {
+			return c
 		}
-		return out[i].ID < out[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
 	writeJSON(w, out)
 }

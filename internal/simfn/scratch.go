@@ -1,0 +1,348 @@
+package simfn
+
+import "sync"
+
+// Scratch holds reusable buffers for the DP sequence measures (Levenshtein,
+// Jaro(-Winkler), Needleman-Wunsch, Smith-Waterman(-Gotoh), Monge-Elkan),
+// so per-pair evaluation in the blocking/matching hot path stops allocating
+// rune slices and DP rows. Each method returns a value bit-identical to its
+// package-level counterpart (same arithmetic, same operation order); the
+// package-level functions are retained as the allocation-per-call reference
+// implementations the golden equivalence tests compare against.
+//
+// A Scratch is not safe for concurrent use: hold one per worker/task, or
+// use GetScratch/PutScratch around a batch of evaluations.
+type Scratch struct {
+	ra, rb []rune
+	ia, ib []int
+	fa, fb []float64
+	fc, fd []float64
+	ba, bb []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the shared pool.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// appendRunes decodes str into dst (reusing its capacity). Ranging over a
+// string yields the same rune sequence as []rune(str), including U+FFFD for
+// invalid UTF-8, so the scratch variants see the inputs the reference
+// implementations see.
+func appendRunes(dst []rune, str string) []rune {
+	dst = dst[:0]
+	for _, r := range str {
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// LevenshteinDistance is the scratch variant of the package function.
+func (s *Scratch) LevenshteinDistance(a, b string) int {
+	s.ra = appendRunes(s.ra, a)
+	s.rb = appendRunes(s.rb, b)
+	ra, rb := s.ra, s.rb
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	s.ia = growInts(s.ia, len(rb)+1)
+	s.ib = growInts(s.ib, len(rb)+1)
+	prev, cur := s.ia, s.ib
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Levenshtein is the scratch variant of the package function.
+func (s *Scratch) Levenshtein(a, b string) float64 {
+	d := s.LevenshteinDistance(a, b)
+	la, lb := len(s.ra), len(s.rb)
+	if la == 0 && lb == 0 {
+		return 0
+	}
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return 1 - float64(d)/float64(max)
+}
+
+// Jaro is the scratch variant of the package function. It leaves the decoded
+// runes of a and b in s.ra/s.rb for JaroWinkler's prefix scan.
+func (s *Scratch) Jaro(a, b string) float64 {
+	s.ra = appendRunes(s.ra, a)
+	s.rb = appendRunes(s.rb, b)
+	ra, rb := s.ra, s.rb
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	s.ba = growBools(s.ba, la)
+	s.bb = growBools(s.bb, lb)
+	aMatch, bMatch := s.ba, s.bb
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bMatch[j] || ra[i] != rb[j] {
+				continue
+			}
+			aMatch[i] = true
+			bMatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler is the scratch variant of the package function.
+func (s *Scratch) JaroWinkler(a, b string) float64 {
+	j := s.Jaro(a, b)
+	ra, rb := s.ra, s.rb
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// MongeElkan is the scratch variant of the package function.
+func (s *Scratch) MongeElkan(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if v := s.JaroWinkler(ta, tb); v > best {
+				best = v
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(a))
+}
+
+// NeedlemanWunsch is the scratch variant of the package function.
+func (s *Scratch) NeedlemanWunsch(a, b string) float64 {
+	s.ra = appendRunes(s.ra, a)
+	s.rb = appendRunes(s.rb, b)
+	ra, rb := s.ra, s.rb
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	s.fa = growFloats(s.fa, lb+1)
+	s.fb = growFloats(s.fb, lb+1)
+	prev, cur := s.fa, s.fb
+	for j := 0; j <= lb; j++ {
+		prev[j] = float64(j) * alignGap
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = float64(i) * alignGap
+		for j := 1; j <= lb; j++ {
+			sub := alignMismatch
+			if ra[i-1] == rb[j-1] {
+				sub = alignMatch
+			}
+			best := prev[j-1] + sub
+			if v := prev[j] + alignGap; v > best {
+				best = v
+			}
+			if v := cur[j-1] + alignGap; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	score := prev[lb]
+	max := float64(la)
+	if lb > la {
+		max = float64(lb)
+	}
+	max *= alignMatch
+	if score <= 0 {
+		return 0
+	}
+	return score / max
+}
+
+// SmithWaterman is the scratch variant of the package function.
+func (s *Scratch) SmithWaterman(a, b string) float64 {
+	s.ra = appendRunes(s.ra, a)
+	s.rb = appendRunes(s.rb, b)
+	ra, rb := s.ra, s.rb
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	s.fa = growFloats(s.fa, lb+1)
+	s.fb = growFloats(s.fb, lb+1)
+	prev, cur := s.fa, s.fb
+	for j := range prev {
+		prev[j] = 0
+	}
+	best := 0.0
+	for i := 1; i <= la; i++ {
+		cur[0] = 0
+		for j := 1; j <= lb; j++ {
+			sub := alignMismatch
+			if ra[i-1] == rb[j-1] {
+				sub = alignMatch
+			}
+			v := prev[j-1] + sub
+			if g := prev[j] + alignGap; g > v {
+				v = g
+			}
+			if g := cur[j-1] + alignGap; g > v {
+				v = g
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	min := la
+	if lb < min {
+		min = lb
+	}
+	return best / (alignMatch * float64(min))
+}
+
+// SmithWatermanGotoh is the scratch variant of the package function.
+func (s *Scratch) SmithWatermanGotoh(a, b string) float64 {
+	s.ra = appendRunes(s.ra, a)
+	s.rb = appendRunes(s.rb, b)
+	ra, rb := s.ra, s.rb
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	negInf := -1e18
+	s.fa = growFloats(s.fa, lb+1)
+	s.fb = growFloats(s.fb, lb+1)
+	s.fc = growFloats(s.fc, lb+1)
+	s.fd = growFloats(s.fd, lb+1)
+	hPrev, hCur, ePrev, eCur := s.fa, s.fb, s.fc, s.fd
+	for j := 0; j <= lb; j++ {
+		hPrev[j] = 0
+		ePrev[j] = negInf
+	}
+	best := 0.0
+	for i := 1; i <= la; i++ {
+		hCur[0] = 0
+		eCur[0] = negInf
+		f := negInf
+		for j := 1; j <= lb; j++ {
+			eCur[j] = maxf(ePrev[j]+gotohExtend, hPrev[j]+gotohOpen)
+			f = maxf(f+gotohExtend, hCur[j-1]+gotohOpen)
+			sub := alignMismatch
+			if ra[i-1] == rb[j-1] {
+				sub = alignMatch
+			}
+			h := maxf(0, maxf(hPrev[j-1]+sub, maxf(eCur[j], f)))
+			hCur[j] = h
+			if h > best {
+				best = h
+			}
+		}
+		hPrev, hCur = hCur, hPrev
+		ePrev, eCur = eCur, ePrev
+	}
+	min := la
+	if lb < min {
+		min = lb
+	}
+	return best / (alignMatch * float64(min))
+}

@@ -21,6 +21,7 @@ func overlapCount(a, b []string) int {
 	if len(small) > len(large) {
 		small, large = large, small
 	}
+	//falcon:allow hotalloc retired reference path; blocking uses the ID-set variants in setsim_ids.go
 	set := make(map[string]struct{}, len(small))
 	for _, t := range small {
 		set[t] = struct{}{}

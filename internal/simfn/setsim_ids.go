@@ -1,0 +1,120 @@
+package simfn
+
+import "math"
+
+// ID-set variants of the set measures. They operate on dictionary-encoded
+// token sets: sorted, duplicate-free []uint32 slices (see tokenize.Dict).
+// Because every set measure depends only on |a|, |b|, and |a∩b|, these
+// return bit-identical values to the string versions under any injective
+// token encoding. None of them allocate.
+
+// gallopCutoff switches OverlapIDs from a linear merge to per-element
+// galloping search when the larger set is at least this many times the
+// smaller one; the merge is O(|a|+|b|), galloping O(|a|·log|b|).
+const gallopCutoff = 8
+
+// OverlapIDs returns |a ∩ b| for two sorted, duplicate-free ID sets.
+func OverlapIDs(a, b []uint32) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= gallopCutoff*len(a) {
+		return gallopOverlap(a, b)
+	}
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// gallopOverlap intersects by exponential-then-binary searching each element
+// of the small set within the (much larger) big set, advancing a shared
+// lower bound so the total work is O(|small|·log(|big|/|small|)).
+func gallopOverlap(small, big []uint32) int {
+	n, lo := 0, 0
+	for _, x := range small {
+		// Exponential probe for the first index ≥ lo with big[idx] >= x.
+		step := 1
+		hi := lo
+		for hi < len(big) && big[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(big) {
+			hi = len(big)
+		}
+		// Binary search in (lo-1, hi].
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if big[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(big) {
+			return n
+		}
+		if big[lo] == x {
+			n++
+			lo++
+		}
+	}
+	return n
+}
+
+// JaccardIDs returns |a∩b| / |a∪b|; two empty sets score 0, matching
+// Jaccard.
+func JaccardIDs(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := OverlapIDs(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// DiceIDs returns 2|a∩b| / (|a|+|b|), matching Dice.
+func DiceIDs(a, b []uint32) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(OverlapIDs(a, b)) / float64(len(a)+len(b))
+}
+
+// OverlapSimIDs returns |a∩b| / min(|a|,|b|), matching Overlap.
+func OverlapSimIDs(a, b []uint32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	return float64(OverlapIDs(a, b)) / float64(m)
+}
+
+// CosineIDs returns |a∩b| / sqrt(|a|·|b|), matching Cosine.
+func CosineIDs(a, b []uint32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return float64(OverlapIDs(a, b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+}

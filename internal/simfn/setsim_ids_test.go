@@ -1,0 +1,96 @@
+package simfn
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randomIDSet returns a sorted set of n distinct IDs drawn from [0, space).
+func randomIDSet(rng *rand.Rand, n, space int) []uint32 {
+	seen := map[uint32]bool{}
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		id := uint32(rng.Intn(space))
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// idsToStrings maps an ID set to a string token set bijectively, so the
+// string measures serve as the oracle for the ID measures.
+func idsToStrings(ids []uint32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(rune('A'+id/1000)) + string(rune('a'+(id/26)%26)) + string(rune('a'+id%26))
+	}
+	return out
+}
+
+// TestIDSetMeasuresMatchStringMeasures cross-checks every ID-set measure
+// against its string oracle on random sorted sets, including gallop-sized
+// imbalance and empty sets.
+func TestIDSetMeasuresMatchStringMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][2]int{{0, 0}, {0, 7}, {3, 3}, {5, 80}, {64, 64}, {2, 200}, {17, 40}}
+	for _, sh := range shapes {
+		for trial := 0; trial < 25; trial++ {
+			a := randomIDSet(rng, sh[0], 400)
+			b := randomIDSet(rng, sh[1], 400)
+			sa, sb := idsToStrings(a), idsToStrings(b)
+			checks := []struct {
+				name     string
+				got, ref float64
+			}{
+				{"jaccard", JaccardIDs(a, b), Jaccard(sa, sb)},
+				{"dice", DiceIDs(a, b), Dice(sa, sb)},
+				{"overlap", OverlapSimIDs(a, b), Overlap(sa, sb)},
+				{"cosine", CosineIDs(a, b), Cosine(sa, sb)},
+			}
+			for _, c := range checks {
+				if math.Float64bits(c.got) != math.Float64bits(c.ref) {
+					t.Fatalf("%s(|a|=%d,|b|=%d) = %v, string path = %v", c.name, len(a), len(b), c.got, c.ref)
+				}
+			}
+		}
+	}
+}
+
+// TestJaccardIDsAllocs pins the zero-allocation contract of the ID-set hot
+// path, for both the linear merge and the galloping probe.
+func TestJaccardIDsAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	small := randomIDSet(rng, 4, 4000)
+	a := randomIDSet(rng, 60, 4000)
+	b := randomIDSet(rng, 70, 4000)
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() { sink += JaccardIDs(a, b) }); n != 0 {
+		t.Fatalf("JaccardIDs (merge) allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { sink += JaccardIDs(small, b) }); n != 0 {
+		t.Fatalf("JaccardIDs (gallop) allocates %.1f objects/op, want 0", n)
+	}
+	_ = sink
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := randomIDSet(rng, 12, 5000)
+	y := randomIDSet(rng, 14, 5000)
+	sx, sy := idsToStrings(x), idsToStrings(y)
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Jaccard(sx, sy)
+		}
+	})
+	b.Run("ids", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			JaccardIDs(x, y)
+		}
+	})
+}

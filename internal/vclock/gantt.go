@@ -1,9 +1,10 @@
 package vclock
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -53,8 +54,8 @@ func RenderGantt(w io.Writer, tasks []*Task, width int) {
 		rows[k] = append(rows[k], t)
 	}
 	// Stable order: by first task start.
-	sort.SliceStable(order, func(i, j int) bool {
-		return rows[order[i]][0].Start < rows[order[j]][0].Start
+	slices.SortStableFunc(order, func(a, b rowKey) int {
+		return cmp.Compare(rows[a][0].Start, rows[b][0].Start)
 	})
 
 	col := func(d time.Duration) int {

@@ -14,8 +14,9 @@
 package vclock
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -157,7 +158,7 @@ func mergeIntervals(in []interval) []interval {
 	if len(in) == 0 {
 		return nil
 	}
-	sort.Slice(in, func(i, j int) bool { return in[i].s < in[j].s })
+	slices.SortFunc(in, func(a, b interval) int { return cmp.Compare(a.s, b.s) })
 	out := []interval{in[0]}
 	for _, iv := range in[1:] {
 		last := &out[len(out)-1]
