@@ -26,9 +26,10 @@ test:
 race:
 	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/...
 
-# bench records the executor worker-pool benchmark (speedup needs >1 CPU)
-# and the blocking hot-path benchmarks (dictionary ID path vs the retired
-# string reference path).
+# bench records the executor worker-pool benchmark (speedup needs >1 CPU),
+# the blocking hot-path benchmarks (dictionary ID path vs the retired
+# string reference path), and the falcon-vet whole-tree benchmark (all
+# eight analyzers over the module, loading amortized).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
 		./internal/mapreduce/ > BENCH_executor.json
@@ -36,3 +37,6 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBlocking$$|BenchmarkVectorize$$|BenchmarkPrefixProbe$$' \
 		-benchmem -json ./internal/block/ ./internal/feature/ ./internal/index/ > BENCH_blocking.json
 	@echo "wrote BENCH_blocking.json"
+	$(GO) test -run '^$$' -bench 'BenchmarkVetTree$$' -benchmem -json \
+		./internal/analysis/ > BENCH_vet.json
+	@echo "wrote BENCH_vet.json"

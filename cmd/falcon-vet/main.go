@@ -1,23 +1,35 @@
 // Command falcon-vet runs Falcon's project-specific static-analysis suite:
 // zero-dependency analyzers, built on go/parser and go/types, that enforce
-// the determinism, cost-accounting, lock-safety, and error-handling
-// invariants the simulated-cluster evaluation depends on.
+// the determinism, cost-accounting, lock-safety, error-handling,
+// hot-path-allocation, context-propagation, and scratch-escape invariants
+// the simulated-cluster evaluation depends on. The suite is
+// interprocedural: the requested packages' whole dependency closure is
+// analyzed in dependency order, and the transdeterminism/ctxflow/
+// scratchescape analyzers chase violations across package boundaries,
+// printing the call chain they followed.
 //
 // Usage:
 //
 //	falcon-vet [flags] [patterns]
 //
 // Patterns default to ./... (every package in the module). Diagnostics
-// print as file:line:col: analyzer: message; the exit status is 1 when any
-// diagnostic is reported and 2 on usage or load errors.
+// print as file:line:col: analyzer: message — interprocedural analyzers
+// spell out the call chain they followed inside the message; the exit
+// status is 1 when any diagnostic is reported and 2 on usage or load
+// errors. With -json, each diagnostic is one JSON object per line (file,
+// line, col, analyzer, message, chain) for CI annotation.
 //
 // A finding is suppressed by a directive comment on, or directly above,
 // the flagged line:
 //
 //	//falcon:allow <analyzer> <reason>
+//
+// Directives that no longer suppress anything are themselves reported
+// (analyzer name "staleallow"), so the allowlist cannot rot.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +42,21 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonDiagnostic is the one-per-line -json output shape.
+type jsonDiagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("falcon-vet", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	asJSON := fs.Bool("json", false, "emit one JSON diagnostic per line (file, line, col, analyzer, message, chain)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,7 +68,7 @@ func run(args []string) int {
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -77,10 +100,25 @@ func run(args []string) int {
 	}
 
 	diags := analysis.Run(analyzers, pkgs)
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
 			pos.Filename = rel
+		}
+		if *asJSON {
+			// One object per line so CI can annotate without buffering; the
+			// encoder's write error surfaces as a short count below, and a
+			// broken pipe ends the process anyway.
+			_ = enc.Encode(jsonDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			})
+			continue
 		}
 		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}

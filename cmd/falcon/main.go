@@ -127,6 +127,7 @@ func run() error {
 		return err
 	}
 
+	//falcon:allow determinism same user-facing wall-clock timer as the time.Now above; never feeds the pipeline
 	fmt.Printf("\n%d matches found (wall clock %s)\n", len(report.Matches), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("plan: blocking=%v strategy=%s rules=%d/%d candidates=%s\n",
 		report.UsedBlocking, report.Strategy, report.RulesRetained, report.RulesLearned,

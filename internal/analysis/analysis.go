@@ -3,13 +3,22 @@
 // standard library's go/parser, go/ast, and go/types.
 //
 // An Analyzer inspects one type-checked package at a time and reports
-// Diagnostics. The project-specific analyzers (see determinism.go,
-// costaccounting.go, locksafety.go, errcheck.go, hotalloc.go) enforce the
-// invariants Falcon's reproducibility and performance stories rest on: no
-// wall-clock or global-rand nondeterminism in the simulation, cost units
-// accrued wherever mapreduce tasks amplify work, no copied or
-// blocking-held locks, no silently discarded errors, no per-record map or
-// buffer allocations on the blocking hot path.
+// Diagnostics. Analyzers with Facts set also export per-object summaries
+// (see facts.go) that later packages in dependency order import, which is
+// what makes the suite interprocedural: Run analyzes the whole import
+// closure of the requested packages bottom-up (see DepOrder), resolving
+// calls through a conservative whole-program call graph (see callgraph.go).
+//
+// The project-specific analyzers (determinism.go, transdeterminism.go,
+// costaccounting.go, locksafety.go, errcheck.go, hotalloc.go, ctxflow.go,
+// scratchescape.go) enforce the invariants Falcon's reproducibility and
+// performance stories rest on: no wall-clock or global-rand nondeterminism
+// in the simulation — even one call deep across packages; cost units
+// accrued wherever mapreduce tasks amplify work; no copied or
+// blocking-held locks; no silently discarded errors; no per-record map or
+// buffer allocations on the blocking hot path; cancellation contexts
+// threaded, not dropped, through blocking crowd/MR calls; pooled scratch
+// buffers never escaping to the heap.
 //
 // Suppression: a diagnostic is suppressed when the flagged line, or the
 // line directly above it, carries a directive comment
@@ -17,8 +26,12 @@
 //	//falcon:allow <analyzer-name> [reason...]
 //
 // This is the allowlist mechanism for the rare legitimate exceptions (for
-// example the CLI's user-facing wall-clock timer). Test files are never
-// loaded (see load.go), so _test.go code is implicitly allowlisted.
+// example the CLI's user-facing wall-clock timer). Run additionally
+// reports, under the synthetic analyzer name "staleallow", any directive
+// in a requested package that no longer suppresses anything for an
+// analyzer that actually ran — so the allowlist cannot rot. Test files
+// are never loaded (see load.go), so _test.go code is implicitly
+// allowlisted.
 package analysis
 
 import (
@@ -37,7 +50,12 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `falcon-vet -list`.
 	Doc string
-	// Run inspects pass.Files and reports findings via pass.Report.
+	// Facts marks an analyzer that exports per-object facts. Facts
+	// analyzers run over every package in the dependency closure (with
+	// reporting disabled outside the requested set) so their summaries are
+	// available wherever a downstream package calls in.
+	Facts bool
+	// Run inspects pass.Files and reports findings via pass.Reportf.
 	Run func(pass *Pass)
 }
 
@@ -46,55 +64,48 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain, when non-empty, is the call path (outermost first) an
+	// interprocedural analyzer followed from the reported position to the
+	// offending source.
+	Chain []string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Pass carries one package through one analyzer.
-type Pass struct {
-	Analyzer *Analyzer
-	Fset     *token.FileSet
-	Files    []*ast.File
-	Pkg      *types.Package
-	Info     *types.Info
+// StaleAllowName is the analyzer name stale-suppression diagnostics are
+// reported under. It is reserved: directives cannot suppress it.
+const StaleAllowName = "staleallow"
 
-	// allow maps file name -> set of lines carrying an allow directive for
-	// a given analyzer name ("line:name" keys).
-	allow map[string]bool
-	diags *[]Diagnostic
+// allowRef keys the allow-directive index by (file, line, analyzer) as a
+// struct — the per-diagnostic lookup is on every Reportf path, so it must
+// not allocate a formatted key string.
+type allowRef struct {
+	file string
+	line int
+	name string
 }
 
-// Reportf records a diagnostic at pos unless an allow directive or the
-// analyzer's allowlist suppresses it.
-func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.allowedAt(position) {
-		return
-	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      position,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
-	})
+// allowDirective is one parsed //falcon:allow comment. hit flips when the
+// directive suppresses a diagnostic or sanctions a taint source, and is
+// what the stale-suppression check inspects.
+type allowDirective struct {
+	pos  token.Position
+	name string
+	hit  bool
 }
 
-func (p *Pass) allowedAt(pos token.Position) bool {
-	if p.allow == nil {
-		return false
-	}
-	return p.allow[allowKey(pos.Filename, pos.Line, p.Analyzer.Name)] ||
-		p.allow[allowKey(pos.Filename, pos.Line-1, p.Analyzer.Name)]
+// allowIndex holds one package's directives, addressable by position.
+type allowIndex struct {
+	byRef map[allowRef]*allowDirective
+	list  []*allowDirective
 }
 
-func allowKey(file string, line int, analyzer string) string {
-	return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
-}
-
-// buildAllow indexes //falcon:allow directives across the package's files.
-func buildAllow(fset *token.FileSet, files []*ast.File) map[string]bool {
-	allow := map[string]bool{}
+// buildAllowIndex parses //falcon:allow directives across the package's
+// files.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byRef: map[allowRef]*allowDirective{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -107,32 +118,162 @@ func buildAllow(fset *token.FileSet, files []*ast.File) map[string]bool {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				allow[allowKey(pos.Filename, pos.Line, fields[0])] = true
+				d := &allowDirective{pos: pos, name: fields[0]}
+				idx.byRef[allowRef{pos.Filename, pos.Line, fields[0]}] = d
+				idx.list = append(idx.list, d)
 			}
 		}
 	}
-	return allow
+	return idx
 }
 
-// Run applies each analyzer to each package and returns all diagnostics
-// sorted by position.
+// allowed reports whether a directive for any of names covers pos (same
+// line or the line above), marking every matching directive as used.
+func (ai *allowIndex) allowed(pos token.Position, names ...string) bool {
+	if ai == nil {
+		return false
+	}
+	ok := false
+	for _, name := range names {
+		for _, line := range [2]int{pos.Line, pos.Line - 1} {
+			if d := ai.byRef[allowRef{pos.Filename, line, name}]; d != nil {
+				d.hit = true
+				ok = true
+			}
+		}
+	}
+	return ok
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Graph is the whole-program call graph over the loaded closure.
+	Graph *Graph
+
+	// report is false when a facts analyzer visits a dependency package
+	// only to compute summaries: facts still flow, diagnostics do not.
+	report bool
+	allow  *allowIndex
+	facts  factStore
+	diags  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an allow directive suppresses
+// it or the pass is a facts-only visit of a dependency package.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportChain(pos, nil, format, args...)
+}
+
+// ReportChain is Reportf with an attached call chain (outermost first),
+// used by interprocedural analyzers to show how the reported position
+// reaches the offending source.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allowed(position, p.Analyzer.Name) {
+		return
+	}
+	if !p.report {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// Allowed reports whether an allow directive for any of names covers pos.
+// Interprocedural analyzers use it to honor suppressions at a taint
+// source: a sanctioned time.Now must not seed transitive findings in every
+// caller. Matching directives count as used for the stale check.
+func (p *Pass) Allowed(pos token.Pos, names ...string) bool {
+	return p.allow.allowed(p.Fset.Position(pos), names...)
+}
+
+// Run applies the analyzers to the requested packages and returns all
+// diagnostics sorted by position.
+//
+// The requested packages' whole dependency closure is analyzed in
+// dependency order: facts analyzers visit every package (exporting
+// summaries, reporting only inside the requested set), per-package
+// analyzers visit only the requested packages. After all passes, stale
+// //falcon:allow directives in the requested packages are reported under
+// the "staleallow" analyzer name: a directive is stale when the analyzer
+// it names ran but the directive suppressed nothing, or when it names no
+// known analyzer at all.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	closure := DepOrder(pkgs)
+	graph := BuildGraph(closure)
+	requested := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		requested[p] = true
+	}
+	allowByPkg := make(map[*Package]*allowIndex, len(closure))
+	for _, pkg := range closure {
+		allowByPkg[pkg] = buildAllowIndex(pkg.Fset, pkg.Files)
+	}
+	facts := factStore{}
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allow := buildAllow(pkg.Fset, pkg.Files)
+	for _, pkg := range closure {
 		for _, a := range analyzers {
-			pass := &Pass{
+			if !a.Facts && !requested[pkg] {
+				continue
+			}
+			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				allow:    allow,
+				Graph:    graph,
+				report:   requested[pkg],
+				allow:    allowByPkg[pkg],
+				facts:    facts,
 				diags:    &diags,
-			}
-			a.Run(pass)
+			})
 		}
 	}
+
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, pkg := range closure {
+		if !requested[pkg] {
+			continue
+		}
+		for _, d := range allowByPkg[pkg].list {
+			if d.hit {
+				continue
+			}
+			switch {
+			case !known[d.name]:
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: StaleAllowName,
+					Message:  fmt.Sprintf("//falcon:allow names unknown analyzer %q", d.name),
+				})
+			case ran[d.name]:
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: StaleAllowName,
+					Message:  fmt.Sprintf("stale //falcon:allow %s: no %s diagnostic is suppressed here", d.name, d.name),
+				})
+			}
+		}
+	}
+
 	slices.SortFunc(diags, func(a, b Diagnostic) int {
 		if c := strings.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
 			return c
@@ -157,10 +298,13 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
+		TransDeterminism,
 		CostAccounting,
 		LockSafety,
 		ErrCheck,
 		HotAlloc,
+		CtxFlow,
+		ScratchEscape,
 	}
 }
 

@@ -40,6 +40,15 @@ func TestFixtures(t *testing.T) {
 		{ErrCheck, "errcheck_clean"},
 		{HotAlloc, "hotalloc_flagged"},
 		{HotAlloc, "hotalloc_clean"},
+		{TransDeterminism, "transdeterminism_flagged"},
+		{TransDeterminism, "transdeterminism_clean"},
+		{CtxFlow, "ctxflow_flagged"},
+		{CtxFlow, "ctxflow_clean"},
+		{ScratchEscape, "scratchescape_flagged"},
+		{ScratchEscape, "scratchescape_clean"},
+		{TransDeterminism, "multi/detapp"},
+		{CtxFlow, "ctxmulti/app"},
+		{ScratchEscape, "scratchmulti/scratchapp"},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -77,6 +86,99 @@ func TestModuleIsClean(t *testing.T) {
 	}
 }
 
+// TestCrossPackageFacts is the acceptance check for the interprocedural
+// engine: each new analyzer's multi-package fixture contains a violation
+// split across two packages that the pre-facts per-package suite provably
+// misses — the old analyzers report nothing on the requesting package,
+// the facts analyzer does.
+func TestCrossPackageFacts(t *testing.T) {
+	old := []*Analyzer{Determinism, CostAccounting, LockSafety, ErrCheck, HotAlloc}
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+		// wantChain: the analyzer's diagnostics must carry the call chain
+		// (scratchescape reports the escaping store itself, which has no
+		// chain — its cross-package half is the imported alias summary).
+		wantChain bool
+	}{
+		{TransDeterminism, "multi/detapp", true},
+		{CtxFlow, "ctxmulti/app", true},
+		{ScratchEscape, "scratchmulti/scratchapp", false},
+	}
+	l := loader(t)
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			pkg, err := l.LoadDir(filepath.Join("testdata", c.dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range Run(old, []*Package{pkg}) {
+				t.Errorf("per-package suite unexpectedly reports: %s", d)
+			}
+			diags := Run([]*Analyzer{c.analyzer}, []*Package{pkg})
+			if len(diags) == 0 {
+				t.Fatalf("%s reports nothing on %s; the cross-package violation went unseen", c.analyzer.Name, c.dir)
+			}
+			if !c.wantChain {
+				return
+			}
+			for _, d := range diags {
+				if len(d.Chain) < 2 {
+					t.Errorf("diagnostic lacks a cross-package call chain: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestStaleAllow pins the stale-suppression check: a directive that earns
+// its keep stays silent, one that suppresses nothing is reported, and one
+// naming a nonexistent analyzer is reported as unknown.
+func TestStaleAllow(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "staleallow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Analyzer{Determinism}, []*Package{pkg})
+	var stale, unknown int
+	for _, d := range diags {
+		if d.Analyzer != StaleAllowName {
+			t.Errorf("unexpected %s diagnostic: %s", d.Analyzer, d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "stale //falcon:allow determinism"):
+			stale++
+		case strings.Contains(d.Message, `unknown analyzer "nosuchcheck"`):
+			unknown++
+		default:
+			t.Errorf("unexpected staleallow diagnostic: %s", d)
+		}
+	}
+	if stale != 1 || unknown != 1 {
+		t.Fatalf("want 1 stale + 1 unknown directive, got %d + %d (diags: %v)", stale, unknown, diags)
+	}
+}
+
+// TestDepOrder pins the dependency ordering the facts engine relies on:
+// a fixture package's dependency must come out before the package itself.
+func TestDepOrder(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "multi", "detapp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := DepOrder([]*Package{pkg})
+	var paths []string
+	for _, p := range order {
+		paths = append(paths, p.Path)
+	}
+	if len(paths) != 2 || paths[0] != "fixture/multi/detlib" || paths[1] != "fixture/multi/detapp" {
+		t.Fatalf("DepOrder = %v, want [fixture/multi/detlib fixture/multi/detapp]", paths)
+	}
+}
+
 // TestLoaderPaths pins the loader's module discovery and import-path
 // derivation.
 func TestLoaderPaths(t *testing.T) {
@@ -99,7 +201,7 @@ func TestLoaderPaths(t *testing.T) {
 // TestByName covers the analyzer registry lookups falcon-vet exposes.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
+	if err != nil || len(all) != 8 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("determinism, errcheck")

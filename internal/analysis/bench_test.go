@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+// BenchmarkVetTree measures one full falcon-vet pass — all eight
+// analyzers, facts, call graph, and the struct-keyed allow index — over
+// the module's own tree, with loading and type-checking done once up
+// front (the analyzers, not the parser, are what this PR made hot).
+func BenchmarkVetTree(b *testing.B) {
+	l, err := sharedLoader()
+	if err != nil {
+		b.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		b.Fatalf("Load: %v", err)
+	}
+	analyzers := All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(analyzers, pkgs); len(diags) != 0 {
+			b.Fatalf("tree is not clean: %v", diags[0])
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Graph is the conservative whole-program call graph falcon-vet's
+// interprocedural analyzers resolve call sites through. It handles two
+// kinds of edges:
+//
+//   - static calls: a direct call to a package function or a method on a
+//     concrete receiver resolves to exactly that *types.Func;
+//   - dynamic calls through an interface method: resolved by method-set
+//     matching over every named type declared in the loaded program — the
+//     paper-relevant interface surfaces are small (crowd.Platform, the
+//     mapreduce sort/partition hooks, the filters registry), so "every
+//     concrete type that implements the interface might be the callee" is
+//     both sound for module types and cheap.
+//
+// Limits, by construction: callees reached only through stored function
+// values are not modeled (the analyzers treat function-typed fields and
+// variables as opaque), standard-library internals are opaque (their known
+// nondeterminism/blocking entry points are modeled as direct sources
+// instead), and generic named types are skipped during interface matching
+// (none of the guarded interfaces are generic).
+type Graph struct {
+	// impls maps an interface method declaration to the concrete methods
+	// implementing it, in deterministic order.
+	impls map[*types.Func][]*types.Func
+}
+
+// BuildGraph indexes interface implementations across the packages
+// (normally the full DepOrder closure).
+func BuildGraph(pkgs []*Package) *Graph {
+	g := &Graph{impls: map[*types.Func][]*types.Func{}}
+
+	var ifaces []*types.Interface
+	var concrete []types.Type
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, iface)
+				}
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+
+	for _, iface := range ifaces {
+		for _, t := range concrete {
+			impl := t
+			if !types.Implements(t, iface) {
+				ptr := types.NewPointer(t)
+				if !types.Implements(ptr, iface) {
+					continue
+				}
+				impl = ptr
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i).Origin()
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				g.impls[m] = append(g.impls[m], fn.Origin())
+			}
+		}
+	}
+	for m, fns := range g.impls {
+		sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+		g.impls[m] = dedupeFuncs(fns)
+	}
+	return g
+}
+
+func dedupeFuncs(fns []*types.Func) []*types.Func {
+	out := fns[:0]
+	var prev *types.Func
+	for _, f := range fns {
+		if f != prev {
+			out = append(out, f)
+		}
+		prev = f
+	}
+	return out
+}
+
+// funcSig returns a function object's signature. (*types.Func).Signature
+// exists only from go1.23; this keeps the module at its declared go1.22.
+func funcSig(fn *types.Func) *types.Signature {
+	return fn.Type().(*types.Signature)
+}
+
+// Callees resolves one call expression to the set of functions it may
+// invoke: the single static callee, or every implementation of an
+// interface method. Builtins, conversions, and calls of stored function
+// values resolve to nil.
+func (g *Graph) Callees(info *types.Info, call *ast.CallExpr) []*types.Func {
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return nil
+	}
+	if recv := funcSig(fn).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		if impls := g.impls[fn.Origin()]; len(impls) > 0 {
+			return impls
+		}
+		return nil
+	}
+	return []*types.Func{fn.Origin()}
+}
+
+// staticCallee resolves the function object a call expression names, or nil
+// for builtins, conversions, and dynamic function values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified package function (pkg.Fn).
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](...): the index operand names the
+		// generic function.
+		return staticCallee(info, &ast.CallExpr{Fun: e.X})
+	case *ast.IndexListExpr:
+		return staticCallee(info, &ast.CallExpr{Fun: e.X})
+	}
+	return nil
+}

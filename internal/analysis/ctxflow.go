@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow guards the cancellation story: once a function has a
+// context.Context, that context must actually flow into the blocking work
+// below it. Three rules, checked wherever ctx is in scope (a parameter of
+// the function, or inherited by a closure):
+//
+//	R1 — context.Background()/context.TODO() must not appear as a call
+//	     argument: it severs the cancellation chain right where a real ctx
+//	     was available. (Plain `ctx = context.Background()` nil-defaulting
+//	     assignments are fine — nothing was severed.)
+//	R2 — calling a ctx-less function that has a *Context sibling
+//	     (LabelMajority vs LabelMajorityContext, Run vs RunContext) drops
+//	     ctx on the floor; call the sibling.
+//	R3 — calling a ctx-less function that *transitively* blocks on
+//	     crowd/mapreduce work (a BlocksFact, propagated cross-package in
+//	     dependency order) makes that whole subtree uncancellable. This is
+//	     the interprocedural rule: the blocking call may be any number of
+//	     packages away.
+//
+// Convenience wrappers without a ctx parameter (falcon.Match, crowd's
+// LabelMajority) are legal — they had no ctx to drop. They do carry a
+// BlocksFact, so a ctx-holding caller reaching for them is flagged by R3.
+//
+// BlocksFact seeds are structural, matching the repo's simulation
+// primitives by shape so fixtures can reproduce them: methods named
+// Label* on a type Crowd in a package named "crowd", and the
+// Run/Execute family in a package named "mapreduce", when they take no
+// ctx; plus any ctx-less function passing context.Background()/TODO()
+// into a ctx-taking callee.
+var CtxFlow = &Analyzer{
+	Name:  "ctxflow",
+	Doc:   "flags ctx-holding code that severs cancellation: Background/TODO as call args, dropped-ctx calls with *Context siblings, and calls into uncancellable blocking subtrees",
+	Facts: true,
+	Run:   runCtxFlow,
+}
+
+// BlocksFact marks a ctx-less function that (transitively) blocks on
+// crowd/mapreduce work. Chain[0] is the function itself; the last entry is
+// the blocking primitive.
+type BlocksFact struct {
+	Chain []string
+}
+
+func (*BlocksFact) AFact() {}
+
+// mapreduceBlocking is the Run/Execute family in a package named
+// "mapreduce"; the ctx-less members block until the whole job finishes.
+var mapreduceBlocking = map[string]bool{
+	"Run": true, "RunContext": true, "RunMapOnly": true,
+	"RunMapOnlyContext": true, "Execute": true, "ExecuteMapOnly": true,
+}
+
+func runCtxFlow(pass *Pass) {
+	fns := declaredFuncs(pass)
+
+	// Seed: structural blocking primitives without a ctx parameter.
+	for _, fd := range fns {
+		if hasCtxParam(funcSig(fd.obj)) {
+			continue
+		}
+		if isBlockingPrimitive(fd.obj) {
+			pass.ExportObjectFact(fd.obj, &BlocksFact{Chain: []string{fd.obj.FullName()}})
+		}
+	}
+
+	// Fixpoint: a ctx-less function that calls into a blocking fact, or
+	// hands context.Background()/TODO() to a ctx-taking callee, blocks too.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			if hasCtxParam(funcSig(fd.obj)) {
+				continue
+			}
+			if _, ok := pass.ImportObjectFact(fd.obj); ok {
+				continue
+			}
+			fact := blockingCall(pass, fd.decl)
+			if fact == nil {
+				continue
+			}
+			chain := append([]string{fd.obj.FullName()}, fact.Chain...)
+			pass.ExportObjectFact(fd.obj, &BlocksFact{Chain: chain})
+			changed = true
+		}
+	}
+
+	// Report R1/R2/R3 wherever ctx is in scope.
+	for _, fd := range fns {
+		inCtx := hasCtxParam(funcSig(fd.obj))
+		inspectCtxScoped(pass.Info, fd.decl.Body, inCtx, func(n ast.Node, inCtx bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inCtx {
+				return
+			}
+			checkCtxCall(pass, fd, call)
+		})
+	}
+}
+
+// checkCtxCall applies R1/R2/R3 to one call made while ctx is in scope.
+func checkCtxCall(pass *Pass, fd funcWithDecl, call *ast.CallExpr) {
+	// R1: Background/TODO as an argument severs the chain in place.
+	for _, arg := range call.Args {
+		if name := backgroundCtxCall(pass.Info, arg); name != "" {
+			pass.Reportf(arg.Pos(), "ctx is in scope but context.%s() is passed instead; the cancellation chain is severed here", name)
+		}
+	}
+	for _, callee := range pass.Graph.Callees(pass.Info, call) {
+		if hasCtxParam(funcSig(callee)) {
+			continue
+		}
+		// R2: a *Context sibling exists — ctx was droppable only by choice.
+		if sib := contextSibling(callee); sib != nil {
+			pass.Reportf(call.Pos(), "call to %s drops ctx; use %s", callee.Name(), sib.Name())
+			return
+		}
+		// R3: the ctx-less callee transitively blocks on crowd/MR work.
+		if f, ok := pass.ImportObjectFact(callee); ok {
+			fact := f.(*BlocksFact)
+			chain := append([]string{fd.obj.FullName()}, fact.Chain...)
+			pass.ReportChain(call.Pos(), chain,
+				"call to %s reaches blocking work that cannot be cancelled from here; thread ctx through it; chain: %s",
+				callee.FullName(), strings.Join(chain, " -> "))
+			return
+		}
+	}
+}
+
+// blockingCall finds the first call in a ctx-less declaration that makes it
+// blocking: a callee carrying a BlocksFact, or context.Background()/TODO()
+// handed to a ctx-taking callee. Per-edge ctxflow allows stop propagation.
+func blockingCall(pass *Pass, decl *ast.FuncDecl) *BlocksFact {
+	var found *BlocksFact
+	eachCall(decl, func(call *ast.CallExpr) {
+		if found != nil || pass.Allowed(call.Pos(), "ctxflow") {
+			return
+		}
+		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+			if hasCtxParam(funcSig(callee)) {
+				for _, arg := range call.Args {
+					if backgroundCtxCall(pass.Info, arg) != "" {
+						found = &BlocksFact{Chain: []string{callee.FullName()}}
+						return
+					}
+				}
+				continue
+			}
+			if f, ok := pass.ImportObjectFact(callee); ok {
+				found = f.(*BlocksFact)
+				return
+			}
+		}
+	})
+	return found
+}
+
+// isBlockingPrimitive matches the simulation's blocking surfaces by shape:
+// Label* methods on a Crowd type in a package named "crowd", and the
+// Run/Execute family in a package named "mapreduce".
+func isBlockingPrimitive(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Name() {
+	case "crowd":
+		if !strings.HasPrefix(fn.Name(), "Label") {
+			return false
+		}
+		recv := funcSig(fn).Recv()
+		return recv != nil && namedTypeName(recv.Type()) == "Crowd"
+	case "mapreduce":
+		return funcSig(fn).Recv() == nil && mapreduceBlocking[fn.Name()]
+	}
+	return false
+}
+
+// namedTypeName returns the name of the (possibly pointed-to) named type,
+// or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// contextSibling returns the ctx-taking Name+"Context" counterpart of a
+// function or method, or nil.
+func contextSibling(fn *types.Func) *types.Func {
+	name := fn.Name() + "Context"
+	var obj types.Object
+	if recv := funcSig(fn).Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+	} else if fn.Pkg() != nil {
+		obj = fn.Pkg().Scope().Lookup(name)
+	}
+	sib, ok := obj.(*types.Func)
+	if !ok || !hasCtxParam(funcSig(sib)) {
+		return nil
+	}
+	return sib
+}
+
+// backgroundCtxCall reports whether an expression is a direct
+// context.Background() or context.TODO() call, returning the function name.
+func backgroundCtxCall(info *types.Info, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pn := pkgNameOf(info, sel.X)
+	if pn == nil || pn.Imported().Path() != "context" {
+		return ""
+	}
+	if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// hasCtxParam reports whether the signature takes a context.Context.
+func hasCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isStdContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isStdContext matches the context.Context interface type.
+func isStdContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// inspectCtxScoped walks a body tracking whether a context parameter is in
+// scope: closures inherit the enclosing scope's ctx, and a literal with its
+// own ctx parameter opens a ctx scope of its own.
+func inspectCtxScoped(info *types.Info, body *ast.BlockStmt, inCtx bool, visit func(n ast.Node, inCtx bool)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			litCtx := inCtx
+			if sig, ok := info.TypeOf(lit).(*types.Signature); ok && hasCtxParam(sig) {
+				litCtx = true
+			}
+			inspectCtxScoped(info, lit.Body, litCtx, visit)
+			return false
+		}
+		if n != nil {
+			visit(n, inCtx)
+		}
+		return true
+	})
+}

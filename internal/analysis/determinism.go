@@ -11,9 +11,10 @@ import (
 //
 // It flags four nondeterminism sources:
 //
-//  1. time.Now() calls — simulation code must use the virtual clock (or an
-//     injected `func() time.Time`, as internal/service does; storing
-//     time.Now as a value for injection is fine, calling it is not).
+//  1. Wall-clock reads — time.Now(), time.Since(), time.Until() —
+//     simulation code must use the virtual clock (or an injected
+//     `func() time.Time`, as internal/service does; storing time.Now as a
+//     value for injection is fine, calling it is not).
 //  2. Global math/rand functions (rand.Intn, rand.Shuffle, ...) — all
 //     randomness must flow from a seeded *rand.Rand so a run's seed fully
 //     determines it. Constructors (rand.New, rand.NewSource, rand.NewZipf)
@@ -27,6 +28,11 @@ import (
 //     results nondeterministically. Write into a task-indexed slice (the
 //     worker-pool merge idiom of internal/mapreduce) or sort after the
 //     loop instead.
+//
+// Determinism only sees sources in the function it inspects; its
+// interprocedural companion (transdeterminism.go) reuses the source
+// detectors below to chase the same sources across call and package
+// boundaries.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "flags wall-clock reads, global math/rand use, unsorted map-iteration output, and completion-order channel merges",
@@ -35,6 +41,9 @@ var Determinism = &Analyzer{
 
 // randConstructors are the allowed package-level math/rand functions.
 var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// wallClockFuncs are the package time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runDeterminism(pass *Pass) {
 	for _, f := range pass.Files {
@@ -54,25 +63,52 @@ func runDeterminism(pass *Pass) {
 	}
 }
 
-// checkDeterministicCall flags time.Now() and global math/rand calls.
-func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+// wallClockName returns the time-package function name a call reads the
+// wall clock through ("Now", "Since", "Until"), or "".
+func wallClockName(info *types.Info, call *ast.CallExpr) string {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return
+		return ""
 	}
-	pn := pkgNameOf(pass.Info, sel.X)
+	pn := pkgNameOf(info, sel.X)
+	if pn == nil || pn.Imported().Path() != "time" || !wallClockFuncs[sel.Sel.Name] {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// globalRandName returns the global math/rand function a call invokes
+// (constructors excepted), or "".
+func globalRandName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pn := pkgNameOf(info, sel.X)
 	if pn == nil {
-		return
+		return ""
 	}
 	switch pn.Imported().Path() {
-	case "time":
-		if sel.Sel.Name == "Now" {
-			pass.Reportf(call.Pos(), "time.Now() breaks replayability; use the simulated clock or an injected clock func")
-		}
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[sel.Sel.Name] {
-			pass.Reportf(call.Pos(), "global rand.%s is not seed-deterministic; use a seeded *rand.Rand", sel.Sel.Name)
+			return sel.Sel.Name
 		}
+	}
+	return ""
+}
+
+// checkDeterministicCall flags wall-clock reads and global math/rand calls.
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	if name := wallClockName(pass.Info, call); name != "" {
+		if name == "Now" {
+			pass.Reportf(call.Pos(), "time.Now() breaks replayability; use the simulated clock or an injected clock func")
+		} else {
+			pass.Reportf(call.Pos(), "time.%s() reads the wall clock and breaks replayability; use the simulated clock or an injected clock func", name)
+		}
+		return
+	}
+	if name := globalRandName(pass.Info, call); name != "" {
+		pass.Reportf(call.Pos(), "global rand.%s is not seed-deterministic; use a seeded *rand.Rand", name)
 	}
 }
 
@@ -91,11 +127,17 @@ func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
 		}
 	})
 	for _, rs := range ranges {
-		checkMapRange(pass, body, rs)
+		if msg := mapRangeFinding(pass.Info, body, rs); msg != "" {
+			pass.Reportf(rs.Pos(), "%s", msg)
+		}
 	}
 }
 
-func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+// mapRangeFinding returns the diagnostic message for one map- or
+// channel-range loop, or "" when the loop is fine. Shared by determinism
+// (reporting in place) and transdeterminism (treating the loop as a taint
+// source for callers).
+func mapRangeFinding(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt) string {
 	var appends bool
 	var sink string
 	inspectShallowFrom(rs.Body, func(n ast.Node) {
@@ -107,7 +149,7 @@ func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 		case *ast.CallExpr:
 			switch fun := n.Fun.(type) {
 			case *ast.Ident:
-				if fun.Name == "append" && isBuiltin(pass.Info, fun) {
+				if fun.Name == "append" && isBuiltin(info, fun) {
 					appends = true
 				}
 			case *ast.SelectorExpr:
@@ -117,7 +159,7 @@ func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 						sink = name + " on a mapreduce sink"
 					}
 				}
-				if pn := pkgNameOf(pass.Info, fun.X); pn != nil && pn.Imported().Path() == "fmt" &&
+				if pn := pkgNameOf(info, fun.X); pn != nil && pn.Imported().Path() == "fmt" &&
 					(name == "Fprintf" || name == "Fprintln" || name == "Fprint") {
 					if sink == "" {
 						sink = "fmt." + name + " output"
@@ -126,28 +168,28 @@ func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 			}
 		}
 	})
-	if isChanType(pass.Info.TypeOf(rs.X)) {
+	if isChanType(info.TypeOf(rs.X)) {
 		// Receiving from a channel yields results in completion order;
 		// appending inside the loop bakes that order into the output.
 		// Task-indexed writes don't append, and a sort re-establishes a
 		// deterministic order.
-		if appends && !sortFollows(pass, fnBody, rs) {
-			pass.Reportf(rs.Pos(), "channel receive order is completion order; append inside the loop merges results nondeterministically — write into a task-indexed slice or sort after the loop")
+		if appends && !sortFollows(info, fnBody, rs) {
+			return "channel receive order is completion order; append inside the loop merges results nondeterministically — write into a task-indexed slice or sort after the loop"
 		}
-		return
+		return ""
 	}
 	if sink != "" {
-		pass.Reportf(rs.Pos(), "map iteration order reaches %s; iterate sorted keys instead", sink)
-		return
+		return "map iteration order reaches " + sink + "; iterate sorted keys instead"
 	}
-	if appends && !sortFollows(pass, fnBody, rs) {
-		pass.Reportf(rs.Pos(), "map iteration appends to a slice with no sort after the loop; sort before the data is consumed")
+	if appends && !sortFollows(info, fnBody, rs) {
+		return "map iteration appends to a slice with no sort after the loop; sort before the data is consumed"
 	}
+	return ""
 }
 
 // sortFollows reports whether a sort.* or slices.Sort* call appears after
 // the range statement within the same function body.
-func sortFollows(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+func sortFollows(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
 	found := false
 	inspectShallowFrom(fnBody, func(n ast.Node) {
 		call, ok := n.(*ast.CallExpr)
@@ -158,7 +200,7 @@ func sortFollows(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
 		if !ok {
 			return
 		}
-		pn := pkgNameOf(pass.Info, sel.X)
+		pn := pkgNameOf(info, sel.X)
 		if pn == nil {
 			return
 		}

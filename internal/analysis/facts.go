@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// This file implements falcon-vet's Facts mechanism: a small analogue of
+// golang.org/x/tools/go/analysis facts. A fact is a per-object summary an
+// analyzer exports while visiting one package and imports while visiting
+// any later package in dependency order (see DepOrder). Facts are what turn
+// the per-package analyzers into interprocedural ones: transdeterminism
+// exports "this function transitively reaches time.Now" summaries, ctxflow
+// exports "this function blocks on crowd/MR work" summaries, and
+// scratchescape exports return-aliasing summaries, each consumed at call
+// sites in downstream packages.
+//
+// The store is keyed by (analyzer, object). Objects are canonical across
+// packages because the whole program is type-checked through one shared
+// loader: a call in package B to a function defined in package A resolves
+// to the same *types.Func the definition produced. Generic functions and
+// methods are keyed by their Origin, so instantiations share the generic
+// declaration's fact.
+
+// Fact is a per-object summary exported by an analyzer. The marker method
+// keeps arbitrary values from being stored by accident.
+type Fact interface{ AFact() }
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+}
+
+type factStore map[factKey]Fact
+
+// canonObj maps an object to its canonical identity: generic origins for
+// functions and variables, so facts attach to declarations rather than
+// instantiations.
+func canonObj(obj types.Object) types.Object {
+	switch o := obj.(type) {
+	case *types.Func:
+		return o.Origin()
+	case *types.Var:
+		return o.Origin()
+	}
+	return obj
+}
+
+// ExportObjectFact records a fact about obj for this analyzer. Later
+// packages in the dependency order observe it via ImportObjectFact. At most
+// one fact per (analyzer, object) is kept; exporting again overwrites.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || f == nil || p.facts == nil {
+		return
+	}
+	p.facts[factKey{p.Analyzer, canonObj(obj)}] = f
+}
+
+// ImportObjectFact returns the fact this analyzer previously exported about
+// obj, from this package or any dependency already analyzed.
+func (p *Pass) ImportObjectFact(obj types.Object) (Fact, bool) {
+	if obj == nil || p.facts == nil {
+		return nil, false
+	}
+	f, ok := p.facts[factKey{p.Analyzer, canonObj(obj)}]
+	return f, ok
+}

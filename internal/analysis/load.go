@@ -24,9 +24,42 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports are the directly imported module-local (and fixture-local)
+	// packages, in path order. Standard-library imports are type-checked
+	// but never analyzed, so they do not appear here. This is the
+	// whole-program package graph the facts engine orders passes by.
+	Imports []*Package
 	// Errors holds parse or type-check problems. Analyzer results over a
 	// package with errors are best-effort.
 	Errors []error
+}
+
+// DepOrder returns the transitive module-local import closure of pkgs in
+// dependency order: every package appears after all of its Imports. The
+// order is deterministic (DFS postorder with path-sorted tie-breaks), which
+// is what lets fact-exporting analyzers see their callees' summaries before
+// any caller is analyzed.
+func DepOrder(pkgs []*Package) []*Package {
+	roots := make([]*Package, len(pkgs))
+	copy(roots, pkgs)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Path < roots[j].Path })
+	var order []*Package
+	seen := map[*Package]bool{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, dep := range p.Imports {
+			visit(dep)
+		}
+		order = append(order, p)
+	}
+	for _, p := range roots {
+		visit(p)
+	}
+	return order
 }
 
 // Loader parses and type-checks packages of one module from source.
@@ -46,6 +79,10 @@ type Loader struct {
 	std     types.ImporterFrom
 	cache   map[string]*Package
 	loading map[string]bool
+	// fixtureRoots are testdata directories seen by importPathFor, in
+	// first-seen order. "fixture/..." import paths (used by multi-package
+	// fixtures to import their sibling packages) resolve against them.
+	fixtureRoots []string
 }
 
 // NewLoader builds a loader for the module containing dir.
@@ -184,10 +221,42 @@ func (l *Loader) importPathFor(absDir string) string {
 	if rel == "." {
 		return l.ModPath
 	}
-	if strings.Contains(rel, "testdata") {
-		return "fixture/" + filepath.Base(absDir)
+	if i := strings.Index(filepath.ToSlash(rel), "testdata"); i >= 0 {
+		// A fixture package's synthetic import path is its location under
+		// the testdata tree, so sibling fixture packages can import each
+		// other as "fixture/<rel>" (multi-package fixtures).
+		slash := filepath.ToSlash(rel)
+		root := filepath.Join(l.Root, filepath.FromSlash(slash[:i+len("testdata")]))
+		l.addFixtureRoot(root)
+		sub := strings.TrimPrefix(slash[i+len("testdata"):], "/")
+		if sub == "" {
+			return "fixture/" + filepath.Base(absDir)
+		}
+		return "fixture/" + sub
 	}
 	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) addFixtureRoot(root string) {
+	for _, r := range l.fixtureRoots {
+		if r == root {
+			return
+		}
+	}
+	l.fixtureRoots = append(l.fixtureRoots, root)
+}
+
+// fixtureDir resolves a "fixture/..." import path against the known
+// testdata roots.
+func (l *Loader) fixtureDir(path string) (string, bool) {
+	sub := strings.TrimPrefix(path, "fixture/")
+	for _, root := range l.fixtureRoots {
+		dir := filepath.Join(root, filepath.FromSlash(sub))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	return "", false
 }
 
 func (l *Loader) load(path, dir string) (*Package, error) {
@@ -241,6 +310,15 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, err
 	}
 	pkg.Types = tpkg
+	// Record the module-local slice of the import graph: every direct
+	// import the loader itself resolved (stdlib deps go through the source
+	// importer and are opaque to analyzers).
+	for _, imp := range tpkg.Imports() {
+		if dep, ok := l.cache[imp.Path()]; ok {
+			pkg.Imports = append(pkg.Imports, dep)
+		}
+	}
+	sort.Slice(pkg.Imports, func(i, j int) bool { return pkg.Imports[i].Path < pkg.Imports[j].Path })
 	l.cache[path] = pkg
 	return pkg, nil
 }
@@ -259,6 +337,17 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
 		pkg, err := l.load(path, filepath.Join(l.Root, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if strings.HasPrefix(path, "fixture/") {
+		fdir, ok := l.fixtureDir(path)
+		if !ok {
+			return nil, fmt.Errorf("analysis: fixture import %q not found under any testdata root", path)
+		}
+		pkg, err := l.load(path, fdir)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ScratchEscape guards the zero-alloc hot path: pooled scratch state
+// (simfn.Scratch, feature's BlockingVectorScratch, the prefix index's
+// probeScratch — any named type ending in "Scratch") is borrowed per pair
+// and recycled by its pool, so a value aliasing scratch memory must not
+// outlive the borrow. It flags, in any function where such a value is in
+// hand:
+//
+//   - storing it into a struct field, map/slice element, or package-level
+//     variable whose base is not itself scratch-derived (the heap now
+//     holds memory the pool will hand to someone else);
+//   - returning pool-derived memory to the caller;
+//   - handing it to a goroutine (the pool may recycle it concurrently).
+//
+// The analysis is a flow-insensitive taint over each function's locals.
+// Taint seeds are scratch-typed parameters and receivers (tagged with a
+// per-parameter bit) and pool extraction (a type assertion to a scratch
+// type, i.e. pool.Get().(*Scratch)). Taint follows field reads, indexing,
+// slicing, address-taking, composite literals embedding tainted values,
+// and — the interprocedural part — calls: every function exports an
+// EscapeFact summarizing which parameters its results alias and whether
+// they carry pooled memory, so a helper returning its receiver's buffer
+// taints the result at call sites any number of packages away. Scalar
+// results (ints, floats, strings) never carry taint: copying a number out
+// of a scratch buffer is the hot path working as intended.
+//
+// Returning parameter-derived memory is not itself a violation — that is
+// the summary callers consume (GetScratch-style pool extractors are the
+// one legitimate pool-returning exception, suppressed in place with a
+// reason).
+var ScratchEscape = &Analyzer{
+	Name:  "scratchescape",
+	Doc:   "flags pooled scratch buffers escaping the per-pair hot path: heap stores, returns, goroutine captures (cross-package via alias summaries)",
+	Facts: true,
+	Run:   runScratchEscape,
+}
+
+// EscapeFact summarizes how a function's results alias its inputs:
+// ParamMask bit 0 is the receiver, bit i (i ≥ 1) is parameter i-1; Pool
+// means a result carries pool-derived scratch memory regardless of inputs.
+type EscapeFact struct {
+	ParamMask uint64
+	Pool      bool
+}
+
+func (*EscapeFact) AFact() {}
+
+func runScratchEscape(pass *Pass) {
+	fns := declaredFuncs(pass)
+
+	// Package-level fixpoint: function summaries feed call-site taint in
+	// sibling functions, so sweep until no fact grows.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			sc := newEscScan(pass, fd)
+			sc.propagate()
+			mask, pool := sc.summary()
+			if mask == 0 && !pool {
+				continue
+			}
+			prev, ok := pass.ImportObjectFact(fd.obj)
+			if ok {
+				f := prev.(*EscapeFact)
+				if f.ParamMask|mask == f.ParamMask && (f.Pool || !pool) {
+					continue
+				}
+				mask |= f.ParamMask
+				pool = pool || f.Pool
+			}
+			pass.ExportObjectFact(fd.obj, &EscapeFact{ParamMask: mask, Pool: pool})
+			changed = true
+		}
+	}
+
+	// Violations, with summaries stable.
+	for _, fd := range fns {
+		sc := newEscScan(pass, fd)
+		sc.propagate()
+		sc.reportViolations()
+	}
+}
+
+// taintVal is the escape lattice: which parameters the value may alias
+// (mask) and whether it may alias pooled memory (pool).
+type taintVal struct {
+	mask uint64
+	pool bool
+}
+
+func (t taintVal) zero() bool { return t.mask == 0 && !t.pool }
+
+func (t taintVal) union(o taintVal) taintVal {
+	return taintVal{mask: t.mask | o.mask, pool: t.pool || o.pool}
+}
+
+// escScan is one function's flow-insensitive scratch-taint state.
+type escScan struct {
+	pass  *Pass
+	fd    funcWithDecl
+	taint map[types.Object]taintVal
+}
+
+func newEscScan(pass *Pass, fd funcWithDecl) *escScan {
+	sc := &escScan{pass: pass, fd: fd, taint: map[types.Object]taintVal{}}
+	// Seed scratch-typed receiver (bit 0) and parameters (bit i+1).
+	if fd.decl.Recv != nil {
+		for _, field := range fd.decl.Recv.List {
+			for _, name := range field.Names {
+				sc.seedParam(name, 0)
+			}
+		}
+	}
+	i := 0
+	for _, field := range fd.decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			sc.seedParam(name, uint64(i+1))
+			i++
+		}
+	}
+	return sc
+}
+
+func (sc *escScan) seedParam(name *ast.Ident, bit uint64) {
+	obj := sc.pass.Info.Defs[name]
+	if obj == nil || bit >= 64 || !isScratchType(obj.Type()) {
+		return
+	}
+	sc.taint[obj] = taintVal{mask: 1 << bit}
+}
+
+// propagate runs the intra-function fixpoint over assignments, var specs,
+// and range clauses (function literals included — closures share the
+// enclosing frame's variables).
+func (sc *escScan) propagate() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(sc.fd.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if sc.mergeInto(lhs, sc.rhsTaint(n.Lhs, n.Rhs, i)) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if len(n.Values) == 0 {
+						continue
+					}
+					var tv taintVal
+					if len(n.Values) == len(n.Names) {
+						tv = sc.exprTaint(n.Values[i])
+					} else {
+						tv = sc.exprTaint(n.Values[0])
+					}
+					if sc.mergeInto(name, tv) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if sc.mergeInto(n.Value, sc.exprTaint(n.X)) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rhsTaint resolves the taint flowing into Lhs[i]: element-wise for a
+// balanced assignment, the single call's taint for a tuple assignment.
+func (sc *escScan) rhsTaint(lhs, rhs []ast.Expr, i int) taintVal {
+	if len(lhs) == len(rhs) {
+		return sc.exprTaint(rhs[i])
+	}
+	return sc.exprTaint(rhs[0])
+}
+
+// mergeInto folds taint into the variable an identifier names; reports
+// whether anything new was learned.
+func (sc *escScan) mergeInto(lhs ast.Expr, tv taintVal) bool {
+	if tv.zero() {
+		return false
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := sc.objOf(id)
+	if obj == nil || !taintableType(obj.Type()) {
+		return false
+	}
+	cur := sc.taint[obj]
+	next := cur.union(tv)
+	if next == cur {
+		return false
+	}
+	sc.taint[obj] = next
+	return true
+}
+
+func (sc *escScan) objOf(id *ast.Ident) types.Object {
+	if obj := sc.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return sc.pass.Info.Uses[id]
+}
+
+// exprTaint computes the taint of one expression. Values of scalar type
+// never carry taint: they are copies, not aliases.
+func (sc *escScan) exprTaint(expr ast.Expr) taintVal {
+	tv := sc.rawExprTaint(expr)
+	if tv.zero() {
+		return tv
+	}
+	if t := sc.pass.Info.TypeOf(expr); t != nil && !taintableType(t) {
+		return taintVal{}
+	}
+	return tv
+}
+
+func (sc *escScan) rawExprTaint(expr ast.Expr) taintVal {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := sc.objOf(e); obj != nil {
+			return sc.taint[obj]
+		}
+	case *ast.ParenExpr:
+		return sc.rawExprTaint(e.X)
+	case *ast.SelectorExpr:
+		if pkgNameOf(sc.pass.Info, e.X) != nil {
+			return taintVal{}
+		}
+		return sc.exprTaint(e.X)
+	case *ast.IndexExpr:
+		return sc.exprTaint(e.X)
+	case *ast.IndexListExpr:
+		return sc.exprTaint(e.X)
+	case *ast.SliceExpr:
+		return sc.exprTaint(e.X)
+	case *ast.StarExpr:
+		return sc.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return sc.exprTaint(e.X)
+		}
+	case *ast.TypeAssertExpr:
+		if e.Type != nil && isScratchType(sc.pass.Info.TypeOf(e)) {
+			// pool.Get().(*Scratch): memory straight out of a pool.
+			return taintVal{pool: true}
+		}
+		return sc.exprTaint(e.X)
+	case *ast.CompositeLit:
+		// A literal embedding a tainted value is as dangerous as the value.
+		var tv taintVal
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			tv = tv.union(sc.exprTaint(el))
+		}
+		return tv
+	case *ast.CallExpr:
+		return sc.callTaint(e)
+	}
+	return taintVal{}
+}
+
+// callTaint resolves a call's result taint: appends alias their first
+// argument, conversions their operand, and resolved callees contribute
+// their EscapeFact (pool results, plus the arguments their ParamMask
+// selects).
+func (sc *escScan) callTaint(call *ast.CallExpr) taintVal {
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(sc.pass.Info, fun) {
+		if fun.Name == "append" && len(call.Args) > 0 {
+			return sc.exprTaint(call.Args[0])
+		}
+		return taintVal{}
+	}
+	if tv, ok := sc.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		// Conversion: same memory, new type (string conversions copy, but
+		// the scalar gate already clears those).
+		return sc.exprTaint(call.Args[0])
+	}
+	var out taintVal
+	for _, callee := range sc.pass.Graph.Callees(sc.pass.Info, call) {
+		f, ok := sc.pass.ImportObjectFact(callee)
+		if !ok {
+			continue
+		}
+		fact := f.(*EscapeFact)
+		if fact.Pool {
+			out.pool = true
+		}
+		if fact.ParamMask&1 != 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if _, isMethod := sc.pass.Info.Selections[sel]; isMethod {
+					out = out.union(sc.exprTaint(sel.X))
+				}
+			}
+		}
+		for j, arg := range call.Args {
+			if j+1 < 64 && fact.ParamMask&(1<<uint(j+1)) != 0 {
+				out = out.union(sc.exprTaint(arg))
+			}
+		}
+	}
+	return out
+}
+
+// summary folds the taint of the declaration's own return statements
+// (returns inside nested literals return from the literal, not from this
+// function).
+func (sc *escScan) summary() (mask uint64, pool bool) {
+	for _, ret := range sc.declReturns() {
+		for _, res := range ret.Results {
+			tv := sc.exprTaint(res)
+			mask |= tv.mask
+			pool = pool || tv.pool
+		}
+	}
+	return mask, pool
+}
+
+func (sc *escScan) declReturns() []*ast.ReturnStmt {
+	var rets []*ast.ReturnStmt
+	inspectShallow(sc.fd.decl.Body, func(n ast.Node) {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			rets = append(rets, ret)
+		}
+	})
+	return rets
+}
+
+// reportViolations flags the three escape shapes once taint is stable.
+func (sc *escScan) reportViolations() {
+	pass := sc.pass
+	// Pool-derived returns: the caller would hold recycled memory.
+	for _, ret := range sc.declReturns() {
+		for _, res := range ret.Results {
+			if sc.exprTaint(res).pool {
+				pass.Reportf(ret.Pos(), "pooled scratch memory returned from %s; the pool will recycle it out from under the caller", sc.fd.obj.Name())
+			}
+		}
+	}
+	ast.Inspect(sc.fd.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				tv := sc.rhsTaint(n.Lhs, n.Rhs, i)
+				if tv.zero() {
+					continue
+				}
+				sc.checkStore(lhs, n.Pos())
+			}
+		case *ast.GoStmt:
+			sc.checkGoroutine(n)
+		}
+		return true
+	})
+}
+
+// checkStore flags a tainted value landing in a location that outlives the
+// borrow: a field or element of a non-scratch base, or a package-level
+// variable. Writing into the scratch value's own fields (s.ra = ...) is
+// the hot path working as intended.
+func (sc *escScan) checkStore(lhs ast.Expr, pos token.Pos) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sc.exprTaint(l.X).zero() {
+			sc.pass.Reportf(pos, "scratch-derived value stored into a struct field; it outlives the borrow and the pool will recycle it")
+		}
+	case *ast.IndexExpr:
+		if sc.exprTaint(l.X).zero() {
+			sc.pass.Reportf(pos, "scratch-derived value stored into a map or slice element; it outlives the borrow and the pool will recycle it")
+		}
+	case *ast.Ident:
+		obj, ok := sc.objOf(l).(*types.Var)
+		if ok && obj.Parent() == sc.pass.Pkg.Scope() {
+			sc.pass.Reportf(pos, "scratch-derived value stored into package-level variable %s; it outlives the borrow and the pool will recycle it", obj.Name())
+		}
+	}
+}
+
+// checkGoroutine flags scratch taint crossing into a goroutine, either as
+// an argument or captured by the literal's body.
+func (sc *escScan) checkGoroutine(g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if !sc.exprTaint(arg).zero() {
+			sc.pass.Reportf(arg.Pos(), "scratch-derived value passed to a goroutine; the pool may recycle it concurrently")
+			return
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := sc.pass.Info.Uses[id]; obj != nil && !sc.taint[obj].zero() {
+			reported = true
+			sc.pass.Reportf(g.Pos(), "goroutine captures scratch-derived value %s; the pool may recycle it concurrently", id.Name)
+		}
+		return true
+	})
+}
+
+// isScratchType matches (pointers to) named types whose name ends in
+// "Scratch" — the repo's naming convention for pooled per-pair state.
+func isScratchType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && strings.HasSuffix(n.Obj().Name(), "Scratch")
+}
+
+// taintableType reports whether values of a type can alias scratch memory.
+// Scalars (numbers, strings, bools) are copies and never carry taint.
+func taintableType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+// Package ctxflowclean holds patterns the ctxflow analyzer must accept:
+// nil-defaulting assignments, ctx-less convenience wrappers, and ctx
+// threaded faithfully through sibling and blocking calls.
+package ctxflowclean
+
+import (
+	"context"
+	"time"
+)
+
+func wait(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func Fetch(keys []string) []string {
+	out, _ := FetchContext(context.Background(), keys)
+	return out
+}
+
+// FetchContext nil-defaults its ctx by assignment — nothing is severed,
+// because no live ctx existed before the assignment.
+func FetchContext(ctx context.Context, keys []string) ([]string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// Serve threads its ctx through both the sibling pair and the blocking
+// call; nothing to report.
+func Serve(ctx context.Context, keys []string, d time.Duration) ([]string, error) {
+	if err := wait(ctx, d); err != nil {
+		return nil, err
+	}
+	return FetchContext(ctx, keys)
+}
+
+// NoCtxEntry has no ctx to drop: wrappers below it are its only option.
+func NoCtxEntry(keys []string) []string { return Fetch(keys) }

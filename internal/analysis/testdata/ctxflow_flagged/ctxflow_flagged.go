@@ -1,0 +1,62 @@
+// Package ctxflowfix exercises the ctxflow analyzer's three rules: a
+// Background/TODO argument severing the chain (R1), a dropped ctx where a
+// *Context sibling exists (R2), and a call into an uncancellable blocking
+// subtree (R3).
+package ctxflowfix
+
+import (
+	"context"
+	"time"
+)
+
+// wait blocks until d elapses or ctx ends.
+func wait(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Fetch and FetchContext are a sibling pair; Fetch is the convenience
+// wrapper (legal here — it has no ctx to drop).
+func Fetch(keys []string) []string {
+	out, _ := FetchContext(context.Background(), keys)
+	return out
+}
+
+func FetchContext(ctx context.Context, keys []string) ([]string, error) {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// waitAll blocks uncancellably: no ctx parameter, Background handed to a
+// ctx-taking callee. It carries a BlocksFact, not a diagnostic.
+func waitAll(ds []time.Duration) {
+	for _, d := range ds {
+		_ = wait(context.Background(), d)
+	}
+}
+
+func Serve(ctx context.Context, keys []string, ds []time.Duration) []string {
+	_ = wait(context.Background(), time.Second) // want `context\.Background\(\) is passed instead`
+	out := Fetch(keys)                          // want `call to Fetch drops ctx; use FetchContext`
+	waitAll(ds)                                 // want `reaches blocking work that cannot be cancelled from here.*chain: .*waitAll -> .*wait`
+	return out
+}
+
+// closures inherit the enclosing ctx scope.
+func ServeDeferred(ctx context.Context, d time.Duration) func() error {
+	return func() error {
+		return wait(context.TODO(), d) // want `context\.TODO\(\) is passed instead`
+	}
+}

@@ -1,0 +1,22 @@
+// Package app is the requested half of the cross-package ctxflow fixture:
+// the blocking crowd call is one package away, behind a local helper, so
+// only the facts engine can see that Serve's ctx never reaches it.
+package app
+
+import (
+	"context"
+
+	"fixture/ctxmulti/crowd"
+)
+
+// label has no ctx parameter; it inherits the crowd method's BlocksFact.
+func label(c *crowd.Crowd, qs []crowd.Question) []bool {
+	return c.LabelBatch(qs)
+}
+
+func Serve(ctx context.Context, c *crowd.Crowd, qs []crowd.Question) []bool {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return label(c, qs) // want `reaches blocking work that cannot be cancelled from here.*chain: .*app\.label -> .*crowd\.Crowd\)\.LabelBatch`
+}

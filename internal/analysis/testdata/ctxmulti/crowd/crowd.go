@@ -1,0 +1,20 @@
+// Package crowd is the dependency half of the cross-package ctxflow
+// fixture: it matches the structural shape of the real crowd package (a
+// Crowd type with ctx-less Label* methods), so its methods seed
+// BlocksFacts for callers in other packages.
+package crowd
+
+type Question struct{ ID int }
+
+type Crowd struct{ answered int }
+
+// LabelBatch blocks until every question in the batch is answered; it has
+// no ctx parameter, so nothing above it can cancel the wait.
+func (c *Crowd) LabelBatch(qs []Question) []bool {
+	out := make([]bool, len(qs))
+	for i := range qs {
+		c.answered++
+		out[i] = true
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package detapp is the requested half of the cross-package
+// transdeterminism fixture: every source it reaches lives in detlib, one
+// package away, so the old per-package determinism analyzer sees nothing
+// here (the repo-clean test asserts exactly that).
+package detapp
+
+import "fixture/multi/detlib"
+
+func Record() int64 {
+	return detlib.Stamp() // want `transitively reaches time\.Now\(\); chain: .*detapp\.Record -> .*detlib\.Stamp`
+}
+
+func Keys(m map[string]int) []string {
+	return detlib.Shuffle(m) // want `transitively reaches map-iteration-order-dependent output; chain: .*detlib\.Shuffle`
+}

@@ -1,0 +1,18 @@
+// Package detlib is the dependency half of the cross-package
+// transdeterminism fixture: the wall-clock read lives here, invisible to
+// any per-package analysis of its callers.
+package detlib
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Shuffle bakes map iteration order into its output.
+func Shuffle(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

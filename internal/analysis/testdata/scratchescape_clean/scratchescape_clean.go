@@ -1,0 +1,58 @@
+// Package scratchclean holds patterns the scratchescape analyzer must
+// accept: the borrow/compute/put discipline, scalar copies out of scratch
+// buffers, copy-before-return, and writes into the scratch's own fields.
+package scratchclean
+
+import "sync"
+
+type PairScratch struct {
+	buf  []int
+	runs []rune
+}
+
+var pool = sync.Pool{New: func() any { return new(PairScratch) }}
+
+// get is the sanctioned pool extractor, suppressed with a reason exactly
+// like simfn.GetScratch in the real tree.
+//
+//falcon:allow scratchescape pool extractor; every caller pairs it with put
+func get() *PairScratch { return pool.Get().(*PairScratch) }
+
+func put(s *PairScratch) { pool.Put(s) }
+
+// Sum copies a scalar out of the scratch buffer — the hot path working as
+// intended.
+func Sum(xs []int) int {
+	s := get()
+	s.buf = append(s.buf[:0], xs...)
+	total := 0
+	for _, v := range s.buf {
+		total += v
+	}
+	put(s)
+	return total
+}
+
+// CopyOut materializes a fresh slice before the scratch goes back.
+func CopyOut(xs []int) []int {
+	s := get()
+	s.buf = append(s.buf[:0], xs...)
+	out := make([]int, len(s.buf))
+	copy(out, s.buf)
+	put(s)
+	return out
+}
+
+// grow writes into the receiver's own fields; storing scratch-derived
+// values inside the scratch itself is the whole point of the type.
+func (s *PairScratch) grow(r []rune) {
+	s.runs = append(s.runs[:0], r...)
+}
+
+func UseGrow(r []rune) int {
+	s := get()
+	s.grow(r)
+	n := len(s.runs)
+	put(s)
+	return n
+}

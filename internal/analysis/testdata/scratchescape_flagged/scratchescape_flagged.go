@@ -1,0 +1,59 @@
+// Package scratchfix exercises the scratchescape analyzer: pooled
+// per-pair scratch memory escaping via returns, heap stores, and
+// goroutine captures.
+package scratchfix
+
+import "sync"
+
+type PairScratch struct {
+	buf  []int
+	runs []rune
+}
+
+var pool = sync.Pool{New: func() any { return new(PairScratch) }}
+
+func get() *PairScratch {
+	return pool.Get().(*PairScratch) // want `pooled scratch memory returned from get`
+}
+
+func put(s *PairScratch) { pool.Put(s) }
+
+type holder struct{ kept []int }
+
+func keep(h *holder, xs []int) {
+	s := get()
+	s.buf = append(s.buf[:0], xs...)
+	h.kept = s.buf // want `stored into a struct field`
+	put(s)
+}
+
+var saved []rune
+
+func stash() {
+	s := get()
+	saved = s.runs // want `stored into package-level variable saved`
+	put(s)
+}
+
+func fill(rows [][]int) {
+	s := get()
+	rows[0] = s.buf // want `stored into a map or slice element`
+	put(s)
+}
+
+func race(done chan<- int) {
+	s := get()
+	go func() { // want `goroutine captures scratch-derived value s`
+		done <- len(s.buf)
+	}()
+}
+
+// alias returns its parameter's buffer — a summary, not a violation — and
+// lets escapeViaAlias show taint flowing through the returned alias.
+func alias(s *PairScratch) []int { return s.buf }
+
+func escapeViaAlias(h *holder) {
+	s := get()
+	h.kept = alias(s) // want `stored into a struct field`
+	put(s)
+}

@@ -1,0 +1,19 @@
+// Package scratchapp is the requested half of the cross-package
+// scratchescape fixture: the pooled memory it leaks was produced and
+// aliased entirely inside scratchlib, so only the EscapeFacts imported
+// from there can tie the stored slice back to the pool.
+package scratchapp
+
+import "fixture/scratchmulti/scratchlib"
+
+type cache struct{ last []int }
+
+func Fill(c *cache, xs []int) int {
+	s := scratchlib.Get()
+	s.Buf = append(s.Buf[:0], xs...)
+	row := scratchlib.Borrow(s)
+	c.last = row // want `scratch-derived value stored into a struct field`
+	n := len(row)
+	scratchlib.Put(s)
+	return n
+}

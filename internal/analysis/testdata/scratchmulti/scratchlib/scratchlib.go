@@ -1,0 +1,24 @@
+// Package scratchlib is the dependency half of the cross-package
+// scratchescape fixture: the pool and the alias-returning helper live
+// here, so callers in other packages only leak through the exported
+// EscapeFacts.
+package scratchlib
+
+import "sync"
+
+type PairScratch struct{ Buf []int }
+
+var pool = sync.Pool{New: func() any { return new(PairScratch) }}
+
+// Get borrows a scratch from the pool.
+//
+//falcon:allow scratchescape pool extractor; every caller pairs it with Put
+func Get() *PairScratch { return pool.Get().(*PairScratch) }
+
+// Put returns a scratch to the pool.
+func Put(s *PairScratch) { pool.Put(s) }
+
+// Borrow hands back the scratch's own buffer: the result aliases the
+// parameter (ParamMask summary), which is fine here and dangerous in any
+// caller that lets it outlive the borrow.
+func Borrow(s *PairScratch) []int { return s.Buf }

@@ -1,0 +1,29 @@
+// Package staleallow exercises the stale-suppression check: one directive
+// that earns its keep, one that suppresses nothing, and one naming an
+// analyzer that does not exist. TestStaleAllow asserts the exact report.
+package staleallow
+
+import "time"
+
+// Used directive: the wall-clock read below would be a determinism
+// finding without it.
+func Used() int64 {
+	//falcon:allow determinism fixture timer, sanctioned
+	return time.Now().UnixNano()
+}
+
+// Stale directive: nothing on the next line triggers determinism.
+func Stale(xs []int) int {
+	//falcon:allow determinism nothing here needs suppressing
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Unknown directive: no analyzer is called "nosuchcheck".
+func Unknown() int {
+	//falcon:allow nosuchcheck typo-riddled suppression
+	return 42
+}

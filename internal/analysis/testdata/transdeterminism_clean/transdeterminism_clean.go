@@ -1,0 +1,38 @@
+// Package transdetclean holds patterns the transdeterminism analyzer must
+// accept: sanctioned sources kill the taint before it reaches callers, and
+// injected clocks carry no taint at all.
+package transdetclean
+
+import (
+	"sort"
+	"time"
+)
+
+// now is the injected-clock default. The allow on the source stops the
+// taint here: callers of now must not inherit a finding the repo has
+// already sanctioned.
+func now() time.Time {
+	//falcon:allow determinism injected-clock default for tests, never simulation state
+	return time.Now()
+}
+
+func Elapsed() int64 { return now().UnixNano() }
+
+// viaClock takes the clock as a value; dynamic calls through it are
+// outside the call graph by design.
+func viaClock(clock func() time.Time) time.Time { return clock() }
+
+func UseInjected() time.Time { return viaClock(time.Now) }
+
+// sortedKeys iterates a map but sorts before the data is consumed, so the
+// helper is not a source and callers stay clean.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Keys(m map[string]int) []string { return sortedKeys(m) }

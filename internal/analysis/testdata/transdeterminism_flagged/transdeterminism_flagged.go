@@ -1,0 +1,44 @@
+// Package transdetfix exercises the transdeterminism analyzer: the
+// nondeterminism sources live one call below the flagged lines, where the
+// per-package determinism analyzer reports them in place but callers stay
+// invisible without the facts engine.
+package transdetfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp contains the direct source; determinism (not run here) would flag
+// the time.Now itself.
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Sample() int64 {
+	return stamp() // want `transitively reaches time\.Now\(\); chain: .*stamp`
+}
+
+// SampleDeep is two hops from the wall clock: the chain runs through
+// Sample down to stamp.
+func SampleDeep() int64 {
+	v := Sample() // want `transitively reaches time\.Now\(\); chain: .*Sample -> .*stamp`
+	return v
+}
+
+func pick(n int) int { return rand.Intn(n) }
+
+func Choose(n int) int {
+	return pick(n) // want `transitively reaches global rand\.Intn`
+}
+
+// emit bakes map iteration order into its output (no sort after the loop).
+func emit(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Keys(m map[string]int) []string {
+	return emit(m) // want `transitively reaches map-iteration-order-dependent output`
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TransDeterminism is the interprocedural companion of Determinism: it
+// flags calls to functions that *transitively* reach a nondeterminism
+// source — a wall-clock read (time.Now/Since/Until), a global math/rand
+// function, or map-iteration-order-dependent output — possibly in another
+// package. Determinism alone only sees a source in the function it
+// inspects; a time.Now hidden one call deep, in a helper package, is
+// invisible to it and still diverges replays (one divergent sample
+// cascades into different HIT batches and costs).
+//
+// Mechanics: for every function in the dependency closure it exports a
+// ReachFact carrying the source and the call chain down to it, computed to
+// a fixpoint per package in dependency order. Call sites are resolved
+// through the whole-program call graph (interface calls fan out to every
+// implementation). The direct source itself is Determinism's to report;
+// TransDeterminism reports each call site whose callee carries a fact,
+// with the full chain in the diagnostic.
+//
+// A //falcon:allow determinism (or transdeterminism) directive at the
+// source kills the taint: a sanctioned wall-clock timer must not flag
+// every caller above it. A //falcon:allow transdeterminism at a call site
+// stops propagation through that edge.
+var TransDeterminism = &Analyzer{
+	Name:  "transdeterminism",
+	Doc:   "flags calls whose callee transitively reaches time.Now, global math/rand, or map-order-dependent output (cross-package, with call chain)",
+	Facts: true,
+	Run:   runTransDeterminism,
+}
+
+// ReachFact marks a function that transitively reaches a nondeterminism
+// source. Chain[0] is the function itself; the last entry is the function
+// containing the source.
+type ReachFact struct {
+	// Source describes the nondeterminism source ("time.Now()",
+	// "global rand.Intn", "map-iteration-order-dependent output").
+	Source string
+	// Chain is the call path from the fact's function down to the source's
+	// containing function, as fully qualified names.
+	Chain []string
+}
+
+func (*ReachFact) AFact() {}
+
+// transAllowNames are the directive names that sanction a source site for
+// taint purposes: an allow written for the in-package determinism report
+// also stops the transitive analysis from seeding on it.
+var transAllowNames = []string{"determinism", "transdeterminism"}
+
+func runTransDeterminism(pass *Pass) {
+	fns := declaredFuncs(pass)
+
+	// Seed: functions containing an unsanctioned direct source.
+	for _, fd := range fns {
+		if src := directNondetSource(pass, fd.decl); src != "" {
+			pass.ExportObjectFact(fd.obj, &ReachFact{Source: src, Chain: []string{fd.obj.FullName()}})
+		}
+	}
+
+	// Fixpoint: propagate callees' facts to callers until stable. Facts are
+	// first-wins (one witness chain per function), so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			if _, ok := pass.ImportObjectFact(fd.obj); ok {
+				continue
+			}
+			fact := factCall(pass, fd.decl)
+			if fact == nil {
+				continue
+			}
+			chain := append([]string{fd.obj.FullName()}, fact.Chain...)
+			pass.ExportObjectFact(fd.obj, &ReachFact{Source: fact.Source, Chain: chain})
+			changed = true
+		}
+	}
+
+	// Report every call site whose callee carries a fact. The source line
+	// itself is determinism's diagnostic; these are its shadows in callers.
+	for _, fd := range fns {
+		eachCall(fd.decl, func(call *ast.CallExpr) {
+			for _, callee := range pass.Graph.Callees(pass.Info, call) {
+				f, ok := pass.ImportObjectFact(callee)
+				if !ok {
+					continue
+				}
+				fact := f.(*ReachFact)
+				chain := append([]string{fd.obj.FullName()}, fact.Chain...)
+				chain = append(chain, fact.Source)
+				pass.ReportChain(call.Pos(), chain,
+					"call to %s transitively reaches %s; chain: %s",
+					callee.FullName(), fact.Source, strings.Join(chain, " -> "))
+				return
+			}
+		})
+	}
+}
+
+// funcWithDecl pairs a function declaration with its type-checker object.
+type funcWithDecl struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+// declaredFuncs lists the package's function and method declarations that
+// have bodies, in file order.
+func declaredFuncs(pass *Pass) []funcWithDecl {
+	var fns []funcWithDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, funcWithDecl{decl: fd, obj: obj})
+		}
+	}
+	return fns
+}
+
+// eachCall visits every call expression in a declaration, including those
+// inside nested function literals (a closure's calls happen on behalf of
+// the declaring function).
+func eachCall(decl *ast.FuncDecl, fn func(*ast.CallExpr)) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// directNondetSource returns a description of the first unsanctioned
+// nondeterminism source in the declaration's body (function literals
+// included — their effects are attributed to the declaring function), or
+// "".
+func directNondetSource(pass *Pass, decl *ast.FuncDecl) string {
+	src := ""
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := wallClockName(pass.Info, call); name != "" && !pass.Allowed(call.Pos(), transAllowNames...) {
+			src = "time." + name + "()"
+			return false
+		}
+		if name := globalRandName(pass.Info, call); name != "" && !pass.Allowed(call.Pos(), transAllowNames...) {
+			src = "global rand." + name
+			return false
+		}
+		return true
+	})
+	if src != "" {
+		return src
+	}
+	// Map-range order reaching output is a source too. Loops are scoped per
+	// function body (declaration body and each literal's body) so the
+	// sort-after-loop idiom is matched in the right scope, exactly as the
+	// determinism analyzer scopes it.
+	for _, body := range functionBodies(decl) {
+		inspectShallow(body, func(n ast.Node) {
+			if src != "" {
+				return
+			}
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if !isMapType(t) && !isChanType(t) {
+				return
+			}
+			if mapRangeFinding(pass.Info, body, rs) != "" && !pass.Allowed(rs.Pos(), transAllowNames...) {
+				src = "map-iteration-order-dependent output"
+			}
+		})
+	}
+	return src
+}
+
+// functionBodies returns the declaration's body plus the body of every
+// nested function literal.
+func functionBodies(decl *ast.FuncDecl) []*ast.BlockStmt {
+	bodies := []*ast.BlockStmt{decl.Body}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// factCall finds the first call in the declaration whose callee carries a
+// ReachFact, honoring per-edge transdeterminism allows.
+func factCall(pass *Pass, decl *ast.FuncDecl) *ReachFact {
+	var found *ReachFact
+	eachCall(decl, func(call *ast.CallExpr) {
+		if found != nil || pass.Allowed(call.Pos(), "transdeterminism") {
+			return
+		}
+		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+			if f, ok := pass.ImportObjectFact(callee); ok {
+				found = f.(*ReachFact)
+				return
+			}
+		}
+	})
+	return found
+}

@@ -135,7 +135,8 @@ type reduceTask[O any] struct {
 
 // mergeCounters folds src into dst.
 func mergeCounters(dst, src map[string]int64) {
-	//falcon:allow determinism integer addition commutes; merge order cannot affect the sums
+	// Integer addition commutes, so the map visit order cannot affect the
+	// summed counters.
 	for name, delta := range src {
 		dst[name] += delta
 	}

@@ -23,6 +23,8 @@ type Scratch struct {
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // GetScratch returns a Scratch from the shared pool.
+//
+//falcon:allow scratchescape the pool extractor is the one sanctioned pool-returning function; callers must pair it with PutScratch
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // PutScratch returns a Scratch to the shared pool.
