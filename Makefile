@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build falcon-vet test race bench
+.PHONY: check fmt vet build falcon-vet vet-fix test race bench
 
 check: fmt vet build falcon-vet test race
 	@echo "all gates passed"
@@ -20,6 +20,12 @@ build:
 falcon-vet:
 	$(GO) run ./cmd/falcon-vet ./...
 
+# vet-fix applies every suggested fix (stale allow-directive removal,
+# errcheck explicit discards, sort.Slice modernization) in place, then
+# reports whatever is left for a human.
+vet-fix:
+	$(GO) run ./cmd/falcon-vet -fix ./...
+
 test:
 	$(GO) test ./...
 
@@ -28,8 +34,9 @@ race:
 
 # bench records the executor worker-pool benchmark (speedup needs >1 CPU),
 # the blocking hot-path benchmarks (dictionary ID path vs the retired
-# string reference path), and the falcon-vet whole-tree benchmark (all
-# eight analyzers over the module, loading amortized).
+# string reference path), and the falcon-vet whole-tree benchmark (the
+# pre-flow suite, the flow-sensitive layer, and all eleven analyzers over
+# the module, loading amortized).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
 		./internal/mapreduce/ > BENCH_executor.json

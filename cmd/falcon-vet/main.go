@@ -1,8 +1,9 @@
 // Command falcon-vet runs Falcon's project-specific static-analysis suite:
 // zero-dependency analyzers, built on go/parser and go/types, that enforce
 // the determinism, cost-accounting, lock-safety, error-handling,
-// hot-path-allocation, context-propagation, and scratch-escape invariants
-// the simulated-cluster evaluation depends on. The suite is
+// hot-path-allocation, context-propagation, scratch-escape, task-purity,
+// and lock-ordering invariants the simulated-cluster evaluation depends
+// on. The suite is
 // interprocedural: the requested packages' whole dependency closure is
 // analyzed in dependency order, and the transdeterminism/ctxflow/
 // scratchescape analyzers chase violations across package boundaries,
@@ -17,7 +18,10 @@
 // spell out the call chain they followed inside the message; the exit
 // status is 1 when any diagnostic is reported and 2 on usage or load
 // errors. With -json, each diagnostic is one JSON object per line (file,
-// line, col, analyzer, message, chain) for CI annotation.
+// line, col, analyzer, message, chain, suggested_fixes) for CI
+// annotation. With -fix, suggested fixes (stale allow-directive removal,
+// errcheck explicit discards, sort.Slice modernization) are applied in
+// place; -fix is idempotent — a second run applies zero fixes.
 //
 // A finding is suppressed by a directive comment on, or directly above,
 // the flagged line:
@@ -50,13 +54,47 @@ type jsonDiagnostic struct {
 	Analyzer string   `json:"analyzer"`
 	Message  string   `json:"message"`
 	Chain    []string `json:"chain,omitempty"`
+	// SuggestedFixes carries the machine-applicable edits -fix would
+	// apply, each tagged with the analyzer that proposed it, so the CI
+	// artifact stays self-describing.
+	SuggestedFixes []jsonFix `json:"suggested_fixes,omitempty"`
+}
+
+type jsonFix struct {
+	Analyzer string     `json:"analyzer"`
+	Message  string     `json:"message"`
+	Edits    []jsonEdit `json:"edits"`
+}
+
+type jsonEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+func jsonFixes(cwd string, d analysis.Diagnostic) []jsonFix {
+	var out []jsonFix
+	for _, f := range d.Fixes {
+		jf := jsonFix{Analyzer: d.Analyzer, Message: f.Message}
+		for _, e := range f.Edits {
+			file := e.File
+			if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+				file = rel
+			}
+			jf.Edits = append(jf.Edits, jsonEdit{File: file, Start: e.Start, End: e.End, New: e.New})
+		}
+		out = append(out, jf)
+	}
+	return out
 }
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("falcon-vet", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-	asJSON := fs.Bool("json", false, "emit one JSON diagnostic per line (file, line, col, analyzer, message, chain)")
+	asJSON := fs.Bool("json", false, "emit one JSON diagnostic per line (file, line, col, analyzer, message, chain, suggested_fixes)")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place; only diagnostics without a fix are reported")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,6 +138,32 @@ func run(args []string) int {
 	}
 
 	diags := analysis.Run(analyzers, pkgs)
+	skipped := 0
+	if *fix {
+		res, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "falcon-vet:", err)
+			return 2
+		}
+		if err := res.Write(); err != nil {
+			fmt.Fprintln(os.Stderr, "falcon-vet:", err)
+			return 2
+		}
+		fmt.Printf("falcon-vet: applied %d fix(es) in %d file(s)\n", res.Applied, len(res.Files))
+		// Skipped fixes and unfixable findings remain: report those, so a
+		// clean tree plus -fix exits 0 only when nothing is left to do.
+		var rest []analysis.Diagnostic
+		for _, d := range diags {
+			if len(d.Fixes) == 0 {
+				rest = append(rest, d)
+			}
+		}
+		if res.Skipped > 0 {
+			fmt.Printf("falcon-vet: %d overlapping fix(es) skipped; run -fix again\n", res.Skipped)
+		}
+		skipped = res.Skipped
+		diags = rest
+	}
 	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		pos := d.Pos
@@ -111,19 +175,20 @@ func run(args []string) int {
 			// encoder's write error surfaces as a short count below, and a
 			// broken pipe ends the process anyway.
 			_ = enc.Encode(jsonDiagnostic{
-				File:     pos.Filename,
-				Line:     pos.Line,
-				Col:      pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-				Chain:    d.Chain,
+				File:           pos.Filename,
+				Line:           pos.Line,
+				Col:            pos.Column,
+				Analyzer:       d.Analyzer,
+				Message:        d.Message,
+				Chain:          d.Chain,
+				SuggestedFixes: jsonFixes(cwd, d),
 			})
 			continue
 		}
 		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "falcon-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	if len(diags) > 0 || skipped > 0 {
+		fmt.Fprintf(os.Stderr, "falcon-vet: %d finding(s) in %d package(s)\n", len(diags)+skipped, len(pkgs))
 		return 1
 	}
 	return 0

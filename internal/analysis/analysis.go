@@ -40,6 +40,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"slices"
 	"strings"
 )
@@ -68,6 +69,10 @@ type Diagnostic struct {
 	// interprocedural analyzer followed from the reported position to the
 	// offending source.
 	Chain []string
+	// Fixes, when non-empty, are machine-applicable corrections. -fix
+	// applies the first fix whose edits don't collide with fixes accepted
+	// earlier (see ApplyFixes).
+	Fixes []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -89,11 +94,14 @@ type allowRef struct {
 
 // allowDirective is one parsed //falcon:allow comment. hit flips when the
 // directive suppresses a diagnostic or sanctions a taint source, and is
-// what the stale-suppression check inspects.
+// what the stale-suppression check inspects. endOff is the byte offset
+// just past the comment, kept so stale directives can offer a deletion
+// fix.
 type allowDirective struct {
-	pos  token.Position
-	name string
-	hit  bool
+	pos    token.Position
+	endOff int
+	name   string
+	hit    bool
 }
 
 // allowIndex holds one package's directives, addressable by position.
@@ -118,7 +126,7 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				d := &allowDirective{pos: pos, name: fields[0]}
+				d := &allowDirective{pos: pos, endOff: fset.Position(c.End()).Offset, name: fields[0]}
 				idx.byRef[allowRef{pos.Filename, pos.Line, fields[0]}] = d
 				idx.list = append(idx.list, d)
 			}
@@ -161,6 +169,26 @@ type Pass struct {
 	allow  *allowIndex
 	facts  factStore
 	diags  *[]Diagnostic
+	state  map[*Analyzer]any
+}
+
+// sharedState returns the Run-wide mutable state for one analyzer,
+// creating it with init on first use. Unlike facts (keyed per object),
+// this is a single value every package's pass of the same analyzer
+// shares — lockorder accumulates its cross-package lock-acquisition
+// graph here.
+func (p *Pass) sharedState(a *Analyzer, init func() any) any {
+	if p.state == nil {
+		// Standalone pass construction (tests); state lives only as long
+		// as this pass.
+		p.state = map[*Analyzer]any{}
+	}
+	s, ok := p.state[a]
+	if !ok {
+		s = init()
+		p.state[a] = s
+	}
+	return s
 }
 
 // Reportf records a diagnostic at pos unless an allow directive suppresses
@@ -173,6 +201,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // used by interprocedural analyzers to show how the reported position
 // reaches the offending source.
 func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.emit(pos, chain, nil, format, args...)
+}
+
+// ReportFixf is Reportf with an attached machine-applicable fix, picked
+// up by the -fix mode.
+func (p *Pass) ReportFixf(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.emit(pos, nil, []SuggestedFix{fix}, format, args...)
+}
+
+func (p *Pass) emit(pos token.Pos, chain []string, fixes []SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allow.allowed(position, p.Analyzer.Name) {
 		return
@@ -185,6 +223,7 @@ func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ..
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 		Chain:    chain,
+		Fixes:    fixes,
 	})
 }
 
@@ -219,6 +258,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 		allowByPkg[pkg] = buildAllowIndex(pkg.Fset, pkg.Files)
 	}
 	facts := factStore{}
+	state := map[*Analyzer]any{}
 
 	var diags []Diagnostic
 	for _, pkg := range closure {
@@ -237,6 +277,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 				allow:    allowByPkg[pkg],
 				facts:    facts,
 				diags:    &diags,
+				state:    state,
 			})
 		}
 	}
@@ -248,6 +289,18 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
+	}
+	srcCache := map[string][]byte{}
+	readSrc := func(name string) []byte {
+		if b, ok := srcCache[name]; ok {
+			return b
+		}
+		b, err := os.ReadFile(name)
+		if err != nil {
+			b = nil
+		}
+		srcCache[name] = b
+		return b
 	}
 	for _, pkg := range closure {
 		if !requested[pkg] {
@@ -263,12 +316,14 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 					Pos:      d.pos,
 					Analyzer: StaleAllowName,
 					Message:  fmt.Sprintf("//falcon:allow names unknown analyzer %q", d.name),
+					Fixes:    staleAllowFix(readSrc(d.pos.Filename), d),
 				})
 			case ran[d.name]:
 				diags = append(diags, Diagnostic{
 					Pos:      d.pos,
 					Analyzer: StaleAllowName,
 					Message:  fmt.Sprintf("stale //falcon:allow %s: no %s diagnostic is suppressed here", d.name, d.name),
+					Fixes:    staleAllowFix(readSrc(d.pos.Filename), d),
 				})
 			}
 		}
@@ -305,6 +360,9 @@ func All() []*Analyzer {
 		HotAlloc,
 		CtxFlow,
 		ScratchEscape,
+		MRPurity,
+		LockOrder,
+		SortSlice,
 	}
 }
 

@@ -46,9 +46,15 @@ func TestFixtures(t *testing.T) {
 		{CtxFlow, "ctxflow_clean"},
 		{ScratchEscape, "scratchescape_flagged"},
 		{ScratchEscape, "scratchescape_clean"},
+		{MRPurity, "mrpurity_flagged"},
+		{MRPurity, "mrpurity_clean"},
+		{LockOrder, "lockorder_flagged"},
+		{LockOrder, "lockorder_clean"},
 		{TransDeterminism, "multi/detapp"},
 		{CtxFlow, "ctxmulti/app"},
 		{ScratchEscape, "scratchmulti/scratchapp"},
+		{MRPurity, "mrmulti/mrapp"},
+		{LockOrder, "lockmulti/lockapp"},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -104,6 +110,8 @@ func TestCrossPackageFacts(t *testing.T) {
 		{TransDeterminism, "multi/detapp", true},
 		{CtxFlow, "ctxmulti/app", true},
 		{ScratchEscape, "scratchmulti/scratchapp", false},
+		{MRPurity, "mrmulti/mrapp", true},
+		{LockOrder, "lockmulti/lockapp", true},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -201,7 +209,7 @@ func TestLoaderPaths(t *testing.T) {
 // TestByName covers the analyzer registry lookups falcon-vet exposes.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 8 {
+	if err != nil || len(all) != 11 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("determinism, errcheck")

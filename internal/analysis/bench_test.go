@@ -1,12 +1,27 @@
 package analysis
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
-// BenchmarkVetTree measures one full falcon-vet pass — all eight
-// analyzers, facts, call graph, and the struct-keyed allow index — over
-// the module's own tree, with loading and type-checking done once up
-// front (the analyzers, not the parser, are what this PR made hot).
-func BenchmarkVetTree(b *testing.B) {
+// preFlowSuite is the eight-analyzer suite as it stood before the
+// flow-sensitive layer landed; the overhead budget below is measured
+// against it.
+var preFlowSuite = []*Analyzer{
+	Determinism, TransDeterminism, CostAccounting, LockSafety,
+	ErrCheck, HotAlloc, CtxFlow, ScratchEscape,
+}
+
+// flowSuite is the flow-sensitive additions on their own: the two
+// dataflow analyzers plus the rewrite-only sortslice pass.
+var flowSuite = []*Analyzer{MRPurity, LockOrder, SortSlice}
+
+// benchPackages loads the module tree once; loading and type-checking are
+// deliberately outside the timed region (the analyzers, not the parser,
+// are what these benchmarks watch).
+func benchPackages(b *testing.B) []*Package {
+	b.Helper()
 	l, err := sharedLoader()
 	if err != nil {
 		b.Fatalf("NewLoader: %v", err)
@@ -15,11 +30,64 @@ func BenchmarkVetTree(b *testing.B) {
 	if err != nil {
 		b.Fatalf("Load: %v", err)
 	}
-	analyzers := All()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if diags := Run(analyzers, pkgs); len(diags) != 0 {
-			b.Fatalf("tree is not clean: %v", diags[0])
-		}
+	return pkgs
+}
+
+// BenchmarkVetTree measures one full falcon-vet pass over the module's
+// own tree: the pre-flow eight-analyzer suite, the flow-sensitive layer
+// alone (dataflow construction dominates), and the full eleven-analyzer
+// suite the CLI runs.
+func BenchmarkVetTree(b *testing.B) {
+	pkgs := benchPackages(b)
+	suites := []struct {
+		name      string
+		analyzers []*Analyzer
+	}{
+		{"preflow8", preFlowSuite},
+		{"flow3", flowSuite},
+		{"full11", All()},
+	}
+	for _, s := range suites {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if diags := Run(s.analyzers, pkgs); len(diags) != 0 {
+					b.Fatalf("tree is not clean: %v", diags[0])
+				}
+			}
+		})
+	}
+}
+
+// TestVetOverheadWithinBudget pins the cost of the flow-sensitive layer:
+// a full-tree run of the eleven-analyzer suite must stay under twice the
+// wall time of the eight-analyzer suite it grew from. The dataflow pass
+// re-walks every function body, so some overhead is expected; doubling
+// the vet gate's latency is the line at which it stops being free to run
+// everywhere.
+func TestVetOverheadWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks the whole module; skipped in -short")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	measure := func(analyzers []*Analyzer) time.Duration {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Run(analyzers, pkgs)
+			}
+		})
+		return time.Duration(r.NsPerOp())
+	}
+	pre := measure(preFlowSuite)
+	full := measure(All())
+	t.Logf("pre-flow suite %v, full suite %v (%.2fx)", pre, full, float64(full)/float64(pre))
+	if full > 2*pre {
+		t.Errorf("full suite takes %v, over the 2x budget of the pre-flow suite's %v", full, pre)
 	}
 }

@@ -1,9 +1,10 @@
 package analysis
 
 import (
+	"cmp"
 	"go/ast"
 	"go/types"
-	"sort"
+	"slices"
 )
 
 // Graph is the conservative whole-program call graph falcon-vet's
@@ -84,7 +85,7 @@ func BuildGraph(pkgs []*Package) *Graph {
 		}
 	}
 	for m, fns := range g.impls {
-		sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+		slices.SortFunc(fns, func(a, b *types.Func) int { return cmp.Compare(a.FullName(), b.FullName()) })
 		g.impls[m] = dedupeFuncs(fns)
 	}
 	return g

@@ -33,9 +33,33 @@ func runErrCheck(pass *Pass) {
 			if !returnsError(pass, call) || errExempt(pass, call) {
 				return true
 			}
-			pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or assign to _ explicitly", render(pass.Fset, call.Fun))
+			pass.ReportFixf(call.Pos(), discardFix(pass, call),
+				"error returned by %s is discarded; handle it or assign to _ explicitly", render(pass.Fset, call.Fun))
 			return true
 		})
+	}
+}
+
+// discardFix turns the bare call statement into an explicit discard:
+// `_ = f()`, with one blank per result so multi-value calls stay legal.
+func discardFix(pass *Pass, call *ast.CallExpr) SuggestedFix {
+	n := 1
+	if tuple, ok := pass.Info.TypeOf(call).(*types.Tuple); ok {
+		n = tuple.Len()
+	}
+	blanks := "_"
+	for i := 1; i < n; i++ {
+		blanks += ", _"
+	}
+	off := pass.Fset.Position(call.Pos()).Offset
+	return SuggestedFix{
+		Message: "assign the result to " + blanks + " to make the discard explicit",
+		Edits: []TextEdit{{
+			File:  pass.Fset.Position(call.Pos()).Filename,
+			Start: off,
+			End:   off,
+			New:   blanks + " = ",
+		}},
 	}
 }
 

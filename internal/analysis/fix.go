@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"slices"
+	"strings"
+)
+
+// This file is falcon-vet's autofix engine. Analyzers attach
+// SuggestedFixes to diagnostics (via Pass.ReportFixf); ApplyFixes turns
+// the first fix of every diagnostic into concrete file contents, refusing
+// overlapping edits so the result is always a valid single application.
+// The contract the -fix CLI mode and CI rely on is idempotence: running
+// the analyzers again over the fixed tree yields zero fixable
+// diagnostics, because every fix removes the pattern its analyzer
+// matches.
+
+// TextEdit replaces the byte range [Start, End) of File with New. A
+// zero-width range (Start == End) is an insertion.
+type TextEdit struct {
+	File  string
+	Start int
+	End   int
+	New   string
+}
+
+// SuggestedFix is one machine-applicable correction for a diagnostic. All
+// edits are applied together or not at all.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// FixResult is the outcome of ApplyFixes.
+type FixResult struct {
+	// Files maps each modified path to its complete new contents.
+	Files map[string][]byte
+	// Applied counts diagnostics whose fix was accepted.
+	Applied int
+	// Skipped counts fixable diagnostics dropped because their edits
+	// overlap a fix accepted earlier (they surface again on the next run).
+	Skipped int
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic, in
+// diagnostic order. A fix is accepted atomically: if any of its edits
+// overlaps an already-accepted edit, the whole fix is skipped. Identical
+// edits (two diagnostics proposing the same change) coalesce. Managed
+// stdlib imports ("sort", "slices", "cmp") are added or removed to match
+// the edited code, and every touched file is reformatted.
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	res := &FixResult{Files: map[string][]byte{}}
+	accepted := map[string][]TextEdit{}
+
+	conflicts := func(e TextEdit) bool {
+		for _, a := range accepted[e.File] {
+			if a == e {
+				continue
+			}
+			if e.Start < a.End && a.Start < e.End {
+				return true
+			}
+			// Distinct insertions at the same point have no defined order.
+			if e.Start == a.Start && (e.Start == e.End || a.Start == a.End) {
+				return true
+			}
+		}
+		return false
+	}
+	duplicate := func(e TextEdit) bool {
+		for _, a := range accepted[e.File] {
+			if a == e {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		fix := d.Fixes[0]
+		var fresh []TextEdit
+		ok := len(fix.Edits) > 0
+		for _, e := range fix.Edits {
+			if e.Start < 0 || e.End < e.Start {
+				return nil, fmt.Errorf("%s: invalid edit range [%d,%d)", e.File, e.Start, e.End)
+			}
+			if duplicate(e) {
+				continue
+			}
+			if conflicts(e) {
+				ok = false
+				break
+			}
+			fresh = append(fresh, e)
+		}
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		for _, e := range fresh {
+			accepted[e.File] = append(accepted[e.File], e)
+		}
+		res.Applied++
+	}
+
+	files := make([]string, 0, len(accepted))
+	for file := range accepted {
+		files = append(files, file)
+	}
+	slices.Sort(files)
+	for _, file := range files {
+		edits := accepted[file]
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		slices.SortFunc(edits, func(a, b TextEdit) int {
+			if a.Start != b.Start {
+				return b.Start - a.Start // descending: apply from the end
+			}
+			return b.End - a.End
+		})
+		for _, e := range edits {
+			if e.End > len(src) {
+				return nil, fmt.Errorf("%s: edit end %d beyond file size %d", file, e.End, len(src))
+			}
+			src = append(src[:e.Start], append([]byte(e.New), src[e.End:]...)...)
+		}
+		src = adjustImports(src)
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: fixed source does not parse: %v", file, err)
+		}
+		res.Files[file] = formatted
+	}
+	return res, nil
+}
+
+// Write persists every fixed file back to disk.
+func (r *FixResult) Write() error {
+	for name, data := range r.Files {
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// managedImports are the only import paths the fix engine will add or
+// remove — the stdlib packages its own rewrites introduce or obsolete.
+// For all three the import path equals the package name.
+var managedImports = map[string]bool{"sort": true, "slices": true, "cmp": true}
+
+// adjustImports reconciles the managed imports of a just-edited file with
+// its code: a managed package that is imported but no longer referenced is
+// removed, one that is referenced but not imported is inserted into the
+// first import group in sorted order. Unparseable input is returned
+// unchanged (the caller's format.Source reports the real error).
+func adjustImports(src []byte) []byte {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		return src
+	}
+
+	// Local import names in scope, and managed names referenced without an
+	// import (our rewrites emit `slices.` / `cmp.` qualifiers verbatim).
+	local := map[string]string{}
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		local[name] = path
+	}
+	usedPaths := map[string]bool{}
+	needed := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if p, ok := local[id.Name]; ok {
+				usedPaths[p] = true
+			} else if managedImports[id.Name] {
+				needed[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	lineStart := func(off int) int {
+		for off > 0 && src[off-1] != '\n' {
+			off--
+		}
+		return off
+	}
+	lineEnd := func(off int) int {
+		for off < len(src) && src[off] != '\n' {
+			off++
+		}
+		if off < len(src) {
+			off++ // include the newline
+		}
+		return off
+	}
+
+	var edits []TextEdit
+	var firstBlock *ast.GenDecl
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if firstBlock == nil && gd.Lparen.IsValid() {
+			firstBlock = gd
+		}
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			path := strings.Trim(is.Path.Value, `"`)
+			if managedImports[path] && !usedPaths[path] && is.Name == nil {
+				off := fset.Position(is.Pos()).Offset
+				edits = append(edits, TextEdit{Start: lineStart(off), End: lineEnd(fset.Position(is.End()).Offset)})
+			}
+		}
+	}
+
+	var missing []string
+	for name := range needed {
+		missing = append(missing, name)
+	}
+	slices.Sort(missing)
+	for _, name := range missing {
+		text := "\t" + `"` + name + `"` + "\n"
+		if firstBlock == nil {
+			// No parenthesized block: add a standalone import after the
+			// package clause (format.Source keeps it valid).
+			off := lineEnd(fset.Position(f.Name.End()).Offset)
+			edits = append(edits, TextEdit{Start: off, End: off, New: "\nimport " + `"` + name + `"` + "\n"})
+			continue
+		}
+		// Insert within the first group (the stdlib group — all managed
+		// packages are stdlib), keeping it sorted so gofmt stays happy.
+		insert := -1
+		prevLine := -1
+		var lastInGroup *ast.ImportSpec
+		for _, spec := range firstBlock.Specs {
+			is := spec.(*ast.ImportSpec)
+			if prevLine >= 0 && fset.Position(is.Pos()).Line > prevLine+1 {
+				break // blank line: end of the first group
+			}
+			prevLine = fset.Position(is.End()).Line
+			lastInGroup = is
+			if insert < 0 && strings.Trim(is.Path.Value, `"`) > name {
+				insert = lineStart(fset.Position(is.Pos()).Offset)
+			}
+		}
+		if insert < 0 {
+			if lastInGroup == nil {
+				insert = lineEnd(fset.Position(firstBlock.Lparen).Offset)
+			} else {
+				insert = lineEnd(fset.Position(lastInGroup.End()).Offset)
+			}
+		}
+		edits = append(edits, TextEdit{Start: insert, End: insert, New: text})
+	}
+
+	slices.SortFunc(edits, func(a, b TextEdit) int {
+		if a.Start != b.Start {
+			return b.Start - a.Start
+		}
+		return b.End - a.End
+	})
+	for _, e := range edits {
+		src = append(src[:e.Start], append([]byte(e.New), src[e.End:]...)...)
+	}
+	return src
+}
+
+// staleAllowFix builds the deletion edit for a stale //falcon:allow
+// directive: the whole line when the directive stands alone, otherwise
+// just the comment and the spaces separating it from the code it trails.
+// src may be nil (unreadable file), in which case no fix is offered.
+func staleAllowFix(src []byte, d *allowDirective) []SuggestedFix {
+	start := d.pos.Offset
+	end := d.endOff
+	if src == nil || start < 0 || end > len(src) || start >= end {
+		return nil
+	}
+	lineStart := start - (d.pos.Column - 1)
+	if lineStart < 0 {
+		return nil
+	}
+	alone := strings.TrimSpace(string(src[lineStart:start])) == ""
+	if alone {
+		start = lineStart
+		if end < len(src) && src[end] == '\n' {
+			end++
+		}
+	} else {
+		for start > lineStart && (src[start-1] == ' ' || src[start-1] == '\t') {
+			start--
+		}
+	}
+	return []SuggestedFix{{
+		Message: "remove stale //falcon:allow directive",
+		Edits:   []TextEdit{{File: d.pos.Filename, Start: start, End: end}},
+	}}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixCases drive the golden tests: each testdata/fix directory is copied
+// into a scratch module, the case's analyzers run there, every suggested
+// fix is applied in place, and the result must match the sibling .golden
+// files byte for byte.
+var fixCases = []struct {
+	dir       string
+	analyzers []*Analyzer
+}{
+	{"errs", []*Analyzer{ErrCheck}},
+	{"stale", []*Analyzer{Determinism}},
+	{"sorts", []*Analyzer{SortSlice}},
+}
+
+// scratchModule copies testdata/fix/<dir>'s .go files into a fresh
+// temporary module (fixes write in place, so the checked-in fixtures must
+// never be the ones edited) and returns its root.
+func scratchModule(t *testing.T, dir string) string {
+	t.Helper()
+	src := filepath.Join("testdata", "fix", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixscratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(root, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// vetScratch loads the scratch module fresh and runs the analyzers over
+// it. A fresh loader each time is deliberate: the fixed files must be
+// re-read from disk, not served from a package cache.
+func vetScratch(t *testing.T, root string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Fatalf("%s does not type-check: %v", pkg.Path, e)
+		}
+	}
+	return Run(analyzers, pkgs)
+}
+
+// TestFixGolden is the -fix acceptance test: apply every suggested fix to
+// a copy of each fixture tree, compare against the .golden files, then
+// run the analyzers once more over the fixed tree and require that no
+// fixable diagnostic is left (the idempotence contract CI enforces on the
+// real tree).
+func TestFixGolden(t *testing.T) {
+	for _, c := range fixCases {
+		t.Run(c.dir, func(t *testing.T) {
+			root := scratchModule(t, c.dir)
+			res, err := ApplyFixes(vetScratch(t, root, c.analyzers))
+			if err != nil {
+				t.Fatalf("ApplyFixes: %v", err)
+			}
+			if res.Applied == 0 {
+				t.Fatal("no fixes applied; the fixture matches nothing")
+			}
+			if res.Skipped != 0 {
+				t.Errorf("%d fixes skipped as overlapping; fixture edits should be disjoint", res.Skipped)
+			}
+			if err := res.Write(); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+
+			goldens, err := filepath.Glob(filepath.Join("testdata", "fix", c.dir, "*.golden"))
+			if err != nil || len(goldens) == 0 {
+				t.Fatalf("no golden files for %s (err %v)", c.dir, err)
+			}
+			for _, g := range goldens {
+				want, err := os.ReadFile(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := strings.TrimSuffix(filepath.Base(g), ".golden")
+				got, err := os.ReadFile(filepath.Join(root, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s after -fix differs from %s:\n--- got ---\n%s\n--- want ---\n%s", name, g, got, want)
+				}
+			}
+
+			for _, d := range vetScratch(t, root, c.analyzers) {
+				if len(d.Fixes) > 0 {
+					t.Errorf("fixable diagnostic survives -fix: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyFixesConflict pins the atomic-acceptance contract: of two
+// fixes editing the same range, the first wins, the second is skipped
+// whole and counted, and the winning edit still lands.
+func TestApplyFixesConflict(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(file, []byte("package x\n\nvar v = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edit := func(s string) []SuggestedFix {
+		return []SuggestedFix{{Message: s, Edits: []TextEdit{{File: file, Start: 19, End: 20, New: s}}}}
+	}
+	res, err := ApplyFixes([]Diagnostic{{Fixes: edit("2")}, {Fixes: edit("3")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("Applied=%d Skipped=%d, want 1 and 1", res.Applied, res.Skipped)
+	}
+	if got := string(res.Files[file]); got != "package x\n\nvar v = 2\n" {
+		t.Fatalf("fixed contents = %q", got)
+	}
+}

@@ -1,0 +1,738 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+	"strings"
+)
+
+// This file is falcon-vet's flow-sensitive dataflow layer: a per-function
+// SSA-lite over go/types that the mrpurity and lockorder analyzers build
+// on. It provides three views of one top-level function declaration
+// (nested literals included):
+//
+//   - classified writes: every store in the declaration, tagged with what
+//     kind of l-value it goes through (plain assignment, append
+//     reassignment, map index, slice/array element, pointer deref, struct
+//     field) and rooted at the base variable the l-value reaches;
+//   - def-use chains: where each local is declared and every position it
+//     is read, so analyzers can point at the capture site of a closed-over
+//     variable rather than just its declaration;
+//   - a may-alias approximation: `p := &x`, reference-typed copies
+//     (`m2 := m`, `cache := v.tokA`), and append-derived slices make the
+//     new name a may-alias of the old root, so a store through either name
+//     is attributed to the shared root. The approximation is flow-
+//     insensitive and union-only — sound for "may this write reach shared
+//     state", which is all the purity checks need.
+//
+// The second half of the file is the lock-region interpreter lockorder
+// uses (and mrpurity consults to exempt mutex-guarded writes): an abstract
+// execution of one function body tracking the set of locks held at every
+// node. Sequential statements thread the held set through; branches fork
+// it and re-join with set intersection (held-after = held on every
+// non-terminating path); a deferred unlock pins the lock to function end;
+// goroutine bodies and nested literals start from an empty held set of
+// their own.
+
+// WriteKind classifies what kind of l-value a store goes through.
+type WriteKind int
+
+const (
+	// WriteAssign is a plain store to a variable: x = v, x += v, x++.
+	WriteAssign WriteKind = iota
+	// WriteAppend is the append reassignment idiom: x = append(x, ...).
+	WriteAppend
+	// WriteMapIndex is a store through a map index: m[k] = v, m[k]++.
+	WriteMapIndex
+	// WriteSliceIndex is a store to a slice or array element: s[i] = v.
+	// The mapreduce contract explicitly sanctions disjoint preallocated
+	// element writes, so purity checks treat this kind as safe.
+	WriteSliceIndex
+	// WriteDeref is a store through a pointer: *p = v, p.f = v.
+	WriteDeref
+	// WriteField is a store to a field of an addressable struct value:
+	// x.f = v with x a (non-pointer) variable.
+	WriteField
+)
+
+func (k WriteKind) String() string {
+	switch k {
+	case WriteAssign:
+		return "assignment"
+	case WriteAppend:
+		return "append"
+	case WriteMapIndex:
+		return "map write"
+	case WriteSliceIndex:
+		return "element write"
+	case WriteDeref:
+		return "pointer store"
+	case WriteField:
+		return "field write"
+	}
+	return "write"
+}
+
+// Write is one classified store, rooted at the base variable its l-value
+// chain reaches. Root is nil when the base is not a variable (a call
+// result, a composite literal).
+type Write struct {
+	Root *types.Var
+	Kind WriteKind
+	Pos  token.Pos
+}
+
+// FuncFlow is the dataflow summary of one function declaration, nested
+// function literals included.
+type FuncFlow struct {
+	info   *types.Info
+	writes []Write
+	// aliases maps a variable to the root variables it may reference.
+	aliases map[*types.Var][]*types.Var
+	defs    map[*types.Var]token.Pos
+	uses    map[*types.Var][]token.Pos
+}
+
+// NewFuncFlow builds the dataflow summary for one function body.
+func NewFuncFlow(info *types.Info, body *ast.BlockStmt) *FuncFlow {
+	fl := &FuncFlow{
+		info:    info,
+		aliases: map[*types.Var][]*types.Var{},
+		defs:    map[*types.Var]token.Pos{},
+		uses:    map[*types.Var][]token.Pos{},
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			fl.addAssign(n)
+		case *ast.IncDecStmt:
+			fl.addWrite(n.X, false)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					fl.addWrite(n.Key, false)
+				}
+				if n.Value != nil {
+					fl.addWrite(n.Value, false)
+				}
+			}
+		case *ast.Ident:
+			if v, ok := fl.info.Defs[n].(*types.Var); ok {
+				fl.defs[v] = n.Pos()
+			}
+			if v, ok := fl.info.Uses[n].(*types.Var); ok {
+				fl.uses[v] = append(fl.uses[v], n.Pos())
+			}
+		}
+		return true
+	})
+	return fl
+}
+
+// Writes returns every classified store in the declaration, in source
+// order.
+func (fl *FuncFlow) Writes() []Write { return fl.writes }
+
+// DefPos returns the position a variable was defined at within this
+// function, or token.NoPos when it was defined elsewhere (a capture).
+func (fl *FuncFlow) DefPos(v *types.Var) token.Pos {
+	return fl.defs[v]
+}
+
+// FirstUseIn returns the first read of v inside [lo, hi], or token.NoPos.
+// Analyzers use it to report the capture site of a closed-over variable.
+func (fl *FuncFlow) FirstUseIn(v *types.Var, lo, hi token.Pos) token.Pos {
+	for _, p := range fl.uses[v] {
+		if p >= lo && p <= hi {
+			return p
+		}
+	}
+	return token.NoPos
+}
+
+// Roots returns the set of root variables v may refer to: v itself plus
+// the transitive closure of its may-aliases.
+func (fl *FuncFlow) Roots(v *types.Var) []*types.Var {
+	if v == nil {
+		return nil
+	}
+	seen := map[*types.Var]bool{v: true}
+	out := []*types.Var{v}
+	for i := 0; i < len(out); i++ {
+		for _, t := range fl.aliases[out[i]] {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// addAssign records writes and alias edges for one assignment statement.
+func (fl *FuncFlow) addAssign(as *ast.AssignStmt) {
+	define := as.Tok == token.DEFINE
+	// Pairwise only when the counts line up; `a, b := f()` has a single
+	// rhs whose root (a call) is unknown anyway.
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		if !define {
+			fl.addWrite(lhs, rhs != nil && isAppendOf(fl.info, rhs, lhs))
+		}
+		if rhs != nil {
+			fl.addAlias(lhs, rhs)
+		}
+	}
+}
+
+// addAlias records that the lhs variable may now reference the rhs
+// expression's root, when the rhs is reference-typed (pointer, map, slice)
+// or an address-of expression.
+func (fl *FuncFlow) addAlias(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	lv := fl.varOf(id)
+	if lv == nil {
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		if root := fl.rootVar(u.X); root != nil && root != lv {
+			fl.aliases[lv] = append(fl.aliases[lv], root)
+		}
+		return
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		// x := append(y, ...) may share y's backing array.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(fl.info, id) && len(call.Args) > 0 {
+			if root := fl.rootVar(call.Args[0]); root != nil && root != lv {
+				fl.aliases[lv] = append(fl.aliases[lv], root)
+			}
+		}
+		return
+	}
+	if !referenceType(fl.info.TypeOf(rhs)) {
+		return
+	}
+	if root := fl.rootVar(rhs); root != nil && root != lv {
+		fl.aliases[lv] = append(fl.aliases[lv], root)
+	}
+}
+
+// addWrite classifies one l-value and records the write.
+func (fl *FuncFlow) addWrite(lhs ast.Expr, isAppend bool) {
+	root, kind, ok := fl.classifyLValue(lhs)
+	if !ok {
+		return
+	}
+	if isAppend && kind == WriteAssign {
+		kind = WriteAppend
+	}
+	fl.writes = append(fl.writes, Write{Root: root, Kind: kind, Pos: lhs.Pos()})
+}
+
+// classifyLValue walks an l-value chain down to its base, classifying the
+// store and resolving the root variable. Map indexing anywhere in the
+// chain wins (map elements are not addressable, so a map index is always
+// the outermost mutation), then slice/array element writes (the
+// sanctioned disjoint-write shape), then pointer derefs, then plain field
+// writes.
+func (fl *FuncFlow) classifyLValue(lhs ast.Expr) (*types.Var, WriteKind, bool) {
+	kind := WriteAssign
+	sawDeref, sawField := false, false
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil, 0, false
+			}
+			if sawDeref {
+				kind = WriteDeref
+			} else if sawField {
+				kind = WriteField
+			}
+			return fl.varOf(x), kind, true
+		case *ast.SelectorExpr:
+			if pn := pkgNameOf(fl.info, x.X); pn != nil {
+				// pkg.Var(.field...): root is the package-level variable.
+				if sawDeref {
+					kind = WriteDeref
+				} else if kind == WriteAssign {
+					kind = WriteField
+				}
+				v, _ := fl.info.Uses[x.Sel].(*types.Var)
+				if v == nil {
+					return nil, 0, false
+				}
+				return v, kind, true
+			}
+			if _, ok := fl.info.TypeOf(x.X).(*types.Pointer); ok {
+				sawDeref = true
+			}
+			sawField = true
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			sawDeref = true
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			switch t := fl.info.TypeOf(x.X); t.Underlying().(type) {
+			case *types.Map:
+				kind = WriteMapIndex
+			case *types.Pointer: // (*parr)[i] auto-deref of *[N]T
+				kind = WriteSliceIndex
+			default:
+				if kind == WriteAssign {
+					kind = WriteSliceIndex
+				}
+			}
+			e = ast.Unparen(x.X)
+		default:
+			// Base is a call result, composite literal, type assertion...:
+			// no variable root to attribute the write to.
+			return nil, 0, false
+		}
+	}
+}
+
+// rootVar resolves an expression to the base variable it reads from, or
+// nil. &x, x.f.g, m[k], (*p) all root at x / m / p.
+func (fl *FuncFlow) rootVar(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return fl.varOf(x)
+		case *ast.SelectorExpr:
+			if pn := pkgNameOf(fl.info, x.X); pn != nil {
+				v, _ := fl.info.Uses[x.Sel].(*types.Var)
+				return v
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (fl *FuncFlow) varOf(id *ast.Ident) *types.Var {
+	if v, ok := fl.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := fl.info.Defs[id].(*types.Var)
+	return v
+}
+
+// isAppendOf reports whether rhs is append(lhs, ...) for the same root as
+// lhs — the reassignment idiom that grows a slice in place.
+func isAppendOf(info *types.Info, rhs, lhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || !isBuiltin(info, id) {
+		return false
+	}
+	return true
+}
+
+// referenceType reports whether copying a value of type t shares the
+// referenced storage: pointers, maps, slices, and channels.
+func referenceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// packageLevel reports whether v is a package-level variable.
+func packageLevel(v *types.Var) bool {
+	return v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// --- lock-region interpreter ---
+
+// heldSet maps a lock identity to the position it was acquired at.
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only the locks held in both sets.
+func (h heldSet) intersect(o heldSet) heldSet {
+	out := heldSet{}
+	for k, v := range h {
+		if _, ok := o[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// sortedIDs returns the held lock identities in deterministic order.
+func (h heldSet) sortedIDs() []string {
+	ids := make([]string, 0, len(h))
+	for id := range h {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// lockFlowEvents receives the interpreter's observations.
+type lockFlowEvents struct {
+	// acquire is called when a lock is taken, with the set held just
+	// before the acquisition. async is true inside goroutine bodies.
+	acquire func(id string, global bool, pos token.Pos, held heldSet, async bool)
+	// node is called for every visited node with the locks held at that
+	// program point.
+	node func(n ast.Node, held heldSet, async bool)
+}
+
+// lockWalker interprets one function body, threading a held-lock set
+// through the statement structure.
+type lockWalker struct {
+	pass   *Pass
+	events lockFlowEvents
+	// queue holds nested function bodies to interpret from an empty held
+	// set of their own: goroutine bodies (async) and function literals
+	// (their locks are taken whenever the literal runs, not here).
+	queue []queuedBody
+	async bool
+}
+
+type queuedBody struct {
+	body  *ast.BlockStmt
+	async bool
+}
+
+// walkLockFlow interprets a function body and every nested literal,
+// delivering acquire/node events with the flow-sensitive held set.
+func walkLockFlow(pass *Pass, body *ast.BlockStmt, events lockFlowEvents) {
+	w := &lockWalker{pass: pass, events: events}
+	w.queue = append(w.queue, queuedBody{body: body})
+	for len(w.queue) > 0 {
+		q := w.queue[0]
+		w.queue = w.queue[1:]
+		w.async = q.async
+		w.stmts(q.body.List, heldSet{})
+	}
+}
+
+// stmts threads the held set through a statement list, returning the exit
+// state; a nil result means every path through the list terminates.
+func (w *lockWalker) stmts(list []ast.Stmt, held heldSet) heldSet {
+	for _, s := range list {
+		held = w.stmt(s, held)
+		if held == nil {
+			return nil
+		}
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held heldSet) heldSet {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := lockOpOf(w.pass, s.X); ok {
+			return w.lockOp(recv, op, s.X.Pos(), held)
+		}
+		w.visit(s, held)
+	case *ast.DeferStmt:
+		if _, op, ok := lockOpOf(w.pass, s.Call); ok {
+			// A deferred unlock releases only at function end: the lock
+			// stays held for the rest of the interpretation. A deferred
+			// lock (nonsense) is ignored.
+			_ = op
+			return held
+		}
+		w.visit(s, held)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+			if held == nil {
+				return nil
+			}
+		}
+		w.visit(s.Cond, held)
+		thenExit := w.stmts(s.Body.List, held.clone())
+		elseExit := held
+		if s.Else != nil {
+			elseExit = w.stmt(s.Else, held.clone())
+		}
+		return mergeExits(thenExit, elseExit)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+			if held == nil {
+				return nil
+			}
+		}
+		if s.Cond != nil {
+			w.visit(s.Cond, held)
+		}
+		// The body is interpreted once from the loop-entry state; locks
+		// balanced within an iteration cancel out, so the exit state is
+		// the entry state (net-acquiring loops are out of model).
+		w.stmts(s.Body.List, held.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, held.clone())
+		}
+		return held
+	case *ast.RangeStmt:
+		w.visit(s.X, held)
+		w.stmts(s.Body.List, held.clone())
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return w.switchStmt(s, held)
+	case *ast.SelectStmt:
+		// The select itself blocks; report it at the current state, then
+		// interpret each arm.
+		w.events.node(s, held, w.async)
+		var exits []heldSet
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.visitShallowStmt(cc.Comm, held)
+			}
+			exits = append(exits, w.stmts(cc.Body, held.clone()))
+		}
+		return mergeExits(exits...)
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		w.visit(s, held)
+		return nil
+	case *ast.GoStmt:
+		// Arguments evaluate now; the body runs concurrently with its own
+		// (empty) held set — blocking there does not block this goroutine.
+		for _, arg := range s.Call.Args {
+			w.visit(arg, held)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.queue = append(w.queue, queuedBody{body: lit.Body, async: true})
+		} else {
+			w.visit(s.Call.Fun, held)
+		}
+	default:
+		w.visit(s, held)
+	}
+	return held
+}
+
+// switchStmt handles switch / type-switch: each case is interpreted from
+// the pre-switch state; the exit is the intersection of every
+// non-terminating case plus, when there is no default, the fall-past
+// state.
+func (w *lockWalker) switchStmt(s ast.Stmt, held heldSet) heldSet {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if held == nil {
+			return nil
+		}
+		if s.Tag != nil {
+			w.visit(s.Tag, held)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if held == nil {
+			return nil
+		}
+		w.visitShallowStmt(s.Assign, held)
+		body = s.Body
+	}
+	exits := []heldSet{}
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.visit(e, held)
+		}
+		exits = append(exits, w.stmts(cc.Body, held.clone()))
+	}
+	if !hasDefault {
+		exits = append(exits, held)
+	}
+	return mergeExits(exits...)
+}
+
+// mergeExits intersects the non-terminating exit states; nil (all paths
+// terminate) when none survive.
+func mergeExits(exits ...heldSet) heldSet {
+	var out heldSet
+	for _, e := range exits {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = out.intersect(e)
+		}
+	}
+	return out
+}
+
+// lockOp applies one Lock/Unlock at statement level.
+func (w *lockWalker) lockOp(recv ast.Expr, op string, pos token.Pos, held heldSet) heldSet {
+	id, global := lockIDOf(w.pass, recv)
+	switch op {
+	case "Lock", "RLock":
+		w.events.acquire(id, global, pos, held, w.async)
+		held = held.clone()
+		held[id] = pos
+	case "Unlock", "RUnlock":
+		held = held.clone()
+		delete(held, id)
+	}
+	return held
+}
+
+// visit delivers node events for a statement or expression subtree,
+// queueing nested literals for their own empty-held interpretation.
+func (w *lockWalker) visit(n ast.Node, held heldSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.FuncLit); ok {
+			w.queue = append(w.queue, queuedBody{body: lit.Body, async: w.async})
+			return false
+		}
+		if c != nil {
+			w.events.node(c, held, w.async)
+		}
+		return true
+	})
+}
+
+// visitShallowStmt visits a statement without re-threading held state
+// (used for select comm clauses and type-switch assigns, whose effects on
+// the held set are nil).
+func (w *lockWalker) visitShallowStmt(s ast.Stmt, held heldSet) {
+	w.visit(s, held)
+}
+
+// lockOpOf matches mu.Lock()/mu.Unlock()/mu.RLock()/mu.RUnlock() where mu
+// is (or transitively contains) a sync lock, returning the receiver
+// expression and operation.
+func lockOpOf(pass *Pass, expr ast.Expr) (recv ast.Expr, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return nil, "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if lockCarrier(t) == "" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// lockIDOf abstracts a lock receiver expression to a stable identity.
+// Package-level locks become "pkgpath.var(.field...)"; locks reached
+// through a field chain from a local/parameter of a named type become
+// "pkgpath.Type.field..." (the type-based abstraction: every instance of
+// service.Server shares one identity for its mu, which is what a lock-
+// order graph needs); bare local mutexes get a function-local identity
+// and are excluded from the cross-function graph (global=false).
+func lockIDOf(pass *Pass, expr ast.Expr) (id string, global bool) {
+	var fields []string
+	e := ast.Unparen(expr)
+	for {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		if pn := pkgNameOf(pass.Info, sel.X); pn != nil {
+			parts := append([]string{pn.Imported().Path(), sel.Sel.Name}, fields...)
+			return strings.Join(parts[:1], "") + "." + strings.Join(parts[1:], "."), true
+		}
+		fields = append([]string{sel.Sel.Name}, fields...)
+		e = ast.Unparen(sel.X)
+	}
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = ast.Unparen(star.X)
+	}
+	id2, ok := e.(*ast.Ident)
+	if !ok {
+		return "expr:" + render(pass.Fset, expr), false
+	}
+	obj := pass.Info.Uses[id2]
+	if obj == nil {
+		obj = pass.Info.Defs[id2]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return "expr:" + render(pass.Fset, expr), false
+	}
+	if packageLevel(v) {
+		parts := append([]string{v.Name()}, fields...)
+		return pkgPathOf(v) + "." + strings.Join(parts, "."), true
+	}
+	if len(fields) > 0 {
+		t := v.Type()
+		if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if name := namedTypeName(t); name != "" {
+			path := ""
+			if n, isNamed := t.(*types.Named); isNamed && n.Obj().Pkg() != nil {
+				path = n.Obj().Pkg().Path() + "."
+			}
+			return path + name + "." + strings.Join(fields, "."), true
+		}
+	}
+	return "local:" + v.Name(), false
+}

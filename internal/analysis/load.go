@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -9,6 +10,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -42,7 +44,7 @@ type Package struct {
 func DepOrder(pkgs []*Package) []*Package {
 	roots := make([]*Package, len(pkgs))
 	copy(roots, pkgs)
-	sort.Slice(roots, func(i, j int) bool { return roots[i].Path < roots[j].Path })
+	slices.SortFunc(roots, func(a, b *Package) int { return cmp.Compare(a.Path, b.Path) })
 	var order []*Package
 	seen := map[*Package]bool{}
 	var visit func(p *Package)
@@ -318,7 +320,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 			pkg.Imports = append(pkg.Imports, dep)
 		}
 	}
-	sort.Slice(pkg.Imports, func(i, j int) bool { return pkg.Imports[i].Path < pkg.Imports[j].Path })
+	slices.SortFunc(pkg.Imports, func(a, b *Package) int { return cmp.Compare(a.Path, b.Path) })
 	l.cache[path] = pkg
 	return pkg, nil
 }

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+	"strings"
+)
+
+// LockOrder guards the crowd-latency-masking scheduler's liveness. The
+// whole point of the executor (PR 2) is to keep machine work running
+// inside crowd-wait time; a goroutine that blocks while holding a mutex —
+// on a crowd Label* wait, a mapreduce Run/Execute submission, a channel,
+// or any of locksafety's known-blocking stdlib calls — serializes every
+// other goroutine that needs the lock behind a wait that is supposed to
+// be masked. And two goroutines that take the same locks in opposite
+// orders deadlock outright under the right schedule, which the -race gate
+// cannot see at all (deadlocks are not data races).
+//
+// The analyzer interprets every function with the flow-sensitive
+// lock-region walker (flow.go): sequential statements thread the held-set
+// through, branches re-join by intersection, deferred unlocks pin the
+// lock to function end, and goroutine bodies get their own empty held
+// set. On top of that, two interprocedural structures, propagated as
+// LockFacts through the call graph in dependency order:
+//
+//   - a lock-acquisition graph over type-based lock identities
+//     (pkg.Type.field for locks reached through a receiver or parameter,
+//     pkg.var for package-level locks; function-local mutexes are
+//     excluded). An edge A→B means "B was acquired while A was held",
+//     possibly through any number of calls; a cycle in the graph is a
+//     potential deadlock, reported at the acquisition that closes it.
+//   - a blocking summary: a function that (transitively) performs a
+//     blocking operation is flagged at any call site where a lock is
+//     held, with the chain down to the blocking primitive.
+//
+// locksafety keeps its per-block copied-lock and same-function checks;
+// lockorder is the cross-function, flow-sensitive half of the story.
+var LockOrder = &Analyzer{
+	Name:  "lockorder",
+	Doc:   "builds a cross-function lock-acquisition graph: flags acquisition cycles and blocking work (crowd/MR waits, channels, stdlib) reachable while a mutex is held",
+	Facts: true,
+	Run:   runLockOrder,
+}
+
+// LockFact summarizes a function's lock behavior for callers: the global
+// lock identities it (transitively) acquires, and the first blocking
+// operation it (transitively) performs, each with a witness chain.
+type LockFact struct {
+	Acquires []AcquiredLock
+
+	Blocks      string
+	BlocksChain []string
+}
+
+// AcquiredLock is one global lock identity a function may take, with the
+// call chain from the function down to the acquisition.
+type AcquiredLock struct {
+	ID    string
+	Chain []string
+}
+
+func (*LockFact) AFact() {}
+
+// lockOrderState is the Run-wide acquisition graph, shared by every
+// package's pass so cross-package edges can close cycles.
+type lockOrderState struct {
+	edges map[string]map[string]bool
+}
+
+// loAcquire / loCall / loBlock are the walker observations one function
+// yields.
+type loAcquire struct {
+	id     string
+	global bool
+	pos    token.Pos
+	held   []string
+	async  bool
+}
+
+type loCall struct {
+	call  *ast.CallExpr
+	pos   token.Pos
+	held  []string
+	async bool
+}
+
+type loBlock struct {
+	desc  string
+	pos   token.Pos
+	held  []string
+	async bool
+}
+
+type loSummary struct {
+	fd       funcWithDecl
+	acquires []loAcquire
+	calls    []loCall
+	blocks   []loBlock
+}
+
+func runLockOrder(pass *Pass) {
+	state := pass.sharedState(pass.Analyzer, func() any {
+		return &lockOrderState{edges: map[string]map[string]bool{}}
+	}).(*lockOrderState)
+
+	var sums []*loSummary
+	for _, fd := range declaredFuncs(pass) {
+		sums = append(sums, summarizeLocks(pass, fd))
+	}
+
+	// Facts fixpoint: acquires and blocking summaries grow monotonically
+	// through call edges.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			if exportLockFact(pass, s) {
+				changed = true
+			}
+		}
+	}
+
+	// Reports and graph edges, now that facts are stable.
+	for _, s := range sums {
+		reportLockOrder(pass, state, s)
+	}
+}
+
+// summarizeLocks interprets one declaration's lock regions.
+func summarizeLocks(pass *Pass, fd funcWithDecl) *loSummary {
+	s := &loSummary{fd: fd}
+	// Channel operations in a select's comm clauses are the select's
+	// alternatives, not independent blocking points; the SelectStmt event
+	// (delivered before its clauses) accounts for them.
+	var commRanges [][2]token.Pos
+	inComm := func(p token.Pos) bool {
+		for _, r := range commRanges {
+			if p >= r[0] && p < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	walkLockFlow(pass, fd.decl.Body, lockFlowEvents{
+		acquire: func(id string, global bool, pos token.Pos, held heldSet, async bool) {
+			s.acquires = append(s.acquires, loAcquire{id: id, global: global, pos: pos, held: held.sortedIDs(), async: async})
+		},
+		node: func(n ast.Node, held heldSet, async bool) {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if !inComm(n.Pos()) {
+					s.blocks = append(s.blocks, loBlock{desc: "channel send", pos: n.Pos(), held: held.sortedIDs(), async: async})
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !inComm(n.Pos()) {
+					s.blocks = append(s.blocks, loBlock{desc: "channel receive", pos: n.Pos(), held: held.sortedIDs(), async: async})
+				}
+			case *ast.SelectStmt:
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						commRanges = append(commRanges, [2]token.Pos{cc.Comm.Pos(), cc.Comm.End()})
+					}
+				}
+				if !selectHasDefault(n) {
+					s.blocks = append(s.blocks, loBlock{desc: "select", pos: n.Pos(), held: held.sortedIDs(), async: async})
+				}
+			case *ast.CallExpr:
+				s.calls = append(s.calls, loCall{call: n, pos: n.Pos(), held: held.sortedIDs(), async: async})
+				if desc := stdBlockingCall(pass, n); desc != "" {
+					s.blocks = append(s.blocks, loBlock{desc: desc, pos: n.Pos(), held: held.sortedIDs(), async: async})
+				}
+			}
+		},
+	})
+	return s
+}
+
+// selectHasDefault reports whether the select can fall through without
+// blocking.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// stdBlockingCall matches the locksafety stdlib blocking tables
+// syntactically (standard-library functions carry no facts).
+func stdBlockingCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if pn := pkgNameOf(pass.Info, sel.X); pn != nil {
+		if blockingFuncs[pn.Imported().Path()][name] {
+			return pn.Imported().Name() + "." + name
+		}
+		return ""
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if blockingMethods[key][name] {
+		return "(" + key + ")." + name
+	}
+	return ""
+}
+
+// blockingSurface matches the simulation's own blocking entry points by
+// shape: crowd Label* waits and the mapreduce Run/Execute family. These
+// seed Blocks facts in their defining package so callers anywhere in the
+// closure inherit them.
+func blockingSurface(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Name() {
+	case "crowd":
+		if strings.HasPrefix(fn.Name(), "Label") {
+			if recv := funcSig(fn).Recv(); recv != nil && namedTypeName(recv.Type()) == "Crowd" {
+				return "crowd wait " + fn.Name()
+			}
+		}
+	case "mapreduce":
+		if mapreduceBlocking[fn.Name()] {
+			return "mapreduce job submission " + fn.Name()
+		}
+	}
+	return ""
+}
+
+// exportLockFact merges one function's direct and call-derived lock
+// summary into the facts store.
+func exportLockFact(pass *Pass, s *loSummary) bool {
+	var cur *LockFact
+	if f, ok := pass.ImportObjectFact(s.fd.obj); ok {
+		cur = f.(*LockFact)
+	}
+	next := &LockFact{}
+	if cur != nil {
+		next.Acquires = append(next.Acquires, cur.Acquires...)
+		next.Blocks, next.BlocksChain = cur.Blocks, cur.BlocksChain
+	}
+	self := s.fd.obj.FullName()
+	addAcquire := func(id string, chain []string) bool {
+		for _, a := range next.Acquires {
+			if a.ID == id {
+				return false
+			}
+		}
+		next.Acquires = append(next.Acquires, AcquiredLock{ID: id, Chain: chain})
+		return true
+	}
+	changed := false
+
+	// The function may itself be a blocking surface.
+	if next.Blocks == "" {
+		if desc := blockingSurface(s.fd.obj); desc != "" {
+			next.Blocks, next.BlocksChain = desc, []string{self}
+			changed = true
+		}
+	}
+	// Direct observations. Async (goroutine-body) events stay out of the
+	// fact: a caller does not wait on them and does not hold their locks.
+	for _, a := range s.acquires {
+		if a.global && !a.async && addAcquire(a.id, []string{self}) {
+			changed = true
+		}
+	}
+	if next.Blocks == "" {
+		for _, b := range s.blocks {
+			if !b.async {
+				next.Blocks, next.BlocksChain = b.desc, []string{self}
+				changed = true
+				break
+			}
+		}
+	}
+	// Call-derived: callee facts flow up, unless suppressed at the edge.
+	for _, c := range s.calls {
+		if c.async || pass.Allowed(c.pos, "lockorder") {
+			continue
+		}
+		for _, callee := range pass.Graph.Callees(pass.Info, c.call) {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			fact := f.(*LockFact)
+			for _, a := range fact.Acquires {
+				if addAcquire(a.ID, append([]string{self}, a.Chain...)) {
+					changed = true
+				}
+			}
+			if next.Blocks == "" && fact.Blocks != "" {
+				next.Blocks = fact.Blocks
+				next.BlocksChain = append([]string{self}, fact.BlocksChain...)
+				changed = true
+			}
+		}
+	}
+
+	if !changed {
+		return false
+	}
+	pass.ExportObjectFact(s.fd.obj, next)
+	return true
+}
+
+// reportLockOrder emits diagnostics and grows the Run-wide acquisition
+// graph for one function.
+func reportLockOrder(pass *Pass, state *lockOrderState, s *loSummary) {
+	// Direct blocking while a lock is held (goroutine bodies included:
+	// the goroutine itself holds the lock it blocks under).
+	for _, b := range s.blocks {
+		if len(b.held) > 0 {
+			pass.Reportf(b.pos, "%s while holding %s; release the lock around blocking work",
+				b.desc, strings.Join(b.held, ", "))
+		}
+	}
+
+	// Acquisition edges from direct lock operations.
+	for _, a := range s.acquires {
+		if !a.global {
+			continue
+		}
+		for _, h := range a.held {
+			if !globalLockID(h) {
+				continue
+			}
+			addLockEdge(pass, state, h, a.id, a.pos, nil)
+		}
+	}
+
+	// Call sites: blocking callees while held, and edges for every lock
+	// the callee transitively acquires.
+	for _, c := range s.calls {
+		if pass.Allowed(c.pos, "lockorder") {
+			continue
+		}
+		for _, callee := range pass.Graph.Callees(pass.Info, c.call) {
+			var fact *LockFact
+			if f, ok := pass.ImportObjectFact(callee); ok {
+				fact = f.(*LockFact)
+			}
+			if fact == nil {
+				continue
+			}
+			if fact.Blocks != "" && len(c.held) > 0 {
+				chain := append([]string{s.fd.obj.FullName()}, fact.BlocksChain...)
+				pass.ReportChain(c.pos, chain,
+					"call to %s blocks (%s) while holding %s; chain: %s",
+					callee.FullName(), fact.Blocks, strings.Join(c.held, ", "), strings.Join(chain, " -> "))
+			}
+			for _, a := range fact.Acquires {
+				for _, h := range c.held {
+					if !globalLockID(h) {
+						continue
+					}
+					addLockEdge(pass, state, h, a.ID, c.pos, a.Chain)
+				}
+			}
+		}
+	}
+}
+
+// globalLockID reports whether a held-set identity participates in the
+// cross-function graph (function-local mutexes do not).
+func globalLockID(id string) bool {
+	return !strings.HasPrefix(id, "local:") && !strings.HasPrefix(id, "expr:")
+}
+
+// addLockEdge records "to was acquired while from was held" and reports a
+// cycle when this edge closes one. Each edge is added (and can report) at
+// most once per Run, at the first position that produces it.
+func addLockEdge(pass *Pass, state *lockOrderState, from, to string, pos token.Pos, via []string) {
+	if from == to {
+		pass.ReportChain(pos, []string{from, to},
+			"acquiring %s while already holding it; recursive locking deadlocks sync mutexes", from)
+		return
+	}
+	if state.edges[from][to] {
+		return
+	}
+	if state.edges[from] == nil {
+		state.edges[from] = map[string]bool{}
+	}
+	state.edges[from][to] = true
+	if cycle := lockPath(state, to, from); cycle != nil {
+		full := append([]string{from}, cycle...)
+		pass.ReportChain(pos, full,
+			"acquiring %s while holding %s closes a lock-order cycle: %s; a parallel goroutine taking them in the printed order deadlocks",
+			to, from, strings.Join(full, " -> "))
+	}
+	_ = via
+}
+
+// lockPath finds a deterministic path from -> to in the acquisition
+// graph, or nil.
+func lockPath(state *lockOrderState, from, to string) []string {
+	seen := map[string]bool{from: true}
+	var dfs func(cur string, path []string) []string
+	dfs = func(cur string, path []string) []string {
+		if cur == to {
+			return path
+		}
+		var nexts []string
+		for n := range state.edges[cur] {
+			nexts = append(nexts, n)
+		}
+		slices.Sort(nexts)
+		for _, n := range nexts {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			if p := dfs(n, append(path, n)); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	return dfs(from, []string{from})
+}

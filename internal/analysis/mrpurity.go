@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MRPurity enforces the mapreduce sharing contract on task bodies. The
+// engine runs Map/Reduce/MapOnly functions concurrently across splits and
+// partitions (PR 2), and mapreduce.go's documented rules for task state
+// are: consume the record, emit through ctx, and only ever write disjoint
+// elements of preallocated slices. Everything else a closure can reach is
+// shared between tasks, so a task body that
+//
+//   - assigns to or increments a captured variable,
+//   - appends to a captured slice (len and backing array race),
+//   - writes a captured map (concurrent map writes fault at runtime),
+//   - stores through a captured pointer, or
+//   - does any of the above to package-level state,
+//
+// is a data race the -race gate only catches under a lucky schedule. The
+// analyzer is flow-aware on two axes: writes are classified through the
+// FuncFlow dataflow layer (flow.go) with may-alias chasing, so a store
+// through `q := p` is attributed to the captured p; and writes made while
+// a mutex is held (per the lock-region interpreter) are exempt — guarded
+// mutation is serialized, merely slow, and lockorder owns that story.
+//
+// A task body is any function with a *mapreduce.MapCtx / ReduceCtx /
+// MapOnlyCtx parameter, matching costaccounting's and hotalloc's
+// definition. Diagnostics report both the mutation site (the position)
+// and the capture site (in the message).
+//
+// The analyzer is interprocedural: every function exports a MutFact
+// recording which parameters it mutates through (map writes, pointer
+// stores) and whether it writes package-level state, propagated to a
+// fixpoint through the call graph. A task body that hands a captured map
+// to a helper in another package is flagged at the call, with the chain
+// down to the mutation. Limits: function values stored in fields or
+// passed as callbacks are opaque, and mutation hidden inside standard-
+// library calls (rand.Rand methods, atomic stores) is invisible — atomics
+// are treated as synchronized by design.
+var MRPurity = &Analyzer{
+	Name:  "mrpurity",
+	Doc:   "flags Map/Reduce task bodies that capture-and-mutate shared state (directly or via helpers, cross-package)",
+	Facts: true,
+	Run:   runMRPurity,
+}
+
+// MutFact summarizes how a function mutates state visible to its caller.
+// Params is a bitmask: bit 0 is the receiver, bit i+1 is parameter i. A
+// bit is set when the function (transitively) writes through that
+// argument's referent — map writes and pointer stores, not slice-element
+// writes (the sanctioned disjoint idiom) and not rebinding the local
+// copy. Global, when non-empty, describes an unsynchronized write to
+// package-level state reachable from the function.
+type MutFact struct {
+	Params     uint32
+	ParamDesc  map[int]string
+	ParamChain map[int][]string
+
+	Global      string
+	GlobalChain []string
+}
+
+func (*MutFact) AFact() {}
+
+// mrFuncInfo caches the per-declaration dataflow artifacts.
+type mrFuncInfo struct {
+	fd   funcWithDecl
+	flow *FuncFlow
+	// held marks node positions where at least one lock is held.
+	held map[token.Pos]bool
+}
+
+func runMRPurity(pass *Pass) {
+	fns := declaredFuncs(pass)
+	infos := make([]*mrFuncInfo, len(fns))
+	for i, fd := range fns {
+		infos[i] = &mrFuncInfo{
+			fd:   fd,
+			flow: NewFuncFlow(pass.Info, fd.decl.Body),
+			held: heldPositions(pass, fd.decl.Body),
+		}
+	}
+
+	// Fixpoint: each round recomputes every function's MutFact from its
+	// direct writes plus its callees' facts; bits and globals only grow.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range infos {
+			if exportMutFact(pass, fi) {
+				changed = true
+			}
+		}
+	}
+
+	// Report inside task bodies.
+	for _, fi := range infos {
+		tasks := taskFuncs(pass, fi.fd.decl)
+		for _, task := range tasks {
+			checkTaskPurity(pass, fi, task, tasks)
+		}
+	}
+}
+
+// heldPositions interprets the body's lock regions and returns the node
+// positions at which some mutex is held.
+func heldPositions(pass *Pass, body *ast.BlockStmt) map[token.Pos]bool {
+	held := map[token.Pos]bool{}
+	walkLockFlow(pass, body, lockFlowEvents{
+		acquire: func(string, bool, token.Pos, heldSet, bool) {},
+		node: func(n ast.Node, h heldSet, _ bool) {
+			if len(h) > 0 {
+				held[n.Pos()] = true
+			}
+		},
+	})
+	return held
+}
+
+// exportMutFact merges one function's direct and call-derived mutation
+// summary into the facts store, reporting whether anything new appeared.
+func exportMutFact(pass *Pass, fi *mrFuncInfo) bool {
+	var cur *MutFact
+	if f, ok := pass.ImportObjectFact(fi.fd.obj); ok {
+		cur = f.(*MutFact)
+	}
+	next := &MutFact{
+		ParamDesc:  map[int]string{},
+		ParamChain: map[int][]string{},
+	}
+	if cur != nil {
+		next.Params = cur.Params
+		next.Global, next.GlobalChain = cur.Global, cur.GlobalChain
+		for k, v := range cur.ParamDesc {
+			next.ParamDesc[k] = v
+		}
+		for k, v := range cur.ParamChain {
+			next.ParamChain[k] = v
+		}
+	}
+
+	self := fi.fd.obj.FullName()
+
+	// Direct writes.
+	for _, w := range fi.flow.Writes() {
+		if w.Root == nil || w.Kind == WriteSliceIndex || fi.held[w.Pos] {
+			continue
+		}
+		if pass.Allowed(w.Pos, "mrpurity") {
+			continue
+		}
+		for _, root := range fi.flow.Roots(w.Root) {
+			if packageLevel(root) && next.Global == "" {
+				next.Global = fmt.Sprintf("%s to package-level %s.%s", w.Kind, pkgPathOf(root), root.Name())
+				next.GlobalChain = []string{self}
+			}
+			if j, ok := paramIndex(fi.fd.obj, root); ok && mutatesReferent(w.Kind) {
+				if next.Params&(1<<j) == 0 {
+					next.Params |= 1 << j
+					next.ParamDesc[j] = fmt.Sprintf("%s through its %s", w.Kind, paramName(fi.fd.obj, j))
+					next.ParamChain[j] = []string{self}
+				}
+			}
+		}
+	}
+
+	// Call-derived mutation: callee facts flow back through arguments.
+	eachCall(fi.fd.decl, func(call *ast.CallExpr) {
+		if fi.held[call.Pos()] || pass.Allowed(call.Pos(), "mrpurity") {
+			return
+		}
+		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			fact := f.(*MutFact)
+			if fact.Global != "" && next.Global == "" {
+				next.Global = fact.Global
+				next.GlobalChain = append([]string{self}, fact.GlobalChain...)
+			}
+			for j := 0; j < 32; j++ {
+				if fact.Params&(1<<j) == 0 {
+					continue
+				}
+				arg := argExprAt(call, callee, j)
+				if arg == nil {
+					continue
+				}
+				for _, root := range fi.flow.Roots(fi.flow.rootVar(arg)) {
+					if packageLevel(root) && next.Global == "" {
+						next.Global = fmt.Sprintf("%s (package-level %s.%s)", fact.ParamDesc[j], pkgPathOf(root), root.Name())
+						next.GlobalChain = append([]string{self}, fact.ParamChain[j]...)
+					}
+					if k, ok := paramIndex(fi.fd.obj, root); ok {
+						if next.Params&(1<<k) == 0 {
+							next.Params |= 1 << k
+							next.ParamDesc[k] = fact.ParamDesc[j]
+							next.ParamChain[k] = append([]string{self}, fact.ParamChain[j]...)
+						}
+					}
+				}
+			}
+		}
+	})
+
+	if next.Params == 0 && next.Global == "" {
+		return false
+	}
+	if cur != nil && cur.Params == next.Params && cur.Global == next.Global {
+		return false
+	}
+	pass.ExportObjectFact(fi.fd.obj, next)
+	return true
+}
+
+// taskFunc is one Map/Reduce/MapOnly task body: the declaration itself or
+// a nested literal with a mapreduce ctx parameter.
+type taskFunc struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit: Pos..End spans params too
+	body *ast.BlockStmt
+}
+
+// taskFuncs finds the task bodies in one declaration.
+func taskFuncs(pass *Pass, decl *ast.FuncDecl) []taskFunc {
+	var tasks []taskFunc
+	if hasMapReduceCtxParam(pass, decl.Type) {
+		tasks = append(tasks, taskFunc{node: decl, body: decl.Body})
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && hasMapReduceCtxParam(pass, lit.Type) {
+			tasks = append(tasks, taskFunc{node: lit, body: lit.Body})
+		}
+		return true
+	})
+	return tasks
+}
+
+// checkTaskPurity reports capture-and-mutate violations inside one task
+// body.
+func checkTaskPurity(pass *Pass, fi *mrFuncInfo, task taskFunc, all []taskFunc) {
+	lo, hi := task.node.Pos(), task.node.End()
+	inTask := func(p token.Pos) bool {
+		if p < lo || p > hi {
+			return false
+		}
+		// A task body nested inside this one is its own checking scope.
+		for _, other := range all {
+			if other.node != task.node && other.node.Pos() > lo && other.node.End() < hi &&
+				p >= other.node.Pos() && p <= other.node.End() {
+				return false
+			}
+		}
+		return true
+	}
+	// shared reports whether root is state outside the task: package-level
+	// or declared before the task function (captured).
+	shared := func(root *types.Var) (string, bool) {
+		switch {
+		case root == nil:
+			return "", false
+		case packageLevel(root):
+			return fmt.Sprintf("package-level %s.%s", pkgPathOf(root), root.Name()), true
+		case root.Pos() < lo || root.Pos() > hi:
+			return fmt.Sprintf("captured %q", root.Name()), true
+		}
+		return "", false
+	}
+
+	for _, w := range fi.flow.Writes() {
+		if !inTask(w.Pos) || w.Root == nil || w.Kind == WriteSliceIndex || fi.held[w.Pos] {
+			continue
+		}
+		for _, root := range fi.flow.Roots(w.Root) {
+			desc, ok := shared(root)
+			if !ok {
+				continue
+			}
+			site := fi.flow.FirstUseIn(root, lo, hi)
+			if site == token.NoPos {
+				site = w.Pos
+			}
+			pass.Reportf(w.Pos,
+				"Map/Reduce task body: %s to %s (captured at %s, declared at %s); parallel tasks race — emit through ctx or write disjoint preallocated elements",
+				w.Kind, desc, pass.Fset.Position(site), pass.Fset.Position(root.Pos()))
+			break
+		}
+	}
+
+	eachCall(fi.fd.decl, func(call *ast.CallExpr) {
+		if !inTask(call.Pos()) || fi.held[call.Pos()] {
+			return
+		}
+		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			fact := f.(*MutFact)
+			for j := 0; j < 32; j++ {
+				if fact.Params&(1<<j) == 0 {
+					continue
+				}
+				arg := argExprAt(call, callee, j)
+				if arg == nil {
+					continue
+				}
+				reported := false
+				for _, root := range fi.flow.Roots(fi.flow.rootVar(arg)) {
+					desc, ok := shared(root)
+					if !ok {
+						continue
+					}
+					chain := append([]string{fi.fd.obj.FullName()}, fact.ParamChain[j]...)
+					pass.ReportChain(call.Pos(), chain,
+						"Map/Reduce task body passes %s to %s, which performs a %s (declared at %s); parallel tasks race; chain: %s",
+						desc, callee.FullName(), fact.ParamDesc[j], pass.Fset.Position(root.Pos()), strings.Join(chain, " -> "))
+					reported = true
+					break
+				}
+				if reported {
+					break
+				}
+			}
+			if fact.Global != "" {
+				chain := append([]string{fi.fd.obj.FullName()}, fact.GlobalChain...)
+				pass.ReportChain(call.Pos(), chain,
+					"Map/Reduce task body calls %s, which performs an unsynchronized %s; parallel tasks race; chain: %s",
+					callee.FullName(), fact.Global, strings.Join(chain, " -> "))
+			}
+			return
+		}
+	})
+}
+
+// mutatesReferent reports whether a write of this kind through a
+// parameter mutates caller-visible state (rather than a local copy).
+func mutatesReferent(k WriteKind) bool {
+	return k == WriteMapIndex || k == WriteDeref
+}
+
+// paramIndex maps a variable to its MutFact bit for fn: 0 for the
+// receiver, i+1 for parameter i.
+func paramIndex(fn *types.Func, v *types.Var) (int, bool) {
+	sig := funcSig(fn)
+	if recv := sig.Recv(); recv != nil && recv == v {
+		return 0, true
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < 31; i++ {
+		if params.At(i) == v {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// paramName renders the parameter a MutFact bit refers to.
+func paramName(fn *types.Func, j int) string {
+	sig := funcSig(fn)
+	if j == 0 {
+		if recv := sig.Recv(); recv != nil {
+			return fmt.Sprintf("receiver %s", recv.Name())
+		}
+		return "receiver"
+	}
+	params := sig.Params()
+	if j-1 < params.Len() {
+		return fmt.Sprintf("parameter %s", params.At(j-1).Name())
+	}
+	return fmt.Sprintf("parameter #%d", j-1)
+}
+
+// argExprAt returns the call-site expression feeding the callee's MutFact
+// bit j: the receiver expression for bit 0, the j-1th argument otherwise.
+func argExprAt(call *ast.CallExpr, callee *types.Func, j int) ast.Expr {
+	if j == 0 {
+		if funcSig(callee).Recv() == nil {
+			return nil
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	if j-1 < len(call.Args) {
+		return call.Args[j-1]
+	}
+	return nil
+}

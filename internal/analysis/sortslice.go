@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SortSlice modernizes the reflection-based sort.Slice/sort.SliceStable
+// calls to the generic slices API. It is deliberately narrow: only
+// comparators of the exact shape
+//
+//	func(i, j int) bool { return KEY(x[i]) < KEY(x[j]) }   // or >
+//
+// where both operands are the same expression over the indexed element,
+// are matched — those rewrite mechanically to slices.SortFunc with
+// cmp.Compare (or slices.Sort when the element itself is the ordered
+// key). Anything else — custom less functions, multi-clause comparators,
+// index arithmetic — is left alone and produces no diagnostic, so the
+// analyzer never demands a fix it cannot apply. Every diagnostic it does
+// produce carries a complete rewrite, which keeps `falcon-vet -fix`
+// idempotent: after the edit there is no sort.Slice call left to match.
+//
+// The payoff on the hot paths is the usual one: slices.SortFunc is
+// type-checked, inlines the comparator, and skips reflect.Swapper — the
+// blocking-path sorts (candidate ranking, key grouping) get measurably
+// cheaper for free.
+var SortSlice = &Analyzer{
+	Name: "sortslice",
+	Doc:  "flags sort.Slice calls with mechanical comparators and rewrites them to slices.Sort / slices.SortFunc",
+	Run:  runSortSlice,
+}
+
+// marker stands in for the indexed element while comparing the two
+// comparator operands; \x00 cannot occur in rendered source.
+const sortKeyMarker = "\x00"
+
+func runSortSlice(pass *Pass) {
+	for _, f := range pass.Files {
+		imports := fileImportNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			text, ok := sortSliceRewrite(pass, imports, call)
+			if !ok {
+				return true
+			}
+			start := pass.Fset.Position(call.Pos())
+			end := pass.Fset.Position(call.End())
+			fn := text[:strings.IndexByte(text, '(')]
+			pass.ReportFixf(call.Pos(), SuggestedFix{
+				Message: "replace with " + fn,
+				Edits:   []TextEdit{{File: start.Filename, Start: start.Offset, End: end.Offset, New: text}},
+			}, "%s with a mechanical comparator; %s is type-checked and reflection-free",
+				render(pass.Fset, call.Fun), fn)
+			return true
+		})
+	}
+}
+
+// fileImportNames maps import paths to their local name in one file.
+func fileImportNames(f *ast.File) map[string]string {
+	m := map[string]string{}
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		m[path] = name
+	}
+	return m
+}
+
+// sortSliceRewrite matches a provably-rewritable sort.Slice call and
+// returns the replacement expression text.
+func sortSliceRewrite(pass *Pass, imports map[string]string, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 2 {
+		return "", false
+	}
+	pn := pkgNameOf(pass.Info, sel.X)
+	if pn == nil || pn.Imported().Path() != "sort" {
+		return "", false
+	}
+	stable := false
+	switch sel.Sel.Name {
+	case "Slice":
+	case "SliceStable":
+		stable = true
+	default:
+		return "", false
+	}
+	lit, ok := call.Args[1].(*ast.FuncLit)
+	if !ok || lit.Type.Params == nil || len(lit.Type.Params.List) != 1 {
+		return "", false
+	}
+	names := lit.Type.Params.List[0].Names
+	if len(names) != 2 {
+		return "", false
+	}
+	iName, jName := names[0].Name, names[1].Name
+	if len(lit.Body.List) != 1 {
+		return "", false
+	}
+	ret, ok := lit.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return "", false
+	}
+	bin, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.LSS && bin.Op != token.GTR) {
+		return "", false
+	}
+
+	sliceText := render(pass.Fset, call.Args[0])
+	kA, ok := indexedKey(render(pass.Fset, bin.X), sliceText, iName, jName)
+	if !ok {
+		return "", false
+	}
+	kB, ok := indexedKey(render(pass.Fset, bin.Y), sliceText, jName, iName)
+	if !ok || kA != kB {
+		return "", false
+	}
+
+	// Bare ascending element comparison: slices.Sort covers it.
+	elem, ok := sliceElem(pass.Info.TypeOf(call.Args[0]))
+	if !ok {
+		return "", false
+	}
+	if kA == sortKeyMarker && bin.Op == token.LSS && isOrderedBasic(elem) {
+		if !stable {
+			return "slices.Sort(" + sliceText + ")", true
+		}
+		// SliceStable on equal basic keys is order-indifferent, but keep
+		// the explicit stable form for clarity.
+	}
+
+	elemText, ok := typeTextFor(pass, imports, elem)
+	if !ok {
+		return "", false
+	}
+	a, b, ok := pickParamNames(kA, sliceText)
+	if !ok {
+		return "", false
+	}
+	keyA := strings.ReplaceAll(kA, sortKeyMarker, a)
+	keyB := strings.ReplaceAll(kA, sortKeyMarker, b)
+	cmpCall := "cmp.Compare(" + keyA + ", " + keyB + ")"
+	if bin.Op == token.GTR {
+		cmpCall = "cmp.Compare(" + keyB + ", " + keyA + ")"
+	}
+	fn := "slices.SortFunc"
+	if stable {
+		fn = "slices.SortStableFunc"
+	}
+	return fn + "(" + sliceText + ", func(" + a + ", " + b + " " + elemText + ") int { return " + cmpCall + " })", true
+}
+
+// indexedKey rewrites every occurrence of base[idx] in text to the
+// marker and verifies nothing else references either index variable; ok
+// is false when the operand is not a pure function of the indexed
+// element.
+func indexedKey(text, base, idx, otherIdx string) (string, bool) {
+	pattern := base + "[" + idx + "]"
+	var out strings.Builder
+	for i := 0; i < len(text); {
+		if strings.HasPrefix(text[i:], pattern) && !identChar(prevByte(text, i)) {
+			out.WriteString(sortKeyMarker)
+			i += len(pattern)
+			continue
+		}
+		out.WriteByte(text[i])
+		i++
+	}
+	key := out.String()
+	if wordIn(key, idx) || wordIn(key, otherIdx) {
+		return "", false
+	}
+	return key, true
+}
+
+func prevByte(s string, i int) byte {
+	if i == 0 {
+		return 0
+	}
+	return s[i-1]
+}
+
+// identChar treats '.' as joining, so a selector prefix (`s.` in `s.xs`)
+// blocks a match on `xs`.
+func identChar(c byte) bool {
+	return c == '_' || c == '.' || isAlnum(c)
+}
+
+func isAlnum(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9') || c == '_'
+}
+
+// wordIn reports whether name occurs in s as a standalone identifier. A
+// following '.' still counts (`a.x` references a); a preceding '.' does
+// not (`x.a` selects a field).
+func wordIn(s, name string) bool {
+	for i := 0; i+len(name) <= len(s); i++ {
+		if s[i:i+len(name)] != name {
+			continue
+		}
+		if identChar(prevByte(s, i)) {
+			continue
+		}
+		if i+len(name) < len(s) && isAlnum(s[i+len(name)]) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// pickParamNames chooses comparator parameter names that collide with
+// nothing in the key expression or the slice expression.
+func pickParamNames(key, sliceText string) (string, string, bool) {
+	for _, cand := range [][2]string{{"a", "b"}, {"x", "y"}, {"va", "vb"}} {
+		if !wordIn(key, cand[0]) && !wordIn(key, cand[1]) &&
+			!wordIn(sliceText, cand[0]) && !wordIn(sliceText, cand[1]) {
+			return cand[0], cand[1], true
+		}
+	}
+	return "", "", false
+}
+
+func sliceElem(t types.Type) (types.Type, bool) {
+	if t == nil {
+		return nil, false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	return s.Elem(), true
+}
+
+func isOrderedBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsOrdered != 0
+}
+
+// typeTextFor renders a type for use in generated source within pass's
+// package, verifying every named component is reachable: local, or
+// exported from a package this file imports. ok is false otherwise — the
+// caller then declines to offer a rewrite at all.
+func typeTextFor(pass *Pass, imports map[string]string, t types.Type) (string, bool) {
+	ok := true
+	var check func(t types.Type)
+	seen := map[types.Type]bool{}
+	check = func(t types.Type) {
+		if !ok || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Basic:
+		case *types.Pointer:
+			check(t.Elem())
+		case *types.Slice:
+			check(t.Elem())
+		case *types.Array:
+			check(t.Elem())
+		case *types.Map:
+			check(t.Key())
+			check(t.Elem())
+		case *types.Chan:
+			check(t.Elem())
+		case *types.Interface:
+			if !t.Empty() {
+				ok = false
+			}
+		case *types.Named:
+			obj := t.Obj()
+			if obj.Pkg() != nil && obj.Pkg() != pass.Pkg {
+				if !obj.Exported() {
+					ok = false
+					return
+				}
+				if _, imported := imports[obj.Pkg().Path()]; !imported {
+					ok = false
+					return
+				}
+			}
+			for i := 0; i < t.TypeArgs().Len(); i++ {
+				check(t.TypeArgs().At(i))
+			}
+		default:
+			ok = false
+		}
+	}
+	check(t)
+	if !ok {
+		return "", false
+	}
+	qual := func(p *types.Package) string {
+		if p == pass.Pkg {
+			return ""
+		}
+		return imports[p.Path()]
+	}
+	return types.TypeString(t, qual), true
+}

@@ -1,0 +1,23 @@
+// Package errs exercises the errcheck discard fix: every bare call whose
+// error falls on the floor gains an explicit blank assignment, one blank
+// per result, while the deliberate exemptions stay untouched.
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func save() error { return nil }
+
+func flush() (int, error) { return 0, nil }
+
+func pipeline(sb *strings.Builder) {
+	save()
+	flush()
+	os.Remove("scratch.csv")
+	fmt.Println("stdout printing is exempt")
+	sb.WriteString("infallible sinks are exempt")
+	_ = save()
+}

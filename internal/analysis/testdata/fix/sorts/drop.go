@@ -1,0 +1,9 @@
+package sorts
+
+import "sort"
+
+// ranks is the import-removal case: once its only sort.Slice call is
+// rewritten, the "sort" import here is dead and must go.
+func ranks(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

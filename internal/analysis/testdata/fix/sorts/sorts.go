@@ -1,0 +1,35 @@
+// Package sorts exercises the sortslice modernization fix: mechanical
+// comparators rewrite to the generic slices API, the managed imports
+// follow the code, and anything non-mechanical is left for a human.
+package sorts
+
+import (
+	"sort"
+)
+
+type row struct {
+	name string
+	hits int
+}
+
+func plain(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func byField(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+}
+
+func byHitsDescStable(rows []row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].hits > rows[j].hits })
+}
+
+func tieBreak(rows []row) {
+	// Two-clause comparator: not mechanical, stays as is.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].hits != rows[j].hits {
+			return rows[i].hits > rows[j].hits
+		}
+		return rows[i].name < rows[j].name
+	})
+}

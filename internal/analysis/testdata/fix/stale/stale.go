@@ -1,0 +1,26 @@
+// Package stale exercises the staleallow deletion fix: directives that
+// suppress nothing are removed — the whole line when the directive stands
+// alone, just the comment when it trails code — while a directive that
+// earns its keep survives both passes.
+package stale
+
+import "time"
+
+// Earned: the wall-clock read below is a real determinism finding.
+func stamp() int64 {
+	//falcon:allow determinism scratch module timer
+	return time.Now().UnixNano()
+}
+
+func sum(xs []int) int {
+	//falcon:allow determinism nothing on the next line fires
+	total := 0
+	for _, v := range xs {
+		total += v //falcon:allow determinism trailing and equally stale
+	}
+	return total
+}
+
+func answer() int {
+	return 42 //falcon:allow nosuchcheck no analyzer goes by this name
+}

@@ -1,0 +1,43 @@
+// Package lockapp is the requested half of the cross-package lockorder
+// fixture: every function here touches only its own lock plus locklib
+// calls, so the per-package view sees nothing — the blocking summary and
+// the acquisition edge both arrive as facts from one package away.
+package lockapp
+
+import (
+	"sync"
+
+	"fixture/lockmulti/locklib"
+)
+
+type App struct {
+	mu sync.Mutex
+	n  int
+}
+
+// HoldAndStall blocks on library I/O with the app lock held; the blocking
+// primitive is two frames down.
+func (a *App) HoldAndStall() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	locklib.Stall() // want `call to fixture/lockmulti/locklib\.Stall blocks \(time\.Sleep\) while holding fixture/lockmulti/lockapp\.App\.mu`
+}
+
+// LockThenGrab establishes the App.mu -> locklib.Mu order through the
+// library call's acquisition fact.
+func (a *App) LockThenGrab(k string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	locklib.Grab(k)
+}
+
+// GrabThenLock takes the pair in the opposite order: its direct
+// acquisition closes the cross-package cycle.
+func (a *App) GrabThenLock() {
+	locklib.Mu.Lock()
+	a.mu.Lock() // want `closes a lock-order cycle: fixture/lockmulti/locklib\.Mu -> fixture/lockmulti/lockapp\.App\.mu -> fixture/lockmulti/locklib\.Mu`
+	a.n++
+	a.mu.Unlock()
+	locklib.Mu.Unlock()
+}

@@ -1,0 +1,27 @@
+// Package locklib is the library half of the cross-package lockorder
+// fixture: a package-level lock and a blocking helper. Nothing here is
+// flagged — the cycle and the blocked-while-held call only exist in
+// lockapp, one package away.
+package locklib
+
+import (
+	"sync"
+	"time"
+)
+
+// Mu guards the library's shared table.
+var Mu sync.Mutex
+
+var table = map[string]int{}
+
+// Grab records k under the library lock.
+func Grab(k string) {
+	Mu.Lock()
+	table[k]++
+	Mu.Unlock()
+}
+
+// Stall simulates the library's slow I/O.
+func Stall() {
+	time.Sleep(time.Millisecond)
+}

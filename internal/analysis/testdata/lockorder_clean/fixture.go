@@ -1,0 +1,94 @@
+// Package fixture holds lock patterns the flow-sensitive interpreter must
+// prove safe: blocking after release, consistent ordering, branch-merged
+// unlocks, goroutines with their own empty held set, and non-blocking
+// selects. None of these may be flagged.
+package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// SendAfterUnlock releases before blocking.
+func (b *Box) SendAfterUnlock() {
+	b.mu.Lock()
+	v := b.n
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// EarlyReturn unlocks on both the early-return path and the fall-through;
+// the branch-exit intersection proves nothing is held at the send.
+func (b *Box) EarlyReturn(v int) bool {
+	b.mu.Lock()
+	if v < 0 {
+		b.mu.Unlock()
+		return false
+	}
+	b.mu.Unlock()
+	b.ch <- v
+	return true
+}
+
+// AsyncSend holds the lock while spawning, but the goroutine body blocks
+// with a held set of its own — empty.
+func (b *Box) AsyncSend(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	go func() {
+		b.ch <- v
+	}()
+}
+
+// PollUnderLock uses a select with default: it cannot block.
+func (b *Box) PollUnderLock(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+type RW struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Snapshot takes and releases the read lock, then writes under the write
+// lock — re-acquisition after release is not re-locking.
+func (r *RW) Snapshot() int {
+	r.mu.RLock()
+	v := r.n
+	r.mu.RUnlock()
+	r.mu.Lock()
+	r.n = v + 1
+	r.mu.Unlock()
+	return v
+}
+
+type Pair struct {
+	a, b sync.Mutex
+}
+
+// First and Second take the pair in the same order: a graph with edges in
+// one direction has no cycle.
+func (p *Pair) First() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) Second() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}

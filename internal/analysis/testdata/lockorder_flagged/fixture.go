@@ -1,0 +1,81 @@
+// Package fixture holds lock-discipline violations: blocking operations
+// reachable while a mutex is held, and lock acquisitions that close an
+// ordering cycle.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// HoldAndSend blocks on a channel send with the box lock held.
+func (b *Box) HoldAndSend(v int) {
+	b.mu.Lock()
+	b.ch <- v // want `channel send while holding fixture/lockorder_flagged\.Box\.mu`
+	b.mu.Unlock()
+}
+
+// HoldAndSleep sleeps under a deferred unlock: the lock is held to
+// function end.
+func (b *Box) HoldAndSleep() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding fixture/lockorder_flagged\.Box\.mu`
+}
+
+// wait blocks, with no lock of its own — the violation only exists at
+// call sites that hold one.
+func wait(b *Box) {
+	<-b.ch
+}
+
+// HoldAndWait reaches the blocking receive one call deep.
+func (b *Box) HoldAndWait() {
+	b.mu.Lock()
+	wait(b) // want `call to fixture/lockorder_flagged\.wait blocks \(channel receive\) while holding`
+	b.mu.Unlock()
+}
+
+// SpawnHolds blocks inside a goroutine that takes the lock itself.
+func (b *Box) SpawnHolds() {
+	go func() {
+		b.mu.Lock()
+		b.ch <- 1 // want `channel send while holding fixture/lockorder_flagged\.Box\.mu`
+		b.mu.Unlock()
+	}()
+}
+
+type Pair struct {
+	a, b sync.Mutex
+}
+
+// AB establishes the a-then-b order.
+func (p *Pair) AB() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// BA takes the same locks in the opposite order: the second acquisition
+// closes the cycle.
+func (p *Pair) BA() {
+	p.b.Lock()
+	p.a.Lock() // want `closes a lock-order cycle: fixture/lockorder_flagged\.Pair\.b -> fixture/lockorder_flagged\.Pair\.a -> fixture/lockorder_flagged\.Pair\.b`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Relock acquires a mutex it already holds.
+func (p *Pair) Relock() {
+	p.a.Lock()
+	p.a.Lock() // want `acquiring fixture/lockorder_flagged\.Pair\.a while already holding it`
+	p.a.Unlock()
+	p.a.Unlock()
+}

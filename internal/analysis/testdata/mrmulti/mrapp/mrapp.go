@@ -1,0 +1,25 @@
+// Package mrapp is the requested half of the cross-package mrpurity
+// fixture: its task bodies look pure — every mutation hides inside
+// mrlib, one package away, so the per-package view provably misses it.
+package mrapp
+
+import (
+	"falcon/internal/mapreduce"
+
+	"fixture/mrmulti/mrlib"
+)
+
+func tally() func(string, *mapreduce.MapOnlyCtx[string]) {
+	counts := map[string]int{}
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		mrlib.Record(counts, rec) // want `passes captured "counts" to fixture/mrmulti/mrlib\.Record, which performs a map write`
+		ctx.Output(rec)
+	}
+}
+
+func lastSeen(p *int) func(int, *mapreduce.MapOnlyCtx[int]) {
+	return func(rec int, ctx *mapreduce.MapOnlyCtx[int]) {
+		mrlib.Touch(p, rec) // want `passes captured "p" to fixture/mrmulti/mrlib\.Touch, which performs a pointer store`
+		ctx.Output(rec)
+	}
+}

@@ -1,0 +1,15 @@
+// Package mrlib is the library half of the cross-package mrpurity
+// fixture: a helper that mutates its map parameter. Nothing here is
+// flagged — the violation only exists when a Map/Reduce task body hands
+// the helper captured state, one package away.
+package mrlib
+
+// Record tallies k into m. Callers own m's synchronization.
+func Record(m map[string]int, k string) {
+	m[k]++
+}
+
+// Touch stores through its pointer parameter.
+func Touch(p *int, v int) {
+	*p = v
+}

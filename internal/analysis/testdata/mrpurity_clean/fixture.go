@@ -1,0 +1,66 @@
+// Package fixture holds Map/Reduce task bodies that follow the mapreduce
+// sharing contract: consume the record, emit through ctx, write only
+// disjoint preallocated slice elements or task-local / mutex-guarded
+// state. None of these may be flagged.
+package fixture
+
+import (
+	"strings"
+	"sync"
+
+	"falcon/internal/mapreduce"
+)
+
+// emitOnly is the canonical pure task body.
+func emitOnly(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+	ctx.Output(strings.ToUpper(rec))
+}
+
+// disjointElements writes one preallocated slice element per record — the
+// contract's sanctioned output shape.
+func disjointElements(n int) func(int, *mapreduce.MapOnlyCtx[int]) {
+	results := make([]int, n)
+	return func(rec int, ctx *mapreduce.MapOnlyCtx[int]) {
+		results[rec] = rec * rec
+		ctx.Output(rec)
+	}
+}
+
+// taskLocalState allocates and mutates its own map: nothing is shared.
+func taskLocalState(rec string, ctx *mapreduce.MapOnlyCtx[int]) {
+	freq := map[rune]int{}
+	for _, r := range rec {
+		freq[r]++
+	}
+	ctx.Output(len(freq))
+}
+
+// guardedWrite serializes the shared-map write behind a mutex: slow, but
+// not a race — lockorder owns the latency story.
+func guardedWrite() func(string, *mapreduce.MapOnlyCtx[string]) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		mu.Lock()
+		counts[rec]++
+		mu.Unlock()
+		ctx.Output(rec)
+	}
+}
+
+// readOnlyCapture reads captured state without writing it.
+func readOnlyCapture(allow map[string]bool) func(string, *mapreduce.MapOnlyCtx[string]) {
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		if allow[rec] {
+			ctx.Output(rec)
+		}
+	}
+}
+
+// rebindLocal rebinds a task-local variable: writes to locals declared
+// inside the task are invisible outside it.
+func rebindLocal(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+	s := rec
+	s = s + s
+	ctx.Output(s)
+}

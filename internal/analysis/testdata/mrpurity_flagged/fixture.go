@@ -1,0 +1,70 @@
+// Package fixture holds Map/Reduce task bodies that capture and mutate
+// shared state — every pattern the mapreduce sharing contract forbids.
+package fixture
+
+import "falcon/internal/mapreduce"
+
+var hits int
+
+// topLevelTask is a task body declared as a function: package-level
+// writes are shared across every parallel invocation.
+func topLevelTask(rec int, ctx *mapreduce.MapOnlyCtx[int]) {
+	hits++ // want `assignment to package-level fixture/mrpurity_flagged\.hits`
+	ctx.Output(rec)
+}
+
+func capturedCounter(recs []string) func(string, *mapreduce.MapOnlyCtx[string]) {
+	total := 0
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		total++ // want `assignment to captured "total"`
+		ctx.Output(rec)
+	}
+}
+
+func capturedAppend() func(string, *mapreduce.MapOnlyCtx[string]) {
+	var out []string
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		out = append(out, rec) // want `append to captured "out"`
+		ctx.Output(rec)
+	}
+}
+
+func capturedMap() func(string, *mapreduce.MapOnlyCtx[string]) {
+	seen := map[string]bool{}
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		seen[rec] = true // want `map write to captured "seen"`
+		ctx.Output(rec)
+	}
+}
+
+func capturedPointer(p *int) func(int, *mapreduce.MapOnlyCtx[int]) {
+	return func(rec int, ctx *mapreduce.MapOnlyCtx[int]) {
+		*p = rec // want `pointer store to captured "p"`
+		ctx.Output(rec)
+	}
+}
+
+// aliasedMap writes through a local copy of the captured map; the
+// may-alias chase still attributes the store to the shared root.
+func aliasedMap() func(string, *mapreduce.MapOnlyCtx[string]) {
+	counts := map[string]int{}
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		local := counts
+		local[rec]++ // want `map write to captured "counts"`
+		ctx.Output(rec)
+	}
+}
+
+// bump mutates its map parameter; the fact engine records it so the call
+// below is flagged at the call site with the chain.
+func bump(m map[string]int, k string) {
+	m[k]++
+}
+
+func viaHelper() func(string, *mapreduce.MapOnlyCtx[string]) {
+	counts := map[string]int{}
+	return func(rec string, ctx *mapreduce.MapOnlyCtx[string]) {
+		bump(counts, rec) // want `passes captured "counts" to fixture/mrpurity_flagged\.bump, which performs a map write`
+		ctx.Output(rec)
+	}
+}

@@ -340,7 +340,7 @@ func (idx *PrefixIndex) referenceProbe(m simfn.Measure, threshold float64, value
 			cands = append(cands, pst.ID)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	slices.Sort(cands)
 	return cands, probes
 }
 
