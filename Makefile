@@ -21,8 +21,9 @@ falcon-vet:
 	$(GO) run ./cmd/falcon-vet ./...
 
 # vet-fix applies every suggested fix (stale allow-directive removal,
-# errcheck explicit discards, sort.Slice modernization) in place, then
-# reports whatever is left for a human.
+# errcheck explicit discards, sort.Slice modernization, frozen-map
+# clone-then-swap rewrites) in place, then reports whatever is left for a
+# human.
 vet-fix:
 	$(GO) run ./cmd/falcon-vet -fix ./...
 
@@ -35,8 +36,8 @@ race:
 # bench records the executor worker-pool benchmark (speedup needs >1 CPU),
 # the blocking hot-path benchmarks (dictionary ID path vs the retired
 # string reference path), and the falcon-vet whole-tree benchmark (the
-# pre-flow suite, the flow-sensitive layer, and all eleven analyzers over
-# the module, loading amortized).
+# pre-flow suite, the flow-sensitive layer, the publish-then-freeze layer,
+# and all thirteen analyzers over the module, loading amortized).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
 		./internal/mapreduce/ > BENCH_executor.json

@@ -2,12 +2,13 @@
 // zero-dependency analyzers, built on go/parser and go/types, that enforce
 // the determinism, cost-accounting, lock-safety, error-handling,
 // hot-path-allocation, context-propagation, scratch-escape, task-purity,
-// and lock-ordering invariants the simulated-cluster evaluation depends
-// on. The suite is
+// lock-ordering, publish-then-freeze immutability, and serving-budget
+// invariants the simulated-cluster evaluation and the lock-free serving
+// path depend on. The suite is
 // interprocedural: the requested packages' whole dependency closure is
 // analyzed in dependency order, and the transdeterminism/ctxflow/
-// scratchescape analyzers chase violations across package boundaries,
-// printing the call chain they followed.
+// scratchescape/immutpublish/servebudget analyzers chase violations
+// across package boundaries, printing the call chain they followed.
 //
 // Usage:
 //
@@ -20,8 +21,9 @@
 // errors. With -json, each diagnostic is one JSON object per line (file,
 // line, col, analyzer, message, chain, suggested_fixes) for CI
 // annotation. With -fix, suggested fixes (stale allow-directive removal,
-// errcheck explicit discards, sort.Slice modernization) are applied in
-// place; -fix is idempotent — a second run applies zero fixes.
+// errcheck explicit discards, sort.Slice modernization, frozen-map
+// clone-then-swap rewrites) are applied in place; -fix is idempotent — a
+// second run applies zero fixes.
 //
 // A finding is suppressed by a directive comment on, or directly above,
 // the flagged line:
@@ -29,7 +31,13 @@
 //	//falcon:allow <analyzer> <reason>
 //
 // Directives that no longer suppress anything are themselves reported
-// (analyzer name "staleallow"), so the allowlist cannot rot.
+// (analyzer name "staleallow"), so the allowlist cannot rot. Two more
+// directives mark contracts on a function's doc comment: //falcon:frozen
+// (the constructor's results are published — frozen — at every call
+// site, enforced by immutpublish) and //falcon:hotpath (the function is
+// part of the lock-free serving path and must transitively stay
+// lock-free, channel-free, submission-free, and allocation-free,
+// enforced by servebudget).
 package main
 
 import (

@@ -50,11 +50,17 @@ func TestFixtures(t *testing.T) {
 		{MRPurity, "mrpurity_clean"},
 		{LockOrder, "lockorder_flagged"},
 		{LockOrder, "lockorder_clean"},
+		{Immutpublish, "immutpublish_flagged"},
+		{Immutpublish, "immutpublish_clean"},
+		{ServeBudget, "servebudget_flagged"},
+		{ServeBudget, "servebudget_clean"},
 		{TransDeterminism, "multi/detapp"},
 		{CtxFlow, "ctxmulti/app"},
 		{ScratchEscape, "scratchmulti/scratchapp"},
 		{MRPurity, "mrmulti/mrapp"},
 		{LockOrder, "lockmulti/lockapp"},
+		{Immutpublish, "freezemulti/frzapp"},
+		{ServeBudget, "servemulti/srvapp"},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -112,6 +118,8 @@ func TestCrossPackageFacts(t *testing.T) {
 		{ScratchEscape, "scratchmulti/scratchapp", false},
 		{MRPurity, "mrmulti/mrapp", true},
 		{LockOrder, "lockmulti/lockapp", true},
+		{Immutpublish, "freezemulti/frzapp", true},
+		{ServeBudget, "servemulti/srvapp", true},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -209,7 +217,7 @@ func TestLoaderPaths(t *testing.T) {
 // TestByName covers the analyzer registry lookups falcon-vet exposes.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 11 {
+	if err != nil || len(all) != 13 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("determinism, errcheck")

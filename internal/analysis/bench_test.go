@@ -17,6 +17,11 @@ var preFlowSuite = []*Analyzer{
 // dataflow analyzers plus the rewrite-only sortslice pass.
 var flowSuite = []*Analyzer{MRPurity, LockOrder, SortSlice}
 
+// freezeSuite is the publish-then-freeze layer on its own: immutpublish
+// shares the Run-wide FuncFlow cache with mrpurity, servebudget is a pure
+// AST-and-facts pass.
+var freezeSuite = []*Analyzer{Immutpublish, ServeBudget}
+
 // benchPackages loads the module tree once; loading and type-checking are
 // deliberately outside the timed region (the analyzers, not the parser,
 // are what these benchmarks watch).
@@ -35,8 +40,8 @@ func benchPackages(b *testing.B) []*Package {
 
 // BenchmarkVetTree measures one full falcon-vet pass over the module's
 // own tree: the pre-flow eight-analyzer suite, the flow-sensitive layer
-// alone (dataflow construction dominates), and the full eleven-analyzer
-// suite the CLI runs.
+// alone (dataflow construction dominates), the publish-then-freeze layer
+// alone, and the full thirteen-analyzer suite the CLI runs.
 func BenchmarkVetTree(b *testing.B) {
 	pkgs := benchPackages(b)
 	suites := []struct {
@@ -45,7 +50,8 @@ func BenchmarkVetTree(b *testing.B) {
 	}{
 		{"preflow8", preFlowSuite},
 		{"flow3", flowSuite},
-		{"full11", All()},
+		{"freeze2", freezeSuite},
+		{"full13", All()},
 	}
 	for _, s := range suites {
 		b.Run(s.name, func(b *testing.B) {
@@ -58,12 +64,13 @@ func BenchmarkVetTree(b *testing.B) {
 	}
 }
 
-// TestVetOverheadWithinBudget pins the cost of the flow-sensitive layer:
-// a full-tree run of the eleven-analyzer suite must stay under twice the
-// wall time of the eight-analyzer suite it grew from. The dataflow pass
-// re-walks every function body, so some overhead is expected; doubling
-// the vet gate's latency is the line at which it stops being free to run
-// everywhere.
+// TestVetOverheadWithinBudget pins the cost of everything added on top of
+// the pre-flow suite: a full-tree run of the thirteen-analyzer suite must
+// stay under twice the wall time of the eight-analyzer suite it grew
+// from. The dataflow pass re-walks every function body (once — the
+// summaries are shared through the Run-wide cache), so some overhead is
+// expected; doubling the vet gate's latency is the line at which it stops
+// being free to run everywhere.
 func TestVetOverheadWithinBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmarks the whole module; skipped in -short")

@@ -137,28 +137,25 @@ func checkCtxCall(pass *Pass, fd funcWithDecl, call *ast.CallExpr) {
 // blocking: a callee carrying a BlocksFact, or context.Background()/TODO()
 // handed to a ctx-taking callee. Per-edge ctxflow allows stop propagation.
 func blockingCall(pass *Pass, decl *ast.FuncDecl) *BlocksFact {
-	var found *BlocksFact
-	eachCall(decl, func(call *ast.CallExpr) {
-		if found != nil || pass.Allowed(call.Pos(), "ctxflow") {
-			return
+	for _, cs := range callsOf(pass, decl) {
+		if pass.Allowed(cs.call.Pos(), "ctxflow") {
+			continue
 		}
-		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+		for _, callee := range cs.callees {
 			if hasCtxParam(funcSig(callee)) {
-				for _, arg := range call.Args {
+				for _, arg := range cs.call.Args {
 					if backgroundCtxCall(pass.Info, arg) != "" {
-						found = &BlocksFact{Chain: []string{callee.FullName()}}
-						return
+						return &BlocksFact{Chain: []string{callee.FullName()}}
 					}
 				}
 				continue
 			}
 			if f, ok := pass.ImportObjectFact(callee); ok {
-				found = f.(*BlocksFact)
-				return
+				return f.(*BlocksFact)
 			}
 		}
-	})
-	return found
+	}
+	return nil
 }
 
 // isBlockingPrimitive matches the simulation's blocking surfaces by shape:

@@ -51,7 +51,7 @@ type FixResult struct {
 // diagnostic order. A fix is accepted atomically: if any of its edits
 // overlaps an already-accepted edit, the whole fix is skipped. Identical
 // edits (two diagnostics proposing the same change) coalesce. Managed
-// stdlib imports ("sort", "slices", "cmp") are added or removed to match
+// stdlib imports ("sort", "slices", "cmp", "maps") are added or removed to match
 // the edited code, and every touched file is reformatted.
 func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
 	res := &FixResult{Files: map[string][]byte{}}
@@ -156,8 +156,8 @@ func (r *FixResult) Write() error {
 
 // managedImports are the only import paths the fix engine will add or
 // remove — the stdlib packages its own rewrites introduce or obsolete.
-// For all three the import path equals the package name.
-var managedImports = map[string]bool{"sort": true, "slices": true, "cmp": true}
+// For all of them the import path equals the package name.
+var managedImports = map[string]bool{"sort": true, "slices": true, "cmp": true, "maps": true}
 
 // adjustImports reconciles the managed imports of a just-edited file with
 // its code: a managed package that is imported but no longer referenced is

@@ -18,6 +18,7 @@ var fixCases = []struct {
 	{"errs", []*Analyzer{ErrCheck}},
 	{"stale", []*Analyzer{Determinism}},
 	{"sorts", []*Analyzer{SortSlice}},
+	{"freeze", []*Analyzer{Immutpublish}},
 }
 
 // scratchModule copies testdata/fix/<dir>'s .go files into a fresh

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the publish-then-freeze layer shared by the immutpublish
+// and servebudget analyzers: source directives, detection of the atomic
+// publication primitives, the per-function publication-event scan, and a
+// Run-wide FuncFlow cache.
+//
+// The serving story (ROADMAP item 1) rests on one idiom: build an
+// artifact, publish it once — a Store into an atomic.Pointer, a send on a
+// channel to another goroutine, a return from an annotated constructor —
+// and from then on read it lock-free from many goroutines. The moment of
+// publication is a freeze line: everything reachable from the published
+// value (its heap region, approximated by the flow layer's may-alias
+// roots) must never be written again. freeze.go finds the publication
+// points; immutpublish.go finds the writes that cross them.
+//
+// Two directives extend the //falcon: comment namespace:
+//
+//	//falcon:frozen   on a constructor: values it returns are published
+//	                  at every call site — callers must treat the result
+//	                  as immutable from the assignment on.
+//	//falcon:hotpath  on a function: it is part of the lock-free serving
+//	                  path and must satisfy the servebudget contract (no
+//	                  lock acquisition, no channel operations, no blocking
+//	                  crowd/mapreduce submission, no per-call allocation),
+//	                  transitively through everything it calls.
+
+// hasFalconDirective reports whether the declaration's doc comment carries
+// a //falcon:<name> directive.
+func hasFalconDirective(decl *ast.FuncDecl, name string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//falcon:")
+		if !ok {
+			continue
+		}
+		if fields := strings.Fields(text); len(fields) > 0 && fields[0] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// flowCacheKey is the sentinel identity for the Run-wide FuncFlow cache.
+// Building a function's dataflow summary is the dominant cost of a flow
+// pass and the summary is identical for every analyzer, so mrpurity and
+// immutpublish share one cache through Pass.sharedState instead of each
+// re-walking every body (which is what keeps the suite inside the 2x
+// vet-overhead budget as flow consumers accumulate).
+var flowCacheKey = &Analyzer{Name: "flowcache"}
+
+// funcFlowOf returns the (possibly cached) dataflow summary for one
+// declaration.
+func funcFlowOf(pass *Pass, decl *ast.FuncDecl) *FuncFlow {
+	cache := pass.sharedState(flowCacheKey, func() any {
+		return map[*ast.FuncDecl]*FuncFlow{}
+	}).(map[*ast.FuncDecl]*FuncFlow)
+	fl, ok := cache[decl]
+	if !ok {
+		fl = NewFuncFlow(pass.Info, decl.Body)
+		cache[decl] = fl
+	}
+	return fl
+}
+
+// atomicCellName returns "Pointer" or "Value" when t is that sync/atomic
+// cell type (possibly behind a pointer), "" otherwise.
+func atomicCellName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	if name := obj.Name(); name == "Pointer" || name == "Value" {
+		return name
+	}
+	return ""
+}
+
+// callCacheKey is the sentinel identity for the Run-wide call-site cache.
+var callCacheKey = &Analyzer{Name: "callcache"}
+
+// callSite is one call expression with its statically resolved callees.
+type callSite struct {
+	call    *ast.CallExpr
+	callees []*types.Func
+}
+
+// callsOf returns the (possibly cached) call sites of one declaration, in
+// source order, with callees pre-resolved. The interprocedural fixpoint
+// passes re-visit every function's calls once per round; walking the AST
+// and re-resolving callees each time is what this cache avoids.
+func callsOf(pass *Pass, decl *ast.FuncDecl) []callSite {
+	cache := pass.sharedState(callCacheKey, func() any {
+		return map[*ast.FuncDecl][]callSite{}
+	}).(map[*ast.FuncDecl][]callSite)
+	sites, ok := cache[decl]
+	if !ok {
+		sites = []callSite{}
+		eachCall(decl, func(call *ast.CallExpr) {
+			sites = append(sites, callSite{call: call, callees: pass.Graph.Callees(pass.Info, call)})
+		})
+		cache[decl] = sites
+	}
+	return sites
+}
+
+// isAtomicCell reports whether t is sync/atomic.Pointer[T] or
+// sync/atomic.Value (possibly behind a pointer) — the cells whose Store
+// publishes and whose Load republishes on the reader side.
+func isAtomicCell(t types.Type) bool {
+	return atomicCellName(t) != ""
+}
+
+// atomicCellMethod matches a method call on an atomic cell, returning the
+// cell expression and method name ("" when expr is no such call).
+func atomicCellMethod(info *types.Info, expr ast.Expr) (cell ast.Expr, method string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	if !isAtomicCell(info.TypeOf(sel.X)) {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// pubEvent is one publication point inside a function: the position after
+// which the published roots are frozen.
+type pubEvent struct {
+	// roots are the may-alias roots of the published value.
+	roots map[*types.Var]bool
+	pos   token.Pos
+	// what describes the publication for diagnostics ("atomic store",
+	// "channel send", "frozen constructor result", "atomic load").
+	what string
+	// cell and cellVar describe the mechanically fixable shape
+	// cell.Store(&cellVar) with cellVar a map: a later single-pair map
+	// write to cellVar can be rewritten into clone-then-swap.
+	cell    ast.Expr
+	cellVar *types.Var
+}
+
+// addRoots merges an expression's may-alias roots into the event.
+func (ev *pubEvent) addRoots(fl *FuncFlow, e ast.Expr) {
+	for _, r := range fl.Roots(fl.rootVar(e)) {
+		ev.roots[r] = true
+	}
+}
+
+// publications scans one declaration for publication events, in source
+// order. The freeze line is positional: a write textually after the
+// publication is treated as post-publication (a loop that writes early
+// and publishes late re-freezes each iteration and is out of model).
+func publications(pass *Pass, decl *ast.FuncDecl, fl *FuncFlow) []pubEvent {
+	var events []pubEvent
+	newEvent := func(pos token.Pos, what string) *pubEvent {
+		events = append(events, pubEvent{roots: map[*types.Var]bool{}, pos: pos, what: what})
+		return &events[len(events)-1]
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			cell, method := atomicCellMethod(pass.Info, n)
+			var published ast.Expr
+			switch method {
+			case "Store", "Swap":
+				if len(n.Args) > 0 {
+					published = n.Args[0]
+				}
+			case "CompareAndSwap":
+				if len(n.Args) > 1 {
+					published = n.Args[1]
+				}
+			}
+			if published == nil {
+				return true
+			}
+			ev := newEvent(n.Pos(), "atomic store")
+			ev.addRoots(fl, published)
+			// The fixable clone-then-swap shape: cell.Store(&m) with m a map
+			// and cell an atomic.Pointer — the rewrite dereferences
+			// cell.Load(), which an atomic.Value cannot offer (its Load
+			// returns any), so Value cells get the diagnostic without a fix.
+			if u, ok := ast.Unparen(published).(*ast.UnaryExpr); ok && u.Op == token.AND && method == "Store" &&
+				atomicCellName(pass.Info.TypeOf(cell)) == "Pointer" {
+				if id, ok := ast.Unparen(u.X).(*ast.Ident); ok && isMapType(pass.Info.TypeOf(id)) {
+					ev.cell = cell
+					ev.cellVar = fl.varOf(id)
+				}
+			}
+		case *ast.SendStmt:
+			// A channel send hands the value to another goroutine; writes
+			// after the send race with the receiver.
+			newEvent(n.Pos(), "channel send").addRoots(fl, n.Value)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if what := publishingRHS(pass, n.Rhs[i]); what != "" {
+					newEvent(n.Pos(), what).addRoots(fl, lhs)
+				}
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// publishingRHS classifies an assignment right-hand side that publishes
+// the left-hand side: a direct atomic Load/Swap (the reader half of the
+// idiom — a loaded value is someone else's published state), or a call to
+// a //falcon:frozen constructor (its own package's directive or an
+// imported FreezeFact). Returns the event description, or "".
+func publishingRHS(pass *Pass, rhs ast.Expr) string {
+	e := ast.Unparen(rhs)
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = ast.Unparen(star.X)
+	}
+	if _, method := atomicCellMethod(pass.Info, e); method == "Load" || method == "Swap" {
+		return "atomic load"
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	for _, callee := range pass.Graph.Callees(pass.Info, call) {
+		if f, ok := pass.ImportObjectFact(callee); ok {
+			if ff, ok := f.(*FreezeFact); ok && ff.Frozen {
+				return "frozen constructor result"
+			}
+		}
+	}
+	return ""
+}
+
+// freezeViolation reports whether a write of this kind mutates the heap
+// region the root refers to (rather than rebinding the name). Unlike the
+// mapreduce purity contract, element writes and appends are violations
+// here: a published slice's backing array is frozen too.
+func freezeViolation(k WriteKind) bool {
+	switch k {
+	case WriteMapIndex, WriteSliceIndex, WriteDeref, WriteField, WriteAppend:
+		return true
+	}
+	return false
+}

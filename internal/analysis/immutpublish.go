@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Immutpublish enforces the publish-then-freeze contract the lock-free
+// serving path depends on (freeze.go has the directive and publication
+// model). A value is published when it is stored into an atomic.Pointer /
+// atomic.Value, sent on a channel, loaded back out of an atomic cell, or
+// returned from a //falcon:frozen constructor. From that point on the
+// published heap region — every may-alias root of the value, per the flow
+// layer — is frozen: a map write, element write, pointer store, field
+// write, or append through it races with the concurrent readers the
+// publication handed it to, and no lock discipline can save them (the
+// readers intentionally take no lock).
+//
+// The analyzer is interprocedural: every function exports a FreezeFact
+// recording which parameters it writes through (directly or via callees,
+// to a fixpoint over the call graph), so a post-publication call that
+// hands the published value to a mutating helper in another package is
+// flagged at the call site with the chain down to the write.
+//
+// The mechanical violation — a single-pair map update `m[k] = v` after
+// `cell.Store(&m)` — carries a SuggestedFix rewriting it into the
+// sanctioned copy-on-write shape:
+//
+//	{
+//		next := maps.Clone(*cell.Load())
+//		next[k] = v
+//		cell.Store(&next)
+//	}
+//
+// so `falcon-vet -fix` converts in-place mutation into clone-then-swap.
+//
+// Limits: the freeze line is positional within one function (a loop that
+// writes at an earlier line and publishes at a later one re-freezes each
+// iteration), writes behind function values stored in fields are opaque,
+// and stdlib internals export no facts.
+var Immutpublish = &Analyzer{
+	Name:  "immutpublish",
+	Doc:   "flags writes to published state (atomic.Pointer stores, channel sends, //falcon:frozen results) after the publication point, cross-package via FreezeFacts",
+	Facts: true,
+	Run:   runImmutpublish,
+}
+
+// FreezeFact summarizes a function for the freeze contract. Frozen marks a
+// //falcon:frozen constructor: its results are published at every call
+// site. Params is a bitmask in MutFact's convention (bit 0 the receiver,
+// bit i+1 parameter i) of the arguments the function (transitively)
+// writes through; ParamDesc and ParamChain describe the write and the
+// call path down to it.
+type FreezeFact struct {
+	Frozen     bool
+	Params     uint32
+	ParamDesc  map[int]string
+	ParamChain map[int][]string
+}
+
+func (*FreezeFact) AFact() {}
+
+func runImmutpublish(pass *Pass) {
+	fns := declaredFuncs(pass)
+	flows := make([]*FuncFlow, len(fns))
+	for i, fd := range fns {
+		flows[i] = funcFlowOf(pass, fd.decl)
+	}
+
+	// Seed: //falcon:frozen constructors. Their Frozen bit is what turns a
+	// call-site assignment into a publication event in downstream packages.
+	for _, fd := range fns {
+		if hasFalconDirective(fd.decl, "frozen") {
+			pass.ExportObjectFact(fd.obj, &FreezeFact{
+				Frozen:     true,
+				ParamDesc:  map[int]string{},
+				ParamChain: map[int][]string{},
+			})
+		}
+	}
+
+	// Fixpoint: each round recomputes every function's mutation summary
+	// from its direct writes plus its callees' facts; bits only grow.
+	for changed := true; changed; {
+		changed = false
+		for i, fd := range fns {
+			if exportFreezeFact(pass, fd, flows[i]) {
+				changed = true
+			}
+		}
+	}
+
+	for i, fd := range fns {
+		checkPublished(pass, fd, flows[i])
+	}
+}
+
+// freezeMutatesParam reports whether a write of this kind through a
+// parameter reaches the caller's heap region. WriteField on a value
+// parameter only touches the callee's copy and is excluded; append is
+// included because it may write the shared backing array.
+func freezeMutatesParam(k WriteKind) bool {
+	switch k {
+	case WriteMapIndex, WriteSliceIndex, WriteDeref, WriteAppend:
+		return true
+	}
+	return false
+}
+
+// exportFreezeFact merges one function's direct and call-derived mutation
+// summary into the facts store, reporting whether anything new appeared.
+// The summary struct is built lazily, only on the round that first grows a
+// bit — the steady-state rounds of the fixpoint allocate nothing.
+func exportFreezeFact(pass *Pass, fd funcWithDecl, fl *FuncFlow) bool {
+	var cur *FreezeFact
+	if f, ok := pass.ImportObjectFact(fd.obj); ok {
+		cur = f.(*FreezeFact)
+	}
+	var next *FreezeFact
+	params := func() uint32 {
+		if next != nil {
+			return next.Params
+		}
+		if cur != nil {
+			return cur.Params
+		}
+		return 0
+	}
+	ensure := func() *FreezeFact {
+		if next != nil {
+			return next
+		}
+		next = &FreezeFact{ParamDesc: map[int]string{}, ParamChain: map[int][]string{}}
+		if cur != nil {
+			next.Frozen = cur.Frozen
+			next.Params = cur.Params
+			for k, v := range cur.ParamDesc {
+				next.ParamDesc[k] = v
+			}
+			for k, v := range cur.ParamChain {
+				next.ParamChain[k] = v
+			}
+		}
+		return next
+	}
+	selfName := ""
+	self := func() string {
+		if selfName == "" {
+			selfName = fd.obj.FullName()
+		}
+		return selfName
+	}
+
+	// Direct writes through parameters. An allow at the write site kills
+	// the taint: a sanctioned mutating helper must not flag every caller.
+	for _, w := range fl.Writes() {
+		if w.Root == nil || !freezeMutatesParam(w.Kind) || pass.Allowed(w.Pos, "immutpublish") {
+			continue
+		}
+		for _, root := range fl.Roots(w.Root) {
+			j, ok := paramIndex(fd.obj, root)
+			if !ok || params()&(1<<j) != 0 {
+				continue
+			}
+			n := ensure()
+			n.Params |= 1 << j
+			n.ParamDesc[j] = fmt.Sprintf("%s through its %s", w.Kind, paramName(fd.obj, j))
+			n.ParamChain[j] = []string{self()}
+		}
+	}
+
+	// Call-derived mutation: callee facts flow back through arguments.
+	for _, cs := range callsOf(pass, fd.decl) {
+		if pass.Allowed(cs.call.Pos(), "immutpublish") {
+			continue
+		}
+		for _, callee := range cs.callees {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			fact := f.(*FreezeFact)
+			if fact.Params == 0 {
+				continue
+			}
+			for j := 0; j < 32; j++ {
+				if fact.Params&(1<<j) == 0 {
+					continue
+				}
+				arg := argExprAt(cs.call, callee, j)
+				if arg == nil {
+					continue
+				}
+				for _, root := range fl.Roots(fl.rootVar(arg)) {
+					k, ok := paramIndex(fd.obj, root)
+					if !ok || params()&(1<<k) != 0 {
+						continue
+					}
+					n := ensure()
+					n.Params |= 1 << k
+					n.ParamDesc[k] = fact.ParamDesc[j]
+					n.ParamChain[k] = append([]string{self()}, fact.ParamChain[j]...)
+				}
+			}
+		}
+	}
+
+	// next is non-nil exactly when a new bit appeared this round; the
+	// Frozen seed is exported up front by runImmutpublish.
+	if next == nil {
+		return false
+	}
+	pass.ExportObjectFact(fd.obj, next)
+	return true
+}
+
+// checkPublished reports post-publication writes inside one declaration:
+// direct writes to a published root, and calls handing a published root to
+// a FreezeFact-carrying mutator.
+func checkPublished(pass *Pass, fd funcWithDecl, fl *FuncFlow) {
+	events := publications(pass, fd.decl, fl)
+	if len(events) == 0 {
+		return
+	}
+	fixes := cloneSwapFixes(pass, fd.decl, events)
+
+	for _, w := range fl.Writes() {
+		if w.Root == nil || !freezeViolation(w.Kind) {
+			continue
+		}
+		for i := range events {
+			ev := &events[i]
+			if w.Pos <= ev.pos {
+				continue
+			}
+			root := publishedRoot(fl, w.Root, ev)
+			if root == nil {
+				continue
+			}
+			msg := fmt.Sprintf("%s to published %q after %s at %s; published state is frozen — clone-then-swap instead of mutating in place",
+				w.Kind, root.Name(), ev.what, pass.Fset.Position(ev.pos))
+			if fix, ok := fixes[w.Pos]; ok {
+				pass.ReportFixf(w.Pos, fix, "%s", msg)
+			} else {
+				pass.Reportf(w.Pos, "%s", msg)
+			}
+			break
+		}
+	}
+
+	for _, cs := range callsOf(pass, fd.decl) {
+		checkPublishedCall(pass, fd, fl, events, cs)
+	}
+}
+
+// checkPublishedCall reports the first published root cs hands to a
+// FreezeFact-carrying mutator (at most one diagnostic per call, from its
+// first fact-carrying callee).
+func checkPublishedCall(pass *Pass, fd funcWithDecl, fl *FuncFlow, events []pubEvent, cs callSite) {
+	for _, callee := range cs.callees {
+		f, ok := pass.ImportObjectFact(callee)
+		if !ok {
+			continue
+		}
+		fact := f.(*FreezeFact)
+		if fact.Params == 0 {
+			continue
+		}
+		for i := range events {
+			ev := &events[i]
+			if cs.call.Pos() <= ev.pos {
+				continue
+			}
+			for j := 0; j < 32; j++ {
+				if fact.Params&(1<<j) == 0 {
+					continue
+				}
+				arg := argExprAt(cs.call, callee, j)
+				if arg == nil {
+					continue
+				}
+				root := publishedRoot(fl, fl.rootVar(arg), ev)
+				if root == nil {
+					continue
+				}
+				chain := append([]string{fd.obj.FullName()}, fact.ParamChain[j]...)
+				pass.ReportChain(cs.call.Pos(), chain,
+					"passes published %q (%s at %s) to %s, which performs a %s; published state is frozen; chain: %s",
+					root.Name(), ev.what, pass.Fset.Position(ev.pos),
+					callee.FullName(), fact.ParamDesc[j], strings.Join(chain, " -> "))
+				return
+			}
+		}
+		return
+	}
+}
+
+// publishedRoot returns the first may-alias root of v the event published,
+// or nil.
+func publishedRoot(fl *FuncFlow, v *types.Var, ev *pubEvent) *types.Var {
+	for _, root := range fl.Roots(v) {
+		if ev.roots[root] {
+			return root
+		}
+	}
+	return nil
+}
+
+// cloneSwapFixes builds the clone-then-swap rewrites for the mechanically
+// fixable shape: a publication `cell.Store(&m)` (cell an atomic.Pointer, m
+// a map) followed by a single-pair plain map update `m[k] = v`. The
+// rewrite is a self-contained block, so several updates in one function
+// each get an independent, non-overlapping fix; the rewritten code reads
+// the cell and writes only a fresh clone, so re-running the analyzer finds
+// nothing (the -fix idempotence contract). Fixes are keyed by the written
+// l-value's position, matching the flow layer's Write.Pos.
+func cloneSwapFixes(pass *Pass, decl *ast.FuncDecl, events []pubEvent) map[token.Pos]SuggestedFix {
+	var fixes map[token.Pos]SuggestedFix
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.AssignStmt)
+		if !ok || stmt.Tok != token.ASSIGN || len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+			return true
+		}
+		idx, ok := stmt.Lhs[0].(*ast.IndexExpr)
+		if !ok || !isMapType(pass.Info.TypeOf(idx.X)) {
+			return true
+		}
+		id, ok := ast.Unparen(idx.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		target, _ := pass.Info.Uses[id].(*types.Var)
+		if target == nil {
+			return true
+		}
+		for i := range events {
+			ev := &events[i]
+			if ev.cellVar == nil || ev.cellVar != target || stmt.Pos() <= ev.pos {
+				continue
+			}
+			cell := render(pass.Fset, ev.cell)
+			start := pass.Fset.Position(stmt.Pos())
+			body := fmt.Sprintf("{\nnext := maps.Clone(*%s.Load())\nnext[%s] = %s\n%s.Store(&next)\n}",
+				cell, render(pass.Fset, idx.Index), render(pass.Fset, stmt.Rhs[0]), cell)
+			if fixes == nil {
+				fixes = map[token.Pos]SuggestedFix{}
+			}
+			fixes[stmt.Lhs[0].Pos()] = SuggestedFix{
+				Message: "rewrite the frozen-map update into clone-then-swap",
+				Edits: []TextEdit{{
+					File:  start.Filename,
+					Start: start.Offset,
+					End:   pass.Fset.Position(stmt.End()).Offset,
+					New:   body,
+				}},
+			}
+			break
+		}
+		return true
+	})
+	return fixes
+}

@@ -81,8 +81,16 @@ func runMRPurity(pass *Pass) {
 	for i, fd := range fns {
 		infos[i] = &mrFuncInfo{
 			fd:   fd,
-			flow: NewFuncFlow(pass.Info, fd.decl.Body),
-			held: heldPositions(pass, fd.decl.Body),
+			flow: funcFlowOf(pass, fd.decl),
+		}
+		// Positions can only be lock-held if the body acquires a lock
+		// somewhere; the cached call sites answer that without the full
+		// flow-sensitive interpretation (a nil held map reads as "never").
+		for _, cs := range callsOf(pass, fd.decl) {
+			if _, op, ok := lockOpOf(pass, cs.call); ok && (op == "Lock" || op == "RLock") {
+				infos[i].held = heldPositions(pass, fd.decl.Body)
+				break
+			}
 		}
 	}
 
@@ -123,27 +131,56 @@ func heldPositions(pass *Pass, body *ast.BlockStmt) map[token.Pos]bool {
 
 // exportMutFact merges one function's direct and call-derived mutation
 // summary into the facts store, reporting whether anything new appeared.
+// The summary struct is built lazily, only on the round that first grows
+// the fact — the steady-state rounds of the fixpoint allocate nothing.
 func exportMutFact(pass *Pass, fi *mrFuncInfo) bool {
 	var cur *MutFact
 	if f, ok := pass.ImportObjectFact(fi.fd.obj); ok {
 		cur = f.(*MutFact)
 	}
-	next := &MutFact{
-		ParamDesc:  map[int]string{},
-		ParamChain: map[int][]string{},
-	}
-	if cur != nil {
-		next.Params = cur.Params
-		next.Global, next.GlobalChain = cur.Global, cur.GlobalChain
-		for k, v := range cur.ParamDesc {
-			next.ParamDesc[k] = v
+	var next *MutFact
+	params := func() uint32 {
+		if next != nil {
+			return next.Params
 		}
-		for k, v := range cur.ParamChain {
-			next.ParamChain[k] = v
+		if cur != nil {
+			return cur.Params
 		}
+		return 0
 	}
-
-	self := fi.fd.obj.FullName()
+	global := func() string {
+		if next != nil {
+			return next.Global
+		}
+		if cur != nil {
+			return cur.Global
+		}
+		return ""
+	}
+	ensure := func() *MutFact {
+		if next != nil {
+			return next
+		}
+		next = &MutFact{ParamDesc: map[int]string{}, ParamChain: map[int][]string{}}
+		if cur != nil {
+			next.Params = cur.Params
+			next.Global, next.GlobalChain = cur.Global, cur.GlobalChain
+			for k, v := range cur.ParamDesc {
+				next.ParamDesc[k] = v
+			}
+			for k, v := range cur.ParamChain {
+				next.ParamChain[k] = v
+			}
+		}
+		return next
+	}
+	selfName := ""
+	self := func() string {
+		if selfName == "" {
+			selfName = fi.fd.obj.FullName()
+		}
+		return selfName
+	}
 
 	// Direct writes.
 	for _, w := range fi.flow.Writes() {
@@ -154,34 +191,41 @@ func exportMutFact(pass *Pass, fi *mrFuncInfo) bool {
 			continue
 		}
 		for _, root := range fi.flow.Roots(w.Root) {
-			if packageLevel(root) && next.Global == "" {
-				next.Global = fmt.Sprintf("%s to package-level %s.%s", w.Kind, pkgPathOf(root), root.Name())
-				next.GlobalChain = []string{self}
+			if packageLevel(root) && global() == "" {
+				n := ensure()
+				n.Global = fmt.Sprintf("%s to package-level %s.%s", w.Kind, pkgPathOf(root), root.Name())
+				n.GlobalChain = []string{self()}
 			}
 			if j, ok := paramIndex(fi.fd.obj, root); ok && mutatesReferent(w.Kind) {
-				if next.Params&(1<<j) == 0 {
-					next.Params |= 1 << j
-					next.ParamDesc[j] = fmt.Sprintf("%s through its %s", w.Kind, paramName(fi.fd.obj, j))
-					next.ParamChain[j] = []string{self}
+				if params()&(1<<j) == 0 {
+					n := ensure()
+					n.Params |= 1 << j
+					n.ParamDesc[j] = fmt.Sprintf("%s through its %s", w.Kind, paramName(fi.fd.obj, j))
+					n.ParamChain[j] = []string{self()}
 				}
 			}
 		}
 	}
 
 	// Call-derived mutation: callee facts flow back through arguments.
-	eachCall(fi.fd.decl, func(call *ast.CallExpr) {
+	for _, cs := range callsOf(pass, fi.fd.decl) {
+		call := cs.call
 		if fi.held[call.Pos()] || pass.Allowed(call.Pos(), "mrpurity") {
-			return
+			continue
 		}
-		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+		for _, callee := range cs.callees {
 			f, ok := pass.ImportObjectFact(callee)
 			if !ok {
 				continue
 			}
 			fact := f.(*MutFact)
-			if fact.Global != "" && next.Global == "" {
-				next.Global = fact.Global
-				next.GlobalChain = append([]string{self}, fact.GlobalChain...)
+			if fact.Global != "" && global() == "" {
+				n := ensure()
+				n.Global = fact.Global
+				n.GlobalChain = append([]string{self()}, fact.GlobalChain...)
+			}
+			if fact.Params == 0 {
+				continue
 			}
 			for j := 0; j < 32; j++ {
 				if fact.Params&(1<<j) == 0 {
@@ -192,26 +236,26 @@ func exportMutFact(pass *Pass, fi *mrFuncInfo) bool {
 					continue
 				}
 				for _, root := range fi.flow.Roots(fi.flow.rootVar(arg)) {
-					if packageLevel(root) && next.Global == "" {
-						next.Global = fmt.Sprintf("%s (package-level %s.%s)", fact.ParamDesc[j], pkgPathOf(root), root.Name())
-						next.GlobalChain = append([]string{self}, fact.ParamChain[j]...)
+					if packageLevel(root) && global() == "" {
+						n := ensure()
+						n.Global = fmt.Sprintf("%s (package-level %s.%s)", fact.ParamDesc[j], pkgPathOf(root), root.Name())
+						n.GlobalChain = append([]string{self()}, fact.ParamChain[j]...)
 					}
 					if k, ok := paramIndex(fi.fd.obj, root); ok {
-						if next.Params&(1<<k) == 0 {
-							next.Params |= 1 << k
-							next.ParamDesc[k] = fact.ParamDesc[j]
-							next.ParamChain[k] = append([]string{self}, fact.ParamChain[j]...)
+						if params()&(1<<k) == 0 {
+							n := ensure()
+							n.Params |= 1 << k
+							n.ParamDesc[k] = fact.ParamDesc[j]
+							n.ParamChain[k] = append([]string{self()}, fact.ParamChain[j]...)
 						}
 					}
 				}
 			}
 		}
-	})
-
-	if next.Params == 0 && next.Global == "" {
-		return false
 	}
-	if cur != nil && cur.Params == next.Params && cur.Global == next.Global {
+
+	// next is non-nil exactly when something new appeared this round.
+	if next == nil {
 		return false
 	}
 	pass.ExportObjectFact(fi.fd.obj, next)
@@ -291,11 +335,12 @@ func checkTaskPurity(pass *Pass, fi *mrFuncInfo, task taskFunc, all []taskFunc) 
 		}
 	}
 
-	eachCall(fi.fd.decl, func(call *ast.CallExpr) {
+	for _, cs := range callsOf(pass, fi.fd.decl) {
+		call := cs.call
 		if !inTask(call.Pos()) || fi.held[call.Pos()] {
-			return
+			continue
 		}
-		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+		for _, callee := range cs.callees {
 			f, ok := pass.ImportObjectFact(callee)
 			if !ok {
 				continue
@@ -332,9 +377,9 @@ func checkTaskPurity(pass *Pass, fi *mrFuncInfo, task taskFunc, all []taskFunc) 
 					"Map/Reduce task body calls %s, which performs an unsynchronized %s; parallel tasks race; chain: %s",
 					callee.FullName(), fact.Global, strings.Join(chain, " -> "))
 			}
-			return
+			break
 		}
-	})
+	}
 }
 
 // mutatesReferent reports whether a write of this kind through a

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ServeBudget enforces the serving-path budget on //falcon:hotpath
+// functions (freeze.go defines the directive): code that runs once per
+// point-match request — the future POST /match/one handler, the
+// Vectorizer's lock-free reads, the ID-encoded prefix-index probes — must
+// not, directly or through anything it calls,
+//
+//   - acquire a mutex (Lock/RLock on a sync lock carrier): the hot tier
+//     reads published snapshots, it does not contend;
+//   - perform a channel operation (send, receive, select, range over a
+//     channel): each one is a potential scheduling stall;
+//   - submit blocking crowd/mapreduce work (ctxflow's structural
+//     primitives): batch machinery has no place under a request;
+//   - allocate per call (`make`, map literals — hotalloc's rule,
+//     generalized from mapreduce task bodies to any annotated call tree).
+//
+// Every function exports a ServeFact listing the budget categories it
+// (transitively) violates, propagated to a fixpoint through the call
+// graph, so a lock taken three packages below the handler is reported at
+// the handler's call site with the chain down to the acquisition.
+//
+// A //falcon:allow servebudget at the primitive itself sanctions it
+// everywhere (a deliberately-amortized allocation stops tainting every
+// caller); an allow at a call site severs propagation through that one
+// edge. Stdlib internals export no facts and are treated as conforming.
+var ServeBudget = &Analyzer{
+	Name:  "servebudget",
+	Doc:   "verifies //falcon:hotpath functions transitively avoid lock acquisition, channel operations, blocking crowd/mapreduce submission, and per-call allocation",
+	Facts: true,
+	Run:   runServeBudget,
+}
+
+// serveAllCats is the saturation mask over the four budget categories
+// ("lock", "channel", "blocking", "alloc"); a function's fact stops
+// growing once it violates all of them.
+const serveAllCats = 0b1111
+
+// serveCatBit maps a budget category to its saturation-mask bit.
+func serveCatBit(cat string) uint8 {
+	switch cat {
+	case "lock":
+		return 1
+	case "channel":
+		return 2
+	case "blocking":
+		return 4
+	case "alloc":
+		return 8
+	}
+	return 0
+}
+
+// ServeViol is one budget violation a function transitively reaches.
+// Chain[0] is the function itself; the last entry is the function
+// containing the primitive Desc describes.
+type ServeViol struct {
+	Category string
+	Desc     string
+	Chain    []string
+}
+
+// ServeFact lists the budget categories a function (transitively)
+// violates, at most one witness per category.
+type ServeFact struct {
+	Viols []ServeViol
+}
+
+func (*ServeFact) AFact() {}
+
+// serveSite is one direct budget violation inside a function body.
+type serveSite struct {
+	cat  string
+	desc string
+	pos  token.Pos
+}
+
+func runServeBudget(pass *Pass) {
+	fns := declaredFuncs(pass)
+	direct := make([][]serveSite, len(fns))
+	for i, fd := range fns {
+		direct[i] = directServeSites(pass, fd.decl)
+	}
+
+	// Fixpoint: a function inherits each budget category its callees
+	// violate; categories only accumulate, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for i, fd := range fns {
+			if exportServeFact(pass, fd, direct[i]) {
+				changed = true
+			}
+		}
+	}
+
+	for i, fd := range fns {
+		if hasFalconDirective(fd.decl, "hotpath") {
+			reportHotpath(pass, fd, direct[i])
+		}
+	}
+}
+
+// directServeSites scans one declaration (nested literals included — their
+// work happens on behalf of the declaring function) for budget primitives.
+// An allow at the primitive sanctions it for callers too.
+func directServeSites(pass *Pass, decl *ast.FuncDecl) []serveSite {
+	var sites []serveSite
+	add := func(pos token.Pos, cat, desc string) {
+		if pass.Allowed(pos, "servebudget") {
+			return
+		}
+		sites = append(sites, serveSite{cat: cat, desc: desc, pos: pos})
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if recv, op, ok := lockOpOf(pass, n); ok {
+				if op == "Lock" || op == "RLock" {
+					add(n.Pos(), "lock", fmt.Sprintf("acquires %s.%s()", render(pass.Fset, recv), op))
+				}
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pass.Info, id) {
+				if isMapType(pass.Info.TypeOf(n)) {
+					add(n.Pos(), "alloc", "allocates a map per call")
+				} else {
+					add(n.Pos(), "alloc", "allocates with make per call")
+				}
+				return true
+			}
+			for _, callee := range pass.Graph.Callees(pass.Info, n) {
+				if isBlockingPrimitive(callee) {
+					add(n.Pos(), "blocking", fmt.Sprintf("submits blocking work via %s", callee.FullName()))
+					break
+				}
+			}
+		case *ast.CompositeLit:
+			if isMapType(pass.Info.TypeOf(n)) {
+				add(n.Pos(), "alloc", "allocates a map per call")
+			}
+		case *ast.SendStmt:
+			add(n.Pos(), "channel", "sends on a channel")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(n.Pos(), "channel", "receives from a channel")
+			}
+		case *ast.SelectStmt:
+			add(n.Pos(), "channel", "blocks in a select")
+		case *ast.RangeStmt:
+			if isChanType(pass.Info.TypeOf(n.X)) {
+				add(n.Pos(), "channel", "ranges over a channel")
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// exportServeFact merges one function's direct and call-derived budget
+// violations into the facts store, reporting whether anything new
+// appeared. An allow at a call site severs propagation through that edge.
+// The no-change round — the overwhelmingly common one across the fixpoint
+// — allocates nothing.
+func exportServeFact(pass *Pass, fd funcWithDecl, direct []serveSite) bool {
+	var cur *ServeFact
+	if f, ok := pass.ImportObjectFact(fd.obj); ok {
+		cur = f.(*ServeFact)
+	}
+	var mask uint8
+	if cur != nil {
+		for _, v := range cur.Viols {
+			mask |= serveCatBit(v.Category)
+		}
+	}
+	if mask == serveAllCats {
+		return false
+	}
+
+	selfName := ""
+	self := func() string {
+		if selfName == "" {
+			selfName = fd.obj.FullName()
+		}
+		return selfName
+	}
+	var added []ServeViol
+
+	for _, s := range direct {
+		b := serveCatBit(s.cat)
+		if mask&b != 0 {
+			continue
+		}
+		mask |= b
+		added = append(added, ServeViol{Category: s.cat, Desc: s.desc, Chain: []string{self()}})
+	}
+	for _, cs := range callsOf(pass, fd.decl) {
+		if mask == serveAllCats {
+			break
+		}
+		if pass.Allowed(cs.call.Pos(), "servebudget") {
+			continue
+		}
+		for _, callee := range cs.callees {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			for _, v := range f.(*ServeFact).Viols {
+				b := serveCatBit(v.Category)
+				if mask&b != 0 {
+					continue
+				}
+				mask |= b
+				added = append(added, ServeViol{
+					Category: v.Category,
+					Desc:     v.Desc,
+					Chain:    append([]string{self()}, v.Chain...),
+				})
+			}
+		}
+	}
+
+	if len(added) == 0 {
+		return false
+	}
+	var viols []ServeViol
+	if cur != nil {
+		viols = append(viols, cur.Viols...)
+	}
+	pass.ExportObjectFact(fd.obj, &ServeFact{Viols: append(viols, added...)})
+	return true
+}
+
+// reportHotpath reports every budget violation a //falcon:hotpath function
+// reaches: direct primitives at their own positions (each needs its own
+// allow), call-derived ones at the call with the chain down to the
+// primitive.
+func reportHotpath(pass *Pass, fd funcWithDecl, direct []serveSite) {
+	for _, s := range direct {
+		pass.Reportf(s.pos,
+			"hot path %s; //falcon:hotpath functions must stay lock-free, channel-free, submission-free, and allocation-free",
+			s.desc)
+	}
+	for _, cs := range callsOf(pass, fd.decl) {
+		for _, callee := range cs.callees {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			for _, v := range f.(*ServeFact).Viols {
+				chain := append([]string{fd.obj.FullName()}, v.Chain...)
+				chain = append(chain, v.Desc)
+				pass.ReportChain(cs.call.Pos(), chain,
+					"hot path calls %s, which transitively %s; chain: %s",
+					callee.FullName(), v.Desc, strings.Join(chain, " -> "))
+			}
+			break
+		}
+	}
+}

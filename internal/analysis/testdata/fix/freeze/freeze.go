@@ -1,0 +1,18 @@
+// Package freeze is the clone-then-swap golden fixture: in-place map
+// updates after an atomic publication, each rewritten by immutpublish's
+// SuggestedFix into an independent copy-on-write block.
+package freeze
+
+import (
+	"sync/atomic"
+)
+
+var cell atomic.Pointer[map[string]int]
+
+// publish builds and publishes the table, then patches it in place twice.
+func publish() {
+	m := map[string]int{"a": 1}
+	cell.Store(&m)
+	m["b"] = 2
+	m["c"] = 3
+}

@@ -1,0 +1,21 @@
+// Package frzapp is the requested half of the cross-package freeze
+// fixture: it publishes a map through an atomic pointer and then hands it
+// to a sibling-package helper that mutates it. Per-package analysis sees a
+// pure call; the FreezeFact flowing back from frzlib convicts it.
+package frzapp
+
+import (
+	"sync/atomic"
+
+	"fixture/freezemulti/frzlib"
+)
+
+var counts atomic.Pointer[map[string]int]
+
+// Publish builds and publishes the counters, then patches them through the
+// helper — a race with every lock-free reader of the cell.
+func Publish() {
+	m := map[string]int{}
+	counts.Store(&m)
+	frzlib.Record(m, "boot") // want `passes published "m" \(atomic store at .*\) to fixture/freezemulti/frzlib\.Record, which performs a map write through its parameter m`
+}

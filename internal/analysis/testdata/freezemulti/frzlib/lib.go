@@ -1,0 +1,10 @@
+// Package frzlib is the helper half of the cross-package freeze fixture:
+// the mutation immutpublish must chase lives here, one package away from
+// the publication, where the per-package view provably cannot see it.
+package frzlib
+
+// Record counts a key in the caller's map — a write through its parameter,
+// summarized in the exported FreezeFact.
+func Record(m map[string]int, k string) {
+	m[k]++
+}

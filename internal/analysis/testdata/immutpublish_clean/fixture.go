@@ -1,0 +1,55 @@
+// Package immutok holds the publish-then-freeze idioms immutpublish must
+// accept: build-then-publish, clone-then-swap, name rebinding, and writes
+// to state unrelated to any publication.
+package immutok
+
+import (
+	"maps"
+	"sync/atomic"
+)
+
+type registry struct {
+	ptr atomic.Pointer[map[string]int]
+}
+
+// buildThenPublish writes only before publishing — the idiom the analyzer
+// exists to protect.
+func buildThenPublish(r *registry) {
+	m := map[string]int{}
+	m["seed"] = 1
+	m["more"] = 2
+	r.ptr.Store(&m)
+}
+
+// cloneThenSwap is the sanctioned copy-on-write update (and the exact
+// shape the analyzer's SuggestedFix rewrites violations into): the clone
+// is a fresh region, written before its own publication.
+func cloneThenSwap(r *registry, k string, v int) {
+	next := maps.Clone(*r.ptr.Load())
+	next[k] = v
+	r.ptr.Store(&next)
+}
+
+// rebind re-points the name after a send; the published region itself is
+// untouched.
+func rebind(ch chan []int) {
+	s := []int{1}
+	ch <- s
+	s = []int{2}
+	_ = s
+}
+
+// unrelated writes to a different region after an unrelated publication.
+func unrelated(r *registry) {
+	m := map[string]int{}
+	other := map[string]int{}
+	r.ptr.Store(&m)
+	other["x"] = 1
+	_ = other
+}
+
+// reader only loads and reads; no writes anywhere.
+func reader(r *registry) int {
+	m := *r.ptr.Load()
+	return m["seed"]
+}

@@ -1,0 +1,82 @@
+// Package immutfix seeds every post-publication mutation the immutpublish
+// analyzer must catch: writes after an atomic store, after a channel send,
+// after an atomic load (the reader half), and after a //falcon:frozen
+// constructor call, plus a mutation hidden behind a same-package helper.
+package immutfix
+
+import "sync/atomic"
+
+type registry struct {
+	ptr atomic.Pointer[map[string]int]
+}
+
+// storeThenWrite is the mechanical violation: the single-pair map update
+// after the Store carries the clone-then-swap SuggestedFix.
+func storeThenWrite(r *registry) {
+	m := map[string]int{}
+	m["seed"] = 1 // building before publication is the sanctioned idiom
+	r.ptr.Store(&m)
+	m["late"] = 2 // want `map write to published "m" after atomic store`
+}
+
+func sliceAfterSend(ch chan []int) {
+	s := []int{1, 2}
+	ch <- s
+	s[0] = 9 // want `element write to published "s" after channel send`
+}
+
+func appendAfterSend(ch chan []int) {
+	s := make([]int, 0, 4)
+	ch <- s
+	s = append(s, 1) // want `append to published "s" after channel send`
+	_ = s
+}
+
+type box struct{ n int }
+
+func pointerAfterStore(p *atomic.Pointer[box]) {
+	b := &box{n: 1}
+	p.Store(b)
+	b.n = 2 // want `pointer store to published "b" after atomic store`
+}
+
+// loadThenWrite mutates somebody else's published state: a loaded value is
+// frozen on the reader side too.
+func loadThenWrite(p *atomic.Pointer[map[string]int]) {
+	m := *p.Load()
+	m["x"] = 1 // want `map write to published "m" after atomic load`
+}
+
+// valueCellStore goes through atomic.Value; no fix is offered (its Load
+// returns any), but the diagnostic must still fire.
+func valueCellStore(v *atomic.Value) {
+	m := map[string]int{}
+	v.Store(m)
+	m["x"] = 1 // want `map write to published "m" after atomic store`
+}
+
+// newConfig is a frozen constructor: its result is published at every call
+// site.
+//
+//falcon:frozen
+func newConfig() map[string]int {
+	return map[string]int{"a": 1}
+}
+
+func frozenCtorResult() map[string]int {
+	cfg := newConfig()
+	cfg["b"] = 2 // want `map write to published "cfg" after frozen constructor result`
+	return cfg
+}
+
+// bump is an innocent-looking helper; passing published state to it is the
+// violation, reported at the call with the chain down to the write.
+func bump(m map[string]int) {
+	m["n"]++
+}
+
+func helperAfterStore(r *registry) {
+	m := map[string]int{}
+	r.ptr.Store(&m)
+	bump(m) // want `passes published "m" \(atomic store at .*\) to fixture/immutpublish_flagged\.bump, which performs a map write through its parameter m`
+}

@@ -1,0 +1,57 @@
+// Package serveok holds the shapes servebudget must accept: pure reads and
+// arithmetic on hot paths, unannotated code locking freely, an amortized
+// allocation sanctioned at its seed, and a cold-start edge sanctioned at
+// the call site.
+package serveok
+
+import "sync"
+
+//falcon:hotpath
+func lookup(m map[string]int, k string) int {
+	return m[k]
+}
+
+//falcon:hotpath
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// update is not annotated: batch code locks and allocates freely.
+func (s *store) update(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = map[string]int{}
+	}
+	s.m[k]++
+}
+
+// amortized grows its buffer only past the high-water mark; the allow at
+// the seed sanctions it for every hot caller.
+func amortized(buf []int, n int) []int {
+	if cap(buf) < n {
+		//falcon:allow servebudget amortized growth to the high-water mark
+		buf = make([]int, n)
+	}
+	return buf[:n]
+}
+
+//falcon:hotpath
+func usesAmortized(buf []int, n int) []int {
+	return amortized(buf, n)
+}
+
+//falcon:hotpath
+func coldStartEdge(s *store, k string) {
+	//falcon:allow servebudget cold start only; steady state takes the lock-free path
+	s.update(k)
+}

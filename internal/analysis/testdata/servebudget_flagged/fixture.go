@@ -1,0 +1,80 @@
+// Package servefix seeds every serving-budget violation: direct lock
+// acquisition, channel operations in all four shapes, per-call allocation,
+// blocking mapreduce submission, and a lock hidden behind a same-package
+// helper.
+package servefix
+
+import (
+	"sync"
+
+	"falcon/internal/mapreduce"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	stats map[string]int
+}
+
+//falcon:hotpath
+func (s *server) lockOnHot() int {
+	s.mu.Lock() // want `hot path acquires s\.mu\.Lock\(\)`
+	defer s.mu.Unlock()
+	return s.stats["x"]
+}
+
+//falcon:hotpath
+func (s *server) rlockOnHot() int {
+	s.rw.RLock() // want `hot path acquires s\.rw\.RLock\(\)`
+	defer s.rw.RUnlock()
+	return s.stats["x"]
+}
+
+//falcon:hotpath
+func sendOnHot(ch chan int, v int) {
+	ch <- v // want `hot path sends on a channel`
+}
+
+//falcon:hotpath
+func recvOnHot(ch chan int) int {
+	return <-ch // want `hot path receives from a channel`
+}
+
+//falcon:hotpath
+func rangeOnHot(ch chan int) int {
+	t := 0
+	for v := range ch { // want `hot path ranges over a channel`
+		t += v
+	}
+	return t
+}
+
+//falcon:hotpath
+func makeOnHot(n int) []int {
+	return make([]int, n) // want `hot path allocates with make per call`
+}
+
+//falcon:hotpath
+func mapLitOnHot() map[string]int {
+	return map[string]int{"a": 1} // want `hot path allocates a map per call`
+}
+
+//falcon:hotpath
+func submitOnHot(c *mapreduce.Cluster, job mapreduce.Job[int, string, int32, int32]) {
+	// The direct submission plus everything Run's own ServeFact carries:
+	// the executor allocates, sends on channels, and chains into Execute.
+	_, _ = mapreduce.Run(c, job) // want `hot path submits blocking work via falcon/internal/mapreduce\.Run` `transitively allocates with make per call` `transitively sends on a channel` `transitively submits blocking work via falcon/internal/mapreduce\.Execute`
+}
+
+// helperLock buries the acquisition one call down; the hot path is flagged
+// at its call site with the chain to the lock.
+func (s *server) helperLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats["y"]++
+}
+
+//falcon:hotpath
+func (s *server) transitiveLock() {
+	s.helperLock() // want `hot path calls .*helperLock, which transitively acquires s\.mu\.Lock\(\); chain: .*transitiveLock -> .*helperLock -> acquires s\.mu\.Lock\(\)`
+}

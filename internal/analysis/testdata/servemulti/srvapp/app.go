@@ -1,0 +1,13 @@
+// Package srvapp is the requested half of the cross-package servebudget
+// fixture: the annotated hot path looks clean in isolation; the ServeFact
+// flowing back from srvlib carries the lock acquisition to its call site.
+package srvapp
+
+import "fixture/servemulti/srvlib"
+
+// Serve is on the point-match path; the lock hides one package away.
+//
+//falcon:hotpath
+func Serve(k string) int {
+	return srvlib.LookupSlow(k) // want `hot path calls fixture/servemulti/srvlib\.LookupSlow, which transitively acquires mu\.Lock\(\); chain: fixture/servemulti/srvapp\.Serve -> fixture/servemulti/srvlib\.LookupSlow -> acquires mu\.Lock\(\)`
+}

@@ -1,0 +1,15 @@
+// Package srvlib is the helper half of the cross-package servebudget
+// fixture: the lock acquisition the hot path must not reach lives here.
+package srvlib
+
+import "sync"
+
+var mu sync.Mutex
+var shared = map[string]int{}
+
+// LookupSlow consults the shared table under the package lock.
+func LookupSlow(k string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return shared[k]
+}

@@ -84,8 +84,8 @@ func runTransDeterminism(pass *Pass) {
 	// Report every call site whose callee carries a fact. The source line
 	// itself is determinism's diagnostic; these are its shadows in callers.
 	for _, fd := range fns {
-		eachCall(fd.decl, func(call *ast.CallExpr) {
-			for _, callee := range pass.Graph.Callees(pass.Info, call) {
+		for _, cs := range callsOf(pass, fd.decl) {
+			for _, callee := range cs.callees {
 				f, ok := pass.ImportObjectFact(callee)
 				if !ok {
 					continue
@@ -93,12 +93,12 @@ func runTransDeterminism(pass *Pass) {
 				fact := f.(*ReachFact)
 				chain := append([]string{fd.obj.FullName()}, fact.Chain...)
 				chain = append(chain, fact.Source)
-				pass.ReportChain(call.Pos(), chain,
+				pass.ReportChain(cs.call.Pos(), chain,
 					"call to %s transitively reaches %s; chain: %s",
 					callee.FullName(), fact.Source, strings.Join(chain, " -> "))
-				return
+				break
 			}
-		})
+		}
 	}
 }
 
@@ -208,17 +208,15 @@ func functionBodies(decl *ast.FuncDecl) []*ast.BlockStmt {
 // factCall finds the first call in the declaration whose callee carries a
 // ReachFact, honoring per-edge transdeterminism allows.
 func factCall(pass *Pass, decl *ast.FuncDecl) *ReachFact {
-	var found *ReachFact
-	eachCall(decl, func(call *ast.CallExpr) {
-		if found != nil || pass.Allowed(call.Pos(), "transdeterminism") {
-			return
+	for _, cs := range callsOf(pass, decl) {
+		if pass.Allowed(cs.call.Pos(), "transdeterminism") {
+			continue
 		}
-		for _, callee := range pass.Graph.Callees(pass.Info, call) {
+		for _, callee := range cs.callees {
 			if f, ok := pass.ImportObjectFact(callee); ok {
-				found = f.(*ReachFact)
-				return
+				return f.(*ReachFact)
 			}
 		}
-	})
-	return found
+	}
+	return nil
 }

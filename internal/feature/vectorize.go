@@ -330,6 +330,8 @@ func (v *Vectorizer) Vector(p table.Pair) Vector {
 
 // VectorScratch is Vector with caller-provided simfn scratch, for hot loops
 // that hold one scratch per worker or task.
+//
+//falcon:hotpath
 func (v *Vectorizer) VectorScratch(p table.Pair, s *simfn.Scratch) Vector {
 	return v.vector(p, v.Set.Features, nil, s)
 }
@@ -345,6 +347,8 @@ func (v *Vectorizer) BlockingVector(p table.Pair) Vector {
 
 // BlockingVectorScratch is BlockingVector with caller-provided scratch.
 // After Warm it performs exactly one allocation: the Values slice.
+//
+//falcon:hotpath
 func (v *Vectorizer) BlockingVectorScratch(p table.Pair, s *simfn.Scratch) Vector {
 	return v.vector(p, v.Set.Features, v.Set.BlockingIdx, s)
 }
@@ -354,6 +358,7 @@ func (v *Vectorizer) vector(p table.Pair, feats []Feature, idx []int, s *simfn.S
 	if idx != nil {
 		n = len(idx)
 	}
+	//falcon:allow servebudget the documented single Values allocation per vector
 	out := Vector{Pair: p, Values: make([]float64, n)}
 	for i := 0; i < n; i++ {
 		f := &feats[i]
@@ -373,10 +378,17 @@ func (v *Vectorizer) EvalFeature(f *Feature, p table.Pair) float64 {
 	return out
 }
 
+// evalCached computes one feature on pair p from the published column
+// bundles: an atomic Load of the frozen featCols, then pure arithmetic
+// over pre-tokenized IDs and pre-normalized strings.
+//
+//falcon:hotpath
 func (v *Vectorizer) evalCached(f *Feature, p table.Pair, s *simfn.Scratch) float64 {
 	if v.Reference {
+		//falcon:allow servebudget retired reference path, enabled only by golden equivalence tests, never when serving
 		return v.evalReference(f, p)
 	}
+	//falcon:allow servebudget cold-path column build under the write lock; Warm() pre-builds every bundle so serving always takes the atomic Load fast path
 	fc := v.featData(f)
 	switch {
 	case f.Measure.NumericBased():
@@ -393,8 +405,10 @@ func (v *Vectorizer) evalCached(f *Feature, p table.Pair, s *simfn.Scratch) floa
 		return s.MongeElkan(fc.tokA[p.A], fc.tokB[p.B])
 	case f.Measure.CorpusBased():
 		if f.Measure == simfn.MTFIDF {
+			//falcon:allow servebudget corpus measures still build a tf map per pair; known serving debt, tracked in ROADMAP item 1
 			return f.corpus.TFIDF(fc.tokA[p.A], fc.tokB[p.B])
 		}
+		//falcon:allow servebudget corpus measures still build a tf map per pair; known serving debt, tracked in ROADMAP item 1
 		return f.corpus.SoftTFIDF(fc.tokA[p.A], fc.tokB[p.B])
 	default:
 		return f.evalStringsScratch(fc.normA[p.A], fc.normB[p.B], s)

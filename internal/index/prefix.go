@@ -237,6 +237,7 @@ func (idx *PrefixIndex) finishProbe(s *probeScratch) []int32 {
 	var cands []int32
 	if len(s.cands) > 0 {
 		slices.Sort(s.cands)
+		//falcon:allow servebudget the single exactly-sized result slice per probe; dedup bitmap and accumulator come from the pool
 		cands = make([]int32, len(s.cands))
 		copy(cands, s.cands)
 	}
@@ -282,6 +283,8 @@ func (idx *PrefixIndex) Probe(m simfn.Measure, threshold float64, value string) 
 // still cost one lookup each, exactly like the string path. ProbeIDs
 // requires an index without extension tokens (see hasExtension); the
 // registry guarantees that by falling back to Probe.
+//
+//falcon:hotpath
 func (idx *PrefixIndex) ProbeIDs(m simfn.Measure, threshold float64, ids []uint32) (cands []int32, probes int64) {
 	idx.checkThreshold(threshold)
 	ly := len(ids)

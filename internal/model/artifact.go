@@ -1,0 +1,61 @@
+package model
+
+import (
+	"maps"
+
+	"falcon/internal/forest"
+	"falcon/internal/rules"
+	"falcon/internal/tokenize"
+)
+
+// ArtifactVersion is bumped on breaking changes to the serving-artifact
+// layout, independently of the trained-model format (Version).
+const ArtifactVersion = 1
+
+// MatcherArtifact is the frozen serving contract: everything the
+// point-match path (the future POST /match/one handler) reads per
+// request, assembled once at load time and published through an
+// atomic.Pointer[MatcherArtifact]. Readers take no lock, so nothing
+// reachable from an artifact may ever be written after construction —
+// the //falcon:frozen directive on NewMatcherArtifact puts every call
+// site under the immutpublish analyzer, and a model swap replaces the
+// whole artifact (clone-then-swap), never patches one in place.
+type MatcherArtifact struct {
+	// Version is the artifact layout version (ArtifactVersion).
+	Version int
+	// FeatureNames is the feature-space signature in vector order; a
+	// request-time vectorizer must bind to exactly this space.
+	FeatureNames []string
+	// BlockingIdx indexes the blocking-feature subspace.
+	BlockingIdx []int
+	// RuleSeq and ClauseSel are the learned blocking-rule sequence and its
+	// per-rule sample selectivities.
+	RuleSeq   []rules.Rule
+	ClauseSel []float64
+	// Matcher is the matching-stage forest. Forests are immutable after
+	// Train, so the artifact shares the reference.
+	Matcher *forest.Forest
+	// Dicts references the frequency-ordered token dictionaries, keyed by
+	// attribute correspondence (see index.Ordering), so probe values can be
+	// ID-encoded for the allocation-free ProbeIDs path.
+	Dicts map[string]*tokenize.Dict
+}
+
+// NewMatcherArtifact assembles the serving artifact from a trained model
+// and the token dictionaries its probe path needs. Slice spines and the
+// dictionary map are copied, so later mutation of the inputs cannot reach
+// the artifact; the forest and the dictionaries themselves are shared
+// (both are immutable once built).
+//
+//falcon:frozen
+func NewMatcherArtifact(m *Model, dicts map[string]*tokenize.Dict) *MatcherArtifact {
+	return &MatcherArtifact{
+		Version:      ArtifactVersion,
+		FeatureNames: append([]string(nil), m.FeatureNames...),
+		BlockingIdx:  append([]int(nil), m.BlockingIdx...),
+		RuleSeq:      append([]rules.Rule(nil), m.RuleSeq...),
+		ClauseSel:    append([]float64(nil), m.ClauseSel...),
+		Matcher:      m.Matcher,
+		Dicts:        maps.Clone(dicts),
+	}
+}

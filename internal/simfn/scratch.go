@@ -44,6 +44,7 @@ func appendRunes(dst []rune, str string) []rune {
 
 func growInts(buf []int, n int) []int {
 	if cap(buf) < n {
+		//falcon:allow servebudget amortized scratch growth to the high-water mark; steady-state serving reuses the buffer
 		return make([]int, n)
 	}
 	return buf[:n]
@@ -51,6 +52,7 @@ func growInts(buf []int, n int) []int {
 
 func growFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
+		//falcon:allow servebudget amortized scratch growth to the high-water mark; steady-state serving reuses the buffer
 		return make([]float64, n)
 	}
 	return buf[:n]
@@ -58,6 +60,7 @@ func growFloats(buf []float64, n int) []float64 {
 
 func growBools(buf []bool, n int) []bool {
 	if cap(buf) < n {
+		//falcon:allow servebudget amortized scratch growth to the high-water mark; steady-state serving reuses the buffer
 		return make([]bool, n)
 	}
 	buf = buf[:n]
