@@ -31,13 +31,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/...
+	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/... ./internal/serve/...
 
 # bench records the executor worker-pool benchmark (speedup needs >1 CPU),
 # the blocking hot-path benchmarks (dictionary ID path vs the retired
-# string reference path), and the falcon-vet whole-tree benchmark (the
+# string reference path), the falcon-vet whole-tree benchmark (the
 # pre-flow suite, the flow-sensitive layer, the publish-then-freeze layer,
-# and all thirteen analyzers over the module, loading amortized).
+# and all thirteen analyzers over the module, loading amortized), and the
+# serving point-lookup benchmark (QPS, p99 latency, allocs per request).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
 		./internal/mapreduce/ > BENCH_executor.json
@@ -48,3 +49,6 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkVetTree$$' -benchmem -json \
 		./internal/analysis/ > BENCH_vet.json
 	@echo "wrote BENCH_vet.json"
+	$(GO) test -run '^$$' -bench 'BenchmarkServeMatchOne$$' -benchmem -json \
+		./internal/serve/ > BENCH_serve.json
+	@echo "wrote BENCH_serve.json"

@@ -14,6 +14,17 @@
 //
 //	falcon -a dblp.csv -b citeseer.csv -oracle-key paper_id -budget 300 \
 //	       -out matches.csv
+//
+// The train/serve split runs the same pipeline in two phases:
+//
+//	falcon train -a dblp.csv -b citeseer.csv -oracle-key paper_id \
+//	             -out matcher.falcon
+//	falcon serve -artifact matcher.falcon -addr :8080
+//	curl -d '{"record": {"title": "..."}}' http://localhost:8080/match/one
+//
+// train pays the crowd once and freezes everything matching needs into a
+// versioned artifact file; serve loads it and answers point lookups with no
+// crowd, no training, and no locks on the hot path.
 package main
 
 import (
@@ -22,16 +33,33 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"falcon"
 	"falcon/internal/metrics"
+	"falcon/internal/model"
+	"falcon/internal/service"
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "train":
+			err = runTrain(os.Args[2:])
+		case "serve":
+			err = runServe(os.Args[2:])
+		default:
+			err = fmt.Errorf("unknown subcommand %q (want train or serve; flat flags run a one-shot batch match)", os.Args[1])
+		}
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "falcon:", err)
 		os.Exit(1)
 	}
@@ -74,23 +102,9 @@ func run() error {
 	}
 	fmt.Printf("A: %s (%d rows), B: %s (%d rows)\n", a.Name(), a.Len(), b.Name(), b.Len())
 
-	var labeler falcon.Labeler
-	var opts []falcon.Option
-	switch {
-	case *interactive:
-		labeler = &stdinLabeler{in: bufio.NewScanner(os.Stdin), aCols: a.Columns(), bCols: b.Columns()}
-		opts = append(opts, falcon.WithInHouseCrowd(0))
-	default:
-		aKey, bKey := colIndex(a.Columns(), *oracleKey), colIndex(b.Columns(), *oracleKey)
-		if aKey < 0 || bKey < 0 {
-			return fmt.Errorf("oracle key %q missing from a table", *oracleKey)
-		}
-		labeler = falcon.LabelerFunc(func(ar, br []string) bool {
-			av := strings.TrimSpace(strings.ToLower(ar[aKey]))
-			bv := strings.TrimSpace(strings.ToLower(br[bKey]))
-			return av != "" && av == bv
-		})
-		opts = append(opts, falcon.WithCrowdErrorRate(*errorRate))
+	labeler, opts, err := buildCrowd(a, b, *oracleKey, *interactive, *errorRate)
+	if err != nil {
+		return err
 	}
 
 	opts = append(opts,
@@ -152,6 +166,137 @@ func run() error {
 		fmt.Printf("matches written to %s\n", *outPath)
 	}
 	return nil
+}
+
+// buildCrowd wires up the labeler and crowd options shared by the batch and
+// train modes: either the interactive crowd-of-one or the key-column oracle.
+func buildCrowd(a, b *falcon.Table, oracleKey string, interactive bool, errorRate float64) (falcon.Labeler, []falcon.Option, error) {
+	if interactive {
+		labeler := &stdinLabeler{in: bufio.NewScanner(os.Stdin), aCols: a.Columns(), bCols: b.Columns()}
+		return labeler, []falcon.Option{falcon.WithInHouseCrowd(0)}, nil
+	}
+	if oracleKey == "" {
+		return nil, nil, fmt.Errorf("choose a crowd: -oracle-key <col> or -interactive")
+	}
+	aKey, bKey := colIndex(a.Columns(), oracleKey), colIndex(b.Columns(), oracleKey)
+	if aKey < 0 || bKey < 0 {
+		return nil, nil, fmt.Errorf("oracle key %q missing from a table", oracleKey)
+	}
+	labeler := falcon.LabelerFunc(func(ar, br []string) bool {
+		av := strings.TrimSpace(strings.ToLower(ar[aKey]))
+		bv := strings.TrimSpace(strings.ToLower(br[bKey]))
+		return av != "" && av == bv
+	})
+	return labeler, []falcon.Option{falcon.WithCrowdErrorRate(errorRate)}, nil
+}
+
+// runTrain is the train phase: run the full crowd workflow once and freeze
+// the learned matcher plus everything serving needs into an artifact file.
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("falcon train", flag.ExitOnError)
+	var (
+		aPath       = fs.String("a", "", "CSV file for table A (required)")
+		bPath       = fs.String("b", "", "CSV file for table B (required)")
+		oracleKey   = fs.String("oracle-key", "", "column whose equality defines ground truth (simulation mode)")
+		interactive = fs.Bool("interactive", false, "answer match questions yourself on stdin")
+		errorRate   = fs.Float64("error-rate", 0, "simulated crowd error rate (0..1)")
+		budget      = fs.Float64("budget", 0, "crowd budget in dollars")
+		seed        = fs.Int64("seed", 1, "random seed")
+		sampleN     = fs.Int("sample", 0, "sample_pairs size (0 = 1M default)")
+		maxIter     = fs.Int("max-iter", 30, "active-learning iteration cap")
+		outPath     = fs.String("out", "matcher.falcon", "artifact output file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *aPath == "" || *bPath == "" {
+		fs.Usage()
+		return fmt.Errorf("train: both -a and -b are required")
+	}
+	a, err := falcon.ReadCSVFile(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := falcon.ReadCSVFile(*bPath)
+	if err != nil {
+		return err
+	}
+	labeler, opts, err := buildCrowd(a, b, *oracleKey, *interactive, *errorRate)
+	if err != nil {
+		return err
+	}
+	opts = append(opts,
+		falcon.WithSeed(*seed),
+		falcon.WithBudget(*budget),
+		falcon.WithMaxIterations(*maxIter),
+	)
+	if *sampleN > 0 {
+		opts = append(opts, falcon.WithSampleSize(*sampleN))
+	}
+	report, err := falcon.Match(a, b, labeler, opts...)
+	if err != nil {
+		return err
+	}
+	if !report.HasArtifact() {
+		return fmt.Errorf("train: run learned no matcher; nothing to save")
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := report.SaveArtifact(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d×%d rows: %d matches, crowd $%.2f for %d questions\n",
+		a.Len(), b.Len(), len(report.Matches), report.CrowdCost, report.Questions)
+	fmt.Printf("artifact written to %s (%d bytes)\n", *outPath, st.Size())
+	return nil
+}
+
+// runServe is the serve phase: load a frozen artifact and answer
+// POST /match/one point lookups over HTTP — no crowd, no training.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("falcon serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		artPath = fs.String("artifact", "", "artifact file written by `falcon train` (optional; server starts empty and accepts PUT /artifacts/current)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := service.New()
+	if *artPath != "" {
+		f, err := os.Open(*artPath)
+		if err != nil {
+			return err
+		}
+		art, err := model.LoadArtifact(f)
+		_ = f.Close() // read-only; LoadArtifact already saw every byte
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", *artPath, err)
+		}
+		if err := srv.Publish(art); err != nil {
+			return fmt.Errorf("publishing %s: %w", *artPath, err)
+		}
+		log.Printf("published artifact %s", *artPath)
+	} else {
+		log.Printf("no -artifact given; waiting for PUT /artifacts/current")
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("falcon serving on %s (POST /match/one)", *addr)
+	return hs.ListenAndServe()
 }
 
 func colIndex(cols []string, name string) int {

@@ -2,12 +2,19 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/csv"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"falcon"
+	"falcon/internal/datagen"
+	"falcon/internal/model"
+	"falcon/internal/serve"
+	"falcon/internal/table"
 )
 
 func TestColIndex(t *testing.T) {
@@ -37,6 +44,72 @@ func TestWriteMatches(t *testing.T) {
 	want := "a_row,b_row,a_x,b_y\n0,0,va,vb"
 	if got != want {
 		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+// writeSongsCSV writes a datagen table plus a hidden match_key oracle
+// column to a CSV file and returns its path.
+func writeSongsCSV(t *testing.T, dir, name string, src *table.Table, key func(row int) string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(append(append([]string(nil), src.Schema.Names()...), "match_key")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Len(); i++ {
+		if err := w.Write(append(append([]string(nil), src.Tuples[i].Values...), key(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTrainWritesLoadableArtifact runs the train subcommand end to end and
+// checks the artifact file it writes resolves into a serving bundle that
+// answers a point lookup.
+func TestTrainWritesLoadableArtifact(t *testing.T) {
+	d := datagen.Songs(60, 42)
+	dir := t.TempDir()
+	aPath := writeSongsCSV(t, dir, "a.csv", d.A, func(i int) string { return fmt.Sprintf("k%d", i) })
+	bPath := writeSongsCSV(t, dir, "b.csv", d.B, func(i int) string {
+		for p := range d.Truth {
+			if p.B == i {
+				return fmt.Sprintf("k%d", p.A)
+			}
+		}
+		return fmt.Sprintf("b%d", i)
+	})
+	artPath := filepath.Join(dir, "matcher.falcon")
+
+	err := runTrain([]string{"-a", aPath, "-b", bPath, "-oracle-key", "match_key", "-seed", "2", "-out", artPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := model.LoadArtifact(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := serve.NewBundle(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := append(append([]string(nil), d.A.Tuples[0].Values...), "k0")
+	if _, err := bn.MatchOne(rec); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,102 @@
+// Serving: train once, freeze the matcher, answer point lookups forever.
+//
+// The batch pipeline answers "match table A to table B" in one crowd-paid
+// run. A deployed EM service gets a different question shape: "here is ONE
+// record — which B rows match it, right now?" This example runs the
+// hands-off pipeline on the Songs workload, freezes the result into a
+// serving artifact (the same versioned binary `falcon train -out` writes),
+// resolves it into a lock-free serving bundle (what `falcon serve` does at
+// boot), and answers point lookups with no crowd and no retraining.
+//
+// Run: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"falcon"
+	"falcon/internal/datagen"
+	"falcon/internal/model"
+	"falcon/internal/serve"
+	"falcon/internal/table"
+)
+
+func main() {
+	d := datagen.Songs(300, 7)
+	fmt.Printf("Catalog: |A|=|B|=%d songs, %d true duplicates\n", d.A.Len(), d.Matches())
+
+	// Phase 1 — train: the full crowd workflow, paid once.
+	report, err := falcon.Match(falcon.WrapTable(d.A), falcon.WrapTable(d.B), labelerFor(d),
+		falcon.WithSeed(2),
+		falcon.WithSampleSize(6000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !report.HasArtifact() {
+		log.Fatal("run learned no matcher")
+	}
+	fmt.Printf("Trained: %d batch matches, crowd cost $%.2f (%d questions)\n",
+		len(report.Matches), report.CrowdCost, report.Questions)
+
+	// Freeze everything matching needs into one artifact. A deployment
+	// writes this to a file (`falcon train -out matcher.falcon`); here it
+	// stays in memory.
+	var artifact bytes.Buffer
+	if err := report.SaveArtifact(&artifact); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Artifact: %d bytes (model + frozen B table + dictionaries + indexes)\n", artifact.Len())
+
+	// Phase 2 — serve: load the artifact and resolve it into a bundle.
+	// This is what `falcon serve -artifact matcher.falcon` does at boot;
+	// requests then share the bundle lock-free.
+	art, err := model.LoadArtifact(bytes.NewReader(artifact.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := serve.NewBundle(art)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Point lookups: one record in, matching B rows + scores out. Over
+	// HTTP this is POST /match/one with {"record": {"column": "value"}}.
+	for _, a := range []int{0, 1, 2} {
+		rec := d.A.Tuples[a].Values
+		matches, err := bundle.MatchOne(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nlookup  %q\n", strings.Join(rec, " / "))
+		if len(matches) == 0 {
+			fmt.Println("  no matches")
+			continue
+		}
+		for _, m := range matches {
+			fmt.Printf("  match B[%d] (score %.2f)  %q\n",
+				m.BRow, m.Score, strings.Join(bundle.BValues(m.BRow), " / "))
+		}
+	}
+	fmt.Printf("\n%d lookups, $0.00 crowd cost, zero locks taken\n", 3)
+}
+
+// labelerFor adapts the dataset's planted ground truth to the public
+// Labeler interface by keying rows on their full value tuple.
+func labelerFor(d *datagen.Dataset) falcon.Labeler {
+	truth := d.Oracle()
+	join := func(vs []string) string { return strings.Join(vs, "\x1f") }
+	aRows, bRows := map[string]int{}, map[string]int{}
+	for i, t := range d.A.Tuples {
+		aRows[join(t.Values)] = i
+	}
+	for i, t := range d.B.Tuples {
+		bRows[join(t.Values)] = i
+	}
+	return falcon.LabelerFunc(func(ar, br []string) bool {
+		return truth(table.Pair{A: aRows[join(ar)], B: bRows[join(br)]})
+	})
+}

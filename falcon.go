@@ -156,6 +156,7 @@ type Report struct {
 	RoundF1 []float64
 
 	modelJSON []byte
+	artifact  *model.MatcherArtifact
 	gantt     string
 	explain   string
 }
@@ -174,6 +175,20 @@ func (r *Report) Gantt() string { return r.gantt }
 // JSON. Feed it to ApplyModel to re-match schema-compatible tables with no
 // crowd involvement. Returns nil if the run learned no matcher.
 func (r *Report) Model() []byte { return r.modelJSON }
+
+// SaveArtifact writes the run's complete serving artifact — model, frozen B
+// table, token dictionaries, corpus statistics, and prefix indexes — in the
+// versioned binary format that `falcon serve` and the falcon-server artifact
+// endpoints load. Returns an error if the run learned no matcher.
+func (r *Report) SaveArtifact(w io.Writer) error {
+	if r.artifact == nil {
+		return fmt.Errorf("falcon: run learned no matcher; no artifact to save")
+	}
+	return r.artifact.Save(w)
+}
+
+// HasArtifact reports whether the run produced a serving artifact.
+func (r *Report) HasArtifact() bool { return r.artifact != nil }
 
 // ApplyModel re-applies a previously learned model to two tables: it runs
 // the stored blocking-rule sequence and matcher, asking the crowd nothing.
@@ -450,6 +465,7 @@ func buildReport(res *core.Result) *Report {
 			r.modelJSON = buf.Bytes()
 		}
 	}
+	r.artifact = res.Artifact
 	if res.Accuracy != nil {
 		r.Estimate = &AccuracyEstimate{
 			Precision:    res.Accuracy.Precision,

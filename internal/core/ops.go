@@ -10,8 +10,8 @@ import (
 	"time"
 
 	"falcon/internal/feature"
-	"falcon/internal/forest"
 	"falcon/internal/mapreduce"
+	"falcon/internal/model"
 	"falcon/internal/rules"
 	"falcon/internal/simfn"
 	"falcon/internal/table"
@@ -59,9 +59,13 @@ func genFVsMR(ctx context.Context, cluster *mapreduce.Cluster, vz *feature.Vecto
 	return res.Output, res.Stats.SimTime, nil
 }
 
-// applyMatcherMR applies a trained matcher to every vector as a map-only
-// cluster job (the apply_matcher operator).
-func applyMatcherMR(ctx context.Context, cluster *mapreduce.Cluster, f *forest.Forest, vecs []feature.Vector) ([]table.Pair, time.Duration, error) {
+// applyArtifactMR applies a matcher artifact to every vector as a map-only
+// cluster job (the apply_matcher operator) — the batch apply half of the
+// train/serve split. Job name, split shape, and per-record cost are those
+// of the forest it carries, so timings and matches are byte-identical to
+// applying the bare forest.
+func applyArtifactMR(ctx context.Context, cluster *mapreduce.Cluster, art *model.MatcherArtifact, vecs []feature.Vector) ([]table.Pair, time.Duration, error) {
+	f := art.Matcher
 	job := mapreduce.MapOnlyJob[int, table.Pair]{
 		Name:   "apply_matcher",
 		Splits: mapreduce.SplitSlice(indexRange(len(vecs)), cluster.Slots()),

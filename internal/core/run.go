@@ -58,12 +58,25 @@ func Run(a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
 	return RunContext(context.Background(), a, b, oracle, opt)
 }
 
-// RunContext executes the hands-off EM workflow over tables a and b. The
+// RunContext executes the hands-off EM workflow over tables a and b: the
+// train phase (TrainContext) followed by the batch apply that the matching
+// stage performs through the same artifact path the serving layer
+// consumes. It is kept as the batch entry point; the train/serve split
+// lives in TrainContext (produce an artifact) and
+// model.MatcherArtifact.ApplyContext / internal/serve (consume one).
+func RunContext(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
+	return TrainContext(ctx, a, b, oracle, opt)
+}
+
+// TrainContext is the train half of the train/serve split: sampling, rule
+// selection, forest training, and — on success — assembly of the complete
+// serving artifact (Result.Artifact) carrying the model plus the frozen
+// dictionaries, corpora, B-row ID sets, and prefix indexes over B. The
 // oracle supplies ground truth consumed only by the simulated crowd
 // platform. Cancellation propagates into every plan stage — cluster jobs
-// stop between records, crowd waits between questions — and RunContext
+// stop between records, crowd waits between questions — and TrainContext
 // returns ctx.Err().
-func RunContext(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
+func TrainContext(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -111,6 +124,7 @@ func RunContext(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt
 	st.res.Tasks = st.tl.Tasks()
 	if st.res.MatchingForest != nil {
 		st.res.Model = model.New(st.set, st.modelSeq, st.modelSel, st.res.MatchingForest)
+		st.res.Artifact = st.buildArtifact()
 	}
 	led := st.cr.Ledger()
 	st.res.Cost = st.cr.TotalCost()
@@ -722,7 +736,9 @@ func (st *runState) runMatchingStage(ctx context.Context, candidates []table.Pai
 	res.MatchingForest = alRes.Forest
 	lastCrowd := st.scheduleALTrace(opALMatcherM, alRes.Trace, nil, fvTask)
 
-	matches, applyDur, err := applyMatcherMR(ctx, opt.Cluster, alRes.Forest, vecs)
+	// Apply through an interim artifact so batch Match structurally
+	// trains-then-applies along the same path the serving layer consumes.
+	matches, applyDur, err := applyArtifactMR(ctx, opt.Cluster, st.interimArtifact(alRes.Forest), vecs)
 	if err != nil {
 		return err
 	}
@@ -837,7 +853,7 @@ func (st *runState) runEstimatorAndIterate(ctx context.Context, vecs []feature.V
 
 		// Retrain and re-apply the matcher.
 		cand := forest.Train(training, withSeed(opt.Forest, opt.Seed+50+int64(round)))
-		matches, applyDur, err := applyMatcherMR(ctx, opt.Cluster, cand, vecs)
+		matches, applyDur, err := applyArtifactMR(ctx, opt.Cluster, st.interimArtifact(cand), vecs)
 		if err != nil {
 			return err
 		}

@@ -226,6 +226,39 @@ func buildCorpus(a *table.Table, aCol int, b *table.Table, bCol int, kind tokeni
 	return c
 }
 
+// Corpus returns the shared per-correspondence corpus, or nil unless the
+// measure is corpus-based. Exported so the artifact builder can freeze the
+// corpus state alongside the feature definitions.
+func (f *Feature) Corpus() *simfn.Corpus { return f.corpus }
+
+// NewBoundFeature reconstructs a feature from its serialized definition,
+// rebinding it to a (possibly rebuilt) corpus. Every other field is plain
+// data, so a round-tripped feature evaluates bit-identically.
+func NewBoundFeature(id int, name string, m simfn.Measure, tok tokenize.Kind, acol, bcol int, attr string, blockable bool, corpus *simfn.Corpus) Feature {
+	return Feature{
+		ID: id, Name: name, Measure: m, Token: tok,
+		ACol: acol, BCol: bcol, Attr: attr, Blockable: blockable,
+		corpus: corpus,
+	}
+}
+
+// CountSet reports whether the measure depends only on the two token-set
+// sizes and their overlap count, so it can run on dictionary-encoded IDs.
+func CountSet(m simfn.Measure) bool { return isCountSet(m) }
+
+// EvalCountSet evaluates a count-set measure on dictionary-encoded token
+// sets (sorted ascending IDs). Exported for the serving path, which
+// resolves operands from the artifact's frozen columns rather than a
+// Vectorizer.
+func EvalCountSet(m simfn.Measure, a, b []uint32) float64 { return evalSetIDs(m, a, b) }
+
+// EvalStrings evaluates a sequence/string measure on pre-normalized values
+// with reusable DP scratch — the serving-path twin of evalStringsScratch.
+func EvalStrings(m simfn.Measure, av, bv string, s *simfn.Scratch) float64 {
+	f := Feature{Measure: m}
+	return f.evalStringsScratch(av, bv, s)
+}
+
 // Eval computes the feature value on raw attribute values.
 func (f *Feature) Eval(av, bv string) float64 {
 	if table.IsMissing(av) {

@@ -56,7 +56,8 @@ type Vectorizer struct {
 	numOkB map[int][]bool
 	normA  map[int][]string // col → per-row normalized values
 	normB  map[int][]string
-	ids    map[corrKey]*idCols // correspondence → encoded token sets
+	ids    map[corrKey]*idCols        // correspondence → encoded token sets
+	docs   map[*simfn.Corpus]*docCols // corpus → IDF-weighted row vectors
 
 	// feats[f.ID] caches the resolved per-feature column bundle so the
 	// per-pair path does one atomic load instead of map lookups under
@@ -77,9 +78,19 @@ type corrKey struct {
 	kind       tokenize.Kind
 }
 
-// idCols holds both sides of a correspondence as sorted token-ID sets.
+// idCols holds both sides of a correspondence as sorted token-ID sets,
+// plus the shared dictionary they are encoded under (retained so the
+// trained artifact can ship the correspondence frozen).
 type idCols struct {
+	dict *tokenize.Dict
 	a, b [][]uint32
+}
+
+// docCols holds both sides of a correspondence as frozen IDF-weighted
+// term-frequency vectors, one per row, shared by every feature bound to
+// the same corpus (the TF/IDF family of one correspondence).
+type docCols struct {
+	a, b []simfn.WeightedDoc
 }
 
 // featCols is the resolved, immutable column bundle one feature reads
@@ -89,6 +100,7 @@ type featCols struct {
 	okA, okB     []bool
 	idsA, idsB   [][]uint32
 	tokA, tokB   [][]string
+	docA, docB   []simfn.WeightedDoc
 	normA, normB []string
 }
 
@@ -101,6 +113,7 @@ func NewVectorizer(set *Set, a, b *table.Table) *Vectorizer {
 		numOkA: map[int][]bool{}, numOkB: map[int][]bool{},
 		normA: map[int][]string{}, normB: map[int][]string{},
 		ids:   map[corrKey]*idCols{},
+		docs:  map[*simfn.Corpus]*docCols{},
 		feats: make([]atomic.Pointer[featCols], len(set.Features)),
 	}
 }
@@ -235,6 +248,39 @@ func (v *Vectorizer) idColsFor(acol, bcol int, kind tokenize.Kind) *idCols {
 	return c
 }
 
+// docColsFor returns both columns of f's correspondence as frozen
+// IDF-weighted row vectors under f's corpus, building them on first
+// access. TFIDF and SoftTFIDF features of one correspondence share a
+// corpus, so they share one docCols.
+func (v *Vectorizer) docColsFor(f *Feature) *docCols {
+	v.mu.RLock()
+	d, ok := v.docs[f.corpus]
+	v.mu.RUnlock()
+	if ok {
+		return d
+	}
+	// Token columns are built outside v.mu (tokenCol locks internally).
+	ta := v.tokenCol(true, f.ACol, f.Token)
+	tb := v.tokenCol(false, f.BCol, f.Token)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d, ok := v.docs[f.corpus]; ok {
+		return d
+	}
+	d = &docCols{a: weightedDocs(f.corpus, ta), b: weightedDocs(f.corpus, tb)}
+	v.docs[f.corpus] = d
+	return d
+}
+
+// weightedDocs precomputes the frozen tf·idf vector of every row.
+func weightedDocs(c *simfn.Corpus, rows [][]string) []simfn.WeightedDoc {
+	out := make([]simfn.WeightedDoc, len(rows))
+	for i, toks := range rows {
+		out[i] = c.WeightedDocOf(toks)
+	}
+	return out
+}
+
 // buildIDCols interns both columns' tokens into one dictionary ordered by
 // (frequency asc, token asc) — the same global ordering §7.5 uses — and
 // encodes every row as a sorted ID set. Sorted-ascending ID sets are thus
@@ -276,7 +322,16 @@ func buildIDCols(ta, tb [][]string) *idCols {
 		}
 		return out
 	}
-	return &idCols{a: encode(ta), b: encode(tb)}
+	return &idCols{dict: dict, a: encode(ta), b: encode(tb)}
+}
+
+// CorrIDs exposes one correspondence's shared frequency-ordered dictionary
+// and both encoded columns, building them on first access. The artifact
+// builder uses this to freeze the dictionary and B-row ID sets into the
+// serving contract.
+func (v *Vectorizer) CorrIDs(acol, bcol int, kind tokenize.Kind) (*tokenize.Dict, [][]uint32, [][]uint32) {
+	c := v.idColsFor(acol, bcol, kind)
+	return c.dict, c.a, c.b
 }
 
 // isCountSet reports whether the measure depends only on set sizes and
@@ -310,6 +365,10 @@ func (v *Vectorizer) featData(f *Feature) *featCols {
 	case f.Measure.SetBased(): // Monge-Elkan, TF/IDF family: real tokens
 		fc.tokA = v.tokenCol(true, f.ACol, f.Token)
 		fc.tokB = v.tokenCol(false, f.BCol, f.Token)
+		if f.Measure.CorpusBased() {
+			d := v.docColsFor(f)
+			fc.docA, fc.docB = d.a, d.b
+		}
 	default:
 		fc.normA = v.normCol(true, f.ACol)
 		fc.normB = v.normCol(false, f.BCol)
@@ -405,11 +464,9 @@ func (v *Vectorizer) evalCached(f *Feature, p table.Pair, s *simfn.Scratch) floa
 		return s.MongeElkan(fc.tokA[p.A], fc.tokB[p.B])
 	case f.Measure.CorpusBased():
 		if f.Measure == simfn.MTFIDF {
-			//falcon:allow servebudget corpus measures still build a tf map per pair; known serving debt, tracked in ROADMAP item 1
-			return f.corpus.TFIDF(fc.tokA[p.A], fc.tokB[p.B])
+			return simfn.TFIDFDocs(&fc.docA[p.A], &fc.docB[p.B])
 		}
-		//falcon:allow servebudget corpus measures still build a tf map per pair; known serving debt, tracked in ROADMAP item 1
-		return f.corpus.SoftTFIDF(fc.tokA[p.A], fc.tokB[p.B])
+		return simfn.SoftTFIDFDocs(&fc.docA[p.A], &fc.docB[p.B], s)
 	default:
 		return f.evalStringsScratch(fc.normA[p.A], fc.normB[p.B], s)
 	}

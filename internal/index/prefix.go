@@ -173,6 +173,43 @@ func (idx *PrefixIndex) postings(tok string) []Posting {
 // callers probing by pre-encoded IDs must fall back to string probing then.
 func (idx *PrefixIndex) HasExtension() bool { return len(idx.extPost) > 0 }
 
+// Parts exports the index's frozen state for artifact serialization: the
+// ordering's ranked tokens, the per-rank posting lists, and the per-tuple
+// set lengths. Indexes holding extension postings (built under a
+// mismatched ordering) cannot be exported by ID; ok is false then. The
+// artifact builder always derives the ordering from the indexed column
+// itself, so every indexed token has a rank and ok holds.
+func (idx *PrefixIndex) Parts() (ranked []string, post [][]Posting, setLen []int32, ok bool) {
+	if idx.HasExtension() {
+		return nil, nil, nil, false
+	}
+	return idx.ord.dict.Tokens(), idx.post, idx.setLen, true
+}
+
+// PrefixFromParts rebuilds an index exported by Parts. The byte accounting
+// (len(token)+48 per distinct posted token, 12 per posting, 4 per setLen
+// entry) and the probe-scratch pool match BuildPrefix, so a rebuilt index
+// probes and meters identically to the one built at train time.
+func PrefixFromParts(kind tokenize.Kind, threshold float64, ord *Ordering, post [][]Posting, setLen []int32) *PrefixIndex {
+	idx := &PrefixIndex{
+		Kind:      kind,
+		Threshold: threshold,
+		ord:       ord,
+		post:      post,
+		setLen:    setLen,
+	}
+	n := len(setLen)
+	idx.scratch.New = func() any { return &probeScratch{seen: bitset.New(n)} }
+	for id, ps := range post {
+		if len(ps) > 0 {
+			idx.bytes += int64(len(ord.dict.Token(uint32(id)))) + 48
+		}
+		idx.bytes += 12 * int64(len(ps))
+	}
+	idx.bytes += int64(len(setLen)) * 4
+	return idx
+}
+
 // BuildPrefix builds the index over column col of t for the given measure
 // and threshold.
 func BuildPrefix(t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m simfn.Measure, threshold float64) *PrefixIndex {
@@ -192,6 +229,9 @@ func BuildPrefix(t *table.Table, col int, kind tokenize.Kind, ord *Ordering, m s
 	idx.bytes += int64(len(idx.setLen)) * 4
 	return idx
 }
+
+// Ord returns the index's global token ordering.
+func (idx *PrefixIndex) Ord() *Ordering { return idx.ord }
 
 // SetLen returns the indexed tuple's token-set size.
 func (idx *PrefixIndex) SetLen(id int32) int { return int(idx.setLen[id]) }

@@ -1,25 +1,114 @@
 package model
 
 import (
+	"context"
+	"fmt"
 	"maps"
 
+	"falcon/internal/filters"
 	"falcon/internal/forest"
+	"falcon/internal/index"
+	"falcon/internal/mapreduce"
 	"falcon/internal/rules"
+	"falcon/internal/simfn"
+	"falcon/internal/table"
 	"falcon/internal/tokenize"
 )
 
 // ArtifactVersion is bumped on breaking changes to the serving-artifact
-// layout, independently of the trained-model format (Version).
-const ArtifactVersion = 1
+// layout, independently of the trained-model format (Version). Version 2
+// grew the artifact from rules/forest/dicts into the complete serving
+// contract: feature specs, corpora, the frozen B table, per-correspondence
+// B-row ID sets, and the prefix-index postings over B.
+const ArtifactVersion = 2
+
+// FeatureSpec is one feature's serialized definition. Together with the
+// corpora it reconstructs the exact feature space the model was trained
+// on, so a served record is vectorized bit-identically to a batch row.
+type FeatureSpec struct {
+	Name      string
+	Measure   simfn.Measure
+	Token     tokenize.Kind
+	ACol      int
+	BCol      int
+	Attr      string
+	Blockable bool
+	// Corpus indexes MatcherArtifact.Corpora, or -1 when the measure is
+	// not corpus-based.
+	Corpus int
+}
+
+// CorpusData is one TF/IDF corpus in serializable form (see
+// simfn.Corpus.State): document count plus per-token document frequencies
+// with tokens in lexicographic order.
+type CorpusData struct {
+	Docs int
+	Toks []string
+	DFs  []int
+}
+
+// CorrData freezes one attribute correspondence's dictionary-encoded
+// state: the shared frequency-ordered dictionary as its ranked token list,
+// and every B row's sorted token-ID set under it. The serving path encodes
+// the incoming record under the same dictionary (unknown tokens get
+// distinct extension IDs ≥ the dictionary length, matching nothing), so
+// count-set measures reproduce the batch values exactly.
+type CorrData struct {
+	ACol   int
+	BCol   int
+	Kind   tokenize.Kind
+	Ranked []string
+	RowsB  [][]uint32
+}
+
+// CorrKey names a correspondence's dictionary in MatcherArtifact.Dicts.
+func CorrKey(acol, bcol int, kind tokenize.Kind) string {
+	return fmt.Sprintf("%d/%d/%s", acol, bcol, kind)
+}
+
+// PrefixData is one serialized prefix index over a column of the frozen B
+// table. The batch pipeline indexes A and probes with rows of B; serving
+// flips the roles, which is sound because every filterable set measure is
+// symmetric in its two arguments. BCol is the indexed B column.
+type PrefixData struct {
+	Kind      filters.Kind
+	BCol      int
+	Token     tokenize.Kind
+	Measure   simfn.Measure
+	Threshold float64
+	Ranked    []string
+	Post      [][]index.Posting
+	SetLen    []int32
+}
+
+// Spec returns the filter-index spec this data answers, with the indexed
+// column in the spec's ACol slot (specs name the indexed table's column).
+func (p *PrefixData) Spec() filters.IndexSpec {
+	return filters.IndexSpec{Kind: p.Kind, ACol: p.BCol, Token: p.Token, Measure: p.Measure, Threshold: p.Threshold}
+}
+
+// ServingData collects the serving-side state the train phase assembles —
+// a plain mutable builder, handed whole to NewMatcherArtifact so every
+// artifact field is set inside the frozen constructor.
+type ServingData struct {
+	Feats   []FeatureSpec
+	Corpora []CorpusData
+	AName   string
+	AAttrs  []table.Attribute
+	B       *table.Table
+	Corrs   []CorrData
+	Prefix  []PrefixData
+	Dicts   map[string]*tokenize.Dict
+}
 
 // MatcherArtifact is the frozen serving contract: everything the
-// point-match path (the future POST /match/one handler) reads per
-// request, assembled once at load time and published through an
-// atomic.Pointer[MatcherArtifact]. Readers take no lock, so nothing
-// reachable from an artifact may ever be written after construction —
-// the //falcon:frozen directive on NewMatcherArtifact puts every call
-// site under the immutpublish analyzer, and a model swap replaces the
-// whole artifact (clone-then-swap), never patches one in place.
+// point-match path (POST /match/one) reads per request, assembled once at
+// train or load time and published through an atomic pointer. Readers take
+// no lock, so nothing reachable from an artifact may ever be written after
+// construction — the //falcon:frozen directive on NewMatcherArtifact puts
+// every call site under the immutpublish analyzer, and a model swap
+// replaces the whole artifact (clone-then-swap), never patches one in
+// place.
 type MatcherArtifact struct {
 	// Version is the artifact layout version (ArtifactVersion).
 	Version int
@@ -36,26 +125,74 @@ type MatcherArtifact struct {
 	// Train, so the artifact shares the reference.
 	Matcher *forest.Forest
 	// Dicts references the frequency-ordered token dictionaries, keyed by
-	// attribute correspondence (see index.Ordering), so probe values can be
-	// ID-encoded for the allocation-free ProbeIDs path.
+	// CorrKey, so probe values can be ID-encoded for the allocation-free
+	// ProbeIDs path. Rebuilt from Corrs on Load.
 	Dicts map[string]*tokenize.Dict
+
+	// Serving payload (nil/empty on interim artifacts the batch path
+	// builds mid-run, where A, B, and the vectorizer are still live).
+	Feats   []FeatureSpec
+	Corpora []CorpusData
+	AName   string
+	AAttrs  []table.Attribute
+	B       *table.Table
+	Corrs   []CorrData
+	Prefix  []PrefixData
 }
 
 // NewMatcherArtifact assembles the serving artifact from a trained model
-// and the token dictionaries its probe path needs. Slice spines and the
+// and the serving-side state the train phase froze (sv may be nil for
+// interim artifacts that only carry the model). Slice spines and the
 // dictionary map are copied, so later mutation of the inputs cannot reach
-// the artifact; the forest and the dictionaries themselves are shared
-// (both are immutable once built).
+// the artifact; the forest, dictionaries, B table, ID sets, and postings
+// are shared (all immutable once built).
 //
 //falcon:frozen
-func NewMatcherArtifact(m *Model, dicts map[string]*tokenize.Dict) *MatcherArtifact {
-	return &MatcherArtifact{
+func NewMatcherArtifact(m *Model, sv *ServingData) *MatcherArtifact {
+	a := &MatcherArtifact{
 		Version:      ArtifactVersion,
 		FeatureNames: append([]string(nil), m.FeatureNames...),
 		BlockingIdx:  append([]int(nil), m.BlockingIdx...),
 		RuleSeq:      append([]rules.Rule(nil), m.RuleSeq...),
 		ClauseSel:    append([]float64(nil), m.ClauseSel...),
 		Matcher:      m.Matcher,
-		Dicts:        maps.Clone(dicts),
 	}
+	if sv != nil {
+		a.Dicts = maps.Clone(sv.Dicts)
+		a.Feats = append([]FeatureSpec(nil), sv.Feats...)
+		a.Corpora = append([]CorpusData(nil), sv.Corpora...)
+		a.AName = sv.AName
+		a.AAttrs = append([]table.Attribute(nil), sv.AAttrs...)
+		a.B = sv.B
+		a.Corrs = append([]CorrData(nil), sv.Corrs...)
+		a.Prefix = append([]PrefixData(nil), sv.Prefix...)
+	}
+	return a
+}
+
+// TrainedModel reconstructs the trained-model view of the artifact. The
+// returned model shares the artifact's slices and forest; callers treat it
+// as read-only.
+func (a *MatcherArtifact) TrainedModel() *Model {
+	return &Model{
+		Version:      Version,
+		FeatureNames: a.FeatureNames,
+		BlockingIdx:  a.BlockingIdx,
+		RuleSeq:      a.RuleSeq,
+		ClauseSel:    a.ClauseSel,
+		Matcher:      a.Matcher,
+	}
+}
+
+// Apply is the batch apply half of the train/serve split: it runs the
+// artifact's blocking rules and matcher over a new table pair with no
+// crowd involved, returning predicted matches and the surviving candidate
+// count.
+func (a *MatcherArtifact) Apply(cluster *mapreduce.Cluster, ta, tb *table.Table) ([]table.Pair, int, error) {
+	return a.ApplyContext(context.Background(), cluster, ta, tb)
+}
+
+// ApplyContext is Apply honoring ctx cancellation inside the blocking jobs.
+func (a *MatcherArtifact) ApplyContext(ctx context.Context, cluster *mapreduce.Cluster, ta, tb *table.Table) ([]table.Pair, int, error) {
+	return a.TrainedModel().ApplyContext(ctx, cluster, ta, tb)
 }

@@ -25,7 +25,7 @@ func TestNewMatcherArtifact(t *testing.T) {
 	d.Intern("cloud")
 	dicts := map[string]*tokenize.Dict{"title": d}
 
-	art := NewMatcherArtifact(m, dicts)
+	art := NewMatcherArtifact(m, &ServingData{Dicts: dicts})
 
 	if art.Version != ArtifactVersion {
 		t.Fatalf("Version = %d, want %d", art.Version, ArtifactVersion)

@@ -1,0 +1,151 @@
+package model_test
+
+// External test package: it drives a real training run through core (which
+// imports model) to get a fully-populated artifact for wire-format tests.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"falcon/internal/core"
+	"falcon/internal/crowd"
+	"falcon/internal/datagen"
+	"falcon/internal/model"
+)
+
+func trainedArtifact(t *testing.T) *model.MatcherArtifact {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.Seed = 3
+	opt.SampleN = 4000
+	opt.SampleY = 20
+	opt.ALIterations = 10
+	opt.MaskedSelectionMinPool = 1000
+	opt.Platform = crowd.NewRandomWorkers(0, 0, 4)
+	force := true
+	opt.ForceBlocking = &force
+	d := datagen.Songs(300, 42)
+	res, err := core.Run(d.A, d.B, d.Oracle(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifact == nil {
+		t.Fatal("run produced no artifact")
+	}
+	return res.Artifact
+}
+
+// TestArtifactRoundTripGolden saves a trained artifact, loads it, and saves
+// again: the two byte streams must be identical (the format has no map
+// iterations or other nondeterminism), and the loaded artifact must carry
+// the full serving payload.
+func TestArtifactRoundTripGolden(t *testing.T) {
+	art := trainedArtifact(t)
+
+	var b1 bytes.Buffer
+	if err := art.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := model.LoadArtifact(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	if err := loaded.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("re-save not byte-identical: %d vs %d bytes", b1.Len(), b2.Len())
+	}
+
+	if loaded.Version != model.ArtifactVersion {
+		t.Fatalf("loaded version %d", loaded.Version)
+	}
+	if len(loaded.FeatureNames) != len(art.FeatureNames) ||
+		len(loaded.Feats) != len(art.Feats) ||
+		len(loaded.Corrs) != len(art.Corrs) ||
+		len(loaded.Corpora) != len(art.Corpora) ||
+		len(loaded.Prefix) != len(art.Prefix) {
+		t.Fatal("loaded artifact payload shape differs")
+	}
+	if loaded.B == nil || loaded.B.Len() != art.B.Len() {
+		t.Fatal("B table did not round-trip")
+	}
+	for r := 0; r < art.B.Len(); r++ {
+		for c := range art.B.Schema.Attrs {
+			if loaded.B.Value(r, c) != art.B.Value(r, c) {
+				t.Fatalf("B[%d][%d] = %q, want %q", r, c, loaded.B.Value(r, c), art.B.Value(r, c))
+			}
+		}
+	}
+	if len(loaded.Dicts) != len(art.Dicts) {
+		t.Fatalf("rebuilt %d dicts, want %d", len(loaded.Dicts), len(art.Dicts))
+	}
+	for key, want := range art.Dicts {
+		got := loaded.Dicts[key]
+		if got == nil || got.Len() != want.Len() {
+			t.Fatalf("dict %q did not round-trip", key)
+		}
+	}
+}
+
+// headerLen returns the offset where the payload starts: magic, uvarint
+// version, SHA-256 checksum.
+func headerLen(raw []byte) int {
+	_, n := binary.Uvarint(raw[8:])
+	return 8 + n + sha256.Size
+}
+
+func TestLoadArtifactRejectsCorruptInput(t *testing.T) {
+	art := trainedArtifact(t)
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	load := func(b []byte) error {
+		_, err := model.LoadArtifact(bytes.NewReader(b))
+		return err
+	}
+	expect := func(name string, b []byte, frag string) {
+		t.Helper()
+		err := load(b)
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("%s: error %q, want mention of %q", name, err, frag)
+		}
+	}
+
+	expect("empty", nil, "bad magic")
+	expect("garbage magic", []byte("NOTANART0123456789"), "bad magic")
+
+	badVer := append([]byte(nil), raw...)
+	badVer[8] = 99 // uvarint version byte
+	expect("version mismatch", badVer, "unsupported")
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-1] ^= 0xff
+	expect("payload corruption", flipped, "checksum mismatch")
+
+	expect("cut file", raw[:len(raw)/2], "checksum mismatch")
+
+	// A truncated payload with a recomputed checksum must fail in the
+	// decoder itself (the sticky bounds-checked path), not just the hash.
+	h := headerLen(raw)
+	cut := append([]byte(nil), raw[:h+len(raw[h:])/2]...)
+	sum := sha256.Sum256(cut[h:])
+	copy(cut[h-sha256.Size:h], sum[:])
+	expect("truncated payload", cut, "truncated")
+
+	// Trailing junk after a valid payload is rejected too.
+	ext := append(append([]byte(nil), raw...), 0, 0, 0)
+	sum = sha256.Sum256(ext[h:])
+	copy(ext[h-sha256.Size:h], sum[:])
+	expect("trailing bytes", ext, "trailing")
+}

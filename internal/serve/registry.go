@@ -1,0 +1,22 @@
+package serve
+
+import "sync/atomic"
+
+// Registry publishes the current serving bundle to request handlers with a
+// single atomic pointer: reloads build a complete new Bundle off to the
+// side (clone-then-swap) and publish it with Swap, so MatchOne never takes
+// a lock and never observes a half-built bundle. Requests that loaded the
+// old bundle finish against it; its scratch pools are garbage-collected
+// with it.
+type Registry struct {
+	cur atomic.Pointer[Bundle]
+}
+
+// Current returns the published bundle, or nil before the first Swap.
+//
+//falcon:hotpath
+func (r *Registry) Current() *Bundle { return r.cur.Load() }
+
+// Swap publishes b (which must be fully constructed — NewBundle freezes it)
+// and returns the previous bundle, nil on first publish.
+func (r *Registry) Swap(b *Bundle) *Bundle { return r.cur.Swap(b) }

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistrySwapUnderLoad hammers MatchOne through the registry while
+// another goroutine keeps swapping bundles — the serving path's core
+// concurrency claim, meaningful under -race (the race gate runs this
+// package).
+func TestRegistrySwapUnderLoad(t *testing.T) {
+	d, res := trainSongs(t, 120, 5, nil)
+	b1 := loadBundle(t, res)
+	b2 := loadBundle(t, res)
+
+	var reg Registry
+	if reg.Current() != nil {
+		t.Fatal("registry not empty before first swap")
+	}
+	reg.Swap(b1)
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		cur := b2
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if old := reg.Swap(cur); old != nil {
+				cur = old
+			}
+		}
+	}()
+
+	const readers = 4
+	var rd sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rd.Add(1)
+		go func(r int) {
+			defer rd.Done()
+			for i := 0; i < 200; i++ {
+				bn := reg.Current()
+				if bn == nil {
+					t.Error("Current returned nil after first swap")
+					return
+				}
+				row := (i*readers + r) % d.A.Len()
+				if _, err := bn.MatchOne(d.A.Tuples[row].Values); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	rd.Wait()
+	close(stop)
+	swapper.Wait()
+}

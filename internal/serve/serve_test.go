@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"falcon/internal/block"
+	"falcon/internal/core"
+	"falcon/internal/crowd"
+	"falcon/internal/datagen"
+	"falcon/internal/model"
+)
+
+// trainSongs runs the full batch workflow at laptop scale and returns the
+// dataset and result (with its serving artifact).
+func trainSongs(t testing.TB, n int, seed int64, mut func(*core.Options)) (*datagen.Dataset, *core.Result) {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.Seed = seed
+	opt.SampleN = 4000
+	opt.SampleY = 20
+	opt.ALIterations = 10
+	opt.MaskedSelectionMinPool = 1000
+	opt.Platform = crowd.NewRandomWorkers(0, 0, seed+1)
+	if mut != nil {
+		mut(&opt)
+	}
+	d := datagen.Songs(n, 42)
+	res, err := core.Run(d.A, d.B, d.Oracle(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+// loadBundle round-trips the artifact through the wire format and builds a
+// serving bundle, so equivalence checks also exercise Save/Load.
+func loadBundle(t testing.TB, res *core.Result) *Bundle {
+	t.Helper()
+	if res.Artifact == nil {
+		t.Fatal("run produced no artifact")
+	}
+	var buf bytes.Buffer
+	if err := res.Artifact.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	art, err := model.LoadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := NewBundle(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bn
+}
+
+// checkEquivalence asserts that MatchOne on every A row reproduces exactly
+// the batch run's matches for that row.
+func checkEquivalence(t *testing.T, d *datagen.Dataset, res *core.Result) {
+	t.Helper()
+	bn := loadBundle(t, res)
+	want := map[int]map[int]bool{}
+	for _, p := range res.Matches {
+		if want[p.A] == nil {
+			want[p.A] = map[int]bool{}
+		}
+		want[p.A][p.B] = true
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("batch run produced no matches; equivalence check is vacuous")
+	}
+	for a := 0; a < d.A.Len(); a++ {
+		got, err := bn.MatchOne(d.A.Tuples[a].Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := map[int]bool{}
+		for _, m := range got {
+			gotSet[m.BRow] = true
+			if m.Score <= 0.5 {
+				t.Errorf("row %d: match %d has score %.3f, want majority confidence", a, m.BRow, m.Score)
+			}
+		}
+		for b := range want[a] {
+			if !gotSet[b] {
+				t.Errorf("row %d: batch match %d missing from serve answer", a, b)
+			}
+		}
+		for b := range gotSet {
+			if !want[a][b] {
+				t.Errorf("row %d: serve match %d absent from batch answer", a, b)
+			}
+		}
+	}
+}
+
+func TestServeMatchesBatchBlockingPlan(t *testing.T) {
+	force := true
+	d, res := trainSongs(t, 800, 1, func(o *core.Options) { o.ForceBlocking = &force })
+	if !res.UsedBlocking {
+		t.Fatal("blocking plan not used")
+	}
+	if len(res.Artifact.Prefix) == 0 && len(res.Artifact.RuleSeq) > 0 {
+		t.Log("note: learned rules needed no prefix indexes")
+	}
+	checkEquivalence(t, d, res)
+}
+
+func TestServeMatchesBatchMatcherOnlyPlan(t *testing.T) {
+	d, res := trainSongs(t, 60, 2, nil)
+	if res.UsedBlocking {
+		t.Fatal("tiny tables should take the matcher-only plan")
+	}
+	checkEquivalence(t, d, res)
+}
+
+func TestServeMatchesBatchAllStrategies(t *testing.T) {
+	force := true
+	for _, s := range []block.Strategy{
+		block.ApplyAll, block.ApplyGreedy, block.ApplyConjunct,
+		block.ApplyPredicate, block.MapSide, block.ReduceSplit,
+	} {
+		strat := s
+		d, res := trainSongs(t, 400, 4, func(o *core.Options) {
+			o.ForceBlocking = &force
+			o.ForceStrategy = &strat
+		})
+		if res.Strategy != s {
+			t.Fatalf("strategy = %v, want %v", res.Strategy, s)
+		}
+		checkEquivalence(t, d, res)
+	}
+}
+
+func TestRecordByName(t *testing.T) {
+	d, res := trainSongs(t, 60, 2, nil)
+	bn := loadBundle(t, res)
+
+	names := bn.ColNames()
+	vals := map[string]string{}
+	for i, n := range names {
+		vals[n] = d.A.Tuples[0].Values[i]
+	}
+	rec, err := bn.Record(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMap, err := bn.MatchOne(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := bn.MatchOne(d.A.Tuples[0].Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromMap) != len(direct) {
+		t.Fatalf("named record answer %v != positional answer %v", fromMap, direct)
+	}
+
+	if _, err := bn.Record(map[string]string{"no_such_column": "x"}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := bn.MatchOne(make([]string, len(names)+1)); err == nil {
+		t.Fatal("wrong-arity record accepted")
+	}
+}
+
+func TestNewBundleRejectsModelOnlyArtifact(t *testing.T) {
+	_, res := trainSongs(t, 60, 2, nil)
+	interim := model.NewMatcherArtifact(res.Artifact.TrainedModel(), nil)
+	if _, err := NewBundle(interim); err == nil {
+		t.Fatal("bundle built from artifact without serving payload")
+	}
+	if _, err := NewBundle(nil); err == nil {
+		t.Fatal("bundle built from nil artifact")
+	}
+}

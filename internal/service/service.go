@@ -13,6 +13,13 @@
 //	DELETE /jobs/{id}       cancel a pending/running job
 //	GET    /jobs/{id}/matches   matched row pairs as CSV
 //	GET    /jobs/{id}/model     the learned model as JSON
+//	GET    /jobs/{id}/artifact  the serving artifact (versioned binary)
+//	POST   /artifacts       train synchronously and publish for serving
+//	PUT    /artifacts/current   load a binary artifact and swap it in
+//	GET    /artifacts/current   published artifact metadata
+//	POST   /match/one       {"record": {col: val}} → matches from the
+//	                        frozen B table (lock-free serving path)
+//	GET    /version         artifact/model layout versions + build info
 //	GET    /healthz         liveness
 //
 // The demo crowd is simulated from the oracle_key column (with optional
@@ -37,6 +44,7 @@ import (
 	"falcon/internal/core"
 	"falcon/internal/crowd"
 	"falcon/internal/learn"
+	"falcon/internal/serve"
 	"falcon/internal/table"
 )
 
@@ -82,6 +90,10 @@ type Server struct {
 	sync    bool // run jobs synchronously (tests)
 	timeout time.Duration
 	run     runFunc
+
+	// reg publishes the serving bundle for POST /match/one; swaps are
+	// atomic, so match requests never block on artifact reloads.
+	reg serve.Registry
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -129,12 +141,18 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		_, _ = fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /jobs/{id}/matches", s.handleMatches)
 	s.mux.HandleFunc("GET /jobs/{id}/model", s.handleModel)
+	s.mux.HandleFunc("GET /jobs/{id}/artifact", s.handleJobArtifact)
+	s.mux.HandleFunc("POST /artifacts", s.handleArtifactBuild)
+	s.mux.HandleFunc("PUT /artifacts/current", s.handleArtifactLoad)
+	s.mux.HandleFunc("GET /artifacts/current", s.handleArtifactInfo)
+	s.mux.HandleFunc("POST /match/one", s.handleMatchOne)
 	return s
 }
 
@@ -213,15 +231,18 @@ func parseParams(r *http.Request) (submitParams, error) {
 	return p, nil
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// acceptSubmission parses a multipart job submission, registers the job,
+// and returns it with its ready-to-call run closure. ok=false means the
+// HTTP error response was already written.
+func (s *Server) acceptSubmission(w http.ResponseWriter, r *http.Request) (job *Job, params submitParams, run func(), ok bool) {
 	if err := r.ParseMultipartForm(64 << 20); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing form: %v", err)
-		return
+		return nil, params, nil, false
 	}
 	params, err := parseParams(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, params, nil, false
 	}
 	readTable := func(field string) (*table.Table, error) {
 		f, hdr, err := r.FormFile(field)
@@ -234,16 +255,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	a, err := readTable("tableA")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, params, nil, false
 	}
 	b, err := readTable("tableB")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, params, nil, false
 	}
 	if a.Schema.Col(params.oracleKey) < 0 || b.Schema.Col(params.oracleKey) < 0 {
 		httpError(w, http.StatusBadRequest, "oracle_key %q not in both tables", params.oracleKey)
-		return
+		return nil, params, nil, false
 	}
 
 	ctx := context.Background()
@@ -256,7 +277,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	s.next++
-	job := &Job{
+	job = &Job{
 		ID:        fmt.Sprintf("job-%d", s.next),
 		State:     StatePending,
 		Submitted: s.now(),
@@ -267,9 +288,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
 
-	run := func() {
+	run = func() {
 		defer cancel()
 		s.runJob(ctx, job, params)
+	}
+	return job, params, run, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job, _, run, ok := s.acceptSubmission(w, r)
+	if !ok {
+		return
 	}
 	if s.sync {
 		run()

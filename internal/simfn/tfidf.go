@@ -34,6 +34,34 @@ func (c *Corpus) AddDoc(tokens []string) {
 // Docs returns the number of documents added.
 func (c *Corpus) Docs() int { return c.docs }
 
+// State exports the corpus in serializable form: the document count plus
+// every (token, document frequency) pair with tokens in lexicographic
+// order, so the encoding is deterministic across map iterations.
+func (c *Corpus) State() (docs int, toks []string, dfs []int) {
+	toks = make([]string, 0, len(c.df))
+	for t := range c.df {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	dfs = make([]int, len(toks))
+	for i, t := range toks {
+		dfs[i] = c.df[t]
+	}
+	return c.docs, toks, dfs
+}
+
+// CorpusFromState rebuilds a corpus exported by State. IDF depends only on
+// the document count and the per-token document frequencies, both of which
+// round-trip exactly, so the rebuilt corpus reproduces every weight
+// bit-for-bit.
+func CorpusFromState(docs int, toks []string, dfs []int) *Corpus {
+	c := &Corpus{docs: docs, df: make(map[string]int, len(toks))}
+	for i, t := range toks {
+		c.df[t] = dfs[i]
+	}
+	return c
+}
+
 // IDF returns the smoothed inverse document frequency of token t:
 // log(1 + N/df). Unknown tokens get the maximal IDF log(1 + N).
 func (c *Corpus) IDF(t string) float64 {
@@ -92,6 +120,92 @@ func (c *Corpus) TFIDF(a, b []string) float64 {
 		return 0
 	}
 	return dot / math.Sqrt(na*nb)
+}
+
+// WeightedDoc is one row's IDF-weighted term-frequency vector in frozen
+// form: the distinct tokens in lexicographic order, their weights, and the
+// squared norm accumulated in that same order. Precomputing these per row
+// lets the per-pair TF/IDF measures run without building a single map —
+// the serving-path budget the per-pair tfVector path could never meet.
+type WeightedDoc struct {
+	Toks []string
+	Ws   []float64
+	Norm float64
+}
+
+// WeightedDocOf builds the frozen vector for one token bag. Token order,
+// weights, and norm accumulation order match tfVector + sortedTokens
+// exactly, so TFIDFDocs/SoftTFIDFDocs reproduce TFIDF/SoftTFIDF
+// bit-for-bit.
+func (c *Corpus) WeightedDocOf(tokens []string) WeightedDoc {
+	v := c.tfVector(tokens)
+	toks := sortedTokens(v)
+	ws := make([]float64, len(toks))
+	var norm float64
+	for i, t := range toks {
+		w := v[t]
+		ws[i] = w
+		norm += w * w
+	}
+	return WeightedDoc{Toks: toks, Ws: ws, Norm: norm}
+}
+
+// TFIDFDocs is TFIDF over pre-built docs. The dot product becomes a sorted
+// merge (both token lists are lexicographic, so membership tests never
+// move the b cursor backwards), and each norm was accumulated at build
+// time in the same token order TFIDF accumulates it, so the result is
+// bit-identical to the map-based path with zero per-pair allocation.
+func TFIDFDocs(a, b *WeightedDoc) float64 {
+	if len(a.Toks) == 0 || len(b.Toks) == 0 {
+		return 0
+	}
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0
+	}
+	var dot float64
+	j := 0
+	for i, t := range a.Toks {
+		for j < len(b.Toks) && b.Toks[j] < t {
+			j++
+		}
+		if j < len(b.Toks) && b.Toks[j] == t {
+			dot += a.Ws[i] * b.Ws[j]
+		}
+	}
+	return dot / math.Sqrt(a.Norm*b.Norm)
+}
+
+// SoftTFIDFDocs is SoftTFIDF over pre-built docs with caller-provided
+// scratch for the inner Jaro-Winkler: the same double loop in the same
+// lexicographic order as the map-based path, with zero per-pair
+// allocation.
+func SoftTFIDFDocs(a, b *WeightedDoc, s *Scratch) float64 {
+	if len(a.Toks) == 0 || len(b.Toks) == 0 {
+		return 0
+	}
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0
+	}
+	var dot float64
+	for i, ta := range a.Toks {
+		wa := a.Ws[i]
+		bestSim, bestW := 0.0, 0.0
+		for j, tb := range b.Toks {
+			wb := b.Ws[j]
+			sim := s.JaroWinkler(ta, tb)
+			if sim >= softTFIDFTheta && sim > bestSim {
+				bestSim, bestW = sim, wb
+			}
+		}
+		if bestSim > 0 {
+			dot += wa * bestW * bestSim
+		}
+	}
+	sim := dot / math.Sqrt(a.Norm*b.Norm)
+	if sim > 1 {
+		sim = 1
+	}
+	return sim
 }
 
 // softTFIDFTheta is the inner-similarity threshold for SoftTFIDF's CLOSE set.
