@@ -34,17 +34,19 @@ race:
 	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/... ./internal/serve/...
 
 # bench records the executor worker-pool benchmark (speedup needs >1 CPU),
-# the blocking hot-path benchmarks (dictionary ID path vs the retired
-# string reference path), the falcon-vet whole-tree benchmark (the
-# pre-flow suite, the flow-sensitive layer, the publish-then-freeze layer,
-# and all thirteen analyzers over the module, loading amortized), and the
-# serving point-lookup benchmark (QPS, p99 latency, allocs per request).
+# the blocking hot-path benchmarks (bit-parallel kernels vs the sorted-merge
+# ID baseline vs the retired string reference path, plus the simfn
+# set/edit-distance kernel microbenchmarks), the falcon-vet whole-tree
+# benchmark (the pre-flow suite, the flow-sensitive layer, the
+# publish-then-freeze layer, and all thirteen analyzers over the module,
+# loading amortized), and the serving point-lookup benchmark (QPS, p99
+# latency, allocs per request).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
 		./internal/mapreduce/ > BENCH_executor.json
 	@echo "wrote BENCH_executor.json"
-	$(GO) test -run '^$$' -bench 'BenchmarkBlocking$$|BenchmarkVectorize$$|BenchmarkPrefixProbe$$' \
-		-benchmem -json ./internal/block/ ./internal/feature/ ./internal/index/ > BENCH_blocking.json
+	$(GO) test -run '^$$' -bench 'BenchmarkBlocking$$|BenchmarkVectorize$$|BenchmarkPrefixProbe$$|BenchmarkJaccardKernels$$|BenchmarkEditDistanceKernels$$' \
+		-benchmem -json ./internal/block/ ./internal/feature/ ./internal/index/ ./internal/simfn/ > BENCH_blocking.json
 	@echo "wrote BENCH_blocking.json"
 	$(GO) test -run '^$$' -bench 'BenchmarkVetTree$$' -benchmem -json \
 		./internal/analysis/ > BENCH_vet.json

@@ -1,0 +1,224 @@
+package bitset
+
+import "math/bits"
+
+// Signature is a bit-parallel fingerprint of a sorted, duplicate-free
+// []uint32 ID set: each ID occupies one bit inside a 64-bit block keyed by
+// id>>6, so |a ∩ b| becomes AND + OnesCount64 over aligned words instead of
+// an element-wise merge (Falcon's set measures — Jaccard, Dice, Overlap,
+// Cosine — all reduce to exactly that intersection cardinality).
+//
+// Two layouts share the type:
+//
+//   - dense: keys == nil, words[i] covers block base+i. Chosen when the set's
+//     block span is small relative to its cardinality, so the AND loop is a
+//     short branch-free sweep over contiguous words.
+//   - blocked (sparse): keys[i] holds the block index of words[i], strictly
+//     increasing. Chosen for long-spanning sets so memory stays O(occupied
+//     blocks); intersection merges the key lists and popcounts only blocks
+//     both sides occupy.
+//
+// The zero value is an empty signature. Signatures are immutable after
+// AppendSignature returns; AndCount takes pointer receivers only to avoid
+// copying the headers on the hot path.
+type Signature struct {
+	base  uint32   // first block covered (dense layout only)
+	keys  []uint32 // nil ⇒ dense; else block keys, strictly increasing
+	words []uint64
+}
+
+// denseSlackWords bounds the dense layout: dense is chosen only when the
+// block span is at most this many words per occupied block, keeping both the
+// memory and the AND-loop length within a small constant factor of the
+// sparse representation.
+const denseSlackWords = 4
+
+// Empty reports whether the signature covers no IDs (either the zero value
+// or one built from an empty set).
+func (s *Signature) Empty() bool { return len(s.words) == 0 }
+
+// Words returns the number of 64-bit words the signature occupies.
+func (s *Signature) Words() int { return len(s.words) }
+
+// Dense reports whether the signature uses the dense (contiguous-span)
+// layout.
+func (s *Signature) Dense() bool { return s.keys == nil }
+
+// Count returns the number of IDs the signature covers.
+func (s *Signature) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AppendSignature rebuilds s from ids, reusing s's existing key/word
+// capacity so steady-state repacking (one probe record per serve request)
+// does not allocate. ids must be sorted ascending and duplicate-free — the
+// same invariant tokenize.Dict encodings carry; violations leave the
+// popcount intersection undefined relative to the merge path, exactly as
+// they would desynchronize the sorted merge itself.
+func (s *Signature) AppendSignature(ids []uint32) {
+	s.keys = s.keys[:0]
+	s.words = s.words[:0]
+	if len(ids) == 0 {
+		s.keys = nil
+		s.base = 0
+		return
+	}
+	// Scan for the block range and a transition count to pick the layout.
+	// Min/max are taken explicitly (not from the endpoints) so an
+	// invariant-violating unsorted input degrades to undefined similarity
+	// values, never to an out-of-range write.
+	first, last := ids[0]>>6, ids[0]>>6
+	blocks := 1
+	prev := first
+	for _, id := range ids[1:] {
+		k := id >> 6
+		if k != prev {
+			blocks++
+			prev = k
+		}
+		if k < first {
+			first = k
+		}
+		if k > last {
+			last = k
+		}
+	}
+	span := int(last-first) + 1
+
+	if span <= denseSlackWords*blocks {
+		// Dense: words cover [first, last] contiguously.
+		s.keys = nil
+		s.base = first
+		s.words = growWords(s.words, span)
+		for _, id := range ids {
+			s.words[(id>>6)-first] |= 1 << (id & 63)
+		}
+		return
+	}
+
+	// Blocked: one (key, word) pair per occupied block.
+	s.base = 0
+	s.keys = growKeys(s.keys, 0)
+	s.words = growWords(s.words, 0)
+	cur := ids[0] >> 6
+	var w uint64
+	for _, id := range ids {
+		if k := id >> 6; k != cur {
+			s.keys = append(s.keys, cur)
+			s.words = append(s.words, w)
+			cur, w = k, 0
+		}
+		w |= 1 << (id & 63)
+	}
+	s.keys = append(s.keys, cur)
+	s.words = append(s.words, w)
+}
+
+func growWords(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		//falcon:allow servebudget amortized signature growth to the high-water mark; steady-state repacking reuses the buffer
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func growKeys(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		//falcon:allow servebudget amortized signature growth to the high-water mark; steady-state repacking reuses the buffer
+		return make([]uint32, n)
+	}
+	return buf[:n]
+}
+
+// AndCount returns the exact intersection cardinality |a ∩ b| of the two ID
+// sets the signatures were built from. It never approximates: every occupied
+// block either aligns with a block on the other side (AND + popcount) or
+// contributes zero.
+func AndCount(a, b *Signature) int {
+	if a.Empty() || b.Empty() {
+		return 0
+	}
+	switch {
+	case a.keys == nil && b.keys == nil:
+		return andDenseDense(a, b)
+	case a.keys == nil:
+		return andDenseSparse(a, b)
+	case b.keys == nil:
+		return andDenseSparse(b, a)
+	default:
+		return andSparseSparse(a, b)
+	}
+}
+
+func andDenseDense(a, b *Signature) int {
+	// Clip to the overlapping block range; disjoint spans cost nothing.
+	lo := a.base
+	if b.base > lo {
+		lo = b.base
+	}
+	aEnd := a.base + uint32(len(a.words))
+	bEnd := b.base + uint32(len(b.words))
+	hi := aEnd
+	if bEnd < hi {
+		hi = bEnd
+	}
+	if lo >= hi {
+		return 0
+	}
+	aw := a.words[lo-a.base : hi-a.base]
+	bw := b.words[lo-b.base : hi-b.base]
+	n := 0
+	for i, w := range aw {
+		n += bits.OnesCount64(w & bw[i])
+	}
+	return n
+}
+
+func andDenseSparse(d, s *Signature) int {
+	end := d.base + uint32(len(d.words))
+	// Skip sparse blocks below the dense span with a binary search.
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.keys[mid] < d.base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	n := 0
+	for i := lo; i < len(s.keys); i++ {
+		k := s.keys[i]
+		if k >= end {
+			break
+		}
+		n += bits.OnesCount64(s.words[i] & d.words[k-d.base])
+	}
+	return n
+}
+
+func andSparseSparse(a, b *Signature) int {
+	n, i, j := 0, 0, 0
+	ak, bk := a.keys, b.keys
+	for i < len(ak) && j < len(bk) {
+		switch {
+		case ak[i] < bk[j]:
+			i++
+		case ak[i] > bk[j]:
+			j++
+		default:
+			n += bits.OnesCount64(a.words[i] & b.words[j])
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedUnique(ids []uint32) []uint32 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func naiveOverlap(a, b []uint32) int {
+	in := make(map[uint32]bool, len(a))
+	for _, id := range a {
+		in[id] = true
+	}
+	n := 0
+	for _, id := range b {
+		if in[id] {
+			n++
+		}
+	}
+	return n
+}
+
+func sigOf(ids []uint32) *Signature {
+	var s Signature
+	s.AppendSignature(ids)
+	return &s
+}
+
+func TestSignatureEmpty(t *testing.T) {
+	var z Signature
+	if !z.Empty() || z.Count() != 0 {
+		t.Fatalf("zero signature not empty: %+v", z)
+	}
+	e := sigOf(nil)
+	if !e.Empty() || e.Count() != 0 {
+		t.Fatalf("empty-build signature not empty: %+v", e)
+	}
+	full := sigOf([]uint32{1, 2, 3})
+	if got := AndCount(full, e); got != 0 {
+		t.Fatalf("AndCount(x, empty) = %d, want 0", got)
+	}
+	if got := AndCount(e, full); got != 0 {
+		t.Fatalf("AndCount(empty, x) = %d, want 0", got)
+	}
+}
+
+func TestSignatureLayouts(t *testing.T) {
+	// Tight cluster → dense.
+	dense := sigOf([]uint32{0, 1, 5, 64, 65, 130})
+	if !dense.Dense() {
+		t.Fatalf("clustered set should pack dense")
+	}
+	if dense.Count() != 6 {
+		t.Fatalf("dense Count = %d, want 6", dense.Count())
+	}
+	// One ID per far-apart block → sparse.
+	sparse := sigOf([]uint32{0, 1 << 16, 1 << 20, 1 << 24})
+	if sparse.Dense() {
+		t.Fatalf("far-apart set should pack sparse")
+	}
+	if sparse.Count() != 4 {
+		t.Fatalf("sparse Count = %d, want 4", sparse.Count())
+	}
+	// Offset dense spans (base > 0) must still align.
+	hiA := sigOf([]uint32{1000, 1001, 1002, 1064})
+	hiB := sigOf([]uint32{1001, 1064, 1065})
+	if got := AndCount(hiA, hiB); got != 2 {
+		t.Fatalf("offset dense AndCount = %d, want 2", got)
+	}
+}
+
+func TestSignatureDisjointSpans(t *testing.T) {
+	lo := sigOf([]uint32{1, 2, 3, 4})
+	hi := sigOf([]uint32{100000, 100001, 100002, 100003})
+	if got := AndCount(lo, hi); got != 0 {
+		t.Fatalf("disjoint spans AndCount = %d, want 0", got)
+	}
+	if got := AndCount(hi, lo); got != 0 {
+		t.Fatalf("disjoint spans AndCount (swapped) = %d, want 0", got)
+	}
+}
+
+func TestSignatureReuse(t *testing.T) {
+	var s Signature
+	s.AppendSignature([]uint32{0, 1, 2, 3, 64})
+	if !s.Dense() || s.Count() != 5 {
+		t.Fatalf("first build wrong: dense=%v count=%d", s.Dense(), s.Count())
+	}
+	// Rebuild sparse over the same struct; dense remnants must not leak.
+	s.AppendSignature([]uint32{7, 1 << 20})
+	if s.Dense() || s.Count() != 2 {
+		t.Fatalf("rebuild wrong: dense=%v count=%d", s.Dense(), s.Count())
+	}
+	// And back to dense again.
+	s.AppendSignature([]uint32{128, 129, 130})
+	if !s.Dense() || s.Count() != 3 {
+		t.Fatalf("second rebuild wrong: dense=%v count=%d", s.Dense(), s.Count())
+	}
+	if got := AndCount(&s, sigOf([]uint32{129, 131})); got != 1 {
+		t.Fatalf("reused signature AndCount = %d, want 1", got)
+	}
+}
+
+// TestSignatureRandomDifferential cross-checks AndCount against a naive map
+// intersection across layout combinations (dense×dense, dense×sparse,
+// sparse×sparse arise naturally from the universe sizes below).
+func TestSignatureRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	universes := []uint32{64, 500, 4096, 1 << 20}
+	for trial := 0; trial < 500; trial++ {
+		ua := universes[trial%len(universes)]
+		ub := universes[(trial/2)%len(universes)]
+		na, nb := rng.Intn(120), rng.Intn(120)
+		a := make([]uint32, 0, na)
+		for i := 0; i < na; i++ {
+			a = append(a, uint32(rng.Intn(int(ua))))
+		}
+		b := make([]uint32, 0, nb)
+		for i := 0; i < nb; i++ {
+			b = append(b, uint32(rng.Intn(int(ub))))
+		}
+		a, b = sortedUnique(a), sortedUnique(b)
+		want := naiveOverlap(a, b)
+		sa, sb := sigOf(a), sigOf(b)
+		if got := AndCount(sa, sb); got != want {
+			t.Fatalf("trial %d: AndCount = %d, want %d (a=%v b=%v)", trial, got, want, a, b)
+		}
+		if got := AndCount(sb, sa); got != want {
+			t.Fatalf("trial %d: AndCount swapped = %d, want %d", trial, got, want)
+		}
+		if sa.Count() != len(a) || sb.Count() != len(b) {
+			t.Fatalf("trial %d: Count mismatch: %d/%d vs %d/%d", trial, sa.Count(), len(a), sb.Count(), len(b))
+		}
+	}
+}

@@ -14,9 +14,10 @@ import (
 // blockingBenchInput builds the full blocking stack over the synthetic
 // Products dataset: generated features, a realistic two-rule sequence,
 // filter analysis, and warm indexes. reference selects the retired
-// string-based probe/vector path so `-bench BenchmarkBlocking` reports
-// before (reference) and after (ids) numbers from one binary.
-func blockingBenchInput(b *testing.B, reference bool) *Input {
+// string-based probe/vector path and idsOnly pins the sorted-merge ID
+// kernels, so `-bench BenchmarkBlocking` reports the retired string path,
+// the PR-3 merge baseline, and the bit-parallel default from one binary.
+func blockingBenchInput(b *testing.B, reference, idsOnly bool) *Input {
 	b.Helper()
 	ds := datagen.Products(0.05, 3)
 	set := feature.Generate(ds.A, ds.B)
@@ -48,6 +49,7 @@ func blockingBenchInput(b *testing.B, reference bool) *Input {
 	}
 	vz := feature.NewVectorizer(set, ds.A, ds.B)
 	vz.Reference = reference
+	vz.IDsOnly = idsOnly
 	vz.Warm()
 	return &Input{
 		A: ds.A, B: ds.B,
@@ -59,15 +61,17 @@ func blockingBenchInput(b *testing.B, reference bool) *Input {
 }
 
 // BenchmarkBlocking measures end-to-end apply_blocking_rules throughput
-// (probe + rule evaluation through the in-process engine) on the ID path
-// versus the retired string path.
+// (probe + rule evaluation through the in-process engine) on the
+// bit-parallel default versus the sorted-merge ID baseline and the retired
+// string path.
 func BenchmarkBlocking(b *testing.B) {
 	for _, mode := range []struct {
 		name      string
 		reference bool
-	}{{"reference", true}, {"ids", false}} {
+		idsOnly   bool
+	}{{"reference", true, false}, {"ids", false, true}, {"bitparallel", false, false}} {
 		b.Run(mode.name, func(b *testing.B) {
-			in := blockingBenchInput(b, mode.reference)
+			in := blockingBenchInput(b, mode.reference, mode.idsOnly)
 			cluster := mapreduce.Default()
 			ctx := context.Background()
 			// One untimed run warms every column cache and index.

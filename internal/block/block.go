@@ -212,35 +212,48 @@ func (in *Input) runClausePass(ctx context.Context, cluster *mapreduce.Cluster, 
 	}
 	bw := in.bWeight()
 	evalCost := in.evalCost()
-	job := mapreduce.Job[int, int32, int32, table.Pair]{
+	// Map records are whole B-row stripes (one record per split), so the
+	// batched probe path amortizes its index sessions and buffers across the
+	// stripe. The engine charges one implicit cost unit per map record; a
+	// stripe record carries len(rows) probes, so the Map compensates with
+	// len(rows)-1 to keep SimTime byte-identical with the per-row record
+	// shape (SplitSlice never yields an empty stripe).
+	stripes := in.bRows(cluster)
+	splits := make([][][]int, len(stripes))
+	for i, st := range stripes {
+		splits[i] = [][]int{st}
+	}
+	job := mapreduce.Job[[]int, int32, int32, table.Pair]{
 		Name:   "apply-blocking-rules/" + s.String(),
-		Splits: in.bRows(cluster),
-		Map: func(bRow int, ctx *mapreduce.MapCtx[int32, int32]) {
-			cands, all, cost := in.Indexes.RuleCandidates(in.Analysis, useClauses, in.B, bRow)
-			ctx.AddCost(cost)
-			if all {
-				// Filters could not prune this probe: every A tuple is a
-				// candidate.
-				for a := 0; a < in.A.Len(); a++ {
-					ctx.Emit(int32(a), int32(bRow))
+		Splits: splits,
+		Map: func(rows []int, ctx *mapreduce.MapCtx[int32, int32]) {
+			ctx.AddCost(int64(len(rows)) - 1)
+			in.Indexes.RuleCandidatesBatch(in.Analysis, useClauses, in.B, rows, func(i int, cands []int32, all bool, cost int64) {
+				bRow := int32(rows[i])
+				ctx.AddCost(cost)
+				if all {
+					// Filters could not prune this probe: every A tuple is
+					// a candidate.
+					for a := 0; a < in.A.Len(); a++ {
+						ctx.Emit(int32(a), bRow)
+						ctx.AddCost(bw)
+					}
+					return
+				}
+				for _, aid := range cands {
+					ctx.Emit(aid, bRow)
 					ctx.AddCost(bw)
 				}
-				return
-			}
-			for _, aid := range cands {
-				ctx.Emit(aid, int32(bRow))
-				ctx.AddCost(bw)
-			}
+			})
 		},
 		Reduce: func(aid int32, bRows []int32, ctx *mapreduce.ReduceCtx[table.Pair]) {
-			for _, bRow := range bRows {
-				p := table.Pair{A: int(aid), B: int(bRow)}
+			in.Vectorizer.BlockingVectorsBatch(int(aid), bRows, func(i int, values []float64) {
 				ctx.AddCost(evalCost)
 				ctx.Inc(counterEnumerated, 1)
-				if in.keepPair(p) {
-					ctx.Output(p)
+				if in.Analysis.CNF.Keep(values) {
+					ctx.Output(table.Pair{A: int(aid), B: int(bRows[i])})
 				}
-			}
+			})
 		},
 	}
 	res, err := mapreduce.RunContext(ctx, cluster, job)

@@ -12,18 +12,19 @@ import (
 	"falcon/internal/table"
 )
 
-// The dictionary-encoded token pipeline must be invisible in every output:
-// candidate pairs, feature vectors, modeled SimTime, and engine counters
-// have to match the retired string-based path bit for bit, for every
-// physical operator and any worker count. These golden tests prove it by
-// running each strategy under four configurations — ID path and reference
-// path, each at Workers=1 and Workers=8 — and deep-comparing the results.
-// (Plan-template coverage lives in core's worker-invariance tests, which
-// run both Figure-3 templates end-to-end on the ID path.)
+// The dictionary-encoded token pipeline and the bit-parallel kernels must be
+// invisible in every output: candidate pairs, feature vectors, modeled
+// SimTime, and engine counters have to match the retired string-based path
+// bit for bit, for every physical operator and any worker count. These
+// golden tests prove it by running each strategy under six configurations —
+// bit-parallel path (the default), sorted-merge ID path (IDsOnly), and
+// reference path, each at Workers=1 and Workers=8 — and deep-comparing the
+// results. (Plan-template coverage lives in core's worker-invariance tests,
+// which run both Figure-3 templates end-to-end on the default path.)
 
 // goldenInput builds a fresh Input over shared tables so per-config column
 // caches cannot leak between the reference and ID paths.
-func goldenInput(t *testing.T, a, b *table.Table, set *feature.Set, reference bool) *Input {
+func goldenInput(t *testing.T, a, b *table.Table, set *feature.Set, reference, idsOnly bool) *Input {
 	t.Helper()
 	feats := make([]*feature.Feature, len(set.BlockingIdx))
 	for i, idx := range set.BlockingIdx {
@@ -53,6 +54,7 @@ func goldenInput(t *testing.T, a, b *table.Table, set *feature.Set, reference bo
 	}
 	vz := feature.NewVectorizer(set, a, b)
 	vz.Reference = reference
+	vz.IDsOnly = idsOnly
 	return &Input{
 		A: a, B: b,
 		Analysis:   an,
@@ -68,18 +70,21 @@ func TestGoldenStringVsIDPathAllStrategies(t *testing.T) {
 	configs := []struct {
 		name      string
 		reference bool
+		idsOnly   bool
 		workers   int
 	}{
-		{"ids-w1", false, 1},
-		{"ids-w8", false, 8},
-		{"reference-w1", true, 1},
-		{"reference-w8", true, 8},
+		{"bitparallel-w1", false, false, 1},
+		{"bitparallel-w8", false, false, 8},
+		{"idsonly-w1", false, true, 1},
+		{"idsonly-w8", false, true, 8},
+		{"reference-w1", true, false, 1},
+		{"reference-w8", true, false, 8},
 	}
 	for _, s := range []Strategy{ApplyAll, ApplyGreedy, ApplyConjunct, ApplyPredicate, MapSide, ReduceSplit} {
 		var base *Result
 		var baseName string
 		for _, cfg := range configs {
-			in := goldenInput(t, a, bt, set, cfg.reference)
+			in := goldenInput(t, a, bt, set, cfg.reference, cfg.idsOnly)
 			cluster := mapreduce.Default()
 			cluster.Workers = cfg.workers
 			res, err := Run(context.Background(), cluster, in, s)
@@ -113,30 +118,38 @@ func TestGoldenStringVsIDPathAllStrategies(t *testing.T) {
 
 // TestGoldenVectorsStringVsIDPath proves bit-identical feature vectors —
 // the full matching-stage feature space, not just the blocking subset —
-// between the reference evaluator and the dictionary/scratch evaluator.
+// between the reference evaluator, the sorted-merge ID evaluator, and the
+// bit-parallel evaluator.
 func TestGoldenVectorsStringVsIDPath(t *testing.T) {
 	a, bt := mkTables(90, 60, 12)
 	set := feature.Generate(a, bt)
 	ref := feature.NewVectorizer(set, a, bt)
 	ref.Reference = true
 	ids := feature.NewVectorizer(set, a, bt)
+	ids.IDsOnly = true
 	ids.Warm()
+	bp := feature.NewVectorizer(set, a, bt)
+	bp.Warm()
 	for ai := 0; ai < a.Len(); ai += 3 {
 		for bi := 0; bi < bt.Len(); bi += 2 {
 			p := table.Pair{A: ai, B: bi}
-			rv, iv := ref.Vector(p), ids.Vector(p)
-			if len(rv.Values) != len(iv.Values) {
-				t.Fatalf("%v: vector lengths differ: %d vs %d", p, len(rv.Values), len(iv.Values))
+			rv, iv, pv := ref.Vector(p), ids.Vector(p), bp.Vector(p)
+			if len(rv.Values) != len(iv.Values) || len(rv.Values) != len(pv.Values) {
+				t.Fatalf("%v: vector lengths differ: %d vs %d vs %d", p, len(rv.Values), len(iv.Values), len(pv.Values))
 			}
 			for k := range rv.Values {
 				if math.Float64bits(rv.Values[k]) != math.Float64bits(iv.Values[k]) {
 					t.Fatalf("%v: feature %q = %v (reference) vs %v (ids)", p, set.Features[k].Name, rv.Values[k], iv.Values[k])
 				}
+				if math.Float64bits(rv.Values[k]) != math.Float64bits(pv.Values[k]) {
+					t.Fatalf("%v: feature %q = %v (reference) vs %v (bitparallel)", p, set.Features[k].Name, rv.Values[k], pv.Values[k])
+				}
 			}
-			rb, ib := ref.BlockingVector(p), ids.BlockingVector(p)
+			rb, ib, pb := ref.BlockingVector(p), ids.BlockingVector(p), bp.BlockingVector(p)
 			for k := range rb.Values {
-				if math.Float64bits(rb.Values[k]) != math.Float64bits(ib.Values[k]) {
-					t.Fatalf("%v: blocking feature %d = %v vs %v", p, k, rb.Values[k], ib.Values[k])
+				if math.Float64bits(rb.Values[k]) != math.Float64bits(ib.Values[k]) ||
+					math.Float64bits(rb.Values[k]) != math.Float64bits(pb.Values[k]) {
+					t.Fatalf("%v: blocking feature %d = %v vs %v vs %v", p, k, rb.Values[k], ib.Values[k], pb.Values[k])
 				}
 			}
 		}

@@ -252,6 +252,28 @@ func CountSet(m simfn.Measure) bool { return isCountSet(m) }
 // Vectorizer.
 func EvalCountSet(m simfn.Measure, a, b []uint32) float64 { return evalSetIDs(m, a, b) }
 
+// EvalCountSetPacked is EvalCountSet on pre-packed operands: the measure runs
+// on the bit-parallel signatures when both sides carry one, and falls back to
+// the sorted merge otherwise. Bit-identical to EvalCountSet by construction —
+// both paths feed the same intersection cardinality through the same float
+// arithmetic (see simfn.OverlapPacked).
+//
+//falcon:hotpath
+func EvalCountSetPacked(m simfn.Measure, a, b *simfn.PackedIDs) float64 {
+	switch m {
+	case simfn.MJaccard:
+		return simfn.JaccardPacked(a, b)
+	case simfn.MDice:
+		return simfn.DicePacked(a, b)
+	case simfn.MOverlap:
+		return simfn.OverlapSimPacked(a, b)
+	case simfn.MCosine:
+		return simfn.CosinePacked(a, b)
+	default:
+		panic("feature: not a count-set measure: " + m.String())
+	}
+}
+
 // EvalStrings evaluates a sequence/string measure on pre-normalized values
 // with reusable DP scratch — the serving-path twin of evalStringsScratch.
 func EvalStrings(m simfn.Measure, av, bv string, s *simfn.Scratch) float64 {

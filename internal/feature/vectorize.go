@@ -47,6 +47,13 @@ type Vectorizer struct {
 	// produce bit-identical vectors.
 	Reference bool
 
+	// IDsOnly routes the count-set measures through the sorted-merge ID
+	// kernels instead of the bit-parallel signature kernels. Test- and
+	// benchmark-only: it pins down the PR-3 baseline the golden tests and
+	// BENCH_blocking.json compare the packed kernels against (the two paths
+	// are bit-identical; see simfn.OverlapPacked).
+	IDsOnly bool
+
 	mu     sync.RWMutex
 	tokA   map[tokKey][][]string // (col,kind) → per-row token sets
 	tokB   map[tokKey][][]string
@@ -80,10 +87,14 @@ type corrKey struct {
 
 // idCols holds both sides of a correspondence as sorted token-ID sets,
 // plus the shared dictionary they are encoded under (retained so the
-// trained artifact can ship the correspondence frozen).
+// trained artifact can ship the correspondence frozen). pa/pb carry the
+// same rows with bit-parallel signatures attached (the IDs slices are
+// shared, not copied), packed once at column-build time so the per-pair
+// kernels never pay packing cost.
 type idCols struct {
-	dict *tokenize.Dict
-	a, b [][]uint32
+	dict   *tokenize.Dict
+	a, b   [][]uint32
+	pa, pb []simfn.PackedIDs
 }
 
 // docCols holds both sides of a correspondence as frozen IDF-weighted
@@ -99,6 +110,7 @@ type featCols struct {
 	numA, numB   []float64
 	okA, okB     []bool
 	idsA, idsB   [][]uint32
+	packA, packB []simfn.PackedIDs
 	tokA, tokB   [][]string
 	docA, docB   []simfn.WeightedDoc
 	normA, normB []string
@@ -322,7 +334,16 @@ func buildIDCols(ta, tb [][]string) *idCols {
 		}
 		return out
 	}
-	return &idCols{dict: dict, a: encode(ta), b: encode(tb)}
+	pack := func(rows [][]uint32) []simfn.PackedIDs {
+		out := make([]simfn.PackedIDs, len(rows))
+		for i, ids := range rows {
+			out[i] = simfn.PackIDs(ids)
+		}
+		return out
+	}
+	c := &idCols{dict: dict, a: encode(ta), b: encode(tb)}
+	c.pa, c.pb = pack(c.a), pack(c.b)
+	return c
 }
 
 // CorrIDs exposes one correspondence's shared frequency-ordered dictionary
@@ -362,6 +383,7 @@ func (v *Vectorizer) featData(f *Feature) *featCols {
 	case isCountSet(f.Measure):
 		c := v.idColsFor(f.ACol, f.BCol, f.Token)
 		fc.idsA, fc.idsB = c.a, c.b
+		fc.packA, fc.packB = c.pa, c.pb
 	case f.Measure.SetBased(): // Monge-Elkan, TF/IDF family: real tokens
 		fc.tokA = v.tokenCol(true, f.ACol, f.Token)
 		fc.tokB = v.tokenCol(false, f.BCol, f.Token)
@@ -449,6 +471,15 @@ func (v *Vectorizer) evalCached(f *Feature, p table.Pair, s *simfn.Scratch) floa
 	}
 	//falcon:allow servebudget cold-path column build under the write lock; Warm() pre-builds every bundle so serving always takes the atomic Load fast path
 	fc := v.featData(f)
+	return v.evalWithCols(f, fc, p, s)
+}
+
+// evalWithCols is evalCached after bundle resolution: pure arithmetic over
+// the frozen columns. Split out so batch entry points can hoist the featData
+// loads out of their per-pair loops.
+//
+//falcon:hotpath
+func (v *Vectorizer) evalWithCols(f *Feature, fc *featCols, p table.Pair, s *simfn.Scratch) float64 {
 	switch {
 	case f.Measure.NumericBased():
 		if !fc.okA[p.A] || !fc.okB[p.B] {
@@ -459,7 +490,10 @@ func (v *Vectorizer) evalCached(f *Feature, p table.Pair, s *simfn.Scratch) floa
 		}
 		return simfn.RelDiff(fc.numA[p.A], fc.numB[p.B])
 	case isCountSet(f.Measure):
-		return evalSetIDs(f.Measure, fc.idsA[p.A], fc.idsB[p.B])
+		if v.IDsOnly {
+			return evalSetIDs(f.Measure, fc.idsA[p.A], fc.idsB[p.B])
+		}
+		return EvalCountSetPacked(f.Measure, &fc.packA[p.A], &fc.packB[p.B])
 	case f.Measure == simfn.MMongeElkan:
 		return s.MongeElkan(fc.tokA[p.A], fc.tokB[p.B])
 	case f.Measure.CorpusBased():
@@ -519,6 +553,60 @@ func (v *Vectorizer) Warm() {
 			v.tokenCol(true, f.ACol, f.Token)
 			v.tokenCol(false, f.BCol, f.Token)
 		}
+	}
+}
+
+// batchBuf pools the reusable state of one BlockingVectorsBatch call — the
+// value row handed to visit and the hoisted per-feature bundle loads — so
+// steady-state batch scoring allocates nothing.
+type batchBuf struct {
+	vals  []float64
+	feats []*Feature
+	cols  []*featCols
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchBuf) }}
+
+// BlockingVectorsBatch evaluates the blocking features of pair (a, bRow) for
+// every bRow in bRows, calling visit(i, values) in input order. values is
+// indexed by position in Set.BlockingIdx, reused across rows, and valid only
+// during the visit call. Each row computes exactly what BlockingVectorScratch
+// computes — same features, same order, same arithmetic — with the scratch
+// acquisition, column-bundle loads, and Values allocation hoisted out of the
+// per-pair loop.
+func (v *Vectorizer) BlockingVectorsBatch(a int, bRows []int32, visit func(i int, values []float64)) {
+	idx := v.Set.BlockingIdx
+	s := simfn.GetScratch()
+	defer simfn.PutScratch(s)
+	bb := batchPool.Get().(*batchBuf)
+	defer batchPool.Put(bb)
+	if cap(bb.vals) < len(idx) {
+		bb.vals = make([]float64, len(idx))
+	}
+	vals := bb.vals[:len(idx)]
+	if v.Reference {
+		// The oracle path stays per-pair; evalCached routes to it.
+		for i, bRow := range bRows {
+			p := table.Pair{A: a, B: int(bRow)}
+			for j, fi := range idx {
+				vals[j] = v.evalCached(&v.Set.Features[fi], p, s)
+			}
+			visit(i, vals)
+		}
+		return
+	}
+	bb.feats, bb.cols = bb.feats[:0], bb.cols[:0]
+	for _, fi := range idx {
+		f := &v.Set.Features[fi]
+		bb.feats = append(bb.feats, f)
+		bb.cols = append(bb.cols, v.featData(f))
+	}
+	for i, bRow := range bRows {
+		p := table.Pair{A: a, B: int(bRow)}
+		for j, f := range bb.feats {
+			vals[j] = v.evalWithCols(f, bb.cols[j], p, s)
+		}
+		visit(i, vals)
 	}
 }
 

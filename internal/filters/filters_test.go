@@ -408,3 +408,42 @@ func TestQuickClauseSubsetMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRuleCandidatesBatchEquivalence: the batched entry point must report,
+// for every row, exactly what the per-row path reports — same candidates,
+// same all flag, same probe cost — in both the ID path and Reference mode
+// (where every prefix predicate takes the per-row fallback inside the batch).
+func TestRuleCandidatesBatchEquivalence(t *testing.T) {
+	a, b := booksTables(200, 60, 12)
+	an, ix, _, _ := buildAnalysis(t, a, b)
+	for _, ref := range []bool{false, true} {
+		ix.Reference = ref
+		rows := make([]int, 0, b.Len())
+		for r := 0; r < b.Len(); r++ {
+			rows = append(rows, r)
+		}
+		visited := 0
+		ix.RuleCandidatesBatch(an, nil, b, rows, func(i int, cands []int32, all bool, cost int64) {
+			if i != visited {
+				t.Fatalf("ref=%v: visit order %d, want %d", ref, i, visited)
+			}
+			visited++
+			wc, wAll, wCost := ix.RuleCandidates(an, nil, b, rows[i])
+			if all != wAll || cost != wCost {
+				t.Fatalf("ref=%v row %d: (all,cost)=(%v,%d), want (%v,%d)", ref, rows[i], all, cost, wAll, wCost)
+			}
+			if len(cands) != len(wc) {
+				t.Fatalf("ref=%v row %d: %d candidates, want %d", ref, rows[i], len(cands), len(wc))
+			}
+			for j := range cands {
+				if cands[j] != wc[j] {
+					t.Fatalf("ref=%v row %d: cands[%d]=%d, want %d", ref, rows[i], j, cands[j], wc[j])
+				}
+			}
+		})
+		if visited != len(rows) {
+			t.Fatalf("ref=%v: visited %d rows, want %d", ref, visited, len(rows))
+		}
+	}
+	ix.Reference = false
+}

@@ -367,6 +367,178 @@ func (ix *Indexes) RuleCandidates(a *Analysis, use []int, b *table.Table, row in
 	return cands, false, cost
 }
 
+// batchPred is one predicate occurrence's hoisted probe state inside a
+// RuleCandidatesBatch call. pr != nil means the predicate probes through a
+// pinned index session (the batched ID path); otherwise it falls back to the
+// per-row PredCandidates path (Equivalence, Range, Reference mode, and
+// extension-carrying prefix indexes).
+type batchPred struct {
+	bp  BoundPred
+	pr  *index.Prober
+	col [][]uint32 // encoded probe column for the session path
+	buf []int32    // probe result buffer, reused across rows
+}
+
+// batchClause is one clause's hoisted batch state: its predicates plus union
+// buffers grown to the clause's high-water mark across the batch.
+type batchClause struct {
+	info   ClauseInfo
+	preds  []batchPred
+	lists  [][]int32
+	u1, u2 []int32
+}
+
+// candidates is ClauseCandidates through the hoisted state: identical
+// candidate IDs, all flag, and probe cost, with the probe and union results
+// landing in reused buffers. The returned slice is valid until the clause is
+// evaluated for the next row.
+func (bc *batchClause) candidates(ix *Indexes, b *table.Table, row int) (cands []int32, all bool, cost int64) {
+	if !bc.info.Filterable {
+		return nil, true, 0
+	}
+	bc.lists = bc.lists[:0]
+	for pi := range bc.preds {
+		p := &bc.preds[pi]
+		var got []int32
+		var isAll bool
+		var c int64
+		if p.pr != nil {
+			var probes int64
+			p.buf, probes = p.pr.ProbeIDsInto(p.bp.Feat.Measure, p.bp.Threshold, p.col[row], p.buf[:0])
+			got, isAll, c = p.buf, false, probes+1
+		} else {
+			got, isAll, c = ix.PredCandidates(p.bp, b, row)
+		}
+		cost += c
+		if isAll {
+			return nil, true, cost
+		}
+		bc.lists = append(bc.lists, got)
+	}
+	return bc.union(bc.lists), false, cost
+}
+
+// union is unionSorted into the clause's double buffer. Alternating the
+// destination guarantees the accumulator never aliases the buffer being
+// written.
+func (bc *batchClause) union(lists [][]int32) []int32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	out := lists[0]
+	useFirst := true
+	for _, l := range lists[1:] {
+		var dst []int32
+		if useFirst {
+			dst = bc.u1[:0]
+		} else {
+			dst = bc.u2[:0]
+		}
+		dst = mergeUnionInto(dst, out, l)
+		if useFirst {
+			bc.u1 = dst
+		} else {
+			bc.u2 = dst
+		}
+		out = dst
+		useFirst = !useFirst
+	}
+	return out
+}
+
+// RuleCandidatesBatch runs RuleCandidates for every B row in rows, calling
+// visit(i, cands, all, cost) in input order. Per-row results are identical —
+// same candidate IDs, same all flag, same probe cost, in the same clause and
+// predicate order — but the per-row setup is hoisted out of the loop: each
+// prefix predicate pins one probe session (index.Prober) for the whole batch,
+// the encoded probe columns are resolved once, and probe, union, and
+// intersection results land in buffers reused across rows. cands is valid
+// only during the visit call.
+func (ix *Indexes) RuleCandidatesBatch(a *Analysis, use []int, b *table.Table, rows []int, visit func(i int, cands []int32, all bool, cost int64)) {
+	if use == nil {
+		use = a.FilterableClauses()
+	}
+	clauses := make([]*batchClause, len(use))
+	for ci, cidx := range use {
+		bc := &batchClause{info: a.Clauses[cidx]}
+		if bc.info.Filterable {
+			for _, bp := range bc.info.Preds {
+				pred := batchPred{bp: bp}
+				if bp.Kind == PrefixSet || bp.Kind == ShareGram {
+					tok := bp.Feat.Token
+					if bp.Kind == ShareGram {
+						tok = tokenize.Gram3
+					}
+					idx := ix.prefix[specKey{bp.Kind, bp.Feat.ACol, tok, bp.Feat.Measure}]
+					if idx != nil && !ix.Reference && !idx.HasExtension() {
+						//falcon:allow scratchescape the batch owns the session for the stripe; the deferred cleanup releases every prober
+						pred.pr = idx.AcquireProber()
+						pred.col = ix.encodedCol(b, bp.Feat.BCol, ordKey{bp.Feat.ACol, idx.Kind})
+					}
+				}
+				bc.preds = append(bc.preds, pred)
+			}
+		}
+		clauses[ci] = bc
+	}
+	defer func() {
+		for _, bc := range clauses {
+			for i := range bc.preds {
+				if bc.preds[i].pr != nil {
+					bc.preds[i].pr.Release()
+				}
+			}
+		}
+	}()
+
+	var i1, i2 []int32 // intersection double buffer
+	for ri, row := range rows {
+		var cands []int32
+		var cost int64
+		first, empty, useFirst := true, false, true
+		for _, bc := range clauses {
+			got, isAll, c := bc.candidates(ix, b, row)
+			cost += c
+			if isAll {
+				continue
+			}
+			if first {
+				cands, first = got, false
+				continue
+			}
+			var dst []int32
+			if useFirst {
+				dst = i1[:0]
+			} else {
+				dst = i2[:0]
+			}
+			dst = intersectInto(dst, cands, got)
+			if useFirst {
+				i1 = dst
+			} else {
+				i2 = dst
+			}
+			cands = dst
+			useFirst = !useFirst
+			if len(cands) == 0 {
+				empty = true
+				break
+			}
+		}
+		switch {
+		case first:
+			visit(ri, nil, true, cost)
+		case empty:
+			visit(ri, nil, false, cost)
+		default:
+			visit(ri, cands, false, cost)
+		}
+	}
+}
+
 func sortIDs(ids []int32) { slices.Sort(ids) }
 
 // unionSorted merges sorted ID lists into a sorted, de-duplicated union.
@@ -385,29 +557,39 @@ func unionSorted(lists [][]int32) []int32 {
 }
 
 func mergeUnion(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
+	return mergeUnionInto(make([]int32, 0, len(a)+len(b)), a, b)
+}
+
+// mergeUnionInto appends the sorted de-duplicated union of a and b to dst.
+// dst must not alias a or b.
+func mergeUnionInto(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 func intersectSorted(a, b []int32) []int32 {
-	var out []int32
+	return intersectInto(nil, a, b)
+}
+
+// intersectInto appends the sorted intersection of a and b to dst. dst must
+// not alias a or b.
+func intersectInto(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -416,10 +598,10 @@ func intersectSorted(a, b []int32) []int32 {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }

@@ -362,6 +362,87 @@ func TestQuickThresholdMonotone(t *testing.T) {
 	}
 }
 
+// TestProbeBatchedEntryPoints proves the buffer-reusing probe entry points
+// (ProbeIDsInto, the Prober session, and ProbeIDsBatch) return exactly the
+// candidates and lookup counts of ProbeIDs, probe after probe, including
+// empty probes and scratch reuse across rows.
+func TestProbeBatchedEntryPoints(t *testing.T) {
+	a := titlesTable(300, 6)
+	probeT := titlesTable(80, 7)
+	ord := BuildOrdering(TokenFrequencies(a, 0, tokenize.Word))
+	for _, thr := range []float64{0.4, 0.7} {
+		idx := BuildPrefix(a, 0, tokenize.Word, ord, simfn.MJaccard, thr)
+		rows := make([][]uint32, probeT.Len())
+		for r := range rows {
+			toks := tokenize.Set(tokenize.Word, probeT.Value(r, 0))
+			if r == 17 {
+				toks = nil // exercise the empty-probe path mid-batch
+			}
+			ids := make([]uint32, 0, len(toks))
+			for _, tok := range toks {
+				if id, known := ord.Dict().ID(tok); known {
+					ids = append(ids, id)
+				}
+			}
+			slices.Sort(ids)
+			rows[r] = ids
+		}
+
+		wantCands := make([][]int32, len(rows))
+		wantProbes := make([]int64, len(rows))
+		for r, ids := range rows {
+			wantCands[r], wantProbes[r] = idx.ProbeIDs(simfn.MJaccard, thr, ids)
+		}
+
+		// ProbeIDsInto with a shared, growing buffer.
+		var buf []int32
+		for r, ids := range rows {
+			start := len(buf)
+			var n int64
+			buf, n = idx.ProbeIDsInto(simfn.MJaccard, thr, ids, buf)
+			if !slices.Equal(buf[start:], wantCands[r]) && len(buf[start:])+len(wantCands[r]) > 0 {
+				t.Fatalf("thr=%.1f row %d: ProbeIDsInto cands %v, want %v", thr, r, buf[start:], wantCands[r])
+			}
+			if n != wantProbes[r] {
+				t.Fatalf("thr=%.1f row %d: ProbeIDsInto probes %d, want %d", thr, r, n, wantProbes[r])
+			}
+		}
+
+		// Prober session reused across every row.
+		p := idx.AcquireProber()
+		for r, ids := range rows {
+			var got []int32
+			got, n := p.ProbeIDsInto(simfn.MJaccard, thr, ids, nil)
+			if !slices.Equal(got, wantCands[r]) && len(got)+len(wantCands[r]) > 0 {
+				t.Fatalf("thr=%.1f row %d: Prober cands %v, want %v", thr, r, got, wantCands[r])
+			}
+			if n != wantProbes[r] {
+				t.Fatalf("thr=%.1f row %d: Prober probes %d, want %d", thr, r, n, wantProbes[r])
+			}
+		}
+		p.Release()
+
+		// ProbeIDsBatch over the whole row set at once.
+		var total int64
+		visited := 0
+		probes := idx.ProbeIDsBatch(simfn.MJaccard, thr, rows, func(row int, cands []int32) {
+			if row != visited {
+				t.Fatalf("batch visited row %d, want %d", row, visited)
+			}
+			if !slices.Equal(cands, wantCands[row]) && len(cands)+len(wantCands[row]) > 0 {
+				t.Fatalf("thr=%.1f row %d: batch cands %v, want %v", thr, row, cands, wantCands[row])
+			}
+			visited++
+		})
+		for _, n := range wantProbes {
+			total += n
+		}
+		if visited != len(rows) || probes != total {
+			t.Fatalf("thr=%.1f: batch visited %d/%d rows, probes %d want %d", thr, visited, len(rows), probes, total)
+		}
+	}
+}
+
 // BenchmarkPrefixProbe measures prefix-index probe throughput over the
 // synthetic Products titles, comparing the retired string probe against the
 // dictionary-ID probe. The B rows are encoded once up front — mirroring the
@@ -404,6 +485,18 @@ func BenchmarkPrefixProbe(b *testing.B) {
 	b.Run("ids", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			idx.ProbeIDs(simfn.MJaccard, 0.6, rows[i%len(rows)])
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+	})
+	b.Run("bitparallel", func(b *testing.B) {
+		p := idx.AcquireProber()
+		defer p.Release()
+		buf := make([]int32, 0, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			buf, _ = p.ProbeIDsInto(simfn.MJaccard, 0.6, rows[i%len(rows)], buf)
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "probes/s")
 	})

@@ -316,24 +316,21 @@ func (idx *PrefixIndex) Probe(m simfn.Measure, threshold float64, value string) 
 	return idx.finishProbe(s), probes
 }
 
-// ProbeIDs is Probe over a dictionary-encoded token set: ids must be the
-// probe value's token IDs under the index ordering's dictionary, sorted
-// ascending (= reordered), with tokens unknown to the ordering encoded as
-// any distinct values ≥ Ordering.Len(). Unknown tokens have no postings but
-// still cost one lookup each, exactly like the string path. ProbeIDs
-// requires an index without extension tokens (see hasExtension); the
-// registry guarantees that by falling back to Probe.
+// collectIDProbe runs one encoded probe into the scratch: prefix length and
+// length-filter bounds are computed once up front, then every posting under
+// the prefix goes through the length/position filters. Survivors accumulate
+// unsorted in s.cands with the seen bitmap deduplicating. Returns the lookup
+// count (1 per prefix position + 1 per posting, exactly like the string
+// path).
 //
 //falcon:hotpath
-func (idx *PrefixIndex) ProbeIDs(m simfn.Measure, threshold float64, ids []uint32) (cands []int32, probes int64) {
-	idx.checkThreshold(threshold)
+func (idx *PrefixIndex) collectIDProbe(s *probeScratch, m simfn.Measure, threshold float64, ids []uint32) (probes int64) {
 	ly := len(ids)
 	if ly == 0 {
-		return nil, 0
+		return 0
 	}
 	p := PrefixLen(m, ly, threshold)
 	lo, hi, hasLen := LengthBounds(m, ly, threshold)
-	s := idx.scratch.Get().(*probeScratch)
 	for pos := 0; pos < p; pos++ {
 		var plist []Posting
 		if id := ids[pos]; int64(id) < int64(len(idx.post)) {
@@ -345,7 +342,116 @@ func (idx *PrefixIndex) ProbeIDs(m simfn.Measure, threshold float64, ids []uint3
 			idx.filterPosting(s, m, threshold, ly, pos, pst, lo, hi, hasLen)
 		}
 	}
+	return probes
+}
+
+// drainSorted sorts the accumulated candidates, appends them to dst, and
+// resets the scratch (bitmap cleared per-candidate, accumulator truncated)
+// so the next probe starts clean. It never allocates beyond dst's growth.
+func drainSorted(s *probeScratch, dst []int32) []int32 {
+	if len(s.cands) > 0 {
+		slices.Sort(s.cands)
+		dst = append(dst, s.cands...)
+	}
+	for _, id := range s.cands {
+		s.seen.Clear(int(id))
+	}
+	s.cands = s.cands[:0]
+	return dst
+}
+
+// ProbeIDs is Probe over a dictionary-encoded token set: ids must be the
+// probe value's token IDs under the index ordering's dictionary, sorted
+// ascending (= reordered), with tokens unknown to the ordering encoded as
+// any distinct values ≥ Ordering.Len(). Unknown tokens have no postings but
+// still cost one lookup each, exactly like the string path. ProbeIDs
+// requires an index without extension tokens (see hasExtension); the
+// registry guarantees that by falling back to Probe.
+//
+//falcon:hotpath
+func (idx *PrefixIndex) ProbeIDs(m simfn.Measure, threshold float64, ids []uint32) (cands []int32, probes int64) {
+	idx.checkThreshold(threshold)
+	if len(ids) == 0 {
+		return nil, 0
+	}
+	s := idx.scratch.Get().(*probeScratch)
+	probes = idx.collectIDProbe(s, m, threshold, ids)
 	return idx.finishProbe(s), probes
+}
+
+// ProbeIDsInto is ProbeIDs appending into a caller-owned buffer: the sorted
+// candidates land at the end of dst and no result slice is allocated, so
+// steady-state callers (one probe per request per predicate) stay
+// allocation-free once dst reaches its high-water mark.
+//
+//falcon:hotpath
+func (idx *PrefixIndex) ProbeIDsInto(m simfn.Measure, threshold float64, ids []uint32, dst []int32) ([]int32, int64) {
+	idx.checkThreshold(threshold)
+	if len(ids) == 0 {
+		return dst, 0
+	}
+	s := idx.scratch.Get().(*probeScratch)
+	probes := idx.collectIDProbe(s, m, threshold, ids)
+	dst = drainSorted(s, dst)
+	idx.scratch.Put(s)
+	return dst, probes
+}
+
+// Prober is a reusable probe session over one PrefixIndex: it pins a probe
+// scratch (dedup bitmap + accumulator) for its lifetime, so a caller
+// probing many rows — a blocking stripe, a serve request's predicates —
+// pays the pool round-trip once instead of per probe. Not safe for
+// concurrent use; Release returns the scratch to the index's pool.
+type Prober struct {
+	idx *PrefixIndex
+	s   *probeScratch
+	buf []int32
+}
+
+// AcquireProber pins a probe scratch and returns the session.
+func (idx *PrefixIndex) AcquireProber() *Prober {
+	//falcon:allow scratchescape the prober is the sanctioned session wrapper around the probe scratch; callers must pair it with Release
+	return &Prober{idx: idx, s: idx.scratch.Get().(*probeScratch)}
+}
+
+// Release returns the session's scratch to the index pool.
+func (p *Prober) Release() {
+	p.idx.scratch.Put(p.s)
+	p.s = nil
+}
+
+// ProbeIDsInto probes one encoded row and appends the sorted surviving
+// candidates to dst, reusing the session scratch. Semantics and lookup
+// accounting match PrefixIndex.ProbeIDs exactly.
+//
+//falcon:hotpath
+func (p *Prober) ProbeIDsInto(m simfn.Measure, threshold float64, ids []uint32, dst []int32) ([]int32, int64) {
+	p.idx.checkThreshold(threshold)
+	if len(ids) == 0 {
+		return dst, 0
+	}
+	probes := p.idx.collectIDProbe(p.s, m, threshold, ids)
+	return drainSorted(p.s, dst), probes
+}
+
+// ProbeIDsBatch probes every encoded row in one call and hands each row's
+// surviving candidates to visit in row order, reusing one scratch and one
+// candidate buffer across the whole batch (the cands slice is only valid
+// during the visit call). Returns the total lookup count; per-row semantics
+// and accounting match ProbeIDs exactly.
+func (idx *PrefixIndex) ProbeIDsBatch(m simfn.Measure, threshold float64, rows [][]uint32, visit func(row int, cands []int32)) int64 {
+	idx.checkThreshold(threshold)
+	p := idx.AcquireProber()
+	defer p.Release()
+	var probes int64
+	for r, ids := range rows {
+		p.buf = p.buf[:0]
+		var n int64
+		p.buf, n = p.ProbeIDsInto(m, threshold, ids, p.buf)
+		probes += n
+		visit(r, p.buf)
+	}
+	return probes
 }
 
 // referenceProbe is the retired string-keyed probe, kept verbatim as the

@@ -24,15 +24,17 @@ type Match struct {
 // Slices are reused via [:0] re-slicing; capacities grow to the workload's
 // high-water mark and stick.
 type reqScratch struct {
-	num   []float64           // per feature: parsed record numeric
-	numOk []bool              // per feature: numeric parse success
-	ids   [][]uint32          // per feature: encoded record token-ID set
-	docs  []simfn.WeightedDoc // per feature: record weighted document
-	norm  []string            // per feature: normalized record string
-	toks  [][]string          // per token slot: record token set
-	pids  [][]uint32          // per prefix pred slot: probe-encoded IDs
-	bvals []float64           // blocking-vector buffer
-	vals  []float64           // full-vector buffer
+	num    []float64           // per feature: parsed record numeric
+	numOk  []bool              // per feature: numeric parse success
+	ids    [][]uint32          // per feature: encoded record token-ID set
+	pack   []simfn.PackedIDs   // per feature: ids with signature attached
+	docs   []simfn.WeightedDoc // per feature: record weighted document
+	norm   []string            // per feature: normalized record string
+	toks   [][]string          // per token slot: record token set
+	pids   [][]uint32          // per prefix pred slot: probe-encoded IDs
+	pcands [][]int32           // per prefix pred slot: probe result buffer
+	bvals  []float64           // blocking-vector buffer
+	vals   []float64           // full-vector buffer
 
 	union []int32 // clause-union double buffer
 	utmp  []int32
@@ -46,8 +48,9 @@ type reqScratch struct {
 // learned CNF's filter indexes, CNF verification on the blocking vector,
 // then forest scoring on the full vector. Lock-free: all shared state is
 // the frozen bundle; per-request state comes from the scratch pool. The
-// documented per-request allocations are the record tokenizations, the
-// index probe result lists, and the returned match slice.
+// documented per-request allocations are the record tokenizations and the
+// returned match slice; probe results land in pooled per-slot buffers via
+// the batched probe entry points.
 //
 //falcon:hotpath
 func (bn *Bundle) MatchOne(rec []string) ([]Match, error) {
@@ -120,6 +123,7 @@ func (bn *Bundle) prepare(rs *reqScratch, rec []string) {
 			}
 			slices.Sort(ids)
 			rs.ids[fi] = ids
+			rs.pack[fi].Repack(ids)
 		case fc.corpus != nil:
 			//falcon:allow servebudget documented per-request weighted-document build over the frozen corpus
 			rs.docs[fi] = fc.corpus.WeightedDocOf(rs.toks[fc.tokSlot])
@@ -266,7 +270,8 @@ func (bn *Bundle) predCands(rs *reqScratch, pp *predPlan, rec []string) (cands [
 		slices.Sort(got)
 		return got, false
 	default: // PrefixSet, ShareGram
-		got, _ := pp.prefix.ProbeIDs(pp.measure, pp.threshold, rs.pids[pp.slot])
+		got, _ := pp.prefix.ProbeIDsInto(pp.measure, pp.threshold, rs.pids[pp.slot], rs.pcands[pp.slot][:0])
+		rs.pcands[pp.slot] = got
 		return got, false
 	}
 }
@@ -310,7 +315,7 @@ func (bn *Bundle) evalFeature(fi int, rs *reqScratch, s *simfn.Scratch, row int)
 		}
 		return simfn.RelDiff(rs.num[fi], fc.numB[row])
 	case fc.dict != nil:
-		return feature.EvalCountSet(fc.measure, rs.ids[fi], fc.idsB[row])
+		return feature.EvalCountSetPacked(fc.measure, &rs.pack[fi], &fc.packB[row])
 	case fc.measure == simfn.MMongeElkan:
 		return s.MongeElkan(rs.toks[fc.tokSlot], fc.tokB[row])
 	case fc.measure.CorpusBased():

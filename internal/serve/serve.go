@@ -53,6 +53,7 @@ type featCols struct {
 	numB  []float64
 	okB   []bool
 	idsB  [][]uint32
+	packB []simfn.PackedIDs // idsB with bit-parallel signatures attached
 	tokB  [][]string
 	docB  []simfn.WeightedDoc
 	normB []string
@@ -153,15 +154,17 @@ func NewBundle(art *model.MatcherArtifact) (*Bundle, error) {
 	np := bn.nPredSlots
 	bn.scratch.New = func() any {
 		return &reqScratch{
-			num:   make([]float64, nf),
-			numOk: make([]bool, nf),
-			ids:   make([][]uint32, nf),
-			docs:  make([]simfn.WeightedDoc, nf),
-			norm:  make([]string, nf),
-			toks:  make([][]string, nt),
-			pids:  make([][]uint32, np),
-			bvals: make([]float64, nb),
-			vals:  make([]float64, nf),
+			num:    make([]float64, nf),
+			numOk:  make([]bool, nf),
+			ids:    make([][]uint32, nf),
+			pack:   make([]simfn.PackedIDs, nf),
+			docs:   make([]simfn.WeightedDoc, nf),
+			norm:   make([]string, nf),
+			toks:   make([][]string, nt),
+			pids:   make([][]uint32, np),
+			pcands: make([][]int32, np),
+			bvals:  make([]float64, nb),
+			vals:   make([]float64, nf),
 		}
 	}
 	return bn, nil
@@ -175,6 +178,7 @@ func (bn *Bundle) resolveFeatures(corpora []*simfn.Corpus) error {
 	numCache := map[int][]float64{}
 	okCache := map[int][]bool{}
 	normCache := map[int][]string{}
+	packCache := map[string][]simfn.PackedIDs{}
 	slotOf := map[tokSlot]int{}
 
 	tokCol := func(col int, kind tokenize.Kind) [][]string {
@@ -243,6 +247,19 @@ func (bn *Bundle) resolveFeatures(corpora []*simfn.Corpus) error {
 				}
 				fc.dict = dict
 				fc.idsB = corr.RowsB
+				// Signatures are a serving-side resolution of the frozen ID
+				// rows — the artifact wire format is untouched. Features of
+				// one correspondence share the packed column.
+				if packed, ok := packCache[key]; ok {
+					fc.packB = packed
+				} else {
+					packed = make([]simfn.PackedIDs, len(corr.RowsB))
+					for row, ids := range corr.RowsB {
+						packed[row] = simfn.PackIDs(ids)
+					}
+					packCache[key] = packed
+					fc.packB = packed
+				}
 			case sp.Measure.CorpusBased():
 				if sp.Corpus < 0 || sp.Corpus >= len(corpora) {
 					return fmt.Errorf("serve: feature %q references missing corpus %d", sp.Name, sp.Corpus)

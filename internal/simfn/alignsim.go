@@ -15,132 +15,31 @@ const (
 )
 
 // NeedlemanWunsch returns the normalized global-alignment similarity.
+// Like the other package-level sequence measures it is a pooled-scratch
+// wrapper: the DP rows come from the shared Scratch pool, not fresh slices.
 func NeedlemanWunsch(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	prev := make([]float64, lb+1)
-	cur := make([]float64, lb+1)
-	for j := 0; j <= lb; j++ {
-		prev[j] = float64(j) * alignGap
-	}
-	for i := 1; i <= la; i++ {
-		cur[0] = float64(i) * alignGap
-		for j := 1; j <= lb; j++ {
-			sub := alignMismatch
-			if ra[i-1] == rb[j-1] {
-				sub = alignMatch
-			}
-			best := prev[j-1] + sub
-			if v := prev[j] + alignGap; v > best {
-				best = v
-			}
-			if v := cur[j-1] + alignGap; v > best {
-				best = v
-			}
-			cur[j] = best
-		}
-		prev, cur = cur, prev
-	}
-	score := prev[lb]
-	max := float64(la)
-	if lb > la {
-		max = float64(lb)
-	}
-	max *= alignMatch
-	if score <= 0 {
-		return 0
-	}
-	return score / max
+	s := GetScratch()
+	v := s.NeedlemanWunsch(a, b)
+	PutScratch(s)
+	return v
 }
 
 // SmithWaterman returns the normalized local-alignment similarity with
 // linear gap cost.
 func SmithWaterman(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	prev := make([]float64, lb+1)
-	cur := make([]float64, lb+1)
-	best := 0.0
-	for i := 1; i <= la; i++ {
-		cur[0] = 0
-		for j := 1; j <= lb; j++ {
-			sub := alignMismatch
-			if ra[i-1] == rb[j-1] {
-				sub = alignMatch
-			}
-			v := prev[j-1] + sub
-			if g := prev[j] + alignGap; g > v {
-				v = g
-			}
-			if g := cur[j-1] + alignGap; g > v {
-				v = g
-			}
-			if v < 0 {
-				v = 0
-			}
-			cur[j] = v
-			if v > best {
-				best = v
-			}
-		}
-		prev, cur = cur, prev
-	}
-	min := la
-	if lb < min {
-		min = lb
-	}
-	return best / (alignMatch * float64(min))
+	s := GetScratch()
+	v := s.SmithWaterman(a, b)
+	PutScratch(s)
+	return v
 }
 
 // SmithWatermanGotoh returns the normalized local-alignment similarity with
 // affine gap penalties (open/extend), per Gotoh's algorithm.
 func SmithWatermanGotoh(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	negInf := -1e18
-	// h: best score ending at (i,j); e: gap in a (horizontal); f: gap in b.
-	hPrev := make([]float64, lb+1)
-	hCur := make([]float64, lb+1)
-	ePrev := make([]float64, lb+1)
-	eCur := make([]float64, lb+1)
-	for j := 0; j <= lb; j++ {
-		ePrev[j] = negInf
-	}
-	best := 0.0
-	for i := 1; i <= la; i++ {
-		hCur[0] = 0
-		eCur[0] = negInf
-		f := negInf
-		for j := 1; j <= lb; j++ {
-			eCur[j] = maxf(ePrev[j]+gotohExtend, hPrev[j]+gotohOpen)
-			f = maxf(f+gotohExtend, hCur[j-1]+gotohOpen)
-			sub := alignMismatch
-			if ra[i-1] == rb[j-1] {
-				sub = alignMatch
-			}
-			h := maxf(0, maxf(hPrev[j-1]+sub, maxf(eCur[j], f)))
-			hCur[j] = h
-			if h > best {
-				best = h
-			}
-		}
-		hPrev, hCur = hCur, hPrev
-		ePrev, eCur = eCur, ePrev
-	}
-	min := la
-	if lb < min {
-		min = lb
-	}
-	return best / (alignMatch * float64(min))
+	s := GetScratch()
+	v := s.SmithWatermanGotoh(a, b)
+	PutScratch(s)
+	return v
 }
 
 func maxf(a, b float64) float64 {

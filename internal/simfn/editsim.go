@@ -1,46 +1,27 @@
 package simfn
 
+import "unicode/utf8"
+
+// Package-level sequence measures are pooled-scratch wrappers: each borrows
+// a Scratch from the shared pool and delegates, so one-off callers get the
+// same allocation-free kernels the hot paths use (and the same values —
+// the scratch variants are bit-identical by construction).
+
 // LevenshteinDistance returns the edit distance between a and b, computed
-// over runes with two rolling rows.
+// over runes. Pairs whose shorter side fits one 64-bit word run Myers'
+// bit-vector kernel; longer pairs use the rolling-row DP. Both are exact.
 func LevenshteinDistance(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			m := prev[j] + 1              // deletion
-			if v := cur[j-1] + 1; v < m { // insertion
-				m = v
-			}
-			if v := prev[j-1] + cost; v < m { // substitution
-				m = v
-			}
-			cur[j] = m
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
+	s := GetScratch()
+	d := s.LevenshteinDistance(a, b)
+	PutScratch(s)
+	return d
 }
 
 // Levenshtein returns the normalized edit similarity
 // 1 − dist(a,b)/max(|a|,|b|). Two empty strings score 0 (missing data is not
 // evidence of a match); otherwise the value is in [0,1].
 func Levenshtein(a, b string) float64 {
-	la, lb := len([]rune(a)), len([]rune(b))
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
 	if la == 0 && lb == 0 {
 		return 0
 	}
@@ -53,91 +34,27 @@ func Levenshtein(a, b string) float64 {
 
 // Jaro returns the Jaro similarity of two strings.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	window := la
-	if lb > window {
-		window = lb
-	}
-	window = window/2 - 1
-	if window < 0 {
-		window = 0
-	}
-	aMatch := make([]bool, la)
-	bMatch := make([]bool, lb)
-	matches := 0
-	for i := 0; i < la; i++ {
-		lo := i - window
-		if lo < 0 {
-			lo = 0
-		}
-		hi := i + window + 1
-		if hi > lb {
-			hi = lb
-		}
-		for j := lo; j < hi; j++ {
-			if bMatch[j] || ra[i] != rb[j] {
-				continue
-			}
-			aMatch[i] = true
-			bMatch[j] = true
-			matches++
-			break
-		}
-	}
-	if matches == 0 {
-		return 0
-	}
-	// Count transpositions between matched characters.
-	trans := 0
-	j := 0
-	for i := 0; i < la; i++ {
-		if !aMatch[i] {
-			continue
-		}
-		for !bMatch[j] {
-			j++
-		}
-		if ra[i] != rb[j] {
-			trans++
-		}
-		j++
-	}
-	m := float64(matches)
-	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+	s := GetScratch()
+	v := s.Jaro(a, b)
+	PutScratch(s)
+	return v
 }
 
 // JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
 // scale 0.1 and maximum prefix length 4.
 func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
-	ra, rb := []rune(a), []rune(b)
-	prefix := 0
-	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
-		prefix++
-	}
-	return j + float64(prefix)*0.1*(1-j)
+	s := GetScratch()
+	v := s.JaroWinkler(a, b)
+	PutScratch(s)
+	return v
 }
 
 // MongeElkan returns the Monge-Elkan similarity of two word-token lists
 // using JaroWinkler as the inner measure: the mean over tokens of a of the
 // best match in b.
 func MongeElkan(a, b []string) float64 {
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, ta := range a {
-		best := 0.0
-		for _, tb := range b {
-			if s := JaroWinkler(ta, tb); s > best {
-				best = s
-			}
-		}
-		sum += best
-	}
-	return sum / float64(len(a))
+	s := GetScratch()
+	v := s.MongeElkan(a, b)
+	PutScratch(s)
+	return v
 }

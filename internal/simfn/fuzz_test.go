@@ -1,6 +1,10 @@
 package simfn
 
-import "testing"
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+)
 
 // FuzzLevenshtein asserts metric properties on arbitrary inputs.
 func FuzzLevenshtein(f *testing.F) {
@@ -36,6 +40,94 @@ func FuzzLevenshtein(f *testing.F) {
 		if (d == 0) != (a == b) {
 			t.Fatal("zero distance iff equal violated")
 		}
+	})
+}
+
+// FuzzMyersVsDP differentially checks the Myers bit-vector dispatcher (both
+// the ASCII and rune kernels, plus the >64 DP fallback) against the
+// reference rolling-row DP on arbitrary inputs, including invalid UTF-8.
+func FuzzMyersVsDP(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("日本語", "日本")
+	f.Add("\xff\xfe", "a\x80b")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 200 {
+			a = a[:200]
+		}
+		if len(b) > 200 {
+			b = b[:200]
+		}
+		want := referenceEditDistance(a, b)
+		if got := LevenshteinDistance(a, b); got != want {
+			t.Fatalf("LevenshteinDistance(%q,%q) = %d, reference DP = %d", a, b, got, want)
+		}
+		s := GetScratch()
+		got := s.LevenshteinDistance(a, b)
+		again := s.LevenshteinDistance(a, b) // peq/table state must not leak between calls
+		PutScratch(s)
+		if got != want || again != want {
+			t.Fatalf("scratch distance(%q,%q) = %d/%d, reference DP = %d", a, b, got, again, want)
+		}
+	})
+}
+
+// fuzzIDSet decodes raw fuzz bytes into a sorted, duplicate-free ID set
+// bounded by universe, matching the tokenize.Dict invariant.
+func fuzzIDSet(raw []byte, universe uint32) []uint32 {
+	ids := make([]uint32, 0, len(raw)/2+1)
+	for i := 0; i+1 < len(raw); i += 2 {
+		ids = append(ids, uint32(binary.LittleEndian.Uint16(raw[i:]))%universe)
+	}
+	slices.Sort(ids)
+	return slices.Compact(ids)
+}
+
+// FuzzPackedSetMeasures differentially checks the popcount set measures
+// against the sorted-merge path over arbitrary ID sets — empty, disjoint,
+// clustered, and wide-spanning (both signature layouts). It also feeds raw
+// unsorted/duplicated slices through the packed kernels to pin down that
+// invariant violations stay panic-free (the results are undefined relative
+// to the merge path there, exactly as the merge itself desynchronizes).
+func FuzzPackedSetMeasures(f *testing.F) {
+	f.Add([]byte{}, []byte{1, 0, 2, 0, 3, 0}, uint32(64))
+	f.Add([]byte{1, 0, 2, 0}, []byte{1, 0, 2, 0}, uint32(4096))
+	f.Add([]byte{0, 0, 255, 255}, []byte{128, 0}, uint32(1<<16))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, universe uint32) {
+		if len(rawA) > 400 {
+			rawA = rawA[:400]
+		}
+		if len(rawB) > 400 {
+			rawB = rawB[:400]
+		}
+		universe = universe%(1<<20) + 1
+		a := fuzzIDSet(rawA, universe)
+		b := fuzzIDSet(rawB, universe)
+		pa, pb := PackIDs(a), PackIDs(b)
+		if got, want := OverlapPacked(&pa, &pb), OverlapIDs(a, b); got != want {
+			t.Fatalf("OverlapPacked = %d, merge = %d (a=%v b=%v)", got, want, a, b)
+		}
+		if got, want := JaccardPacked(&pa, &pb), JaccardIDs(a, b); got != want {
+			t.Fatalf("JaccardPacked = %v, merge = %v", got, want)
+		}
+		if got, want := DicePacked(&pa, &pb), DiceIDs(a, b); got != want {
+			t.Fatalf("DicePacked = %v, merge = %v", got, want)
+		}
+		if got, want := OverlapSimPacked(&pa, &pb), OverlapSimIDs(a, b); got != want {
+			t.Fatalf("OverlapSimPacked = %v, merge = %v", got, want)
+		}
+		if got, want := CosinePacked(&pa, &pb), CosineIDs(a, b); got != want {
+			t.Fatalf("CosinePacked = %v, merge = %v", got, want)
+		}
+		// Invariant-violating (unsorted, duplicated) inputs: no panics, and
+		// signature cardinality still bounded by the element count.
+		rawIDs := make([]uint32, 0, len(rawA))
+		for _, by := range rawA {
+			rawIDs = append(rawIDs, uint32(by))
+		}
+		pr := PackIDs(rawIDs)
+		_ = JaccardPacked(&pr, &pb)
+		_ = OverlapPacked(&pr, &pr)
 	})
 }
 

@@ -1,0 +1,156 @@
+package simfn
+
+import "unicode/utf8"
+
+// Myers' 1999 bit-vector edit distance (in Hyyrö's 2001 formulation): the
+// DP matrix's vertical deltas are kept in two machine words (Pv = +1 runs,
+// Mv = −1 runs), and each text character advances a whole DP column in O(1)
+// word operations, for O(⌈m/64⌉·n) total instead of the rolling-row DP's
+// O(m·n). The pattern is always the shorter string, so one 64-bit word
+// covers every pair whose shorter side has ≤ 64 characters; longer pairs
+// fall back to the pooled-row DP. Both paths compute the exact distance, so
+// the normalized similarity 1 − d/max(|a|,|b|) is bit-identical to the
+// reference DP: d and the lengths are integers, and the final float division
+// is the same expression either way.
+
+// myersMaxPattern is the exact-dispatch threshold: the bit-vector kernel
+// runs when the shorter string fits one 64-bit word.
+const myersMaxPattern = 64
+
+// isASCII reports whether s contains only single-byte (ASCII) characters,
+// in which case bytes and runes coincide and Peq indexes bytes directly.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// myersCore advances the Hyyrö bit-vector recurrence over one text
+// character. peqc is the pattern-match word for that character, hbit the
+// mask of the pattern's last row. It returns the updated (Pv, Mv, score).
+// Kept as a free function so the ASCII and rune drivers share one copy of
+// the arithmetic.
+func myersCore(peqc, pv, mv, hbit uint64, score int) (uint64, uint64, int) {
+	xv := peqc | mv
+	xh := (((peqc & pv) + pv) ^ pv) | peqc
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+	if ph&hbit != 0 {
+		score++
+	} else if mh&hbit != 0 {
+		score--
+	}
+	// Shift the horizontal deltas down one row; the +1 on Ph encodes the
+	// first column's boundary (D[i][0] = i).
+	ph = ph<<1 | 1
+	mh <<= 1
+	pv = mh | ^(xv | ph)
+	mv = ph & xv
+	return pv, mv, score
+}
+
+// myersASCII returns the edit distance for pure-ASCII strings with
+// 1 ≤ len(pattern) ≤ 64. Pattern bitmasks live in the pooled Scratch's peq
+// table and are cleared per-pattern-byte on exit, so the kernel neither
+// allocates nor pays a table-wide wipe.
+func (s *Scratch) myersASCII(pattern, text string) int {
+	m := len(pattern)
+	for i := 0; i < m; i++ {
+		s.peq[pattern[i]] |= 1 << uint(i)
+	}
+	pv := ^uint64(0) >> uint(64-m)
+	mv := uint64(0)
+	hbit := uint64(1) << uint(m-1)
+	score := m
+	for i := 0; i < len(text); i++ {
+		pv, mv, score = myersCore(s.peq[text[i]], pv, mv, hbit, score)
+	}
+	for i := 0; i < m; i++ {
+		s.peq[pattern[i]] = 0
+	}
+	return score
+}
+
+// myersRunes returns the edit distance for rune slices with
+// 1 ≤ len(pattern) ≤ 64. The pattern's match words are kept as a sorted
+// (rune, mask) table in scratch slices — built by insertion (m ≤ 64), probed
+// by binary search per text rune.
+func (s *Scratch) myersRunes(pattern, text []rune) int {
+	m := len(pattern)
+	s.mr = s.mr[:0]
+	s.mw = s.mw[:0]
+	for i, r := range pattern {
+		// Find r's slot (first index with mr[j] >= r).
+		lo, hi := 0, len(s.mr)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.mr[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(s.mr) && s.mr[lo] == r {
+			s.mw[lo] |= 1 << uint(i)
+			continue
+		}
+		s.mr = append(s.mr, 0)
+		s.mw = append(s.mw, 0)
+		copy(s.mr[lo+1:], s.mr[lo:])
+		copy(s.mw[lo+1:], s.mw[lo:])
+		s.mr[lo] = r
+		s.mw[lo] = 1 << uint(i)
+	}
+	pv := ^uint64(0) >> uint(64-m)
+	mv := uint64(0)
+	hbit := uint64(1) << uint(m-1)
+	score := m
+	for _, r := range text {
+		var eq uint64
+		lo, hi := 0, len(s.mr)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.mr[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(s.mr) && s.mr[lo] == r {
+			eq = s.mw[lo]
+		}
+		pv, mv, score = myersCore(eq, pv, mv, hbit, score)
+	}
+	return score
+}
+
+// dpDistance is the rolling-row DP over prev/cur buffers (each of length
+// len(rb)+1). It is the arithmetic both the package-level reference and the
+// scratch fallback share, and the oracle the Myers fuzzers compare against.
+func dpDistance(ra, rb []rune, prev, cur []int) int {
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

@@ -1,0 +1,124 @@
+package simfn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// referenceEditDistance is the fresh-allocation rolling-row DP the Myers
+// kernels are checked against.
+func referenceEditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	return dpDistance(ra, rb, make([]int, len(rb)+1), make([]int, len(rb)+1))
+}
+
+func TestMyersKnownDistances(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"intention", "execution", 5},
+		{"abc", "abc", 0},
+		{"a", "b", 1},
+		{"日本語", "日本", 1},
+		{"héllo", "hello", 1},
+		// Exactly 64-character pattern (hbit = top bit).
+		{strings.Repeat("a", 64), strings.Repeat("a", 63) + "b", 1},
+		{strings.Repeat("a", 64), strings.Repeat("b", 64), 64},
+		// Shorter side over 64 → DP fallback.
+		{strings.Repeat("ab", 40), strings.Repeat("ba", 40), 2},
+	}
+	s := GetScratch()
+	defer PutScratch(s)
+	for _, c := range cases {
+		if got := s.LevenshteinDistance(c.a, c.b); got != c.want {
+			t.Errorf("scratch distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := LevenshteinDistance(c.a, c.b); got != c.want {
+			t.Errorf("package distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := referenceEditDistance(c.a, c.b); got != c.want {
+			t.Errorf("reference distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestMyersRandomDifferential drives the dispatcher across the ASCII path,
+// the rune path, and the >64 DP fallback with random strings, comparing
+// every answer to the reference DP. Reusing one Scratch across pairs also
+// verifies the peq table is left clean between calls.
+func TestMyersRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	alphabets := []string{
+		"ab",
+		"abcdefgh",
+		"abcdefghijklmnopqrstuvwxyz0123456789 ",
+		"aé日∆b",
+	}
+	s := GetScratch()
+	defer PutScratch(s)
+	randStr := func(alpha string, n int) string {
+		runes := []rune(alpha)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteRune(runes[rng.Intn(len(runes))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 600; trial++ {
+		alpha := alphabets[trial%len(alphabets)]
+		// Lengths straddle the 64-char Myers/DP dispatch boundary.
+		a := randStr(alpha, rng.Intn(90))
+		b := randStr(alpha, rng.Intn(90))
+		want := referenceEditDistance(a, b)
+		if got := s.LevenshteinDistance(a, b); got != want {
+			t.Fatalf("trial %d: distance(%q,%q) = %d, want %d", trial, a, b, got, want)
+		}
+	}
+}
+
+func TestPackedMeasuresMatchIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		universe := []int{80, 1000, 4096, 1 << 20}[trial%4]
+		na, nb := rng.Intn(100), rng.Intn(100)
+		if na > universe/2 {
+			na = universe / 2
+		}
+		if nb > universe/2 {
+			nb = universe / 2
+		}
+		a := randomIDSet(rng, na, universe)
+		b := randomIDSet(rng, nb, universe)
+		pa, pb := PackIDs(a), PackIDs(b)
+		if got, want := OverlapPacked(&pa, &pb), OverlapIDs(a, b); got != want {
+			t.Fatalf("trial %d: OverlapPacked = %d, want %d (a=%v b=%v)", trial, got, want, a, b)
+		}
+		checks := []struct {
+			name      string
+			got, want float64
+		}{
+			{"Jaccard", JaccardPacked(&pa, &pb), JaccardIDs(a, b)},
+			{"Dice", DicePacked(&pa, &pb), DiceIDs(a, b)},
+			{"Overlap", OverlapSimPacked(&pa, &pb), OverlapSimIDs(a, b)},
+			{"Cosine", CosinePacked(&pa, &pb), CosineIDs(a, b)},
+		}
+		for _, c := range checks {
+			if c.got != c.want { // bit-identical, not approximately equal
+				t.Fatalf("trial %d: %sPacked = %v, want %v", trial, c.name, c.got, c.want)
+			}
+		}
+	}
+}

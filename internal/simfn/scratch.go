@@ -1,14 +1,16 @@
 package simfn
 
-import "sync"
+import (
+	"sync"
+	"unicode/utf8"
+)
 
-// Scratch holds reusable buffers for the DP sequence measures (Levenshtein,
+// Scratch holds reusable buffers for the sequence measures (Levenshtein,
 // Jaro(-Winkler), Needleman-Wunsch, Smith-Waterman(-Gotoh), Monge-Elkan),
 // so per-pair evaluation in the blocking/matching hot path stops allocating
-// rune slices and DP rows. Each method returns a value bit-identical to its
-// package-level counterpart (same arithmetic, same operation order); the
-// package-level functions are retained as the allocation-per-call reference
-// implementations the golden equivalence tests compare against.
+// rune slices, DP rows, and pattern bitmask tables. The scratch methods are
+// the one implementation; the package-level functions are pooled-scratch
+// wrappers around them, so both spellings return bit-identical values.
 //
 // A Scratch is not safe for concurrent use: hold one per worker/task, or
 // use GetScratch/PutScratch around a batch of evaluations.
@@ -18,6 +20,14 @@ type Scratch struct {
 	fa, fb []float64
 	fc, fd []float64
 	ba, bb []bool
+
+	// Myers bit-vector edit-distance state: peq holds the ASCII pattern
+	// bitmasks (cleared per-pattern-byte after each call, never wiped
+	// wholesale); mr/mw hold the sorted (rune, mask) table for the rune
+	// path.
+	peq [128]uint64
+	mr  []rune
+	mw  []uint64
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
@@ -70,48 +80,44 @@ func growBools(buf []bool, n int) []bool {
 	return buf
 }
 
-// LevenshteinDistance is the scratch variant of the package function.
+// LevenshteinDistance is the scratch variant of the package function: Myers'
+// bit-vector kernel when the shorter side fits one 64-bit word (edit
+// distance is symmetric, so taking the shorter string as the pattern is
+// exact), rolling-row DP otherwise. ASCII inputs skip rune decoding
+// entirely — bytes and runes coincide, and peq indexes bytes directly.
 func (s *Scratch) LevenshteinDistance(a, b string) int {
+	if isASCII(a) && isASCII(b) {
+		p, t := a, b
+		if len(p) > len(t) {
+			p, t = t, p
+		}
+		if len(p) == 0 {
+			return len(t)
+		}
+		if len(p) <= myersMaxPattern {
+			return s.myersASCII(p, t)
+		}
+	}
 	s.ra = appendRunes(s.ra, a)
 	s.rb = appendRunes(s.rb, b)
-	ra, rb := s.ra, s.rb
-	if len(ra) == 0 {
-		return len(rb)
+	p, t := s.ra, s.rb
+	if len(p) > len(t) {
+		p, t = t, p
 	}
-	if len(rb) == 0 {
-		return len(ra)
+	if len(p) == 0 {
+		return len(t)
 	}
-	s.ia = growInts(s.ia, len(rb)+1)
-	s.ib = growInts(s.ib, len(rb)+1)
-	prev, cur := s.ia, s.ib
-	for j := range prev {
-		prev[j] = j
+	if len(p) <= myersMaxPattern {
+		return s.myersRunes(p, t)
 	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			m := prev[j] + 1              // deletion
-			if v := cur[j-1] + 1; v < m { // insertion
-				m = v
-			}
-			if v := prev[j-1] + cost; v < m { // substitution
-				m = v
-			}
-			cur[j] = m
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
+	s.ia = growInts(s.ia, len(t)+1)
+	s.ib = growInts(s.ib, len(t)+1)
+	return dpDistance(p, t, s.ia, s.ib)
 }
 
 // Levenshtein is the scratch variant of the package function.
 func (s *Scratch) Levenshtein(a, b string) float64 {
-	d := s.LevenshteinDistance(a, b)
-	la, lb := len(s.ra), len(s.rb)
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
 	if la == 0 && lb == 0 {
 		return 0
 	}
@@ -119,7 +125,7 @@ func (s *Scratch) Levenshtein(a, b string) float64 {
 	if lb > max {
 		max = lb
 	}
-	return 1 - float64(d)/float64(max)
+	return 1 - float64(s.LevenshteinDistance(a, b))/float64(max)
 }
 
 // Jaro is the scratch variant of the package function. It leaves the decoded
