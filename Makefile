@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build falcon-vet vet-fix test race bench
+.PHONY: check fmt vet build falcon-vet vet-fix test race bench scale
 
 check: fmt vet build falcon-vet test race
 	@echo "all gates passed"
@@ -38,9 +38,9 @@ race:
 # ID baseline vs the retired string reference path, plus the simfn
 # set/edit-distance kernel microbenchmarks), the falcon-vet whole-tree
 # benchmark (the pre-flow suite, the flow-sensitive layer, the
-# publish-then-freeze layer, and all thirteen analyzers over the module,
-# loading amortized), and the serving point-lookup benchmark (QPS, p99
-# latency, allocs per request).
+# publish-then-freeze layer, the out-of-core layer, and all fifteen
+# analyzers over the module, loading amortized), and the serving
+# point-lookup benchmark (QPS, p99 latency, allocs per request).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecutorWorkers -benchmem -json \
 		./internal/mapreduce/ > BENCH_executor.json
@@ -54,3 +54,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeMatchOne$$' -benchmem -json \
 		./internal/serve/ > BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
+
+# scale runs the CI-optional out-of-core long gate: a datagen 1M×1M Songs
+# workload executed in-memory and spilled (results must be byte-identical),
+# then re-run under an enforced GOMEMLIMIT below the in-memory path's
+# measured heap peak. Records makespan + peak memory to BENCH_scale.json.
+scale:
+	FALCON_SCALE=1 $(GO) test -run 'TestScaleSongs1M$$' -v -timeout 45m \
+		./internal/mapreduce/
+	@echo "wrote BENCH_scale.json"

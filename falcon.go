@@ -226,12 +226,14 @@ type AccuracyEstimate struct {
 
 // config collects option state.
 type config struct {
-	opt      core.Options
-	errRate  float64
-	latency  time.Duration
-	inHouse  bool
-	platform crowd.Platform
-	workers  int
+	opt          core.Options
+	errRate      float64
+	latency      time.Duration
+	inHouse      bool
+	platform     crowd.Platform
+	workers      int
+	spillRecords int
+	spillDir     string
 }
 
 // Option customizes a Match run.
@@ -261,6 +263,20 @@ func WithCluster(nodes, slotsPerNode int, mapperMemory int64) Option {
 // counters, and simulated times are byte-identical for any worker count.
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// WithSpill bounds shuffle memory (out-of-core execution): each cluster
+// map task buffers at most records shuffle pairs per reduce partition,
+// spilling sorted runs to temp files under dir (default os.TempDir())
+// that reducers stream back through a merge. Like WithWorkers it is an
+// execution knob only — results, counters, and simulated times are
+// byte-identical to the in-memory shuffle at any threshold. records <= 0
+// keeps the shuffle fully in memory.
+func WithSpill(records int, dir string) Option {
+	return func(c *config) {
+		c.spillRecords = records
+		c.spillDir = dir
+	}
 }
 
 // WithSampleSize sets the sample_pairs size (paper default 1M).
@@ -418,6 +434,13 @@ func MatchContext(ctx context.Context, a, b *Table, labeler Labeler, opts ...Opt
 			cfg.opt.Cluster = mapreduce.Default()
 		}
 		cfg.opt.Cluster.Workers = cfg.workers
+	}
+	if cfg.spillRecords > 0 {
+		if cfg.opt.Cluster == nil {
+			cfg.opt.Cluster = mapreduce.Default()
+		}
+		cfg.opt.Cluster.SpillRecords = cfg.spillRecords
+		cfg.opt.Cluster.SpillDir = cfg.spillDir
 	}
 
 	a.Internal().InferTypes()

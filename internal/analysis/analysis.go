@@ -12,17 +12,19 @@
 // The project-specific analyzers (determinism.go, transdeterminism.go,
 // costaccounting.go, locksafety.go, errcheck.go, hotalloc.go, ctxflow.go,
 // scratchescape.go, mrpurity.go, lockorder.go, sortslice.go,
-// immutpublish.go, servebudget.go) enforce the invariants Falcon's
-// reproducibility and performance stories rest on: no wall-clock or
-// global-rand nondeterminism in the simulation — even one call deep across
-// packages; cost units accrued wherever mapreduce tasks amplify work; no
-// copied or blocking-held locks; no silently discarded errors; no
-// per-record map or buffer allocations on the blocking hot path;
-// cancellation contexts threaded, not dropped, through blocking crowd/MR
-// calls; pooled scratch buffers never escaping to the heap; published
-// state never mutated after its publication point; annotated serving-path
-// functions free of locks, channels, blocking submissions, and per-call
-// allocation.
+// immutpublish.go, servebudget.go, streambound.go, spillres.go) enforce
+// the invariants Falcon's reproducibility and performance stories rest
+// on: no wall-clock or global-rand nondeterminism in the simulation —
+// even one call deep across packages; cost units accrued wherever
+// mapreduce tasks amplify work; no copied or blocking-held locks; no
+// silently discarded errors; no per-record map or buffer allocations on
+// the blocking hot path; cancellation contexts threaded, not dropped,
+// through blocking crowd/MR calls; pooled scratch buffers never escaping
+// to the heap; published state never mutated after its publication point;
+// annotated serving-path functions free of locks, channels, blocking
+// submissions, and per-call allocation; annotated streaming functions
+// never growing state that outlives the call; spill-side files and temp
+// dirs released on every path.
 //
 // Suppression: a diagnostic is suppressed when the flagged line, or the
 // line directly above it, carries a directive comment
@@ -369,6 +371,8 @@ func All() []*Analyzer {
 		SortSlice,
 		Immutpublish,
 		ServeBudget,
+		StreamBound,
+		SpillRes,
 	}
 }
 

@@ -54,6 +54,10 @@ func TestFixtures(t *testing.T) {
 		{Immutpublish, "immutpublish_clean"},
 		{ServeBudget, "servebudget_flagged"},
 		{ServeBudget, "servebudget_clean"},
+		{StreamBound, "streambound_flagged"},
+		{StreamBound, "streambound_clean"},
+		{SpillRes, "spillres_flagged"},
+		{SpillRes, "spillres_clean"},
 		{TransDeterminism, "multi/detapp"},
 		{CtxFlow, "ctxmulti/app"},
 		{ScratchEscape, "scratchmulti/scratchapp"},
@@ -61,6 +65,8 @@ func TestFixtures(t *testing.T) {
 		{LockOrder, "lockmulti/lockapp"},
 		{Immutpublish, "freezemulti/frzapp"},
 		{ServeBudget, "servemulti/srvapp"},
+		{StreamBound, "streammulti/strmapp"},
+		{SpillRes, "spillmulti/splapp"},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -120,6 +126,8 @@ func TestCrossPackageFacts(t *testing.T) {
 		{LockOrder, "lockmulti/lockapp", true},
 		{Immutpublish, "freezemulti/frzapp", true},
 		{ServeBudget, "servemulti/srvapp", true},
+		{StreamBound, "streammulti/strmapp", true},
+		{SpillRes, "spillmulti/splapp", true},
 	}
 	l := loader(t)
 	for _, c := range cases {
@@ -217,7 +225,7 @@ func TestLoaderPaths(t *testing.T) {
 // TestByName covers the analyzer registry lookups falcon-vet exposes.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 13 {
+	if err != nil || len(all) != 15 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("determinism, errcheck")

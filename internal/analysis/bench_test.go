@@ -22,6 +22,11 @@ var flowSuite = []*Analyzer{MRPurity, LockOrder, SortSlice}
 // AST-and-facts pass.
 var freezeSuite = []*Analyzer{Immutpublish, ServeBudget}
 
+// streamSuite is the out-of-core layer on its own: streambound rides the
+// shared FuncFlow cache, spillres is an AST walk with its own per-path
+// interpreter.
+var streamSuite = []*Analyzer{StreamBound, SpillRes}
+
 // benchPackages loads the module tree once; loading and type-checking are
 // deliberately outside the timed region (the analyzers, not the parser,
 // are what these benchmarks watch).
@@ -41,7 +46,8 @@ func benchPackages(b *testing.B) []*Package {
 // BenchmarkVetTree measures one full falcon-vet pass over the module's
 // own tree: the pre-flow eight-analyzer suite, the flow-sensitive layer
 // alone (dataflow construction dominates), the publish-then-freeze layer
-// alone, and the full thirteen-analyzer suite the CLI runs.
+// alone, the out-of-core layer alone, and the full fifteen-analyzer suite
+// the CLI runs.
 func BenchmarkVetTree(b *testing.B) {
 	pkgs := benchPackages(b)
 	suites := []struct {
@@ -51,7 +57,8 @@ func BenchmarkVetTree(b *testing.B) {
 		{"preflow8", preFlowSuite},
 		{"flow3", flowSuite},
 		{"freeze2", freezeSuite},
-		{"full13", All()},
+		{"stream2", streamSuite},
+		{"full15", All()},
 	}
 	for _, s := range suites {
 		b.Run(s.name, func(b *testing.B) {
@@ -65,7 +72,7 @@ func BenchmarkVetTree(b *testing.B) {
 }
 
 // TestVetOverheadWithinBudget pins the cost of everything added on top of
-// the pre-flow suite: a full-tree run of the thirteen-analyzer suite must
+// the pre-flow suite: a full-tree run of the fifteen-analyzer suite must
 // stay under 2.5x the wall time of the eight-analyzer suite it grew
 // from. The dataflow pass re-walks every function body (once — the
 // summaries are shared through the Run-wide cache), so some overhead is

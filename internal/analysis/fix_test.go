@@ -19,6 +19,7 @@ var fixCases = []struct {
 	{"stale", []*Analyzer{Determinism}},
 	{"sorts", []*Analyzer{SortSlice}},
 	{"freeze", []*Analyzer{Immutpublish}},
+	{"spill", []*Analyzer{SpillRes}},
 }
 
 // scratchModule copies testdata/fix/<dir>'s .go files into a fresh

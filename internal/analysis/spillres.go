@@ -1,0 +1,748 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpillRes tracks spill-layer resources — opened files, temp directories,
+// and module types wrapping them — from creation to release, reporting any
+// path (error returns and cancellation exits included) on which a created
+// resource reaches an exit without its Close or Remove. The out-of-core
+// shuffle's correctness story includes "no leftover temp files on any exit
+// path"; this analyzer is that invariant as a static check.
+//
+// A resource is created by os.Open / os.Create / os.CreateTemp /
+// os.OpenFile (released by Close) or os.MkdirTemp (released by os.Remove /
+// os.RemoveAll), or by calling a function whose SpillResFact says it
+// returns a resource open — the creator's obligation transfers to the
+// caller, and a leak there is reported with the chain back to the creator,
+// across packages.
+//
+// A function discharges the obligation by releasing on every path: a
+// deferred release (directly or inside a deferred literal) covers all
+// exits; otherwise an abstract walk of the body checks each return. The
+// branch of an `if err != nil` guard on the creation's own error variable
+// treats the resource as never opened. Ownership can also move instead:
+// returning the resource (the function becomes a creator and exports a
+// SpillResFact), storing it into a field, map, slice, channel, or appended
+// collection, or wrapping it in a composite literal (a wrapper with a
+// Close method is tracked in the original's place).
+//
+// Leaks on a direct creation carry a SuggestedFix inserting the deferred
+// release after the creation's error guard. A //falcon:allow spillres at
+// the creation sanctions holding the resource open deliberately (a pid
+// file, a process-lifetime log).
+var SpillRes = &Analyzer{
+	Name:  "spillres",
+	Doc:   "verifies spill-layer resources (files, temp dirs, run readers) are released on every path, error returns and cancellation included",
+	Facts: true,
+	Run:   runSpillRes,
+}
+
+// SpillRet is one open resource a creator function returns.
+type SpillRet struct {
+	// Kind is "closer" (release via .Close()) or "path" (a filesystem path
+	// released via os.Remove / os.RemoveAll).
+	Kind string
+	// Result is the index of the returned resource in the result list.
+	Result int
+	// Chain is the creator chain, innermost creator last.
+	Chain []string
+}
+
+// SpillResFact marks a function that returns resources its callers must
+// release.
+type SpillResFact struct {
+	Rets []SpillRet
+}
+
+func (*SpillResFact) AFact() {}
+
+// spillCreators maps the stdlib creation entry points to the resource kind
+// they produce (all return the resource at result index 0).
+var spillCreators = map[string]string{
+	"os.Open":       "closer",
+	"os.Create":     "closer",
+	"os.CreateTemp": "closer",
+	"os.OpenFile":   "closer",
+	"os.MkdirTemp":  "path",
+}
+
+// spillResource is one tracked resource within one function.
+type spillResource struct {
+	vars   map[*types.Var]bool // the resource variable and its aliases
+	name   string              // primary variable name, for messages
+	kind   string              // "closer" or "path"
+	origin string              // "os.Open", or the creator's FullName
+	chain  []string            // creator chain for fact-derived resources
+	pos    token.Pos           // creation position
+	errVar *types.Var          // error result of the creating call, if any
+	stmt   ast.Stmt            // creating statement
+
+	deferRel    bool // a deferred release covers every exit
+	transferred bool // ownership moved (field/collection store, wrapper)
+	retIndex    int  // result index the resource is returned at; -1
+
+	// enclosing block and statement index of the creation, for the
+	// defer-insertion fix; block is nil when the creation is not a direct
+	// block statement.
+	block    *ast.BlockStmt
+	blockIdx int
+}
+
+func (r *spillResource) owns(v *types.Var) bool { return v != nil && r.vars[v] }
+
+func runSpillRes(pass *Pass) {
+	fns := declaredFuncs(pass)
+
+	// Fixpoint: creator facts feed caller-side creations, and a caller that
+	// re-returns an inherited resource becomes a creator itself.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			if exportSpillFact(pass, fd, spillResources(pass, fd.decl)) {
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range fns {
+		reportSpillLeaks(pass, fd, spillResources(pass, fd.decl))
+	}
+}
+
+// exportSpillFact records fd as a creator for every tracked resource it
+// returns open, reporting whether the fact grew.
+func exportSpillFact(pass *Pass, fd funcWithDecl, rs []*spillResource) bool {
+	var rets []SpillRet
+	for _, r := range rs {
+		if r.retIndex < 0 || r.deferRel {
+			continue
+		}
+		rets = append(rets, SpillRet{
+			Kind:   r.kind,
+			Result: r.retIndex,
+			Chain:  append([]string{fd.obj.FullName()}, r.chain...),
+		})
+	}
+	if len(rets) == 0 {
+		return false
+	}
+	if f, ok := pass.ImportObjectFact(fd.obj); ok && len(f.(*SpillResFact).Rets) == len(rets) {
+		return false
+	}
+	pass.ExportObjectFact(fd.obj, &SpillResFact{Rets: rets})
+	return true
+}
+
+// reportSpillLeaks path-checks every resource the function neither defers,
+// transfers, nor returns, reporting the first leaking exit of each.
+func reportSpillLeaks(pass *Pass, fd funcWithDecl, rs []*spillResource) {
+	var checked []*spillResource
+	for _, r := range rs {
+		if !r.deferRel && !r.transferred && r.retIndex < 0 {
+			checked = append(checked, r)
+		}
+	}
+	if len(checked) == 0 {
+		return
+	}
+	leaks := walkSpillPaths(pass, fd.decl, checked)
+	for _, r := range checked {
+		leakPos, ok := leaks[r]
+		if !ok {
+			continue
+		}
+		line := pass.Fset.Position(leakPos).Line
+		if len(r.chain) > 0 {
+			chain := append([]string{fd.obj.FullName()}, r.chain...)
+			pass.ReportChain(r.pos, chain,
+				"%s returned open by %s may leak: the path ending at line %d never releases it; chain: %s",
+				r.name, r.origin, line, strings.Join(chain, " -> "))
+			continue
+		}
+		msg := fmt.Sprintf("%s from %s may leak: the path ending at line %d never releases it", r.name, r.origin, line)
+		if fix, ok := spillDeferFix(pass, r); ok {
+			pass.ReportFixf(r.pos, fix, "%s", msg)
+		} else {
+			pass.Reportf(r.pos, "%s", msg)
+		}
+	}
+}
+
+// spillDeferFix builds the defer-insertion fix: the deferred release goes
+// after the creation's error guard (or straight after the creation when no
+// guard follows).
+func spillDeferFix(pass *Pass, r *spillResource) (SuggestedFix, bool) {
+	if r.block == nil {
+		return SuggestedFix{}, false
+	}
+	after := r.block.List[r.blockIdx]
+	if r.blockIdx+1 < len(r.block.List) {
+		if ifs, ok := r.block.List[r.blockIdx+1].(*ast.IfStmt); ok && spillGuardVar(pass.Info, ifs.Cond) == r.errVar && r.errVar != nil {
+			after = ifs
+		}
+	}
+	release := "defer " + r.name + ".Close()"
+	if r.kind == "path" {
+		release = "defer os.RemoveAll(" + r.name + ")"
+	}
+	off := pass.Fset.Position(after.End()).Offset
+	return SuggestedFix{
+		Message: "release the resource on every exit with " + release,
+		Edits: []TextEdit{{
+			File:  pass.Fset.Position(after.Pos()).Filename,
+			Start: off,
+			End:   off,
+			New:   "\n" + release,
+		}},
+	}, true
+}
+
+// spillResources scans one declaration for tracked resources: creations
+// (stdlib or fact-carrying callees), alias assignments, ownership
+// transfers, returns, and deferred releases. The per-path leak walk is
+// separate (walkSpillPaths); this pass is flow-insensitive.
+func spillResources(pass *Pass, decl *ast.FuncDecl) []*spillResource {
+	var rs []*spillResource
+
+	// Creations, with enclosing-block context for the fix.
+	var scanBlock func(b *ast.BlockStmt)
+	var scanStmt func(s ast.Stmt, b *ast.BlockStmt, i int)
+	scanStmt = func(s ast.Stmt, b *ast.BlockStmt, i int) {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			rs = append(rs, spillCreationsIn(pass, s, b, i)...)
+		case *ast.IfStmt:
+			scanStmt(s.Init, nil, 0)
+			scanBlock(s.Body)
+			scanStmt(s.Else, nil, 0)
+		case *ast.ForStmt:
+			scanStmt(s.Init, nil, 0)
+			scanBlock(s.Body)
+		case *ast.RangeStmt:
+			scanBlock(s.Body)
+		case *ast.SwitchStmt:
+			scanStmt(s.Init, nil, 0)
+			for _, c := range s.Body.List {
+				for _, cs := range c.(*ast.CaseClause).Body {
+					scanStmt(cs, nil, 0)
+				}
+			}
+		case *ast.BlockStmt:
+			scanBlock(s)
+		case *ast.LabeledStmt:
+			scanStmt(s.Stmt, b, i)
+		}
+	}
+	scanBlock = func(b *ast.BlockStmt) {
+		for i, s := range b.List {
+			scanStmt(s, b, i)
+		}
+	}
+	scanBlock(decl.Body)
+
+	if len(rs) == 0 {
+		return nil
+	}
+
+	find := func(v *types.Var) *spillResource {
+		for _, r := range rs {
+			if r.owns(v) {
+				return r
+			}
+		}
+		return nil
+	}
+
+	// Aliases, transfers, returns, and defers, to a fixpoint: a wrapper
+	// resource discovered in one round has its own returns and defers
+	// recognized in the next.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break
+					}
+					rhs := ast.Unparen(n.Rhs[i])
+					// Plain alias: another name for the same resource.
+					if id, ok := rhs.(*ast.Ident); ok {
+						r := find(varObj(pass.Info, id))
+						if r == nil {
+							continue
+						}
+						if lv := identVar(pass.Info, lhs); lv != nil && !r.vars[lv] {
+							r.vars[lv] = true
+							changed = true
+						} else if lv == nil && !r.transferred {
+							// Stored through a field, index, or deref:
+							// ownership moved to longer-lived state.
+							r.transferred = true
+							changed = true
+						}
+						continue
+					}
+					// Wrapper capture: &T{f: f} / T{f: f} moves the
+					// obligation onto the wrapper when it can release.
+					if wrapped := compositeCaptures(pass.Info, rhs, find); wrapped != nil && !wrapped.transferred {
+						wrapped.transferred = true
+						changed = true
+						if lv := identVar(pass.Info, lhs); lv != nil && hasCloseMethod(pass.Info.TypeOf(lhs)) {
+							rs = append(rs, &spillResource{
+								vars:   map[*types.Var]bool{lv: true},
+								name:   lv.Name(),
+								kind:   "closer",
+								origin: wrapped.origin,
+								chain:  wrapped.chain,
+								pos:    wrapped.pos,
+								stmt:   n,
+							})
+						}
+					}
+					// append(coll, f): ownership moves into the collection.
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass.Info, id) {
+							for _, a := range call.Args[1:] {
+								if r := find(varObj(pass.Info, a)); r != nil && !r.transferred {
+									r.transferred = true
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if r := find(varObj(pass.Info, n.Value)); r != nil && !r.transferred {
+					r.transferred = true
+					changed = true
+				}
+			case *ast.ReturnStmt:
+				for i, res := range n.Results {
+					if r := find(varObj(pass.Info, res)); r != nil && r.retIndex < 0 {
+						r.retIndex = i
+						changed = true
+					}
+				}
+			case *ast.DeferStmt:
+				if r := spillReleaseOf(pass.Info, n.Call, find); r != nil && !r.deferRel {
+					r.deferRel = true
+					changed = true
+				}
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						if call, ok := m.(*ast.CallExpr); ok {
+							if r := spillReleaseOf(pass.Info, call, find); r != nil && !r.deferRel {
+								r.deferRel = true
+								changed = true
+							}
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+	return rs
+}
+
+// spillCreationsIn recognizes resource creations in one assignment: a
+// stdlib creator call or a call to a function with a SpillResFact. An
+// allow directive at the creation sanctions holding the resource open.
+func spillCreationsIn(pass *Pass, as *ast.AssignStmt, b *ast.BlockStmt, idx int) []*spillResource {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := staticCallee(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if pass.Allowed(as.Pos(), "spillres") {
+		return nil
+	}
+
+	var errVar *types.Var
+	if last := len(as.Lhs) - 1; last >= 1 {
+		if v := identVar(pass.Info, as.Lhs[last]); v != nil && types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+			errVar = v
+		}
+	}
+	mk := func(resIdx int, kind, origin string, chain []string) *spillResource {
+		if resIdx >= len(as.Lhs) {
+			return nil
+		}
+		v := identVar(pass.Info, as.Lhs[resIdx])
+		if v == nil {
+			return nil
+		}
+		return &spillResource{
+			vars:     map[*types.Var]bool{v: true},
+			name:     v.Name(),
+			kind:     kind,
+			origin:   origin,
+			chain:    chain,
+			pos:      as.Pos(),
+			errVar:   errVar,
+			stmt:     as,
+			retIndex: -1,
+			block:    b,
+			blockIdx: idx,
+		}
+	}
+
+	if kind, ok := spillCreators[fn.FullName()]; ok {
+		if r := mk(0, kind, fn.FullName(), nil); r != nil {
+			return []*spillResource{r}
+		}
+		return nil
+	}
+	f, ok := pass.ImportObjectFact(fn.Origin())
+	if !ok {
+		return nil
+	}
+	var rs []*spillResource
+	for _, ret := range f.(*SpillResFact).Rets {
+		if r := mk(ret.Result, ret.Kind, fn.FullName(), ret.Chain); r != nil {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// compositeCaptures reports the tracked resource an expression's composite
+// literal (possibly behind &) captures as an element value, or nil.
+func compositeCaptures(info *types.Info, e ast.Expr, find func(*types.Var) *spillResource) *spillResource {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		if r := find(varObj(info, el)); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// hasCloseMethod reports whether t's method set (value or pointer) has a
+// Close method.
+func hasCloseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	if obj == nil {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			obj, _, _ = types.LookupFieldOrMethod(types.NewPointer(t), true, nil, "Close")
+		}
+	}
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// spillReleaseOf matches one call against the tracked resources' release
+// shapes: r.Close() for closers, os.Remove/os.RemoveAll(dir) for paths.
+func spillReleaseOf(info *types.Info, call *ast.CallExpr, find func(*types.Var) *spillResource) *spillResource {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Close" && len(call.Args) == 0 {
+			if r := find(varObj(info, fun.X)); r != nil && r.kind == "closer" {
+				return r
+			}
+		}
+		if fn, _ := info.Uses[fun.Sel].(*types.Func); fn != nil && len(call.Args) == 1 {
+			if name := fn.FullName(); name == "os.Remove" || name == "os.RemoveAll" {
+				if r := find(varObj(info, call.Args[0])); r != nil && r.kind == "path" {
+					return r
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// identVar resolves an expression to the variable a bare identifier names.
+func identVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// varObj is identVar for use sites only (reads of the resource variable).
+func varObj(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// --- per-path leak walk ---
+
+// resStatus is one resource's state along one abstract path.
+type resStatus int8
+
+const (
+	resUncreated resStatus = iota // not created on this path (or guard-dead)
+	resGuarded                    // open, creation error not yet checked
+	resOpen                       // open
+	resClosed                     // released
+)
+
+type spillWalker struct {
+	pass    *Pass
+	tracked []*spillResource
+	leaks   map[*spillResource]token.Pos
+}
+
+// walkSpillPaths abstractly executes the body, returning the first leaking
+// exit position for each resource that reaches one.
+func walkSpillPaths(pass *Pass, decl *ast.FuncDecl, tracked []*spillResource) map[*spillResource]token.Pos {
+	w := &spillWalker{pass: pass, tracked: tracked, leaks: map[*spillResource]token.Pos{}}
+	st := map[*spillResource]resStatus{}
+	if !w.walkStmts(decl.Body.List, st) {
+		w.checkExit(st, decl.Body.Rbrace)
+	}
+	return w.leaks
+}
+
+func (w *spillWalker) checkExit(st map[*spillResource]resStatus, pos token.Pos) {
+	for _, r := range w.tracked {
+		if s := st[r]; s == resOpen || s == resGuarded {
+			if _, seen := w.leaks[r]; !seen {
+				w.leaks[r] = pos
+			}
+		}
+	}
+}
+
+func cloneStatus(st map[*spillResource]resStatus) map[*spillResource]resStatus {
+	c := make(map[*spillResource]resStatus, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// apply records the effects of one leaf statement: releases anywhere in it
+// (outside nested function literals), creations, and error-variable
+// overwrites that retire a pending guard.
+func (w *spillWalker) apply(n ast.Node, st map[*spillResource]resStatus) {
+	if n == nil {
+		return
+	}
+	find := func(v *types.Var) *spillResource {
+		for _, r := range w.tracked {
+			if r.owns(v) {
+				return r
+			}
+		}
+		return nil
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if r := spillReleaseOf(w.pass.Info, call, find); r != nil {
+				st[r] = resClosed
+			}
+		}
+		return true
+	})
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, r := range w.tracked {
+			if r.stmt == as {
+				st[r] = resGuarded
+				if r.errVar == nil {
+					st[r] = resOpen
+				}
+				continue
+			}
+			if r.errVar == nil || st[r] != resGuarded {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if identVar(w.pass.Info, lhs) == r.errVar {
+					// The creation's error variable was overwritten before
+					// being checked: a later nil-check guards the new call,
+					// not the creation.
+					st[r] = resOpen
+				}
+			}
+		}
+	}
+}
+
+// spillGuardVar returns the error variable of an `x != nil` / `x == nil`
+// condition, or nil.
+func spillGuardVar(info *types.Info, cond ast.Expr) *types.Var {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if id, ok := y.(*ast.Ident); ok && id.Name == "nil" {
+		return varObj(info, x)
+	}
+	if id, ok := x.(*ast.Ident); ok && id.Name == "nil" {
+		return varObj(info, y)
+	}
+	return nil
+}
+
+// walkStmts walks one statement list, returning true when every path
+// through it terminates (returns or panics).
+func (w *spillWalker) walkStmts(list []ast.Stmt, st map[*spillResource]resStatus) bool {
+	for _, s := range list {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *spillWalker) walkStmt(s ast.Stmt, st map[*spillResource]resStatus) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ReturnStmt:
+		w.apply(s, st)
+		w.checkExit(st, s.Pos())
+		return true
+	case *ast.ExprStmt:
+		w.apply(s, st)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && isBuiltin(w.pass.Info, id) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, st)
+		w.apply(s.Cond, st)
+		thenSt, elseSt := cloneStatus(st), cloneStatus(st)
+		if gv := spillGuardVar(w.pass.Info, s.Cond); gv != nil {
+			dead, live := thenSt, elseSt
+			if bin := ast.Unparen(s.Cond).(*ast.BinaryExpr); bin.Op == token.EQL {
+				dead, live = elseSt, thenSt
+			}
+			for _, r := range w.tracked {
+				if r.errVar == gv && st[r] == resGuarded {
+					dead[r] = resUncreated
+					live[r] = resOpen
+				}
+			}
+		}
+		termThen := w.walkStmts(s.Body.List, thenSt)
+		termElse := false
+		if s.Else != nil {
+			termElse = w.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case termThen && termElse:
+			return true
+		case termThen:
+			mergeInto(st, elseSt)
+		case termElse:
+			mergeInto(st, thenSt)
+		default:
+			joinStatus(st, thenSt, elseSt, w.tracked)
+		}
+		return false
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, st)
+		w.apply(s.Cond, st)
+		// The body may run zero times; leaks at returns inside it are
+		// recorded during the walk, but its releases are not guaranteed.
+		w.walkStmts(s.Body.List, cloneStatus(st))
+		return false
+	case *ast.RangeStmt:
+		w.apply(s.X, st)
+		w.walkStmts(s.Body.List, cloneStatus(st))
+		return false
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, st)
+		w.apply(s.Tag, st)
+		for _, c := range s.Body.List {
+			w.walkStmts(c.(*ast.CaseClause).Body, cloneStatus(st))
+		}
+		return false
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, st)
+		for _, c := range s.Body.List {
+			w.walkStmts(c.(*ast.CaseClause).Body, cloneStatus(st))
+		}
+		return false
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.walkStmts(c.(*ast.CommClause).Body, cloneStatus(st))
+		}
+		return false
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred releases were handled flow-insensitively; a goroutine's
+		// releases are not path-ordered with this function's exits.
+		return false
+	default:
+		w.apply(s, st)
+		return false
+	}
+}
+
+// mergeInto overwrites dst with src in place.
+func mergeInto(dst, src map[*spillResource]resStatus) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// joinStatus joins two surviving branches: open on either wins (a leak on
+// any path is a leak), then closed, then uncreated.
+func joinStatus(dst, a, b map[*spillResource]resStatus, tracked []*spillResource) {
+	for _, r := range tracked {
+		sa, sb := a[r], b[r]
+		switch {
+		case sa == resOpen || sb == resOpen || sa == resGuarded || sb == resGuarded:
+			if sa == resGuarded && sb == resGuarded {
+				dst[r] = resGuarded
+			} else {
+				dst[r] = resOpen
+			}
+		case sa == resClosed || sb == resClosed:
+			dst[r] = resClosed
+		default:
+			dst[r] = resUncreated
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StreamBound enforces the bounded-memory contract on //falcon:streaming
+// functions: code on the out-of-core streaming path — the spill run
+// readers, the loser-tree group merge, the record-at-a-time sinks — must
+// not, directly or through anything it calls, retain per-record state
+// whose size grows with the input. Concretely, two retention shapes are
+// banned when they target long-lived storage (a package-level variable, a
+// parameter, a receiver, or anything those may alias):
+//
+//   - append growth: `x = append(x, ...)` rooted at long-lived storage
+//     accumulates one entry per record for the life of the run;
+//   - map insertion: `m[k] = v` (or `m[k]++`, `m[k] = append(...)`) rooted
+//     at a long-lived map grows one entry per distinct record key.
+//
+// A parameter the function also returns as a bare result is exempt: that
+// is the append-into-caller idiom (mergeUnionInto, drainSorted, the
+// stdlib's strconv.AppendInt) — the caller receives the grown value and
+// owns the retention decision.
+//
+// Stores into locals and named results are fine (they die with the
+// record's scope, as a key group's value buffer does), and so is a buffer
+// the function provably resets (`x = x[:0]`, `x = nil`, `x = make(...)`,
+// or `clear(m)` on the same root): reuse is the scratch idiom, not
+// retention.
+//
+// Every function exports a StreamFact listing the retention categories it
+// (transitively) commits, propagated to a fixpoint through the call graph,
+// so a memo map growing three packages below an annotated reader is
+// reported at the reader's call site with the chain down to the insertion.
+//
+// A //falcon:allow streambound at the retention site itself sanctions it
+// everywhere (a deliberately-bounded memo stops tainting every caller); an
+// allow at a call site severs propagation through that one edge.
+var StreamBound = &Analyzer{
+	Name:  "streambound",
+	Doc:   "verifies //falcon:streaming functions never transitively retain unbounded per-record state (appends to or map-inserts into long-lived storage)",
+	Facts: true,
+	Run:   runStreamBound,
+}
+
+// streamAllCats is the saturation mask over the two retention categories
+// ("append", "insert"); a function's fact stops growing once it commits
+// both.
+const streamAllCats = 0b11
+
+// streamCatBit maps a retention category to its saturation-mask bit.
+func streamCatBit(cat string) uint8 {
+	switch cat {
+	case "append":
+		return 1
+	case "insert":
+		return 2
+	}
+	return 0
+}
+
+// StreamViol is one retention a function transitively reaches. Chain[0] is
+// the function itself; the last entry is the function containing the
+// retention site Desc describes.
+type StreamViol struct {
+	Category string
+	Desc     string
+	Chain    []string
+}
+
+// StreamFact lists the retention categories a function (transitively)
+// commits, at most one witness per category.
+type StreamFact struct {
+	Viols []StreamViol
+}
+
+func (*StreamFact) AFact() {}
+
+// streamSite is one direct retention site inside a function body.
+type streamSite struct {
+	cat  string
+	desc string
+	pos  token.Pos
+}
+
+func runStreamBound(pass *Pass) {
+	fns := declaredFuncs(pass)
+	direct := make([][]streamSite, len(fns))
+	for i, fd := range fns {
+		direct[i] = directStreamSites(pass, fd.decl)
+	}
+
+	// Fixpoint: a function inherits each retention category its callees
+	// commit; categories only accumulate, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for i, fd := range fns {
+			if exportStreamFact(pass, fd, direct[i]) {
+				changed = true
+			}
+		}
+	}
+
+	for i, fd := range fns {
+		if hasFalconDirective(fd.decl, "streaming") {
+			reportStreaming(pass, fd, direct[i])
+		}
+	}
+}
+
+// directStreamSites scans one declaration (nested literals included — a
+// closure's stores happen on behalf of the declaring function) for
+// retention sites: appends and map insertions rooted at long-lived,
+// never-reset storage. An allow at the site sanctions it for callers too.
+func directStreamSites(pass *Pass, decl *ast.FuncDecl) []streamSite {
+	fl := funcFlowOf(pass, decl)
+
+	// Roots the function provably resets: appends into them are scratch
+	// reuse, bounded by the reset cadence rather than the input size.
+	reset := map[*types.Var]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if isResetExpr(pass.Info, n.Rhs[i]) {
+					if root := fl.rootVar(lhs); root != nil {
+						reset[root] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "clear" && isBuiltin(pass.Info, id) && len(n.Args) == 1 {
+				if root := fl.rootVar(n.Args[0]); root != nil {
+					reset[root] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Named results share the parameters' no-body-definition shape but are
+	// freshly allocated per call — growing one is building the return
+	// value, not retaining state.
+	results := map[*types.Var]bool{}
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					results[v] = true
+				}
+			}
+		}
+	}
+
+	// A parameter returned as a bare result is the append-into-caller
+	// idiom: growth flows back to the caller, who owns the bound. The
+	// receiver is deliberately not in this set — a method returning its
+	// receiver still retains into it.
+	params := map[*types.Var]bool{}
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+	returned := map[*types.Var]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if v, ok := pass.Info.Uses[id].(*types.Var); ok && params[v] {
+						returned[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// retained reports whether a store rooted at v can outlive the record:
+	// v (or a may-alias root) is package-level or defined outside this
+	// declaration (a parameter, receiver, or capture), and never reset.
+	retained := func(v *types.Var) bool {
+		longLived := false
+		for _, r := range fl.Roots(v) {
+			if reset[r] || results[r] || returned[r] {
+				return false
+			}
+			if packageLevel(r) || fl.DefPos(r) == token.NoPos {
+				longLived = true
+			}
+		}
+		return longLived
+	}
+
+	var sites []streamSite
+	add := func(pos token.Pos, cat, desc string) {
+		if pass.Allowed(pos, "streambound") {
+			return
+		}
+		sites = append(sites, streamSite{cat: cat, desc: desc, pos: pos})
+	}
+	check := func(lhs, rhs ast.Expr) {
+		root, _, ok := fl.classifyLValue(lhs)
+		if !ok || root == nil || !retained(root) {
+			return
+		}
+		if idx, ok := mapStoreTarget(pass.Info, lhs); ok {
+			add(lhs.Pos(), "insert", fmt.Sprintf("inserts into retained map %s per record", render(pass.Fset, idx.X)))
+			return
+		}
+		if rhs != nil && isAppendOf(pass.Info, rhs, lhs) {
+			add(lhs.Pos(), "append", fmt.Sprintf("appends to retained %s per record", render(pass.Fset, lhs)))
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				check(lhs, rhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X, nil)
+		}
+		return true
+	})
+	return sites
+}
+
+// mapStoreTarget reports whether lhs stores through a map index, returning
+// the index expression (the chain's outermost index is the insertion — map
+// elements are not addressable, so nothing deeper can be the l-value).
+func mapStoreTarget(info *types.Info, lhs ast.Expr) (*ast.IndexExpr, bool) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := info.TypeOf(idx.X).Underlying().(*types.Map); !ok {
+		return nil, false
+	}
+	return idx, true
+}
+
+// isResetExpr reports whether rhs re-founds a buffer: a truncating
+// reslice (x[:0]), nil, or a fresh make.
+func isResetExpr(info *types.Info, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		if lit, ok := e.High.(*ast.BasicLit); ok && lit.Value == "0" && e.Low == nil {
+			return true
+		}
+	case *ast.Ident:
+		return e.Name == "nil" && info.Uses[e] == types.Universe.Lookup("nil")
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" && isBuiltin(info, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportStreamFact merges one function's direct and call-derived
+// retentions into the facts store, reporting whether anything new
+// appeared. An allow at a call site severs propagation through that edge.
+// The no-change round — the overwhelmingly common one across the fixpoint
+// — allocates nothing.
+func exportStreamFact(pass *Pass, fd funcWithDecl, direct []streamSite) bool {
+	var cur *StreamFact
+	if f, ok := pass.ImportObjectFact(fd.obj); ok {
+		cur = f.(*StreamFact)
+	}
+	var mask uint8
+	if cur != nil {
+		for _, v := range cur.Viols {
+			mask |= streamCatBit(v.Category)
+		}
+	}
+	if mask == streamAllCats {
+		return false
+	}
+
+	selfName := ""
+	self := func() string {
+		if selfName == "" {
+			selfName = fd.obj.FullName()
+		}
+		return selfName
+	}
+	var added []StreamViol
+
+	for _, s := range direct {
+		b := streamCatBit(s.cat)
+		if mask&b != 0 {
+			continue
+		}
+		mask |= b
+		added = append(added, StreamViol{Category: s.cat, Desc: s.desc, Chain: []string{self()}})
+	}
+	for _, cs := range callsOf(pass, fd.decl) {
+		if mask == streamAllCats {
+			break
+		}
+		if pass.Allowed(cs.call.Pos(), "streambound") {
+			continue
+		}
+		for _, callee := range cs.callees {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			for _, v := range f.(*StreamFact).Viols {
+				b := streamCatBit(v.Category)
+				if mask&b != 0 {
+					continue
+				}
+				mask |= b
+				added = append(added, StreamViol{
+					Category: v.Category,
+					Desc:     v.Desc,
+					Chain:    append([]string{self()}, v.Chain...),
+				})
+			}
+		}
+	}
+
+	if len(added) == 0 {
+		return false
+	}
+	var viols []StreamViol
+	if cur != nil {
+		viols = append(viols, cur.Viols...)
+	}
+	pass.ExportObjectFact(fd.obj, &StreamFact{Viols: append(viols, added...)})
+	return true
+}
+
+// reportStreaming reports every retention a //falcon:streaming function
+// reaches: direct sites at their own positions (each needs its own allow),
+// call-derived ones at the call with the chain down to the retention.
+func reportStreaming(pass *Pass, fd funcWithDecl, direct []streamSite) {
+	for _, s := range direct {
+		pass.Reportf(s.pos,
+			"streaming path %s; //falcon:streaming functions must hold only per-group state",
+			s.desc)
+	}
+	for _, cs := range callsOf(pass, fd.decl) {
+		for _, callee := range cs.callees {
+			f, ok := pass.ImportObjectFact(callee)
+			if !ok {
+				continue
+			}
+			for _, v := range f.(*StreamFact).Viols {
+				chain := append([]string{fd.obj.FullName()}, v.Chain...)
+				chain = append(chain, v.Desc)
+				pass.ReportChain(cs.call.Pos(), chain,
+					"streaming path calls %s, which transitively %s; chain: %s",
+					callee.FullName(), v.Desc, strings.Join(chain, " -> "))
+			}
+			break
+		}
+	}
+}

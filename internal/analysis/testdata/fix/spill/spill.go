@@ -1,0 +1,23 @@
+// Package spill exercises the spillres autofix: a file and a temp
+// directory both leak, and -fix inserts the deferred release after each
+// creation's error guard.
+package spill
+
+import "os"
+
+// report writes a marker into a fresh report directory, releasing
+// neither the file nor the directory.
+func report(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(b); werr != nil {
+		return werr
+	}
+	dir, derr := os.MkdirTemp("", "report-")
+	if derr != nil {
+		return derr
+	}
+	return os.WriteFile(dir+"/done", b, 0o644)
+}

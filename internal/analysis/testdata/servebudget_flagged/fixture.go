@@ -62,8 +62,9 @@ func mapLitOnHot() map[string]int {
 //falcon:hotpath
 func submitOnHot(c *mapreduce.Cluster, job mapreduce.Job[int, string, int32, int32]) {
 	// The direct submission plus everything Run's own ServeFact carries:
-	// the executor allocates, sends on channels, and chains into Execute.
-	_, _ = mapreduce.Run(c, job) // want `hot path submits blocking work via falcon/internal/mapreduce\.Run` `transitively allocates with make per call` `transitively sends on a channel` `transitively submits blocking work via falcon/internal/mapreduce\.Execute`
+	// the executor allocates, sends on channels, locks the spill sink
+	// gate, and chains into Execute.
+	_, _ = mapreduce.Run(c, job) // want `hot path submits blocking work via falcon/internal/mapreduce\.Run` `transitively allocates with make per call` `transitively sends on a channel` `transitively acquires g\.mu\.Lock\(\)` `transitively submits blocking work via falcon/internal/mapreduce\.Execute`
 }
 
 // helperLock buries the acquisition one call down; the hot path is flagged

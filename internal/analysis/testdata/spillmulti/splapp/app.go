@@ -1,0 +1,22 @@
+// Package splapp is the requested half of the cross-package spillres
+// fixture: the leak looks like an ordinary early return in isolation; the
+// SpillResFact flowing back from spllib.OpenRun marks the local as a
+// resource the mid-function error path drops open.
+package splapp
+
+import "fixture/spillmulti/spllib"
+
+// Sum drops the run reader open on the read-error return.
+func Sum(p string) (int, error) {
+	r, err := spllib.OpenRun(p) // want `r returned open by fixture/spillmulti/spllib\.OpenRun may leak: the path ending at line \d+ never releases it; chain: fixture/spillmulti/splapp\.Sum -> fixture/spillmulti/spllib\.OpenRun`
+	if err != nil {
+		return 0, err
+	}
+	b := make([]byte, 64)
+	n, rerr := r.ReadCount(b)
+	if rerr != nil {
+		return 0, rerr
+	}
+	_ = r.Close()
+	return n, nil
+}

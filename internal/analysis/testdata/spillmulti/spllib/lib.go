@@ -1,0 +1,34 @@
+// Package spllib is the helper half of the cross-package spillres
+// fixture: a run-reader wrapper whose constructor hands the caller an
+// open resource, exporting the creator fact the app package leaks
+// against.
+package spllib
+
+import "os"
+
+// Run wraps one sorted spill-run file.
+type Run struct {
+	f *os.File
+	n int
+}
+
+// Close releases the underlying file.
+func (r *Run) Close() error { return r.f.Close() }
+
+// ReadCount reads into b, tallying bytes consumed.
+func (r *Run) ReadCount(b []byte) (int, error) {
+	n, err := r.f.Read(b)
+	r.n += n
+	return n, err
+}
+
+// OpenRun opens a run file and returns it wrapped and open: the Close
+// obligation moves to the caller.
+func OpenRun(p string) (*Run, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{f: f}
+	return r, nil
+}

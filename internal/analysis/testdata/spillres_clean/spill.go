@@ -1,0 +1,120 @@
+// Package spillok covers the discharge shapes spillres must accept: a
+// deferred Close, a release on every explicit path, a temp directory
+// removed through an alias by a deferred call, a deferred cleanup literal,
+// ownership handed to the caller, to a struct field, or to a pool, and a
+// deliberately process-lived file behind an allow directive.
+package spillok
+
+import "os"
+
+// deferClose releases on every exit with one defer.
+func deferClose(p string) ([]byte, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := make([]byte, 32)
+	n, _ := f.Read(b)
+	return b[:n], nil
+}
+
+// closeEveryPath has no defer but closes explicitly on the error path and
+// the happy path both.
+func closeEveryPath(p string, b []byte) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(b); werr != nil {
+		_ = f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+// tempWork removes the directory through an alias, deferred.
+func tempWork() error {
+	dir, derr := os.MkdirTemp("", "spill-")
+	if derr != nil {
+		return derr
+	}
+	work := dir
+	defer os.RemoveAll(work)
+	return os.WriteFile(work+"/run0", nil, 0o644)
+}
+
+// deferredCleanup releases inside a deferred function literal.
+func deferredCleanup() error {
+	dir, derr := os.MkdirTemp("", "work-")
+	if derr != nil {
+		return derr
+	}
+	defer func() {
+		_ = os.RemoveAll(dir)
+	}()
+	return os.WriteFile(dir+"/state", nil, 0o600)
+}
+
+// openForCaller returns the file open: the obligation moves to the caller
+// with the exported fact, nothing to report here.
+func openForCaller(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// useAndClose inherits the open file and releases it on every live path.
+func useAndClose(p string) error {
+	f, err := openForCaller(p)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// logSink owns its file; open moves ownership into the field and Close
+// releases it — per-function tracking ends at the store.
+type logSink struct {
+	f *os.File
+}
+
+func (s *logSink) open(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	return nil
+}
+
+// Close releases the sink's file.
+func (s *logSink) Close() error { return s.f.Close() }
+
+// pool keeps files alive deliberately; append moves ownership out of the
+// opening function.
+var pool []*os.File
+
+func keepInPool(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	pool = append(pool, f)
+	return nil
+}
+
+// pidFile is held open for the whole process on purpose; the allow at the
+// creation sanctions it.
+var pid *os.File
+
+func pidFile(p string) error {
+	f, err := os.Create(p) //falcon:allow spillres held open for the process lifetime on purpose
+	if err != nil {
+		return err
+	}
+	pid = f
+	return nil
+}

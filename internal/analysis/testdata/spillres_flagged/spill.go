@@ -1,0 +1,80 @@
+// Package spillfix covers the leak shapes spillres must catch: a resource
+// that no path releases, error-path and cancellation-path escapes between
+// creation and the happy-path Close, a temp directory never removed, and a
+// leak of a resource inherited open from a creator function.
+package spillfix
+
+import (
+	"context"
+	"os"
+)
+
+// leakNoClose reads and returns without ever closing.
+func leakNoClose(p string) ([]byte, error) {
+	f, err := os.Open(p) // want `f from os\.Open may leak: the path ending at line \d+ never releases it`
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 16)
+	n, rerr := f.Read(b)
+	return b[:n], rerr
+}
+
+// leakOnErrorPath closes on the happy path but escapes open through the
+// write-error return.
+func leakOnErrorPath(p string, b []byte) error {
+	f, err := os.Create(p) // want `f from os\.Create may leak: the path ending at line \d+ never releases it`
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(b); werr != nil {
+		return werr
+	}
+	return f.Close()
+}
+
+// leakDir makes a temp directory and loses it on both remaining exits.
+func leakDir() (string, error) {
+	dir, derr := os.MkdirTemp("", "spill-") // want `dir from os\.MkdirTemp may leak: the path ending at line \d+ never releases it`
+	if derr != nil {
+		return "", derr
+	}
+	marker := dir + "/marker"
+	if werr := os.WriteFile(marker, nil, 0o644); werr != nil {
+		return "", werr
+	}
+	return marker, nil
+}
+
+// leakOnCancel honors cancellation but forgets the open file while doing
+// so — exactly the exit path the out-of-core shuffle must keep clean.
+func leakOnCancel(ctx context.Context, p string) error {
+	f, err := os.Open(p) // want `f from os\.Open may leak: the path ending at line \d+ never releases it`
+	if err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return f.Close()
+}
+
+// openHolder hands its caller the file open: a creator, so nothing is
+// reported here and the obligation transfers via its exported fact.
+func openHolder(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// leakFromCreator inherits the open file from openHolder and drops it.
+func leakFromCreator(p string) (int, error) {
+	f, err := openHolder(p) // want `f returned open by fixture/spillres_flagged\.openHolder may leak: the path ending at line \d+ never releases it; chain: fixture/spillres_flagged\.leakFromCreator -> fixture/spillres_flagged\.openHolder`
+	if err != nil {
+		return 0, err
+	}
+	n, rerr := f.Read(make([]byte, 8))
+	return n, rerr
+}

@@ -1,0 +1,108 @@
+// Package streamok covers the shapes streambound must accept: per-group
+// locals, scratch buffers the function resets, cleared memos, map reads,
+// slice-element stores into preallocated state, and a sanctioned memo
+// behind an allow directive.
+package streamok
+
+var table = map[string]string{}
+
+type merger struct {
+	scratch []int
+	memo    map[int]string
+	slots   []int
+}
+
+// groupLocal accumulates into a local that dies with the record group —
+// exactly the loser-tree group buffer shape.
+//
+//falcon:streaming
+func groupLocal(vs []int) []int {
+	group := make([]int, 0, len(vs))
+	for _, v := range vs {
+		group = append(group, v)
+	}
+	return group
+}
+
+// scratchReuse appends into the receiver's buffer but truncates it first:
+// reuse bounded by the record, not retention.
+//
+//falcon:streaming
+func (m *merger) scratchReuse(vs []int) int {
+	m.scratch = m.scratch[:0]
+	for _, v := range vs {
+		m.scratch = append(m.scratch, v*2)
+	}
+	return len(m.scratch)
+}
+
+// clearedMemo clears the map each record before refilling it.
+//
+//falcon:streaming
+func (m *merger) clearedMemo(vs []int) {
+	clear(m.memo)
+	for _, v := range vs {
+		m.memo[v] = "x"
+	}
+}
+
+// readOnly only reads long-lived state; lookups retain nothing.
+//
+//falcon:streaming
+func readOnly(k string) string {
+	return table[k]
+}
+
+// slotWrite stores into a preallocated element — bounded in-place
+// mutation, not growth.
+//
+//falcon:streaming
+func (m *merger) slotWrite(i, v int) {
+	m.slots[i] = v
+}
+
+// appendInto appends into its parameter and returns it — the
+// append-into-caller idiom; the caller receives the grown value and owns
+// the bound.
+//
+//falcon:streaming
+func appendInto(dst []int, vs []int) []int {
+	for _, v := range vs {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// namedResult appends into a named result — no body definition, like a
+// parameter, but freshly allocated per call and therefore per-group.
+//
+//falcon:streaming
+func namedResult(vs []int) (out []int) {
+	for _, v := range vs {
+		out = append(out, v*v)
+	}
+	return out
+}
+
+// sanctionedMemo grows a memo on purpose (bounded by the key vocabulary,
+// amortizing rendering); the allow at the insertion sanctions every
+// caller.
+func sanctionedMemo(k string) string {
+	v, ok := table[k]
+	if !ok {
+		v = k + "!"
+		table[k] = v //falcon:allow streambound memo bounded by the key vocabulary, not the record count
+	}
+	return v
+}
+
+//falcon:streaming
+func callsSanctioned(k string) string {
+	return sanctionedMemo(k)
+}
+
+// unannotatedPush retains per-record state but is not on the streaming
+// path and nothing annotated calls it: fact exported, nothing reported.
+func (m *merger) unannotatedPush(v int) {
+	m.scratch = append(m.scratch, v)
+}

@@ -1,0 +1,68 @@
+// Package streamfix seeds every bounded-memory violation: direct appends
+// to receiver, package-level, and parameter storage, map insertions in the
+// plain, increment, and append-entry shapes, and both retention kinds
+// hidden behind a same-package helper.
+package streamfix
+
+var history []int
+var seenAll = map[string]int{}
+
+type reader struct {
+	buf  []int
+	memo map[int]string
+}
+
+//falcon:streaming
+func (r *reader) appendOnStream(v int) {
+	r.buf = append(r.buf, v) // want `streaming path appends to retained r\.buf per record`
+}
+
+//falcon:streaming
+func globalAppendOnStream(v int) {
+	history = append(history, v) // want `streaming path appends to retained history per record`
+}
+
+// paramAppendOnStream grows the caller's buffer through a pointer without
+// handing the value back — retention into caller state, not the
+// append-into-caller idiom (nothing is returned).
+//
+//falcon:streaming
+func paramAppendOnStream(dst *[]int, v int) {
+	*dst = append(*dst, v) // want `streaming path appends to retained \*dst per record`
+}
+
+//falcon:streaming
+func (r *reader) insertOnStream(v int, s string) {
+	r.memo[v] = s // want `streaming path inserts into retained map r\.memo per record`
+}
+
+//falcon:streaming
+func countOnStream(k string) {
+	seenAll[k]++ // want `streaming path inserts into retained map seenAll per record`
+}
+
+//falcon:streaming
+func groupInsertOnStream(groups map[string][]int, k string, v int) {
+	groups[k] = append(groups[k], v) // want `streaming path inserts into retained map groups per record`
+}
+
+// aliasAppendOnStream grows long-lived storage through a local alias: the
+// may-alias closure roots the append back at the receiver's buffer.
+//
+//falcon:streaming
+func (r *reader) aliasAppendOnStream(v int) {
+	b := r.buf
+	b = append(b, v) // want `streaming path appends to retained b per record`
+	_ = b
+}
+
+// push buries the retention one call down; the streaming path is flagged
+// at its call site with the chain to the append.
+func (r *reader) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+//falcon:streaming
+func (r *reader) transitivePush(v int) {
+	r.push(v) // want `streaming path calls .*push, which transitively appends to retained r\.buf per record; chain: .*transitivePush -> .*push -> appends to retained r\.buf per record`
+}

@@ -1,0 +1,14 @@
+// Package strmapp is the requested half of the cross-package streambound
+// fixture: the annotated streaming function looks bounded in isolation;
+// the StreamFact flowing back from strmlib carries the memo growth to its
+// call site.
+package strmapp
+
+import "fixture/streammulti/strmlib"
+
+// Render is on the record-at-a-time path; the memo grows one package away.
+//
+//falcon:streaming
+func Render(k string) string {
+	return strmlib.Memoize(k) // want `streaming path calls fixture/streammulti/strmlib\.Memoize, which transitively inserts into retained map cache per record; chain: fixture/streammulti/strmapp\.Render -> fixture/streammulti/strmlib\.Memoize -> inserts into retained map cache per record`
+}

@@ -1,0 +1,17 @@
+// Package strmlib is the helper half of the cross-package streambound
+// fixture: the per-record memo growth the streaming path must not reach
+// lives here.
+package strmlib
+
+var cache = map[string]string{}
+
+// Memoize caches the rendered form of every key it ever sees — unbounded
+// retention keyed per record.
+func Memoize(k string) string {
+	v, ok := cache[k]
+	if !ok {
+		v = k + "!"
+		cache[k] = v
+	}
+	return v
+}

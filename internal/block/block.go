@@ -154,19 +154,39 @@ const counterEnumerated = "pairs_enumerated"
 // Run executes the chosen strategy, honoring ctx cancellation between
 // records.
 func Run(ctx context.Context, cluster *mapreduce.Cluster, in *Input, s Strategy) (*Result, error) {
+	return run(ctx, cluster, in, s, nil)
+}
+
+// RunStream executes the chosen strategy delivering candidate pairs to
+// sink record-at-a-time instead of materializing Result.Pairs: the engine
+// hands each surviving pair over as the reduce side drains, so the
+// candidate set is never held in memory by the blocking layer. Pairs
+// arrive in the engine's deterministic reduce order (not the sorted order
+// Run returns) and never concurrently; Result carries the usual SimTime
+// and counters with Pairs nil.
+//
+//falcon:streaming
+func RunStream(ctx context.Context, cluster *mapreduce.Cluster, in *Input, s Strategy, sink func(table.Pair)) (*Result, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("block: RunStream needs a sink")
+	}
+	return run(ctx, cluster, in, s, sink)
+}
+
+func run(ctx context.Context, cluster *mapreduce.Cluster, in *Input, s Strategy, sink func(table.Pair)) (*Result, error) {
 	switch s {
 	case ApplyAll:
-		return in.runClausePass(ctx, cluster, s, in.Analysis.FilterableClauses())
+		return in.runClausePass(ctx, cluster, s, in.Analysis.FilterableClauses(), sink)
 	case ApplyGreedy:
-		return in.runClausePass(ctx, cluster, s, []int{in.mostSelectiveClause()})
+		return in.runClausePass(ctx, cluster, s, []int{in.mostSelectiveClause()}, sink)
 	case ApplyConjunct:
-		return in.runIntersect(ctx, cluster, s, false)
+		return in.runIntersect(ctx, cluster, s, false, sink)
 	case ApplyPredicate:
-		return in.runIntersect(ctx, cluster, s, true)
+		return in.runIntersect(ctx, cluster, s, true, sink)
 	case MapSide:
-		return in.runMapSide(ctx, cluster)
+		return in.runMapSide(ctx, cluster, sink)
 	case ReduceSplit:
-		return in.runReduceSplit(ctx, cluster)
+		return in.runReduceSplit(ctx, cluster, sink)
 	default:
 		return nil, fmt.Errorf("block: unknown strategy %v", s)
 	}
@@ -206,7 +226,7 @@ func (in *Input) bRows(cluster *mapreduce.Cluster) [][]int {
 
 // runClausePass implements ApplyAll / ApplyGreedy: one mapper pass that
 // probes the given clauses, then reducers evaluate the full rule sequence.
-func (in *Input) runClausePass(ctx context.Context, cluster *mapreduce.Cluster, s Strategy, useClauses []int) (*Result, error) {
+func (in *Input) runClausePass(ctx context.Context, cluster *mapreduce.Cluster, s Strategy, useClauses []int, sink func(table.Pair)) (*Result, error) {
 	if len(useClauses) == 1 && useClauses[0] == -1 {
 		useClauses = nil
 	}
@@ -225,6 +245,7 @@ func (in *Input) runClausePass(ctx context.Context, cluster *mapreduce.Cluster, 
 	}
 	job := mapreduce.Job[[]int, int32, int32, table.Pair]{
 		Name:   "apply-blocking-rules/" + s.String(),
+		Sink:   sink,
 		Splits: splits,
 		Map: func(rows []int, ctx *mapreduce.MapCtx[int32, int32]) {
 			ctx.AddCost(int64(len(rows)) - 1)
@@ -266,10 +287,10 @@ func (in *Input) runClausePass(ctx context.Context, cluster *mapreduce.Cluster, 
 // runIntersect implements ApplyConjunct / ApplyPredicate: one mapper pass
 // per conjunct (or per predicate), reducers intersect the clause coverage
 // then evaluate the full rule.
-func (in *Input) runIntersect(ctx context.Context, cluster *mapreduce.Cluster, s Strategy, perPredicate bool) (*Result, error) {
+func (in *Input) runIntersect(ctx context.Context, cluster *mapreduce.Cluster, s Strategy, perPredicate bool, sink func(table.Pair)) (*Result, error) {
 	filterable := in.Analysis.FilterableClauses()
 	if len(filterable) == 0 {
-		return in.runClausePass(ctx, cluster, s, nil)
+		return in.runClausePass(ctx, cluster, s, nil, sink)
 	}
 	need := len(filterable)
 	bw := in.bWeight()
@@ -313,6 +334,7 @@ func (in *Input) runIntersect(ctx context.Context, cluster *mapreduce.Cluster, s
 
 	job := mapreduce.Job[rec, int64, int32, table.Pair]{
 		Name:   "apply-blocking-rules/" + s.String(),
+		Sink:   sink,
 		Splits: mapreduce.SplitSlice(recs, cluster.Slots()*4),
 		Map: func(r rec, ctx *mapreduce.MapCtx[int64, int32]) {
 			var cands []int32
@@ -380,13 +402,14 @@ func (in *Input) runIntersect(ctx context.Context, cluster *mapreduce.Cluster, s
 }
 
 // runMapSide enumerates A×B with A held in mapper memory.
-func (in *Input) runMapSide(ctx context.Context, cluster *mapreduce.Cluster) (*Result, error) {
+func (in *Input) runMapSide(ctx context.Context, cluster *mapreduce.Cluster, sink func(table.Pair)) (*Result, error) {
 	if int64(in.A.Len())*int64(in.B.Len()) > baselinePairCap {
 		return nil, ErrTooLarge
 	}
 	evalCost := in.evalCost()
 	job := mapreduce.MapOnlyJob[int, table.Pair]{
 		Name:   "apply-blocking-rules/map-side",
+		Sink:   sink,
 		Splits: in.bRows(cluster),
 		Map: func(bRow int, ctx *mapreduce.MapOnlyCtx[table.Pair]) {
 			for a := 0; a < in.A.Len(); a++ {
@@ -408,7 +431,7 @@ func (in *Input) runMapSide(ctx context.Context, cluster *mapreduce.Cluster) (*R
 
 // runReduceSplit enumerates A×B in the mappers, spreading evaluation evenly
 // over the reducers.
-func (in *Input) runReduceSplit(ctx context.Context, cluster *mapreduce.Cluster) (*Result, error) {
+func (in *Input) runReduceSplit(ctx context.Context, cluster *mapreduce.Cluster, sink func(table.Pair)) (*Result, error) {
 	if int64(in.A.Len())*int64(in.B.Len()) > baselinePairCap {
 		return nil, ErrTooLarge
 	}
@@ -416,6 +439,7 @@ func (in *Input) runReduceSplit(ctx context.Context, cluster *mapreduce.Cluster)
 	evalCost := in.evalCost()
 	job := mapreduce.Job[int, int64, struct{}, table.Pair]{
 		Name:   "apply-blocking-rules/reduce-split",
+		Sink:   sink,
 		Splits: in.bRows(cluster),
 		Map: func(bRow int, ctx *mapreduce.MapCtx[int64, struct{}]) {
 			for a := 0; a < in.A.Len(); a++ {

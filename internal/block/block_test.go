@@ -162,10 +162,10 @@ func TestBaselinesRefuseHugeTables(t *testing.T) {
 	in := *fx.in
 	in.A = big
 	in.B = big
-	if _, err := in.runMapSide(context.Background(), mapreduce.Default()); err != ErrTooLarge {
+	if _, err := in.runMapSide(context.Background(), mapreduce.Default(), nil); err != ErrTooLarge {
 		t.Fatalf("map-side on 121M pairs: err = %v, want ErrTooLarge", err)
 	}
-	if _, err := in.runReduceSplit(context.Background(), mapreduce.Default()); err != ErrTooLarge {
+	if _, err := in.runReduceSplit(context.Background(), mapreduce.Default(), nil); err != ErrTooLarge {
 		t.Fatalf("reduce-split on 121M pairs: err = %v, want ErrTooLarge", err)
 	}
 }

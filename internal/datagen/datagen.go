@@ -14,7 +14,9 @@ package datagen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"falcon/internal/table"
@@ -104,7 +106,10 @@ var (
 // makeVocab builds a deterministic pseudo-word vocabulary of size n by
 // combining syllables — realistic datasets have thousands of distinct
 // tokens, and blocking-rule quality (and inverted-index posting lengths)
-// depend on that diversity.
+// depend on that diversity. Two-syllable combinations cover the first ~420
+// words (their order is frozen: every historical vocabulary is a prefix of
+// a larger one); a third syllable extends the tail into the thousands for
+// paper-scale runs.
 func makeVocab(n int, seedWords []string) []string {
 	onsets := []string{"bel", "cor", "dan", "fel", "gar", "hol", "jin", "kel", "lor", "mar",
 		"nor", "pal", "quin", "ros", "sal", "tam", "vel", "wes", "yar", "zan"}
@@ -119,36 +124,78 @@ func makeVocab(n int, seedWords []string) []string {
 			out = append(out, o+r)
 		}
 	}
+	seen := make(map[string]bool, len(out))
+	for _, w := range out {
+		seen[w] = true
+	}
+	for _, o := range onsets {
+		for _, r1 := range rimes {
+			for _, r2 := range rimes {
+				if len(out) >= n {
+					return out
+				}
+				w := o + r1 + r2
+				if !seen[w] {
+					seen[w] = true
+					out = append(out, w)
+				}
+			}
+		}
+	}
 	return out
 }
 
-// zipfPick draws a vocabulary index with a Zipf-like skew: low ranks are
-// common (shared stopword-ish tokens), the tail is rare (discriminative).
-func zipfPick(rng *rand.Rand, n int) int {
-	// Inverse-CDF of p(r) ∝ 1/(r+3) truncated at n.
-	u := rng.Float64()
-	// Harmonic-ish normalization via a crude but deterministic loop.
-	total := 0.0
-	for r := 0; r < n; r++ {
-		total += 1 / float64(r+3)
-	}
-	acc := 0.0
-	for r := 0; r < n; r++ {
-		acc += 1 / float64(r+3) / total
-		if u <= acc {
-			return r
-		}
-	}
-	return n - 1
+// zipfDist is a truncated-Zipf sampler over vocabulary ranks [0, n): low
+// ranks are common (shared stopword-ish tokens), the tail is rare
+// (discriminative). The weight of rank r is (1/(r+3))^skew, so skew=1
+// reproduces the generator's historical token frequencies exactly and
+// larger skews concentrate mass in the head (heavier posting lists for the
+// same vocabulary). The CDF is computed once at construction; each draw is
+// one rng.Float64 plus a binary search, which is what makes million-row
+// table generation affordable.
+type zipfDist struct {
+	cdf []float64
 }
 
-func zipfSentence(rng *rand.Rand, vocab []string, n int) string {
+func newZipfDist(n int, skew float64) *zipfDist {
+	weight := func(r int) float64 {
+		x := 1 / float64(r+3)
+		if skew != 1 {
+			x = math.Pow(x, skew)
+		}
+		return x
+	}
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += weight(r)
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for r := 0; r < n; r++ {
+		acc += weight(r) / total
+		cdf[r] = acc
+	}
+	return &zipfDist{cdf: cdf}
+}
+
+// pick draws a rank. For a given u the result is identical to walking the
+// weights and returning the first rank whose cumulative mass reaches u, so
+// same-seed outputs are unchanged from the pre-CDF implementation.
+func (z *zipfDist) pick(rng *rand.Rand) int {
+	i := sort.SearchFloat64s(z.cdf, rng.Float64())
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}
+
+func zipfSentence(rng *rand.Rand, z *zipfDist, vocab []string, n int) string {
 	var sb strings.Builder
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			sb.WriteByte(' ')
 		}
-		sb.WriteString(vocab[zipfPick(rng, len(vocab))])
+		sb.WriteString(vocab[z.pick(rng)])
 	}
 	return sb.String()
 }
@@ -255,10 +302,12 @@ func Products(scale float64, seed int64) *Dataset {
 }
 
 var (
-	songWords   = makeVocab(320, []string{"love", "night", "heart", "dance", "fire", "dream", "blue", "road", "home", "light", "rain", "river", "summer", "ghost", "city", "golden", "wild", "broken", "sweet", "midnight"})
-	artistFirst = []string{"the", "los", "dj", "mc", "little", "big"}
-	artistNames = makeVocab(160, []string{"vikings", "ramblers", "echoes", "strangers", "foxes", "pilots", "sparrows", "wolves", "drifters", "shadows"})
-	albumWords  = []string{"greatest", "hits", "live", "sessions", "collection", "volume", "one", "two", "gold", "anthology", "best", "of"}
+	songSeedWords = []string{"love", "night", "heart", "dance", "fire", "dream", "blue", "road", "home", "light", "rain", "river", "summer", "ghost", "city", "golden", "wild", "broken", "sweet", "midnight"}
+	songWords     = makeVocab(320, songSeedWords)
+	songZipf      = newZipfDist(len(songWords), 1)
+	artistFirst   = []string{"the", "los", "dj", "mc", "little", "big"}
+	artistNames   = makeVocab(160, []string{"vikings", "ramblers", "echoes", "strangers", "foxes", "pilots", "sparrows", "wolves", "drifters", "shadows"})
+	albumWords    = []string{"greatest", "hits", "live", "sessions", "collection", "volume", "one", "two", "gold", "anthology", "best", "of"}
 )
 
 type song struct {
@@ -268,9 +317,9 @@ type song struct {
 	year                   int
 }
 
-func genSong(rng *rand.Rand) song {
+func genSong(rng *rand.Rand, vocab []string, z *zipfDist) song {
 	return song{
-		title:       strings.Title(zipfSentence(rng, songWords, 2+rng.Intn(3))),
+		title:       strings.Title(zipfSentence(rng, z, vocab, 2+rng.Intn(3))),
 		release:     strings.Title(sentence(rng, albumWords, 2+rng.Intn(3))),
 		artist:      strings.Title(artistFirst[rng.Intn(len(artistFirst))] + " " + artistNames[rng.Intn(len(artistNames))] + fmt.Sprint(rng.Intn(1000))),
 		duration:    120 + rng.Float64()*240,
@@ -292,13 +341,57 @@ func appendSong(t *table.Table, s song, missingYear bool) {
 		year)
 }
 
+// SongsOpts shapes SongsWith beyond the paper defaults, so the 1M×1M
+// scale workload is generatable without shipping fixtures. The zero value
+// of every field means "paper default": SongsWith(SongsOpts{NA: n, NB: n},
+// seed) is row-for-row identical to Songs(n, seed).
+type SongsOpts struct {
+	// NA and NB are the per-table tuple counts (clamped to ≥20; the paper
+	// runs 1M × 1M).
+	NA, NB int
+	// Vocab is the title vocabulary size (default 320). Larger
+	// vocabularies thin out the inverted-index posting lists; smaller ones
+	// fatten them.
+	Vocab int
+	// Skew is the Zipf exponent on title-token frequencies (default 1,
+	// the generator's historical distribution). Larger skews pile mass on
+	// the head tokens — the Songs-shaped stress case for blocking, where
+	// a few stopword-ish tokens appear in a large fraction of titles.
+	Skew float64
+	// DupFrac is the fraction of B rows that are dirty re-releases of A
+	// songs, i.e. true matches (default 0.55).
+	DupFrac float64
+}
+
 // Songs generates the Million-Song-style dataset (paper: 1M × 1M,
 // 1.29M matches). n is the per-table tuple count.
 func Songs(n int, seed int64) *Dataset {
+	return SongsWith(SongsOpts{NA: n, NB: n}, seed)
+}
+
+// SongsWith generates the Songs dataset under explicit size and skew
+// knobs. Same-seed runs are deterministic for any fixed set of knobs.
+func SongsWith(o SongsOpts, seed int64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
 	cor := &corruptor{rng: rng}
-	if n < 20 {
-		n = 20
+	if o.NA < 20 {
+		o.NA = 20
+	}
+	if o.NB < 20 {
+		o.NB = 20
+	}
+	if o.DupFrac <= 0 {
+		o.DupFrac = 0.55
+	}
+	vocab, zipf := songWords, songZipf
+	if o.Vocab > 0 && o.Vocab != len(songWords) {
+		vocab = makeVocab(o.Vocab, songSeedWords)
+	}
+	if skew := o.Skew; (skew > 0 && skew != 1) || len(vocab) != len(songWords) {
+		if skew <= 0 {
+			skew = 1
+		}
+		zipf = newZipfDist(len(vocab), skew)
 	}
 	schema := func() *table.Schema {
 		return table.NewSchema("title", "release", "artist_name", "duration", "artist_familiarity", "artist_hotness", "year")
@@ -307,17 +400,17 @@ func Songs(n int, seed int64) *Dataset {
 	b := table.New("songs-B", schema())
 	truth := map[table.Pair]bool{}
 
-	// ~55% of B rows are re-releases of A songs (matches, sometimes
+	// ~DupFrac of B rows are re-releases of A songs (matches, sometimes
 	// multiple per source), the rest are distinct songs.
-	base := make([]song, n)
+	base := make([]song, o.NA)
 	for i := range base {
-		base[i] = genSong(rng)
+		base[i] = genSong(rng, vocab, zipf)
 		appendSong(a, base[i], rng.Float64() < 0.1)
 	}
 	bRow := 0
-	for bRow < n {
-		if rng.Float64() < 0.55 {
-			src := rng.Intn(n)
+	for bRow < o.NB {
+		if rng.Float64() < o.DupFrac {
+			src := rng.Intn(o.NA)
 			dup := base[src]
 			// Same song on a different album with formatting variation.
 			dup.release = strings.Title(sentence(rng, albumWords, 2+rng.Intn(3)))
@@ -327,7 +420,7 @@ func Songs(n int, seed int64) *Dataset {
 			truth[table.Pair{A: src, B: bRow}] = true
 			appendSong(b, dup, rng.Float64() < 0.2)
 		} else {
-			appendSong(b, genSong(rng), rng.Float64() < 0.1)
+			appendSong(b, genSong(rng, vocab, zipf), rng.Float64() < 0.1)
 		}
 		bRow++
 	}
@@ -338,6 +431,7 @@ func Songs(n int, seed int64) *Dataset {
 
 var (
 	csWords  = makeVocab(260, []string{"query", "optimization", "distributed", "systems", "learning", "entity", "matching", "parallel", "database", "graph", "streaming", "index", "join", "crowdsourcing", "scalable", "adaptive", "efficient", "approximate", "transactional", "storage"})
+	csZipf   = newZipfDist(len(csWords), 1)
 	journals = []string{"vldb journal", "acm transactions on database systems", "sigmod record", "ieee transactions on knowledge and data engineering", "information systems", "journal of machine learning research"}
 	months   = []string{"january", "february", "march", "april", "may", "june", "july", "august", "september", "october", "november", "december"}
 	surnames = []string{"smith", "chen", "garcia", "kumar", "mueller", "tanaka", "johnson", "lee", "patel", "rossi", "kim", "novak"}
@@ -356,7 +450,7 @@ func genCitation(rng *rand.Rand) citation {
 		authors = append(authors, fmt.Sprintf("%c. %s", initials[rng.Intn(len(initials))], surnames[rng.Intn(len(surnames))]))
 	}
 	return citation{
-		title:      strings.Title(zipfSentence(rng, csWords, 4+rng.Intn(5))),
+		title:      strings.Title(zipfSentence(rng, csZipf, csWords, 4+rng.Intn(5))),
 		authorList: authors,
 		authors:    strings.Join(authors, ", "),
 		journal:    journals[rng.Intn(len(journals))],

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -169,6 +170,116 @@ func TestOracle(t *testing.T) {
 	}
 	if oracle(table.Pair{A: -1, B: -1}) {
 		t.Fatal("oracle accepts bogus pair")
+	}
+}
+
+// TestZipfDistMatchesLinearScan pins the precomputed-CDF sampler to the
+// linear-scan implementation it replaced: for the same u, both must return
+// the same rank, so same-seed datasets are unchanged by the speedup.
+func TestZipfDistMatchesLinearScan(t *testing.T) {
+	const n = 320
+	z := newZipfDist(n, 1)
+	rng1 := rand.New(rand.NewSource(11))
+	rng2 := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		got := z.pick(rng1)
+		u := rng2.Float64()
+		total := 0.0
+		for r := 0; r < n; r++ {
+			total += 1 / float64(r+3)
+		}
+		acc, want := 0.0, n-1
+		for r := 0; r < n; r++ {
+			acc += 1 / float64(r+3) / total
+			if u <= acc {
+				want = r
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("draw %d: pick = %d, linear scan = %d", i, got, want)
+		}
+	}
+}
+
+func TestMakeVocabThirdSyllable(t *testing.T) {
+	v := makeVocab(3000, nil)
+	if len(v) != 3000 {
+		t.Fatalf("len = %d, want 3000", len(v))
+	}
+	seen := map[string]bool{}
+	for _, w := range v {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+	// Historical vocabularies stay a frozen prefix.
+	old := makeVocab(400, nil)
+	for i, w := range old {
+		if v[i] != w {
+			t.Fatalf("prefix changed at %d: %q vs %q", i, v[i], w)
+		}
+	}
+}
+
+func TestSongsWithSizesAndDupFrac(t *testing.T) {
+	d := SongsWith(SongsOpts{NA: 300, NB: 800, DupFrac: 0.8}, 21)
+	if d.A.Len() != 300 || d.B.Len() != 800 {
+		t.Fatalf("sizes = %d×%d", d.A.Len(), d.B.Len())
+	}
+	if d.Matches() < 560 || d.Matches() > 720 {
+		t.Fatalf("matches = %d, want ≈640 at DupFrac 0.8", d.Matches())
+	}
+	sparse := SongsWith(SongsOpts{NA: 300, NB: 800, DupFrac: 0.2}, 21)
+	if sparse.Matches() >= d.Matches() {
+		t.Fatalf("DupFrac 0.2 produced %d matches, ≥ the %d at 0.8", sparse.Matches(), d.Matches())
+	}
+}
+
+// titleTokenStats returns the number of distinct title tokens in A and the
+// frequency share of the most common one.
+func titleTokenStats(d *Dataset) (distinct int, topShare float64) {
+	col := d.A.Schema.Col("title")
+	counts := map[string]int{}
+	total := 0
+	for i := 0; i < d.A.Len(); i++ {
+		for _, w := range strings.Fields(d.A.Value(i, col)) {
+			counts[w]++
+			total++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return len(counts), float64(max) / float64(total)
+}
+
+func TestSongsSkewAndVocabKnobs(t *testing.T) {
+	flat := SongsWith(SongsOpts{NA: 800, NB: 20}, 5)
+	skewed := SongsWith(SongsOpts{NA: 800, NB: 20, Skew: 2.5}, 5)
+	_, flatTop := titleTokenStats(flat)
+	_, skewTop := titleTokenStats(skewed)
+	if skewTop < flatTop*2 {
+		t.Fatalf("skew 2.5 top-token share %.3f not ≫ default %.3f", skewTop, flatTop)
+	}
+	narrow := SongsWith(SongsOpts{NA: 800, NB: 20, Vocab: 40}, 5)
+	wide := SongsWith(SongsOpts{NA: 800, NB: 20, Vocab: 2000}, 5)
+	narrowDistinct, _ := titleTokenStats(narrow)
+	wideDistinct, _ := titleTokenStats(wide)
+	if narrowDistinct >= wideDistinct {
+		t.Fatalf("vocab 40 gave %d distinct tokens, ≥ vocab 2000's %d", narrowDistinct, wideDistinct)
+	}
+	// Same knobs, same seed → identical tables.
+	again := SongsWith(SongsOpts{NA: 800, NB: 20, Skew: 2.5}, 5)
+	col := skewed.A.Schema.Col("title")
+	for i := 0; i < skewed.A.Len(); i++ {
+		if skewed.A.Value(i, col) != again.A.Value(i, col) {
+			t.Fatal("same-seed SongsWith runs differ")
+		}
 	}
 }
 

@@ -159,7 +159,7 @@ func (v *Vectorizer) tokenCol(isA bool, col int, kind tokenize.Kind) [][]string 
 			rows[row] = tokenize.Set(kind, val)
 		}
 	}
-	cache[k] = rows
+	cache[k] = rows //falcon:allow streambound one token column per (column, kind) — bounded by the schema, not the record stream
 	return rows
 }
 
@@ -196,7 +196,7 @@ func (v *Vectorizer) numberCol(isA bool, col int) ([]float64, []bool) {
 			col2[r], ok[r] = f, true
 		}
 	}
-	nums[col], oks[col] = col2, ok
+	nums[col], oks[col] = col2, ok //falcon:allow streambound one parsed column per table column — bounded by the schema, not the record stream
 	return col2, ok
 }
 
@@ -232,7 +232,7 @@ func (v *Vectorizer) normCol(isA bool, col int) []string {
 		}
 		rows[row] = strings.ToLower(strings.TrimSpace(val))
 	}
-	cache[col] = rows
+	cache[col] = rows //falcon:allow streambound one normalized column per table column — bounded by the schema, not the record stream
 	return rows
 }
 
@@ -256,7 +256,7 @@ func (v *Vectorizer) idColsFor(acol, bcol int, kind tokenize.Kind) *idCols {
 		return c
 	}
 	c = buildIDCols(ta, tb)
-	v.ids[k] = c
+	v.ids[k] = c //falcon:allow streambound one encoding per correspondence — bounded by the feature set, not the record stream
 	return c
 }
 
@@ -280,7 +280,7 @@ func (v *Vectorizer) docColsFor(f *Feature) *docCols {
 		return d
 	}
 	d = &docCols{a: weightedDocs(f.corpus, ta), b: weightedDocs(f.corpus, tb)}
-	v.docs[f.corpus] = d
+	v.docs[f.corpus] = d //falcon:allow streambound one weighted-doc pair per corpus — bounded by the feature set, not the record stream
 	return d
 }
 

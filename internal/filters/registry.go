@@ -109,7 +109,7 @@ func (ix *Indexes) encodedCol(b *table.Table, col int, ok ordKey) [][]uint32 {
 		slices.Sort(ids)
 		rows[row] = ids
 	}
-	ix.bcols[k] = rows
+	ix.bcols[k] = rows //falcon:allow streambound one entry per (table, column, ordering) triple — bounded by the schema, not the record stream
 	return rows
 }
 

@@ -268,7 +268,7 @@ func (idx *PrefixIndex) filterPosting(s *probeScratch, m simfn.Measure, threshol
 		}
 	}
 	s.seen.Set(int(pst.ID))
-	s.cands = append(s.cands, pst.ID)
+	s.cands = append(s.cands, pst.ID) //falcon:allow streambound pooled probe scratch, truncated to [:0] by finishProbe/drainSorted after every probe
 }
 
 // finishProbe sorts and copies out the candidates and returns the scratch
@@ -351,7 +351,7 @@ func (idx *PrefixIndex) collectIDProbe(s *probeScratch, m simfn.Measure, thresho
 func drainSorted(s *probeScratch, dst []int32) []int32 {
 	if len(s.cands) > 0 {
 		slices.Sort(s.cands)
-		dst = append(dst, s.cands...)
+		dst = append(dst, s.cands...) //falcon:allow streambound append-into-caller idiom; the batch buffer is the caller's to truncate per batch
 	}
 	for _, id := range s.cands {
 		s.seen.Clear(int(id))

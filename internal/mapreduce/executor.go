@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -115,11 +116,13 @@ func runTasks(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 	return nil
 }
 
-// mapTask is one map task's isolated result: per-partition groups, shuffle
-// volume, and accounting. Results are merged strictly in task (split)
-// order, so per-key value order matches sequential execution exactly.
+// mapTask is one map task's isolated result: per-partition groups (or, in
+// spill mode, per-partition sorted run files), shuffle volume, and
+// accounting. Results are merged strictly in task (split) order, so
+// per-key value order matches sequential execution exactly.
 type mapTask[K comparable, V any] struct {
 	groups   []map[K][]V
+	runs     [][]spillRun
 	cost     int64
 	shuffled int64
 	counters map[string]int64
@@ -138,7 +141,7 @@ func mergeCounters(dst, src map[string]int64) {
 	// Integer addition commutes, so the map visit order cannot affect the
 	// summed counters.
 	for name, delta := range src {
-		dst[name] += delta
+		dst[name] += delta //falcon:allow streambound counters are bounded by the handful of counter names, not the record stream
 	}
 }
 
@@ -163,35 +166,112 @@ func Execute[I any, K comparable, V any, O any](ctx context.Context, ex *Executo
 	if partition == nil {
 		partition = defaultPartition[K]
 	}
+	ord := &keyOrd[K]{user: job.Less}
 
-	// Map phase: one task per split, each shuffling into private groups.
+	// Spill mode (Cluster.SpillRecords > 0): map tasks buffer raw records
+	// per partition and overflow to sorted temp-file runs; the reduce side
+	// merges the runs streaming instead of holding the whole group map. The
+	// job-scoped spill directory is removed on every exit path, including
+	// errors and cancellation.
+	spill := cc.SpillRecords > 0
+	var codec *kvCodec[K, V]
+	var spillDir string
+	if spill {
+		codec = newKVCodec[K, V]()
+		dir, derr := os.MkdirTemp(cc.SpillDir, "falcon-spill-")
+		if derr != nil {
+			return nil, derr
+		}
+		spillDir = dir
+		defer os.RemoveAll(spillDir)
+	}
+
+	// Map phase: one task per split, each shuffling into private groups
+	// (or private spill runs).
 	tasks := make([]mapTask[K, V], len(job.Splits))
 	err := runTasks(ctx, workers, len(job.Splits), func(tctx context.Context, ti int) error {
 		t := &tasks[ti]
-		t.groups = make([]map[K][]V, reducers)
 		t.counters = map[string]int64{}
 		// Partition is a pure function of the key; memoize it (and with the
 		// default partitioner, the key's string form) once per distinct key.
 		parts := make(map[K]int)
 		mc := &MapCtx[K, V]{taskCtx: taskCtx{counters: t.counters, canceled: tctx.Err}}
-		mc.emit = func(k K, v V) {
-			p, ok := parts[k]
-			if !ok {
-				p = partition(k, reducers)
-				parts[k] = p
+		var spillErr error
+		var flushAll func() error
+		if spill {
+			bufs := make([][]kv[K, V], reducers)
+			t.runs = make([][]spillRun, reducers)
+			var strs map[K]string
+			if ord.byString() {
+				strs = make(map[K]string)
 			}
-			g := t.groups[p]
-			if g == nil {
-				g = map[K][]V{}
-				t.groups[p] = g
+			seq := 0
+			flush := func(p int) error {
+				sortRun(bufs[p], ord, strs)
+				run, werr := codec.writeRun(spillDir, ti, p, seq, bufs[p])
+				if werr != nil {
+					return werr
+				}
+				seq++
+				t.runs[p] = append(t.runs[p], run)
+				bufs[p] = bufs[p][:0]
+				return nil
 			}
-			g[k] = append(g[k], v)
-			t.shuffled++
+			flushAll = func() error {
+				for p := range bufs {
+					if len(bufs[p]) == 0 {
+						continue
+					}
+					if err := flush(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			mc.emit = func(k K, v V) {
+				if spillErr != nil {
+					return
+				}
+				p, ok := parts[k]
+				if !ok {
+					p = partition(k, reducers)
+					parts[k] = p
+				}
+				bufs[p] = append(bufs[p], kv[K, V]{k: k, v: v})
+				t.shuffled++
+				if len(bufs[p]) >= cc.SpillRecords {
+					spillErr = flush(p)
+				}
+			}
+		} else {
+			t.groups = make([]map[K][]V, reducers)
+			mc.emit = func(k K, v V) {
+				p, ok := parts[k]
+				if !ok {
+					p = partition(k, reducers)
+					parts[k] = p
+				}
+				g := t.groups[p]
+				if g == nil {
+					g = map[K][]V{}
+					t.groups[p] = g
+				}
+				g[k] = append(g[k], v)
+				t.shuffled++
+			}
 		}
 		for _, rec := range job.Splits[ti] {
 			mc.cost++
 			job.Map(rec, mc)
+			if spillErr != nil {
+				return spillErr
+			}
 			if err := mc.poll(); err != nil {
+				return err
+			}
+		}
+		if flushAll != nil {
+			if err := flushAll(); err != nil {
 				return err
 			}
 		}
@@ -203,11 +283,18 @@ func Execute[I any, K comparable, V any, O any](ctx context.Context, ex *Executo
 	}
 
 	// Shuffle merge, strictly in task order: appending each task's values
-	// per key in split order reproduces the sequential emit order.
+	// per key (or listing each task's runs) in split order reproduces the
+	// sequential emit order.
 	stats := Stats{Name: job.Name, MapTasks: len(job.Splits), ReduceTasks: reducers, Counters: map[string]int64{}}
-	groups := make([]map[K][]V, reducers)
-	for i := range groups {
-		groups[i] = map[K][]V{}
+	var groups []map[K][]V
+	var partRuns [][]spillRun
+	if spill {
+		partRuns = make([][]spillRun, reducers)
+	} else {
+		groups = make([]map[K][]V, reducers)
+		for i := range groups {
+			groups[i] = map[K][]V{}
+		}
 	}
 	mapCosts := make([]int64, 0, len(tasks))
 	for ti := range tasks {
@@ -216,6 +303,12 @@ func Execute[I any, K comparable, V any, O any](ctx context.Context, ex *Executo
 		stats.MapCost += t.cost
 		stats.Shuffled += t.shuffled
 		mergeCounters(stats.Counters, t.counters)
+		if spill {
+			for p, rs := range t.runs {
+				partRuns[p] = append(partRuns[p], rs...)
+			}
+			continue
+		}
 		for p, g := range t.groups {
 			if g == nil {
 				continue
@@ -229,18 +322,41 @@ func Execute[I any, K comparable, V any, O any](ctx context.Context, ex *Executo
 	}
 
 	// Reduce phase: one task per non-empty partition, keys in deterministic
-	// order within each.
+	// order within each. With a Sink, delivery is gated into partition
+	// order so streamed output matches Result.Output exactly.
+	var gate *sinkGate
+	if job.Sink != nil {
+		gate = newSinkGate(reducers)
+	}
 	reds := make([]reduceTask[O], reducers)
-	err = runTasks(ctx, workers, reducers, func(tctx context.Context, p int) error {
-		g := groups[p]
-		if len(g) == 0 {
+	err = runTasks(ctx, workers, reducers, gateTasks(gate, func(tctx context.Context, p int) error {
+		if spill {
+			if len(partRuns[p]) == 0 {
+				return nil
+			}
+		} else if len(groups[p]) == 0 {
 			return nil
 		}
 		t := &reds[p]
 		t.ran = true
 		t.counters = map[string]int64{}
-		keys := sortedKeys(g, job.Less)
 		rc := &ReduceCtx[O]{outCtx: outCtx[O]{taskCtx: taskCtx{counters: t.counters, canceled: tctx.Err}, out: &t.out}}
+		if gate != nil {
+			rc.sink = func(o O) {
+				if gate.await(p) {
+					job.Sink(o)
+				}
+			}
+		}
+		if spill {
+			if err := drainSpill(partRuns[p], codec, ord, job.Reduce, rc); err != nil {
+				return err
+			}
+			t.cost = rc.cost
+			return nil
+		}
+		g := groups[p]
+		keys := sortedKeys(g, job.Less)
 		for _, k := range keys {
 			rc.cost += int64(len(g[k]))
 			job.Reduce(k, g[k], rc)
@@ -250,7 +366,7 @@ func Execute[I any, K comparable, V any, O any](ctx context.Context, ex *Executo
 		}
 		t.cost = rc.cost
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +395,42 @@ func Execute[I any, K comparable, V any, O any](ctx context.Context, ex *Executo
 	return res, nil
 }
 
+// drainSpill streams one reduce partition: it opens the partition's sorted
+// runs, merges them with a loser tree, and feeds the reducer one key group
+// at a time. Per-group cost accounting matches the in-memory path exactly.
+// Every opened run reader is closed on every exit path.
+//
+//falcon:streaming
+func drainSpill[K comparable, V any, O any](runs []spillRun, codec *kvCodec[K, V], ord *keyOrd[K], reduce func(K, []V, *ReduceCtx[O]), rc *ReduceCtx[O]) (err error) {
+	streams := make([]*runReader[K, V], len(runs)) //falcon:allow hotalloc one slice per partition drain, amortized over the whole merge
+	defer func() {
+		if cerr := closeRuns(streams); err == nil {
+			err = cerr
+		}
+	}()
+	for i, run := range runs {
+		streams[i], err = openRun(run, codec, ord)
+		if err != nil {
+			return err
+		}
+	}
+	lt := newLoserTree(streams, ord)
+	for {
+		k, vs, ok, gerr := lt.nextGroup()
+		if gerr != nil {
+			return gerr
+		}
+		if !ok {
+			return nil
+		}
+		rc.cost += int64(len(vs))
+		reduce(k, vs, rc)
+		if perr := rc.poll(); perr != nil {
+			return perr
+		}
+	}
+}
+
 // ExecuteMapOnly runs a map-only job on the executor's worker pool,
 // honoring ctx cancellation between records and at task boundaries.
 func ExecuteMapOnly[I any, O any](ctx context.Context, ex *Executor, job MapOnlyJob[I, O]) (*Result[O], error) {
@@ -290,12 +442,23 @@ func ExecuteMapOnly[I any, O any](ctx context.Context, ex *Executor, job MapOnly
 	}
 	cc := ex.cluster()
 
+	var gate *sinkGate
+	if job.Sink != nil {
+		gate = newSinkGate(len(job.Splits))
+	}
 	tasks := make([]reduceTask[O], len(job.Splits))
-	err := runTasks(ctx, ex.workers(), len(job.Splits), func(tctx context.Context, ti int) error {
+	err := runTasks(ctx, ex.workers(), len(job.Splits), gateTasks(gate, func(tctx context.Context, ti int) error {
 		t := &tasks[ti]
 		t.ran = true
 		t.counters = map[string]int64{}
 		mc := &MapOnlyCtx[O]{outCtx: outCtx[O]{taskCtx: taskCtx{counters: t.counters, canceled: tctx.Err}, out: &t.out}}
+		if gate != nil {
+			mc.sink = func(o O) {
+				if gate.await(ti) {
+					job.Sink(o)
+				}
+			}
+		}
 		for _, rec := range job.Splits[ti] {
 			mc.cost++
 			job.Map(rec, mc)
@@ -305,7 +468,7 @@ func ExecuteMapOnly[I any, O any](ctx context.Context, ex *Executor, job MapOnly
 		}
 		t.cost = mc.cost
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,18 @@ type Cluster struct {
 	// influences the simulated cost model, and any worker count produces
 	// byte-identical output, stats, and counters.
 	Workers int
+	// SpillRecords, when positive, bounds how many shuffle records a map
+	// task buffers per reduce partition before sorting them and spilling a
+	// run to a temp file; reducers then stream each partition through a
+	// loser-tree merge of its runs instead of holding the whole group map.
+	// Like Workers it is an execution knob only: any threshold produces
+	// byte-identical output, stats, and counters ("out-of-core" execution,
+	// ROADMAP item 2). <=0 keeps the shuffle fully in memory.
+	SpillRecords int
+	// SpillDir is where spill runs are written (default os.TempDir()). Each
+	// job uses a private subdirectory removed when the job finishes, fails,
+	// or is cancelled.
+	SpillDir string
 }
 
 // Default returns the paper's 10-node, 8-slot, 2GB-mapper cluster.
@@ -125,7 +137,7 @@ type taskCtx struct {
 func (c *taskCtx) AddCost(units int64) { c.cost += units }
 
 // Inc increments a named counter.
-func (c *taskCtx) Inc(name string, delta int64) { c.counters[name] += delta }
+func (c *taskCtx) Inc(name string, delta int64) { c.counters[name] += delta } //falcon:allow streambound counters are bounded by the handful of counter names, not the record stream
 
 // cancelStride bounds how many records run between cancellation polls.
 const cancelStride = 64
@@ -143,11 +155,19 @@ func (c *taskCtx) poll() error {
 // outCtx extends taskCtx with an ordered output sink.
 type outCtx[O any] struct {
 	taskCtx
-	out *[]O
+	out  *[]O
+	sink func(O)
 }
 
-// Output appends a record to the job output.
-func (c *outCtx[O]) Output(o O) { *c.out = append(*c.out, o) }
+// Output appends a record to the job output, or streams it to the job's
+// Sink when one is set.
+func (c *outCtx[O]) Output(o O) {
+	if c.sink != nil {
+		c.sink(o)
+		return
+	}
+	*c.out = append(*c.out, o) //falcon:allow streambound the task output buffer itself — drained per task by the executor, streamed through the sink when one is set
+}
 
 // MapCtx is passed to map functions.
 type MapCtx[K comparable, V any] struct {
@@ -192,6 +212,13 @@ type Job[I any, K comparable, V any, O any] struct {
 	// the key's string form. Must return a value in [0, Reducers) and be a
 	// pure function of the key: the engine memoizes it per key.
 	Partition func(key K, reducers int) int
+	// Sink, when non-nil, receives every output record one at a time, in
+	// exactly the order Result.Output would have held them, and
+	// Result.Output stays nil. Delivery is streaming and ordered: a reduce
+	// task's records are handed over only after every earlier partition has
+	// drained, so the engine never materializes the full output. Sink runs
+	// on worker goroutines but its calls never overlap.
+	Sink func(O)
 }
 
 // Result carries job output and stats.
@@ -306,6 +333,9 @@ type MapOnlyJob[I any, O any] struct {
 	Splits [][]I
 	// Map transforms one record into zero or more outputs via ctx.Output.
 	Map func(rec I, ctx *MapOnlyCtx[O])
+	// Sink optionally streams output records in Result.Output order; see
+	// Job.Sink.
+	Sink func(O)
 }
 
 // SplitSlice partitions records into n roughly equal contiguous splits.

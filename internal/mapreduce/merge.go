@@ -1,0 +1,248 @@
+package mapreduce
+
+import (
+	"context"
+	"strings"
+	"sync"
+)
+
+// Reduce-side k-way merge for spilled shuffles. Each reduce partition's
+// runs (already sorted in the job's key order) are merged with a classic
+// loser tree: internal nodes remember the loser of each match, so
+// advancing a stream replays one root-to-leaf path, log(k) comparisons per
+// record. Ties compare the stream index, and streams are ordered by
+// (map task, spill sequence), so equal keys drain in exactly the order the
+// in-memory shuffle merge concatenates them: task order, then emit order.
+
+// loserTree merges the sorted streams of one reduce partition.
+type loserTree[K comparable, V any] struct {
+	rs   []*runReader[K, V]
+	cur  []kv[K, V]
+	ok   []bool // cur[i] valid; false = stream exhausted
+	node []int  // node[0] = overall winner; node[j>0] = loser at j
+	ord  *keyOrd[K]
+	err  error
+
+	// pending holds already-grouped key groups when an order tie spans
+	// distinct keys (possible only when the default rendered-string order
+	// is not injective, or a user Less treats distinct keys as equal).
+	pending []keyGroup[K, V]
+}
+
+type keyGroup[K comparable, V any] struct {
+	k  K
+	vs []V
+}
+
+func newLoserTree[K comparable, V any](rs []*runReader[K, V], ord *keyOrd[K]) *loserTree[K, V] {
+	n := len(rs)
+	t := &loserTree[K, V]{
+		rs:   rs,
+		cur:  make([]kv[K, V], n),
+		ok:   make([]bool, n),
+		node: make([]int, max(n, 1)),
+		ord:  ord,
+	}
+	for i := range rs {
+		t.advance(i)
+	}
+	if n == 1 {
+		t.node[0] = 0
+		return t
+	}
+	// Build the tree bottom-up: win[j] is the winner of the subtree rooted
+	// at internal node j (leaves live at positions n..2n-1), and the loser
+	// of each match stays behind in node[j].
+	win := make([]int, 2*n)
+	for i := 0; i < n; i++ {
+		win[n+i] = i
+	}
+	for j := n - 1; j >= 1; j-- {
+		a, b := win[2*j], win[2*j+1]
+		if t.beats(b, a) {
+			a, b = b, a
+		}
+		win[j] = a
+		t.node[j] = b
+	}
+	t.node[0] = win[1]
+	return t
+}
+
+// advance reads stream i's next record into cur[i].
+func (t *loserTree[K, V]) advance(i int) {
+	rec, ok, err := t.rs[i].next()
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+	t.cur[i] = rec
+	t.ok[i] = ok && err == nil
+}
+
+// beats reports whether stream a's head record precedes stream b's:
+// exhausted streams sort last, equal keys break toward the lower stream
+// index (earlier map task / earlier spill).
+func (t *loserTree[K, V]) beats(a, b int) bool {
+	if !t.ok[a] {
+		return false
+	}
+	if !t.ok[b] {
+		return true
+	}
+	ea, eb := &t.cur[a], &t.cur[b]
+	if t.ord.user != nil {
+		if t.ord.user(ea.k, eb.k) {
+			return true
+		}
+		if t.ord.user(eb.k, ea.k) {
+			return false
+		}
+		return a < b
+	}
+	if c := strings.Compare(ea.ks, eb.ks); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// pop removes and returns the smallest head record.
+func (t *loserTree[K, V]) pop() (kv[K, V], bool) {
+	w := t.node[0]
+	if !t.ok[w] {
+		return kv[K, V]{}, false
+	}
+	rec := t.cur[w]
+	t.advance(w)
+	winner := w
+	for j := (len(t.rs) + w) / 2; j >= 1; j /= 2 {
+		if t.beats(t.node[j], winner) {
+			winner, t.node[j] = t.node[j], winner
+		}
+	}
+	t.node[0] = winner
+	return rec, true
+}
+
+// orderEqual reports whether two records tie under the job's key order.
+func (t *loserTree[K, V]) orderEqual(a, b *kv[K, V]) bool {
+	if t.ord.user != nil {
+		return !t.ord.user(a.k, b.k) && !t.ord.user(b.k, a.k)
+	}
+	return a.ks == b.ks
+}
+
+// nextGroup returns the next key group in reduce order. Group state is
+// bounded by the group itself (plus any order-tie run): values accumulate
+// only until the merge head moves past the current key, then the buffer is
+// handed to the reducer and dropped.
+//
+//falcon:streaming
+func (t *loserTree[K, V]) nextGroup() (K, []V, bool, error) {
+	var zero K
+	if len(t.pending) > 0 {
+		g := t.pending[0]
+		t.pending = t.pending[1:]
+		return g.k, g.vs, true, nil
+	}
+	first, ok := t.pop()
+	if t.err != nil {
+		return zero, nil, false, t.err
+	}
+	if !ok {
+		return zero, nil, false, nil
+	}
+	groups := []keyGroup[K, V]{{k: first.k, vs: []V{first.v}}}
+	for {
+		w := t.node[0]
+		if !t.ok[w] || !t.orderEqual(&first, &t.cur[w]) {
+			break
+		}
+		rec, _ := t.pop()
+		if t.err != nil {
+			return zero, nil, false, t.err
+		}
+		// Almost always the tie is the same key continuing; distinct keys
+		// that compare equal each get their own group in first-appearance
+		// order (the in-memory path orders such keys arbitrarily).
+		placed := false
+		for gi := range groups {
+			if groups[gi].k == rec.k {
+				groups[gi].vs = append(groups[gi].vs, rec.v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, keyGroup[K, V]{k: rec.k, vs: []V{rec.v}})
+		}
+	}
+	t.pending = groups[1:]
+	return groups[0].k, groups[0].vs, true, nil
+}
+
+// sinkGate serializes streaming output delivery into task order: task p's
+// records pass only after every earlier task has finished. runTasks hands
+// out task indices in ascending order, so the gate's current turn-holder
+// is always scheduled and the gate cannot deadlock; on job failure abort
+// releases every waiter.
+type sinkGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	turn    int
+	done    []bool
+	aborted bool
+}
+
+func newSinkGate(n int) *sinkGate {
+	g := &sinkGate{done: make([]bool, n)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// await blocks until it is task p's turn to deliver output (or the job
+// aborted, in which case delivery is skipped — the job is returning an
+// error and all output is discarded).
+func (g *sinkGate) await(p int) (deliver bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.turn != p && !g.aborted {
+		g.cond.Wait()
+	}
+	return !g.aborted
+}
+
+// finish marks task p complete and advances the turn past every finished
+// task.
+func (g *sinkGate) finish(p int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.done[p] = true
+	for g.turn < len(g.done) && g.done[g.turn] {
+		g.turn++
+	}
+	g.cond.Broadcast()
+}
+
+// abort releases every waiter; subsequent awaits return false.
+func (g *sinkGate) abort() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.aborted = true
+	g.cond.Broadcast()
+}
+
+// gateTasks wraps a runTasks body so that task completion (or failure)
+// always advances the sink gate, keeping ordered delivery deadlock-free.
+func gateTasks(gate *sinkGate, fn func(ctx context.Context, p int) error) func(ctx context.Context, p int) error {
+	if gate == nil {
+		return fn
+	}
+	return func(ctx context.Context, p int) error {
+		err := fn(ctx, p)
+		if err != nil {
+			gate.abort()
+		}
+		gate.finish(p)
+		return err
+	}
+}

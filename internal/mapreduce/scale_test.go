@@ -1,0 +1,225 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"falcon/internal/datagen"
+)
+
+// scaleRec is one row of the scale workload: a table-global id and the
+// row's title.
+type scaleRec struct {
+	id    int32
+	title string
+}
+
+// scalePhase is one measured run in BENCH_scale.json.
+type scalePhase struct {
+	WallSeconds   float64 `json:"wall_seconds"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+}
+
+// scaleReport is the committed record of the out-of-core scale gate.
+type scaleReport struct {
+	RowsPerTable  int        `json:"rows_per_table"`
+	Workers       int        `json:"workers"`
+	SpillRecords  int        `json:"spill_records"`
+	GenSeconds    float64    `json:"gen_seconds"`
+	Candidates    int64      `json:"kbb_candidates"`
+	Shuffled      int64      `json:"shuffled_pairs"`
+	SimSeconds    float64    `json:"sim_seconds"`
+	InMemory      scalePhase `json:"in_memory"`
+	Spill         scalePhase `json:"spill"`
+	MemLimitBytes int64      `json:"mem_limit_bytes"`
+	SpillLimited  scalePhase `json:"spill_under_limit"`
+	PeakRSSBytes  int64      `json:"peak_rss_bytes"`
+}
+
+// heapPeak samples runtime.MemStats on a ticker and remembers the highest
+// HeapAlloc seen; stop() ends sampling and returns the peak.
+func heapPeak() (stop func() uint64) {
+	done := make(chan struct{})
+	out := make(chan uint64, 1)
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+				out <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return func() uint64 {
+		close(done)
+		return <-out
+	}
+}
+
+// peakRSSBytes reads the process high-water-mark RSS from /proc.
+func peakRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fs := strings.Fields(rest)
+			if len(fs) >= 1 {
+				kb, _ := strconv.ParseInt(fs[0], 10, 64)
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
+// TestScaleSongs1M is the CI-optional long gate for out-of-core execution
+// (set FALCON_SCALE=1 to run it): a datagen 1M×1M Songs workload —
+// key-based-blocking candidate counting over exact titles, the §3.2
+// motivating job — is run in-memory and spilled, the two must agree on
+// output, counters, and simulated time, and the spilled run must then
+// complete under an enforced GOMEMLIMIT strictly below the in-memory
+// path's measured heap peak. Makespan and peak memory are committed to
+// BENCH_scale.json at the repo root.
+func TestScaleSongs1M(t *testing.T) {
+	if os.Getenv("FALCON_SCALE") == "" {
+		t.Skip("set FALCON_SCALE=1 to run the 1M×1M out-of-core scale gate")
+	}
+	rows := 1_000_000
+	if v := os.Getenv("FALCON_SCALE_ROWS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1000 {
+			t.Fatalf("bad FALCON_SCALE_ROWS %q", v)
+		}
+		rows = n
+	}
+
+	genStart := time.Now()
+	d := datagen.SongsWith(datagen.SongsOpts{NA: rows, NB: rows}, 42)
+	genWall := time.Since(genStart)
+	t.Logf("generated %d×%d Songs in %v (%d planted matches)", d.A.Len(), d.B.Len(), genWall.Round(time.Millisecond), d.Matches())
+
+	aTitle := d.A.Schema.Col("title")
+	bTitle := d.B.Schema.Col("title")
+	recs := make([]scaleRec, 0, d.A.Len()+d.B.Len())
+	for i := 0; i < d.A.Len(); i++ {
+		recs = append(recs, scaleRec{id: int32(i), title: d.A.Value(i, aTitle)})
+	}
+	for i := 0; i < d.B.Len(); i++ {
+		recs = append(recs, scaleRec{id: int32(rows + i), title: d.B.Value(i, bTitle)})
+	}
+
+	const workers = 4
+	const spillRecords = 8192
+	job := func() Job[scaleRec, string, int32, int64] {
+		return Job[scaleRec, string, int32, int64]{
+			Name:   "kbb-candidates",
+			Splits: SplitSlice(recs, 32),
+			Map: func(r scaleRec, ctx *MapCtx[string, int32]) {
+				ctx.Emit(r.title, r.id)
+			},
+			Reduce: func(title string, ids []int32, ctx *ReduceCtx[int64]) {
+				var a, b int64
+				for _, id := range ids {
+					if int(id) < rows {
+						a++
+					} else {
+						b++
+					}
+				}
+				ctx.Inc("candidates", a*b)
+			},
+		}
+	}
+	run := func(spill int) (Stats, scalePhase) {
+		runtime.GC()
+		c := Default()
+		c.Workers = workers
+		c.SpillRecords = spill
+		c.SpillDir = t.TempDir()
+		stop := heapPeak()
+		start := time.Now()
+		res, err := Run(c, job())
+		wall := time.Since(start)
+		peak := stop()
+		if err != nil {
+			t.Fatalf("spill=%d: %v", spill, err)
+		}
+		t.Logf("spill=%d: wall %v, peak heap %d MiB, candidates %d",
+			spill, wall.Round(time.Millisecond), peak>>20, res.Stats.Counters["candidates"])
+		return res.Stats, scalePhase{WallSeconds: wall.Seconds(), PeakHeapBytes: peak}
+	}
+
+	inmemStats, inmem := run(0)
+	spillStats, spilled := run(spillRecords)
+	if inmemStats.SimTime != spillStats.SimTime ||
+		inmemStats.Shuffled != spillStats.Shuffled ||
+		inmemStats.Counters["candidates"] != spillStats.Counters["candidates"] {
+		t.Fatalf("spill changed results:\n in-memory %+v\n spill %+v", inmemStats, spillStats)
+	}
+	if spilled.PeakHeapBytes*11/10 >= inmem.PeakHeapBytes {
+		t.Fatalf("no headroom: spill peak %d MiB vs in-memory peak %d MiB",
+			spilled.PeakHeapBytes>>20, inmem.PeakHeapBytes>>20)
+	}
+
+	// Enforce a limit between the two peaks: the in-memory path measurably
+	// exceeds it, the spilled path must finish under it.
+	limit := int64(spilled.PeakHeapBytes + (inmem.PeakHeapBytes-spilled.PeakHeapBytes)/4)
+	prev := debug.SetMemoryLimit(limit)
+	limitedStats, limited := run(spillRecords)
+	debug.SetMemoryLimit(prev)
+	if limitedStats.Counters["candidates"] != inmemStats.Counters["candidates"] {
+		t.Fatalf("limited run changed candidates: %d vs %d",
+			limitedStats.Counters["candidates"], inmemStats.Counters["candidates"])
+	}
+	t.Logf("GOMEMLIMIT %d MiB (in-memory peak %d MiB): spilled run finished in %.1fs",
+		limit>>20, inmem.PeakHeapBytes>>20, limited.WallSeconds)
+
+	report := scaleReport{
+		RowsPerTable:  rows,
+		Workers:       workers,
+		SpillRecords:  spillRecords,
+		GenSeconds:    genWall.Seconds(),
+		Candidates:    inmemStats.Counters["candidates"],
+		Shuffled:      inmemStats.Shuffled,
+		SimSeconds:    inmemStats.SimTime.Seconds(),
+		InMemory:      inmem,
+		Spill:         spilled,
+		MemLimitBytes: limit,
+		SpillLimited:  limited,
+		PeakRSSBytes:  peakRSSBytes(),
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "../../BENCH_scale.json"
+	if v := os.Getenv("FALCON_SCALE_OUT"); v != "" {
+		path = v
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,347 @@
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"strings"
+)
+
+// Out-of-core shuffle (ROADMAP item 2). When Cluster.SpillRecords is
+// positive, map tasks no longer build per-partition group maps: each task
+// buffers at most SpillRecords raw (key, value) records per reduce
+// partition, and on overflow stable-sorts the buffer in the job's key order
+// and writes it to a temp-file run. The reduce side merges each partition's
+// runs with a loser tree (merge.go), re-grouping keys one group at a time.
+//
+// Determinism is preserved exactly — output, counters, and SimTime are
+// byte-identical to the in-memory path at any threshold and worker count —
+// because (a) runs are sorted with a stable sort, so emit order survives
+// within a run, (b) run files are merged in (map task, spill sequence)
+// order with the stream index as the comparison tiebreak, which
+// concatenates equal-key values in task order then emit order, the same
+// order the in-memory shuffle merge produces, and (c) the key order used
+// for sorting is the same order sortedKeys gives the in-memory reduce.
+
+// kv is one buffered shuffle record. ks caches the key's rendered string
+// form while a run buffer is being sorted under the engine's default key
+// order; it is never written to disk.
+type kv[K comparable, V any] struct {
+	k  K
+	ks string
+	v  V
+}
+
+// spillRun describes one sorted run file.
+type spillRun struct {
+	path string
+	n    int
+}
+
+// keyOrd is the job's deterministic key order: the user's Less when given,
+// otherwise the engine's rendered-string order (identical to sortedKeys).
+type keyOrd[K comparable] struct {
+	user func(a, b K) bool
+}
+
+// byString reports whether ordering compares rendered key strings (the
+// default order) rather than calling the user's Less.
+func (o *keyOrd[K]) byString() bool { return o.user == nil }
+
+// sortRun stable-sorts a run buffer in the job's key order, rendering
+// string forms once per distinct key via the strs memo when the default
+// order is in use.
+func sortRun[K comparable, V any](recs []kv[K, V], ord *keyOrd[K], strs map[K]string) {
+	if ord.user != nil {
+		slices.SortStableFunc(recs, func(a, b kv[K, V]) int {
+			if ord.user(a.k, b.k) {
+				return -1
+			}
+			if ord.user(b.k, a.k) {
+				return 1
+			}
+			return 0
+		})
+		return
+	}
+	for i := range recs {
+		ks, ok := strs[recs[i].k]
+		if !ok {
+			ks = keyString(recs[i].k)
+			strs[recs[i].k] = ks //falcon:allow streambound render memo over one capped run's keys, dropped when the run is flushed
+		}
+		recs[i].ks = ks
+	}
+	slices.SortStableFunc(recs, func(a, b kv[K, V]) int {
+		return strings.Compare(a.ks, b.ks)
+	})
+}
+
+// scalarCodec returns a fixed encoder/decoder pair when T is one of the
+// scalar shuffle types the engine serializes natively; ok is false for
+// compound types, which fall back to gob.
+func scalarCodec[T any]() (enc func(*bufio.Writer, T) error, dec func(*bufio.Reader) (T, error), ok bool) {
+	switch any((*T)(nil)).(type) {
+	case *string:
+		return func(w *bufio.Writer, v T) error {
+				return writeSpillString(w, any(v).(string))
+			}, func(r *bufio.Reader) (T, error) {
+				s, err := readSpillString(r)
+				var v T
+				if err == nil {
+					v = any(s).(T)
+				}
+				return v, err
+			}, true
+	case *int:
+		return func(w *bufio.Writer, v T) error {
+				return writeSpillVarint(w, int64(any(v).(int)))
+			}, func(r *bufio.Reader) (T, error) {
+				x, err := binary.ReadVarint(r)
+				var v T
+				if err == nil {
+					v = any(int(x)).(T)
+				}
+				return v, err
+			}, true
+	case *int32:
+		return func(w *bufio.Writer, v T) error {
+				return writeSpillVarint(w, int64(any(v).(int32)))
+			}, func(r *bufio.Reader) (T, error) {
+				x, err := binary.ReadVarint(r)
+				var v T
+				if err == nil {
+					v = any(int32(x)).(T)
+				}
+				return v, err
+			}, true
+	case *int64:
+		return func(w *bufio.Writer, v T) error {
+				return writeSpillVarint(w, any(v).(int64))
+			}, func(r *bufio.Reader) (T, error) {
+				x, err := binary.ReadVarint(r)
+				var v T
+				if err == nil {
+					v = any(x).(T)
+				}
+				return v, err
+			}, true
+	case *uint32:
+		return func(w *bufio.Writer, v T) error {
+				return writeSpillUvarint(w, uint64(any(v).(uint32)))
+			}, func(r *bufio.Reader) (T, error) {
+				x, err := binary.ReadUvarint(r)
+				var v T
+				if err == nil {
+					v = any(uint32(x)).(T)
+				}
+				return v, err
+			}, true
+	case *uint64:
+		return func(w *bufio.Writer, v T) error {
+				return writeSpillUvarint(w, any(v).(uint64))
+			}, func(r *bufio.Reader) (T, error) {
+				x, err := binary.ReadUvarint(r)
+				var v T
+				if err == nil {
+					v = any(x).(T)
+				}
+				return v, err
+			}, true
+	case *struct{}:
+		return func(w *bufio.Writer, v T) error { return nil },
+			func(r *bufio.Reader) (T, error) {
+				var v T
+				return v, nil
+			}, true
+	}
+	return nil, nil, false
+}
+
+func writeSpillVarint(w *bufio.Writer, x int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], x)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeSpillUvarint(w *bufio.Writer, x uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeSpillString(w *bufio.Writer, s string) error {
+	if err := writeSpillUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readSpillString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// zeroSize reports whether T occupies no storage (e.g. struct{}), in which
+// case it carries no information and is skipped on disk: gob refuses types
+// with no encodable fields.
+func zeroSize[T any]() bool { return reflect.TypeFor[T]().Size() == 0 }
+
+// kvCodec serializes shuffle records for one job. When both the key and
+// value types are engine scalars, records use a compact varint framing;
+// otherwise each run file is a single gob stream (skipping zero-size
+// types), which handles any exported-field struct the tree shuffles
+// (table pairs, postings, frequency keys).
+type kvCodec[K comparable, V any] struct {
+	encK         func(*bufio.Writer, K) error
+	decK         func(*bufio.Reader) (K, error)
+	encV         func(*bufio.Writer, V) error
+	decV         func(*bufio.Reader) (V, error)
+	gob          bool
+	kTriv, vTriv bool // zero-size: not written in gob mode
+}
+
+func newKVCodec[K comparable, V any]() *kvCodec[K, V] {
+	ek, dk, okK := scalarCodec[K]()
+	ev, dv, okV := scalarCodec[V]()
+	if okK && okV {
+		return &kvCodec[K, V]{encK: ek, decK: dk, encV: ev, decV: dv}
+	}
+	return &kvCodec[K, V]{gob: true, kTriv: zeroSize[K](), vTriv: zeroSize[V]()}
+}
+
+// writeRun writes one sorted run buffer to dir and returns its descriptor.
+// The file is closed on every path; the caller owns deleting it (the
+// executor removes the whole job-scoped spill directory when the job
+// finishes, fails, or is cancelled).
+func (c *kvCodec[K, V]) writeRun(dir string, task, part, seq int, recs []kv[K, V]) (spillRun, error) {
+	path := filepath.Join(dir, fmt.Sprintf("map%05d-part%05d-run%05d.spill", task, part, seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return spillRun{}, err
+	}
+	w := bufio.NewWriterSize(f, 64<<10)
+	if c.gob {
+		enc := gob.NewEncoder(w)
+		for i := range recs {
+			if !c.kTriv {
+				if err := enc.Encode(&recs[i].k); err != nil {
+					_ = f.Close()
+					return spillRun{}, err
+				}
+			}
+			if !c.vTriv {
+				if err := enc.Encode(&recs[i].v); err != nil {
+					_ = f.Close()
+					return spillRun{}, err
+				}
+			}
+		}
+	} else {
+		for i := range recs {
+			if err := c.encK(w, recs[i].k); err != nil {
+				_ = f.Close()
+				return spillRun{}, err
+			}
+			if err := c.encV(w, recs[i].v); err != nil {
+				_ = f.Close()
+				return spillRun{}, err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return spillRun{}, err
+	}
+	return spillRun{path: path, n: len(recs)}, f.Close()
+}
+
+// runReader streams one sorted run back, re-rendering the default-order
+// key string per record (the reduce side must not grow a per-key memo).
+type runReader[K comparable, V any] struct {
+	f     *os.File
+	br    *bufio.Reader
+	dec   *gob.Decoder
+	codec *kvCodec[K, V]
+	ord   *keyOrd[K]
+	left  int
+}
+
+func openRun[K comparable, V any](run spillRun, codec *kvCodec[K, V], ord *keyOrd[K]) (*runReader[K, V], error) {
+	f, err := os.Open(run.path)
+	if err != nil {
+		return nil, err
+	}
+	r := &runReader[K, V]{f: f, br: bufio.NewReaderSize(f, 64<<10), codec: codec, ord: ord, left: run.n}
+	if codec.gob {
+		r.dec = gob.NewDecoder(r.br)
+	}
+	return r, nil
+}
+
+// next returns the run's next record; ok is false once the run is
+// exhausted.
+//
+//falcon:streaming
+func (r *runReader[K, V]) next() (rec kv[K, V], ok bool, err error) {
+	if r.left == 0 {
+		return rec, false, nil
+	}
+	r.left--
+	if r.codec.gob {
+		if !r.codec.kTriv {
+			if err := r.dec.Decode(&rec.k); err != nil {
+				return rec, false, err
+			}
+		}
+		if !r.codec.vTriv {
+			if err := r.dec.Decode(&rec.v); err != nil {
+				return rec, false, err
+			}
+		}
+	} else {
+		if rec.k, err = r.codec.decK(r.br); err != nil {
+			return rec, false, err
+		}
+		if rec.v, err = r.codec.decV(r.br); err != nil {
+			return rec, false, err
+		}
+	}
+	if r.ord.byString() {
+		rec.ks = keyString(rec.k)
+	}
+	return rec, true, nil
+}
+
+// Close releases the run file.
+func (r *runReader[K, V]) Close() error { return r.f.Close() }
+
+// closeRuns closes every non-nil reader, keeping the first error.
+func closeRuns[K comparable, V any](rs []*runReader[K, V]) error {
+	var first error
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,266 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// orderJob makes per-key value order observable: the reduce output embeds
+// the values in arrival order, so any merge that reorders equal keys across
+// tasks, runs, or emit positions changes the output.
+func orderJob(lines []string, splits int) Job[string, string, int, string] {
+	return Job[string, string, int, string]{
+		Name:   "value-order",
+		Splits: SplitSlice(lines, splits),
+		Map: func(line string, ctx *MapCtx[string, int]) {
+			for i, w := range strings.Fields(line) {
+				ctx.Emit(w, i)
+				ctx.Inc("emits", 1)
+			}
+		},
+		Reduce: func(key string, values []int, ctx *ReduceCtx[string]) {
+			ctx.Output(fmt.Sprintf("%s:%v", key, values))
+		},
+	}
+}
+
+// gobJob shuffles compound keys and values (the gob codec path) under a
+// user-supplied Less, mirroring the index builder's frequency-sort job.
+func gobJob(n, splits int) Job[int, [2]int, [2]int32, string] {
+	recs := make([]int, n)
+	for i := range recs {
+		recs[i] = i
+	}
+	return Job[int, [2]int, [2]int32, string]{
+		Name:   "gob-pairs",
+		Splits: SplitSlice(recs, splits),
+		Map: func(i int, ctx *MapCtx[[2]int, [2]int32]) {
+			ctx.Emit([2]int{i % 13, i % 3}, [2]int32{int32(i), int32(i % 7)})
+		},
+		Less: func(a, b [2]int) bool {
+			if a[0] != b[0] {
+				return a[0] < b[0]
+			}
+			return a[1] < b[1]
+		},
+		Reduce: func(k [2]int, vs [][2]int32, ctx *ReduceCtx[string]) {
+			ctx.Output(fmt.Sprintf("%v=%v", k, vs))
+		},
+	}
+}
+
+// structValueJob exercises the gob codec with a zero-size value type
+// (which gob itself refuses and the codec must skip) under the engine's
+// default rendered-string key order for a compound key.
+func structValueJob(n, splits int) Job[int, [2]int, struct{}, int64] {
+	recs := make([]int, n)
+	for i := range recs {
+		recs[i] = i
+	}
+	return Job[int, [2]int, struct{}, int64]{
+		Name:   "dedup",
+		Splits: SplitSlice(recs, splits),
+		Map: func(i int, ctx *MapCtx[[2]int, struct{}]) {
+			ctx.Emit([2]int{i % 61, i % 7}, struct{}{})
+			ctx.Emit([2]int{i % 61, i % 7}, struct{}{})
+		},
+		Reduce: func(k [2]int, vs []struct{}, ctx *ReduceCtx[int64]) {
+			ctx.Output(int64(k[0]*1000+k[1]*10) + int64(len(vs)))
+		},
+	}
+}
+
+// assertNoLeftoverSpill fails if the job left anything in its spill dir.
+func assertNoLeftoverSpill(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Fatalf("leftover spill entry %s", filepath.Join(dir, e.Name()))
+	}
+}
+
+// TestSpillByteIdentical is the out-of-core contract: any spill threshold ×
+// any worker count produces output, counters, and stats byte-identical to
+// the in-memory path, for the scalar codec, the gob codec, and zero-size
+// values alike.
+func TestSpillByteIdentical(t *testing.T) {
+	lines := manyLines(400)
+	type variant struct {
+		name string
+		run  func(c *Cluster) (any, Stats, error)
+	}
+	variants := []variant{
+		{"scalar-counter", func(c *Cluster) (any, Stats, error) {
+			res, err := Run(c, counterJob(lines, 7))
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			return res.Output, res.Stats, nil
+		}},
+		{"scalar-order", func(c *Cluster) (any, Stats, error) {
+			res, err := Run(c, orderJob(lines, 6))
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			return res.Output, res.Stats, nil
+		}},
+		{"gob-less", func(c *Cluster) (any, Stats, error) {
+			res, err := Run(c, gobJob(300, 5))
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			return res.Output, res.Stats, nil
+		}},
+		{"gob-zerosize", func(c *Cluster) (any, Stats, error) {
+			res, err := Run(c, structValueJob(300, 5))
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			return res.Output, res.Stats, nil
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base := Default()
+			base.Workers = 1
+			wantOut, wantStats, err := v.run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, spillRecords := range []int{1, 3, 64, 1 << 20} {
+				for _, workers := range []int{1, 8} {
+					c := Default()
+					c.Workers = workers
+					c.SpillRecords = spillRecords
+					c.SpillDir = t.TempDir()
+					out, stats, err := v.run(c)
+					if err != nil {
+						t.Fatalf("spill=%d workers=%d: %v", spillRecords, workers, err)
+					}
+					if !reflect.DeepEqual(out, wantOut) {
+						t.Fatalf("spill=%d workers=%d changed output", spillRecords, workers)
+					}
+					if !reflect.DeepEqual(stats, wantStats) {
+						t.Fatalf("spill=%d workers=%d changed stats:\n got %+v\nwant %+v", spillRecords, workers, stats, wantStats)
+					}
+					assertNoLeftoverSpill(t, c.SpillDir)
+				}
+			}
+		})
+	}
+}
+
+// TestSpillSinkStreamsInOutputOrder checks Job.Sink delivers exactly
+// Result.Output, record for record and in order, in both execution modes,
+// and that Result.Output stays nil when a sink is set.
+func TestSpillSinkStreamsInOutputOrder(t *testing.T) {
+	lines := manyLines(250)
+	ref, err := Run(Default(), orderJob(lines, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spillRecords := range []int{0, 2} {
+		for _, workers := range []int{1, 8} {
+			c := Default()
+			c.Workers = workers
+			c.SpillRecords = spillRecords
+			c.SpillDir = t.TempDir()
+			var got []string
+			job := orderJob(lines, 5)
+			job.Sink = func(o string) { got = append(got, o) }
+			res, err := Run(c, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Output != nil {
+				t.Fatalf("spill=%d workers=%d: Result.Output not nil with Sink set", spillRecords, workers)
+			}
+			if !reflect.DeepEqual(got, ref.Output) {
+				t.Fatalf("spill=%d workers=%d: sink stream diverged from Result.Output", spillRecords, workers)
+			}
+			if !reflect.DeepEqual(res.Stats, ref.Stats) {
+				t.Fatalf("spill=%d workers=%d: sink changed stats", spillRecords, workers)
+			}
+		}
+	}
+}
+
+// TestMapOnlySinkStreamsInOutputOrder is the map-only analogue.
+func TestMapOnlySinkStreamsInOutputOrder(t *testing.T) {
+	lines := manyLines(200)
+	mk := func(sink func(string)) MapOnlyJob[string, string] {
+		return MapOnlyJob[string, string]{
+			Name:   "upper",
+			Splits: SplitSlice(lines, 9),
+			Map: func(line string, ctx *MapOnlyCtx[string]) {
+				ctx.Output(strings.ToUpper(line))
+			},
+			Sink: sink,
+		}
+	}
+	ref, err := RunMapOnly(Default(), mk(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		c := Default()
+		c.Workers = workers
+		var got []string
+		if _, err := RunMapOnly(c, mk(func(o string) { got = append(got, o) })); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref.Output) {
+			t.Fatalf("workers=%d: map-only sink stream diverged", workers)
+		}
+	}
+}
+
+// TestSpillCancelRemovesTempFiles cancels a spilling job mid-map and
+// mid-reduce and asserts the spill directory is empty afterward: the
+// job-scoped temp dir must be torn down on every exit path.
+func TestSpillCancelRemovesTempFiles(t *testing.T) {
+	lines := manyLines(2000)
+	for _, phase := range []string{"map", "reduce"} {
+		for _, workers := range []int{1, 4} {
+			ctx, cancel := context.WithCancel(context.Background())
+			c := Default()
+			c.Workers = workers
+			c.SpillRecords = 2
+			c.SpillDir = t.TempDir()
+			job := counterJob(lines, 11)
+			var n atomic.Int64
+			innerMap, innerReduce := job.Map, job.Reduce
+			if phase == "map" {
+				job.Map = func(line string, mc *MapCtx[string, int]) {
+					if n.Add(1) == 200 {
+						cancel()
+					}
+					innerMap(line, mc)
+				}
+			} else {
+				job.Reduce = func(k string, vs []int, rc *ReduceCtx[[2]string]) {
+					if n.Add(1) == 20 {
+						cancel()
+					}
+					innerReduce(k, vs, rc)
+				}
+			}
+			_, err := RunContext(ctx, c, job)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("phase=%s workers=%d: err = %v, want context.Canceled", phase, workers, err)
+			}
+			assertNoLeftoverSpill(t, c.SpillDir)
+			cancel()
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+
+	"falcon/internal/core"
+	"falcon/internal/learn"
+	"falcon/internal/mapreduce"
+	"falcon/internal/table"
+)
+
+// TestCancelRemovesSpillFiles runs a job whose pipeline is spilling shuffle
+// runs to disk, cancels it mid-run via DELETE /jobs/{id}, and asserts the
+// spill directory is empty afterward: the engine's job-scoped temp dir must
+// be torn down on the cancellation path, all the way through the service.
+func TestCancelRemovesSpillFiles(t *testing.T) {
+	started := make(chan struct{})
+	spillDir := t.TempDir()
+	run := func(ctx context.Context, a, b *table.Table, oracle learn.Oracle, opt core.Options) (*core.Result, error) {
+		c := mapreduce.Default()
+		c.SpillRecords = 1 // every shuffle record becomes a run file
+		c.SpillDir = spillDir
+		rows := make([]int, 5000)
+		for i := range rows {
+			rows[i] = i
+		}
+		var once sync.Once
+		job := mapreduce.Job[int, int, int, int]{
+			Name:   "spill-park",
+			Splits: mapreduce.SplitSlice(rows, 4),
+			Map: func(i int, mc *mapreduce.MapCtx[int, int]) {
+				mc.Emit(i%97, i)
+				if i == 300 {
+					// Enough runs are on disk; park until the DELETE lands.
+					once.Do(func() { close(started) })
+					<-ctx.Done()
+				}
+			},
+			Reduce: func(k int, vs []int, rc *mapreduce.ReduceCtx[int]) {
+				rc.Output(k + len(vs))
+			},
+		}
+		if _, err := mapreduce.RunContext(ctx, c, job); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(New(withRunFunc(run)))
+	defer ts.Close()
+
+	a, b := songsWithKey(30, 7)
+	id, _ := postJob(t, ts, a, b, map[string]string{"oracle_key": "match_key"})
+	<-started
+
+	resp := deleteJob(t, ts, id)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitForState(t, ts, id, StateCancelled)
+
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d leftover spill entries after cancelled job", len(ents))
+	}
+}

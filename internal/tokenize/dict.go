@@ -41,8 +41,8 @@ func (d *Dict) Intern(t string) uint32 {
 		return id
 	}
 	id := uint32(len(d.toks))
-	d.ids[t] = id
-	d.toks = append(d.toks, t)
+	d.ids[t] = id              //falcon:allow streambound interning is bounded by the token vocabulary; streaming callers intern into per-column scratch dicts
+	d.toks = append(d.toks, t) //falcon:allow streambound interning is bounded by the token vocabulary; streaming callers intern into per-column scratch dicts
 	return id
 }
 
