@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build falcon-vet vet-fix test race bench scale
+.PHONY: check fmt vet build falcon-vet falcon-vet-diff vet-fix test race bench scale
 
 check: fmt vet build falcon-vet test race
 	@echo "all gates passed"
@@ -17,8 +17,16 @@ vet:
 build:
 	$(GO) build ./...
 
+# falcon-vet runs the full suite on the parallel DAG scheduler with the
+# content-addressed result cache: a warm no-change run skips
+# type-checking entirely. falcon-vet-diff only re-analyzes packages with
+# .go files changed since origin/main (plus reverse dependents) — the
+# pre-commit-speed variant.
 falcon-vet:
-	$(GO) run ./cmd/falcon-vet ./...
+	$(GO) run ./cmd/falcon-vet -cache .falcon-vet-cache ./...
+
+falcon-vet-diff:
+	$(GO) run ./cmd/falcon-vet -cache .falcon-vet-cache -diff origin/main ./...
 
 # vet-fix applies every suggested fix (stale allow-directive removal,
 # errcheck explicit discards, sort.Slice modernization, frozen-map
@@ -30,8 +38,13 @@ vet-fix:
 test:
 	$(GO) test ./...
 
+# The race gate also runs the vet engine's parallel scheduler and cache
+# under the detector: the serial/parallel/cached byte-identity tests
+# exercise every cross-task edge (fact shards, lock-edge streams,
+# diagnostics sinks).
 race:
 	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/... ./internal/serve/...
+	$(GO) test -race -run 'TestParallelByteIdentical|TestVetEquality|TestCacheInvalidationMatrix|TestDiffMode' ./internal/analysis/
 
 # bench records the executor worker-pool benchmark (speedup needs >1 CPU),
 # the blocking hot-path benchmarks (bit-parallel kernels vs the sorted-merge

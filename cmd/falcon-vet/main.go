@@ -38,6 +38,14 @@
 // part of the lock-free serving path and must transitively stay
 // lock-free, channel-free, submission-free, and allocation-free,
 // enforced by servebudget).
+//
+// The engine schedules one task per package over the import DAG:
+// -parallel N analyzes independent packages concurrently (diagnostics are
+// byte-identical to a serial run), -cache DIR keeps a content-addressed
+// result cache so unchanged packages are never re-analyzed — a warm
+// no-change run skips type-checking entirely — and -diff REF analyzes
+// only packages with .go files changed since the git ref plus their
+// transitive reverse dependents. Cache hit/miss counts print to stderr.
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"falcon/internal/analysis"
 )
@@ -103,6 +112,9 @@ func run(args []string) int {
 	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	asJSON := fs.Bool("json", false, "emit one JSON diagnostic per line (file, line, col, analyzer, message, chain, suggested_fixes)")
 	fix := fs.Bool("fix", false, "apply suggested fixes in place; only diagnostics without a fix are reported")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "number of packages analyzed concurrently (1 = serial)")
+	cacheDir := fs.String("cache", "", "directory for the content-addressed result cache (empty = no caching)")
+	diffRef := fs.String("diff", "", "git ref: analyze only packages with .go files changed since it, plus reverse dependents")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -124,28 +136,29 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "falcon-vet:", err)
 		return 2
 	}
-	loader, err := analysis.NewLoader(cwd)
+	res, err := analysis.Vet(analysis.VetRequest{
+		Dir:       cwd,
+		Patterns:  fs.Args(),
+		Analyzers: analyzers,
+		Parallel:  *parallel,
+		CacheDir:  *cacheDir,
+		DiffRef:   *diffRef,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "falcon-vet:", err)
 		return 2
 	}
-	pkgs, err := loader.Load(fs.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "falcon-vet:", err)
-		return 2
-	}
-	broken := 0
-	for _, pkg := range pkgs {
-		for _, e := range pkg.Errors {
-			fmt.Fprintf(os.Stderr, "falcon-vet: %s: %v\n", pkg.Path, e)
-			broken++
+	if len(res.Errors) > 0 {
+		for _, e := range res.Errors {
+			fmt.Fprintf(os.Stderr, "falcon-vet: %v\n", e)
 		}
-	}
-	if broken > 0 {
 		return 2
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "falcon-vet: cache %d hit(s), %d miss(es)\n", len(res.CacheHits), len(res.Analyzed))
 	}
 
-	diags := analysis.Run(analyzers, pkgs)
+	diags := res.Diags
 	skipped := 0
 	if *fix {
 		res, err := analysis.ApplyFixes(diags)
@@ -196,7 +209,7 @@ func run(args []string) int {
 		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 || skipped > 0 {
-		fmt.Fprintf(os.Stderr, "falcon-vet: %d finding(s) in %d package(s)\n", len(diags)+skipped, len(pkgs))
+		fmt.Fprintf(os.Stderr, "falcon-vet: %d finding(s) in %d package(s)\n", len(diags)+skipped, len(res.Requested))
 		return 1
 	}
 	return 0

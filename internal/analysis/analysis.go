@@ -46,7 +46,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"os"
 	"slices"
 	"strings"
 )
@@ -166,23 +165,31 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
-	// Graph is the whole-program call graph over the loaded closure.
+	// Graph is the call graph over the pass's dependency closure:
+	// interface dispatch resolves only to implementations the package can
+	// see through its imports, so the pass's results are a pure function
+	// of that closure (see Graph.Restrict).
 	Graph *Graph
 
-	// report is false when a facts analyzer visits a dependency package
-	// only to compute summaries: facts still flow, diagnostics do not.
-	report bool
-	allow  *allowIndex
-	facts  factStore
-	diags  *[]Diagnostic
-	state  map[*Analyzer]any
+	// visible is the package's transitive dependency closure (its own
+	// *types.Package included); fact lookups outside it miss.
+	visible map[*types.Package]bool
+	allow   *allowIndex
+	facts   *factStore
+	diags   *[]Diagnostic
+	// lockObs collects lockorder's acquisition-order observations for the
+	// engine's deterministic closure-scoped replay (see lockorder.go).
+	lockObs *[]lockEdgeObs
+	state   map[*Analyzer]any
 }
 
-// sharedState returns the Run-wide mutable state for one analyzer,
-// creating it with init on first use. Unlike facts (keyed per object),
-// this is a single value every package's pass of the same analyzer
-// shares — lockorder accumulates its cross-package lock-acquisition
-// graph here.
+// sharedState returns the package-wide mutable state for one analyzer
+// identity, creating it with init on first use. Unlike facts (keyed per
+// object), this is a single value every analyzer pass over the same
+// package shares — the flow layer's FuncFlow cache and the call-site
+// cache live here. The state is scoped to one package's task (keys are
+// that package's declarations anyway), which is what keeps it lock-free
+// under the parallel engine.
 func (p *Pass) sharedState(a *Analyzer, init func() any) any {
 	if p.state == nil {
 		// Standalone pass construction (tests); state lives only as long
@@ -221,7 +228,7 @@ func (p *Pass) emit(pos token.Pos, chain []string, fixes []SuggestedFix, format 
 	if p.allow.allowed(position, p.Analyzer.Name) {
 		return
 	}
-	if !p.report {
+	if p.diags == nil {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -241,118 +248,36 @@ func (p *Pass) Allowed(pos token.Pos, names ...string) bool {
 	return p.allow.allowed(p.Fset.Position(pos), names...)
 }
 
-// Run applies the analyzers to the requested packages and returns all
-// diagnostics sorted by position.
-//
-// The requested packages' whole dependency closure is analyzed in
-// dependency order: facts analyzers visit every package (exporting
-// summaries, reporting only inside the requested set), per-package
-// analyzers visit only the requested packages. After all passes, stale
-// //falcon:allow directives in the requested packages are reported under
-// the "staleallow" analyzer name: a directive is stale when the analyzer
-// it names ran but the directive suppressed nothing, or when it names no
-// known analyzer at all.
-func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
-	closure := DepOrder(pkgs)
-	graph := BuildGraph(closure)
-	requested := make(map[*Package]bool, len(pkgs))
-	for _, p := range pkgs {
-		requested[p] = true
+// compareDiagnostics is the total, position-stable diagnostic order every
+// run mode emits in: position first, then analyzer name, then message,
+// then the call chain. The order is total — no two distinct diagnostics
+// compare equal — which is what makes serial, parallel, and cached runs
+// byte-identical in both text and -json output regardless of the order
+// packages were analyzed in.
+func compareDiagnostics(a, b Diagnostic) int {
+	if c := strings.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+		return c
 	}
-	allowByPkg := make(map[*Package]*allowIndex, len(closure))
-	for _, pkg := range closure {
-		allowByPkg[pkg] = buildAllowIndex(pkg.Fset, pkg.Files)
+	if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
+		return c
 	}
-	facts := factStore{}
-	state := map[*Analyzer]any{}
+	if c := cmp.Compare(a.Pos.Column, b.Pos.Column); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Analyzer, b.Analyzer); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Message, b.Message); c != 0 {
+		return c
+	}
+	// Chain is the final tiebreaker so even analyzers reporting one
+	// message through several witness paths stay deterministically ordered.
+	return slices.Compare(a.Chain, b.Chain)
+}
 
-	var diags []Diagnostic
-	for _, pkg := range closure {
-		for _, a := range analyzers {
-			if !a.Facts && !requested[pkg] {
-				continue
-			}
-			a.Run(&Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Graph:    graph,
-				report:   requested[pkg],
-				allow:    allowByPkg[pkg],
-				facts:    facts,
-				diags:    &diags,
-				state:    state,
-			})
-		}
-	}
-
-	known := map[string]bool{}
-	for _, a := range All() {
-		known[a.Name] = true
-	}
-	ran := map[string]bool{}
-	for _, a := range analyzers {
-		ran[a.Name] = true
-	}
-	srcCache := map[string][]byte{}
-	readSrc := func(name string) []byte {
-		if b, ok := srcCache[name]; ok {
-			return b
-		}
-		b, err := os.ReadFile(name)
-		if err != nil {
-			b = nil
-		}
-		srcCache[name] = b
-		return b
-	}
-	for _, pkg := range closure {
-		if !requested[pkg] {
-			continue
-		}
-		for _, d := range allowByPkg[pkg].list {
-			if d.hit {
-				continue
-			}
-			switch {
-			case !known[d.name]:
-				diags = append(diags, Diagnostic{
-					Pos:      d.pos,
-					Analyzer: StaleAllowName,
-					Message:  fmt.Sprintf("//falcon:allow names unknown analyzer %q", d.name),
-					Fixes:    staleAllowFix(readSrc(d.pos.Filename), d),
-				})
-			case ran[d.name]:
-				diags = append(diags, Diagnostic{
-					Pos:      d.pos,
-					Analyzer: StaleAllowName,
-					Message:  fmt.Sprintf("stale //falcon:allow %s: no %s diagnostic is suppressed here", d.name, d.name),
-					Fixes:    staleAllowFix(readSrc(d.pos.Filename), d),
-				})
-			}
-		}
-	}
-
-	slices.SortFunc(diags, func(a, b Diagnostic) int {
-		if c := strings.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
-			return c
-		}
-		if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
-			return c
-		}
-		if c := cmp.Compare(a.Pos.Column, b.Pos.Column); c != 0 {
-			return c
-		}
-		if c := strings.Compare(a.Analyzer, b.Analyzer); c != 0 {
-			return c
-		}
-		// Message is the final tiebreaker so analyzers reporting several
-		// diagnostics at one position stay deterministically ordered.
-		return strings.Compare(a.Message, b.Message)
-	})
-	return diags
+// sortDiagnostics sorts diags in place in the compareDiagnostics order.
+func sortDiagnostics(diags []Diagnostic) {
+	slices.SortFunc(diags, compareDiagnostics)
 }
 
 // All returns the full falcon-vet analyzer suite.

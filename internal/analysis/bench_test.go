@@ -47,7 +47,11 @@ func benchPackages(b *testing.B) []*Package {
 // own tree: the pre-flow eight-analyzer suite, the flow-sensitive layer
 // alone (dataflow construction dominates), the publish-then-freeze layer
 // alone, the out-of-core layer alone, and the full fifteen-analyzer suite
-// the CLI runs.
+// the CLI runs — serially and on the parallel DAG scheduler. Two more
+// variants time the whole Vet pipeline end to end: coldvet is a full
+// load + analyze with nothing cached, warmcache is the no-change cached
+// fast path (module scan + key probes + cached diagnostics, no
+// type-checking) — the pair records the cache's cold-vs-warm ratio.
 func BenchmarkVetTree(b *testing.B) {
 	pkgs := benchPackages(b)
 	suites := []struct {
@@ -69,6 +73,35 @@ func BenchmarkVetTree(b *testing.B) {
 			}
 		})
 	}
+	b.Run("parallel8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if diags := RunPackages(All(), pkgs, Options{Parallel: 8}); len(diags) != 0 {
+				b.Fatalf("tree is not clean: %v", diags[0])
+			}
+		}
+	})
+	b.Run("coldvet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := Vet(VetRequest{Dir: ".", Parallel: 8})
+			if err != nil || len(res.Diags) != 0 {
+				b.Fatalf("cold vet: err %v, %d diags", err, len(res.Diags))
+			}
+		}
+	})
+	b.Run("warmcache", func(b *testing.B) {
+		cacheDir := b.TempDir()
+		req := VetRequest{Dir: ".", Parallel: 8, CacheDir: cacheDir}
+		if _, err := Vet(req); err != nil {
+			b.Fatalf("seeding cache: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := Vet(req)
+			if err != nil || !res.FastPath || len(res.Diags) != 0 {
+				b.Fatalf("warm vet: err %v, fastpath %v, %d diags", err, res != nil && res.FastPath, len(res.Diags))
+			}
+		}
+	})
 }
 
 // TestVetOverheadWithinBudget pins the cost of everything added on top of

@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+)
+
+// This file is falcon-vet's content-addressed on-disk result cache. One
+// entry holds everything a package's analysis task produces — its
+// diagnostics (stale-allow findings and autofix edits included), its
+// exported facts, and its published lock-edge stream — keyed by a hash
+// that covers everything the task's verdict can depend on:
+//
+//	key(P) = sha256( format ‖ salt ‖ P.path
+//	               ‖ (name, sha256(bytes)) for each of P's source files
+//	               ‖ key(D) for each direct module-local import D, path order )
+//
+// where salt = go toolchain version ‖ EngineVersion ‖ the sorted selected
+// analyzer names. The dep component is the dep's *key*, recursively, so a
+// change anywhere in a package's transitive dependency closure changes
+// its own key. That is the whole invalidation story: touch a file and the
+// package plus every reverse dependent re-runs; everything else hits.
+//
+// Deliberately NOT in the key: any early-cutoff hash of dep *facts*.
+// Facts are not a complete interface between packages — a new method on a
+// dependency's concrete type can change how a dependent's interface
+// dispatch resolves (and so its verdict) without changing any exported
+// fact — so "dep facts unchanged → skip dependent" is unsound. Source
+// keys over-invalidate slightly and are sound by construction; see
+// DESIGN.md "Incremental vet".
+//
+// Entries are immutable and content-addressed (the key is the file name),
+// so a cache directory restored from another run, branch, or CI machine
+// can only ever produce hits that are exactly right or misses — never a
+// wrong answer.
+
+// EngineVersion names the analyzer-suite revision and participates in
+// every cache key. Bump it whenever any analyzer's semantics change so
+// entries written by older binaries can never satisfy a new run.
+const EngineVersion = "10"
+
+// cacheFormat guards the gob layout of entries, independent of analyzer
+// semantics.
+const cacheFormat = "falcon-vet/1"
+
+func init() {
+	// Every Fact implementation crosses the gob boundary as an interface
+	// value and must be registered.
+	gob.Register(&ReachFact{})
+	gob.Register(&BlocksFact{})
+	gob.Register(&EscapeFact{})
+	gob.Register(&MutFact{})
+	gob.Register(&LockFact{})
+	gob.Register(&FreezeFact{})
+	gob.Register(&ServeFact{})
+	gob.Register(&StreamFact{})
+	gob.Register(&SpillResFact{})
+}
+
+// srcFile is one source file's identity in a cache key.
+type srcFile struct {
+	name string
+	sum  [sha256.Size]byte
+}
+
+// sourceFiles hashes a loaded package's retained sources, sorted by base
+// name — the same shape moduleScan produces from raw disk reads, so the
+// loaded-package and scan-only key computations agree byte for byte.
+func sourceFiles(sources map[string][]byte) []srcFile {
+	files := make([]srcFile, 0, len(sources))
+	for path, src := range sources {
+		files = append(files, srcFile{name: filepath.Base(path), sum: sha256.Sum256(src)})
+	}
+	slices.SortFunc(files, func(a, b srcFile) int { return strings.Compare(a.name, b.name) })
+	return files
+}
+
+// analyzerSalt builds the run-configuration component of cache keys.
+// extra is a test hook standing in for an analyzer-version bump.
+func analyzerSalt(analyzers []*Analyzer, extra string) string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	slices.Sort(names)
+	return runtime.Version() + "\x00" + EngineVersion + "\x00" + strings.Join(names, ",") + "\x00" + extra
+}
+
+// cacheKey combines one package's identity, content, and dependency keys.
+func cacheKey(salt, path string, files []srcFile, depKeys []string) string {
+	h := sha256.New()
+	field := func(s string) {
+		// hash.Hash writes never fail.
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	field(cacheFormat)
+	field(salt)
+	field(path)
+	for _, f := range files {
+		field(f.name)
+		_, _ = h.Write(f.sum[:])
+	}
+	for _, k := range depKeys {
+		field(k)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is the on-disk record of one package's analysis. File names
+// inside (diagnostic positions and fix edits) are module-root-relative so
+// a cache directory survives checkout moves and CI restores.
+type cacheEntry struct {
+	Format string
+	Path   string
+	Diags  []Diagnostic
+	Edges  []LockEdge
+	Facts  []factRecord
+}
+
+// factRecord is one exported fact, keyed by its analyzer and its owning
+// function's FullName (the only objects falcon-vet's analyzers export
+// facts about are their own package's declared functions and methods).
+type factRecord struct {
+	Analyzer string
+	Func     string
+	Fact     Fact
+}
+
+// cacheSession is one run's view of a cache directory.
+type cacheSession struct {
+	dir  string // cache directory
+	root string // module root, for path relativization
+	salt string
+
+	mu     sync.Mutex
+	hits   []string
+	misses []string
+}
+
+func newCacheSession(dir, root string, analyzers []*Analyzer, saltExtra string) *cacheSession {
+	return &cacheSession{dir: dir, root: root, salt: analyzerSalt(analyzers, saltExtra)}
+}
+
+func (cs *cacheSession) entryFile(key string) string {
+	return filepath.Join(cs.dir, key[:2], key+".gob")
+}
+
+// keyFor computes a package's cache key. Its direct deps' tasks have
+// already completed (DAG scheduling), so their keys are final.
+func (cs *cacheSession) keyFor(pc *pkgCtx) string {
+	depKeys := make([]string, 0, len(pc.deps))
+	for _, d := range pc.deps {
+		depKeys = append(depKeys, d.key)
+	}
+	return cacheKey(cs.salt, pc.pkg.Path, sourceFiles(pc.pkg.Sources), depKeys)
+}
+
+func (cs *cacheSession) recordHit(path string) {
+	cs.mu.Lock()
+	cs.hits = append(cs.hits, path)
+	cs.mu.Unlock()
+}
+
+func (cs *cacheSession) recordMiss(path string) {
+	cs.mu.Lock()
+	cs.misses = append(cs.misses, path)
+	cs.mu.Unlock()
+}
+
+// loadEntry reads and sanity-checks one entry by key.
+func (cs *cacheSession) loadEntry(key, path string) *cacheEntry {
+	f, err := os.Open(cs.entryFile(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var e cacheEntry
+	if gob.NewDecoder(f).Decode(&e) != nil || e.Format != cacheFormat || e.Path != path {
+		return nil
+	}
+	return &e
+}
+
+// restore satisfies one package task from the cache: diagnostics and the
+// lock-edge stream land on the pkgCtx, facts land in the package's shard
+// rehydrated onto the freshly type-checked objects. Any unresolvable fact
+// owner makes the whole probe a miss (nothing is committed), so a re-run
+// never sees half-restored state.
+func (cs *cacheSession) restore(pc *pkgCtx, facts *factStore, analyzers []*Analyzer) bool {
+	e := cs.loadEntry(pc.key, pc.pkg.Path)
+	if e == nil {
+		cs.recordMiss(pc.pkg.Path)
+		return false
+	}
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	shard := facts.shards[pc.pkg.Types]
+	objs := packageFuncs(pc.pkg.Types)
+	type resolved struct {
+		key  factKey
+		fact Fact
+	}
+	recs := make([]resolved, 0, len(e.Facts))
+	for _, r := range e.Facts {
+		a := byName[r.Analyzer]
+		obj := objs[r.Func]
+		if a == nil || obj == nil || r.Fact == nil || shard == nil {
+			cs.recordMiss(pc.pkg.Path)
+			return false
+		}
+		recs = append(recs, resolved{factKey{a, obj}, r.Fact})
+	}
+	for _, r := range recs {
+		shard.m[r.key] = r.fact
+	}
+	pc.edges = e.Edges
+	pc.diags = cs.absDiags(e.Diags)
+	cs.recordHit(pc.pkg.Path)
+	return true
+}
+
+// store writes one freshly analyzed package's entry, best-effort: a
+// failed write only costs a future miss.
+func (cs *cacheSession) store(pc *pkgCtx, facts *factStore) {
+	e := &cacheEntry{
+		Format: cacheFormat,
+		Path:   pc.pkg.Path,
+		Diags:  cs.relDiags(pc.diags),
+		Edges:  pc.edges,
+	}
+	if shard := facts.shards[pc.pkg.Types]; shard != nil {
+		for k, f := range shard.m {
+			fn, ok := k.obj.(*types.Func)
+			if !ok || fn.Name() == "init" {
+				// init functions collide on FullName and are never called,
+				// so their facts are never imported; skip them.
+				continue
+			}
+			e.Facts = append(e.Facts, factRecord{Analyzer: k.analyzer.Name, Func: fn.FullName(), Fact: f})
+		}
+	}
+	slices.SortFunc(e.Facts, func(a, b factRecord) int {
+		if c := strings.Compare(a.Analyzer, b.Analyzer); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Func, b.Func)
+	})
+
+	sub := filepath.Dir(cs.entryFile(pc.key))
+	if os.MkdirAll(sub, 0o755) != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(sub, "entry-*.tmp")
+	if err != nil {
+		return
+	}
+	encErr := gob.NewEncoder(tmp).Encode(e)
+	closeErr := tmp.Close()
+	if encErr != nil || closeErr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), cs.entryFile(pc.key)) != nil {
+		_ = os.Remove(tmp.Name())
+	}
+}
+
+// packageFuncs indexes a type-checked package's declared functions and
+// methods by FullName, the inverse of factRecord.Func.
+func packageFuncs(pkg *types.Package) map[string]types.Object {
+	m := map[string]types.Object{}
+	if pkg == nil {
+		return m
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		switch o := scope.Lookup(name).(type) {
+		case *types.Func:
+			m[o.FullName()] = o
+		case *types.TypeName:
+			if named, ok := o.Type().(*types.Named); ok {
+				for i := 0; i < named.NumMethods(); i++ {
+					fn := named.Method(i)
+					m[fn.FullName()] = fn
+				}
+			}
+		}
+	}
+	return m
+}
+
+// relDiags deep-copies diagnostics with file names made module-root-
+// relative; absDiags is its inverse at restore time. Paths outside the
+// module root pass through unchanged.
+func (cs *cacheSession) relDiags(diags []Diagnostic) []Diagnostic {
+	return mapDiagPaths(diags, func(p string) string {
+		if rel, err := filepath.Rel(cs.root, p); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return p
+	})
+}
+
+func (cs *cacheSession) absDiags(diags []Diagnostic) []Diagnostic {
+	return mapDiagPaths(diags, func(p string) string {
+		if !filepath.IsAbs(p) {
+			return filepath.Join(cs.root, filepath.FromSlash(p))
+		}
+		return p
+	})
+}
+
+func mapDiagPaths(diags []Diagnostic, f func(string) string) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		d.Pos.Filename = f(d.Pos.Filename)
+		if len(d.Fixes) > 0 {
+			fixes := make([]SuggestedFix, len(d.Fixes))
+			for j, fix := range d.Fixes {
+				edits := make([]TextEdit, len(fix.Edits))
+				for k, e := range fix.Edits {
+					e.File = f(e.File)
+					edits[k] = e
+				}
+				fix.Edits = edits
+				fixes[j] = fix
+			}
+			d.Fixes = fixes
+		}
+		out[i] = d
+	}
+	return out
+}

@@ -30,6 +30,9 @@ type Graph struct {
 	// impls maps an interface method declaration to the concrete methods
 	// implementing it, in deterministic order.
 	impls map[*types.Func][]*types.Func
+	// visible, when non-nil, restricts interface dispatch to
+	// implementations declared in this package set (see Restrict).
+	visible map[*types.Package]bool
 }
 
 // BuildGraph indexes interface implementations across the packages
@@ -91,6 +94,21 @@ func BuildGraph(pkgs []*Package) *Graph {
 	return g
 }
 
+// Restrict returns a view of the graph whose interface-dispatch edges
+// resolve only to implementations declared in the visible package set —
+// one package's transitive dependency closure. Static callees need no
+// filtering: a call the type-checker resolved is necessarily to a package
+// in the closure (or the standard library, which carries no facts).
+// Restricting dispatch this way is what makes each package's analysis a
+// pure function of its closure: a concrete type declared in an unrelated
+// module package cannot influence this package's verdict, so neither
+// scheduling order nor cache state can either. The view shares the
+// underlying (immutable after BuildGraph) implementation index;
+// filtering happens per lookup in Callees.
+func (g *Graph) Restrict(visible map[*types.Package]bool) *Graph {
+	return &Graph{impls: g.impls, visible: visible}
+}
+
 func dedupeFuncs(fns []*types.Func) []*types.Func {
 	out := fns[:0]
 	var prev *types.Func
@@ -119,7 +137,17 @@ func (g *Graph) Callees(info *types.Info, call *ast.CallExpr) []*types.Func {
 		return nil
 	}
 	if recv := funcSig(fn).Recv(); recv != nil && types.IsInterface(recv.Type()) {
-		if impls := g.impls[fn.Origin()]; len(impls) > 0 {
+		impls := g.impls[fn.Origin()]
+		if g.visible != nil {
+			var kept []*types.Func
+			for _, impl := range impls {
+				if impl.Pkg() == nil || g.visible[impl.Pkg()] {
+					kept = append(kept, impl)
+				}
+			}
+			impls = kept
+		}
+		if len(impls) > 0 {
 			return impls
 		}
 		return nil

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is falcon-vet's execution engine. Run (and its configurable
+// form RunPackages) analyzes the requested packages' whole dependency
+// closure, one task per package, scheduled over the package DAG: a
+// package's task starts only after every direct import's task has
+// finished. With Options.Parallel > 1 the tasks run on a worker pool —
+// per-package analyzers are embarrassingly parallel, and facts analyzers
+// wait only on their deps' exported facts, which the DAG edges deliver.
+//
+// Determinism is by construction, not by luck: every input a task reads
+// is either immutable before scheduling begins (ASTs, type info, the
+// whole-program call graph restricted to the task's closure) or written
+// exclusively by a dependency's task that completed first (fact shards,
+// published lock-edge streams). Each package's diagnostics are therefore
+// a pure function of its source plus its dependency closure — the same
+// bytes whether the run is serial, parallel, or satisfied from the
+// on-disk cache (see cache.go). The final merge sorts all requested
+// packages' diagnostics with compareDiagnostics, a total order, so output
+// is byte-identical across run modes.
+
+// Options configures RunPackages.
+type Options struct {
+	// Parallel is the number of concurrent package tasks. Values <= 1 run
+	// the closure serially in dependency order on the calling goroutine.
+	Parallel int
+	// cache, when non-nil, consults and fills the on-disk fact cache: a
+	// task whose key hits restores its diagnostics, facts, and lock-edge
+	// stream instead of analyzing; a miss analyzes and stores.
+	cache *cacheSession
+}
+
+// Run applies the analyzers to the requested packages serially and
+// returns all diagnostics sorted in the total compareDiagnostics order.
+// It is the compatibility entry point; RunPackages adds parallelism and
+// caching.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	return RunPackages(analyzers, pkgs, Options{})
+}
+
+// pkgCtx is one package's task state in a run.
+type pkgCtx struct {
+	pkg       *Package
+	requested bool
+	// deps are the direct module-local imports, in path order (the order
+	// their keys enter this package's cache key).
+	deps []*pkgCtx
+	// closure is the package's transitive dependency closure in DepOrder,
+	// the package itself last.
+	closure []*pkgCtx
+	// visible is the closure as a type-checker package set, for fact
+	// visibility and call-graph restriction.
+	visible map[*types.Package]bool
+	// dependents are the packages waiting on this task; pending counts
+	// this task's unfinished direct imports.
+	dependents []*pkgCtx
+	pending    atomic.Int32
+
+	// Task outputs. Written only by this package's task, read only by
+	// dependents' tasks (scheduled strictly after) and the final merge.
+	diags []Diagnostic
+	// edges is the package's published lock-edge stream: its own novel
+	// acquisition-order observations, replayed by reverse dependents.
+	edges []LockEdge
+	// key is the package's cache key; set when a cache session is active.
+	key string
+	// cached reports whether the task was satisfied from the cache.
+	cached bool
+}
+
+// RunPackages applies the analyzers to the requested packages and returns
+// all diagnostics sorted in the total compareDiagnostics order.
+//
+// The requested packages' whole dependency closure is analyzed — every
+// analyzer visits every closure package, so facts and lock-edge streams
+// are complete — and diagnostics are merged from the requested packages
+// only. After a package's analyzer passes, its lock-edge observations are
+// replayed over its closure's published streams (cycle detection, see
+// lockorder.go), and stale //falcon:allow directives are reported under
+// the "staleallow" analyzer name from the package's retained sources: a
+// directive is stale when the analyzer it names ran but the directive
+// suppressed nothing, or when it names no known analyzer at all.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic {
+	closure := DepOrder(pkgs)
+	graph := BuildGraph(closure)
+	facts := newFactStore(closure)
+	requested := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		requested[p] = true
+	}
+
+	ctxOf := make(map[*Package]*pkgCtx, len(closure))
+	ctxs := make([]*pkgCtx, 0, len(closure))
+	for _, pkg := range closure { // DepOrder: deps precede dependents
+		pc := &pkgCtx{pkg: pkg, requested: requested[pkg]}
+		ctxOf[pkg] = pc
+		for _, sub := range DepOrder([]*Package{pkg}) {
+			pc.closure = append(pc.closure, ctxOf[sub])
+		}
+		pc.visible = make(map[*types.Package]bool, len(pc.closure))
+		for _, c := range pc.closure {
+			if c.pkg.Types != nil {
+				pc.visible[c.pkg.Types] = true
+			}
+		}
+		for _, dep := range pkg.Imports {
+			dc := ctxOf[dep]
+			pc.deps = append(pc.deps, dc)
+			dc.dependents = append(dc.dependents, pc)
+		}
+		pc.pending.Store(int32(len(pkg.Imports)))
+		ctxs = append(ctxs, pc)
+	}
+
+	run := func(pc *pkgCtx) { runPackageTask(pc, analyzers, graph, facts, opts.cache) }
+
+	if opts.Parallel <= 1 || len(ctxs) < 2 {
+		for _, pc := range ctxs {
+			run(pc)
+		}
+	} else {
+		schedule(ctxs, opts.Parallel, run)
+	}
+
+	var diags []Diagnostic
+	for _, pc := range ctxs {
+		if pc.requested {
+			diags = append(diags, pc.diags...)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// schedule runs one task per pkgCtx on `parallel` workers, releasing each
+// task when its pending import count drains to zero. The ready channel is
+// buffered for every task, so sends never block; the task that finishes
+// last closes it. Channel send/receive plus the atomic counters give the
+// happens-before edges the single-writer fact shards and edge streams
+// rely on.
+func schedule(ctxs []*pkgCtx, parallel int, run func(*pkgCtx)) {
+	ready := make(chan *pkgCtx, len(ctxs))
+	for _, pc := range ctxs {
+		if pc.pending.Load() == 0 {
+			ready <- pc
+		}
+	}
+	var done atomic.Int32
+	total := int32(len(ctxs))
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pc := range ready {
+				run(pc)
+				for _, d := range pc.dependents {
+					if d.pending.Add(-1) == 0 {
+						ready <- d
+					}
+				}
+				if done.Add(1) == total {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runPackageTask analyzes (or restores from cache) one package. All of
+// its direct imports' tasks have completed when it runs.
+func runPackageTask(pc *pkgCtx, analyzers []*Analyzer, graph *Graph, facts *factStore, cache *cacheSession) {
+	if cache != nil {
+		pc.key = cache.keyFor(pc)
+		if cache.restore(pc, facts, analyzers) {
+			pc.cached = true
+			return
+		}
+	}
+	pkg := pc.pkg
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	restricted := graph.Restrict(pc.visible)
+	state := map[*Analyzer]any{}
+	var lockObs []lockEdgeObs
+	var lockPass *Pass
+	for _, a := range analyzers {
+		p := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Graph:    restricted,
+			visible:  pc.visible,
+			allow:    allow,
+			facts:    facts,
+			diags:    &pc.diags,
+			lockObs:  &lockObs,
+			state:    state,
+		}
+		if a == LockOrder {
+			lockPass = p
+		}
+		a.Run(p)
+	}
+	if lockPass != nil {
+		var depEdges []LockEdge
+		for _, c := range pc.closure {
+			if c != pc {
+				depEdges = append(depEdges, c.edges...)
+			}
+		}
+		pc.edges = replayLockOrder(lockPass, depEdges, lockObs)
+	}
+	pc.diags = append(pc.diags, staleAllowDiags(pkg, allow, analyzers)...)
+	// Packages with parse/type-check errors get best-effort diagnostics but
+	// no cache entry: a later fast-path run must re-load them so the load
+	// errors (and exit status 2) surface again.
+	if cache != nil && len(pkg.Errors) == 0 {
+		cache.store(pc, facts)
+	}
+}
+
+// staleAllowDiags reports the package's unused //falcon:allow directives,
+// building deletion fixes from the retained sources rather than
+// re-reading files from disk.
+func staleAllowDiags(pkg *Package, allow *allowIndex, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, d := range allow.list {
+		if d.hit {
+			continue
+		}
+		src := pkg.Sources[d.pos.Filename]
+		switch {
+		case !known[d.name]:
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: StaleAllowName,
+				Message:  fmt.Sprintf("//falcon:allow names unknown analyzer %q", d.name),
+				Fixes:    staleAllowFix(src, d),
+			})
+		case ran[d.name]:
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: StaleAllowName,
+				Message:  fmt.Sprintf("stale //falcon:allow %s: no %s diagnostic is suppressed here", d.name, d.name),
+				Fixes:    staleAllowFix(src, d),
+			})
+		}
+	}
+	return diags
+}

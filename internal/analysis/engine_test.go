@@ -1,0 +1,420 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file tests the execution engine: the byte-identity of serial,
+// parallel, cold-cache, and warm-cache diagnostics; the cache
+// invalidation matrix; diff-mode package selection; and the warm-run
+// speedup the cache exists to deliver.
+
+// flaggedFixtureDirs is the fixture corpus with known findings — the
+// byte-identity tests need non-empty diagnostics with cross-package
+// chains to compare, and the module's own tree is clean by design.
+var flaggedFixtureDirs = []string{
+	"determinism_flagged", "costaccounting_flagged", "locksafety_flagged",
+	"errcheck_flagged", "hotalloc_flagged", "transdeterminism_flagged",
+	"ctxflow_flagged", "scratchescape_flagged", "mrpurity_flagged",
+	"lockorder_flagged", "immutpublish_flagged", "servebudget_flagged",
+	"streambound_flagged", "spillres_flagged",
+	"multi/detapp", "ctxmulti/app", "scratchmulti/scratchapp",
+	"mrmulti/mrapp", "lockmulti/lockapp", "freezemulti/frzapp",
+	"servemulti/srvapp", "streammulti/strmapp", "spillmulti/splapp",
+	"staleallow",
+}
+
+// diagsFingerprint renders diagnostics the two ways the CLI does — the
+// text line format and the JSON marshaling — so "byte-identical output"
+// is asserted on the actual output bytes, not on reflect.DeepEqual.
+func diagsFingerprint(t *testing.T, diags []Diagnostic) string {
+	t.Helper()
+	text := ""
+	for _, d := range diags {
+		text += d.String() + "\n"
+	}
+	js, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatalf("marshal diagnostics: %v", err)
+	}
+	return text + "\n" + string(js)
+}
+
+func loadFixtureCorpus(t *testing.T) []*Package {
+	t.Helper()
+	l := loader(t)
+	var pkgs []*Package
+	for _, dir := range flaggedFixtureDirs {
+		pkg, err := l.LoadDir(filepath.Join("testdata", dir))
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// TestParallelByteIdentical is the scheduler's core promise: over a
+// corpus with findings from every analyzer (cross-package chains, lock
+// cycles, autofix edits, stale allows included), a parallel run's
+// diagnostics are byte-identical to a serial run's, in both output
+// formats, and a cached re-run matches too.
+func TestParallelByteIdentical(t *testing.T) {
+	pkgs := loadFixtureCorpus(t)
+	serial := diagsFingerprint(t, RunPackages(All(), pkgs, Options{Parallel: 1}))
+	if len(serial) == 0 {
+		t.Fatal("fixture corpus produced no diagnostics; the equality check is vacuous")
+	}
+	for _, par := range []int{2, 8} {
+		got := diagsFingerprint(t, RunPackages(All(), pkgs, Options{Parallel: par}))
+		if got != serial {
+			t.Errorf("parallel=%d diagnostics differ from serial run", par)
+		}
+	}
+
+	l := loader(t)
+	cacheDir := t.TempDir()
+	cold := diagsFingerprint(t, RunPackages(All(), pkgs, Options{
+		Parallel: 8, cache: newCacheSession(cacheDir, l.Root, All(), ""),
+	}))
+	if cold != serial {
+		t.Errorf("cold-cache diagnostics differ from serial run")
+	}
+	warmSession := newCacheSession(cacheDir, l.Root, All(), "")
+	warm := diagsFingerprint(t, RunPackages(All(), pkgs, Options{Parallel: 8, cache: warmSession}))
+	if warm != serial {
+		t.Errorf("warm-cache diagnostics differ from serial run")
+	}
+	if len(warmSession.misses) != 0 {
+		t.Errorf("warm run missed packages %v; every fixture entry should hit", warmSession.misses)
+	}
+}
+
+// demoModule is a four-package temp module with a cross-package
+// determinism violation threaded a->b->c (the wall clock lives in the
+// leaf, each finding in b and c depends on the dependency's exported
+// ReachFact) and an independent clean package d.
+var demoModule = map[string]string{
+	"go.mod": "module demo\n\ngo 1.22\n",
+	"a/a.go": `// Package a is the leaf: the wall-clock read lives here.
+package a
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	"b/b.go": `// Package b reaches the wall clock one package away.
+package b
+
+import "demo/a"
+
+// Record transitively reads the wall clock.
+func Record() int64 { return a.Stamp() }
+`,
+	"c/c.go": `// Package c reaches the wall clock two packages away.
+package c
+
+import "demo/b"
+
+// Log transitively reads the wall clock.
+func Log() int64 { return b.Record() }
+`,
+	"d/d.go": `// Package d is independent and clean.
+package d
+
+// Five is five.
+func Five() int { return 5 }
+`,
+}
+
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func vetDemo(t *testing.T, root string, req VetRequest) *VetResult {
+	t.Helper()
+	req.Dir = root
+	res, err := Vet(req)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if len(res.Errors) > 0 {
+		t.Fatalf("Vet load errors: %v", res.Errors)
+	}
+	return res
+}
+
+// TestVetEquality drives the full Vet pipeline on a seeded module:
+// serial, parallel, cold-cache, and warm-cache (fast path) runs must
+// produce byte-identical diagnostics, and the warm run must not
+// type-check anything.
+func TestVetEquality(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, demoModule)
+	cacheDir := filepath.Join(root, ".vetcache")
+
+	serial := vetDemo(t, root, VetRequest{Parallel: 1})
+	if len(serial.Diags) == 0 {
+		t.Fatal("demo module produced no diagnostics; the equality check is vacuous")
+	}
+	want := diagsFingerprint(t, serial.Diags)
+
+	parallel := vetDemo(t, root, VetRequest{Parallel: 8})
+	if got := diagsFingerprint(t, parallel.Diags); got != want {
+		t.Errorf("parallel diagnostics differ from serial:\n%s\n--- vs ---\n%s", got, want)
+	}
+
+	cold := vetDemo(t, root, VetRequest{Parallel: 8, CacheDir: cacheDir})
+	if got := diagsFingerprint(t, cold.Diags); got != want {
+		t.Errorf("cold-cache diagnostics differ from serial")
+	}
+	if cold.FastPath {
+		t.Error("cold run claims the fast path")
+	}
+	wantPkgs := []string{"demo/a", "demo/b", "demo/c", "demo/d"}
+	if !slices.Equal(cold.Analyzed, wantPkgs) {
+		t.Errorf("cold run analyzed %v, want %v", cold.Analyzed, wantPkgs)
+	}
+
+	warm := vetDemo(t, root, VetRequest{Parallel: 8, CacheDir: cacheDir})
+	if got := diagsFingerprint(t, warm.Diags); got != want {
+		t.Errorf("warm-cache diagnostics differ from serial")
+	}
+	if !warm.FastPath {
+		t.Error("warm no-change run did not take the fast path")
+	}
+	if len(warm.Analyzed) != 0 || !slices.Equal(warm.CacheHits, wantPkgs) {
+		t.Errorf("warm run analyzed %v, hit %v; want no analysis and hits %v",
+			warm.Analyzed, warm.CacheHits, wantPkgs)
+	}
+}
+
+// touch rewrites one file with a trailing comment appended, changing its
+// content hash without changing its meaning.
+func touch(t *testing.T, root, rel string) {
+	t.Helper()
+	full := filepath.Join(root, filepath.FromSlash(rel))
+	src, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheInvalidationMatrix pins the invalidation story: each kind of
+// change re-analyzes exactly the expected package set — and nothing else
+// — while re-analyzed dependents reproduce their cross-package findings
+// from cached dependencies' facts.
+func TestCacheInvalidationMatrix(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, demoModule)
+	cacheDir := filepath.Join(root, ".vetcache")
+
+	cold := vetDemo(t, root, VetRequest{CacheDir: cacheDir})
+	want := diagsFingerprint(t, cold.Diags)
+
+	// Touching the top-of-chain package re-analyzes it alone; its chain
+	// finding (which needs b's ReachFact, b being a cache hit) must
+	// survive, proving facts rehydrate across the cache boundary.
+	touch(t, root, "c/c.go")
+	res := vetDemo(t, root, VetRequest{CacheDir: cacheDir})
+	if got := diagsFingerprint(t, res.Diags); got != want {
+		t.Errorf("after touching c, diagnostics differ from cold run:\n%s\n--- vs ---\n%s", got, want)
+	}
+	if wantA := []string{"demo/c"}; !slices.Equal(res.Analyzed, wantA) {
+		t.Errorf("touch leaf-of-chain: analyzed %v, want %v", res.Analyzed, wantA)
+	}
+	if wantH := []string{"demo/a", "demo/b", "demo/d"}; !slices.Equal(res.CacheHits, wantH) {
+		t.Errorf("touch leaf-of-chain: hits %v, want %v", res.CacheHits, wantH)
+	}
+
+	// Touching the dependency re-analyzes it plus every transitive reverse
+	// dependent; the unrelated package stays cached.
+	touch(t, root, "a/a.go")
+	res = vetDemo(t, root, VetRequest{CacheDir: cacheDir})
+	if got := diagsFingerprint(t, res.Diags); got != want {
+		t.Errorf("after touching a, diagnostics differ from cold run")
+	}
+	if wantA := []string{"demo/a", "demo/b", "demo/c"}; !slices.Equal(res.Analyzed, wantA) {
+		t.Errorf("touch dependency: analyzed %v, want %v", res.Analyzed, wantA)
+	}
+	if wantH := []string{"demo/d"}; !slices.Equal(res.CacheHits, wantH) {
+		t.Errorf("touch dependency: hits %v, want %v", res.CacheHits, wantH)
+	}
+
+	// An analyzer-version bump (simulated through the salt hook)
+	// invalidates everything.
+	res = vetDemo(t, root, VetRequest{CacheDir: cacheDir, saltExtra: "analyzer-bump"})
+	if got := diagsFingerprint(t, res.Diags); got != want {
+		t.Errorf("after salt bump, diagnostics differ from cold run")
+	}
+	if len(res.CacheHits) != 0 || len(res.Analyzed) != 4 {
+		t.Errorf("salt bump: analyzed %v, hits %v; want all 4 analyzed, no hits", res.Analyzed, res.CacheHits)
+	}
+
+	// A //falcon:allow edit at the taint source changes a's bytes (a, b, c
+	// re-analyze) and sanctions the wall clock, so the direct finding and
+	// both downstream chain findings all disappear: facts re-propagate,
+	// they are not replayed from the stale entries.
+	src, err := os.ReadFile(filepath.Join(root, "a", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stamp = "func Stamp() int64 { return time.Now().UnixNano() }"
+	if !strings.Contains(string(src), stamp) {
+		t.Fatalf("demo source drifted; %q not found", stamp)
+	}
+	next := strings.Replace(string(src), stamp,
+		"//falcon:allow determinism sanctioned for the invalidation matrix\n"+stamp, 1)
+	if err := os.WriteFile(filepath.Join(root, "a", "a.go"), []byte(next), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res = vetDemo(t, root, VetRequest{CacheDir: cacheDir})
+	if wantA := []string{"demo/a", "demo/b", "demo/c"}; !slices.Equal(res.Analyzed, wantA) {
+		t.Errorf("allow edit: analyzed %v, want %v", res.Analyzed, wantA)
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("allow edit at the source should clear every finding; got %v", res.Diags)
+	}
+}
+
+// TestDiffMode pins -diff REF selection: after a single-package change,
+// only that package and its reverse dependents are requested, and their
+// diagnostics equal the same packages' slice of a full run.
+func TestDiffMode(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	root := t.TempDir()
+	writeTree(t, root, demoModule)
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t", "GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t",
+			"GIT_CONFIG_GLOBAL=/dev/null", "GIT_CONFIG_SYSTEM=/dev/null")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q")
+	git("add", ".")
+	git("commit", "-q", "-m", "seed")
+
+	full := vetDemo(t, root, VetRequest{})
+
+	touch(t, root, "b/b.go")
+	diff := vetDemo(t, root, VetRequest{DiffRef: "HEAD"})
+	if want := []string{"demo/b", "demo/c"}; !slices.Equal(diff.Requested, want) {
+		t.Fatalf("diff requested %v, want changed package + reverse dependents %v", diff.Requested, want)
+	}
+	var wantDiags []Diagnostic
+	for _, d := range full.Diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err == nil && (filepath.Dir(rel) == "b" || filepath.Dir(rel) == "c") {
+			wantDiags = append(wantDiags, d)
+		}
+	}
+	if got, want := diagsFingerprint(t, diff.Diags), diagsFingerprint(t, wantDiags); got != want {
+		t.Errorf("diff-mode verdict differs from the full run's slice:\n%s\n--- vs ---\n%s", got, want)
+	}
+
+	// With nothing changed since HEAD, diff mode selects nothing.
+	git("add", ".")
+	git("commit", "-q", "-m", "touch")
+	clean := vetDemo(t, root, VetRequest{DiffRef: "HEAD"})
+	if len(clean.Requested) != 0 || len(clean.Diags) != 0 {
+		t.Errorf("no-change diff run selected %v with %d diags; want nothing", clean.Requested, len(clean.Diags))
+	}
+}
+
+// TestParallelBeatsSerialCold asserts the DAG scheduler's point: with
+// real cores available, a cold parallel run over the module tree beats
+// the serial one. On a single-CPU machine the scheduler can only add
+// overhead (measured ≈4% on the tree), so the assertion needs ≥2.
+func TestParallelBeatsSerialCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks the whole module; skipped in -short")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >1 CPU for a parallel win")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	measure := func(par int) time.Duration {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunPackages(All(), pkgs, Options{Parallel: par})
+			}
+		})
+		return time.Duration(r.NsPerOp())
+	}
+	serial := measure(1)
+	parallel := measure(8)
+	t.Logf("serial %v, parallel8 %v (%.2fx)", serial, parallel, float64(serial)/float64(parallel))
+	if parallel >= serial {
+		t.Errorf("parallel8 run %v does not beat serial %v", parallel, serial)
+	}
+}
+
+// TestWarmCacheSpeedup is the cache's reason to exist, asserted on the
+// module's own tree: a warm no-change run (scan + key probes + cached
+// diagnostics, no type-checking) must be at least 5x faster than the
+// cold run that populated the cache. Cold parallel vs serial is logged
+// alongside; on multi-core machines parallel must not lose.
+func TestWarmCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	cacheDir := t.TempDir()
+	run := func(req VetRequest) (*VetResult, time.Duration) {
+		t.Helper()
+		start := time.Now()
+		res, err := Vet(req)
+		if err != nil {
+			t.Fatalf("Vet: %v", err)
+		}
+		return res, time.Since(start)
+	}
+	cold, coldDur := run(VetRequest{Dir: ".", Parallel: runtime.GOMAXPROCS(0), CacheDir: cacheDir})
+	if cold.FastPath {
+		t.Fatal("cold run claims the fast path")
+	}
+	warm, warmDur := run(VetRequest{Dir: ".", Parallel: runtime.GOMAXPROCS(0), CacheDir: cacheDir})
+	if !warm.FastPath {
+		t.Fatalf("warm no-change run did not take the fast path (analyzed %v)", warm.Analyzed)
+	}
+	if fpCold, fpWarm := diagsFingerprint(t, cold.Diags), diagsFingerprint(t, warm.Diags); fpCold != fpWarm {
+		t.Error("warm diagnostics differ from cold")
+	}
+	t.Logf("cold %v, warm %v (%.1fx)", coldDur, warmDur, float64(coldDur)/float64(warmDur))
+	if warmDur*5 > coldDur {
+		t.Errorf("warm run %v is not ≥5x faster than cold %v", warmDur, coldDur)
+	}
+}

@@ -7,22 +7,39 @@ import (
 // This file implements falcon-vet's Facts mechanism: a small analogue of
 // golang.org/x/tools/go/analysis facts. A fact is a per-object summary an
 // analyzer exports while visiting one package and imports while visiting
-// any later package in dependency order (see DepOrder). Facts are what turn
-// the per-package analyzers into interprocedural ones: transdeterminism
+// any package that (transitively) imports it. Facts are what turn the
+// per-package analyzers into interprocedural ones: transdeterminism
 // exports "this function transitively reaches time.Now" summaries, ctxflow
 // exports "this function blocks on crowd/MR work" summaries, and
 // scratchescape exports return-aliasing summaries, each consumed at call
 // sites in downstream packages.
 //
-// The store is keyed by (analyzer, object). Objects are canonical across
-// packages because the whole program is type-checked through one shared
-// loader: a call in package B to a function defined in package A resolves
-// to the same *types.Func the definition produced. Generic functions and
-// methods are keyed by their Origin, so instantiations share the generic
-// declaration's fact.
+// The store is keyed by (analyzer, object) and sharded per package. Every
+// analyzer only ever exports facts about its own package's declarations,
+// so under the parallel engine each shard has exactly one writer — the
+// package's own task — and its readers (reverse dependents) are scheduled
+// strictly after that task completes. No locking is needed; the package
+// DAG is the synchronization.
+//
+// Fact visibility follows the import graph: a pass observes facts only
+// about objects in its package's transitive dependency closure (plus its
+// own). This is what makes analysis results a pure function of a package's
+// source plus its dependency closure — the property the parallel scheduler
+// (any execution order gives byte-identical diagnostics) and the on-disk
+// fact cache (a package's cache key covers exactly its closure) both rest
+// on. See DESIGN.md "Incremental vet".
+//
+// Objects are canonical across packages because the whole program is
+// type-checked through one shared loader: a call in package B to a
+// function defined in package A resolves to the same *types.Func the
+// definition produced. Generic functions and methods are keyed by their
+// Origin, so instantiations share the generic declaration's fact.
 
 // Fact is a per-object summary exported by an analyzer. The marker method
-// keeps arbitrary values from being stored by accident.
+// keeps arbitrary values from being stored by accident. Facts must be
+// plain serializable data (strings, ints, slices, maps — no types.Object
+// references): the cache persists them by gob under the owning function's
+// FullName and rehydrates them onto a freshly type-checked package.
 type Fact interface{ AFact() }
 
 type factKey struct {
@@ -30,7 +47,30 @@ type factKey struct {
 	obj      types.Object
 }
 
-type factStore map[factKey]Fact
+// factShard holds one package's exported facts. Single writer: the
+// package's own analysis task.
+type factShard struct {
+	m map[factKey]Fact
+}
+
+// factStore is the run-wide fact table, sharded by defining package. The
+// shard map itself is built once, before any task starts, and never
+// mutated afterwards — concurrent tasks only touch their own shard's
+// inner map (writes) or completed dependencies' shards (reads).
+type factStore struct {
+	shards map[*types.Package]*factShard
+}
+
+// newFactStore pre-creates one shard per closure package.
+func newFactStore(closure []*Package) *factStore {
+	s := &factStore{shards: make(map[*types.Package]*factShard, len(closure))}
+	for _, pkg := range closure {
+		if pkg.Types != nil {
+			s.shards[pkg.Types] = &factShard{m: map[factKey]Fact{}}
+		}
+	}
+	return s
+}
 
 // canonObj maps an object to its canonical identity: generic origins for
 // functions and variables, so facts attach to declarations rather than
@@ -45,22 +85,40 @@ func canonObj(obj types.Object) types.Object {
 	return obj
 }
 
-// ExportObjectFact records a fact about obj for this analyzer. Later
-// packages in the dependency order observe it via ImportObjectFact. At most
-// one fact per (analyzer, object) is kept; exporting again overwrites.
+// ExportObjectFact records a fact about obj for this analyzer. Packages
+// that import this one observe it via ImportObjectFact. At most one fact
+// per (analyzer, object) is kept; exporting again overwrites. Facts about
+// objects outside the pass's own package are dropped: a shard has exactly
+// one writer, and no analyzer summarizes another package's declarations.
 func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
 	if obj == nil || f == nil || p.facts == nil {
 		return
 	}
-	p.facts[factKey{p.Analyzer, canonObj(obj)}] = f
+	obj = canonObj(obj)
+	shard := p.facts.shards[obj.Pkg()]
+	if shard == nil || (p.Pkg != nil && obj.Pkg() != p.Pkg) {
+		return
+	}
+	shard.m[factKey{p.Analyzer, obj}] = f
 }
 
-// ImportObjectFact returns the fact this analyzer previously exported about
-// obj, from this package or any dependency already analyzed.
+// ImportObjectFact returns the fact this analyzer previously exported
+// about obj, when obj's package is in this pass's dependency closure (or
+// is the pass's own package). Objects elsewhere — the standard library,
+// or module packages the pass's package does not import — have no visible
+// facts.
 func (p *Pass) ImportObjectFact(obj types.Object) (Fact, bool) {
 	if obj == nil || p.facts == nil {
 		return nil, false
 	}
-	f, ok := p.facts[factKey{p.Analyzer, canonObj(obj)}]
+	obj = canonObj(obj)
+	if p.visible != nil && !p.visible[obj.Pkg()] {
+		return nil, false
+	}
+	shard := p.facts.shards[obj.Pkg()]
+	if shard == nil {
+		return nil, false
+	}
+	f, ok := shard.m[factKey{p.Analyzer, obj}]
 	return f, ok
 }

@@ -24,8 +24,14 @@ type Package struct {
 	Fset *token.FileSet
 	// Files are the parsed non-test sources, in file-name order.
 	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	// Sources holds each file's raw bytes, keyed by the same absolute path
+	// the FileSet positions carry. The engine's stale-allow scan and the
+	// autofix byte-offset edits read from here instead of going back to
+	// disk — which is what lets cached and diff runs report stale allows
+	// without re-reading unchanged files.
+	Sources map[string][]byte
+	Types   *types.Package
+	Info    *types.Info
 	// Imports are the directly imported module-local (and fixture-local)
 	// packages, in path order. Standard-library imports are type-checked
 	// but never analyzed, so they do not appear here. This is the
@@ -135,6 +141,25 @@ func findModule(dir string) (root, modPath string, err error) {
 // package under the module root), a "dir/..." prefix walk, or a plain
 // directory path. Results are in deterministic (path) order.
 func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs, err := l.ResolveDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ResolveDirs expands patterns into the absolute package directories they
+// name, in sorted order, without parsing or type-checking anything. The
+// cache's pre-load module scan and Load share this resolution.
+func (l *Loader) ResolveDirs(patterns []string) ([]string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -178,16 +203,7 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 		dirs = append(dirs, d)
 	}
 	sort.Strings(dirs)
-
-	var pkgs []*Package
-	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", dir, err)
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
+	return dirs, nil
 }
 
 func hasGoFiles(dir string) bool {
@@ -286,9 +302,16 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, fmt.Errorf("no buildable Go files in %s", dir)
 	}
 
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Sources: map[string][]byte{}}
 	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Sources[full] = src
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			pkg.Errors = append(pkg.Errors, err)
 			continue

@@ -31,6 +31,14 @@ import (
 //     excluded). An edge A→B means "B was acquired while A was held",
 //     possibly through any number of calls; a cycle in the graph is a
 //     potential deadlock, reported at the acquisition that closes it.
+//     The graph is closure-scoped: each package's pass collects its own
+//     edge observations, and the engine replays them on top of the edge
+//     streams published by the package's dependency closure (see
+//     replayLockOrder). A cycle whose halves live in two packages neither
+//     of which imports the other is reported only in a package whose
+//     closure contains both — the price of making every package's verdict
+//     a pure function of its own closure, which the parallel scheduler
+//     and the fact cache both require.
 //   - a blocking summary: a function that (transitively) performs a
 //     blocking operation is flagged at any call site where a lock is
 //     held, with the chain down to the blocking primitive.
@@ -63,10 +71,18 @@ type AcquiredLock struct {
 
 func (*LockFact) AFact() {}
 
-// lockOrderState is the Run-wide acquisition graph, shared by every
-// package's pass so cross-package edges can close cycles.
-type lockOrderState struct {
-	edges map[string]map[string]bool
+// LockEdge is one "To was acquired while From was held" observation, the
+// unit of the per-package edge stream the engine replays (and the cache
+// persists) in place of the old Run-wide shared graph.
+type LockEdge struct {
+	From, To string
+}
+
+// lockEdgeObs is a LockEdge still carrying the position that produced it,
+// so the replay can report a cycle at the acquisition that closed it.
+type lockEdgeObs struct {
+	from, to string
+	pos      token.Pos
 }
 
 // loAcquire / loCall / loBlock are the walker observations one function
@@ -101,10 +117,6 @@ type loSummary struct {
 }
 
 func runLockOrder(pass *Pass) {
-	state := pass.sharedState(pass.Analyzer, func() any {
-		return &lockOrderState{edges: map[string]map[string]bool{}}
-	}).(*lockOrderState)
-
 	var sums []*loSummary
 	for _, fd := range declaredFuncs(pass) {
 		sums = append(sums, summarizeLocks(pass, fd))
@@ -121,9 +133,11 @@ func runLockOrder(pass *Pass) {
 		}
 	}
 
-	// Reports and graph edges, now that facts are stable.
+	// Reports and edge observations, now that facts are stable. Cycle
+	// detection happens later, in the engine's replayLockOrder, on top of
+	// the dependency closure's published edge streams.
 	for _, s := range sums {
-		reportLockOrder(pass, state, s)
+		collectLockOrder(pass, s)
 	}
 }
 
@@ -318,9 +332,10 @@ func exportLockFact(pass *Pass, s *loSummary) bool {
 	return true
 }
 
-// reportLockOrder emits diagnostics and grows the Run-wide acquisition
-// graph for one function.
-func reportLockOrder(pass *Pass, state *lockOrderState, s *loSummary) {
+// collectLockOrder emits one function's direct diagnostics (blocking
+// while held, recursive acquisition) and appends its acquisition-edge
+// observations to the pass's package-local stream.
+func collectLockOrder(pass *Pass, s *loSummary) {
 	// Direct blocking while a lock is held (goroutine bodies included:
 	// the goroutine itself holds the lock it blocks under).
 	for _, b := range s.blocks {
@@ -339,7 +354,7 @@ func reportLockOrder(pass *Pass, state *lockOrderState, s *loSummary) {
 			if !globalLockID(h) {
 				continue
 			}
-			addLockEdge(pass, state, h, a.id, a.pos, nil)
+			observeLockEdge(pass, h, a.id, a.pos)
 		}
 	}
 
@@ -368,7 +383,7 @@ func reportLockOrder(pass *Pass, state *lockOrderState, s *loSummary) {
 					if !globalLockID(h) {
 						continue
 					}
-					addLockEdge(pass, state, h, a.ID, c.pos, a.Chain)
+					observeLockEdge(pass, h, a.ID, c.pos)
 				}
 			}
 		}
@@ -381,34 +396,64 @@ func globalLockID(id string) bool {
 	return !strings.HasPrefix(id, "local:") && !strings.HasPrefix(id, "expr:")
 }
 
-// addLockEdge records "to was acquired while from was held" and reports a
-// cycle when this edge closes one. Each edge is added (and can report) at
-// most once per Run, at the first position that produces it.
-func addLockEdge(pass *Pass, state *lockOrderState, from, to string, pos token.Pos, via []string) {
+// observeLockEdge records "to was acquired while from was held" for the
+// engine's replay. Recursive acquisition needs no graph at all and is
+// reported immediately.
+func observeLockEdge(pass *Pass, from, to string, pos token.Pos) {
 	if from == to {
 		pass.ReportChain(pos, []string{from, to},
 			"acquiring %s while already holding it; recursive locking deadlocks sync mutexes", from)
 		return
 	}
-	if state.edges[from][to] {
-		return
+	if pass.lockObs != nil {
+		*pass.lockObs = append(*pass.lockObs, lockEdgeObs{from: from, to: to, pos: pos})
 	}
-	if state.edges[from] == nil {
-		state.edges[from] = map[string]bool{}
+}
+
+// replayLockOrder builds one package's closure-scoped acquisition graph:
+// the dependency closure's published edge streams seed it silently (their
+// cycles were already reported in their own packages), then the package's
+// own observations are replayed in collection order with cycle detection.
+// Each edge enters the graph (and can report) at most once, at the first
+// observation that produces it; the returned stream is the package's own
+// novel edges in that order — what its reverse dependents replay and the
+// cache persists. Cycles spanning the whole edge set are found the same
+// way regardless of which packages ran live and which came from cache,
+// which is what keeps cached runs byte-identical to cold ones.
+func replayLockOrder(pass *Pass, depEdges []LockEdge, own []lockEdgeObs) []LockEdge {
+	edges := map[string]map[string]bool{}
+	add := func(from, to string) bool {
+		if edges[from][to] {
+			return false
+		}
+		if edges[from] == nil {
+			edges[from] = map[string]bool{}
+		}
+		edges[from][to] = true
+		return true
 	}
-	state.edges[from][to] = true
-	if cycle := lockPath(state, to, from); cycle != nil {
-		full := append([]string{from}, cycle...)
-		pass.ReportChain(pos, full,
-			"acquiring %s while holding %s closes a lock-order cycle: %s; a parallel goroutine taking them in the printed order deadlocks",
-			to, from, strings.Join(full, " -> "))
+	for _, e := range depEdges {
+		add(e.From, e.To)
 	}
-	_ = via
+	var stream []LockEdge
+	for _, o := range own {
+		if !add(o.from, o.to) {
+			continue
+		}
+		stream = append(stream, LockEdge{From: o.from, To: o.to})
+		if cycle := lockPath(edges, o.to, o.from); cycle != nil {
+			full := append([]string{o.from}, cycle...)
+			pass.ReportChain(o.pos, full,
+				"acquiring %s while holding %s closes a lock-order cycle: %s; a parallel goroutine taking them in the printed order deadlocks",
+				o.to, o.from, strings.Join(full, " -> "))
+		}
+	}
+	return stream
 }
 
 // lockPath finds a deterministic path from -> to in the acquisition
 // graph, or nil.
-func lockPath(state *lockOrderState, from, to string) []string {
+func lockPath(edges map[string]map[string]bool, from, to string) []string {
 	seen := map[string]bool{from: true}
 	var dfs func(cur string, path []string) []string
 	dfs = func(cur string, path []string) []string {
@@ -416,7 +461,7 @@ func lockPath(state *lockOrderState, from, to string) []string {
 			return path
 		}
 		var nexts []string
-		for n := range state.edges[cur] {
+		for n := range edges[cur] {
 			nexts = append(nexts, n)
 		}
 		slices.Sort(nexts)

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+// This file is the lightweight module scan behind Vet's cache fast path
+// and -diff mode: a sweep over every package directory in the module that
+// reads and hashes source bytes and parses import clauses only — no
+// type-checking, no full ASTs. It yields exactly the inputs cache keys
+// are made of (file names, content hashes, the module-local import
+// graph), so a warm no-change run can prove every requested package's
+// entry current and emit its cached diagnostics without ever paying for
+// a type-checked load. The scan's keys and the engine's keys (computed
+// from loaded packages in cache.go) hash identical inputs by
+// construction: same sorted base names, same bytes, same path-sorted
+// direct deps.
+
+// scanPkg is one package as the scan sees it.
+type scanPkg struct {
+	// Path is the import path, derived exactly as the Loader derives it.
+	Path string
+	// Dir is the absolute package directory.
+	Dir   string
+	files []srcFile
+	// deps are the direct module-local imports, path order, matching
+	// Package.Imports.
+	deps []*scanPkg
+	key  string
+}
+
+// moduleScan is the scanned module package graph.
+type moduleScan struct {
+	root   string
+	byPath map[string]*scanPkg
+	byDir  map[string]*scanPkg
+	// pkgs is path-sorted.
+	pkgs []*scanPkg
+}
+
+// scanModule sweeps every package directory in the loader's module.
+func scanModule(l *Loader) (*moduleScan, error) {
+	dirs, err := l.ResolveDirs([]string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	ms := &moduleScan{root: l.Root, byPath: map[string]*scanPkg{}, byDir: map[string]*scanPkg{}}
+	fset := token.NewFileSet()
+	depPaths := map[*scanPkg][]string{}
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		sp := &scanPkg{Path: l.importPathFor(dir), Dir: dir}
+		seenDep := map[string]bool{}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			sp.files = append(sp.files, srcFile{name: name, sum: sha256.Sum256(src)})
+			f, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+			if err != nil {
+				// The full load will surface the parse error; the scan just
+				// keeps the content hash (which the broken bytes perturb).
+				continue
+			}
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if (path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")) && !seenDep[path] {
+					seenDep[path] = true
+					depPaths[sp] = append(depPaths[sp], path)
+				}
+			}
+		}
+		if len(sp.files) == 0 {
+			continue
+		}
+		slices.SortFunc(sp.files, func(a, b srcFile) int { return strings.Compare(a.name, b.name) })
+		ms.byPath[sp.Path] = sp
+		ms.byDir[sp.Dir] = sp
+		ms.pkgs = append(ms.pkgs, sp)
+	}
+	slices.SortFunc(ms.pkgs, func(a, b *scanPkg) int { return strings.Compare(a.Path, b.Path) })
+	for _, sp := range ms.pkgs {
+		paths := depPaths[sp]
+		slices.Sort(paths)
+		for _, p := range paths {
+			if dep := ms.byPath[p]; dep != nil {
+				sp.deps = append(sp.deps, dep)
+			}
+		}
+	}
+	return ms, nil
+}
+
+// computeKeys fills every package's cache key for one salt, bottom-up.
+func (ms *moduleScan) computeKeys(salt string) {
+	visiting := map[*scanPkg]bool{}
+	var keyOf func(sp *scanPkg) string
+	keyOf = func(sp *scanPkg) string {
+		if sp.key != "" {
+			return sp.key
+		}
+		if visiting[sp] {
+			// Import cycle — illegal Go, the full load will report it; any
+			// stable value keeps the scan terminating.
+			return "cycle"
+		}
+		visiting[sp] = true
+		depKeys := make([]string, 0, len(sp.deps))
+		for _, d := range sp.deps {
+			depKeys = append(depKeys, keyOf(d))
+		}
+		delete(visiting, sp)
+		sp.key = cacheKey(salt, sp.Path, sp.files, depKeys)
+		return sp.key
+	}
+	for _, sp := range ms.pkgs {
+		keyOf(sp)
+	}
+}
+
+// withReverseDeps expands a set of changed directories to the directories
+// of every transitive reverse dependent — the exact invalidation frontier
+// of a change under source-transitive cache keys.
+func (ms *moduleScan) withReverseDeps(changedDirs map[string]bool) map[string]bool {
+	dependents := map[*scanPkg][]*scanPkg{}
+	for _, sp := range ms.pkgs {
+		for _, d := range sp.deps {
+			dependents[d] = append(dependents[d], sp)
+		}
+	}
+	out := map[string]bool{}
+	var queue []*scanPkg
+	for _, sp := range ms.pkgs {
+		if changedDirs[sp.Dir] {
+			out[sp.Dir] = true
+			queue = append(queue, sp)
+		}
+	}
+	for len(queue) > 0 {
+		sp := queue[0]
+		queue = queue[1:]
+		for _, d := range dependents[sp] {
+			if !out[d.Dir] {
+				out[d.Dir] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return out
+}
+
+// changedGoDirs lists the absolute directories holding non-test .go files
+// that differ from ref — committed, staged, unstaged, and untracked alike
+// — by asking git. Deleted files count: their package's contents changed.
+func changedGoDirs(root, ref string) (map[string]bool, error) {
+	dirs := map[string]bool{}
+	collect := func(out []byte) {
+		for _, line := range strings.Split(string(out), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || !strings.HasSuffix(line, ".go") || strings.HasSuffix(line, "_test.go") {
+				continue
+			}
+			dirs[filepath.Join(root, filepath.FromSlash(filepath.Dir(line)))] = true
+		}
+	}
+	diff := exec.Command("git", "-C", root, "diff", "--name-only", ref, "--")
+	out, err := diff.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %w", ref, err)
+	}
+	collect(out)
+	untracked := exec.Command("git", "-C", root, "ls-files", "--others", "--exclude-standard")
+	out, err = untracked.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git ls-files --others: %w", err)
+	}
+	collect(out)
+	return dirs, nil
+}
