@@ -44,7 +44,7 @@ test:
 # diagnostics sinks).
 race:
 	$(GO) test -race ./internal/service/... ./internal/mapreduce/... ./internal/core/... ./internal/serve/...
-	$(GO) test -race -run 'TestParallelByteIdentical|TestVetEquality|TestCacheInvalidationMatrix|TestDiffMode' ./internal/analysis/
+	$(GO) test -race -run 'TestParallelByteIdentical|TestVetEquality|TestSiblingLockCycle|TestCacheInvalidationMatrix|TestDiffMode' ./internal/analysis/
 
 # bench records the executor worker-pool benchmark (speedup needs >1 CPU),
 # the blocking hot-path benchmarks (bit-parallel kernels vs the sorted-merge

@@ -45,7 +45,9 @@
 // result cache so unchanged packages are never re-analyzed — a warm
 // no-change run skips type-checking entirely — and -diff REF analyzes
 // only packages with .go files changed since the git ref plus their
-// transitive reverse dependents. Cache hit/miss counts print to stderr.
+// transitive reverse dependents. Cache hit/miss counts print to stderr
+// and always cover the requested packages' whole dependency closure, so
+// warm fast-path and partially-cached runs report comparable numbers.
 package main
 
 import (

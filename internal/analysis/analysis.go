@@ -224,7 +224,20 @@ func (p *Pass) ReportFixf(pos token.Pos, fix SuggestedFix, format string, args .
 }
 
 func (p *Pass) emit(pos token.Pos, chain []string, fixes []SuggestedFix, format string, args ...any) {
-	position := p.Fset.Position(pos)
+	p.emitAt(p.Fset.Position(pos), chain, fixes, format, args...)
+}
+
+// reportAtPosition records a diagnostic at an already-resolved file
+// position. The engine's lock-edge replay uses it for cycles closed by
+// dependency-published edges: their witness positions are token.Positions
+// carried in the stream (possibly restored from a cache written by
+// another process), so they cannot be resolved through this pass's
+// FileSet.
+func (p *Pass) reportAtPosition(position token.Position, chain []string, format string, args ...any) {
+	p.emitAt(position, chain, nil, format, args...)
+}
+
+func (p *Pass) emitAt(position token.Position, chain []string, fixes []SuggestedFix, format string, args ...any) {
 	if p.allow.allowed(position, p.Analyzer.Name) {
 		return
 	}
@@ -278,6 +291,22 @@ func compareDiagnostics(a, b Diagnostic) int {
 // sortDiagnostics sorts diags in place in the compareDiagnostics order.
 func sortDiagnostics(diags []Diagnostic) {
 	slices.SortFunc(diags, compareDiagnostics)
+}
+
+// mergeDiagnostics sorts a run's merged diagnostics and drops exact
+// duplicates (equal under the total compareDiagnostics order). Within one
+// package duplicates cannot arise, but across packages one finding can
+// legitimately surface twice: a lock-order cycle split across two sibling
+// packages is reported by every package whose closure first joins their
+// edge streams, and those reports are byte-identical. Dropping them here
+// keeps the verdict independent of how many joining packages happen to be
+// requested — the same single line whether one joiner runs under -diff or
+// the whole tree runs at once.
+func mergeDiagnostics(diags []Diagnostic) []Diagnostic {
+	sortDiagnostics(diags)
+	return slices.CompactFunc(diags, func(a, b Diagnostic) bool {
+		return compareDiagnostics(a, b) == 0
+	})
 }
 
 // All returns the full falcon-vet analyzer suite.

@@ -45,7 +45,7 @@ import (
 // EngineVersion names the analyzer-suite revision and participates in
 // every cache key. Bump it whenever any analyzer's semantics change so
 // entries written by older binaries can never satisfy a new run.
-const EngineVersion = "10"
+const EngineVersion = "11"
 
 // cacheFormat guards the gob layout of entries, independent of analyzer
 // semantics.
@@ -116,8 +116,9 @@ func cacheKey(salt, path string, files []srcFile, depKeys []string) string {
 }
 
 // cacheEntry is the on-disk record of one package's analysis. File names
-// inside (diagnostic positions and fix edits) are module-root-relative so
-// a cache directory survives checkout moves and CI restores.
+// inside (diagnostic positions, fix edits, and lock-edge witness
+// positions) are module-root-relative so a cache directory survives
+// checkout moves and CI restores.
 type cacheEntry struct {
 	Format string
 	Path   string
@@ -224,7 +225,7 @@ func (cs *cacheSession) restore(pc *pkgCtx, facts *factStore, analyzers []*Analy
 	for _, r := range recs {
 		shard.m[r.key] = r.fact
 	}
-	pc.edges = e.Edges
+	pc.edges = mapEdgePaths(e.Edges, cs.absPath)
 	pc.diags = cs.absDiags(e.Diags)
 	cs.recordHit(pc.pkg.Path)
 	return true
@@ -237,7 +238,7 @@ func (cs *cacheSession) store(pc *pkgCtx, facts *factStore) {
 		Format: cacheFormat,
 		Path:   pc.pkg.Path,
 		Diags:  cs.relDiags(pc.diags),
-		Edges:  pc.edges,
+		Edges:  mapEdgePaths(pc.edges, cs.relPath),
 	}
 	if shard := facts.shards[pc.pkg.Types]; shard != nil {
 		for k, f := range shard.m {
@@ -300,25 +301,43 @@ func packageFuncs(pkg *types.Package) map[string]types.Object {
 	return m
 }
 
+// relPath makes one file name module-root-relative; absPath is its
+// inverse at restore time. Paths outside the module root pass through
+// unchanged.
+func (cs *cacheSession) relPath(p string) string {
+	if rel, err := filepath.Rel(cs.root, p); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return p
+}
+
+func (cs *cacheSession) absPath(p string) string {
+	if !filepath.IsAbs(p) {
+		return filepath.Join(cs.root, filepath.FromSlash(p))
+	}
+	return p
+}
+
 // relDiags deep-copies diagnostics with file names made module-root-
-// relative; absDiags is its inverse at restore time. Paths outside the
-// module root pass through unchanged.
+// relative; absDiags is its inverse at restore time.
 func (cs *cacheSession) relDiags(diags []Diagnostic) []Diagnostic {
-	return mapDiagPaths(diags, func(p string) string {
-		if rel, err := filepath.Rel(cs.root, p); err == nil && !strings.HasPrefix(rel, "..") {
-			return filepath.ToSlash(rel)
-		}
-		return p
-	})
+	return mapDiagPaths(diags, cs.relPath)
 }
 
 func (cs *cacheSession) absDiags(diags []Diagnostic) []Diagnostic {
-	return mapDiagPaths(diags, func(p string) string {
-		if !filepath.IsAbs(p) {
-			return filepath.Join(cs.root, filepath.FromSlash(p))
-		}
-		return p
-	})
+	return mapDiagPaths(diags, cs.absPath)
+}
+
+// mapEdgePaths rewrites a lock-edge stream's witness-position file names,
+// so edge positions — like diagnostic positions — survive checkout moves
+// and CI cache restores.
+func mapEdgePaths(edges []LockEdge, f func(string) string) []LockEdge {
+	out := make([]LockEdge, len(edges))
+	for i, e := range edges {
+		e.Pos.Filename = f(e.Pos.Filename)
+		out[i] = e
+	}
+	return out
 }
 
 func mapDiagPaths(diags []Diagnostic, f func(string) string) []Diagnostic {

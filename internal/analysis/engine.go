@@ -23,8 +23,10 @@ import (
 // a pure function of its source plus its dependency closure — the same
 // bytes whether the run is serial, parallel, or satisfied from the
 // on-disk cache (see cache.go). The final merge sorts all requested
-// packages' diagnostics with compareDiagnostics, a total order, so output
-// is byte-identical across run modes.
+// packages' diagnostics with compareDiagnostics, a total order, and drops
+// exact duplicates (several packages can each be the first joiner of the
+// same sibling lock-order cycle; see mergeDiagnostics), so output is
+// byte-identical across run modes.
 
 // Options configures RunPackages.
 type Options struct {
@@ -135,8 +137,7 @@ func RunPackages(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnos
 			diags = append(diags, pc.diags...)
 		}
 	}
-	sortDiagnostics(diags)
-	return diags
+	return mergeDiagnostics(diags)
 }
 
 // schedule runs one task per pkgCtx on `parallel` workers, releasing each
@@ -212,13 +213,24 @@ func runPackageTask(pc *pkgCtx, analyzers []*Analyzer, graph *Graph, facts *fact
 		a.Run(p)
 	}
 	if lockPass != nil {
+		// Seed edges in closure DepOrder, plus each direct import's full
+		// graph (the union of its own closure's streams): a seeded edge that
+		// closes a cycle not contained in any single import's graph is a
+		// sibling-split cycle this package is the first to see, and the
+		// replay reports it (see replayLockOrder).
 		var depEdges []LockEdge
 		for _, c := range pc.closure {
 			if c != pc {
 				depEdges = append(depEdges, c.edges...)
 			}
 		}
-		pc.edges = replayLockOrder(lockPass, depEdges, lockObs)
+		depGraphs := make([][]LockEdge, len(pc.deps))
+		for i, d := range pc.deps {
+			for _, c := range d.closure {
+				depGraphs[i] = append(depGraphs[i], c.edges...)
+			}
+		}
+		pc.edges = replayLockOrder(lockPass, depEdges, depGraphs, lockObs)
 	}
 	pc.diags = append(pc.diags, staleAllowDiags(pkg, allow, analyzers)...)
 	// Packages with parse/type-check errors get best-effort diagnostics but

@@ -298,6 +298,19 @@ func TestCacheInvalidationMatrix(t *testing.T) {
 	}
 }
 
+// gitIn runs one git command in dir with a hermetic identity/config, for
+// the diff-mode tests.
+func gitIn(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+	cmd.Env = append(os.Environ(),
+		"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t", "GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t",
+		"GIT_CONFIG_GLOBAL=/dev/null", "GIT_CONFIG_SYSTEM=/dev/null")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
 // TestDiffMode pins -diff REF selection: after a single-package change,
 // only that package and its reverse dependents are requested, and their
 // diagnostics equal the same packages' slice of a full run.
@@ -309,13 +322,7 @@ func TestDiffMode(t *testing.T) {
 	writeTree(t, root, demoModule)
 	git := func(args ...string) {
 		t.Helper()
-		cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
-		cmd.Env = append(os.Environ(),
-			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t", "GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t",
-			"GIT_CONFIG_GLOBAL=/dev/null", "GIT_CONFIG_SYSTEM=/dev/null")
-		if out, err := cmd.CombinedOutput(); err != nil {
-			t.Fatalf("git %v: %v\n%s", args, err, out)
-		}
+		gitIn(t, root, args...)
 	}
 	git("init", "-q")
 	git("add", ".")
@@ -345,6 +352,196 @@ func TestDiffMode(t *testing.T) {
 	clean := vetDemo(t, root, VetRequest{DiffRef: "HEAD"})
 	if len(clean.Requested) != 0 || len(clean.Diags) != 0 {
 		t.Errorf("no-change diff run selected %v with %d diags; want nothing", clean.Requested, len(clean.Diags))
+	}
+}
+
+// TestChangedGoDirsNestedModule pins the git path arithmetic for a module
+// nested inside a larger repository: git prints diff paths relative to
+// the repo top-level unless told otherwise, so without --relative every
+// joined directory would be wrong and -diff would silently select
+// nothing.
+func TestChangedGoDirsNestedModule(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	repo := t.TempDir()
+	modRoot := filepath.Join(repo, "services", "falcon")
+	writeTree(t, modRoot, demoModule)
+	gitIn(t, repo, "init", "-q")
+	gitIn(t, repo, "add", ".")
+	gitIn(t, repo, "commit", "-q", "-m", "seed")
+
+	touch(t, modRoot, "b/b.go")
+	writeTree(t, modRoot, map[string]string{"e/e.go": "// Package e is new and untracked.\npackage e\n\n// Six is six.\nfunc Six() int { return 6 }\n"})
+	dirs, err := changedGoDirs(modRoot, "HEAD")
+	if err != nil {
+		t.Fatalf("changedGoDirs: %v", err)
+	}
+	want := map[string]bool{
+		filepath.Join(modRoot, "b"): true,
+		filepath.Join(modRoot, "e"): true,
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("changedGoDirs = %v, want %v", dirs, want)
+	}
+	for d := range want {
+		if !dirs[d] {
+			t.Errorf("changedGoDirs misses %s (got %v)", d, dirs)
+		}
+	}
+
+	// And end to end: the nested-module diff run selects the changed
+	// packages plus reverse dependents, exactly as a top-level module does.
+	res := vetDemo(t, modRoot, VetRequest{DiffRef: "HEAD"})
+	if want := []string{"demo/b", "demo/c", "demo/e"}; !slices.Equal(res.Requested, want) {
+		t.Errorf("nested-module diff requested %v, want %v", res.Requested, want)
+	}
+}
+
+// lockSiblingModule splits a lock-order cycle across two sibling packages
+// that never import each other: p nests lock B inside A, q nests A inside
+// B, and only a package importing both (app, app2) sees the cycle. top
+// imports app, so its closure contains the cycle too — but app's graph
+// already holds every edge, which must suppress a second report.
+var lockSiblingModule = map[string]string{
+	"go.mod": "module lockdemo\n\ngo 1.22\n",
+	"locks/locks.go": `// Package locks holds the shared lock pair.
+package locks
+
+import "sync"
+
+// A guards the first shared table.
+var A sync.Mutex
+
+// B guards the second shared table.
+var B sync.Mutex
+`,
+	"p/p.go": `// Package p takes the pair in A -> B order.
+package p
+
+import "lockdemo/locks"
+
+// AB nests B inside A.
+func AB() {
+	locks.A.Lock()
+	locks.B.Lock()
+	locks.B.Unlock()
+	locks.A.Unlock()
+}
+`,
+	"q/q.go": `// Package q takes the pair in B -> A order.
+package q
+
+import "lockdemo/locks"
+
+// BA nests A inside B.
+func BA() {
+	locks.B.Lock()
+	locks.A.Lock()
+	locks.A.Unlock()
+	locks.B.Unlock()
+}
+`,
+	"app/app.go": `// Package app joins the sibling packages' lock orders.
+package app
+
+import (
+	"lockdemo/p"
+	"lockdemo/q"
+)
+
+// Use drives both siblings.
+func Use() {
+	p.AB()
+	q.BA()
+}
+`,
+	"app2/app2.go": `// Package app2 is a second independent joiner of the same siblings.
+package app2
+
+import (
+	"lockdemo/p"
+	"lockdemo/q"
+)
+
+// Use drives both siblings.
+func Use() {
+	p.AB()
+	q.BA()
+}
+`,
+	"top/top.go": `// Package top sits above app; the cycle is fully inside its import's
+// closure and must not be re-reported here.
+package top
+
+import "lockdemo/app"
+
+// Run drives app.
+func Run() { app.Use() }
+`,
+}
+
+// TestSiblingLockCycle pins the cross-sibling cycle story: a cycle whose
+// halves live in two packages neither of which imports the other is
+// reported — exactly once, at the dependency acquisition that closes it —
+// in every run mode, cached runs included, and a package whose direct
+// import already joined the streams does not repeat it.
+func TestSiblingLockCycle(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, lockSiblingModule)
+	cacheDir := filepath.Join(root, ".vetcache")
+
+	serial := vetDemo(t, root, VetRequest{Parallel: 1})
+	var cycles []Diagnostic
+	for _, d := range serial.Diags {
+		if d.Analyzer == "lockorder" && strings.Contains(d.Message, "closes a lock-order cycle") {
+			cycles = append(cycles, d)
+		}
+	}
+	if len(cycles) != 1 {
+		t.Fatalf("want exactly 1 sibling-cycle diagnostic, got %d: %v", len(cycles), serial.Diags)
+	}
+	cyc := cycles[0]
+	if !strings.Contains(cyc.Message, "across dependency packages") ||
+		!strings.Contains(cyc.Message, "lockdemo/locks.A") || !strings.Contains(cyc.Message, "lockdemo/locks.B") {
+		t.Errorf("cycle message does not name the sibling cycle: %s", cyc.Message)
+	}
+	// The witness position is the canonical cycle's first edge — A -> B,
+	// the nested locks.B.Lock() in p — regardless of which sibling's
+	// stream happened to seed last.
+	if filepath.Base(cyc.Pos.Filename) != "p.go" {
+		t.Errorf("cycle reported at %s, want the canonical A -> B acquisition in p.go", cyc.Pos)
+	}
+	want := diagsFingerprint(t, serial.Diags)
+
+	parallel := vetDemo(t, root, VetRequest{Parallel: 8})
+	if got := diagsFingerprint(t, parallel.Diags); got != want {
+		t.Errorf("parallel sibling-cycle diagnostics differ from serial:\n%s\n--- vs ---\n%s", got, want)
+	}
+	cold := vetDemo(t, root, VetRequest{Parallel: 8, CacheDir: cacheDir})
+	if got := diagsFingerprint(t, cold.Diags); got != want {
+		t.Errorf("cold-cache sibling-cycle diagnostics differ from serial")
+	}
+	warm := vetDemo(t, root, VetRequest{Parallel: 8, CacheDir: cacheDir})
+	if !warm.FastPath {
+		t.Error("warm no-change run did not take the fast path")
+	}
+	if got := diagsFingerprint(t, warm.Diags); got != want {
+		t.Errorf("warm-cache sibling-cycle diagnostics differ from serial")
+	}
+
+	// A single joiner requested alone (the -diff shape after touching app)
+	// reaches the same verdict; its dependencies restore from the cache,
+	// so the seeded edges carry cache-roundtripped witness positions.
+	one := vetDemo(t, root, VetRequest{Patterns: []string{"app"}, CacheDir: cacheDir})
+	var oneCycles []Diagnostic
+	for _, d := range one.Diags {
+		if d.Analyzer == "lockorder" {
+			oneCycles = append(oneCycles, d)
+		}
+	}
+	if len(oneCycles) != 1 || diagsFingerprint(t, oneCycles) != diagsFingerprint(t, cycles) {
+		t.Errorf("app-only run reports %v, want exactly the full run's cycle %v", oneCycles, cycles)
 	}
 }
 

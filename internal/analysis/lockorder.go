@@ -35,10 +35,14 @@ import (
 //     edge observations, and the engine replays them on top of the edge
 //     streams published by the package's dependency closure (see
 //     replayLockOrder). A cycle whose halves live in two packages neither
-//     of which imports the other is reported only in a package whose
-//     closure contains both — the price of making every package's verdict
-//     a pure function of its own closure, which the parallel scheduler
-//     and the fact cache both require.
+//     of which imports the other is reported in the first package (in
+//     dependency order) whose closure contains both halves: the replay
+//     runs cycle detection while seeding dependency streams, suppressing
+//     cycles already contained in a single direct import's graph, and the
+//     run-level merge drops exact-duplicate diagnostics — so the cycle
+//     surfaces exactly once. This is the price of making every package's
+//     verdict a pure function of its own closure, which the parallel
+//     scheduler and the fact cache both require.
 //   - a blocking summary: a function that (transitively) performs a
 //     blocking operation is flagged at any call site where a lock is
 //     held, with the chain down to the blocking primitive.
@@ -73,9 +77,21 @@ func (*LockFact) AFact() {}
 
 // LockEdge is one "To was acquired while From was held" observation, the
 // unit of the per-package edge stream the engine replays (and the cache
-// persists) in place of the old Run-wide shared graph.
+// persists) in place of the old Run-wide shared graph. Pos is the file
+// position of the acquisition that first produced the edge, recorded as a
+// token.Position (not a token.Pos) so it survives the cache boundary,
+// where FileSet offsets from the producing process mean nothing: a
+// dependent that joins two sibling streams into a cycle anchors its
+// report here.
 type LockEdge struct {
 	From, To string
+	Pos      token.Position
+}
+
+// lockEdgeKey is a LockEdge's graph identity — the endpoints without the
+// witness position.
+type lockEdgeKey struct {
+	from, to string
 }
 
 // lockEdgeObs is a LockEdge still carrying the position that produced it,
@@ -410,17 +426,28 @@ func observeLockEdge(pass *Pass, from, to string, pos token.Pos) {
 	}
 }
 
-// replayLockOrder builds one package's closure-scoped acquisition graph:
-// the dependency closure's published edge streams seed it silently (their
-// cycles were already reported in their own packages), then the package's
-// own observations are replayed in collection order with cycle detection.
-// Each edge enters the graph (and can report) at most once, at the first
+// replayLockOrder builds one package's closure-scoped acquisition graph.
+// The dependency closure's published edge streams seed it in DepOrder,
+// with cycle detection at each novel edge: a seeded edge that closes a
+// cycle is reported here — canonicalized, anchored at the recorded
+// acquisition position of the cycle's lexicographically first edge —
+// unless the whole cycle already sits inside a single direct import's
+// graph, in which case that import's own replay (or one deeper still)
+// already reported it. This is how a cycle split across two sibling
+// packages, neither importing the other, surfaces: in the first package
+// whose closure joins both streams. Then the package's own observations
+// are replayed in collection order with the same detection. Each edge
+// enters the graph (and can report) at most once, at the first
 // observation that produces it; the returned stream is the package's own
 // novel edges in that order — what its reverse dependents replay and the
-// cache persists. Cycles spanning the whole edge set are found the same
-// way regardless of which packages ran live and which came from cache,
-// which is what keeps cached runs byte-identical to cold ones.
-func replayLockOrder(pass *Pass, depEdges []LockEdge, own []lockEdgeObs) []LockEdge {
+// cache persists. The guarantee, inductively: if any cycle exists in a
+// package's merged graph, at least one cycle diagnostic was reported by
+// some task in its closure. Cycles are found the same way regardless of
+// which packages ran live and which came from cache, which is what keeps
+// cached runs byte-identical to cold ones; sibling cycles seen from
+// several joining packages collapse to one report in the run-level
+// duplicate-dropping merge (see mergeDiagnostics).
+func replayLockOrder(pass *Pass, depEdges []LockEdge, depGraphs [][]LockEdge, own []lockEdgeObs) []LockEdge {
 	edges := map[string]map[string]bool{}
 	add := func(from, to string) bool {
 		if edges[from][to] {
@@ -432,15 +459,44 @@ func replayLockOrder(pass *Pass, depEdges []LockEdge, own []lockEdgeObs) []LockE
 		edges[from][to] = true
 		return true
 	}
+	depSets := make([]map[lockEdgeKey]bool, len(depGraphs))
+	for i, g := range depGraphs {
+		depSets[i] = make(map[lockEdgeKey]bool, len(g))
+		for _, e := range g {
+			depSets[i][lockEdgeKey{e.From, e.To}] = true
+		}
+	}
+	// seededPos remembers each seeded edge's witness position: the report
+	// below anchors at the canonical cycle's first edge, which need not be
+	// the edge whose arrival closed the cycle.
+	seededPos := map[lockEdgeKey]token.Position{}
 	for _, e := range depEdges {
-		add(e.From, e.To)
+		if !add(e.From, e.To) {
+			continue
+		}
+		seededPos[lockEdgeKey{e.From, e.To}] = e.Pos
+		cycle := lockPath(edges, e.To, e.From)
+		if cycle == nil {
+			continue
+		}
+		full := append([]string{e.From}, cycle...)
+		if cycleInOneDep(depSets, full) {
+			continue
+		}
+		// Canonicalize so every joining package — whatever order its
+		// closure seeded the streams in — emits the byte-identical
+		// diagnostic, which the run-level merge then collapses to one.
+		canon := canonicalCycle(full)
+		pass.reportAtPosition(seededPos[lockEdgeKey{canon[0], canon[1]}], canon,
+			"acquiring %s while holding %s closes a lock-order cycle across dependency packages: %s; a parallel goroutine taking them in the printed order deadlocks",
+			canon[1], canon[0], strings.Join(canon, " -> "))
 	}
 	var stream []LockEdge
 	for _, o := range own {
 		if !add(o.from, o.to) {
 			continue
 		}
-		stream = append(stream, LockEdge{From: o.from, To: o.to})
+		stream = append(stream, LockEdge{From: o.from, To: o.to, Pos: pass.Fset.Position(o.pos)})
 		if cycle := lockPath(edges, o.to, o.from); cycle != nil {
 			full := append([]string{o.from}, cycle...)
 			pass.ReportChain(o.pos, full,
@@ -449,6 +505,42 @@ func replayLockOrder(pass *Pass, depEdges []LockEdge, own []lockEdgeObs) []LockE
 		}
 	}
 	return stream
+}
+
+// canonicalCycle rotates a closed lock-ID walk (first element repeated
+// last) so it starts — and ends — at its lexicographically smallest lock.
+// The walk is simple (lockPath's DFS never revisits a node), so the
+// rotation is unique: every package that detects the same cycle renders
+// the same chain, message, and witness edge.
+func canonicalCycle(full []string) []string {
+	nodes := full[:len(full)-1]
+	min := 0
+	for i, id := range nodes {
+		if id < nodes[min] {
+			min = i
+		}
+	}
+	canon := make([]string, 0, len(full))
+	canon = append(canon, nodes[min:]...)
+	canon = append(canon, nodes[:min]...)
+	return append(canon, nodes[min])
+}
+
+// cycleInOneDep reports whether every edge of the cycle (a closed lock-ID
+// walk, first element repeated last) is present in a single direct
+// dependency's acquisition graph — the proof that the dependency's own
+// replay already reported it.
+func cycleInOneDep(depSets []map[lockEdgeKey]bool, cycle []string) bool {
+deps:
+	for _, set := range depSets {
+		for i := 0; i+1 < len(cycle); i++ {
+			if !set[lockEdgeKey{cycle[i], cycle[i+1]}] {
+				continue deps
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // lockPath finds a deterministic path from -> to in the acquisition

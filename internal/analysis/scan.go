@@ -179,7 +179,12 @@ func changedGoDirs(root, ref string) (map[string]bool, error) {
 			dirs[filepath.Join(root, filepath.FromSlash(filepath.Dir(line)))] = true
 		}
 	}
-	diff := exec.Command("git", "-C", root, "diff", "--name-only", ref, "--")
+	// git diff prints paths relative to the repository top-level, which is
+	// NOT the -C directory when the module sits inside a larger repo;
+	// --relative rescopes (and limits) the output to the module root, so
+	// joining onto root is correct in both layouts. git ls-files needs no
+	// flag: it lists the cwd subtree with cwd-relative paths by default.
+	diff := exec.Command("git", "-C", root, "diff", "--name-only", "--relative", ref, "--")
 	out, err := diff.Output()
 	if err != nil {
 		return nil, fmt.Errorf("git diff --name-only %s: %w", ref, err)

@@ -113,14 +113,30 @@ func Vet(req VetRequest) (*VetResult, error) {
 			diags = append(diags, cs.absDiags(e.Diags)...)
 		}
 		if fast {
+			// Count the requested packages' whole transitive closure as
+			// hits: the engine path records a hit per closure package it
+			// restores, and the fast path's keys prove exactly that closure
+			// unchanged — so warm fast-path and partially-cached runs report
+			// comparable "cache N hit(s)" numbers.
+			seen := map[*scanPkg]bool{}
+			var visit func(sp *scanPkg)
+			visit = func(sp *scanPkg) {
+				if seen[sp] {
+					return
+				}
+				seen[sp] = true
+				for _, dep := range sp.deps {
+					visit(dep)
+				}
+				res.CacheHits = append(res.CacheHits, sp.Path)
+			}
 			for _, d := range dirs {
 				res.Requested = append(res.Requested, scan.byDir[d].Path)
-				res.CacheHits = append(res.CacheHits, scan.byDir[d].Path)
+				visit(scan.byDir[d])
 			}
 			slices.Sort(res.Requested)
 			slices.Sort(res.CacheHits)
-			sortDiagnostics(diags)
-			res.Diags = diags
+			res.Diags = mergeDiagnostics(diags)
 			res.FastPath = true
 			return res, nil
 		}
